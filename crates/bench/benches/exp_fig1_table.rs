@@ -1,0 +1,129 @@
+//! **Fig. 1 + §IV** — the running example: incremental SimRank as edge
+//! `(i, j)` is added to a 15-node citation graph, comparing
+//!
+//! * `sim`      — old scores in `G`,
+//! * `simtrue`  — batch recomputation on `G ∪ {(i,j)}` (ground truth),
+//! * `Inc-SR`   — this paper's exact incremental result,
+//! * `simLi`    — Li et al.'s Inc-SVD with **lossless** SVD, which is
+//!   nevertheless approximate whenever `rank(Q) < n` (§IV).
+//!
+//! The paper's exact Fig. 1 edge list is unpublished; this is the
+//! reconstruction from `incsim_datagen::fig1` with the identical set-up
+//! (`d_j = 2`, in-neighbours `{h, k}`). Expect the same phenomena, not the
+//! same decimals: grey-row pairs unchanged, Inc-SR ≡ simtrue, simLi drifting.
+
+use incsim_baselines::{IncSvd, IncSvdOptions};
+use incsim_bench::Table;
+use incsim_core::{batch_simrank, IncSr, SimRankConfig, SimRankMaintainer};
+use incsim_datagen::fig1::{fig1_graph, FIG1_DAMPING, INSERTED_EDGE};
+use incsim_graph::transition::backward_transition;
+use incsim_linalg::norms::spectral_norm_est;
+use incsim_linalg::qr::rank_qrcp;
+use incsim_linalg::svd::jacobi_svd;
+
+fn main() {
+    println!("== Fig. 1: incremental SimRank as edge (i, j) is inserted ==");
+    println!("   (15-node citation graph, C = {FIG1_DAMPING}, lossless-SVD Inc-SVD baseline)\n");
+
+    let g = fig1_graph();
+    let (ei, ej) = INSERTED_EDGE;
+    let cfg = SimRankConfig::new(FIG1_DAMPING, 60).expect("valid config");
+
+    // Old scores on G.
+    let s_old = batch_simrank(&g, &cfg);
+
+    // Ground truth on G ∪ {(i,j)}.
+    let mut g_new = g.clone();
+    g_new.insert_edge(ei, ej).expect("edge is absent in G");
+    let s_true = batch_simrank(&g_new, &cfg);
+
+    // Inc-SR (this paper).
+    let mut incsr = IncSr::new(g.clone(), s_old.clone(), cfg);
+    incsr.insert_edge(ei, ej).expect("valid insertion");
+
+    // Inc-SVD (Li et al.) with lossless rank r = rank(Q).
+    let q_dense = backward_transition(&g).to_dense();
+    let rank_q = rank_qrcp(&q_dense, 1e-10);
+    let n = g.node_count();
+    println!("rank(Q) = {rank_q} < n = {n}  ⇒  §IV predicts Inc-SVD loses eigen-information\n");
+    let mut incsvd = IncSvd::new(
+        g.clone(),
+        cfg,
+        IncSvdOptions {
+            rank: rank_q,
+            randomized: false,
+            ..Default::default()
+        },
+    )
+    .expect("Inc-SVD construction");
+    incsvd.insert_edge(ei, ej).expect("valid insertion");
+
+    // The Fig. 1 table over representative pairs (near + far from (i,j)).
+    let pairs: &[(char, char)] = &[
+        ('a', 'b'),
+        ('a', 'd'),
+        ('i', 'f'),
+        ('k', 'g'),
+        ('k', 'h'),
+        ('j', 'f'),
+        ('m', 'l'),
+        ('j', 'b'),
+        ('i', 'j'),
+    ];
+    let idx = |ch: char| (ch as u8 - b'a') as usize;
+    let mut table = Table::new(&[
+        "node-pair",
+        "sim (G)",
+        "simtrue (G∪ΔG)",
+        "Inc-SR",
+        "simLi et al.",
+        "unchanged?",
+    ]);
+    for &(x, y) in pairs {
+        let (a, b) = (idx(x), idx(y));
+        let old = s_old.get(a, b);
+        let truth = s_true.get(a, b);
+        let ours = incsr.scores().get(a, b);
+        let li = incsvd.scores().get(a, b);
+        table.row(vec![
+            format!("({x}, {y})"),
+            format!("{old:.3}"),
+            format!("{truth:.3}"),
+            format!("{ours:.3}"),
+            format!("{li:.3}"),
+            if (old - truth).abs() < 5e-4 { "yes (grey row)".into() } else { "".into() },
+        ]);
+    }
+    table.print();
+
+    // Headline errors, as in §IV.
+    let err_incsr = incsr.scores().max_abs_diff(&s_true);
+    let err_li = incsvd.scores().max_abs_diff(&s_true);
+    println!("\nmax |error| vs simtrue:  Inc-SR = {err_incsr:.2e}   Inc-SVD = {err_li:.2e}");
+
+    // Example 3-style factor residual: ‖Q̃ − Ũ·Σ̃·Ṽᵀ‖₂.
+    let recon = incsvd.factors().reconstruct();
+    let q_new = backward_transition(incsvd.graph()).to_dense();
+    let mut resid = q_new;
+    resid.add_scaled(-1.0, &recon);
+    println!(
+        "factor residual ‖Q̃ − Ũ·Σ̃·Ṽᵀ‖₂ = {:.4}  (paper's Example 3 exhibits 1.0 on its 2×2 case)",
+        spectral_norm_est(&resid, 60)
+    );
+
+    // Example 2 verification on the paper's own 2×2 matrices.
+    let q2 = incsim_linalg::DenseMatrix::from_rows(&[&[0.0, 1.0], &[0.0, 0.0]]);
+    let svd2 = jacobi_svd(&q2).truncate(1);
+    let uut = svd2.u.matmul_nt(&svd2.u);
+    println!(
+        "Example 2: U·Uᵀ = [[{:.0}, {:.0}], [{:.0}, {:.0}]] ≠ I₂  (rank(Q) = 1 < n = 2)",
+        uut.get(0, 0),
+        uut.get(0, 1),
+        uut.get(1, 0),
+        uut.get(1, 1)
+    );
+
+    assert!(err_incsr < 1e-8, "Inc-SR must reproduce simtrue");
+    assert!(err_li > 1e-3, "lossless-SVD Inc-SVD must remain approximate here");
+    println!("\n[ok] Inc-SR exact; Inc-SVD approximate despite lossless SVD — Fig. 1 reproduced.");
+}

@@ -1,0 +1,80 @@
+//! **Fig. 2b** — the % of the lossless-SVD rank w.r.t. `|ΔE|` on the DBLP
+//! and CITH stand-ins.
+//!
+//! The paper's point: for real graphs the rank needed for a *lossless* SVD
+//! is **not** negligibly smaller than `n` (≈95% on DBLP, ≈80% on CITH), so
+//! Inc-SVD — whose cost is quartic in the target rank — cannot be both fast
+//! and accurate. Here the numerical rank of `Q̃ = Q + ΔQ` is measured with
+//! rank-revealing QR after inserting `|ΔE|` random edges.
+//!
+//! Graphs are trimmed to their first `N_RANK` arrived nodes: the
+//! rank-revealing QR is `O(n³)` dense work and rank *fractions* are
+//! n-stable (documented in EXPERIMENTS.md).
+
+use incsim_bench::Table;
+use incsim_datagen::updates::random_insertions;
+use incsim_datagen::{cith_like, dblp_like};
+use incsim_graph::transition::backward_transition;
+use incsim_graph::DiGraph;
+use incsim_metrics::timing::Stopwatch;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N_RANK: usize = 1000;
+
+fn main() {
+    println!("== Fig. 2b: % of lossless SVD rank w.r.t. |ΔE| ==");
+    println!("   (numerical rank of Q̃ via rank-revealing QR, first {N_RANK} nodes)\n");
+
+    let mut table = Table::new(&["dataset", "|ΔE|/|E|", "rank(Q̃)", "n", "% of n"]);
+    let mut fractions = Vec::new();
+    for (mut ds, seed) in [(dblp_like(), 11u64), (cith_like(), 13u64)] {
+        let name = ds.name;
+        let base_full = ds.base_graph();
+        let g0 = induced_prefix(&base_full, N_RANK);
+        let m0 = g0.edge_count();
+        // The paper sweeps |ΔE| = 6K, 12K, 18K on |E| ≈ 93K–421K; scaled to
+        // the same |ΔE|/|E| ratios.
+        for (ratio_label, ratio) in [("6.4%", 0.064), ("12.8%", 0.128), ("19.2%", 0.192)] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut g = g0.clone();
+            let delta = ((m0 as f64 * ratio) as usize).max(1);
+            for op in random_insertions(&g0, delta, &mut rng) {
+                op.apply(&mut g).expect("stream valid");
+            }
+            let q = backward_transition(&g).to_dense();
+            let sw = Stopwatch::start();
+            let rank = incsim_linalg::qr::rank_qrcp(&q, 1e-10);
+            let pct = 100.0 * rank as f64 / N_RANK as f64;
+            fractions.push(pct);
+            table.row(vec![
+                name.into(),
+                ratio_label.into(),
+                rank.to_string(),
+                N_RANK.to_string(),
+                format!("{pct:.1}%  ({:.1}s QR)", sw.secs()),
+            ]);
+        }
+    }
+    table.print();
+
+    let min = fractions.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!(
+        "\nminimum lossless-rank fraction observed: {min:.1}% — never negligibly smaller than n,"
+    );
+    println!("matching the paper's 80–95% observation; Inc-SVD's O(r⁴n²) cannot be cheap and exact.");
+    assert!(min > 40.0, "rank fraction unexpectedly small: {min}%");
+    println!("\n[ok] Fig. 2b series regenerated.");
+}
+
+/// The induced subgraph on nodes `0..k` (linkage-model graphs arrive in id
+/// order, so this is the "first k arrivals" prefix).
+fn induced_prefix(g: &DiGraph, k: usize) -> DiGraph {
+    let mut out = DiGraph::new(k);
+    for (u, v) in g.edges() {
+        if (u as usize) < k && (v as usize) < k {
+            out.insert_edge(u, v).expect("edges are unique");
+        }
+    }
+    out
+}

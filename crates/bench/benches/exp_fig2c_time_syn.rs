@@ -1,0 +1,108 @@
+//! **Fig. 2c** — time efficiency on synthetic data: controlled edge
+//! *insertion* and *deletion* sweeps on a linkage-model graph.
+//!
+//! The paper fixes `|V|` and sweeps `|E|` 485K→560K in +15K insertions
+//! (resp. 560K→485K in deletions), with the update sequence produced by
+//! the **linkage generation model** itself (§VI-A) — i.e. growth-shaped
+//! edges, not uniform random pairs. This harness does the same: the
+//! insertion stream is the model's own continuation of the graph, and the
+//! deletion sweep removes exactly that edge mass in reverse.
+//!
+//! Shapes to verify: Inc-SR < Inc-uSR < Inc-SVD on every step, and
+//! deletions behaving like insertions.
+
+use incsim_baselines::{IncSvd, IncSvdOptions};
+use incsim_bench::{measure_per_update, scaled_cap, Table};
+use incsim_core::{batch_simrank_detailed, BatchOptions, IncSr, IncUSr, SimRankConfig};
+use incsim_datagen::linkage::{linkage_model, LinkageParams};
+use incsim_graph::{DiGraph, UpdateOp};
+use incsim_metrics::timing::{fmt_duration, Stopwatch};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+const STEPS: usize = 5;
+
+fn main() {
+    println!("== Fig. 2c: time efficiency on synthetic data (insertions & deletions) ==\n");
+    let cfg = SimRankConfig::new(0.6, 15).expect("valid config");
+
+    // Scaled stand-in for the paper's |V| = 79,483 / |E| = 485K–560K sweep
+    // (≈15.5% total churn): grow a linkage-model graph and use its own
+    // continuation as the update stream.
+    let mut rng = StdRng::seed_from_u64(0x5715);
+    let params = LinkageParams {
+        nodes: 1_500,
+        edges_per_node: 7.0,
+        pref_mix: 0.7,
+        reciprocity: 0.0,
+        cite_past_only: false,
+        communities: 0,
+        community_bias: 0.0,
+    };
+    let mut timeline = linkage_model(&params, &mut rng);
+    let t_base = (params.nodes as f64 * 0.85) as u64;
+    let g_low = timeline.snapshot_at(t_base);
+    let inserts = timeline.updates_between(t_base, u64::MAX);
+    let step = inserts.len() / STEPS;
+    println!(
+        "synthetic linkage graph: n = {}, |E| = {} → {} in {STEPS} model-driven steps of {step}\n",
+        g_low.node_count(),
+        g_low.edge_count(),
+        g_low.edge_count() + inserts.len(),
+    );
+
+    run_sweep("edge insertion (|E| grows)", &g_low, &inserts, step, &cfg);
+
+    // Deletion sweep mirrors the paper's |E| 560K→485K decrements: the same
+    // edge mass is removed, newest first.
+    let mut g_high = g_low.clone();
+    for op in &inserts {
+        op.apply(&mut g_high).expect("insert stream valid");
+    }
+    let deletes: Vec<UpdateOp> = inserts.iter().rev().map(|op| op.inverse()).collect();
+    run_sweep("edge deletion (|E| shrinks)", &g_high, &deletes, step, &cfg);
+
+    println!("[ok] Fig. 2c series regenerated.");
+}
+
+fn run_sweep(label: &str, base: &DiGraph, stream: &[UpdateOp], step: usize, cfg: &SimRankConfig) {
+    println!("-- {label} --");
+    let s_base = batch_simrank_detailed(base, cfg, &BatchOptions::default()).scores;
+
+    let mut incsr = IncSr::new(base.clone(), s_base.clone(), *cfg);
+    let m_incsr = measure_per_update(&mut incsr, stream, scaled_cap(40));
+    let mut incusr = IncUSr::new(base.clone(), s_base.clone(), *cfg);
+    let m_incusr = measure_per_update(&mut incusr, stream, scaled_cap(12));
+    let mut incsvd = IncSvd::new(base.clone(), *cfg, IncSvdOptions { rank: 5, ..Default::default() })
+        .expect("Inc-SVD construction");
+    let m_incsvd = measure_per_update(&mut incsvd, stream, scaled_cap(8));
+
+    let mut table = Table::new(&["|E| after step", "Inc-SR", "Inc-uSR", "Inc-SVD", "Batch"]);
+    let mut g_target = base.clone();
+    for s in 1..=STEPS {
+        let count = (step * s).min(stream.len());
+        for op in &stream[step * (s - 1)..count] {
+            op.apply(&mut g_target).expect("stream valid");
+        }
+        let sw = Stopwatch::start();
+        let _ = batch_simrank_detailed(&g_target, cfg, &BatchOptions::default());
+        let batch_secs = sw.secs();
+        table.row(vec![
+            format!("{}", g_target.edge_count()),
+            fmt_duration(Duration::from_secs_f64(m_incsr.extrapolate_secs(count))),
+            fmt_duration(Duration::from_secs_f64(m_incusr.extrapolate_secs(count))),
+            fmt_duration(Duration::from_secs_f64(m_incsvd.extrapolate_secs(count))),
+            fmt_duration(Duration::from_secs_f64(batch_secs)),
+        ]);
+    }
+    table.print();
+    println!(
+        "   per-update: Inc-SR {:.2}ms | Inc-uSR {:.2}ms ({:.1}x) | Inc-SVD {:.2}ms ({:.1}x)\n",
+        m_incsr.per_update_secs * 1e3,
+        m_incusr.per_update_secs * 1e3,
+        m_incusr.per_update_secs / m_incsr.per_update_secs,
+        m_incsvd.per_update_secs * 1e3,
+        m_incsvd.per_update_secs / m_incsr.per_update_secs,
+    );
+}

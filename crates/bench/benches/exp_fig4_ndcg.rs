@@ -1,0 +1,97 @@
+//! **Fig. 4** — exactness: NDCG₃₀ of the top-30 most-similar node pairs
+//! against a 35-iteration batch baseline, after a stream of link updates.
+//!
+//! Paper shapes to verify: Inc-SR and Inc-uSR reach NDCG₃₀ ≈ 1 (and are
+//! *identical* to each other — pruning is lossless), already high at K=5;
+//! Inc-SVD sits far below regardless of rank, because its factor update
+//! loses eigen-information on rank-deficient real graphs (§IV).
+
+use incsim_baselines::{IncSvd, IncSvdOptions};
+use incsim_bench::{scaled_cap, Table};
+use incsim_core::{batch_simrank, IncSr, IncUSr, SimRankConfig, SimRankMaintainer};
+use incsim_datagen::{cith_like, dblp_like, youtu_like, Dataset};
+use incsim_graph::UpdateOp;
+use incsim_metrics::ndcg_at_k;
+
+const NDCG_K: usize = 30;
+/// The paper uses Batch at K=35 as the exact baseline (covers all diameters).
+const BASELINE_ITERS: usize = 35;
+
+fn main() {
+    println!("== Fig. 4: NDCG30 exactness vs Batch(K=35) after link updates ==\n");
+    let mut table = Table::new(&[
+        "dataset",
+        "Inc-SR (K=5)",
+        "Inc-SR (K=15)",
+        "Inc-uSR (K=5)",
+        "Inc-uSR (K=15)",
+        "Inc-SVD (r=5)",
+        "Inc-SVD (r=15)",
+    ]);
+    for (mut ds, svd_ok) in [(dblp_like(), true), (cith_like(), true), (youtu_like(), false)] {
+        run_dataset(&mut ds, svd_ok, &mut table);
+    }
+    table.print();
+    println!("\n(Inc-SR ≡ Inc-uSR per K — pruning does not sacrifice exactness;");
+    println!(" Inc-SVD trails regardless of rank, as §IV predicts)");
+    println!("\n[ok] Fig. 4 regenerated.");
+}
+
+fn run_dataset(ds: &mut Dataset, svd_ok: bool, table: &mut Table) {
+    let name = ds.name;
+    let base = ds.base_graph();
+    let n = base.node_count();
+    // Converged old scores shared by all engines.
+    let cfg_base = SimRankConfig::new(0.6, BASELINE_ITERS).expect("valid config");
+    let s_base = batch_simrank(&base, &cfg_base);
+
+    let full = ds.updates_to_increment(0);
+    let cap = if n > 3000 { scaled_cap(20) } else { scaled_cap(60) };
+    let stream: Vec<UpdateOp> = full.into_iter().take(cap).collect();
+
+    // Ground-truth graph + baseline scores after the stream.
+    let mut g_new = base.clone();
+    for op in &stream {
+        op.apply(&mut g_new).expect("stream valid");
+    }
+    let baseline = batch_simrank(&g_new, &cfg_base);
+
+    let mut cells = vec![format!("{name} (n={n})")];
+    for k in [5usize, 15] {
+        let cfg = SimRankConfig::new(0.6, k).expect("valid config");
+        let mut engine = IncSr::new(base.clone(), s_base.clone(), cfg);
+        for op in &stream {
+            engine.apply(*op).expect("stream valid");
+        }
+        cells.push(format!("{:.2}", ndcg_at_k(&baseline, engine.scores(), NDCG_K)));
+    }
+    for k in [5usize, 15] {
+        let cfg = SimRankConfig::new(0.6, k).expect("valid config");
+        let mut engine = IncUSr::new(base.clone(), s_base.clone(), cfg);
+        for op in &stream {
+            engine.apply(*op).expect("stream valid");
+        }
+        cells.push(format!("{:.2}", ndcg_at_k(&baseline, engine.scores(), NDCG_K)));
+    }
+    for r in [5usize, 15] {
+        if svd_ok {
+            let cfg = SimRankConfig::new(0.6, 15).expect("valid config");
+            let mut engine = IncSvd::new(
+                base.clone(),
+                cfg,
+                IncSvdOptions {
+                    rank: r,
+                    ..Default::default()
+                },
+            )
+            .expect("Inc-SVD construction");
+            for op in &stream {
+                engine.apply(*op).expect("stream valid");
+            }
+            cells.push(format!("{:.2}", ndcg_at_k(&baseline, engine.scores(), NDCG_K)));
+        } else {
+            cells.push("— (mem)".into());
+        }
+    }
+    table.row(cells);
+}

@@ -1,0 +1,99 @@
+//! Criterion microbenchmarks of the hot kernels behind every experiment:
+//! the sparse matvec (`Q·x`), the symmetric rank-two score update
+//! (`S += ξηᵀ + ηξᵀ`), one batch iteration, and a full unit update through
+//! each incremental engine.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use incsim_core::{batch_simrank, IncSr, IncUSr, SimRankConfig, SimRankMaintainer};
+use incsim_datagen::linkage::{linkage_model, LinkageParams};
+use incsim_graph::transition::backward_transition;
+use incsim_graph::DiGraph;
+use incsim_linalg::DenseMatrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn fixture(n: usize) -> DiGraph {
+    let mut rng = StdRng::seed_from_u64(99);
+    let params = LinkageParams {
+        nodes: n,
+        edges_per_node: 6.0,
+        pref_mix: 0.7,
+        reciprocity: 0.0,
+        cite_past_only: true,
+        communities: 0,
+        community_bias: 0.0,
+    };
+    linkage_model(&params, &mut rng).snapshot_at(u64::MAX)
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let n = 600;
+    let g = fixture(n);
+    let q = backward_transition(&g);
+    let cfg = SimRankConfig::new(0.6, 10).expect("valid config");
+    let scores = batch_simrank(&g, &cfg);
+
+    let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+    let mut y = vec![0.0; n];
+    c.bench_function("spmv_q_x", |b| {
+        b.iter(|| {
+            q.matvec(black_box(&x), &mut y);
+            black_box(&y);
+        })
+    });
+
+    let eta: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).cos()).collect();
+    c.bench_function("add_sym_outer_600", |b| {
+        b.iter_batched(
+            || scores.clone(),
+            |mut s| {
+                s.add_sym_outer(1.0, black_box(&x), black_box(&eta));
+                black_box(s)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    c.bench_function("batch_iteration_600", |b| {
+        let one_iter = SimRankConfig::new(0.6, 1).expect("valid config");
+        b.iter(|| black_box(batch_simrank(black_box(&g), &one_iter)))
+    });
+
+    let mut m = DenseMatrix::zeros(n, n);
+    c.bench_function("rank_one_update_600", |b| {
+        b.iter(|| {
+            m.rank_one_update(1.0, black_box(&x), black_box(&eta));
+            black_box(&m);
+        })
+    });
+
+    // Full unit update through each engine (K = 10).
+    c.bench_function("incsr_unit_insert_600", |b| {
+        b.iter_batched(
+            || IncSr::new(g.clone(), scores.clone(), cfg),
+            |mut e| {
+                e.insert_edge(0, (n - 1) as u32).expect("edge absent");
+                black_box(e.scores().get(0, 1))
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    c.bench_function("incusr_unit_insert_600", |b| {
+        b.iter_batched(
+            || IncUSr::new(g.clone(), scores.clone(), cfg),
+            |mut e| {
+                e.insert_edge(0, (n - 1) as u32).expect("edge absent");
+                black_box(e.scores().get(0, 1))
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_kernels
+}
+criterion_main!(benches);

@@ -1,0 +1,139 @@
+//! Shared measurement helpers for the experiment binaries.
+
+use incsim_core::{SimRankMaintainer, UpdateStats};
+use incsim_graph::UpdateOp;
+use std::time::Instant;
+
+/// Global measurement scale from `INCSIM_BENCH_SCALE` (default 1.0).
+///
+/// Scales the *number of measured unit updates*, not the datasets, so a
+/// quick pass (`0.2`) still exercises the full pipeline.
+pub fn bench_scale() -> f64 {
+    std::env::var("INCSIM_BENCH_SCALE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|v| *v > 0.0)
+        .unwrap_or(1.0)
+}
+
+/// Applies the scale to a measurement cap (at least 1).
+pub fn scaled_cap(cap: usize) -> usize {
+    ((cap as f64 * bench_scale()).round() as usize).max(1)
+}
+
+/// Aggregate result of timing an engine over a stream prefix.
+#[derive(Debug, Clone)]
+pub struct MeasuredUpdates {
+    /// Unit updates actually measured.
+    pub measured: usize,
+    /// Total wall time over the measured updates (seconds).
+    pub total_secs: f64,
+    /// Mean seconds per unit update.
+    pub per_update_secs: f64,
+    /// Mean affected pairs per update.
+    pub mean_affected_pairs: f64,
+    /// Mean `|AFF|` (avg `|A_k|·|B_k|`) per update.
+    pub mean_aff: f64,
+    /// Mean pruned fraction per update.
+    pub mean_pruned_fraction: f64,
+    /// Max peak intermediate bytes over the measured updates.
+    pub peak_bytes: usize,
+}
+
+impl MeasuredUpdates {
+    /// Extrapolates total time to a stream of `stream_len` updates.
+    pub fn extrapolate_secs(&self, stream_len: usize) -> f64 {
+        self.per_update_secs * stream_len as f64
+    }
+}
+
+/// Times `engine` over the first `cap` ops of `stream` (engine state
+/// advances past those ops). Ops that the engine rejects (e.g. duplicate
+/// inserts after drift) are skipped without counting.
+pub fn measure_per_update(
+    engine: &mut dyn SimRankMaintainer,
+    stream: &[UpdateOp],
+    cap: usize,
+) -> MeasuredUpdates {
+    let mut stats: Vec<UpdateStats> = Vec::new();
+    let start = Instant::now();
+    for &op in stream.iter().take(cap) {
+        if let Ok(s) = engine.apply(op) {
+            stats.push(s);
+        }
+    }
+    let total_secs = start.elapsed().as_secs_f64();
+    summarize(&stats, total_secs)
+}
+
+fn summarize(stats: &[UpdateStats], total_secs: f64) -> MeasuredUpdates {
+    let n = stats.len().max(1) as f64;
+    MeasuredUpdates {
+        measured: stats.len(),
+        total_secs,
+        per_update_secs: total_secs / n,
+        mean_affected_pairs: stats.iter().map(|s| s.affected_pairs as f64).sum::<f64>() / n,
+        mean_aff: stats.iter().map(|s| s.aff_avg).sum::<f64>() / n,
+        mean_pruned_fraction: stats.iter().map(|s| s.pruned_fraction).sum::<f64>() / n,
+        peak_bytes: stats
+            .iter()
+            .map(|s| s.peak_intermediate_bytes)
+            .max()
+            .unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incsim_core::{IncSr, SimRankConfig};
+    use incsim_graph::DiGraph;
+
+    #[test]
+    fn measures_updates_and_advances_engine() {
+        let g = DiGraph::from_edges(10, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let cfg = SimRankConfig::new(0.6, 5).unwrap();
+        let mut engine = IncSr::from_graph(g, cfg);
+        let stream = vec![
+            UpdateOp::Insert(4, 5),
+            UpdateOp::Insert(5, 6),
+            UpdateOp::Delete(0, 1),
+        ];
+        let m = measure_per_update(&mut engine, &stream, 10);
+        assert_eq!(m.measured, 3);
+        assert!(m.total_secs >= 0.0);
+        assert!(engine.graph().has_edge(4, 5));
+        assert!(!engine.graph().has_edge(0, 1));
+    }
+
+    #[test]
+    fn rejected_ops_are_skipped() {
+        let g = DiGraph::from_edges(5, &[(0, 1)]);
+        let cfg = SimRankConfig::new(0.6, 3).unwrap();
+        let mut engine = IncSr::from_graph(g, cfg);
+        let stream = vec![UpdateOp::Insert(0, 1), UpdateOp::Insert(1, 2)];
+        let m = measure_per_update(&mut engine, &stream, 10);
+        assert_eq!(m.measured, 1);
+    }
+
+    #[test]
+    fn extrapolation_scales_linearly() {
+        let m = MeasuredUpdates {
+            measured: 10,
+            total_secs: 1.0,
+            per_update_secs: 0.1,
+            mean_affected_pairs: 0.0,
+            mean_aff: 0.0,
+            mean_pruned_fraction: 0.0,
+            peak_bytes: 0,
+        };
+        assert!((m.extrapolate_secs(100) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_env_parsing_defaults_to_one() {
+        // (Does not set the env var to avoid cross-test interference.)
+        assert!(bench_scale() > 0.0);
+        assert!(scaled_cap(10) >= 1);
+    }
+}

@@ -1,0 +1,33 @@
+//! # incsim-bench
+//!
+//! The experiment harness: one bench target per table/figure of the paper's
+//! evaluation (§VI), each printing the same rows/series the paper reports.
+//!
+//! | target | regenerates | paper artifact |
+//! |--------|-------------|----------------|
+//! | `exp_fig1_table` | the Fig. 1 table (sim / simtrue / simLi et al.) | Fig. 1 + §IV Examples |
+//! | `exp_fig2a_time_real` | time vs `\|E\|+\|ΔE\|` on DBLP/CITH/YOUTU | Fig. 2a |
+//! | `exp_fig2b_svd_rank` | % of lossless-SVD rank vs `\|ΔE\|` | Fig. 2b |
+//! | `exp_fig2c_time_syn` | time on synthetic insert/delete sweeps | Fig. 2c |
+//! | `exp_fig2d_pruning` | Inc-SR vs Inc-uSR time + % pruned pairs | Fig. 2d |
+//! | `exp_fig2e_affected_area` | % of `\|AFF\|` vs `\|ΔE\|` | Fig. 2e |
+//! | `exp_fig3_memory` | intermediate memory incl. Inc-SVD(r) | Fig. 3 |
+//! | `exp_fig4_ndcg` | NDCG₃₀ exactness vs Batch(K=35) | Fig. 4 |
+//! | `micro_kernels` | criterion microbenches of the hot kernels | (supporting) |
+//!
+//! Absolute numbers differ from the paper (scaled datasets, different
+//! hardware — see `DESIGN.md` §3); the comparisons preserved are *who wins,
+//! by roughly what factor, and where the crossovers fall*. `EXPERIMENTS.md`
+//! records paper-vs-measured for every artifact.
+//!
+//! Set `INCSIM_BENCH_SCALE` (e.g. `0.3`) to shrink measurement caps for a
+//! quick pass; `1.0` (default) reproduces the full tables.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod table;
+
+pub use harness::{bench_scale, measure_per_update, scaled_cap, MeasuredUpdates};
+pub use table::Table;

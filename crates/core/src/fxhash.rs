@@ -1,0 +1,96 @@
+//! A minimal Fx-style hasher for integer keys.
+//!
+//! The pruned Inc-SR iteration accumulates the sparse update matrix `M` in a
+//! hash map keyed by packed `(row, col)` pairs. The standard library's
+//! SipHash is collision-resistant but needlessly slow for trusted integer
+//! keys; this is the classic multiply-rotate mix used by rustc's `FxHasher`
+//! (kept in-tree to stay within the offline dependency allow-list).
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The `BuildHasher` to plug into `HashMap`/`HashSet`.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Fast non-cryptographic hasher for integer-like keys.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_to_hash(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_to_hash(v as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_keys_hash_distinctly_in_practice() {
+        let mut seen = std::collections::HashSet::new();
+        for key in 0u64..10_000 {
+            let mut h = FxHasher::default();
+            h.write_u64(key);
+            seen.insert(h.finish());
+        }
+        assert_eq!(seen.len(), 10_000, "unexpected collisions on small ints");
+    }
+
+    #[test]
+    fn works_as_hashmap_hasher() {
+        let mut m: FxHashMap<u64, f64> = FxHashMap::default();
+        m.insert(42, 1.5);
+        m.insert(7, -2.0);
+        assert_eq!(m[&42], 1.5);
+        assert_eq!(m[&7], -2.0);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn byte_writes_are_deterministic() {
+        let mut a = FxHasher::default();
+        a.write(b"hello world");
+        let mut b = FxHasher::default();
+        b.write(b"hello world");
+        assert_eq!(a.finish(), b.finish());
+    }
+}

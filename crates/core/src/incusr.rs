@@ -1,0 +1,369 @@
+//! **Inc-uSR** (Algorithm 1): exact incremental SimRank without pruning.
+//!
+//! For every unit update the SimRank change is `ΔS = M + Mᵀ` with
+//! `M = Σ_{k=0}^{K} C^{k+1}·Q̃ᵏ·e_j·γᵀ·(Q̃ᵀ)ᵏ` (Theorem 3, Eq. 26). The
+//! engine iterates two auxiliary vectors
+//!
+//! ```text
+//! ξ₀ = C·e_j            ξ_{k+1} = C·(Q·ξ_k + u·(vᵀ·ξ_k))   // = C·Q̃·ξ_k
+//! η₀ = γ                η_{k+1} = Q·η_k + u·(vᵀ·η_k)        // = Q̃·η_k
+//! M₀ = C·e_j·γᵀ         M_{k+1} = ξ_{k+1}·η_{k+1}ᵀ + M_k
+//! ```
+//!
+//! so one update costs `K` sparse matvecs plus `K` rank-one accumulations —
+//! `O(K·n²)` total, never a matrix–matrix product, and `Q̃` is never
+//! materialised (`Q̃·x` is evaluated as `Q·x + u·(vᵀ·x)`, the trick noted
+//! after Theorem 3).
+
+use crate::grouped::GroupedStats;
+use crate::maintainer::{validate_update, SimRankMaintainer, UpdateError, UpdateStats};
+use crate::rankone::{gamma_vector, rank_one_decomposition, RankOneUpdate, UpdateKind};
+use crate::SimRankConfig;
+use incsim_graph::transition::backward_transition;
+use incsim_graph::{DiGraph, UpdateOp};
+use incsim_linalg::{CsrMatrix, DenseMatrix};
+
+/// The Algorithm 1 engine. See the [module docs](self).
+///
+/// ```
+/// use incsim_core::{IncUSr, SimRankConfig, SimRankMaintainer};
+/// use incsim_graph::DiGraph;
+///
+/// let g = DiGraph::from_edges(4, &[(2, 0), (2, 1), (0, 3)]);
+/// let mut engine = IncUSr::from_graph(g, SimRankConfig::paper_default());
+/// engine.insert_edge(1, 3).unwrap();
+/// engine.remove_edge(1, 3).unwrap(); // exact round-trip
+/// assert_eq!(engine.graph().edge_count(), 3);
+/// ```
+pub struct IncUSr {
+    graph: DiGraph,
+    q: CsrMatrix,
+    scores: DenseMatrix,
+    cfg: SimRankConfig,
+    // Reused workspace (amortises allocations across updates).
+    xi: Vec<f64>,
+    eta: Vec<f64>,
+    scratch: Vec<f64>,
+}
+
+impl IncUSr {
+    /// Creates an engine from a graph and its (pre-computed) score matrix.
+    ///
+    /// `scores` is typically [`crate::batch_simrank`] output on `graph`; the
+    /// paper's workflow is "precompute SimRank on the old entire graph once
+    /// via a batch algorithm first, then incrementally find ΔS".
+    ///
+    /// # Panics
+    /// Panics if `scores` is not `n × n` for the graph's `n`.
+    pub fn new(graph: DiGraph, scores: DenseMatrix, cfg: SimRankConfig) -> Self {
+        let n = graph.node_count();
+        assert_eq!(scores.rows(), n, "scores must be n x n");
+        assert_eq!(scores.cols(), n, "scores must be n x n");
+        let q = backward_transition(&graph);
+        IncUSr {
+            graph,
+            q,
+            scores,
+            cfg,
+            xi: vec![0.0; n],
+            eta: vec![0.0; n],
+            scratch: vec![0.0; n],
+        }
+    }
+
+    /// Convenience constructor that batch-computes the initial scores.
+    pub fn from_graph(graph: DiGraph, cfg: SimRankConfig) -> Self {
+        let scores = crate::batch::batch_simrank(&graph, &cfg);
+        IncUSr::new(graph, scores, cfg)
+    }
+
+    /// Consumes the engine, returning `(graph, scores)`.
+    pub fn into_parts(self) -> (DiGraph, DenseMatrix) {
+        (self.graph, self.scores)
+    }
+
+    /// Runs lines 13–18 of Algorithm 1 for a rank-one update
+    /// `ΔQ = u_coeff·e_j·vᵀ`, folding every term of `ΔS = M_K + M_Kᵀ`
+    /// straight into the score matrix. Expects γ in `self.eta`.
+    fn run_sylvester_iteration(&mut self, j: usize, u_coeff: f64, v: &[(u32, f64)]) {
+        let c = self.cfg.c;
+        let v_dot = |x: &[f64]| -> f64 {
+            v.iter().map(|&(idx, val)| val * x[idx as usize]).sum()
+        };
+        incsim_linalg::vecops::zero(&mut self.xi);
+        self.xi[j] = c;
+        self.scores.add_sym_outer(1.0, &self.xi, &self.eta);
+
+        for _ in 0..self.cfg.iterations {
+            // ξ ← C·(Q·ξ + u·(vᵀξ))
+            let theta_xi = v_dot(&self.xi);
+            self.q.matvec(&self.xi, &mut self.scratch);
+            self.scratch[j] += u_coeff * theta_xi;
+            incsim_linalg::vecops::scale(c, &mut self.scratch);
+            std::mem::swap(&mut self.xi, &mut self.scratch);
+
+            // η ← Q·η + u·(vᵀη)
+            let theta_eta = v_dot(&self.eta);
+            self.q.matvec(&self.eta, &mut self.scratch);
+            self.scratch[j] += u_coeff * theta_eta;
+            std::mem::swap(&mut self.eta, &mut self.scratch);
+
+            // S ← S + ξ·ηᵀ + η·ξᵀ   (line 18, applied term by term)
+            self.scores.add_sym_outer(1.0, &self.xi, &self.eta);
+        }
+    }
+
+    /// Applies a batch update with **row grouping** (see
+    /// [`crate::grouped`]): all edge changes sharing a destination are
+    /// folded into one rank-one Sylvester update, so a batch of `b` edges
+    /// over `r` distinct destinations costs `r` iterations instead of `b`.
+    ///
+    /// Exactness is unchanged — Theorem 2 holds for any rank-one `ΔQ`.
+    pub fn apply_grouped(&mut self, ops: &[UpdateOp]) -> Result<GroupedStats, UpdateError> {
+        let rows = crate::grouped::group_by_row(&self.graph, ops)?;
+        for change in &rows {
+            let rro = crate::grouped::row_rank_one(
+                &self.graph,
+                &self.scores,
+                change,
+                |x, y| self.q.matvec(x, y),
+            )?;
+            self.eta.copy_from_slice(&rro.gamma);
+            self.run_sylvester_iteration(change.j as usize, 1.0, &rro.v);
+            for op in &change.ops {
+                op.apply(&mut self.graph)?;
+            }
+            self.q = backward_transition(&self.graph);
+        }
+        Ok(GroupedStats {
+            unit_ops: ops.len(),
+            row_updates: rows.len(),
+        })
+    }
+
+    fn apply_update(&mut self, i: u32, j: u32, kind: UpdateKind) -> Result<UpdateStats, UpdateError> {
+        validate_update(&self.graph, i, j, kind)?;
+        let n = self.graph.node_count();
+        let c = self.cfg.c;
+        let k_iters = self.cfg.iterations;
+
+        // Lines 1–12: rank-one decomposition and the γ vector.
+        let upd: RankOneUpdate = rank_one_decomposition(&self.graph, i, j, kind);
+        let gv = gamma_vector(&self.q, &self.scores, &upd, c);
+
+        // Line 13: ξ₀ = C·e_j, η₀ = γ. The term M₀ = C·e_j·γᵀ of
+        // ΔS = M_K + M_Kᵀ is folded into S immediately — `M` itself is
+        // never materialised, so the intermediate state stays O(n) vectors
+        // (this is what keeps Inc-uSR's memory far below Inc-SVD's in the
+        // paper's Fig. 3).
+        self.eta.copy_from_slice(&gv.gamma);
+        self.run_sylvester_iteration(j as usize, upd.u_coeff, &upd.v);
+
+        // Commit the link update and refresh Q (row j is the only change,
+        // but a CSR rebuild is O(n+m), dominated by the O(K·n²) iteration).
+        match kind {
+            UpdateKind::Insert => self.graph.insert_edge(i, j)?,
+            UpdateKind::Delete => self.graph.remove_edge(i, j)?,
+        }
+        self.q = backward_transition(&self.graph);
+
+        // Intermediate state: w, γ, ξ, η, scratch — five n-vectors.
+        let peak = (self.xi.capacity() + self.eta.capacity() + self.scratch.capacity() + 2 * n)
+            * std::mem::size_of::<f64>();
+        Ok(UpdateStats {
+            kind,
+            edge: (i, j),
+            iterations: k_iters,
+            affected_pairs: n * n,
+            aff_avg: (n * n) as f64,
+            pruned_fraction: 0.0,
+            peak_intermediate_bytes: peak,
+        })
+    }
+}
+
+impl SimRankMaintainer for IncUSr {
+    fn name(&self) -> &'static str {
+        "Inc-uSR"
+    }
+
+    fn scores(&self) -> &DenseMatrix {
+        &self.scores
+    }
+
+    fn graph(&self) -> &DiGraph {
+        &self.graph
+    }
+
+    fn config(&self) -> &SimRankConfig {
+        &self.cfg
+    }
+
+    fn insert_edge(&mut self, i: u32, j: u32) -> Result<UpdateStats, UpdateError> {
+        self.apply_update(i, j, UpdateKind::Insert)
+    }
+
+    fn remove_edge(&mut self, i: u32, j: u32) -> Result<UpdateStats, UpdateError> {
+        self.apply_update(i, j, UpdateKind::Delete)
+    }
+
+    fn add_node(&mut self) -> u32 {
+        let v = self.graph.add_node();
+        let n = self.graph.node_count();
+        let mut grown = DenseMatrix::zeros(n, n);
+        for a in 0..n - 1 {
+            let src = self.scores.row(a);
+            grown.row_mut(a)[..n - 1].copy_from_slice(src);
+        }
+        grown.set(n - 1, n - 1, 1.0 - self.cfg.c);
+        self.scores = grown;
+        self.q = backward_transition(&self.graph);
+        self.xi = vec![0.0; n];
+        self.eta = vec![0.0; n];
+        self.scratch = vec![0.0; n];
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::batch_simrank;
+
+    /// High-K config so truncation error is negligible in exactness checks.
+    fn tight_cfg() -> SimRankConfig {
+        SimRankConfig::new(0.6, 90).unwrap()
+    }
+
+    fn fixture() -> DiGraph {
+        DiGraph::from_edges(
+            7,
+            &[(0, 2), (1, 2), (2, 3), (3, 4), (4, 5), (5, 2), (1, 4), (6, 3)],
+        )
+    }
+
+    /// Incremental result must match a from-scratch batch on the new graph.
+    fn assert_incremental_matches_batch(g: &DiGraph, i: u32, j: u32, kind: UpdateKind) {
+        let cfg = tight_cfg();
+        let s_old = batch_simrank(g, &cfg);
+        let mut engine = IncUSr::new(g.clone(), s_old, cfg);
+        match kind {
+            UpdateKind::Insert => engine.insert_edge(i, j).unwrap(),
+            UpdateKind::Delete => engine.remove_edge(i, j).unwrap(),
+        };
+        let s_batch = batch_simrank(engine.graph(), &cfg);
+        let diff = engine.scores().max_abs_diff(&s_batch);
+        assert!(
+            diff < 1e-9,
+            "Inc-uSR diverged from batch for ({i},{j}) {kind:?}: diff={diff}"
+        );
+    }
+
+    #[test]
+    fn insert_matches_batch_dj_zero() {
+        assert_incremental_matches_batch(&fixture(), 3, 0, UpdateKind::Insert);
+    }
+
+    #[test]
+    fn insert_matches_batch_dj_positive() {
+        assert_incremental_matches_batch(&fixture(), 4, 2, UpdateKind::Insert);
+    }
+
+    #[test]
+    fn delete_matches_batch_dj_one() {
+        assert_incremental_matches_batch(&fixture(), 6, 3, UpdateKind::Delete);
+    }
+
+    #[test]
+    fn delete_matches_batch_dj_many() {
+        assert_incremental_matches_batch(&fixture(), 1, 2, UpdateKind::Delete);
+    }
+
+    #[test]
+    fn sequence_of_updates_stays_exact() {
+        let g = fixture();
+        let cfg = tight_cfg();
+        let mut engine = IncUSr::from_graph(g, cfg);
+        engine.insert_edge(0, 5).unwrap();
+        engine.insert_edge(6, 2).unwrap();
+        engine.remove_edge(2, 3).unwrap();
+        engine.insert_edge(3, 6).unwrap();
+        let s_batch = batch_simrank(engine.graph(), &cfg);
+        assert!(engine.scores().max_abs_diff(&s_batch) < 1e-8);
+    }
+
+    #[test]
+    fn insert_then_delete_roundtrips() {
+        let g = fixture();
+        let cfg = tight_cfg();
+        let s0 = batch_simrank(&g, &cfg);
+        let mut engine = IncUSr::new(g, s0.clone(), cfg);
+        engine.insert_edge(0, 6).unwrap();
+        engine.remove_edge(0, 6).unwrap();
+        assert!(engine.scores().max_abs_diff(&s0) < 1e-9);
+    }
+
+    #[test]
+    fn invalid_updates_leave_state_untouched() {
+        let g = fixture();
+        let cfg = SimRankConfig::paper_default();
+        let s0 = batch_simrank(&g, &cfg);
+        let mut engine = IncUSr::new(g.clone(), s0.clone(), cfg);
+        assert!(engine.insert_edge(0, 2).is_err()); // exists
+        assert!(engine.remove_edge(0, 3).is_err()); // missing
+        assert!(engine.insert_edge(0, 99).is_err()); // out of range
+        assert_eq!(engine.graph(), &g);
+        assert!(engine.scores().max_abs_diff(&s0) == 0.0);
+    }
+
+    #[test]
+    fn truncation_error_respects_bound() {
+        // With small K the deviation from a converged batch must stay within
+        // ~2·C^{K+1}/(1−C) (M and Mᵀ each truncated by C^{K+1} per entry).
+        let g = fixture();
+        let k = 6;
+        let cfg = SimRankConfig::new(0.6, k).unwrap();
+        let tight = tight_cfg();
+        let s_old = batch_simrank(&g, &tight); // converged old scores
+        let mut engine = IncUSr::new(g.clone(), s_old, cfg);
+        engine.insert_edge(4, 2).unwrap();
+        let s_new = batch_simrank(engine.graph(), &tight);
+        let diff = engine.scores().max_abs_diff(&s_new);
+        let bound = 2.0 * cfg.truncation_bound() / (1.0 - cfg.c);
+        assert!(diff <= bound, "diff={diff} bound={bound}");
+    }
+
+    #[test]
+    fn stats_report_full_affected_area() {
+        let g = fixture();
+        let cfg = SimRankConfig::paper_default();
+        let mut engine = IncUSr::from_graph(g, cfg);
+        let stats = engine.insert_edge(0, 4).unwrap();
+        assert_eq!(stats.affected_pairs, 49);
+        assert_eq!(stats.pruned_fraction, 0.0);
+        assert_eq!(stats.iterations, cfg.iterations);
+        // O(n) vectors only — M is never materialised.
+        assert!(stats.peak_intermediate_bytes >= 5 * 7 * 8);
+        assert!(stats.peak_intermediate_bytes < 49 * 8 * 4);
+    }
+
+    #[test]
+    fn add_node_extension_grows_scores() {
+        let g = fixture();
+        let cfg = tight_cfg();
+        let mut engine = IncUSr::from_graph(g, cfg);
+        let v = engine.add_node();
+        assert_eq!(v, 7);
+        assert_eq!(engine.scores().rows(), 8);
+        assert!((engine.scores().get(7, 7) - 0.4).abs() < 1e-12);
+        // Now connect the new node and stay exact.
+        engine.insert_edge(7, 2).unwrap();
+        let s_batch = batch_simrank(engine.graph(), &cfg);
+        assert!(engine.scores().max_abs_diff(&s_batch) < 1e-9);
+    }
+
+    #[test]
+    fn self_loop_updates_are_exact() {
+        assert_incremental_matches_batch(&fixture(), 2, 2, UpdateKind::Insert);
+    }
+}

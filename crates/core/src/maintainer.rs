@@ -1,0 +1,179 @@
+//! The common interface of incremental SimRank engines.
+
+use crate::rankone::UpdateKind;
+use incsim_graph::{DiGraph, GraphError, UpdateOp};
+use incsim_linalg::DenseMatrix;
+
+use crate::SimRankConfig;
+
+/// Errors from incremental updates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateError {
+    /// The underlying graph mutation was invalid (node out of range,
+    /// duplicate insert, missing delete).
+    Graph(GraphError),
+    /// The engine refused to allocate past its memory budget. The paper's
+    /// Inc-SVD baseline hits this on large graphs/ranks ("memory crash for
+    /// high-dimension SVD"); the budget guard turns that into a clean error.
+    ResourceExhausted {
+        /// Bytes the engine would have needed.
+        needed_bytes: usize,
+        /// The configured budget.
+        budget_bytes: usize,
+    },
+    /// A numerical routine inside the engine failed (e.g. a singular
+    /// system in the Inc-SVD closed form).
+    Numerical(&'static str),
+}
+
+impl std::fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UpdateError::Graph(e) => write!(f, "graph update rejected: {e}"),
+            UpdateError::ResourceExhausted {
+                needed_bytes,
+                budget_bytes,
+            } => write!(
+                f,
+                "memory budget exceeded: need {needed_bytes} bytes, budget {budget_bytes}"
+            ),
+            UpdateError::Numerical(what) => write!(f, "numerical failure: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {}
+
+impl From<GraphError> for UpdateError {
+    fn from(e: GraphError) -> Self {
+        UpdateError::Graph(e)
+    }
+}
+
+/// Per-update diagnostics (drives the paper's Exp-2/Exp-3 measurements).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UpdateStats {
+    /// Insert or delete.
+    pub kind: UpdateKind,
+    /// The updated edge `(i, j)`.
+    pub edge: (u32, u32),
+    /// Iterations `K` performed.
+    pub iterations: usize,
+    /// Distinct node pairs touched in the update matrix `M` (the affected
+    /// area of ΔS). For the unpruned engine this is `n²`.
+    pub affected_pairs: usize,
+    /// The paper's `|AFF| = avg_k |A_k|·|B_k|` (Fig. 2e reports it as a
+    /// percentage of `n²`).
+    pub aff_avg: f64,
+    /// Fraction of the `n²` node pairs *not* touched (Fig. 2d's
+    /// "% of pruned node-pairs"). 0 for the unpruned engine.
+    pub pruned_fraction: f64,
+    /// Peak intermediate heap bytes used by this update (Fig. 3's
+    /// "memory space"; excludes the `n²` score matrix itself, matching the
+    /// paper's definition of intermediate space).
+    pub peak_intermediate_bytes: usize,
+}
+
+/// An engine that maintains all-pairs SimRank scores on an evolving graph.
+///
+/// Implemented by [`crate::IncUSr`] (Algorithm 1) and [`crate::IncSr`]
+/// (Algorithm 2); `incsim-baselines` adds the Inc-SVD engine of Li et al.
+/// behind the same interface so the experiment harness can swap them.
+pub trait SimRankMaintainer {
+    /// Engine name as used in the paper's figures (e.g. `"Inc-SR"`).
+    fn name(&self) -> &'static str;
+
+    /// The maintained score matrix (matrix-form SimRank of the current graph).
+    fn scores(&self) -> &DenseMatrix;
+
+    /// The current graph.
+    fn graph(&self) -> &DiGraph;
+
+    /// The engine configuration.
+    fn config(&self) -> &SimRankConfig;
+
+    /// Inserts edge `(i, j)` and incrementally updates all scores.
+    fn insert_edge(&mut self, i: u32, j: u32) -> Result<UpdateStats, UpdateError>;
+
+    /// Deletes edge `(i, j)` and incrementally updates all scores.
+    fn remove_edge(&mut self, i: u32, j: u32) -> Result<UpdateStats, UpdateError>;
+
+    /// Appends an isolated node, growing the score matrix (extension beyond
+    /// the paper, which fixes the node set). The new node's only nonzero
+    /// score is its diagonal `1 − C`.
+    fn add_node(&mut self) -> u32;
+
+    /// Applies one [`UpdateOp`].
+    fn apply(&mut self, op: UpdateOp) -> Result<UpdateStats, UpdateError> {
+        match op {
+            UpdateOp::Insert(u, v) => self.insert_edge(u, v),
+            UpdateOp::Delete(u, v) => self.remove_edge(u, v),
+        }
+    }
+
+    /// Applies a batch update `ΔG` as the sequence of its unit updates
+    /// (the decomposition described in §V of the paper). Stops at the first
+    /// invalid op, leaving the engine consistent with the ops applied so far.
+    fn apply_batch(&mut self, ops: &[UpdateOp]) -> Result<Vec<UpdateStats>, UpdateError> {
+        let mut stats = Vec::with_capacity(ops.len());
+        for &op in ops {
+            stats.push(self.apply(op)?);
+        }
+        Ok(stats)
+    }
+}
+
+/// Validates a pending update against the current graph. Shared by all
+/// engines (including the Inc-SVD baseline in `incsim-baselines`) so they
+/// reject invalid updates *before* touching any state.
+pub fn validate_update(
+    g: &DiGraph,
+    i: u32,
+    j: u32,
+    kind: UpdateKind,
+) -> Result<(), UpdateError> {
+    let n = g.node_count();
+    for v in [i, j] {
+        if v as usize >= n {
+            return Err(UpdateError::Graph(GraphError::NodeOutOfRange {
+                node: v,
+                node_count: n,
+            }));
+        }
+    }
+    match kind {
+        UpdateKind::Insert => {
+            if g.has_edge(i, j) {
+                return Err(UpdateError::Graph(GraphError::EdgeExists { src: i, dst: j }));
+            }
+        }
+        UpdateKind::Delete => {
+            if !g.has_edge(i, j) {
+                return Err(UpdateError::Graph(GraphError::EdgeMissing { src: i, dst: j }));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_rejects_bad_updates() {
+        let g = DiGraph::from_edges(3, &[(0, 1)]);
+        assert!(validate_update(&g, 0, 1, UpdateKind::Insert).is_err());
+        assert!(validate_update(&g, 1, 0, UpdateKind::Insert).is_ok());
+        assert!(validate_update(&g, 0, 1, UpdateKind::Delete).is_ok());
+        assert!(validate_update(&g, 1, 0, UpdateKind::Delete).is_err());
+        assert!(validate_update(&g, 0, 9, UpdateKind::Insert).is_err());
+        assert!(validate_update(&g, 9, 0, UpdateKind::Delete).is_err());
+    }
+
+    #[test]
+    fn update_error_displays() {
+        let e = UpdateError::Graph(GraphError::EdgeExists { src: 1, dst: 2 });
+        assert!(e.to_string().contains("already exists"));
+    }
+}

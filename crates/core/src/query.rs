@@ -1,0 +1,103 @@
+//! Query helpers over maintained score matrices.
+//!
+//! The engines keep the full `n × n` matrix current; these helpers answer
+//! the queries applications actually ask (single pair, single source,
+//! top-k for a node) without re-deriving anything. They are extensions
+//! beyond the paper, which stops at producing `S̃`.
+
+use incsim_linalg::DenseMatrix;
+
+/// A neighbor of the query node ranked by similarity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankedNode {
+    /// The similar node.
+    pub node: u32,
+    /// Its SimRank score with the query node.
+    pub score: f64,
+}
+
+/// Similarity of a single node pair (symmetric).
+///
+/// # Panics
+/// Panics if either node is out of range.
+pub fn pair_score(scores: &DenseMatrix, a: u32, b: u32) -> f64 {
+    scores.get(a as usize, b as usize)
+}
+
+/// All similarities of one node (its row of `S`), excluding itself.
+pub fn single_source(scores: &DenseMatrix, a: u32) -> Vec<RankedNode> {
+    scores
+        .row(a as usize)
+        .iter()
+        .copied()
+        .enumerate()
+        .filter(|&(v, _)| v != a as usize)
+        .map(|(v, score)| RankedNode {
+            node: v as u32,
+            score,
+        })
+        .collect()
+}
+
+/// The `k` most similar nodes to `a`, descending (ties by node id).
+pub fn top_k_for_node(scores: &DenseMatrix, a: u32, k: usize) -> Vec<RankedNode> {
+    let mut all = single_source(scores, a);
+    all.sort_by(|x, y| {
+        y.score
+            .partial_cmp(&x.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| x.node.cmp(&y.node))
+    });
+    all.truncate(k);
+    all
+}
+
+/// Nodes whose similarity to `a` is at least `threshold`, unordered.
+pub fn similar_above(scores: &DenseMatrix, a: u32, threshold: f64) -> Vec<RankedNode> {
+    single_source(scores, a)
+        .into_iter()
+        .filter(|r| r.score >= threshold)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DenseMatrix {
+        DenseMatrix::from_rows(&[
+            &[1.0, 0.5, 0.0, 0.7],
+            &[0.5, 1.0, 0.2, 0.0],
+            &[0.0, 0.2, 1.0, 0.1],
+            &[0.7, 0.0, 0.1, 1.0],
+        ])
+    }
+
+    #[test]
+    fn pair_and_single_source() {
+        let s = sample();
+        assert_eq!(pair_score(&s, 0, 3), 0.7);
+        let row = single_source(&s, 0);
+        assert_eq!(row.len(), 3);
+        assert!(row.iter().all(|r| r.node != 0));
+    }
+
+    #[test]
+    fn top_k_orders_descending_with_stable_ties() {
+        let s = sample();
+        let top = top_k_for_node(&s, 0, 2);
+        assert_eq!(top[0], RankedNode { node: 3, score: 0.7 });
+        assert_eq!(top[1], RankedNode { node: 1, score: 0.5 });
+        // k larger than candidates truncates gracefully.
+        assert_eq!(top_k_for_node(&s, 0, 10).len(), 3);
+    }
+
+    #[test]
+    fn threshold_filter() {
+        let s = sample();
+        let hits = similar_above(&s, 0, 0.5);
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().any(|r| r.node == 1));
+        assert!(hits.iter().any(|r| r.node == 3));
+    }
+}

@@ -1,0 +1,401 @@
+//! Theorem 1–3: the rank-one machinery behind the incremental algorithms.
+//!
+//! * [`rank_one_decomposition`] — Theorem 1: for every unit link update the
+//!   transition-matrix change factors as `ΔQ = u·vᵀ`, with `u` always a
+//!   scalar multiple of `e_j` and `v` supported on `{i} ∪ I(j)`.
+//! * [`gamma_vector`] — Theorem 3 / Algorithm 1 lines 3–12: the auxiliary
+//!   vector γ and scalar λ (Eq. 27–29) such that the SimRank update matrix
+//!   satisfies `ΔS = M + Mᵀ` with
+//!   `M = Σ_k C^{k+1}·Q̃ᵏ·e_j·γᵀ·(Q̃ᵀ)ᵏ` (Eq. 26).
+//!
+//! All quantities are taken from the **old** graph (`d_j`, `[Q]_{j,:}`, `S`),
+//! exactly as the theorems require.
+
+use incsim_graph::transition::q_row;
+use incsim_graph::DiGraph;
+use incsim_linalg::{CsrMatrix, DenseMatrix};
+
+/// Whether the unit update inserts or deletes the edge `(i, j)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateKind {
+    /// Insert edge `(i, j)`.
+    Insert,
+    /// Delete edge `(i, j)`.
+    Delete,
+}
+
+/// The rank-one factorisation `ΔQ = u·vᵀ` of a unit update (Theorem 1).
+///
+/// `u = u_coeff · e_j` in all four cases, so it is stored as a coefficient;
+/// `v` is sparse with support `⊆ {i} ∪ I_old(j)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankOneUpdate {
+    /// Source endpoint `i` of the updated edge.
+    pub i: u32,
+    /// Destination endpoint `j` (the node whose `Q`-row changes).
+    pub j: u32,
+    /// Insert or delete.
+    pub kind: UpdateKind,
+    /// In-degree of `j` in the old graph.
+    pub dj_old: usize,
+    /// `u = u_coeff · e_j`.
+    pub u_coeff: f64,
+    /// Sparse `v` as sorted `(index, value)` pairs.
+    pub v: Vec<(u32, f64)>,
+}
+
+impl RankOneUpdate {
+    /// Sparse dot product `vᵀ·x` against a dense slice.
+    #[inline]
+    pub fn v_dot(&self, x: &[f64]) -> f64 {
+        self.v.iter().map(|&(idx, val)| val * x[idx as usize]).sum()
+    }
+
+    /// Sparse dot product `vᵀ·x` against an accessor closure (used by the
+    /// pruned engine, whose vectors live in sparse accumulators).
+    #[inline]
+    pub fn v_dot_with<F: Fn(usize) -> f64>(&self, get: F) -> f64 {
+        self.v.iter().map(|&(idx, val)| val * get(idx as usize)).sum()
+    }
+
+    /// Materialises `ΔQ = u·vᵀ` densely (test/diagnostic helper).
+    pub fn to_dense_delta(&self, n: usize) -> DenseMatrix {
+        let mut d = DenseMatrix::zeros(n, n);
+        for &(idx, val) in &self.v {
+            d.set(self.j as usize, idx as usize, self.u_coeff * val);
+        }
+        d
+    }
+}
+
+/// Computes the Theorem 1 factorisation for updating edge `(i, j)` on the
+/// **old** graph `g`.
+///
+/// For insertions, `(i, j)` must not exist in `g`; for deletions it must.
+/// (Callers validate; this function `debug_assert`s.)
+///
+/// | case | `u` | `v` |
+/// |------|------|------|
+/// | insert, `d_j = 0` | `e_j` | `e_i` |
+/// | insert, `d_j > 0` | `e_j/(d_j+1)` | `e_i − [Q]_{j,:}ᵀ` |
+/// | delete, `d_j = 1` | `e_j` | `−e_i` |
+/// | delete, `d_j > 1` | `e_j/(d_j−1)` | `[Q]_{j,:}ᵀ − e_i` |
+pub fn rank_one_decomposition(g: &DiGraph, i: u32, j: u32, kind: UpdateKind) -> RankOneUpdate {
+    let dj = g.in_degree(j);
+    match kind {
+        UpdateKind::Insert => {
+            debug_assert!(!g.has_edge(i, j), "insert of existing edge ({i},{j})");
+            if dj == 0 {
+                RankOneUpdate {
+                    i,
+                    j,
+                    kind,
+                    dj_old: 0,
+                    u_coeff: 1.0,
+                    v: vec![(i, 1.0)],
+                }
+            } else {
+                let mut v: Vec<(u32, f64)> = q_row(g, j)
+                    .into_iter()
+                    .map(|(idx, val)| (idx, -val))
+                    .collect();
+                merge_entry(&mut v, i, 1.0);
+                RankOneUpdate {
+                    i,
+                    j,
+                    kind,
+                    dj_old: dj,
+                    u_coeff: 1.0 / (dj as f64 + 1.0),
+                    v,
+                }
+            }
+        }
+        UpdateKind::Delete => {
+            debug_assert!(g.has_edge(i, j), "delete of missing edge ({i},{j})");
+            if dj == 1 {
+                RankOneUpdate {
+                    i,
+                    j,
+                    kind,
+                    dj_old: 1,
+                    u_coeff: 1.0,
+                    v: vec![(i, -1.0)],
+                }
+            } else {
+                let mut v: Vec<(u32, f64)> = q_row(g, j);
+                merge_entry(&mut v, i, -1.0);
+                RankOneUpdate {
+                    i,
+                    j,
+                    kind,
+                    dj_old: dj,
+                    u_coeff: 1.0 / (dj as f64 - 1.0),
+                    v,
+                }
+            }
+        }
+    }
+}
+
+/// Adds `delta` to the `idx` entry of a sorted sparse vector, inserting or
+/// removing as needed.
+fn merge_entry(v: &mut Vec<(u32, f64)>, idx: u32, delta: f64) {
+    match v.binary_search_by_key(&idx, |&(k, _)| k) {
+        Ok(pos) => {
+            v[pos].1 += delta;
+            if v[pos].1 == 0.0 {
+                v.remove(pos);
+            }
+        }
+        Err(pos) => v.insert(pos, (idx, delta)),
+    }
+}
+
+/// The auxiliary vector γ and the intermediate quantities of Algorithm 1
+/// lines 3–12 / Theorem 3.
+#[derive(Debug, Clone)]
+pub struct GammaVector {
+    /// Dense γ (length `n`): `M = Σ_k C^{k+1}·Q̃ᵏ·e_j·γᵀ·(Q̃ᵀ)ᵏ`.
+    pub gamma: Vec<f64>,
+    /// The memoised `w = Q·[S]_{:,i}` (reused by callers for diagnostics).
+    pub w: Vec<f64>,
+    /// The scalar λ of Eq. 29 (only meaningful for the `d_j > 0` insertion
+    /// and `d_j > 1` deletion branches, as in Algorithm 1).
+    pub lambda: f64,
+}
+
+/// Computes γ (Theorem 3) for a unit update, given the old `Q` and old `S`.
+///
+/// This is the faithful Algorithm 1 preprocessing: it performs **one**
+/// sparse matrix–vector product (`w = Q·[S]_{:,i}`, line 3) plus `O(n)`
+/// vector arithmetic — no matrix–matrix work.
+pub fn gamma_vector(
+    q: &CsrMatrix,
+    s: &DenseMatrix,
+    upd: &RankOneUpdate,
+    c: f64,
+) -> GammaVector {
+    let n = s.rows();
+    let i = upd.i as usize;
+    let j = upd.j as usize;
+
+    // Line 3: w := Q · [S]_{:,i}
+    let s_col_i = s.col(i);
+    let mut w = vec![0.0; n];
+    q.matvec(&s_col_i, &mut w);
+
+    // Line 4 (Eq. 29): λ := S[i,i] + S[j,j]/C − 2·[w]_j − 1/C + 1.
+    let lambda = s.get(i, i) + s.get(j, j) / c - 2.0 * w[j] - 1.0 / c + 1.0;
+
+    let mut gamma = vec![0.0; n];
+    match (upd.kind, upd.dj_old) {
+        // Line 6: γ := w + ½·S[i,i]·e_j       (insert, d_j = 0)
+        (UpdateKind::Insert, 0) => {
+            gamma.copy_from_slice(&w);
+            gamma[j] += 0.5 * s.get(i, i);
+        }
+        // Line 8: γ := (w − S[:,j]/C + (λ/(2(d_j+1)) + 1/C − 1)·e_j)/(d_j+1)
+        (UpdateKind::Insert, dj) => {
+            let djf = dj as f64;
+            let coeff = lambda / (2.0 * (djf + 1.0)) + 1.0 / c - 1.0;
+            for b in 0..n {
+                gamma[b] = w[b] - s.get(b, j) / c;
+            }
+            gamma[j] += coeff;
+            for gb in gamma.iter_mut() {
+                *gb /= djf + 1.0;
+            }
+        }
+        // Line 10: γ := ½·S[i,i]·e_j − w      (delete, d_j = 1)
+        (UpdateKind::Delete, 1) => {
+            for (gb, &wb) in gamma.iter_mut().zip(&w) {
+                *gb = -wb;
+            }
+            gamma[j] += 0.5 * s.get(i, i);
+        }
+        // Line 12: γ := (S[:,j]/C − w + (λ/(2(d_j−1)) − 1/C + 1)·e_j)/(d_j−1)
+        (UpdateKind::Delete, dj) => {
+            debug_assert!(dj > 1, "delete with d_j = 0 is impossible (edge exists)");
+            let djf = dj as f64;
+            let coeff = lambda / (2.0 * (djf - 1.0)) - 1.0 / c + 1.0;
+            for b in 0..n {
+                gamma[b] = s.get(b, j) / c - w[b];
+            }
+            gamma[j] += coeff;
+            for gb in gamma.iter_mut() {
+                *gb /= djf - 1.0;
+            }
+        }
+    }
+
+    GammaVector { gamma, w, lambda }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incsim_graph::transition::backward_transition;
+
+    /// Verifies Theorem 1 numerically: Q̃ − Q == u·vᵀ.
+    fn assert_rank_one_exact(g: &DiGraph, i: u32, j: u32, kind: UpdateKind) {
+        let n = g.node_count();
+        let q_old = backward_transition(g).to_dense();
+        let upd = rank_one_decomposition(g, i, j, kind);
+        let mut g_new = g.clone();
+        match kind {
+            UpdateKind::Insert => g_new.insert_edge(i, j).unwrap(),
+            UpdateKind::Delete => g_new.remove_edge(i, j).unwrap(),
+        }
+        let q_new = backward_transition(&g_new).to_dense();
+        let mut delta = q_new;
+        delta.add_scaled(-1.0, &q_old);
+        let uv = upd.to_dense_delta(n);
+        assert!(
+            delta.max_abs_diff(&uv) < 1e-12,
+            "ΔQ ≠ u·vᵀ for ({i},{j}) {kind:?}: diff={}",
+            delta.max_abs_diff(&uv)
+        );
+    }
+
+    fn fixture() -> DiGraph {
+        DiGraph::from_edges(
+            6,
+            &[(0, 2), (1, 2), (2, 3), (3, 4), (4, 5), (5, 2), (1, 4)],
+        )
+    }
+
+    #[test]
+    fn theorem1_insert_dj_zero() {
+        // Node 0 has in-degree 0.
+        assert_rank_one_exact(&fixture(), 3, 0, UpdateKind::Insert);
+    }
+
+    #[test]
+    fn theorem1_insert_dj_positive() {
+        // Node 2 has in-degree 3.
+        assert_rank_one_exact(&fixture(), 4, 2, UpdateKind::Insert);
+    }
+
+    #[test]
+    fn theorem1_delete_dj_one() {
+        // Node 3 has in-degree 1 (only 2→3).
+        assert_rank_one_exact(&fixture(), 2, 3, UpdateKind::Delete);
+    }
+
+    #[test]
+    fn theorem1_delete_dj_many() {
+        // Node 2 has in-degree 3; delete 1→2.
+        assert_rank_one_exact(&fixture(), 1, 2, UpdateKind::Delete);
+    }
+
+    #[test]
+    fn theorem1_self_loop_insert() {
+        assert_rank_one_exact(&fixture(), 2, 2, UpdateKind::Insert);
+    }
+
+    #[test]
+    fn theorem1_exhaustive_over_small_graph() {
+        let g = fixture();
+        let n = g.node_count() as u32;
+        for i in 0..n {
+            for j in 0..n {
+                if g.has_edge(i, j) {
+                    assert_rank_one_exact(&g, i, j, UpdateKind::Delete);
+                } else {
+                    assert_rank_one_exact(&g, i, j, UpdateKind::Insert);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn example_4_from_the_paper_shape() {
+        // Paper's Example 4: inserting (i,j) where d_j = 2 with
+        // [Q]_{j,:} having entries 1/2 at two in-neighbors gives
+        // u = e_j/3 and v = e_i − [Q]_{j,:}ᵀ.
+        let mut g = DiGraph::new(5);
+        // Nodes: i=0, j=1, in-neighbors of j: 2 and 3.
+        g.insert_edge(2, 1).unwrap();
+        g.insert_edge(3, 1).unwrap();
+        let upd = rank_one_decomposition(&g, 0, 1, UpdateKind::Insert);
+        assert_eq!(upd.dj_old, 2);
+        assert!((upd.u_coeff - 1.0 / 3.0).abs() < 1e-15);
+        assert_eq!(
+            upd.v,
+            vec![(0, 1.0), (2, -0.5), (3, -0.5)],
+            "v = e_i − [Q]_j,:ᵀ"
+        );
+    }
+
+    #[test]
+    fn v_dot_matches_dense() {
+        let g = fixture();
+        let upd = rank_one_decomposition(&g, 4, 2, UpdateKind::Insert);
+        let x: Vec<f64> = (0..6).map(|t| (t as f64 + 1.0) * 0.3).collect();
+        let mut dense_v = [0.0; 6];
+        for &(idx, val) in &upd.v {
+            dense_v[idx as usize] = val;
+        }
+        let expect: f64 = dense_v.iter().zip(&x).map(|(a, b)| a * b).sum();
+        assert!((upd.v_dot(&x) - expect).abs() < 1e-14);
+        assert!((upd.v_dot_with(|k| x[k]) - expect).abs() < 1e-14);
+    }
+
+    #[test]
+    fn gamma_lambda_consistent_with_theorem2_construction() {
+        // Theorem 2 builds w = Q·S·v + (λ/2)·u with λ = vᵀ·S·v; Theorem 3's
+        // γ (scaled by u_coeff) must match when S satisfies the SimRank
+        // equation. Use a converged S so Eq. 31/32 hold tightly.
+        let g = fixture();
+        let c = 0.6;
+        let cfg = crate::SimRankConfig::new(c, 120).unwrap();
+        let s = crate::batch::batch_simrank(&g, &cfg);
+        let q = backward_transition(&g);
+        for (i, j, kind) in [
+            (3u32, 0u32, UpdateKind::Insert),
+            (4, 2, UpdateKind::Insert),
+            (2, 3, UpdateKind::Delete),
+            (1, 2, UpdateKind::Delete),
+        ] {
+            let upd = rank_one_decomposition(&g, i, j, kind);
+            let gv = gamma_vector(&q, &s, &upd, c);
+
+            // Theorem 2 route: z = S·v, y = Q·z, λ₂ = vᵀ·z, w₂ = y + (λ₂/2)·u.
+            let n = g.node_count();
+            let mut z = vec![0.0; n];
+            for &(idx, val) in &upd.v {
+                for (row, zr) in z.iter_mut().enumerate() {
+                    *zr += val * s.get(row, idx as usize);
+                }
+            }
+            let mut y = vec![0.0; n];
+            q.matvec(&z, &mut y);
+            let lambda2: f64 = upd.v_dot(&z);
+            let mut w2 = y;
+            w2[j as usize] += 0.5 * lambda2 * upd.u_coeff;
+            // γ = u_coeff · w₂  (folding u = u_coeff·e_j into e_j·γᵀ).
+            for wv in w2.iter_mut() {
+                *wv *= upd.u_coeff;
+            }
+            for b in 0..n {
+                assert!(
+                    (gv.gamma[b] - w2[b]).abs() < 1e-9,
+                    "γ mismatch at b={b} for ({i},{j}) {kind:?}: {} vs {}",
+                    gv.gamma[b],
+                    w2[b]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_entry_inserts_and_cancels() {
+        let mut v = vec![(1u32, 0.5), (4, -1.0)];
+        merge_entry(&mut v, 2, 3.0);
+        assert_eq!(v, vec![(1, 0.5), (2, 3.0), (4, -1.0)]);
+        merge_entry(&mut v, 2, -3.0);
+        assert_eq!(v, vec![(1, 0.5), (4, -1.0)]);
+        merge_entry(&mut v, 1, 0.25);
+        assert_eq!(v[0], (1, 0.75));
+    }
+}

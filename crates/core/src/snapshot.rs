@@ -1,0 +1,244 @@
+//! Engine-state persistence: checkpoint a maintained `(graph, scores,
+//! config)` triple to a writer and restore it later.
+//!
+//! The paper's workflow precomputes SimRank once and then maintains it
+//! forever; in a deployment that "forever" spans process restarts. The
+//! format is a small versioned little-endian binary layout (magic
+//! `INCSIM01`), written with `std::io` only.
+
+use crate::{ConfigError, SimRankConfig, SimRankMaintainer};
+use incsim_graph::DiGraph;
+use incsim_linalg::DenseMatrix;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 8] = b"INCSIM01";
+
+/// Errors from checkpoint encoding/decoding.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The input does not start with the expected magic/version.
+    BadMagic,
+    /// The payload is structurally inconsistent (sizes, counts).
+    Corrupt(&'static str),
+    /// The stored configuration is invalid.
+    BadConfig(ConfigError),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            SnapshotError::BadMagic => write!(f, "not an incsim snapshot (bad magic)"),
+            SnapshotError::Corrupt(what) => write!(f, "corrupt snapshot: {what}"),
+            SnapshotError::BadConfig(e) => write!(f, "snapshot holds invalid config: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// A decoded checkpoint: everything needed to reconstruct an engine.
+pub struct Snapshot {
+    /// The graph at checkpoint time.
+    pub graph: DiGraph,
+    /// The maintained score matrix.
+    pub scores: DenseMatrix,
+    /// The engine configuration.
+    pub config: SimRankConfig,
+}
+
+fn write_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_f64<W: Write>(w: &mut W, v: f64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn read_f64<R: Read>(r: &mut R) -> io::Result<f64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(f64::from_le_bytes(buf))
+}
+
+/// Writes a checkpoint of `(graph, scores, config)`.
+///
+/// # Errors
+/// Propagates writer errors.
+pub fn save<W: Write>(
+    graph: &DiGraph,
+    scores: &DenseMatrix,
+    config: &SimRankConfig,
+    mut w: W,
+) -> Result<(), SnapshotError> {
+    let n = graph.node_count();
+    if scores.rows() != n || scores.cols() != n {
+        return Err(SnapshotError::Corrupt("scores shape mismatches graph"));
+    }
+    w.write_all(MAGIC)?;
+    write_f64(&mut w, config.c)?;
+    write_u64(&mut w, config.iterations as u64)?;
+    write_f64(&mut w, config.zero_tol)?;
+    write_u64(&mut w, n as u64)?;
+    write_u64(&mut w, graph.edge_count() as u64)?;
+    for (u, v) in graph.edges() {
+        write_u64(&mut w, ((u as u64) << 32) | v as u64)?;
+    }
+    for value in scores.as_slice() {
+        write_f64(&mut w, *value)?;
+    }
+    Ok(())
+}
+
+/// Reads a checkpoint previously written by [`save`].
+pub fn load<R: Read>(mut r: R) -> Result<Snapshot, SnapshotError> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let c = read_f64(&mut r)?;
+    let iterations = read_u64(&mut r)? as usize;
+    let zero_tol = read_f64(&mut r)?;
+    let config = SimRankConfig::new(c, iterations)
+        .map_err(SnapshotError::BadConfig)?
+        .with_zero_tol(zero_tol);
+
+    let n = read_u64(&mut r)? as usize;
+    let m = read_u64(&mut r)? as usize;
+    if n > u32::MAX as usize {
+        return Err(SnapshotError::Corrupt("node count exceeds u32"));
+    }
+    let mut graph = DiGraph::new(n);
+    for _ in 0..m {
+        let packed = read_u64(&mut r)?;
+        let (u, v) = ((packed >> 32) as u32, (packed & 0xFFFF_FFFF) as u32);
+        graph
+            .insert_edge(u, v)
+            .map_err(|_| SnapshotError::Corrupt("invalid or duplicate edge"))?;
+    }
+    let mut data = vec![0.0f64; n * n];
+    for value in data.iter_mut() {
+        *value = read_f64(&mut r)?;
+    }
+    Ok(Snapshot {
+        graph,
+        scores: DenseMatrix::from_vec(n, n, data),
+        config,
+    })
+}
+
+impl crate::IncSr {
+    /// Checkpoints this engine's state.
+    pub fn save_snapshot<W: Write>(&self, w: W) -> Result<(), SnapshotError> {
+        save(self.graph(), self.scores(), self.config(), w)
+    }
+
+    /// Restores an engine from a checkpoint.
+    pub fn load_snapshot<R: Read>(r: R) -> Result<Self, SnapshotError> {
+        let snap = load(r)?;
+        Ok(crate::IncSr::new(snap.graph, snap.scores, snap.config))
+    }
+}
+
+impl crate::IncUSr {
+    /// Checkpoints this engine's state.
+    pub fn save_snapshot<W: Write>(&self, w: W) -> Result<(), SnapshotError> {
+        save(self.graph(), self.scores(), self.config(), w)
+    }
+
+    /// Restores an engine from a checkpoint.
+    pub fn load_snapshot<R: Read>(r: R) -> Result<Self, SnapshotError> {
+        let snap = load(r)?;
+        Ok(crate::IncUSr::new(snap.graph, snap.scores, snap.config))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{batch_simrank, IncSr, SimRankMaintainer};
+
+    fn fixture() -> (DiGraph, DenseMatrix, SimRankConfig) {
+        let g = DiGraph::from_edges(5, &[(0, 2), (1, 2), (2, 3), (3, 4)]);
+        let cfg = SimRankConfig::new(0.6, 12).unwrap().with_zero_tol(1e-15);
+        let s = batch_simrank(&g, &cfg);
+        (g, s, cfg)
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let (g, s, cfg) = fixture();
+        let mut buf = Vec::new();
+        save(&g, &s, &cfg, &mut buf).unwrap();
+        let snap = load(buf.as_slice()).unwrap();
+        assert_eq!(snap.graph, g);
+        assert!(snap.scores.max_abs_diff(&s) == 0.0);
+        assert_eq!(snap.config, cfg);
+    }
+
+    #[test]
+    fn engine_survives_restart() {
+        let (g, s, cfg) = fixture();
+        let mut engine = IncSr::new(g, s, cfg);
+        engine.insert_edge(0, 4).unwrap();
+        let mut buf = Vec::new();
+        engine.save_snapshot(&mut buf).unwrap();
+
+        let mut restored = IncSr::load_snapshot(buf.as_slice()).unwrap();
+        assert_eq!(restored.graph(), engine.graph());
+        // The restored engine keeps evolving correctly.
+        restored.insert_edge(4, 2).unwrap();
+        engine.insert_edge(4, 2).unwrap();
+        assert!(restored.scores().max_abs_diff(engine.scores()) < 1e-15);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(
+            load(&b"NOTASNAP........"[..]),
+            Err(SnapshotError::BadMagic)
+        ));
+        let truncated = MAGIC.to_vec();
+        assert!(matches!(load(truncated.as_slice()), Err(SnapshotError::Io(_))));
+    }
+
+    #[test]
+    fn rejects_shape_mismatch_on_save() {
+        let (g, _, cfg) = fixture();
+        let wrong = DenseMatrix::zeros(3, 3);
+        assert!(matches!(
+            save(&g, &wrong, &cfg, Vec::new()),
+            Err(SnapshotError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_corrupt_edge_list() {
+        let (g, s, cfg) = fixture();
+        let mut buf = Vec::new();
+        save(&g, &s, &cfg, &mut buf).unwrap();
+        // Duplicate the first edge record in place.
+        let edge_off = 8 + 8 + 8 + 8 + 8 + 8; // magic + c + iters + tol + n + m
+        let first: Vec<u8> = buf[edge_off..edge_off + 8].to_vec();
+        buf[edge_off + 8..edge_off + 16].copy_from_slice(&first);
+        assert!(matches!(
+            load(buf.as_slice()),
+            Err(SnapshotError::Corrupt(_))
+        ));
+    }
+}

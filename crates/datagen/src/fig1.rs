@@ -1,0 +1,124 @@
+//! A 15-node citation graph in the spirit of the paper's Fig. 1.
+//!
+//! The paper's running example is a 15-node fraction of DBLP with nodes
+//! labelled `a`–`o` and an inserted edge `(i, j)`; its exact edge list is
+//! not published. This module reconstructs a graph with the same structural
+//! set-up that the example's calculations rely on:
+//!
+//! * node `j` has old in-degree 2 with in-neighbours `{h, k}` (so the
+//!   insertion exercises the `d_j > 0` branch with `u = e_j/3`, exactly as
+//!   in the paper's Example 4);
+//! * the old similarity column `[S]_{:,i}` is supported on a small cluster
+//!   around `{f, i, j}`;
+//! * distant pairs (`(m,l)`, `(k,g)`, `(k,h)`) have nonzero scores that an
+//!   exact incremental algorithm must leave untouched — the grey rows of
+//!   the Fig. 1 table.
+
+use incsim_graph::DiGraph;
+
+/// The inserted edge `(i, j)` of the running example.
+pub const INSERTED_EDGE: (u32, u32) = (8, 9);
+
+/// The damping factor the running example uses.
+pub const FIG1_DAMPING: f64 = 0.8;
+
+/// Maps a node id (0–14) to its letter label (`a`–`o`).
+pub fn node_label(v: u32) -> char {
+    assert!(v < 15, "Fig. 1 graph has nodes 0..15");
+    (b'a' + v as u8) as char
+}
+
+/// Maps a letter label (`a`–`o`) to its node id.
+pub fn label_index(label: char) -> u32 {
+    let v = (label as u8).wrapping_sub(b'a');
+    assert!(v < 15, "label must be a..o");
+    v as u32
+}
+
+/// Builds the 15-node citation graph (see module docs).
+pub fn fig1_graph() -> DiGraph {
+    let e = |s: char, d: char| (label_index(s), label_index(d));
+    DiGraph::from_edges(
+        15,
+        &[
+            // a and b share the in-neighbourhood {c, e}.
+            e('c', 'a'),
+            e('e', 'a'),
+            e('c', 'b'),
+            e('e', 'b'),
+            // d is cited only by a.
+            e('a', 'd'),
+            // g, k, h share citers (b; h also cited by d).
+            e('b', 'g'),
+            e('b', 'k'),
+            e('b', 'h'),
+            e('d', 'h'),
+            // The f/i/j cluster: f←{g,h}, i←{g,k}, j←{h,k}.
+            e('g', 'f'),
+            e('h', 'f'),
+            e('g', 'i'),
+            e('k', 'i'),
+            e('h', 'j'),
+            e('k', 'j'),
+            // The far component l/m cited by n and o.
+            e('n', 'l'),
+            e('o', 'l'),
+            e('n', 'm'),
+            e('o', 'm'),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_j_has_indegree_two_with_h_and_k() {
+        let g = fig1_graph();
+        let (_, j) = INSERTED_EDGE;
+        assert_eq!(g.in_degree(j), 2);
+        assert_eq!(
+            g.in_neighbors(j),
+            &[label_index('h'), label_index('k')],
+            "I(j) must be {{h, k}} as in Example 4"
+        );
+    }
+
+    #[test]
+    fn inserted_edge_is_absent_in_old_graph() {
+        let g = fig1_graph();
+        let (i, j) = INSERTED_EDGE;
+        assert!(!g.has_edge(i, j));
+    }
+
+    #[test]
+    fn labels_roundtrip() {
+        for v in 0..15u32 {
+            assert_eq!(label_index(node_label(v)), v);
+        }
+        assert_eq!(node_label(8), 'i');
+        assert_eq!(node_label(9), 'j');
+    }
+
+    #[test]
+    fn graph_shape() {
+        let g = fig1_graph();
+        assert_eq!(g.node_count(), 15);
+        assert_eq!(g.edge_count(), 19);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn far_component_is_disconnected_from_ij() {
+        let g = fig1_graph();
+        // l, m, n, o have no path to/from the f/i/j cluster.
+        for far in ['l', 'm', 'n', 'o'] {
+            let v = label_index(far);
+            for near in ['f', 'i', 'j'] {
+                let u = label_index(near);
+                assert!(!g.has_edge(v, u) && !g.has_edge(u, v));
+            }
+        }
+    }
+}

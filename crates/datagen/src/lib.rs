@@ -1,0 +1,36 @@
+//! # incsim-datagen
+//!
+//! Synthetic graphs, scaled dataset stand-ins, and link-update streams for
+//! the `incsim` experiments.
+//!
+//! The paper evaluates on three real datasets (DBLP, CITH/cit-HepPh, YOUTU)
+//! plus GraphGen synthetics built with the "linkage generation model" of
+//! Garg et al. None of those inputs are available offline, so this crate
+//! provides behaviour-preserving substitutes (see `DESIGN.md` §3):
+//!
+//! * [`er::erdos_renyi`] — directed G(n, m) baseline randomness;
+//! * [`linkage::linkage_model`] — preferential-attachment growth with
+//!   timestamped arrivals (the linkage-model synthetic), which doubles as
+//!   the snapshot source: the paper extracts DBLP snapshots by *year* and
+//!   YOUTU snapshots by *video age*, i.e. by arrival time;
+//! * [`presets`] — `dblp_like` / `cith_like` / `youtu_like`: scaled-down
+//!   stand-ins that keep each dataset's average in-degree and growth
+//!   character (citation DAG vs. related-video graph with reciprocal
+//!   links);
+//! * [`updates`] — random insert/delete/mixed update streams `ΔG`;
+//! * [`fig1`] — a 15-node citation graph in the spirit of the paper's
+//!   running example (Fig. 1; the paper does not publish its edge list, so
+//!   this is a reconstruction with the same structural set-up: the inserted
+//!   edge `(i, j)` lands on a node with in-degree 2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod er;
+pub mod fig1;
+pub mod linkage;
+pub mod presets;
+pub mod rmat;
+pub mod updates;
+
+pub use presets::{cith_like, dblp_like, youtu_like, Dataset};

@@ -1,0 +1,251 @@
+//! The "linkage generation model": preferential-attachment growth with
+//! timestamped arrivals.
+//!
+//! The paper's synthetic graphs come from GraphGen configured with the
+//! linkage generation model of Garg et al. (IMC 2009), which grows a graph
+//! node by node; each arriving node links to existing nodes chosen
+//! preferentially by their current in-degree. This module reproduces that
+//! growth process and records every edge with its arrival timestamp, so the
+//! same run yields both the snapshots (`|E|` on the x-axis of Fig. 2a) and
+//! the inter-snapshot update streams.
+
+use incsim_graph::EvolvingGraph;
+use rand::Rng;
+
+/// Parameters of the growth model.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkageParams {
+    /// Total nodes to grow.
+    pub nodes: usize,
+    /// Mean out-edges created per arriving node.
+    pub edges_per_node: f64,
+    /// Probability that an endpoint is chosen preferentially (by in-degree)
+    /// rather than uniformly. `0.0` = pure random, `1.0` = pure preferential.
+    pub pref_mix: f64,
+    /// Probability that a created link is reciprocated (`v → u` added along
+    /// with `u → v`), as in related-video graphs. `0.0` for citation DAGs.
+    pub reciprocity: f64,
+    /// If `true`, targets are restricted to *older* nodes (citation
+    /// semantics: papers cite the past).
+    pub cite_past_only: bool,
+    /// Number of communities (`0` or `1` disables community structure).
+    /// Node `v` belongs to community `v mod communities`.
+    pub communities: usize,
+    /// Probability that a created link stays inside the source node's
+    /// community. Related-video and social graphs are strongly clustered;
+    /// clustering is what keeps SimRank's affected areas local.
+    pub community_bias: f64,
+}
+
+impl Default for LinkageParams {
+    fn default() -> Self {
+        LinkageParams {
+            nodes: 1000,
+            edges_per_node: 5.0,
+            pref_mix: 0.7,
+            reciprocity: 0.0,
+            cite_past_only: true,
+            communities: 0,
+            community_bias: 0.0,
+        }
+    }
+}
+
+/// Grows a timestamped graph with the linkage generation model.
+///
+/// Timestamps are arrival ranks (`0..nodes`), so `snapshot_at(t)` gives the
+/// graph after the first `t+1` nodes arrived — the "year"/"video age"
+/// snapshots of the paper's Exp-1.
+pub fn linkage_model<R: Rng>(params: &LinkageParams, rng: &mut R) -> EvolvingGraph {
+    let n = params.nodes;
+    let mut timeline = EvolvingGraph::new(n);
+    if n == 0 {
+        return timeline;
+    }
+    // The urn holds one entry per in-edge endpoint (plus one per node so
+    // new nodes are reachable): sampling uniformly from it realises
+    // preferential attachment by in-degree + 1.
+    let mut urn: Vec<u32> = Vec::with_capacity(n * (params.edges_per_node as usize + 1));
+    let mut exists = std::collections::HashSet::new();
+    urn.push(0);
+
+    for v in 1..n as u32 {
+        let time = v as u64;
+        // Number of out-edges: edges_per_node in expectation, at least 1,
+        // capped by the number of candidate targets.
+        let base = params.edges_per_node.floor() as usize;
+        let frac = params.edges_per_node - base as f64;
+        let mut k = base + usize::from(rng.gen_bool(frac.clamp(0.0, 1.0)));
+        k = k.clamp(1, v as usize);
+        let mut made = 0usize;
+        let mut attempts = 0usize;
+        let m_comm = params.communities;
+        let use_communities = m_comm > 1;
+        while made < k && attempts < 20 * k {
+            attempts += 1;
+            let want_in_community =
+                use_communities && rng.gen_bool(params.community_bias.clamp(0.0, 1.0));
+            let target = if want_in_community {
+                // Prefer a hub inside the community; fall back to a uniform
+                // community member (community c = id mod m, members c+k·m).
+                let comm = v as usize % m_comm;
+                let mut pick = None;
+                if rng.gen_bool(params.pref_mix.clamp(0.0, 1.0)) {
+                    for _ in 0..6 {
+                        let cand = urn[rng.gen_range(0..urn.len())];
+                        if cand as usize % m_comm == comm {
+                            pick = Some(cand);
+                            break;
+                        }
+                    }
+                }
+                match pick {
+                    Some(t) => t,
+                    None => {
+                        let count = (v as usize).saturating_sub(comm).div_ceil(m_comm);
+                        if count == 0 {
+                            rng.gen_range(0..v)
+                        } else {
+                            (comm + m_comm * rng.gen_range(0..count)) as u32
+                        }
+                    }
+                }
+            } else if rng.gen_bool(params.pref_mix.clamp(0.0, 1.0)) && !urn.is_empty() {
+                urn[rng.gen_range(0..urn.len())]
+            } else {
+                rng.gen_range(0..v)
+            };
+            let target_ok = target != v && (!params.cite_past_only || target < v);
+            if !target_ok {
+                continue;
+            }
+            if !exists.insert((v, target)) {
+                continue;
+            }
+            timeline.record_insert(v, target, time);
+            urn.push(target);
+            made += 1;
+            if params.reciprocity > 0.0
+                && rng.gen_bool(params.reciprocity.clamp(0.0, 1.0))
+                && exists.insert((target, v))
+            {
+                timeline.record_insert(target, v, time);
+                urn.push(v);
+            }
+        }
+        urn.push(v);
+    }
+    timeline
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn grows_requested_node_count() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let params = LinkageParams {
+            nodes: 200,
+            edges_per_node: 4.0,
+            ..Default::default()
+        };
+        let mut timeline = linkage_model(&params, &mut rng);
+        let g = timeline.snapshot_at(u64::MAX);
+        assert_eq!(g.node_count(), 200);
+        // Roughly 4 edges per node (first node contributes none).
+        let m = g.edge_count() as f64;
+        assert!(m > 199.0 * 2.0 && m < 199.0 * 6.0, "m={m}");
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn citation_mode_only_links_to_the_past() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let params = LinkageParams {
+            nodes: 100,
+            cite_past_only: true,
+            reciprocity: 0.0,
+            ..Default::default()
+        };
+        let mut timeline = linkage_model(&params, &mut rng);
+        let g = timeline.snapshot_at(u64::MAX);
+        for (u, v) in g.edges() {
+            assert!(v < u, "citation edge ({u},{v}) points forward in time");
+        }
+    }
+
+    #[test]
+    fn reciprocity_creates_mutual_links() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let params = LinkageParams {
+            nodes: 300,
+            edges_per_node: 5.0,
+            reciprocity: 0.5,
+            cite_past_only: false,
+            ..Default::default()
+        };
+        let mut timeline = linkage_model(&params, &mut rng);
+        let g = timeline.snapshot_at(u64::MAX);
+        let mutual = g
+            .edges()
+            .filter(|&(u, v)| g.has_edge(v, u))
+            .count();
+        assert!(
+            mutual as f64 > 0.2 * g.edge_count() as f64,
+            "expected substantial reciprocity, got {mutual}/{}",
+            g.edge_count()
+        );
+    }
+
+    #[test]
+    fn preferential_attachment_skews_in_degree() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let params = LinkageParams {
+            nodes: 500,
+            edges_per_node: 4.0,
+            pref_mix: 0.9,
+            ..Default::default()
+        };
+        let mut timeline = linkage_model(&params, &mut rng);
+        let g = timeline.snapshot_at(u64::MAX);
+        // A hub should exist: max in-degree well above the mean.
+        let avg = g.avg_in_degree();
+        assert!(
+            g.max_in_degree() as f64 > 4.0 * avg,
+            "max={} avg={avg}",
+            g.max_in_degree()
+        );
+    }
+
+    #[test]
+    fn snapshots_grow_monotonically() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let params = LinkageParams {
+            nodes: 120,
+            ..Default::default()
+        };
+        let mut timeline = linkage_model(&params, &mut rng);
+        let m30 = timeline.snapshot_at(30).edge_count();
+        let m60 = timeline.snapshot_at(60).edge_count();
+        let m119 = timeline.snapshot_at(119).edge_count();
+        assert!(m30 < m60 && m60 < m119);
+    }
+
+    #[test]
+    fn update_stream_between_snapshots_is_all_insertions() {
+        let mut rng = StdRng::seed_from_u64(16);
+        let params = LinkageParams {
+            nodes: 80,
+            ..Default::default()
+        };
+        let mut timeline = linkage_model(&params, &mut rng);
+        let ops = timeline.updates_between(40, 60);
+        assert!(!ops.is_empty());
+        assert!(ops
+            .iter()
+            .all(|op| matches!(op, incsim_graph::UpdateOp::Insert(_, _))));
+    }
+}

@@ -1,0 +1,175 @@
+//! R-MAT recursive-matrix graph generator (Chakrabarti, Zhan & Faloutsos,
+//! SDM 2004) — the standard synthetic for power-law graph benchmarks,
+//! complementing the linkage model with a second, structurally different
+//! source of skewed degree distributions.
+
+use incsim_graph::DiGraph;
+use rand::Rng;
+
+/// R-MAT quadrant probabilities. Must be positive and sum to ~1.
+#[derive(Debug, Clone, Copy)]
+pub struct RmatParams {
+    /// Top-left quadrant probability (the "community core"); the classic
+    /// setting is 0.57.
+    pub a: f64,
+    /// Top-right probability (classic 0.19).
+    pub b: f64,
+    /// Bottom-left probability (classic 0.19).
+    pub c: f64,
+    /// Noise added per recursion level to smooth the degree staircase.
+    pub noise: f64,
+}
+
+impl Default for RmatParams {
+    fn default() -> Self {
+        RmatParams {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            noise: 0.1,
+        }
+    }
+}
+
+/// Generates an R-MAT graph with `2^scale` nodes and `edges` distinct
+/// edges (self-loops excluded, duplicates rejected).
+///
+/// # Panics
+/// Panics if the parameters are not a probability split, or if `edges`
+/// exceeds half the possible pairs (duplicate rejection would stall).
+pub fn rmat<R: Rng>(scale: u32, edges: usize, params: &RmatParams, rng: &mut R) -> DiGraph {
+    let d = 1.0 - params.a - params.b - params.c;
+    assert!(
+        params.a > 0.0 && params.b >= 0.0 && params.c >= 0.0 && d >= 0.0,
+        "R-MAT quadrant probabilities must be a valid split, got d={d}"
+    );
+    let n = 1usize << scale;
+    let max_edges = n * (n - 1);
+    assert!(
+        edges <= max_edges / 2,
+        "requested {edges} edges of {max_edges} possible — too dense for rejection sampling"
+    );
+    let mut g = DiGraph::new(n);
+    let mut attempts = 0usize;
+    let budget = edges.saturating_mul(100).max(10_000);
+    while g.edge_count() < edges && attempts < budget {
+        attempts += 1;
+        let (mut lo_u, mut hi_u) = (0usize, n);
+        let (mut lo_v, mut hi_v) = (0usize, n);
+        for _ in 0..scale {
+            // Jitter the quadrant split per level.
+            let mut jitter = |p: f64| {
+                (p * (1.0 - params.noise + 2.0 * params.noise * rng.gen::<f64>())).max(1e-9)
+            };
+            let (pa, pb, pc, pd) = (
+                jitter(params.a),
+                jitter(params.b),
+                jitter(params.c),
+                jitter(d.max(1e-9)),
+            );
+            let total = pa + pb + pc + pd;
+            let roll = rng.gen::<f64>() * total;
+            let (right, down) = if roll < pa {
+                (false, false)
+            } else if roll < pa + pb {
+                (true, false)
+            } else if roll < pa + pb + pc {
+                (false, true)
+            } else {
+                (true, true)
+            };
+            let mid_u = (lo_u + hi_u) / 2;
+            let mid_v = (lo_v + hi_v) / 2;
+            if down {
+                lo_u = mid_u;
+            } else {
+                hi_u = mid_u;
+            }
+            if right {
+                lo_v = mid_v;
+            } else {
+                hi_v = mid_v;
+            }
+        }
+        let (u, v) = (lo_u as u32, lo_v as u32);
+        if u != v {
+            let _ = g.insert_edge(u, v);
+        }
+    }
+    assert_eq!(
+        g.edge_count(),
+        edges,
+        "R-MAT sampling starved after {attempts} attempts"
+    );
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generates_requested_size() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = rmat(8, 1000, &RmatParams::default(), &mut rng);
+        assert_eq!(g.node_count(), 256);
+        assert_eq!(g.edge_count(), 1000);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn default_parameters_produce_skew() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = rmat(9, 2000, &RmatParams::default(), &mut rng);
+        // Power-law-ish: the max in-degree dwarfs the average.
+        let avg = g.avg_in_degree();
+        assert!(
+            g.max_in_degree() as f64 > 5.0 * avg,
+            "max {} vs avg {avg}",
+            g.max_in_degree()
+        );
+    }
+
+    #[test]
+    fn uniform_parameters_produce_no_skew() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let params = RmatParams {
+            a: 0.25,
+            b: 0.25,
+            c: 0.25,
+            noise: 0.0,
+        };
+        let g = rmat(9, 2000, &params, &mut rng);
+        let avg = g.avg_in_degree();
+        assert!(
+            (g.max_in_degree() as f64) < 6.0 * avg,
+            "uniform R-MAT should look Erdős–Rényi-ish: max {} avg {avg}",
+            g.max_in_degree()
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = rmat(7, 300, &RmatParams::default(), &mut StdRng::seed_from_u64(5));
+        let b = rmat(7, 300, &RmatParams::default(), &mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = rmat(6, 200, &RmatParams::default(), &mut rng);
+        for v in 0..64 {
+            assert!(!g.has_edge(v, v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too dense")]
+    fn rejects_overdense_request() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let _ = rmat(3, 40, &RmatParams::default(), &mut rng);
+    }
+}

@@ -1,0 +1,372 @@
+//! Dynamic directed graph with in/out adjacency.
+
+/// Errors from graph mutations and queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node id was `>= node_count`.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: u32,
+        /// The number of nodes in the graph.
+        node_count: usize,
+    },
+    /// Attempted to insert an edge that already exists.
+    EdgeExists {
+        /// Source node.
+        src: u32,
+        /// Destination node.
+        dst: u32,
+    },
+    /// Attempted to delete an edge that does not exist.
+    EdgeMissing {
+        /// Source node.
+        src: u32,
+        /// Destination node.
+        dst: u32,
+    },
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, node_count } => {
+                write!(f, "node {node} out of range (graph has {node_count} nodes)")
+            }
+            GraphError::EdgeExists { src, dst } => write!(f, "edge ({src}, {dst}) already exists"),
+            GraphError::EdgeMissing { src, dst } => write!(f, "edge ({src}, {dst}) does not exist"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A dynamic directed graph over nodes `0..n`.
+///
+/// ```
+/// use incsim_graph::DiGraph;
+///
+/// let mut g = DiGraph::new(3);
+/// g.insert_edge(0, 2).unwrap();
+/// g.insert_edge(1, 2).unwrap();
+/// assert_eq!(g.in_neighbors(2), &[0, 1]);
+/// assert_eq!(g.in_degree(2), 2);
+/// g.remove_edge(0, 2).unwrap();
+/// assert!(!g.has_edge(0, 2));
+/// ```
+///
+/// Both adjacency directions are kept as **sorted** neighbor lists, so
+/// membership tests and single-edge updates are `O(log d + d)` (binary
+/// search plus vector shift) and neighbor iteration is cache-friendly.
+/// SimRank's semantics only need the *in*-neighbourhood (`I(a)` in the
+/// paper); the out-neighbourhood (`O(a)`) drives the affected-area sets
+/// `F₁`, `A_k`, `B_k` of Theorem 4.
+///
+/// Parallel edges are not supported (SimRank's `Q` has at most one entry
+/// per node pair); self-loops are allowed, matching the matrix form.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DiGraph {
+    out_adj: Vec<Vec<u32>>,
+    in_adj: Vec<Vec<u32>>,
+    num_edges: usize,
+}
+
+impl DiGraph {
+    /// Creates an edgeless graph with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        DiGraph {
+            out_adj: vec![Vec::new(); n],
+            in_adj: vec![Vec::new(); n],
+            num_edges: 0,
+        }
+    }
+
+    /// Builds a graph from an edge list, ignoring duplicate edges.
+    ///
+    /// # Panics
+    /// Panics if any endpoint is `>= n`.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        let mut g = DiGraph::new(n);
+        for &(u, v) in edges {
+            // Ignore duplicates to make edge-list construction forgiving.
+            let _ = g.insert_edge(u, v);
+        }
+        g
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.out_adj.len()
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Average in-degree `d = m/n` (the `d` of the paper's complexity bounds).
+    pub fn avg_in_degree(&self) -> f64 {
+        if self.node_count() == 0 {
+            0.0
+        } else {
+            self.num_edges as f64 / self.node_count() as f64
+        }
+    }
+
+    fn check_node(&self, v: u32) -> Result<(), GraphError> {
+        if (v as usize) < self.node_count() {
+            Ok(())
+        } else {
+            Err(GraphError::NodeOutOfRange {
+                node: v,
+                node_count: self.node_count(),
+            })
+        }
+    }
+
+    /// Appends a new isolated node, returning its id.
+    pub fn add_node(&mut self) -> u32 {
+        self.out_adj.push(Vec::new());
+        self.in_adj.push(Vec::new());
+        (self.node_count() - 1) as u32
+    }
+
+    /// True if the edge `src → dst` exists.
+    pub fn has_edge(&self, src: u32, dst: u32) -> bool {
+        self.out_adj
+            .get(src as usize)
+            .is_some_and(|adj| adj.binary_search(&dst).is_ok())
+    }
+
+    /// Inserts the edge `src → dst` (the paper's unit insertion `(i, j)`,
+    /// with `src = i`, `dst = j`).
+    pub fn insert_edge(&mut self, src: u32, dst: u32) -> Result<(), GraphError> {
+        self.check_node(src)?;
+        self.check_node(dst)?;
+        let out = &mut self.out_adj[src as usize];
+        match out.binary_search(&dst) {
+            Ok(_) => return Err(GraphError::EdgeExists { src, dst }),
+            Err(pos) => out.insert(pos, dst),
+        }
+        let inn = &mut self.in_adj[dst as usize];
+        let pos = inn.binary_search(&src).unwrap_err();
+        inn.insert(pos, src);
+        self.num_edges += 1;
+        Ok(())
+    }
+
+    /// Deletes the edge `src → dst` (the paper's unit deletion).
+    pub fn remove_edge(&mut self, src: u32, dst: u32) -> Result<(), GraphError> {
+        self.check_node(src)?;
+        self.check_node(dst)?;
+        let out = &mut self.out_adj[src as usize];
+        match out.binary_search(&dst) {
+            Ok(pos) => {
+                out.remove(pos);
+            }
+            Err(_) => return Err(GraphError::EdgeMissing { src, dst }),
+        }
+        let inn = &mut self.in_adj[dst as usize];
+        let pos = inn
+            .binary_search(&src)
+            .expect("in/out adjacency must stay consistent");
+        inn.remove(pos);
+        self.num_edges -= 1;
+        Ok(())
+    }
+
+    /// In-neighbors `I(v)` (sorted).
+    #[inline]
+    pub fn in_neighbors(&self, v: u32) -> &[u32] {
+        &self.in_adj[v as usize]
+    }
+
+    /// Out-neighbors `O(v)` (sorted).
+    #[inline]
+    pub fn out_neighbors(&self, v: u32) -> &[u32] {
+        &self.out_adj[v as usize]
+    }
+
+    /// In-degree `|I(v)|` — the `d_j` of Theorem 1.
+    #[inline]
+    pub fn in_degree(&self, v: u32) -> usize {
+        self.in_adj[v as usize].len()
+    }
+
+    /// Out-degree `|O(v)|`.
+    #[inline]
+    pub fn out_degree(&self, v: u32) -> usize {
+        self.out_adj[v as usize].len()
+    }
+
+    /// Iterates all edges as `(src, dst)` pairs in `src`-major order.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.out_adj
+            .iter()
+            .enumerate()
+            .flat_map(|(u, adj)| adj.iter().map(move |&v| (u as u32, v)))
+    }
+
+    /// Maximum in-degree over all nodes.
+    pub fn max_in_degree(&self) -> usize {
+        self.in_adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Validates internal consistency (test/diagnostic helper).
+    ///
+    /// Checks that adjacency lists are sorted, deduplicated, mutually
+    /// consistent, and that the edge count matches.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut count = 0usize;
+        for (u, adj) in self.out_adj.iter().enumerate() {
+            if !adj.windows(2).all(|w| w[0] < w[1]) {
+                return Err(format!("out_adj[{u}] not strictly sorted"));
+            }
+            for &v in adj {
+                if (v as usize) >= self.node_count() {
+                    return Err(format!("out_adj[{u}] references node {v} out of range"));
+                }
+                if self.in_adj[v as usize].binary_search(&(u as u32)).is_err() {
+                    return Err(format!("edge ({u},{v}) missing from in_adj"));
+                }
+                count += 1;
+            }
+        }
+        let in_count: usize = self.in_adj.iter().map(Vec::len).sum();
+        if count != in_count {
+            return Err(format!("edge count mismatch: out={count} in={in_count}"));
+        }
+        if count != self.num_edges {
+            return Err(format!("cached edge count {} != actual {count}", self.num_edges));
+        }
+        for (v, adj) in self.in_adj.iter().enumerate() {
+            if !adj.windows(2).all(|w| w[0] < w[1]) {
+                return Err(format!("in_adj[{v}] not strictly sorted"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Heap bytes held by the adjacency structure.
+    pub fn heap_bytes(&self) -> usize {
+        let per_list = |lists: &Vec<Vec<u32>>| -> usize {
+            lists
+                .iter()
+                .map(|l| l.capacity() * std::mem::size_of::<u32>())
+                .sum::<usize>()
+                + lists.capacity() * std::mem::size_of::<Vec<u32>>()
+        };
+        per_list(&self.out_adj) + per_list(&self.in_adj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_query_edges() {
+        let mut g = DiGraph::new(4);
+        g.insert_edge(0, 1).unwrap();
+        g.insert_edge(2, 1).unwrap();
+        g.insert_edge(1, 3).unwrap();
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+        assert_eq!(g.in_neighbors(1), &[0, 2]);
+        assert_eq!(g.out_neighbors(1), &[3]);
+        assert_eq!(g.in_degree(1), 2);
+        assert_eq!(g.out_degree(1), 1);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn duplicate_insert_is_error() {
+        let mut g = DiGraph::new(2);
+        g.insert_edge(0, 1).unwrap();
+        assert_eq!(
+            g.insert_edge(0, 1),
+            Err(GraphError::EdgeExists { src: 0, dst: 1 })
+        );
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn remove_missing_edge_is_error() {
+        let mut g = DiGraph::new(2);
+        assert_eq!(
+            g.remove_edge(0, 1),
+            Err(GraphError::EdgeMissing { src: 0, dst: 1 })
+        );
+    }
+
+    #[test]
+    fn out_of_range_node_is_error() {
+        let mut g = DiGraph::new(2);
+        assert!(matches!(
+            g.insert_edge(0, 5),
+            Err(GraphError::NodeOutOfRange { node: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn insert_then_remove_roundtrips() {
+        let mut g = DiGraph::new(3);
+        g.insert_edge(0, 1).unwrap();
+        g.insert_edge(1, 2).unwrap();
+        let snapshot = g.clone();
+        g.insert_edge(2, 0).unwrap();
+        g.remove_edge(2, 0).unwrap();
+        assert_eq!(g, snapshot);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn self_loops_are_allowed() {
+        let mut g = DiGraph::new(2);
+        g.insert_edge(0, 0).unwrap();
+        assert!(g.has_edge(0, 0));
+        assert_eq!(g.in_degree(0), 1);
+        assert_eq!(g.out_degree(0), 1);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn from_edges_ignores_duplicates() {
+        let g = DiGraph::from_edges(3, &[(0, 1), (0, 1), (1, 2)]);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn add_node_grows_graph() {
+        let mut g = DiGraph::new(1);
+        let v = g.add_node();
+        assert_eq!(v, 1);
+        g.insert_edge(0, 1).unwrap();
+        assert_eq!(g.node_count(), 2);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn edges_iterator_is_src_major() {
+        let g = DiGraph::from_edges(3, &[(1, 0), (0, 2), (0, 1)]);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 0)]);
+    }
+
+    #[test]
+    fn degree_statistics() {
+        let g = DiGraph::from_edges(4, &[(0, 3), (1, 3), (2, 3), (3, 0)]);
+        assert_eq!(g.max_in_degree(), 3);
+        assert!((g.avg_in_degree() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_statistics() {
+        let g = DiGraph::new(0);
+        assert_eq!(g.avg_in_degree(), 0.0);
+        assert_eq!(g.max_in_degree(), 0);
+        g.validate().unwrap();
+    }
+}

@@ -1,0 +1,278 @@
+//! Timestamped edge timelines: snapshots and update streams.
+//!
+//! The paper's Exp-1 extracts *snapshots* of DBLP / CITH / YOUTU by a time
+//! attribute (publication year, video age) and treats the edge difference
+//! between consecutive snapshots as the update stream `ΔG`. An
+//! [`EvolvingGraph`] captures exactly that: an append-only list of
+//! timestamped insert/delete events over a fixed node universe, from which
+//! any snapshot `G(t)` and any inter-snapshot stream can be materialised.
+
+use crate::digraph::DiGraph;
+
+/// The kind of a timeline event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// The edge appears at the event's timestamp.
+    Insert,
+    /// The edge disappears at the event's timestamp.
+    Delete,
+}
+
+/// A timestamped edge event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeEvent {
+    /// Source node.
+    pub src: u32,
+    /// Destination node.
+    pub dst: u32,
+    /// Event timestamp (any monotone unit: year, day index, arrival rank).
+    pub time: u64,
+    /// Insert or delete.
+    pub kind: EventKind,
+}
+
+/// A single link update, the paper's *unit update*.
+///
+/// A batch update `ΔG` "consists of a sequence of edges to be
+/// inserted/deleted" (paper, footnote 1) and is processed as a sequence of
+/// these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateOp {
+    /// Insert edge `(src, dst)`.
+    Insert(u32, u32),
+    /// Delete edge `(src, dst)`.
+    Delete(u32, u32),
+}
+
+impl UpdateOp {
+    /// The `(src, dst)` pair of the update.
+    pub fn endpoints(&self) -> (u32, u32) {
+        match *self {
+            UpdateOp::Insert(u, v) | UpdateOp::Delete(u, v) => (u, v),
+        }
+    }
+
+    /// The update that undoes this one.
+    pub fn inverse(&self) -> UpdateOp {
+        match *self {
+            UpdateOp::Insert(u, v) => UpdateOp::Delete(u, v),
+            UpdateOp::Delete(u, v) => UpdateOp::Insert(u, v),
+        }
+    }
+
+    /// Applies the update to a graph.
+    pub fn apply(&self, g: &mut DiGraph) -> Result<(), crate::digraph::GraphError> {
+        match *self {
+            UpdateOp::Insert(u, v) => g.insert_edge(u, v),
+            UpdateOp::Delete(u, v) => g.remove_edge(u, v),
+        }
+    }
+}
+
+/// An evolving graph: a fixed node universe plus a timestamped event log.
+#[derive(Debug, Clone, Default)]
+pub struct EvolvingGraph {
+    node_count: usize,
+    events: Vec<EdgeEvent>,
+    sorted: bool,
+}
+
+impl EvolvingGraph {
+    /// Creates an empty timeline over `n` nodes.
+    pub fn new(n: usize) -> Self {
+        EvolvingGraph {
+            node_count: n,
+            events: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Number of nodes in the universe.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of recorded events.
+    pub fn event_count(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Records an edge insertion at `time`.
+    pub fn record_insert(&mut self, src: u32, dst: u32, time: u64) {
+        self.push(EdgeEvent {
+            src,
+            dst,
+            time,
+            kind: EventKind::Insert,
+        });
+    }
+
+    /// Records an edge deletion at `time`.
+    pub fn record_delete(&mut self, src: u32, dst: u32, time: u64) {
+        self.push(EdgeEvent {
+            src,
+            dst,
+            time,
+            kind: EventKind::Delete,
+        });
+    }
+
+    fn push(&mut self, e: EdgeEvent) {
+        assert!(
+            (e.src as usize) < self.node_count && (e.dst as usize) < self.node_count,
+            "event endpoint out of the node universe"
+        );
+        if let Some(last) = self.events.last() {
+            if last.time > e.time {
+                self.sorted = false;
+            }
+        }
+        self.events.push(e);
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            // Stable sort keeps same-timestamp events in recording order.
+            self.events.sort_by_key(|e| e.time);
+            self.sorted = true;
+        }
+    }
+
+    /// Materialises the snapshot `G(t)`: all events with `time <= t` applied
+    /// in timestamp order. Inserting an existing edge or deleting a missing
+    /// one is ignored (timelines from noisy data stay usable).
+    pub fn snapshot_at(&mut self, t: u64) -> DiGraph {
+        self.ensure_sorted();
+        let mut g = DiGraph::new(self.node_count);
+        for e in self.events.iter().take_while(|e| e.time <= t) {
+            match e.kind {
+                EventKind::Insert => {
+                    let _ = g.insert_edge(e.src, e.dst);
+                }
+                EventKind::Delete => {
+                    let _ = g.remove_edge(e.src, e.dst);
+                }
+            }
+        }
+        g
+    }
+
+    /// The update stream between `G(t0)` and `G(t1)` (`t0 < t1`): one
+    /// [`UpdateOp`] per event in `(t0, t1]`, in timestamp order, filtered
+    /// to updates that actually change the `G(t0)` state (the paper's ΔG
+    /// is the *net* snapshot difference).
+    pub fn updates_between(&mut self, t0: u64, t1: u64) -> Vec<UpdateOp> {
+        assert!(t0 <= t1, "updates_between requires t0 <= t1");
+        let mut g = self.snapshot_at(t0);
+        self.ensure_sorted();
+        let mut ops = Vec::new();
+        for e in self
+            .events
+            .iter()
+            .skip_while(|e| e.time <= t0)
+            .take_while(|e| e.time <= t1)
+        {
+            match e.kind {
+                EventKind::Insert => {
+                    if g.insert_edge(e.src, e.dst).is_ok() {
+                        ops.push(UpdateOp::Insert(e.src, e.dst));
+                    }
+                }
+                EventKind::Delete => {
+                    if g.remove_edge(e.src, e.dst).is_ok() {
+                        ops.push(UpdateOp::Delete(e.src, e.dst));
+                    }
+                }
+            }
+        }
+        ops
+    }
+
+    /// The distinct event timestamps in increasing order (snapshot points).
+    pub fn timestamps(&mut self) -> Vec<u64> {
+        self.ensure_sorted();
+        let mut ts: Vec<u64> = self.events.iter().map(|e| e.time).collect();
+        ts.dedup();
+        ts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timeline() -> EvolvingGraph {
+        let mut ev = EvolvingGraph::new(4);
+        ev.record_insert(0, 1, 2000);
+        ev.record_insert(1, 2, 2001);
+        ev.record_insert(2, 3, 2002);
+        ev.record_delete(0, 1, 2003);
+        ev
+    }
+
+    #[test]
+    fn snapshots_reflect_event_order() {
+        let mut ev = timeline();
+        assert_eq!(ev.snapshot_at(1999).edge_count(), 0);
+        assert_eq!(ev.snapshot_at(2000).edge_count(), 1);
+        assert_eq!(ev.snapshot_at(2002).edge_count(), 3);
+        let g = ev.snapshot_at(2003);
+        assert_eq!(g.edge_count(), 2);
+        assert!(!g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn updates_between_yields_net_stream() {
+        let mut ev = timeline();
+        let ops = ev.updates_between(2000, 2003);
+        assert_eq!(
+            ops,
+            vec![
+                UpdateOp::Insert(1, 2),
+                UpdateOp::Insert(2, 3),
+                UpdateOp::Delete(0, 1),
+            ]
+        );
+        // Applying the stream to G(t0) yields exactly G(t1).
+        let mut g = ev.snapshot_at(2000);
+        for op in &ops {
+            op.apply(&mut g).unwrap();
+        }
+        assert_eq!(g, ev.snapshot_at(2003));
+    }
+
+    #[test]
+    fn out_of_order_recording_is_sorted() {
+        let mut ev = EvolvingGraph::new(3);
+        ev.record_insert(1, 2, 2005);
+        ev.record_insert(0, 1, 2001);
+        let g = ev.snapshot_at(2002);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 2));
+        assert_eq!(ev.timestamps(), vec![2001, 2005]);
+    }
+
+    #[test]
+    fn duplicate_inserts_do_not_appear_in_stream() {
+        let mut ev = EvolvingGraph::new(2);
+        ev.record_insert(0, 1, 1);
+        ev.record_insert(0, 1, 2); // duplicate: edge already present
+        let ops = ev.updates_between(1, 2);
+        assert!(ops.is_empty());
+    }
+
+    #[test]
+    fn update_op_inverse_roundtrips() {
+        let op = UpdateOp::Insert(3, 4);
+        assert_eq!(op.inverse(), UpdateOp::Delete(3, 4));
+        assert_eq!(op.inverse().inverse(), op);
+        assert_eq!(op.endpoints(), (3, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of the node universe")]
+    fn event_endpoints_are_validated() {
+        let mut ev = EvolvingGraph::new(2);
+        ev.record_insert(0, 7, 1);
+    }
+}

@@ -1,0 +1,170 @@
+//! Edge-list text I/O in the SNAP dataset convention.
+//!
+//! The paper evaluates on SNAP-style edge lists (cit-HepPh et al.):
+//! whitespace-separated `src dst` pairs, one per line, `#` comments.
+//! Node ids are compacted to `0..n` preserving first-appearance order, the
+//! usual convention when loading SNAP files.
+
+use crate::digraph::DiGraph;
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+
+/// Errors from edge-list parsing.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line could not be parsed as `src dst`.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// The offending line content.
+        content: String,
+    },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "I/O error: {e}"),
+            IoError::Parse { line, content } => {
+                write!(f, "parse error at line {line}: {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Result of parsing an edge list: the graph plus the id remapping.
+pub struct ParsedGraph {
+    /// The parsed graph over compacted node ids `0..n`.
+    pub graph: DiGraph,
+    /// `original_ids[i]` is the raw id that was mapped to node `i`.
+    pub original_ids: Vec<u64>,
+}
+
+/// Parses a SNAP-style edge list from a reader.
+///
+/// Lines starting with `#` or `%` and blank lines are skipped. Duplicate
+/// edges are ignored (kept once).
+pub fn parse_edge_list<R: BufRead>(reader: R) -> Result<ParsedGraph, IoError> {
+    let mut id_map: HashMap<u64, u32> = HashMap::new();
+    let mut original_ids: Vec<u64> = Vec::new();
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let (Some(a), Some(b)) = (parts.next(), parts.next()) else {
+            return Err(IoError::Parse {
+                line: lineno + 1,
+                content: line.clone(),
+            });
+        };
+        let parse = |tok: &str| -> Option<u64> { tok.parse().ok() };
+        let (Some(src_raw), Some(dst_raw)) = (parse(a), parse(b)) else {
+            return Err(IoError::Parse {
+                line: lineno + 1,
+                content: line.clone(),
+            });
+        };
+        let mut intern = |raw: u64| -> u32 {
+            *id_map.entry(raw).or_insert_with(|| {
+                original_ids.push(raw);
+                (original_ids.len() - 1) as u32
+            })
+        };
+        let s = intern(src_raw);
+        let d = intern(dst_raw);
+        edges.push((s, d));
+    }
+
+    let graph = DiGraph::from_edges(original_ids.len(), &edges);
+    Ok(ParsedGraph {
+        graph,
+        original_ids,
+    })
+}
+
+/// Parses an edge list from a string (convenience wrapper).
+pub fn parse_edge_list_str(text: &str) -> Result<ParsedGraph, IoError> {
+    parse_edge_list(std::io::Cursor::new(text))
+}
+
+/// Writes a graph as a SNAP-style edge list.
+pub fn write_edge_list<W: Write>(g: &DiGraph, mut writer: W) -> std::io::Result<()> {
+    writeln!(writer, "# Nodes: {} Edges: {}", g.node_count(), g.edge_count())?;
+    for (u, v) in g.edges() {
+        writeln!(writer, "{u}\t{v}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_edge_list() {
+        let text = "# comment\n10 20\n20 30\n\n10 30\n";
+        let parsed = parse_edge_list_str(text).unwrap();
+        assert_eq!(parsed.graph.node_count(), 3);
+        assert_eq!(parsed.graph.edge_count(), 3);
+        assert_eq!(parsed.original_ids, vec![10, 20, 30]);
+        // 10→20 becomes 0→1.
+        assert!(parsed.graph.has_edge(0, 1));
+    }
+
+    #[test]
+    fn skips_comments_and_percent_lines() {
+        let text = "% matrix-market style\n# snap style\n1 2\n";
+        let parsed = parse_edge_list_str(text).unwrap();
+        assert_eq!(parsed.graph.edge_count(), 1);
+    }
+
+    #[test]
+    fn reports_parse_error_with_line_number() {
+        let text = "1 2\nnot numbers here\n";
+        match parse_edge_list_str(text) {
+            Err(IoError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}", other = other.err()),
+        }
+    }
+
+    #[test]
+    fn single_token_line_is_error() {
+        let text = "42\n";
+        assert!(matches!(
+            parse_edge_list_str(text),
+            Err(IoError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn roundtrip_write_parse() {
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let parsed = parse_edge_list(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(parsed.graph.edge_count(), 3);
+        // Ids are already compact, so the graph round-trips exactly.
+        assert_eq!(parsed.graph, g);
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let parsed = parse_edge_list_str("1 2\n1 2\n").unwrap();
+        assert_eq!(parsed.graph.edge_count(), 1);
+    }
+}

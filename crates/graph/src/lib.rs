@@ -1,0 +1,33 @@
+//! # incsim-graph
+//!
+//! The link-evolving graph substrate for the `incsim` workspace
+//! (reproduction of *"Fast Incremental SimRank on Link-Evolving Graphs"*,
+//! Yu, Lin & Zhang, ICDE 2014).
+//!
+//! The paper's problem statement is: given a graph `G`, its SimRank matrix
+//! `S`, and link changes `ΔG`, compute the change `ΔS`. This crate provides
+//! the `G` and `ΔG` halves:
+//!
+//! * [`DiGraph`] — a dynamic directed graph with both in- and out-adjacency,
+//!   `O(log d)` single-edge insertion/deletion (the paper's *unit update*),
+//!   and degree queries. The incremental theorems all consult the *old*
+//!   graph's in-degree `d_j` and in-neighbor row `[Q]_{j,:}`, which this
+//!   structure serves in `O(1)`/`O(d)`.
+//! * [`transition`] — builders for the backward transition matrix `Q` (the
+//!   row-normalised transpose of the adjacency matrix) and the plain
+//!   adjacency matrix, in CSR form.
+//! * [`evolve`] — a timestamped edge timeline that materialises snapshots
+//!   and extracts the insert/delete update streams between snapshots,
+//!   emulating the paper's year/video-age snapshot methodology (Exp-1).
+//! * [`io`] — SNAP-style edge-list text parsing and serialisation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod digraph;
+pub mod evolve;
+pub mod io;
+pub mod transition;
+
+pub use digraph::{DiGraph, GraphError};
+pub use evolve::{EdgeEvent, EventKind, EvolvingGraph, UpdateOp};

@@ -1,0 +1,127 @@
+//! Builders for the matrices SimRank is defined on.
+//!
+//! The paper's matrix form (Eq. 2) uses the **backward transition matrix**
+//! `Q`: `[Q]_{i,j} = 1/|I(i)|` if there is an edge `j → i`, else `0` — the
+//! row-normalised transpose of the adjacency matrix (denoted `W̃` in
+//! Li et al.). Row `i` of `Q` therefore lists the in-neighbors of node `i`
+//! with uniform weights.
+
+use crate::digraph::DiGraph;
+use incsim_linalg::{CooBuilder, CsrMatrix};
+
+/// Builds the backward transition matrix `Q` of a graph in CSR form.
+///
+/// Rows with in-degree zero are all-zero rows (`Q` is sub-stochastic),
+/// exactly as required by the SimRank matrix form.
+pub fn backward_transition(g: &DiGraph) -> CsrMatrix {
+    let n = g.node_count();
+    let rows: Vec<Vec<(u32, f64)>> = (0..n as u32)
+        .map(|v| {
+            let innb = g.in_neighbors(v);
+            if innb.is_empty() {
+                Vec::new()
+            } else {
+                let w = 1.0 / innb.len() as f64;
+                innb.iter().map(|&u| (u, w)).collect()
+            }
+        })
+        .collect();
+    CsrMatrix::from_rows(n, n, &rows)
+}
+
+/// Builds the (unweighted) adjacency matrix `A` with `[A]_{i,j} = 1` iff
+/// edge `i → j` exists.
+pub fn adjacency(g: &DiGraph) -> CsrMatrix {
+    let n = g.node_count();
+    let mut b = CooBuilder::new(n, n);
+    for (u, v) in g.edges() {
+        b.push(u as usize, v as usize, 1.0);
+    }
+    b.build()
+}
+
+/// Row `j` of `Q` as sparse `(col, value)` pairs — the `[Q]_{j,:}` the
+/// rank-one decomposition of Theorem 1 consults, served straight from the
+/// graph without materialising `Q`.
+pub fn q_row(g: &DiGraph, j: u32) -> Vec<(u32, f64)> {
+    let innb = g.in_neighbors(j);
+    if innb.is_empty() {
+        return Vec::new();
+    }
+    let w = 1.0 / innb.len() as f64;
+    innb.iter().map(|&u| (u, w)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The 4-node example: edges 0→2, 1→2, 2→3.
+    fn sample() -> DiGraph {
+        DiGraph::from_edges(4, &[(0, 2), (1, 2), (2, 3)])
+    }
+
+    #[test]
+    fn q_rows_are_uniform_over_in_neighbors() {
+        let q = backward_transition(&sample());
+        // Node 2 has in-neighbors {0, 1} ⇒ row 2 = [1/2, 1/2, 0, 0].
+        assert_eq!(q.get(2, 0), 0.5);
+        assert_eq!(q.get(2, 1), 0.5);
+        assert_eq!(q.get(2, 2), 0.0);
+        // Node 3 has in-neighbor {2} ⇒ [Q]_{3,2} = 1.
+        assert_eq!(q.get(3, 2), 1.0);
+        // Nodes 0,1 have no in-neighbors ⇒ zero rows.
+        assert_eq!(q.row_nnz(0), 0);
+        assert_eq!(q.row_nnz(1), 0);
+    }
+
+    #[test]
+    fn q_rows_sum_to_one_or_zero() {
+        let g = DiGraph::from_edges(5, &[(0, 1), (2, 1), (3, 1), (1, 4), (0, 4)]);
+        let q = backward_transition(&g);
+        for i in 0..5 {
+            let sum: f64 = q.row(i).map(|(_, v)| v).sum();
+            let dj = g.in_degree(i as u32);
+            if dj == 0 {
+                assert_eq!(sum, 0.0);
+            } else {
+                assert!((sum - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn q_is_transpose_normalised_adjacency() {
+        let g = sample();
+        let q = backward_transition(&g);
+        let a = adjacency(&g);
+        // [Q]_{i,j} > 0 ⇔ [A]_{j,i} > 0.
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(q.get(i, j) > 0.0, a.get(j, i) > 0.0, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn q_row_matches_matrix_row() {
+        let g = sample();
+        let q = backward_transition(&g);
+        for j in 0..4u32 {
+            let sparse_row = q_row(&g, j);
+            let matrix_row: Vec<(u32, f64)> = q.row(j as usize).collect();
+            assert_eq!(sparse_row, matrix_row, "row {j}");
+        }
+    }
+
+    #[test]
+    fn adjacency_counts_paths_like_lemma_1() {
+        // Lemma 1: [A^k]_{i,j} counts length-k paths from i to j.
+        // Path 0→2→3 is the only length-2 path from 0.
+        let a = adjacency(&sample()).to_dense();
+        let a2 = a.matmul(&a);
+        assert_eq!(a2.get(0, 3), 1.0);
+        assert_eq!(a2.get(1, 3), 1.0);
+        assert_eq!(a2.get(0, 2), 0.0);
+    }
+}

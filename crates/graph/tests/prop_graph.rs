@@ -1,0 +1,143 @@
+//! Property-based tests of the graph substrate: arbitrary mutation
+//! sequences keep the structure consistent, timelines replay exactly, and
+//! text I/O round-trips.
+
+use incsim_graph::digraph::DiGraph;
+use incsim_graph::evolve::{EvolvingGraph, UpdateOp};
+use incsim_graph::io::{parse_edge_list, write_edge_list};
+use proptest::prelude::*;
+
+/// A random mutation script: each step inserts or removes a random pair.
+#[derive(Debug, Clone)]
+enum Step {
+    Insert(u32, u32),
+    Remove(u32, u32),
+}
+
+fn arb_steps(n: u32, len: usize) -> impl Strategy<Value = Vec<Step>> {
+    proptest::collection::vec(
+        (any::<bool>(), 0..n, 0..n).prop_map(|(ins, u, v)| {
+            if ins {
+                Step::Insert(u, v)
+            } else {
+                Step::Remove(u, v)
+            }
+        }),
+        0..=len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever the script does, the adjacency structure stays internally
+    /// consistent and mirrors a simple set-of-pairs model.
+    #[test]
+    fn mutations_match_set_model(steps in arb_steps(10, 60)) {
+        let mut g = DiGraph::new(10);
+        let mut model: std::collections::BTreeSet<(u32, u32)> = Default::default();
+        for step in steps {
+            match step {
+                Step::Insert(u, v) => {
+                    let expect_ok = !model.contains(&(u, v));
+                    let got = g.insert_edge(u, v);
+                    prop_assert_eq!(got.is_ok(), expect_ok);
+                    if expect_ok {
+                        model.insert((u, v));
+                    }
+                }
+                Step::Remove(u, v) => {
+                    let expect_ok = model.remove(&(u, v));
+                    let got = g.remove_edge(u, v);
+                    prop_assert_eq!(got.is_ok(), expect_ok);
+                }
+            }
+        }
+        g.validate().unwrap();
+        let edges: Vec<(u32, u32)> = g.edges().collect();
+        let model_edges: Vec<(u32, u32)> = model.into_iter().collect();
+        prop_assert_eq!(edges, model_edges);
+    }
+
+    /// Degrees always equal the lengths of the respective neighbor lists,
+    /// and sum to the edge count.
+    #[test]
+    fn degree_bookkeeping(steps in arb_steps(8, 40)) {
+        let mut g = DiGraph::new(8);
+        for step in steps {
+            match step {
+                Step::Insert(u, v) => { let _ = g.insert_edge(u, v); }
+                Step::Remove(u, v) => { let _ = g.remove_edge(u, v); }
+            }
+        }
+        let mut in_sum = 0;
+        let mut out_sum = 0;
+        for v in 0..8u32 {
+            prop_assert_eq!(g.in_degree(v), g.in_neighbors(v).len());
+            prop_assert_eq!(g.out_degree(v), g.out_neighbors(v).len());
+            in_sum += g.in_degree(v);
+            out_sum += g.out_degree(v);
+        }
+        prop_assert_eq!(in_sum, g.edge_count());
+        prop_assert_eq!(out_sum, g.edge_count());
+    }
+
+    /// Timeline law: G(t0) + updates_between(t0, t1) == G(t1).
+    #[test]
+    fn timeline_replay_is_exact(events in proptest::collection::vec(
+        (any::<bool>(), 0u32..6, 0u32..6, 0u64..20), 0..40)) {
+        let mut tl = EvolvingGraph::new(6);
+        for (ins, u, v, t) in events {
+            if ins {
+                tl.record_insert(u, v, t);
+            } else {
+                tl.record_delete(u, v, t);
+            }
+        }
+        for (t0, t1) in [(0u64, 10u64), (5, 15), (0, 20), (7, 7)] {
+            let mut g = tl.snapshot_at(t0);
+            for op in tl.updates_between(t0, t1) {
+                prop_assert!(op.apply(&mut g).is_ok(), "stream op must apply");
+            }
+            prop_assert_eq!(g, tl.snapshot_at(t1), "mismatch for ({}, {})", t0, t1);
+        }
+    }
+
+    /// Update streams never contain a no-op (insert of existing / delete of
+    /// missing), by construction.
+    #[test]
+    fn streams_have_no_noops(events in proptest::collection::vec(
+        (any::<bool>(), 0u32..5, 0u32..5, 0u64..12), 0..30)) {
+        let mut tl = EvolvingGraph::new(5);
+        for (ins, u, v, t) in events {
+            if ins { tl.record_insert(u, v, t); } else { tl.record_delete(u, v, t); }
+        }
+        let mut g = tl.snapshot_at(3);
+        for op in tl.updates_between(3, 12) {
+            match op {
+                UpdateOp::Insert(u, v) => prop_assert!(!g.has_edge(u, v)),
+                UpdateOp::Delete(u, v) => prop_assert!(g.has_edge(u, v)),
+            }
+            op.apply(&mut g).unwrap();
+        }
+    }
+
+    /// Edge-list I/O round-trips any graph (ids are already compact).
+    #[test]
+    fn io_roundtrip(edges in proptest::collection::vec((0u32..9, 0u32..9), 0..30)) {
+        let g = DiGraph::from_edges(9, &edges);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let parsed = parse_edge_list(std::io::Cursor::new(buf)).unwrap();
+        // Parsing compacts to first-appearance order; edge count and degree
+        // multiset are invariant.
+        prop_assert_eq!(parsed.graph.edge_count(), g.edge_count());
+        let mut degs_a: Vec<usize> = (0..parsed.graph.node_count() as u32)
+            .map(|v| parsed.graph.in_degree(v)).filter(|&d| d > 0).collect();
+        let mut degs_b: Vec<usize> = (0..9u32)
+            .map(|v| g.in_degree(v)).filter(|&d| d > 0).collect();
+        degs_a.sort_unstable();
+        degs_b.sort_unstable();
+        prop_assert_eq!(degs_a, degs_b);
+    }
+}

@@ -1,0 +1,548 @@
+//! Row-major dense matrices.
+//!
+//! [`DenseMatrix`] backs the SimRank score matrix `S`, the update matrix `M`
+//! of Algorithm 1 (Inc-uSR keeps `M` dense — that is exactly its `O(n²)`
+//! space cost the paper contrasts with Inc-SR), and the factor matrices of
+//! the Inc-SVD baseline.
+
+use crate::vecops;
+
+/// A dense, row-major `rows × cols` matrix of `f64`.
+///
+/// Row-major layout keeps the hot SimRank kernels (`Q·S`, outer-product
+/// accumulation `M += ξ·ηᵀ`) streaming over contiguous memory.
+#[derive(Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl std::fmt::Debug for DenseMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "DenseMatrix({}x{})", self.rows, self.cols)?;
+        let show_rows = self.rows.min(8);
+        let show_cols = self.cols.min(8);
+        for i in 0..show_rows {
+            write!(f, "  [")?;
+            for j in 0..show_cols {
+                write!(f, "{:>9.4}", self.get(i, j))?;
+                if j + 1 < show_cols {
+                    write!(f, ", ")?;
+                }
+            }
+            writeln!(f, "{}]", if self.cols > show_cols { ", …" } else { "" })?;
+        }
+        if self.rows > show_rows {
+            writeln!(f, "  …")?;
+        }
+        Ok(())
+    }
+}
+
+impl DenseMatrix {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "from_vec: data length {} != {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        DenseMatrix { rows, cols, data }
+    }
+
+    /// Creates a matrix from nested row slices (convenient in tests).
+    ///
+    /// # Panics
+    /// Panics if rows have inconsistent lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "from_rows: ragged rows");
+            data.extend_from_slice(row);
+        }
+        DenseMatrix::from_vec(r, c, data)
+    }
+
+    /// Creates a square diagonal matrix from the given diagonal entries.
+    pub fn from_diag(diag: &[f64]) -> Self {
+        let n = diag.len();
+        let mut m = DenseMatrix::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m.set(i, i, d);
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Entry `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Sets entry `(i, j)` to `v`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Adds `v` to entry `(i, j)`.
+    #[inline]
+    pub fn add_to(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] += v;
+    }
+
+    /// Row `i` as a contiguous slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Row `i` as a mutable contiguous slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Column `j` copied into a new vector.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        (0..self.rows).map(|i| self.get(i, j)).collect()
+    }
+
+    /// The underlying row-major data.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// The underlying row-major data, mutably.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Splits the matrix into disjoint chunks of whole rows (for
+    /// `std::thread::scope`-based parallel kernels). Each chunk holds
+    /// `chunk_rows * cols` numbers except possibly the last.
+    pub fn par_row_chunks_mut(&mut self, chunk_rows: usize) -> impl Iterator<Item = (usize, &mut [f64])> {
+        let cols = self.cols;
+        self.data
+            .chunks_mut(chunk_rows.max(1) * cols)
+            .enumerate()
+            .map(move |(k, chunk)| (k * chunk_rows.max(1), chunk))
+    }
+
+    /// Fills the matrix with zeros, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        vecops::zero(&mut self.data);
+    }
+
+    /// Matrix transpose (new allocation).
+    pub fn transpose(&self) -> DenseMatrix {
+        let mut t = DenseMatrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t.set(j, i, self.get(i, j));
+            }
+        }
+        t
+    }
+
+    /// Matrix–vector product `y = A·x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != cols` or `y.len() != rows`.
+    pub fn matvec(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "matvec: x length mismatch");
+        assert_eq!(y.len(), self.rows, "matvec: y length mismatch");
+        for (i, yi) in y.iter_mut().enumerate() {
+            *yi = vecops::dot(self.row(i), x);
+        }
+    }
+
+    /// Transposed matrix–vector product `y = Aᵀ·x`.
+    pub fn matvec_t(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.rows, "matvec_t: x length mismatch");
+        assert_eq!(y.len(), self.cols, "matvec_t: y length mismatch");
+        vecops::zero(y);
+        for (i, &xi) in x.iter().enumerate() {
+            vecops::axpy(xi, self.row(i), y);
+        }
+    }
+
+    /// Matrix product `C = A·B` with the cache-friendly i-k-j loop order.
+    ///
+    /// # Panics
+    /// Panics if `self.cols != b.rows`.
+    pub fn matmul(&self, b: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(
+            self.cols, b.rows,
+            "matmul: inner dimensions {}x{} · {}x{}",
+            self.rows, self.cols, b.rows, b.cols
+        );
+        let mut c = DenseMatrix::zeros(self.rows, b.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            // SAFETY-free split: write row i of C while reading rows of B.
+            let c_row_range = i * c.cols..(i + 1) * c.cols;
+            for (k, &aik) in a_row.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = b.row(k);
+                let c_row = &mut c.data[c_row_range.clone()];
+                vecops::axpy(aik, b_row, c_row);
+            }
+        }
+        c
+    }
+
+    /// Matrix product with the transpose of `b`: `C = A·Bᵀ`.
+    ///
+    /// Implemented as dot products of contiguous rows, so it is as
+    /// cache-friendly as `matmul`.
+    pub fn matmul_nt(&self, b: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(
+            self.cols, b.cols,
+            "matmul_nt: inner dimensions {}x{} · ({}x{})ᵀ",
+            self.rows, self.cols, b.rows, b.cols
+        );
+        let mut c = DenseMatrix::zeros(self.rows, b.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for j in 0..b.rows {
+                let v = vecops::dot(a_row, b.row(j));
+                c.set(i, j, v);
+            }
+        }
+        c
+    }
+
+    /// Matrix product with the transpose of `a`: `C = Aᵀ·B`.
+    pub fn matmul_tn(&self, b: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(
+            self.rows, b.rows,
+            "matmul_tn: inner dimensions ({}x{})ᵀ · {}x{}",
+            self.rows, self.cols, b.rows, b.cols
+        );
+        let mut c = DenseMatrix::zeros(self.cols, b.cols);
+        for k in 0..self.rows {
+            let a_row = self.row(k);
+            let b_row = b.row(k);
+            for (i, &aki) in a_row.iter().enumerate() {
+                if aki == 0.0 {
+                    continue;
+                }
+                let c_row = c.row_mut(i);
+                vecops::axpy(aki, b_row, c_row);
+            }
+        }
+        c
+    }
+
+    /// In-place scaled addition `self ← self + alpha·other`.
+    ///
+    /// # Panics
+    /// Panics if the shapes differ.
+    pub fn add_scaled(&mut self, alpha: f64, other: &DenseMatrix) {
+        assert_eq!(self.rows, other.rows, "add_scaled: row mismatch");
+        assert_eq!(self.cols, other.cols, "add_scaled: col mismatch");
+        vecops::axpy(alpha, &other.data, &mut self.data);
+    }
+
+    /// In-place scaling `self ← alpha·self`.
+    pub fn scale(&mut self, alpha: f64) {
+        vecops::scale(alpha, &mut self.data);
+    }
+
+    /// Rank-one update `self ← self + alpha·x·yᵀ`.
+    ///
+    /// This is the `M_{k+1} = ξ_{k+1}·η_{k+1}ᵀ + M_k` step of Algorithm 1.
+    pub fn rank_one_update(&mut self, alpha: f64, x: &[f64], y: &[f64]) {
+        assert_eq!(x.len(), self.rows, "rank_one_update: x length mismatch");
+        assert_eq!(y.len(), self.cols, "rank_one_update: y length mismatch");
+        for (i, &xi) in x.iter().enumerate() {
+            let coeff = alpha * xi;
+            if coeff == 0.0 {
+                continue;
+            }
+            vecops::axpy(coeff, y, self.row_mut(i));
+        }
+    }
+
+    /// Symmetric rank-two update `self ← self + alpha·(x·yᵀ + y·xᵀ)`.
+    ///
+    /// This is how Inc-uSR folds `ΔS = Σ_k (ξ_k·η_kᵀ + η_k·ξ_kᵀ)` directly
+    /// into the score matrix without materialising the `n × n` update
+    /// matrix `M` — the reason its intermediate memory is `O(n)` vectors
+    /// (the paper's Fig. 3 shows Inc-uSR far below Inc-SVD).
+    /// Single pass over the rows: row `a` gets `alpha·(x_a·y + y_a·x)`.
+    pub fn add_sym_outer(&mut self, alpha: f64, x: &[f64], y: &[f64]) {
+        assert_eq!(self.rows, self.cols, "add_sym_outer: not square");
+        assert_eq!(x.len(), self.rows, "add_sym_outer: x length mismatch");
+        assert_eq!(y.len(), self.rows, "add_sym_outer: y length mismatch");
+        for a in 0..self.rows {
+            let (xa, ya) = (alpha * x[a], alpha * y[a]);
+            let row = self.row_mut(a);
+            if xa != 0.0 {
+                vecops::axpy(xa, y, row);
+            }
+            if ya != 0.0 {
+                vecops::axpy(ya, x, row);
+            }
+        }
+    }
+
+    /// Adds the transpose of `self` into `self`: `self ← self + selfᵀ`.
+    ///
+    /// Used for `ΔS = M + Mᵀ` (Eq. 12). Only valid on square matrices.
+    pub fn add_transpose_in_place(&mut self) {
+        assert_eq!(self.rows, self.cols, "add_transpose_in_place: not square");
+        for i in 0..self.rows {
+            // Diagonal doubles; off-diagonals symmetrise.
+            let d = self.get(i, i);
+            self.set(i, i, 2.0 * d);
+            for j in (i + 1)..self.cols {
+                let s = self.get(i, j) + self.get(j, i);
+                self.set(i, j, s);
+                self.set(j, i, s);
+            }
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn norm_fro(&self) -> f64 {
+        vecops::norm2(&self.data)
+    }
+
+    /// Max-absolute-entry norm `‖·‖_max`.
+    pub fn norm_max(&self) -> f64 {
+        vecops::norm_inf(&self.data)
+    }
+
+    /// Maximum absolute entry-wise difference to `other`.
+    pub fn max_abs_diff(&self, other: &DenseMatrix) -> f64 {
+        assert_eq!(self.rows, other.rows, "max_abs_diff: row mismatch");
+        assert_eq!(self.cols, other.cols, "max_abs_diff: col mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .fold(0.0f64, |m, (a, b)| m.max((a - b).abs()))
+    }
+
+    /// Returns `true` if the matrix is symmetric within `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                if (self.get(i, j) - self.get(j, i)).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Number of entries with absolute value above `tol`.
+    pub fn count_nonzero(&self, tol: f64) -> usize {
+        self.data.iter().filter(|v| v.abs() > tol).count()
+    }
+
+    /// Heap bytes held by this matrix (for the paper's memory experiment).
+    pub fn heap_bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn identity_and_get_set() {
+        let mut m = DenseMatrix::identity(3);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(0, 1), 0.0);
+        m.set(0, 1, 5.0);
+        m.add_to(0, 1, 1.0);
+        assert_eq!(m.get(0, 1), 6.0);
+    }
+
+    #[test]
+    fn from_rows_and_transpose() {
+        let m = DenseMatrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let t = m.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t.get(2, 1), 6.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn matvec_matches_manual() {
+        let m = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let mut y = vec![0.0; 3];
+        m.matvec(&[1.0, -1.0], &mut y);
+        assert_eq!(y, vec![-1.0, -1.0, -1.0]);
+        let mut z = vec![0.0; 2];
+        m.matvec_t(&[1.0, 1.0, 1.0], &mut z);
+        assert_eq!(z, vec![9.0, 12.0]);
+    }
+
+    #[test]
+    fn matmul_matches_manual() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = DenseMatrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.row(0), &[19.0, 22.0]);
+        assert_eq!(c.row(1), &[43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_nt_tn_consistent_with_matmul() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0, 0.5], &[3.0, -4.0, 2.0]]);
+        let b = DenseMatrix::from_rows(&[&[5.0, 1.0, -1.0], &[0.0, 8.0, 2.5]]);
+        // A·Bᵀ
+        let c1 = a.matmul_nt(&b);
+        let c2 = a.matmul(&b.transpose());
+        assert!(c1.max_abs_diff(&c2) < 1e-14);
+        // Aᵀ·B
+        let d1 = a.matmul_tn(&b);
+        let d2 = a.transpose().matmul(&b);
+        assert!(d1.max_abs_diff(&d2) < 1e-14);
+    }
+
+    #[test]
+    fn rank_one_update_is_outer_product() {
+        let mut m = DenseMatrix::zeros(2, 3);
+        m.rank_one_update(2.0, &[1.0, -1.0], &[1.0, 2.0, 3.0]);
+        assert_eq!(m.row(0), &[2.0, 4.0, 6.0]);
+        assert_eq!(m.row(1), &[-2.0, -4.0, -6.0]);
+    }
+
+    #[test]
+    fn add_sym_outer_matches_two_rank_one_updates() {
+        let x = [1.0, -2.0, 0.5];
+        let y = [3.0, 0.0, 4.0];
+        let mut a = DenseMatrix::zeros(3, 3);
+        a.add_sym_outer(2.0, &x, &y);
+        let mut b = DenseMatrix::zeros(3, 3);
+        b.rank_one_update(2.0, &x, &y);
+        b.rank_one_update(2.0, &y, &x);
+        assert!(a.max_abs_diff(&b) < 1e-14);
+        assert!(a.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn add_transpose_in_place_symmetrises() {
+        let mut m = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        m.add_transpose_in_place();
+        assert_eq!(m.row(0), &[2.0, 5.0]);
+        assert_eq!(m.row(1), &[5.0, 8.0]);
+        assert!(m.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn norms_and_diffs() {
+        let m = DenseMatrix::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]);
+        assert!(approx(m.norm_fro(), 5.0));
+        assert!(approx(m.norm_max(), 4.0));
+        let z = DenseMatrix::zeros(2, 2);
+        assert!(approx(m.max_abs_diff(&z), 4.0));
+        assert_eq!(m.count_nonzero(0.0), 2);
+    }
+
+    #[test]
+    fn symmetry_check() {
+        let m = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
+        assert!(m.is_symmetric(0.0));
+        let m = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.1, 1.0]]);
+        assert!(!m.is_symmetric(1e-3));
+        assert!(m.is_symmetric(0.2));
+        let rect = DenseMatrix::zeros(2, 3);
+        assert!(!rect.is_symmetric(1.0));
+    }
+
+    #[test]
+    fn from_diag_places_diagonal() {
+        let d = DenseMatrix::from_diag(&[1.0, 2.0]);
+        assert_eq!(d.get(0, 0), 1.0);
+        assert_eq!(d.get(1, 1), 2.0);
+        assert_eq!(d.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn add_scaled_and_scale() {
+        let mut a = DenseMatrix::identity(2);
+        let b = DenseMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        a.add_scaled(2.0, &b);
+        assert_eq!(a.row(0), &[1.0, 2.0]);
+        a.scale(0.5);
+        assert_eq!(a.row(0), &[0.5, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul: inner dimensions")]
+    fn matmul_shape_mismatch_panics() {
+        let a = DenseMatrix::zeros(2, 3);
+        let b = DenseMatrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn par_row_chunks_cover_all_rows() {
+        let mut m = DenseMatrix::zeros(5, 2);
+        let mut seen = vec![];
+        for (start, chunk) in m.par_row_chunks_mut(2) {
+            seen.push((start, chunk.len() / 2));
+        }
+        assert_eq!(seen, vec![(0, 2), (2, 2), (4, 1)]);
+    }
+}

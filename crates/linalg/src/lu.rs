@@ -1,0 +1,204 @@
+//! LU factorisation with partial pivoting and linear solves.
+//!
+//! The Inc-SVD baseline (Li et al., reproduced in `incsim-baselines`)
+//! computes SimRank from SVD factors through the Kronecker-product closed
+//! form, which requires solving an explicit `r² × r²` linear system — that
+//! solve is this module. The `r⁴` memory of the system matrix is exactly the
+//! blow-up the paper measures in its Fig. 3 memory experiment.
+
+use crate::dense::DenseMatrix;
+use crate::{LinalgError, Result};
+
+/// An LU factorisation `P·A = L·U` with partial (row) pivoting.
+pub struct LuFactors {
+    /// Combined L (strict lower, unit diagonal implied) and U (upper).
+    lu: DenseMatrix,
+    /// Row permutation: `perm[k]` is the original row moved to position `k`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (for determinants).
+    sign: f64,
+}
+
+impl LuFactors {
+    /// Factorises a square matrix.
+    ///
+    /// Returns [`LinalgError::Singular`] if a pivot is exactly zero; callers
+    /// that can tolerate near-singularity should pre-scale or regularise.
+    pub fn new(a: &DenseMatrix) -> Result<Self> {
+        let n = a.rows();
+        if n != a.cols() {
+            return Err(LinalgError::ShapeMismatch {
+                context: format!("LU requires a square matrix, got {}x{}", a.rows(), a.cols()),
+            });
+        }
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+
+        for k in 0..n {
+            // Partial pivoting: find the largest |entry| in column k at/below row k.
+            let mut pivot_row = k;
+            let mut pivot_val = lu.get(k, k).abs();
+            for i in (k + 1)..n {
+                let v = lu.get(i, k).abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = i;
+                }
+            }
+            if pivot_val == 0.0 {
+                return Err(LinalgError::Singular { pivot: k });
+            }
+            if pivot_row != k {
+                for j in 0..n {
+                    let t = lu.get(k, j);
+                    lu.set(k, j, lu.get(pivot_row, j));
+                    lu.set(pivot_row, j, t);
+                }
+                perm.swap(k, pivot_row);
+                sign = -sign;
+            }
+            let pivot = lu.get(k, k);
+            for i in (k + 1)..n {
+                let factor = lu.get(i, k) / pivot;
+                lu.set(i, k, factor);
+                if factor != 0.0 {
+                    for j in (k + 1)..n {
+                        let v = lu.get(i, j) - factor * lu.get(k, j);
+                        lu.set(i, j, v);
+                    }
+                }
+            }
+        }
+        Ok(LuFactors { lu, perm, sign })
+    }
+
+    /// Dimension of the factorised matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A·x = b` for a single right-hand side.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                context: format!("solve: rhs length {} != {}", b.len(), n),
+            });
+        }
+        // Forward substitution on P·b with unit-diagonal L.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.lu.get(i, j) * x[j];
+            }
+            x[i] = acc;
+        }
+        // Back substitution with U.
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= self.lu.get(i, j) * x[j];
+            }
+            x[i] = acc / self.lu.get(i, i);
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the factorised matrix.
+    pub fn det(&self) -> f64 {
+        let mut d = self.sign;
+        for i in 0..self.dim() {
+            d *= self.lu.get(i, i);
+        }
+        d
+    }
+
+    /// Heap bytes held (for the paper's memory experiment).
+    pub fn heap_bytes(&self) -> usize {
+        self.lu.heap_bytes() + self.perm.capacity() * std::mem::size_of::<usize>()
+    }
+}
+
+/// Convenience one-shot solve of `A·x = b`.
+pub fn solve(a: &DenseMatrix, b: &[f64]) -> Result<Vec<f64>> {
+    LuFactors::new(a)?.solve(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_small_system() {
+        let a = DenseMatrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let x = solve(&a, &[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solves_system_requiring_pivoting() {
+        // Leading zero forces a row swap.
+        let a = DenseMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = solve(&a, &[2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn residual_is_small_on_random_like_matrix() {
+        let n = 12;
+        let mut a = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                // Deterministic pseudo-random fill, diagonally dominant.
+                let v = (((i * 31 + j * 17 + 7) % 23) as f64 - 11.0) / 11.0;
+                a.set(i, j, v);
+            }
+            a.add_to(i, i, 4.0);
+        }
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let x = solve(&a, &b).unwrap();
+        let mut ax = vec![0.0; n];
+        a.matvec(&x, &mut ax);
+        for i in 0..n {
+            assert!((ax[i] - b[i]).abs() < 1e-10, "residual too large at {i}");
+        }
+    }
+
+    #[test]
+    fn detects_singular_matrix() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        match LuFactors::new(&a) {
+            Err(LinalgError::Singular { .. }) => {}
+            other => panic!("expected Singular, got {other:?}", other = other.err()),
+        }
+    }
+
+    #[test]
+    fn determinant_matches_manual() {
+        let a = DenseMatrix::from_rows(&[&[3.0, 1.0], &[4.0, 2.0]]);
+        let lu = LuFactors::new(&a).unwrap();
+        assert!((lu.det() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = DenseMatrix::zeros(2, 3);
+        assert!(matches!(
+            LuFactors::new(&a),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_rhs_length() {
+        let a = DenseMatrix::identity(3);
+        let lu = LuFactors::new(&a).unwrap();
+        assert!(matches!(
+            lu.solve(&[1.0, 2.0]),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+    }
+}

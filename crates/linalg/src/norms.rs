@@ -1,0 +1,86 @@
+//! Matrix norms and spectral estimates.
+//!
+//! §IV of the paper quantifies the Inc-SVD approximation error through
+//! spectral norms (e.g. `‖Q̃ − Ũ·Σ̃·Ṽᵀ‖₂ = 1` in Example 3); the power
+//! iteration here reproduces those measurements without a full SVD.
+
+use crate::dense::DenseMatrix;
+use crate::svd::LinOp;
+use crate::vecops;
+
+/// Spectral norm `‖A‖₂` estimated by power iteration on `AᵀA`.
+///
+/// Deterministic start vector, `iters` iterations (30 is plenty for the
+/// diagnostics in this workspace; the estimate is a lower bound that
+/// converges rapidly unless the top two singular values are nearly equal).
+pub fn spectral_norm_est<O: LinOp>(a: &O, iters: usize) -> f64 {
+    let n = a.ncols();
+    let m = a.nrows();
+    if n == 0 || m == 0 {
+        return 0.0;
+    }
+    let mut x: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.7).sin()).collect();
+    let nrm = vecops::norm2(&x);
+    vecops::scale(1.0 / nrm, &mut x);
+    let mut y = vec![0.0; m];
+    let mut sigma = 0.0;
+    for _ in 0..iters {
+        a.apply(&x, &mut y);
+        sigma = vecops::norm2(&y);
+        if sigma == 0.0 {
+            return 0.0;
+        }
+        a.apply_t(&y, &mut x);
+        let nx = vecops::norm2(&x);
+        if nx == 0.0 {
+            return sigma;
+        }
+        vecops::scale(1.0 / nx, &mut x);
+    }
+    sigma
+}
+
+/// Frobenius norm of the difference `‖A − B‖_F`.
+pub fn diff_fro(a: &DenseMatrix, b: &DenseMatrix) -> f64 {
+    assert_eq!(a.rows(), b.rows(), "diff_fro: row mismatch");
+    assert_eq!(a.cols(), b.cols(), "diff_fro: col mismatch");
+    let mut acc = 0.0;
+    for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+        let d = x - y;
+        acc += d * d;
+    }
+    acc.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spectral_norm_of_diagonal() {
+        let a = DenseMatrix::from_diag(&[3.0, 1.0, 2.0]);
+        let est = spectral_norm_est(&a, 50);
+        assert!((est - 3.0).abs() < 1e-9, "est={est}");
+    }
+
+    #[test]
+    fn spectral_norm_of_zero_matrix() {
+        let a = DenseMatrix::zeros(3, 3);
+        assert_eq!(spectral_norm_est(&a, 10), 0.0);
+    }
+
+    #[test]
+    fn spectral_norm_of_paper_example_3_residual() {
+        // Example 3: ‖[0 1; 1 0] − [0 1; 0 0]‖₂ = ‖[0 0; 1 0]‖₂ = 1.
+        let d = DenseMatrix::from_rows(&[&[0.0, 0.0], &[1.0, 0.0]]);
+        let est = spectral_norm_est(&d, 50);
+        assert!((est - 1.0).abs() < 1e-9, "est={est}");
+    }
+
+    #[test]
+    fn diff_fro_basic() {
+        let a = DenseMatrix::identity(2);
+        let b = DenseMatrix::zeros(2, 2);
+        assert!((diff_fro(&a, &b) - 2f64.sqrt()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,294 @@
+//! Householder QR decomposition and rank-revealing QR with column pivoting.
+//!
+//! * [`qr_thin`] produces the *thin* factorisation `A = Q·R` with
+//!   column-orthonormal `Q` — the orthonormalisation step of the randomized
+//!   truncated SVD used by the Inc-SVD baseline.
+//! * [`rank_qrcp`] estimates numerical rank through QR with column pivoting.
+//!   The paper's Fig. 2b reports `rank/n` of real graphs' transition matrices
+//!   to show the lossless-SVD rank is *not* negligibly smaller than `n`;
+//!   this routine regenerates that figure without paying for a full SVD.
+
+use crate::dense::DenseMatrix;
+
+/// Thin QR factorisation `A = Q·R` of an `m × n` matrix with `m ≥ n`.
+///
+/// Returns `(Q, R)` with `Q` of shape `m × n` (column-orthonormal) and `R`
+/// of shape `n × n` (upper triangular).
+///
+/// # Panics
+/// Panics if `m < n`.
+pub fn qr_thin(a: &DenseMatrix) -> (DenseMatrix, DenseMatrix) {
+    let m = a.rows();
+    let n = a.cols();
+    assert!(m >= n, "qr_thin requires a tall matrix, got {m}x{n}");
+
+    // Work on a copy; store Householder vectors in-place below the diagonal
+    // and keep R's diagonal in a side vector.
+    let mut work = a.clone();
+    let mut betas = vec![0.0; n];
+    let mut r_diag = vec![0.0; n];
+
+    for k in 0..n {
+        // Build the Householder reflector for column k, rows k..m.
+        let mut norm_sq = 0.0;
+        for i in k..m {
+            let v = work.get(i, k);
+            norm_sq += v * v;
+        }
+        let norm = norm_sq.sqrt();
+        if norm == 0.0 {
+            betas[k] = 0.0;
+            continue;
+        }
+        let akk = work.get(k, k);
+        let alpha = if akk >= 0.0 { -norm } else { norm };
+        // v = x - alpha*e1, stored in place (v_k overwrites a_kk).
+        let v0 = akk - alpha;
+        work.set(k, k, v0);
+        // beta = 2 / (vᵀv)
+        let mut vtv = 0.0;
+        for i in k..m {
+            let v = work.get(i, k);
+            vtv += v * v;
+        }
+        if vtv == 0.0 {
+            betas[k] = 0.0;
+            continue;
+        }
+        let beta = 2.0 / vtv;
+        betas[k] = beta;
+
+        // Apply reflector to the remaining columns: A ← (I - beta v vᵀ) A.
+        for j in (k + 1)..n {
+            let mut dot = 0.0;
+            for i in k..m {
+                dot += work.get(i, k) * work.get(i, j);
+            }
+            let coeff = beta * dot;
+            for i in k..m {
+                let v = work.get(i, k);
+                work.add_to(i, j, -coeff * v);
+            }
+        }
+        r_diag[k] = alpha;
+    }
+
+    // Extract R (upper triangle; diagonal from the side vector).
+    let mut r = DenseMatrix::zeros(n, n);
+    for i in 0..n {
+        r.set(i, i, r_diag[i]);
+        for j in (i + 1)..n {
+            r.set(i, j, work.get(i, j));
+        }
+    }
+
+    // Accumulate thin Q by applying reflectors to the first n columns of I.
+    let mut q = DenseMatrix::zeros(m, n);
+    for j in 0..n {
+        q.set(j, j, 1.0);
+    }
+    for k in (0..n).rev() {
+        let beta = betas[k];
+        if beta == 0.0 {
+            continue;
+        }
+        for j in 0..n {
+            let mut dot = 0.0;
+            for i in k..m {
+                dot += work.get(i, k) * q.get(i, j);
+            }
+            let coeff = beta * dot;
+            for i in k..m {
+                let v = work.get(i, k);
+                q.add_to(i, j, -coeff * v);
+            }
+        }
+    }
+    (q, r)
+}
+
+/// Numerical rank via QR with column pivoting.
+///
+/// Returns the number of diagonal entries of `R` with
+/// `|r_kk| > tol · |r_00|`. With `tol = ε·max(m,n)` this matches the usual
+/// SVD-based numerical-rank definition closely on well-behaved matrices.
+pub fn rank_qrcp(a: &DenseMatrix, tol: f64) -> usize {
+    let m = a.rows();
+    let n = a.cols();
+    let mut work = a.clone();
+    let kmax = m.min(n);
+
+    // Column squared norms for pivot selection.
+    let mut col_norms: Vec<f64> = (0..n)
+        .map(|j| (0..m).map(|i| work.get(i, j) * work.get(i, j)).sum())
+        .collect();
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut first_pivot_mag = 0.0f64;
+    let mut rank = 0usize;
+
+    for k in 0..kmax {
+        // Select the pivot column with the largest remaining norm.
+        let (pivot, &max_norm) = col_norms[k..]
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("column norms are finite"))
+            .map(|(off, v)| (k + off, v))
+            .expect("non-empty remaining columns");
+        if pivot != k {
+            for i in 0..m {
+                let t = work.get(i, k);
+                work.set(i, k, work.get(i, pivot));
+                work.set(i, pivot, t);
+            }
+            col_norms.swap(k, pivot);
+            perm.swap(k, pivot);
+        }
+        if max_norm <= 0.0 {
+            break;
+        }
+
+        // Householder on column k.
+        let mut norm_sq = 0.0;
+        for i in k..m {
+            let v = work.get(i, k);
+            norm_sq += v * v;
+        }
+        let norm = norm_sq.sqrt();
+        if k == 0 {
+            first_pivot_mag = norm;
+            if norm == 0.0 {
+                return 0;
+            }
+        }
+        if norm <= tol * first_pivot_mag {
+            break;
+        }
+        rank += 1;
+
+        let akk = work.get(k, k);
+        let alpha = if akk >= 0.0 { -norm } else { norm };
+        let v0 = akk - alpha;
+        work.set(k, k, v0);
+        let mut vtv = 0.0;
+        for i in k..m {
+            let v = work.get(i, k);
+            vtv += v * v;
+        }
+        if vtv > 0.0 {
+            let beta = 2.0 / vtv;
+            for j in (k + 1)..n {
+                let mut dot = 0.0;
+                for i in k..m {
+                    dot += work.get(i, k) * work.get(i, j);
+                }
+                let coeff = beta * dot;
+                for i in k..m {
+                    let v = work.get(i, k);
+                    work.add_to(i, j, -coeff * v);
+                }
+            }
+        }
+        // Downdate column norms for the remaining columns.
+        for j in (k + 1)..n {
+            let r_kj = work.get(k, j);
+            col_norms[j] = (col_norms[j] - r_kj * r_kj).max(0.0);
+        }
+    }
+    rank
+}
+
+/// Orthonormality defect `‖QᵀQ − I‖_max` (test/diagnostic helper).
+pub fn orthonormality_defect(q: &DenseMatrix) -> f64 {
+    let n = q.cols();
+    let mut defect = 0.0f64;
+    for i in 0..n {
+        for j in i..n {
+            let mut dot = 0.0;
+            for k in 0..q.rows() {
+                dot += q.get(k, i) * q.get(k, j);
+            }
+            let target = if i == j { 1.0 } else { 0.0 };
+            defect = defect.max((dot - target).abs());
+        }
+    }
+    defect
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reconstruct(q: &DenseMatrix, r: &DenseMatrix) -> DenseMatrix {
+        q.matmul(r)
+    }
+
+    #[test]
+    fn qr_reconstructs_tall_matrix() {
+        let a = DenseMatrix::from_rows(&[
+            &[1.0, 2.0],
+            &[3.0, 4.0],
+            &[5.0, 6.0],
+            &[7.0, 9.0],
+        ]);
+        let (q, r) = qr_thin(&a);
+        assert_eq!(q.rows(), 4);
+        assert_eq!(q.cols(), 2);
+        assert!(orthonormality_defect(&q) < 1e-12);
+        assert!(reconstruct(&q, &r).max_abs_diff(&a) < 1e-12);
+        // R upper triangular.
+        assert!(r.get(1, 0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn qr_handles_square_identity() {
+        let a = DenseMatrix::identity(3);
+        let (q, r) = qr_thin(&a);
+        assert!(orthonormality_defect(&q) < 1e-14);
+        assert!(reconstruct(&q, &r).max_abs_diff(&a) < 1e-14);
+    }
+
+    #[test]
+    fn qr_handles_zero_column() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 0.0], &[1.0, 0.0], &[0.0, 0.0]]);
+        let (q, r) = qr_thin(&a);
+        assert!(reconstruct(&q, &r).max_abs_diff(&a) < 1e-12);
+    }
+
+    #[test]
+    fn rank_of_identity_is_full() {
+        let a = DenseMatrix::identity(5);
+        assert_eq!(rank_qrcp(&a, 1e-10), 5);
+    }
+
+    #[test]
+    fn rank_of_rank_one_matrix_is_one() {
+        // a = x·yᵀ
+        let mut a = DenseMatrix::zeros(4, 4);
+        a.rank_one_update(1.0, &[1.0, 2.0, 3.0, 4.0], &[2.0, -1.0, 0.5, 3.0]);
+        assert_eq!(rank_qrcp(&a, 1e-10), 1);
+    }
+
+    #[test]
+    fn rank_of_paper_example_2_matrix() {
+        // Q = [0 1; 0 0] from Example 2 has rank 1.
+        let q = DenseMatrix::from_rows(&[&[0.0, 1.0], &[0.0, 0.0]]);
+        assert_eq!(rank_qrcp(&q, 1e-12), 1);
+    }
+
+    #[test]
+    fn rank_of_zero_matrix_is_zero() {
+        let a = DenseMatrix::zeros(3, 3);
+        assert_eq!(rank_qrcp(&a, 1e-12), 0);
+    }
+
+    #[test]
+    fn rank_detects_dependent_columns() {
+        // Third column = col0 + col1.
+        let a = DenseMatrix::from_rows(&[
+            &[1.0, 0.0, 1.0],
+            &[0.0, 1.0, 1.0],
+            &[2.0, 1.0, 3.0],
+        ]);
+        assert_eq!(rank_qrcp(&a, 1e-10), 2);
+    }
+}

@@ -1,0 +1,231 @@
+//! Gustavson-style sparse vector accumulator.
+//!
+//! The pruned Inc-SR iteration (Algorithm 2 of the paper) computes only the
+//! entries `[ξ_k]_a` for `a ∈ A_k` and `[η_k]_b` for `b ∈ B_k`. A
+//! [`SparseAccumulator`] holds one n-length dense scratch array plus an
+//! explicit support list, so that
+//!
+//! * random-access reads/writes are `O(1)`,
+//! * iterating the support is `O(|support|)` (not `O(n)`), and
+//! * clearing is `O(|support|)`, letting the workspace be reused across the
+//!   `K` iterations without reallocation.
+//!
+//! This is the standard sparse accumulator ("SPA") from sparse matrix
+//! multiplication literature, and is what makes Inc-SR's
+//! `O(K(n·d + |AFF|))` bound real in this implementation.
+
+/// A sparse vector of fixed dimension `n` with `O(1)` accumulation and
+/// `O(|support|)` iteration/clearing.
+#[derive(Clone, Debug)]
+pub struct SparseAccumulator {
+    values: Vec<f64>,
+    occupied: Vec<bool>,
+    support: Vec<u32>,
+}
+
+impl SparseAccumulator {
+    /// Creates an all-zero accumulator of dimension `n`.
+    pub fn new(n: usize) -> Self {
+        SparseAccumulator {
+            values: vec![0.0; n],
+            occupied: vec![false; n],
+            support: Vec::new(),
+        }
+    }
+
+    /// Dimension of the vector.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of indices currently in the support.
+    ///
+    /// Note: entries that were added and later cancelled to exactly `0.0`
+    /// remain in the support until [`Self::clear`] or [`Self::prune`];
+    /// the affected-area accounting of the paper counts them the same way
+    /// (a touched pair stays in `A_k × B_k`).
+    #[inline]
+    pub fn support_len(&self) -> usize {
+        self.support.len()
+    }
+
+    /// Current value at `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> f64 {
+        self.values[i]
+    }
+
+    /// Adds `v` to entry `i`, extending the support if needed.
+    #[inline]
+    pub fn add(&mut self, i: usize, v: f64) {
+        if !self.occupied[i] {
+            self.occupied[i] = true;
+            self.support.push(i as u32);
+        }
+        self.values[i] += v;
+    }
+
+    /// Sets entry `i` to `v`, extending the support if needed.
+    #[inline]
+    pub fn set(&mut self, i: usize, v: f64) {
+        if !self.occupied[i] {
+            self.occupied[i] = true;
+            self.support.push(i as u32);
+        }
+        self.values[i] = v;
+    }
+
+    /// Iterates `(index, value)` over the support in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, f64)> + '_ {
+        self.support.iter().map(move |&i| (i, self.values[i as usize]))
+    }
+
+    /// The support indices (insertion order, may contain exact zeros).
+    #[inline]
+    pub fn support(&self) -> &[u32] {
+        &self.support
+    }
+
+    /// Dot product with a dense slice.
+    pub fn dot_dense(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.dim(), "dot_dense: length mismatch");
+        self.iter().map(|(i, v)| v * x[i as usize]).sum()
+    }
+
+    /// Copies the sparse contents into `(indices, values)` pairs, dropping
+    /// entries with `|v| <= tol`.
+    pub fn to_pairs(&self, tol: f64) -> Vec<(u32, f64)> {
+        self.iter().filter(|(_, v)| v.abs() > tol).collect()
+    }
+
+    /// Resets to the zero vector in `O(|support|)`.
+    pub fn clear(&mut self) {
+        for &i in &self.support {
+            self.values[i as usize] = 0.0;
+            self.occupied[i as usize] = false;
+        }
+        self.support.clear();
+    }
+
+    /// Removes support entries whose magnitude is `<= tol` (keeps values).
+    pub fn prune(&mut self, tol: f64) {
+        let values = &self.values;
+        let occupied = &mut self.occupied;
+        self.support.retain(|&i| {
+            if values[i as usize].abs() > tol {
+                true
+            } else {
+                occupied[i as usize] = false;
+                false
+            }
+        });
+        for i in 0..self.values.len() {
+            if !self.occupied[i] {
+                self.values[i] = 0.0;
+            }
+        }
+    }
+
+    /// Sorts the support indices ascending.
+    ///
+    /// Scatter/gather loops over the support then touch memory in address
+    /// order — on large score matrices this turns random-stride writes into
+    /// prefetch-friendly sweeps (the difference between Inc-SR merely
+    /// matching and clearly beating Inc-uSR on dense-ish affected areas).
+    pub fn sort_support(&mut self) {
+        self.support.sort_unstable();
+    }
+
+    /// Clones the current contents into a plain dense vector.
+    pub fn to_dense(&self) -> Vec<f64> {
+        self.values.clone()
+    }
+
+    /// Heap bytes held (for the paper's memory experiment). The dense
+    /// scratch arrays are shared workspace; they are charged once.
+    pub fn heap_bytes(&self) -> usize {
+        self.values.capacity() * std::mem::size_of::<f64>()
+            + self.occupied.capacity()
+            + self.support.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_set_get_roundtrip() {
+        let mut s = SparseAccumulator::new(5);
+        assert_eq!(s.dim(), 5);
+        s.add(3, 1.5);
+        s.add(3, 0.5);
+        s.set(1, -2.0);
+        assert_eq!(s.get(3), 2.0);
+        assert_eq!(s.get(1), -2.0);
+        assert_eq!(s.get(0), 0.0);
+        assert_eq!(s.support_len(), 2);
+    }
+
+    #[test]
+    fn support_tracks_insertion_order_without_duplicates() {
+        let mut s = SparseAccumulator::new(4);
+        s.add(2, 1.0);
+        s.add(0, 1.0);
+        s.add(2, 1.0);
+        assert_eq!(s.support(), &[2, 0]);
+    }
+
+    #[test]
+    fn clear_is_complete() {
+        let mut s = SparseAccumulator::new(4);
+        s.add(1, 3.0);
+        s.add(2, 4.0);
+        s.clear();
+        assert_eq!(s.support_len(), 0);
+        for i in 0..4 {
+            assert_eq!(s.get(i), 0.0);
+        }
+        // Reusable after clear.
+        s.add(1, 7.0);
+        assert_eq!(s.get(1), 7.0);
+        assert_eq!(s.support(), &[1]);
+    }
+
+    #[test]
+    fn dot_dense_matches_manual() {
+        let mut s = SparseAccumulator::new(3);
+        s.add(0, 2.0);
+        s.add(2, -1.0);
+        assert_eq!(s.dot_dense(&[1.0, 10.0, 4.0]), 2.0 - 4.0);
+    }
+
+    #[test]
+    fn prune_drops_tiny_entries() {
+        let mut s = SparseAccumulator::new(3);
+        s.add(0, 1e-16);
+        s.add(1, 1.0);
+        s.prune(1e-12);
+        assert_eq!(s.support(), &[1]);
+        assert_eq!(s.get(0), 0.0);
+    }
+
+    #[test]
+    fn to_pairs_filters_by_tolerance() {
+        let mut s = SparseAccumulator::new(3);
+        s.add(0, 1e-16);
+        s.add(2, 2.0);
+        let pairs = s.to_pairs(1e-12);
+        assert_eq!(pairs, vec![(2, 2.0)]);
+    }
+
+    #[test]
+    fn cancelled_entry_stays_in_support() {
+        let mut s = SparseAccumulator::new(3);
+        s.add(1, 1.0);
+        s.add(1, -1.0);
+        assert_eq!(s.get(1), 0.0);
+        assert_eq!(s.support_len(), 1, "touched entries count toward AFF");
+    }
+}

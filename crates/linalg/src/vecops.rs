@@ -1,0 +1,151 @@
+//! Primitive operations on dense `f64` vectors (slices).
+//!
+//! SimRank's incremental iteration (Algorithm 1 of the paper) is deliberately
+//! phrased in matrix–vector and vector–vector operations; these are the
+//! vector–vector half: dot products, SAXPY, scaling, norms.
+
+/// Dot product `xᵀ·y`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// SAXPY update `y ← y + alpha·x`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    if alpha == 0.0 {
+        return;
+    }
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// In-place scaling `x ← alpha·x`.
+#[inline]
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Euclidean norm `‖x‖₂`, computed with scaling to avoid overflow.
+#[inline]
+pub fn norm2(x: &[f64]) -> f64 {
+    let max = x.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+    if max == 0.0 || !max.is_finite() {
+        return max;
+    }
+    let sum: f64 = x.iter().map(|v| (v / max) * (v / max)).sum();
+    max * sum.sqrt()
+}
+
+/// Maximum absolute entry `‖x‖_∞`.
+#[inline]
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0f64, |m, v| m.max(v.abs()))
+}
+
+/// Sets every entry of `x` to zero.
+#[inline]
+pub fn zero(x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi = 0.0;
+    }
+}
+
+/// Standard basis vector `e_i` of dimension `n`.
+///
+/// # Panics
+/// Panics if `i >= n`.
+pub fn unit_vector(n: usize, i: usize) -> Vec<f64> {
+    assert!(i < n, "unit_vector: index {i} out of range for dimension {n}");
+    let mut e = vec![0.0; n];
+    e[i] = 1.0;
+    e
+}
+
+/// Returns the indices whose absolute value exceeds `tol` (the *support*).
+pub fn support(x: &[f64], tol: f64) -> Vec<usize> {
+    x.iter()
+        .enumerate()
+        .filter(|(_, v)| v.abs() > tol)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn axpy_basic() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, -1.0], &mut y);
+        assert_eq!(y, vec![7.0, -1.0]);
+    }
+
+    #[test]
+    fn axpy_zero_alpha_is_noop() {
+        let mut y = vec![f64::NAN; 0];
+        axpy(0.0, &[], &mut y); // must not touch anything
+        let mut y = vec![1.0, 2.0];
+        axpy(0.0, &[f64::INFINITY, f64::NAN], &mut y);
+        assert_eq!(y, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn norm2_is_scale_safe() {
+        let big = 1e200;
+        let x = [big, big];
+        assert!((norm2(&x) - big * 2f64.sqrt()).abs() < 1e186);
+        assert_eq!(norm2(&[]), 0.0);
+        assert_eq!(norm2(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn norm_inf_basic() {
+        assert_eq!(norm_inf(&[1.0, -3.0, 2.0]), 3.0);
+    }
+
+    #[test]
+    fn unit_vector_basic() {
+        let e = unit_vector(4, 2);
+        assert_eq!(e, vec![0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn support_respects_tolerance() {
+        let x = [0.0, 1e-14, -0.5, 2.0];
+        assert_eq!(support(&x, 1e-12), vec![2, 3]);
+    }
+
+    #[test]
+    fn scale_and_zero() {
+        let mut x = vec![1.0, -2.0];
+        scale(-2.0, &mut x);
+        assert_eq!(x, vec![-2.0, 4.0]);
+        zero(&mut x);
+        assert_eq!(x, vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based tests of the linear-algebra substrate on arbitrary
+//! matrices: factorisations must reconstruct, solves must have small
+//! residuals, sparse and dense paths must agree.
+
+use incsim_linalg::lu::LuFactors;
+use incsim_linalg::qr::{orthonormality_defect, qr_thin, rank_qrcp};
+use incsim_linalg::stein::{solve_stein, stein_series};
+use incsim_linalg::svd::jacobi_svd;
+use incsim_linalg::{CooBuilder, DenseMatrix};
+use proptest::prelude::*;
+
+/// Strategy: an `r × c` dense matrix with entries in [-2, 2].
+fn arb_matrix(rows: std::ops::RangeInclusive<usize>, cols: std::ops::RangeInclusive<usize>)
+    -> impl Strategy<Value = DenseMatrix> {
+    (rows, cols).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-2.0f64..2.0, r * c)
+            .prop_map(move |data| DenseMatrix::from_vec(r, c, data))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn qr_reconstructs_and_q_is_orthonormal(a in arb_matrix(1..=8, 1..=8)) {
+        prop_assume!(a.rows() >= a.cols());
+        let (q, r) = qr_thin(&a);
+        prop_assert!(orthonormality_defect(&q) < 1e-9);
+        let recon = q.matmul(&r);
+        prop_assert!(recon.max_abs_diff(&a) < 1e-9);
+        // R is upper triangular.
+        for i in 0..r.rows() {
+            for j in 0..i {
+                prop_assert!(r.get(i, j).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn svd_reconstructs_any_matrix(a in arb_matrix(1..=7, 1..=7)) {
+        let svd = jacobi_svd(&a);
+        prop_assert!(svd.reconstruct().max_abs_diff(&a) < 1e-9);
+        // Singular values sorted non-increasing and non-negative.
+        for w in svd.s.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+        for &s in &svd.s {
+            prop_assert!(s >= 0.0);
+        }
+    }
+
+    #[test]
+    fn svd_frobenius_identity(a in arb_matrix(2..=6, 2..=6)) {
+        // ‖A‖_F² = Σ σᵢ².
+        let svd = jacobi_svd(&a);
+        let fro2: f64 = a.norm_fro().powi(2);
+        let sum2: f64 = svd.s.iter().map(|s| s * s).sum();
+        prop_assert!((fro2 - sum2).abs() < 1e-8 * fro2.max(1.0));
+    }
+
+    #[test]
+    fn lu_solve_has_small_residual(a in arb_matrix(2..=7, 2..=7), seed in 0u64..1000) {
+        prop_assume!(a.rows() == a.cols());
+        let n = a.rows();
+        // Make it comfortably nonsingular: A + 4·I.
+        let mut m = a.clone();
+        for i in 0..n {
+            m.add_to(i, i, 4.0);
+        }
+        let b: Vec<f64> = (0..n).map(|i| ((i as f64) + seed as f64).sin()).collect();
+        let lu = LuFactors::new(&m).expect("diagonally boosted");
+        let x = lu.solve(&b).expect("solve");
+        let mut ax = vec![0.0; n];
+        m.matvec(&x, &mut ax);
+        for i in 0..n {
+            prop_assert!((ax[i] - b[i]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn rank_bounded_and_consistent_with_svd(a in arb_matrix(1..=6, 1..=6)) {
+        let r_qr = rank_qrcp(&a, 1e-10);
+        let svd = jacobi_svd(&a);
+        let r_svd = svd.s.iter().filter(|&&s| s > 1e-9 * svd.s[0].max(1e-300)).count();
+        prop_assert!(r_qr <= a.rows().min(a.cols()));
+        // The two numerical ranks agree on generic matrices (tolerance gap
+        // can differ by at most the borderline values, which random entries
+        // essentially never produce).
+        prop_assert!((r_qr as i64 - r_svd as i64).abs() <= 1);
+    }
+
+    #[test]
+    fn stein_fixed_point_satisfies_equation((a, c) in (2usize..=5).prop_flat_map(|n| {
+        let entries = proptest::collection::vec(-2.0f64..2.0, n * n);
+        (entries.clone(), entries).prop_map(move |(ea, ec)| {
+            (DenseMatrix::from_vec(n, n, ea), DenseMatrix::from_vec(n, n, ec))
+        })
+    })) {
+        // Contract A to spectral radius < 1 via scaling by 1/(4·max|entry|+1).
+        let mut a2 = a.clone();
+        let scale = 1.0 / (4.0 * a.norm_max().max(0.25) * a.rows() as f64);
+        a2.scale(scale);
+        let x = solve_stein(&a2, &a2, &c, 1e-13, 100_000).expect("contractive");
+        let mut rhs = a2.matmul(&x).matmul_nt(&a2);
+        rhs.add_scaled(1.0, &c);
+        prop_assert!(x.max_abs_diff(&rhs) < 1e-10);
+        // Series agrees with the fixed point.
+        let series = stein_series(&a2, &a2, &c, 400);
+        prop_assert!(series.max_abs_diff(&x) < 1e-9);
+    }
+
+    #[test]
+    fn csr_matches_dense_for_products(entries in proptest::collection::vec(
+        (0usize..6, 0usize..6, -2.0f64..2.0), 0..24)) {
+        let mut builder = CooBuilder::new(6, 6);
+        for &(i, j, v) in &entries {
+            builder.push(i, j, v);
+        }
+        let csr = builder.build();
+        let dense = csr.to_dense();
+        let x: Vec<f64> = (0..6).map(|i| (i as f64 * 0.77).cos()).collect();
+        let mut ys = vec![0.0; 6];
+        let mut yd = vec![0.0; 6];
+        csr.matvec(&x, &mut ys);
+        dense.matvec(&x, &mut yd);
+        for i in 0..6 {
+            prop_assert!((ys[i] - yd[i]).abs() < 1e-12);
+        }
+        csr.matvec_t(&x, &mut ys);
+        dense.matvec_t(&x, &mut yd);
+        for i in 0..6 {
+            prop_assert!((ys[i] - yd[i]).abs() < 1e-12);
+        }
+        // mul_dense agrees with dense matmul.
+        let b = DenseMatrix::from_vec(6, 3, (0..18).map(|k| (k as f64).sin()).collect());
+        let c1 = csr.mul_dense(&b, 1);
+        let c2 = dense.matmul(&b);
+        prop_assert!(c1.max_abs_diff(&c2) < 1e-12);
+    }
+
+    #[test]
+    fn transpose_roundtrip_and_norm(entries in proptest::collection::vec(
+        (0usize..5, 0usize..7, -1.0f64..1.0), 0..20)) {
+        let mut builder = CooBuilder::new(5, 7);
+        for &(i, j, v) in &entries {
+            builder.push(i, j, v);
+        }
+        let csr = builder.build();
+        prop_assert_eq!(csr.transpose().transpose(), csr.clone());
+        prop_assert!((csr.norm_fro() - csr.to_dense().norm_fro()).abs() < 1e-12);
+    }
+}

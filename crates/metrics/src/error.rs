@@ -1,0 +1,49 @@
+//! Error norms between score matrices.
+
+use incsim_linalg::norms::diff_fro;
+use incsim_linalg::DenseMatrix;
+
+/// Maximum absolute entry-wise error `‖A − B‖_max`.
+pub fn max_error(a: &DenseMatrix, b: &DenseMatrix) -> f64 {
+    a.max_abs_diff(b)
+}
+
+/// Frobenius error `‖A − B‖_F`.
+pub fn frobenius_error(a: &DenseMatrix, b: &DenseMatrix) -> f64 {
+    diff_fro(a, b)
+}
+
+/// Mean absolute error over all entries.
+pub fn mean_abs_error(a: &DenseMatrix, b: &DenseMatrix) -> f64 {
+    assert_eq!(a.rows(), b.rows(), "shape mismatch");
+    assert_eq!(a.cols(), b.cols(), "shape mismatch");
+    let total: f64 = a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| (x - y).abs())
+        .sum();
+    total / (a.rows() * a.cols()).max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_on_known_matrices() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let b = DenseMatrix::from_rows(&[&[0.0, 0.0], &[0.0, 0.0]]);
+        assert_eq!(max_error(&a, &b), 1.0);
+        assert!((frobenius_error(&a, &b) - 2f64.sqrt()).abs() < 1e-12);
+        assert!((mean_abs_error(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_matrices_have_zero_error() {
+        let a = DenseMatrix::identity(3);
+        assert_eq!(max_error(&a, &a), 0.0);
+        assert_eq!(frobenius_error(&a, &a), 0.0);
+        assert_eq!(mean_abs_error(&a, &a), 0.0);
+    }
+}

@@ -1,0 +1,24 @@
+//! # incsim-metrics
+//!
+//! Evaluation apparatus for the `incsim` experiments:
+//!
+//! * [`ndcg`] — NDCG@k over top-k most-similar node pairs, the exactness
+//!   metric of the paper's Exp-4 (Fig. 4 reports NDCG₃₀ against a
+//!   35-iteration batch baseline);
+//! * [`error`] — max / Frobenius error between score matrices;
+//! * [`topk`] — top-k node-pair extraction from a symmetric score matrix;
+//! * [`timing`] — a tiny stopwatch + human-readable duration/byte
+//!   formatting for the experiment tables.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod ndcg;
+pub mod timing;
+pub mod topk;
+
+pub use error::{frobenius_error, max_error, mean_abs_error};
+pub use ndcg::ndcg_at_k;
+pub use timing::Stopwatch;
+pub use topk::{top_k_pairs, ScoredPair};

@@ -1,0 +1,133 @@
+//! NDCG@k over top-k node pairs — the paper's Exp-4 exactness metric.
+//!
+//! The paper "adopt[s] the NDCG metrics to assess top-30 most similar
+//! node-pairs", using a 35-iteration batch run as the ideal ranking. Here:
+//! the *baseline* matrix defines both the ideal ordering and the relevance
+//! of every pair (its baseline score); a candidate matrix is scored by the
+//! discounted cumulative gain of *its own* top-k pairs, measured in
+//! baseline relevance.
+
+use crate::topk::top_k_pairs;
+use incsim_linalg::DenseMatrix;
+
+/// Computes NDCG@k of `candidate`'s top-k pair ranking against the ideal
+/// ranking induced by `baseline`.
+///
+/// Returns 1.0 when the candidate's top-k pairs carry the same baseline
+/// relevance mass, in order, as the ideal top-k (in particular when the
+/// rankings agree); values near 0 mean the candidate surfaces pairs the
+/// baseline considers irrelevant.
+///
+/// # Panics
+/// Panics if the matrices have different shapes or `k == 0`.
+///
+/// ```
+/// use incsim_linalg::DenseMatrix;
+/// use incsim_metrics::ndcg_at_k;
+///
+/// let mut baseline = DenseMatrix::zeros(3, 3);
+/// baseline.set(1, 2, 0.9);
+/// baseline.set(2, 1, 0.9);
+/// // A candidate with the same ranking scores 1.0 …
+/// assert_eq!(ndcg_at_k(&baseline, &baseline, 2), 1.0);
+/// // … an all-zero candidate surfaces irrelevant pairs first (its
+/// // deterministic top-1 is (0,1), which the baseline scores 0).
+/// let flat = DenseMatrix::zeros(3, 3);
+/// assert!(ndcg_at_k(&baseline, &flat, 1) < 1e-12);
+/// ```
+pub fn ndcg_at_k(baseline: &DenseMatrix, candidate: &DenseMatrix, k: usize) -> f64 {
+    assert!(k > 0, "ndcg_at_k requires k >= 1");
+    assert_eq!(baseline.rows(), candidate.rows(), "shape mismatch");
+    assert_eq!(baseline.cols(), candidate.cols(), "shape mismatch");
+
+    let ideal = top_k_pairs(baseline, k);
+    let got = top_k_pairs(candidate, k);
+
+    let dcg: f64 = got
+        .iter()
+        .enumerate()
+        .map(|(rank, p)| {
+            let rel = baseline.get(p.a as usize, p.b as usize).max(0.0);
+            gain(rel) / (rank as f64 + 2.0).log2()
+        })
+        .sum();
+    let idcg: f64 = ideal
+        .iter()
+        .enumerate()
+        .map(|(rank, p)| gain(p.score.max(0.0)) / (rank as f64 + 2.0).log2())
+        .sum();
+    if idcg == 0.0 {
+        // Baseline has no relevant pairs at all: any ranking is "perfect".
+        1.0
+    } else {
+        (dcg / idcg).clamp(0.0, 1.0)
+    }
+}
+
+/// Exponential gain, standard for graded relevance in (0, 1].
+#[inline]
+fn gain(rel: f64) -> f64 {
+    (2.0f64).powf(rel) - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat(entries: &[(usize, usize, f64)], n: usize) -> DenseMatrix {
+        let mut m = DenseMatrix::zeros(n, n);
+        for &(a, b, v) in entries {
+            m.set(a, b, v);
+            m.set(b, a, v);
+        }
+        m
+    }
+
+    #[test]
+    fn identical_rankings_score_one() {
+        let s = mat(&[(0, 1, 0.9), (1, 2, 0.5), (0, 3, 0.3)], 5);
+        assert!((ndcg_at_k(&s, &s, 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perturbed_scores_with_same_order_score_one() {
+        let base = mat(&[(0, 1, 0.9), (1, 2, 0.5), (0, 3, 0.3)], 5);
+        let cand = mat(&[(0, 1, 0.8), (1, 2, 0.45), (0, 3, 0.29)], 5);
+        assert!((ndcg_at_k(&base, &cand, 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wrong_top_pairs_score_below_one() {
+        let base = mat(&[(0, 1, 0.9), (1, 2, 0.5)], 6);
+        // Candidate promotes an irrelevant pair to the top.
+        let cand = mat(&[(4, 5, 0.99), (0, 1, 0.1)], 6);
+        let score = ndcg_at_k(&base, &cand, 2);
+        assert!(score < 0.9, "score={score}");
+        assert!(score > 0.0);
+    }
+
+    #[test]
+    fn completely_disjoint_ranking_scores_zero() {
+        let base = mat(&[(0, 1, 1.0), (2, 3, 0.8)], 8);
+        let cand = mat(&[(4, 5, 1.0), (6, 7, 0.8)], 8);
+        let score = ndcg_at_k(&base, &cand, 2);
+        assert!(score < 1e-12, "score={score}");
+    }
+
+    #[test]
+    fn zero_baseline_scores_one() {
+        let base = DenseMatrix::zeros(4, 4);
+        let cand = mat(&[(0, 1, 0.5)], 4);
+        assert_eq!(ndcg_at_k(&base, &cand, 2), 1.0);
+    }
+
+    #[test]
+    fn swapped_order_discounts() {
+        // Baseline: (0,1) ≫ (2,3). Candidate ranks them in reverse order.
+        let base = mat(&[(0, 1, 0.9), (2, 3, 0.2)], 6);
+        let cand = mat(&[(0, 1, 0.2), (2, 3, 0.9)], 6);
+        let score = ndcg_at_k(&base, &cand, 2);
+        assert!(score < 1.0 - 1e-6, "score={score}");
+        assert!(score > 0.5);
+    }
+}

@@ -1,0 +1,94 @@
+//! Wall-clock measurement and table formatting helpers.
+
+use std::time::{Duration, Instant};
+
+/// A tiny stopwatch for the experiment harness.
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Stopwatch {
+            started: Instant::now(),
+        }
+    }
+
+    /// Elapsed time since start.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Elapsed seconds as `f64`.
+    pub fn secs(&self) -> f64 {
+        self.elapsed().as_secs_f64()
+    }
+
+    /// Restarts and returns the lap time.
+    pub fn lap(&mut self) -> Duration {
+        let e = self.started.elapsed();
+        self.started = Instant::now();
+        e
+    }
+}
+
+/// Formats a duration like the paper's tables (`83.7s`, `937.4s`, `12ms`).
+pub fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 100.0 {
+        format!("{s:.0}s")
+    } else if s >= 1.0 {
+        format!("{s:.1}s")
+    } else if s >= 1e-3 {
+        format!("{:.1}ms", s * 1e3)
+    } else {
+        format!("{:.1}µs", s * 1e6)
+    }
+}
+
+/// Formats bytes like the paper's Fig. 3 (`70.3MB`, `3.12GB`).
+pub fn fmt_bytes(bytes: usize) -> String {
+    let b = bytes as f64;
+    if b >= 1e9 {
+        format!("{:.2}GB", b / 1e9)
+    } else if b >= 1e6 {
+        format!("{:.1}MB", b / 1e6)
+    } else if b >= 1e3 {
+        format!("{:.1}KB", b / 1e3)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_measures_time() {
+        let mut sw = Stopwatch::start();
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(sw.secs() >= 0.004);
+        let lap = sw.lap();
+        assert!(lap.as_millis() >= 4);
+        // After a lap the clock restarts.
+        assert!(sw.secs() < lap.as_secs_f64() + 0.5);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_secs(120)), "120s");
+        assert_eq!(fmt_duration(Duration::from_secs_f64(83.7)), "83.7s");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.0ms");
+        assert_eq!(fmt_duration(Duration::from_micros(7)), "7.0µs");
+    }
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(fmt_bytes(512), "512B");
+        assert_eq!(fmt_bytes(70_300_000), "70.3MB");
+        assert_eq!(fmt_bytes(3_120_000_000), "3.12GB");
+        assert_eq!(fmt_bytes(2_048), "2.0KB");
+    }
+}

@@ -1,0 +1,134 @@
+//! Top-k node-pair extraction from symmetric score matrices.
+
+use incsim_linalg::DenseMatrix;
+
+/// A node pair with its similarity score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredPair {
+    /// First node (always `< b`).
+    pub a: u32,
+    /// Second node.
+    pub b: u32,
+    /// Similarity score.
+    pub score: f64,
+}
+
+/// Returns the `k` highest-scoring **off-diagonal** pairs `(a, b)` with
+/// `a < b`, sorted by descending score (ties broken by `(a, b)` for
+/// determinism).
+///
+/// Diagonal entries are excluded: every node is trivially most similar to
+/// itself, so top-k similarity search (the paper's Exp-4) ranks distinct
+/// pairs only.
+pub fn top_k_pairs(s: &DenseMatrix, k: usize) -> Vec<ScoredPair> {
+    assert_eq!(s.rows(), s.cols(), "top_k_pairs expects a square matrix");
+    let n = s.rows();
+    // Binary-heap selection keeps this O(n² log k) instead of sorting n².
+    use std::cmp::Ordering;
+    use std::collections::BinaryHeap;
+
+    #[derive(PartialEq)]
+    struct MinEntry(ScoredPair);
+    impl Eq for MinEntry {}
+    impl PartialOrd for MinEntry {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for MinEntry {
+        fn cmp(&self, other: &Self) -> Ordering {
+            // Reversed: smallest score at the top of the heap. Ties order by
+            // (a, b) DESC here so the lexicographically-smallest pair wins.
+            other
+                .0
+                .score
+                .partial_cmp(&self.0.score)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| (other.0.a, other.0.b).cmp(&(self.0.a, self.0.b)))
+        }
+    }
+
+    let mut heap: BinaryHeap<MinEntry> = BinaryHeap::with_capacity(k + 1);
+    for a in 0..n {
+        for b in (a + 1)..n {
+            let pair = ScoredPair {
+                a: a as u32,
+                b: b as u32,
+                score: s.get(a, b),
+            };
+            if heap.len() < k {
+                heap.push(MinEntry(pair));
+            } else if let Some(top) = heap.peek() {
+                let worse = pair.score > top.0.score
+                    || (pair.score == top.0.score && (pair.a, pair.b) < (top.0.a, top.0.b));
+                if worse {
+                    heap.pop();
+                    heap.push(MinEntry(pair));
+                }
+            }
+        }
+    }
+    let mut out: Vec<ScoredPair> = heap.into_iter().map(|e| e.0).collect();
+    out.sort_by(|x, y| {
+        y.score
+            .partial_cmp(&x.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| (x.a, x.b).cmp(&(y.a, y.b)))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DenseMatrix {
+        let mut m = DenseMatrix::identity(4);
+        m.set(0, 1, 0.9);
+        m.set(1, 0, 0.9);
+        m.set(0, 2, 0.5);
+        m.set(2, 0, 0.5);
+        m.set(1, 3, 0.7);
+        m.set(3, 1, 0.7);
+        m
+    }
+
+    #[test]
+    fn returns_descending_offdiagonal_pairs() {
+        let top = top_k_pairs(&sample(), 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!((top[0].a, top[0].b), (0, 1));
+        assert_eq!(top[0].score, 0.9);
+        assert_eq!((top[1].a, top[1].b), (1, 3));
+    }
+
+    #[test]
+    fn k_larger_than_pairs_returns_all() {
+        let top = top_k_pairs(&sample(), 100);
+        assert_eq!(top.len(), 6); // C(4,2)
+                                  // Last ones are the zero pairs.
+        assert_eq!(top[5].score, 0.0);
+    }
+
+    #[test]
+    fn diagonal_is_excluded() {
+        let top = top_k_pairs(&sample(), 6);
+        assert!(top.iter().all(|p| p.a != p.b));
+    }
+
+    #[test]
+    fn deterministic_tie_breaking() {
+        let m = DenseMatrix::zeros(5, 5);
+        let t1 = top_k_pairs(&m, 3);
+        let t2 = top_k_pairs(&m, 3);
+        assert_eq!(t1, t2);
+        // Lexicographically smallest pairs win ties.
+        assert_eq!((t1[0].a, t1[0].b), (0, 1));
+        assert_eq!((t1[1].a, t1[1].b), (0, 2));
+    }
+
+    #[test]
+    fn k_zero_is_empty() {
+        assert!(top_k_pairs(&sample(), 0).is_empty());
+    }
+}

@@ -1,0 +1,407 @@
+//! `incsim-cli` — command-line front end for the incsim library.
+//!
+//! ```text
+//! incsim-cli generate --model linkage --nodes 1000 --edges-per-node 5 -o graph.txt
+//! incsim-cli compute  --input graph.txt --c 0.6 --iters 15 -o state.incsim
+//! incsim-cli update   --state state.incsim --ops ops.txt -o state2.incsim
+//! incsim-cli topk     --state state.incsim -k 10
+//! incsim-cli query    --state state.incsim --node 42 -k 5
+//! incsim-cli query    --state state.incsim -a 3 -b 7
+//! incsim-cli info     --state state.incsim
+//! ```
+//!
+//! Update files (`--ops`) hold one op per line: `+ u v` inserts, `- u v`
+//! deletes; `#` comments and blank lines are skipped.
+
+use incsim::core::snapshot::{load, save, Snapshot};
+use incsim::core::{batch_simrank, IncSr, SimRankConfig, SimRankMaintainer};
+use incsim::datagen::er::erdos_renyi;
+use incsim::datagen::linkage::{linkage_model, LinkageParams};
+use incsim::datagen::rmat::{rmat, RmatParams};
+use incsim::graph::io::{parse_edge_list, write_edge_list};
+use incsim::graph::UpdateOp;
+use incsim::metrics::top_k_pairs;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage: incsim-cli <command> [options]
+
+commands:
+  generate   synthesize a graph           --model er|linkage|rmat --nodes N
+             [--edges M] [--edges-per-node F] [--seed S] -o FILE
+  compute    batch SimRank from an edge list
+             --input FILE [--c 0.6] [--iters 15] -o STATE
+  update     apply link updates to a maintained state
+             --state STATE --ops FILE -o STATE_OUT
+  topk       print the top-k most similar pairs
+             --state STATE [-k 10]
+  query      pair score or per-node ranking
+             --state STATE (-a A -b B | --node V [-k 5])
+  info       describe a state file
+             --state STATE";
+
+/// Minimal flag parser: `--name value`, `-o value`, bare `-k value`.
+struct Flags<'a> {
+    pairs: Vec<(&'a str, &'a str)>,
+}
+
+impl<'a> Flags<'a> {
+    fn parse(args: &'a [String]) -> Result<Self, String> {
+        let mut pairs = Vec::new();
+        let mut it = args.iter();
+        while let Some(tok) = it.next() {
+            if !tok.starts_with('-') {
+                return Err(format!("unexpected positional argument {tok:?}"));
+            }
+            let value = it
+                .next()
+                .ok_or_else(|| format!("flag {tok} expects a value"))?;
+            pairs.push((tok.as_str(), value.as_str()));
+        }
+        Ok(Flags { pairs })
+    }
+
+    fn get(&self, names: &[&str]) -> Option<&'a str> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| names.contains(k))
+            .map(|&(_, v)| v)
+    }
+
+    fn req(&self, names: &[&str]) -> Result<&'a str, String> {
+        self.get(names)
+            .ok_or_else(|| format!("missing required flag {}", names[0]))
+    }
+
+    fn num<T: std::str::FromStr>(&self, names: &[&str], default: T) -> Result<T, String> {
+        match self.get(names) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("flag {} has invalid value {raw:?}", names[0])),
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err("no command given".into());
+    };
+    let flags = Flags::parse(rest)?;
+    match cmd.as_str() {
+        "generate" => cmd_generate(&flags),
+        "compute" => cmd_compute(&flags),
+        "update" => cmd_update(&flags),
+        "topk" => cmd_topk(&flags),
+        "query" => cmd_query(&flags),
+        "info" => cmd_info(&flags),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn open_state(flags: &Flags) -> Result<Snapshot, String> {
+    let path = flags.req(&["--state"])?;
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    load(BufReader::new(file)).map_err(|e| format!("cannot read state {path}: {e}"))
+}
+
+fn cmd_generate(flags: &Flags) -> Result<(), String> {
+    let model = flags.get(&["--model"]).unwrap_or("linkage");
+    let nodes: usize = flags.num(&["--nodes", "-n"], 1000usize)?;
+    let seed: u64 = flags.num(&["--seed", "-s"], 42u64)?;
+    let out = flags.req(&["-o", "--output"])?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let graph = match model {
+        "er" => {
+            let edges: usize = flags.num(&["--edges", "-m"], nodes * 5)?;
+            erdos_renyi(nodes, edges, &mut rng)
+        }
+        "linkage" => {
+            let epn: f64 = flags.num(&["--edges-per-node"], 5.0f64)?;
+            let params = LinkageParams {
+                nodes,
+                edges_per_node: epn,
+                ..Default::default()
+            };
+            linkage_model(&params, &mut rng).snapshot_at(u64::MAX)
+        }
+        "rmat" => {
+            let scale = (nodes.max(2) as f64).log2().ceil() as u32;
+            let edges: usize = flags.num(&["--edges", "-m"], nodes * 5)?;
+            rmat(scale, edges, &RmatParams::default(), &mut rng)
+        }
+        other => return Err(format!("unknown model {other:?} (er|linkage|rmat)")),
+    };
+    let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    write_edge_list(&graph, BufWriter::new(file)).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} nodes / {} edges ({model}) to {out}",
+        graph.node_count(),
+        graph.edge_count()
+    );
+    Ok(())
+}
+
+fn cmd_compute(flags: &Flags) -> Result<(), String> {
+    let input = flags.req(&["--input", "-i"])?;
+    let out = flags.req(&["-o", "--output"])?;
+    let c: f64 = flags.num(&["--c"], 0.6f64)?;
+    let iters: usize = flags.num(&["--iters", "-k"], 15usize)?;
+    let cfg = SimRankConfig::new(c, iters).map_err(|e| e.to_string())?;
+
+    let file = File::open(input).map_err(|e| format!("cannot open {input}: {e}"))?;
+    let parsed = parse_edge_list(BufReader::new(file)).map_err(|e| e.to_string())?;
+    let graph = parsed.graph;
+    eprintln!(
+        "computing SimRank on n = {}, |E| = {} (C = {c}, K = {iters})…",
+        graph.node_count(),
+        graph.edge_count()
+    );
+    let scores = batch_simrank(&graph, &cfg);
+    let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    save(&graph, &scores, &cfg, BufWriter::new(file)).map_err(|e| e.to_string())?;
+    println!("state written to {out}");
+    Ok(())
+}
+
+fn parse_ops(text: &str) -> Result<Vec<UpdateOp>, String> {
+    let mut ops = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut parts = t.split_whitespace();
+        let (Some(sign), Some(u), Some(v)) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(format!("ops line {}: expected '+|- u v'", lineno + 1));
+        };
+        let u: u32 = u
+            .parse()
+            .map_err(|_| format!("ops line {}: bad node id {u:?}", lineno + 1))?;
+        let v: u32 = v
+            .parse()
+            .map_err(|_| format!("ops line {}: bad node id {v:?}", lineno + 1))?;
+        match sign {
+            "+" => ops.push(UpdateOp::Insert(u, v)),
+            "-" => ops.push(UpdateOp::Delete(u, v)),
+            other => return Err(format!("ops line {}: bad op {other:?}", lineno + 1)),
+        }
+    }
+    Ok(ops)
+}
+
+fn cmd_update(flags: &Flags) -> Result<(), String> {
+    let snap = open_state(flags)?;
+    let ops_path = flags.req(&["--ops"])?;
+    let out = flags.req(&["-o", "--output"])?;
+    let grouped = flags.get(&["--grouped"]).map(|v| v == "true").unwrap_or(false);
+
+    let mut text = String::new();
+    File::open(ops_path)
+        .map_err(|e| format!("cannot open {ops_path}: {e}"))?
+        .read_to_string(&mut text)
+        .map_err(|e| e.to_string())?;
+    let ops = parse_ops(&text)?;
+
+    let mut engine = IncSr::new(snap.graph, snap.scores, snap.config);
+    let started = std::time::Instant::now();
+    if grouped {
+        let stats = engine.apply_grouped(&ops).map_err(|e| e.to_string())?;
+        println!(
+            "applied {} ops as {} row-grouped updates in {:.3}s",
+            stats.unit_ops,
+            stats.row_updates,
+            started.elapsed().as_secs_f64()
+        );
+    } else {
+        let stats = engine.apply_batch(&ops).map_err(|e| e.to_string())?;
+        let touched: usize = stats.iter().map(|s| s.affected_pairs).sum();
+        println!(
+            "applied {} unit updates in {:.3}s (avg affected pairs: {})",
+            stats.len(),
+            started.elapsed().as_secs_f64(),
+            touched / stats.len().max(1)
+        );
+    }
+    let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    engine
+        .save_snapshot(BufWriter::new(file))
+        .map_err(|e| e.to_string())?;
+    println!("state written to {out}");
+    Ok(())
+}
+
+fn cmd_topk(flags: &Flags) -> Result<(), String> {
+    let snap = open_state(flags)?;
+    let k: usize = flags.num(&["-k", "--k"], 10usize)?;
+    for p in top_k_pairs(&snap.scores, k) {
+        println!("{}\t{}\t{:.6}", p.a, p.b, p.score);
+    }
+    Ok(())
+}
+
+fn cmd_query(flags: &Flags) -> Result<(), String> {
+    let snap = open_state(flags)?;
+    let n = snap.graph.node_count() as u32;
+    let check = |v: u32| -> Result<(), String> {
+        if v < n {
+            Ok(())
+        } else {
+            Err(format!("node {v} out of range (graph has {n} nodes)"))
+        }
+    };
+    match (flags.get(&["-a"]), flags.get(&["-b"]), flags.get(&["--node"])) {
+        (Some(a), Some(b), None) => {
+            let a: u32 = a.parse().map_err(|_| "bad -a".to_string())?;
+            let b: u32 = b.parse().map_err(|_| "bad -b".to_string())?;
+            check(a)?;
+            check(b)?;
+            println!("{:.6}", incsim::core::query::pair_score(&snap.scores, a, b));
+            Ok(())
+        }
+        (None, None, Some(v)) => {
+            let v: u32 = v.parse().map_err(|_| "bad --node".to_string())?;
+            check(v)?;
+            let k: usize = flags.num(&["-k", "--k"], 5usize)?;
+            for r in incsim::core::query::top_k_for_node(&snap.scores, v, k) {
+                println!("{}\t{:.6}", r.node, r.score);
+            }
+            Ok(())
+        }
+        _ => Err("query needs either (-a A -b B) or (--node V [-k K])".into()),
+    }
+}
+
+fn cmd_info(flags: &Flags) -> Result<(), String> {
+    let snap = open_state(flags)?;
+    println!("nodes:       {}", snap.graph.node_count());
+    println!("edges:       {}", snap.graph.edge_count());
+    println!("avg in-deg:  {:.2}", snap.graph.avg_in_degree());
+    println!("max in-deg:  {}", snap.graph.max_in_degree());
+    println!("damping C:   {}", snap.config.c);
+    println!("iterations:  {}", snap.config.iterations);
+    println!(
+        "score bytes: {}",
+        incsim::metrics::timing::fmt_bytes(snap.scores.heap_bytes())
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_parser_handles_pairs() {
+        let args: Vec<String> = ["--model", "er", "-o", "out.txt"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let f = Flags::parse(&args).unwrap();
+        assert_eq!(f.get(&["--model"]), Some("er"));
+        assert_eq!(f.req(&["-o", "--output"]).unwrap(), "out.txt");
+        assert!(f.req(&["--missing"]).is_err());
+        assert_eq!(f.num(&["--seed"], 7u64).unwrap(), 7);
+    }
+
+    #[test]
+    fn flag_parser_rejects_malformed() {
+        let args: Vec<String> = ["positional"].iter().map(|s| s.to_string()).collect();
+        assert!(Flags::parse(&args).is_err());
+        let args: Vec<String> = ["--dangling"].iter().map(|s| s.to_string()).collect();
+        assert!(Flags::parse(&args).is_err());
+    }
+
+    #[test]
+    fn ops_parser_roundtrip() {
+        let ops = parse_ops("# header\n+ 1 2\n- 3 4\n\n+ 5 6\n").unwrap();
+        assert_eq!(
+            ops,
+            vec![
+                UpdateOp::Insert(1, 2),
+                UpdateOp::Delete(3, 4),
+                UpdateOp::Insert(5, 6)
+            ]
+        );
+        assert!(parse_ops("* 1 2").is_err());
+        assert!(parse_ops("+ x 2").is_err());
+        assert!(parse_ops("+ 1").is_err());
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let args: Vec<String> = ["frobnicate"].iter().map(|s| s.to_string()).collect();
+        assert!(run(&args).is_err());
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn end_to_end_compute_update_query() {
+        let dir = std::env::temp_dir().join(format!("incsim-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let graph_path = dir.join("g.txt");
+        let state_path = dir.join("s.bin");
+        let state2_path = dir.join("s2.bin");
+        let ops_path = dir.join("ops.txt");
+
+        // generate
+        run(&to_args(&[
+            "generate", "--model", "er", "--nodes", "30", "--edges", "90", "-o",
+            graph_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // compute
+        run(&to_args(&[
+            "compute", "--input", graph_path.to_str().unwrap(), "--iters", "10", "-o",
+            state_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // update (find a free edge deterministically: state file knows)
+        let snap = load(BufReader::new(File::open(&state_path).unwrap())).unwrap();
+        let mut free = None;
+        'outer: for u in 0..30u32 {
+            for v in 0..30u32 {
+                if u != v && !snap.graph.has_edge(u, v) {
+                    free = Some((u, v));
+                    break 'outer;
+                }
+            }
+        }
+        let (u, v) = free.unwrap();
+        std::fs::write(&ops_path, format!("+ {u} {v}\n")).unwrap();
+        run(&to_args(&[
+            "update", "--state", state_path.to_str().unwrap(), "--ops",
+            ops_path.to_str().unwrap(), "-o", state2_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // info / topk / query all read the produced state.
+        run(&to_args(&["info", "--state", state2_path.to_str().unwrap()])).unwrap();
+        run(&to_args(&["topk", "--state", state2_path.to_str().unwrap(), "-k", "3"])).unwrap();
+        run(&to_args(&[
+            "query", "--state", state2_path.to_str().unwrap(), "-a", "0", "-b", "1",
+        ]))
+        .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn to_args(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+}

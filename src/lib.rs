@@ -1,0 +1,46 @@
+//! # incsim — Fast Incremental SimRank on Link-Evolving Graphs
+//!
+//! Facade crate re-exporting the whole `incsim` workspace, a from-scratch
+//! Rust reproduction of *"Fast Incremental SimRank on Link-Evolving
+//! Graphs"* (Weiren Yu, Xuemin Lin, Wenjie Zhang — ICDE 2014).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use incsim::graph::DiGraph;
+//! use incsim::core::{SimRankConfig, SimRankMaintainer, batch_simrank, IncSr};
+//!
+//! // A tiny citation graph: 0→2, 1→2, 2→3.
+//! let mut g = DiGraph::new(4);
+//! g.insert_edge(0, 2).unwrap();
+//! g.insert_edge(1, 2).unwrap();
+//! g.insert_edge(2, 3).unwrap();
+//!
+//! let cfg = SimRankConfig::new(0.6, 10).unwrap();
+//! let s = batch_simrank(&g, &cfg);
+//!
+//! // Maintain scores incrementally as the graph evolves.
+//! let mut engine = IncSr::new(g, s, cfg);
+//! let stats = engine.insert_edge(0, 3).unwrap();
+//! println!("affected area: {} node pairs", stats.affected_pairs);
+//! let sim_0_1 = engine.scores().get(0, 1);
+//! assert!(sim_0_1 >= 0.0);
+//! ```
+//!
+//! ## Workspace layout
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`linalg`] | `incsim-linalg` | dense/sparse matrices, QR, SVD, LU, Stein solver |
+//! | [`graph`] | `incsim-graph` | dynamic digraph, evolving timeline, I/O |
+//! | [`core`] | `incsim-core` | matrix-form SimRank, **Inc-uSR**, **Inc-SR** |
+//! | [`baselines`] | `incsim-baselines` | naive/partial-sums SimRank, **Inc-SVD** (Li et al.) |
+//! | [`datagen`] | `incsim-datagen` | synthetic graphs, dataset presets, update streams |
+//! | [`metrics`] | `incsim-metrics` | NDCG@k, error norms, timing/memory accounting |
+
+pub use incsim_baselines as baselines;
+pub use incsim_core as core;
+pub use incsim_datagen as datagen;
+pub use incsim_graph as graph;
+pub use incsim_linalg as linalg;
+pub use incsim_metrics as metrics;

@@ -1,0 +1,124 @@
+//! Cross-validation between independent SimRank implementations, and the
+//! end-to-end behaviour of the Inc-SVD baseline on realistic graphs.
+
+use incsim::baselines::{naive_simrank, partial_sums_simrank, svd_simrank, IncSvd, IncSvdOptions};
+use incsim::core::{batch_simrank, IncSr, SimRankConfig, SimRankMaintainer};
+use incsim::datagen::er::erdos_renyi;
+use incsim::graph::transition::backward_transition;
+use incsim::graph::DiGraph;
+use incsim::linalg::svd::jacobi_svd;
+use incsim::metrics::{max_error, ndcg_at_k};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn partial_sums_equals_naive_on_random_graphs() {
+    for seed in 0..5u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = erdos_renyi(25, 90, &mut rng);
+        let a = naive_simrank(&g, 0.7, 7);
+        let b = partial_sums_simrank(&g, 0.7, 7);
+        assert!(
+            a.max_abs_diff(&b) < 1e-11,
+            "seed {seed}: partial sums diverged by {}",
+            a.max_abs_diff(&b)
+        );
+    }
+}
+
+#[test]
+fn iterative_and_matrix_form_agree_off_diagonal_on_regular_graph() {
+    // On an in-degree-regular graph (a directed cycle) the two forms track
+    // each other: the matrix form equals (1−C)·Σ Cᵏ Qᵏ(Qᵀ)ᵏ and the cycle
+    // keeps Qᵏ(Qᵀ)ᵏ = I, so S_matrix = I·(1−C)/(1−C) = I while the
+    // iterative form also yields I (distinct nodes never meet).
+    let n = 8;
+    let edges: Vec<(u32, u32)> = (0..n as u32).map(|v| (v, (v + 1) % n as u32)).collect();
+    let g = DiGraph::from_edges(n, &edges);
+    let cfg = SimRankConfig::new(0.6, 30).unwrap();
+    let matrix_form = batch_simrank(&g, &cfg);
+    let iterative = naive_simrank(&g, 0.6, 30);
+    for a in 0..n {
+        for b in 0..n {
+            if a != b {
+                assert!(matrix_form.get(a, b).abs() < 1e-12);
+                assert!(iterative.get(a, b).abs() < 1e-12);
+            }
+        }
+    }
+    // Diagonals differ by the documented convention: the iterative form
+    // pins them to 1; the matrix form reaches 1 − C^{K+1} on the cycle.
+    assert_eq!(iterative.get(0, 0), 1.0);
+    let expect = 1.0 - 0.6f64.powi(31);
+    assert!((matrix_form.get(0, 0) - expect).abs() < 1e-12);
+}
+
+#[test]
+fn svd_simrank_with_lossless_rank_matches_batch() {
+    let mut rng = StdRng::seed_from_u64(77);
+    let g = erdos_renyi(20, 70, &mut rng);
+    let q = backward_transition(&g).to_dense();
+    let svd = jacobi_svd(&q); // full (lossless) SVD
+    let s_svd = svd_simrank(&svd, 0.6, 0).expect("closed form");
+    let s_batch = batch_simrank(&g, &SimRankConfig::new(0.6, 200).unwrap());
+    assert!(
+        max_error(&s_svd, &s_batch) < 1e-9,
+        "closed form vs batch: {}",
+        max_error(&s_svd, &s_batch)
+    );
+}
+
+#[test]
+fn incsvd_accuracy_degrades_with_updates_while_incsr_stays_exact() {
+    let mut rng = StdRng::seed_from_u64(78);
+    let g = erdos_renyi(30, 100, &mut rng);
+    let cfg = SimRankConfig::new(0.6, 60).unwrap();
+    let s0 = batch_simrank(&g, &cfg);
+
+    let stream = incsim::datagen::updates::random_insertions(&g, 10, &mut rng);
+    let mut incsr = IncSr::new(g.clone(), s0, cfg);
+    let mut incsvd = IncSvd::new(
+        g,
+        cfg,
+        IncSvdOptions {
+            rank: 10,
+            randomized: false,
+            ..Default::default()
+        },
+    )
+    .expect("construction");
+    incsr.apply_batch(&stream).expect("valid");
+    incsvd.apply_batch(&stream).expect("valid");
+
+    let truth = batch_simrank(incsr.graph(), &cfg);
+    let err_sr = max_error(incsr.scores(), &truth);
+    let err_svd = max_error(incsvd.scores(), &truth);
+    assert!(err_sr < 1e-8, "Inc-SR err {err_sr}");
+    assert!(
+        err_svd > 10.0 * err_sr,
+        "Inc-SVD should be visibly worse: {err_svd} vs {err_sr}"
+    );
+
+    // And the NDCG ordering the paper's Fig. 4 reports.
+    let ndcg_sr = ndcg_at_k(&truth, incsr.scores(), 30);
+    let ndcg_svd = ndcg_at_k(&truth, incsvd.scores(), 30);
+    assert!(ndcg_sr > 0.999, "Inc-SR NDCG {ndcg_sr}");
+    assert!(ndcg_sr >= ndcg_svd, "{ndcg_sr} vs {ndcg_svd}");
+}
+
+#[test]
+fn incsvd_engine_scores_match_closed_form_at_construction() {
+    let mut rng = StdRng::seed_from_u64(79);
+    let g = erdos_renyi(15, 45, &mut rng);
+    let cfg = SimRankConfig::new(0.6, 15).unwrap();
+    let opts = IncSvdOptions {
+        rank: 8,
+        randomized: false,
+        ..Default::default()
+    };
+    let engine = IncSvd::new(g.clone(), cfg, opts).expect("construction");
+    let q = backward_transition(&g).to_dense();
+    let svd = jacobi_svd(&q).truncate(8);
+    let expect = svd_simrank(&svd, 0.6, 0).expect("closed form");
+    assert!(max_error(engine.scores(), &expect) < 1e-10);
+}

@@ -1,0 +1,233 @@
+//! The central correctness claim of the paper, tested across crates:
+//! incremental maintenance (Inc-uSR / Inc-SR) converges to the same scores
+//! as from-scratch batch recomputation, for arbitrary update streams —
+//! and pruning never changes a single entry.
+
+use incsim::core::{batch_simrank, IncSr, IncUSr, SimRankConfig, SimRankMaintainer};
+use incsim::datagen::er::erdos_renyi;
+use incsim::datagen::linkage::{linkage_model, LinkageParams};
+use incsim::datagen::updates::{random_deletions, random_insertions, random_mixed};
+use incsim::graph::DiGraph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// High-K config: truncation error ~0.6^91 ≈ 6e-21, so any disagreement is
+/// a logic bug, not convergence noise.
+fn tight() -> SimRankConfig {
+    SimRankConfig::new(0.6, 90).expect("valid config")
+}
+
+fn assert_engine_matches_batch(engine: &dyn SimRankMaintainer, tol: f64, ctx: &str) {
+    let fresh = batch_simrank(engine.graph(), engine.config());
+    let diff = engine.scores().max_abs_diff(&fresh);
+    assert!(diff < tol, "{ctx}: engine drift {diff} exceeds {tol}");
+}
+
+#[test]
+fn mixed_stream_on_random_graph_stays_exact() {
+    let mut rng = StdRng::seed_from_u64(100);
+    let g = erdos_renyi(40, 160, &mut rng);
+    let cfg = tight();
+    let s0 = batch_simrank(&g, &cfg);
+
+    let stream = random_mixed(&g, 30, 0.5, &mut rng);
+    let mut incsr = IncSr::new(g.clone(), s0.clone(), cfg);
+    let mut incusr = IncUSr::new(g, s0, cfg);
+    incsr.apply_batch(&stream).expect("valid stream");
+    incusr.apply_batch(&stream).expect("valid stream");
+
+    assert_engine_matches_batch(&incsr, 1e-8, "Inc-SR after mixed stream");
+    assert_engine_matches_batch(&incusr, 1e-8, "Inc-uSR after mixed stream");
+    // Lossless pruning: identical matrices.
+    assert!(
+        incsr.scores().max_abs_diff(incusr.scores()) < 1e-10,
+        "pruned and unpruned engines diverged"
+    );
+}
+
+#[test]
+fn insertion_only_stream_on_preferential_graph() {
+    let mut rng = StdRng::seed_from_u64(101);
+    let params = LinkageParams {
+        nodes: 60,
+        edges_per_node: 4.0,
+        pref_mix: 0.8,
+        reciprocity: 0.0,
+        cite_past_only: true,
+        communities: 0,
+        community_bias: 0.0,
+    };
+    let g = linkage_model(&params, &mut rng).snapshot_at(u64::MAX);
+    let cfg = tight();
+    let s0 = batch_simrank(&g, &cfg);
+    let stream = random_insertions(&g, 25, &mut rng);
+
+    let mut engine = IncSr::new(g, s0, cfg);
+    engine.apply_batch(&stream).expect("valid stream");
+    assert_engine_matches_batch(&engine, 1e-8, "Inc-SR insertions on PA graph");
+}
+
+#[test]
+fn deletion_only_stream_stays_exact() {
+    let mut rng = StdRng::seed_from_u64(102);
+    let g = erdos_renyi(35, 180, &mut rng);
+    let cfg = tight();
+    let s0 = batch_simrank(&g, &cfg);
+    let stream = random_deletions(&g, 25, &mut rng);
+
+    let mut incsr = IncSr::new(g.clone(), s0.clone(), cfg);
+    incsr.apply_batch(&stream).expect("valid stream");
+    assert_engine_matches_batch(&incsr, 1e-8, "Inc-SR deletions");
+
+    let mut incusr = IncUSr::new(g, s0, cfg);
+    incusr.apply_batch(&stream).expect("valid stream");
+    assert!(incsr.scores().max_abs_diff(incusr.scores()) < 1e-10);
+}
+
+#[test]
+fn deleting_everything_reaches_the_empty_graph_scores() {
+    // Drain a small graph completely: final S must be (1−C)·I exactly.
+    let g = DiGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (1, 4)]);
+    let cfg = tight();
+    let s0 = batch_simrank(&g, &cfg);
+    let mut engine = IncSr::new(g.clone(), s0, cfg);
+    for (u, v) in g.edges().collect::<Vec<_>>() {
+        engine.remove_edge(u, v).expect("edge exists");
+    }
+    assert_eq!(engine.graph().edge_count(), 0);
+    let mut expect = incsim::linalg::DenseMatrix::identity(6);
+    expect.scale(0.4);
+    let diff = engine.scores().max_abs_diff(&expect);
+    assert!(diff < 1e-8, "drained-graph drift {diff}");
+}
+
+#[test]
+fn rebuilding_from_empty_matches_batch() {
+    // Start from an edgeless graph and insert everything incrementally.
+    let target = DiGraph::from_edges(8, &[(0, 2), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7)]);
+    let cfg = tight();
+    let empty = DiGraph::new(8);
+    let s0 = batch_simrank(&empty, &cfg);
+    let mut engine = IncSr::new(empty, s0, cfg);
+    for (u, v) in target.edges() {
+        engine.insert_edge(u, v).expect("fresh edge");
+    }
+    assert_engine_matches_batch(&engine, 1e-8, "graph rebuilt from empty");
+}
+
+#[test]
+fn long_alternating_stream_does_not_accumulate_error() {
+    // Insert/delete the same edges repeatedly: errors must not build up.
+    let g = DiGraph::from_edges(10, &[(0, 2), (1, 2), (2, 3), (3, 4), (4, 0)]);
+    let cfg = tight();
+    let s0 = batch_simrank(&g, &cfg);
+    let mut engine = IncSr::new(g, s0.clone(), cfg);
+    for _ in 0..10 {
+        engine.insert_edge(0, 5).expect("insert");
+        engine.insert_edge(5, 2).expect("insert");
+        engine.remove_edge(5, 2).expect("delete");
+        engine.remove_edge(0, 5).expect("delete");
+    }
+    let diff = engine.scores().max_abs_diff(&s0);
+    assert!(diff < 1e-7, "alternating stream accumulated {diff}");
+}
+
+#[test]
+fn node_growth_interleaved_with_updates() {
+    let g = DiGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+    let cfg = tight();
+    let s0 = batch_simrank(&g, &cfg);
+    let mut engine = IncSr::new(g, s0, cfg);
+    let v5 = engine.add_node();
+    engine.insert_edge(v5, 2).expect("link new node");
+    let v6 = engine.add_node();
+    engine.insert_edge(v6, 2).expect("link new node");
+    engine.insert_edge(0, v6).expect("link to new node");
+    assert_engine_matches_batch(&engine, 1e-8, "after node growth");
+}
+
+#[test]
+fn grouped_row_updates_match_sequential_and_batch() {
+    // The row-grouping extension: many edges landing on the same
+    // destinations fold into one rank-one update per row — results must be
+    // identical to sequential unit updates and to batch recomputation.
+    let mut rng = StdRng::seed_from_u64(104);
+    let g = erdos_renyi(30, 90, &mut rng);
+    let cfg = tight();
+    let s0 = batch_simrank(&g, &cfg);
+
+    // A batch clustered on few destinations (rows 3, 7, 11).
+    let mut ops = Vec::new();
+    let mut shadow = g.clone();
+    for dst in [3u32, 7, 11] {
+        for src in 0..30u32 {
+            if src != dst && !shadow.has_edge(src, dst) && ops.len() < 18 {
+                shadow.insert_edge(src, dst).unwrap();
+                ops.push(incsim::graph::UpdateOp::Insert(src, dst));
+            }
+        }
+    }
+    // Mix in deletions on those rows too.
+    for &(u, v) in g
+        .edges()
+        .filter(|&(_, v)| v == 3 || v == 7)
+        .collect::<Vec<_>>()
+        .iter()
+        .take(3)
+    {
+        ops.push(incsim::graph::UpdateOp::Delete(u, v));
+    }
+
+    // Grouped path (both engines).
+    let mut grouped_sr = IncSr::new(g.clone(), s0.clone(), cfg);
+    let stats_sr = grouped_sr.apply_grouped(&ops).expect("grouped valid");
+    assert!(
+        stats_sr.row_updates <= 3,
+        "expected at most 3 row updates, got {}",
+        stats_sr.row_updates
+    );
+    assert_eq!(stats_sr.unit_ops, ops.len());
+
+    let mut grouped_usr = IncUSr::new(g.clone(), s0.clone(), cfg);
+    grouped_usr.apply_grouped(&ops).expect("grouped valid");
+
+    // Sequential unit-update path.
+    let mut sequential = IncSr::new(g.clone(), s0, cfg);
+    sequential.apply_batch(&ops).expect("sequential valid");
+
+    // Ground truth.
+    let truth = batch_simrank(sequential.graph(), &cfg);
+    assert_eq!(grouped_sr.graph(), sequential.graph());
+    assert!(
+        grouped_sr.scores().max_abs_diff(&truth) < 1e-8,
+        "grouped Inc-SR drift {}",
+        grouped_sr.scores().max_abs_diff(&truth)
+    );
+    assert!(
+        grouped_usr.scores().max_abs_diff(&truth) < 1e-8,
+        "grouped Inc-uSR drift {}",
+        grouped_usr.scores().max_abs_diff(&truth)
+    );
+    assert!(sequential.scores().max_abs_diff(&truth) < 1e-8);
+}
+
+#[test]
+fn per_update_truncation_bound_holds_for_small_k() {
+    // With K small, each update's deviation from truth obeys the paper's
+    // footnote-18 bound (‖M − M_K‖_max ≤ C^{K+1}, doubled for M + Mᵀ, plus
+    // series normalisation slack).
+    let mut rng = StdRng::seed_from_u64(103);
+    let g = erdos_renyi(30, 120, &mut rng);
+    for k in [3usize, 6, 10] {
+        let cfg = SimRankConfig::new(0.6, k).expect("valid config");
+        let tight_cfg = tight();
+        let s0 = batch_simrank(&g, &tight_cfg);
+        let mut engine = IncSr::new(g.clone(), s0, cfg);
+        let stream = random_insertions(&g, 1, &mut rng);
+        engine.apply_batch(&stream).expect("valid");
+        let truth = batch_simrank(engine.graph(), &tight_cfg);
+        let diff = engine.scores().max_abs_diff(&truth);
+        let bound = 2.0 * cfg.truncation_bound() / (1.0 - cfg.c);
+        assert!(diff <= bound, "K={k}: diff {diff} > bound {bound}");
+    }
+}
