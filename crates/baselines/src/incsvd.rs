@@ -216,7 +216,11 @@ pub struct IncSvd {
 
 impl IncSvd {
     /// Builds the engine: rank-`r` SVD of `Q` plus the initial batch scores.
-    pub fn new(graph: DiGraph, cfg: SimRankConfig, opts: IncSvdOptions) -> Result<Self, IncSvdError> {
+    pub fn new(
+        graph: DiGraph,
+        cfg: SimRankConfig,
+        opts: IncSvdOptions,
+    ) -> Result<Self, IncSvdError> {
         let q = backward_transition(&graph);
         let mut rng = StdRng::seed_from_u64(opts.seed);
         let svd = if opts.randomized {
@@ -269,7 +273,12 @@ impl IncSvd {
         Ok(())
     }
 
-    fn apply_update(&mut self, i: u32, j: u32, kind: UpdateKind) -> Result<UpdateStats, UpdateError> {
+    fn apply_update(
+        &mut self,
+        i: u32,
+        j: u32,
+        kind: UpdateKind,
+    ) -> Result<UpdateStats, UpdateError> {
         validate_update(&self.graph, i, j, kind)?;
         let n = self.graph.node_count();
         let r = self.sigma.len();
@@ -300,9 +309,8 @@ impl IncSvd {
 
         // Recompute all scores from the updated factors (the expensive
         // tensor-product step the paper's Exp-1 measures).
-        self.scores =
-            svd_simrank(&self.factors(), self.cfg.c, self.opts.memory_budget_bytes)
-                .map_err(UpdateError::from)?;
+        self.scores = svd_simrank(&self.factors(), self.cfg.c, self.opts.memory_budget_bytes)
+            .map_err(UpdateError::from)?;
 
         match kind {
             UpdateKind::Insert => self.graph.insert_edge(i, j)?,
@@ -499,7 +507,17 @@ mod tests {
     fn truncated_rank_degrades_gracefully() {
         let g = DiGraph::from_edges(
             8,
-            &[(0, 2), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 0), (1, 5)],
+            &[
+                (0, 2),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 0),
+                (1, 5),
+            ],
         );
         let cfg = SimRankConfig::new(0.6, 150).unwrap();
         let truth = batch_simrank(&g, &cfg);
@@ -515,7 +533,10 @@ mod tests {
         }
         // Error decreases (weakly) as rank grows.
         assert!(errs[0] >= errs[2] - 1e-12, "errors: {errs:?}");
-        assert!(errs[2] < 1e-6, "lossless rank should be near-exact: {errs:?}");
+        assert!(
+            errs[2] < 1e-6,
+            "lossless rank should be near-exact: {errs:?}"
+        );
     }
 
     #[test]

@@ -100,10 +100,7 @@ mod tests {
     use super::*;
 
     fn fixture() -> DiGraph {
-        DiGraph::from_edges(
-            6,
-            &[(0, 2), (1, 2), (2, 3), (3, 4), (4, 5), (5, 2), (1, 4)],
-        )
+        DiGraph::from_edges(6, &[(0, 2), (1, 2), (2, 3), (3, 4), (4, 5), (5, 2), (1, 4)])
     }
 
     #[test]

@@ -91,7 +91,11 @@ fn main() {
             format!("{truth:.3}"),
             format!("{ours:.3}"),
             format!("{li:.3}"),
-            if (old - truth).abs() < 5e-4 { "yes (grey row)".into() } else { "".into() },
+            if (old - truth).abs() < 5e-4 {
+                "yes (grey row)".into()
+            } else {
+                "".into()
+            },
         ]);
     }
     table.print();
@@ -124,6 +128,9 @@ fn main() {
     );
 
     assert!(err_incsr < 1e-8, "Inc-SR must reproduce simtrue");
-    assert!(err_li > 1e-3, "lossless-SVD Inc-SVD must remain approximate here");
+    assert!(
+        err_li > 1e-3,
+        "lossless-SVD Inc-SVD must remain approximate here"
+    );
     println!("\n[ok] Inc-SR exact; Inc-SVD approximate despite lossless SVD — Fig. 1 reproduced.");
 }

@@ -41,21 +41,26 @@ fn run_dataset(ds: &mut Dataset, k_iters: usize, svd_ok: bool) {
     let base = ds.base_graph();
     let n = base.node_count();
     let base_edges = base.edge_count();
-    println!(
-        "-- {name}: n = {n}, base |E| = {base_edges}, K = {k_iters}, C = 0.6 --"
-    );
+    println!("-- {name}: n = {n}, base |E| = {base_edges}, K = {k_iters}, C = 0.6 --");
 
     // Precompute old scores once (the paper's workflow).
     let sw = Stopwatch::start();
     let s_base = batch_simrank_detailed(&base, &cfg, &BatchOptions::default()).scores;
-    println!("   batch precompute of S on G: {}", fmt_duration(sw.elapsed()));
+    println!(
+        "   batch precompute of S on G: {}",
+        fmt_duration(sw.elapsed())
+    );
 
     // Per-update costs measured once from the base state.
     let full_stream = ds.updates_to_increment(ds.increment_times.len() - 1);
     let mut incsr = IncSr::new(base.clone(), s_base.clone(), cfg);
     let m_incsr = measure_per_update(&mut incsr, &full_stream, scaled_cap(40));
     let mut incusr = IncUSr::new(base.clone(), s_base.clone(), cfg);
-    let cap_usr = if n > 3000 { scaled_cap(6) } else { scaled_cap(12) };
+    let cap_usr = if n > 3000 {
+        scaled_cap(6)
+    } else {
+        scaled_cap(12)
+    };
     let m_incusr = measure_per_update(&mut incusr, &full_stream, cap_usr);
     let m_incsvd = if svd_ok {
         let mut engine = IncSvd::new(
@@ -100,14 +105,21 @@ fn run_dataset(ds: &mut Dataset, k_iters: usize, svd_ok: bool) {
         last_ratio_batch = batch_secs / t_incsr;
     }
     table.print();
-    print!("   Inc-SR vs Inc-uSR: {:.1}x faster;", m_incusr.per_update_secs / m_incsr.per_update_secs);
+    print!(
+        "   Inc-SR vs Inc-uSR: {:.1}x faster;",
+        m_incusr.per_update_secs / m_incsr.per_update_secs
+    );
     if svd_ok {
         print!(" vs Inc-SVD: {last_ratio_svd:.1}x;");
     }
     println!(
         " vs Batch at the largest |ΔE|: {:.1}x {}",
         last_ratio_batch.max(1.0 / last_ratio_batch),
-        if last_ratio_batch >= 1.0 { "faster" } else { "slower" }
+        if last_ratio_batch >= 1.0 {
+            "faster"
+        } else {
+            "slower"
+        }
     );
     println!();
 }

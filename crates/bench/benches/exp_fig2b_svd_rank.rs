@@ -62,7 +62,9 @@ fn main() {
     println!(
         "\nminimum lossless-rank fraction observed: {min:.1}% — never negligibly smaller than n,"
     );
-    println!("matching the paper's 80–95% observation; Inc-SVD's O(r⁴n²) cannot be cheap and exact.");
+    println!(
+        "matching the paper's 80–95% observation; Inc-SVD's O(r⁴n²) cannot be cheap and exact."
+    );
     assert!(min > 40.0, "rank fraction unexpectedly small: {min}%");
     println!("\n[ok] Fig. 2b series regenerated.");
 }

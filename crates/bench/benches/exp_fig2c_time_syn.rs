@@ -74,8 +74,15 @@ fn run_sweep(label: &str, base: &DiGraph, stream: &[UpdateOp], step: usize, cfg:
     let m_incsr = measure_per_update(&mut incsr, stream, scaled_cap(40));
     let mut incusr = IncUSr::new(base.clone(), s_base.clone(), *cfg);
     let m_incusr = measure_per_update(&mut incusr, stream, scaled_cap(12));
-    let mut incsvd = IncSvd::new(base.clone(), *cfg, IncSvdOptions { rank: 5, ..Default::default() })
-        .expect("Inc-SVD construction");
+    let mut incsvd = IncSvd::new(
+        base.clone(),
+        *cfg,
+        IncSvdOptions {
+            rank: 5,
+            ..Default::default()
+        },
+    )
+    .expect("Inc-SVD construction");
     let m_incsvd = measure_per_update(&mut incsvd, stream, scaled_cap(8));
 
     let mut table = Table::new(&["|E| after step", "Inc-SR", "Inc-uSR", "Inc-SVD", "Batch"]);

@@ -22,11 +22,7 @@ fn main() {
         "speedup",
         "max |Inc-SR − Inc-uSR|",
     ]);
-    for (mut ds, k_iters) in [
-        (dblp_like(), 15usize),
-        (cith_like(), 15),
-        (youtu_like(), 5),
-    ] {
+    for (mut ds, k_iters) in [(dblp_like(), 15usize), (cith_like(), 15), (youtu_like(), 5)] {
         run_dataset(&mut ds, k_iters, &mut table);
     }
     table.print();
@@ -42,7 +38,11 @@ fn run_dataset(ds: &mut Dataset, k_iters: usize, table: &mut Table) {
     let stream = ds.updates_to_increment(ds.increment_times.len() - 1);
 
     let cap_sr = scaled_cap(40);
-    let cap_usr = if n > 3000 { scaled_cap(6) } else { scaled_cap(12) };
+    let cap_usr = if n > 3000 {
+        scaled_cap(6)
+    } else {
+        scaled_cap(12)
+    };
     let common = cap_sr.min(cap_usr); // compare scores after identical prefixes
 
     let mut incsr = IncSr::new(base.clone(), s_base.clone(), cfg);
@@ -76,7 +76,11 @@ fn run_dataset(ds: &mut Dataset, k_iters: usize, table: &mut Table) {
     union_in(&incsr); // the last measured update's area
     let mut extra_secs = 0.0;
     let mut extra_count = 0usize;
-    for &op in stream.iter().skip(common).take(cap_sr.saturating_sub(common)) {
+    for &op in stream
+        .iter()
+        .skip(common)
+        .take(cap_sr.saturating_sub(common))
+    {
         let sw = incsim_metrics::Stopwatch::start();
         if incsr.apply(op).is_ok() {
             extra_secs += sw.secs();
@@ -84,8 +88,8 @@ fn run_dataset(ds: &mut Dataset, k_iters: usize, table: &mut Table) {
             union_in(&incsr);
         }
     }
-    let per_sr = (m_sr_common.total_secs + extra_secs)
-        / (m_sr_common.measured + extra_count).max(1) as f64;
+    let per_sr =
+        (m_sr_common.total_secs + extra_secs) / (m_sr_common.measured + extra_count).max(1) as f64;
     let stream_pruned = 1.0 - (a_count * b_count) as f64 / (n * n) as f64;
 
     let t_usr = m_usr.per_update_secs * stream.len() as f64;

@@ -20,15 +20,13 @@ fn main() {
         "stream |AFF| / n²",
         "per-update |AFF| / n²",
     ]);
-    for (mut ds, k_iters) in [
-        (dblp_like(), 15usize),
-        (cith_like(), 15),
-        (youtu_like(), 5),
-    ] {
+    for (mut ds, k_iters) in [(dblp_like(), 15usize), (cith_like(), 15), (youtu_like(), 5)] {
         run_dataset(&mut ds, k_iters, &mut table);
     }
     table.print();
-    println!("\n(stream |AFF| ≪ n² throughout — the Theorem 4 pruning target; growth with |ΔE| is mild)");
+    println!(
+        "\n(stream |AFF| ≪ n² throughout — the Theorem 4 pruning target; growth with |ΔE| is mild)"
+    );
     println!("\n[ok] Fig. 2e regenerated.");
 }
 
@@ -41,7 +39,11 @@ fn run_dataset(ds: &mut Dataset, k_iters: usize, table: &mut Table) {
     let mut full = ds.updates_to_increment(ds.increment_times.len() - 1);
     // Bound the replayed stream on the largest dataset (per-update cost is
     // memory-bound there); the three |ΔE| points stay proportional.
-    let limit = if n > 3000 { scaled_cap(450) } else { scaled_cap(2500) };
+    let limit = if n > 3000 {
+        scaled_cap(450)
+    } else {
+        scaled_cap(2500)
+    };
     full.truncate(limit);
 
     // Three |ΔE| prefixes matching the paper's 6K/12K/18K sweep ratios.
@@ -79,7 +81,10 @@ fn run_dataset(ds: &mut Dataset, k_iters: usize, table: &mut Table) {
             format!("{} (n={n})", ds.name),
             label.into(),
             format!("{:.1}%", 100.0 * (a_count * b_count) as f64 / n2),
-            format!("{:.2}%", 100.0 * per_update_aff / samples.max(1) as f64 / n2),
+            format!(
+                "{:.2}%",
+                100.0 * per_update_aff / samples.max(1) as f64 / n2
+            ),
         ]);
     }
 }

@@ -28,7 +28,11 @@ fn main() {
         "Inc-SVD (r=5)",
         "Inc-SVD (r=15)",
     ]);
-    for (mut ds, svd_ok) in [(dblp_like(), true), (cith_like(), true), (youtu_like(), false)] {
+    for (mut ds, svd_ok) in [
+        (dblp_like(), true),
+        (cith_like(), true),
+        (youtu_like(), false),
+    ] {
         run_dataset(&mut ds, svd_ok, &mut table);
     }
     table.print();
@@ -46,7 +50,11 @@ fn run_dataset(ds: &mut Dataset, svd_ok: bool, table: &mut Table) {
     let s_base = batch_simrank(&base, &cfg_base);
 
     let full = ds.updates_to_increment(0);
-    let cap = if n > 3000 { scaled_cap(20) } else { scaled_cap(60) };
+    let cap = if n > 3000 {
+        scaled_cap(20)
+    } else {
+        scaled_cap(60)
+    };
     let stream: Vec<UpdateOp> = full.into_iter().take(cap).collect();
 
     // Ground-truth graph + baseline scores after the stream.
@@ -63,7 +71,10 @@ fn run_dataset(ds: &mut Dataset, svd_ok: bool, table: &mut Table) {
         for op in &stream {
             engine.apply(*op).expect("stream valid");
         }
-        cells.push(format!("{:.2}", ndcg_at_k(&baseline, engine.scores(), NDCG_K)));
+        cells.push(format!(
+            "{:.2}",
+            ndcg_at_k(&baseline, engine.scores(), NDCG_K)
+        ));
     }
     for k in [5usize, 15] {
         let cfg = SimRankConfig::new(0.6, k).expect("valid config");
@@ -71,7 +82,10 @@ fn run_dataset(ds: &mut Dataset, svd_ok: bool, table: &mut Table) {
         for op in &stream {
             engine.apply(*op).expect("stream valid");
         }
-        cells.push(format!("{:.2}", ndcg_at_k(&baseline, engine.scores(), NDCG_K)));
+        cells.push(format!(
+            "{:.2}",
+            ndcg_at_k(&baseline, engine.scores(), NDCG_K)
+        ));
     }
     for r in [5usize, 15] {
         if svd_ok {
@@ -88,7 +102,10 @@ fn run_dataset(ds: &mut Dataset, svd_ok: bool, table: &mut Table) {
             for op in &stream {
                 engine.apply(*op).expect("stream valid");
             }
-            cells.push(format!("{:.2}", ndcg_at_k(&baseline, engine.scores(), NDCG_K)));
+            cells.push(format!(
+                "{:.2}",
+                ndcg_at_k(&baseline, engine.scores(), NDCG_K)
+            ));
         } else {
             cells.push("— (mem)".into());
         }

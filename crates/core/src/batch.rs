@@ -74,7 +74,11 @@ pub fn batch_simrank(g: &DiGraph, cfg: &SimRankConfig) -> DenseMatrix {
 }
 
 /// Computes matrix-form SimRank, exposing iteration diagnostics.
-pub fn batch_simrank_detailed(g: &DiGraph, cfg: &SimRankConfig, opts: &BatchOptions) -> BatchResult {
+pub fn batch_simrank_detailed(
+    g: &DiGraph,
+    cfg: &SimRankConfig,
+    opts: &BatchOptions,
+) -> BatchResult {
     let n = g.node_count();
     let q = backward_transition(g);
     let threads = if opts.threads == 0 {
@@ -96,10 +100,7 @@ pub fn batch_simrank_detailed(g: &DiGraph, cfg: &SimRankConfig, opts: &BatchOpti
             }
             key ^= innb.len() as u64;
             let bucket = seen.entry(key).or_default();
-            let found = bucket
-                .iter()
-                .copied()
-                .find(|&r| g.in_neighbors(r) == innb);
+            let found = bucket.iter().copied().find(|&r| g.in_neighbors(r) == innb);
             match found {
                 Some(r) => rep[v as usize] = r,
                 None => {
@@ -253,7 +254,11 @@ mod tests {
         let g = DiGraph::from_edges(5, &[(0, 2), (1, 2), (2, 3), (3, 4), (0, 4)]);
         let s = batch_simrank(&g, &cfg(8));
         let truth = ground_truth(&g, 0.6, 8);
-        assert!(s.max_abs_diff(&truth) < 1e-12, "diff={}", s.max_abs_diff(&truth));
+        assert!(
+            s.max_abs_diff(&truth) < 1e-12,
+            "diff={}",
+            s.max_abs_diff(&truth)
+        );
     }
 
     #[test]
@@ -268,7 +273,16 @@ mod tests {
     fn scores_are_symmetric_and_bounded() {
         let g = DiGraph::from_edges(
             6,
-            &[(0, 2), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (1, 4), (0, 5)],
+            &[
+                (0, 2),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 0),
+                (1, 4),
+                (0, 5),
+            ],
         );
         let s = batch_simrank(&g, &cfg(15));
         assert!(s.is_symmetric(1e-12));
@@ -283,10 +297,7 @@ mod tests {
     #[test]
     fn partial_sum_sharing_is_lossless() {
         // Nodes 3 and 4 share the in-neighbour set {0,1,2}.
-        let g = DiGraph::from_edges(
-            5,
-            &[(0, 3), (1, 3), (2, 3), (0, 4), (1, 4), (2, 4)],
-        );
+        let g = DiGraph::from_edges(5, &[(0, 3), (1, 3), (2, 3), (0, 4), (1, 4), (2, 4)]);
         let with = batch_simrank_detailed(&g, &cfg(10), &BatchOptions::default());
         let without = batch_simrank_detailed(
             &g,

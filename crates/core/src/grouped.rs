@@ -116,16 +116,16 @@ where
     }
     // v = new row − old row (both rows are uniform over their in-sets).
     let mut v: Vec<(u32, f64)> = Vec::new();
-    let add = |list: &mut Vec<(u32, f64)>, idx: u32, val: f64| {
-        match list.binary_search_by_key(&idx, |&(k, _)| k) {
-            Ok(pos) => {
-                list[pos].1 += val;
-                if list[pos].1 == 0.0 {
-                    list.remove(pos);
-                }
+    let add = |list: &mut Vec<(u32, f64)>, idx: u32, val: f64| match list
+        .binary_search_by_key(&idx, |&(k, _)| k)
+    {
+        Ok(pos) => {
+            list[pos].1 += val;
+            if list[pos].1 == 0.0 {
+                list.remove(pos);
             }
-            Err(pos) => list.insert(pos, (idx, val)),
         }
+        Err(pos) => list.insert(pos, (idx, val)),
     };
     if !change.new_in_neighbors.is_empty() {
         let w_new = 1.0 / change.new_in_neighbors.len() as f64;
@@ -181,10 +181,7 @@ mod tests {
     use incsim_graph::transition::backward_transition;
 
     fn fixture() -> DiGraph {
-        DiGraph::from_edges(
-            6,
-            &[(0, 2), (1, 2), (2, 3), (3, 4), (4, 5), (5, 2)],
-        )
+        DiGraph::from_edges(6, &[(0, 2), (1, 2), (2, 3), (3, 4), (4, 5), (5, 2)])
     }
 
     #[test]

@@ -248,8 +248,14 @@ impl IncSr {
 
         // Lines 14–19: sparse ξ/η iteration over the affected area only.
         for _ in 0..self.cfg.iterations {
-            let theta_xi: f64 = v.iter().map(|&(t, val)| val * self.xi.get(t as usize)).sum();
-            let theta_eta: f64 = v.iter().map(|&(t, val)| val * self.eta.get(t as usize)).sum();
+            let theta_xi: f64 = v
+                .iter()
+                .map(|&(t, val)| val * self.xi.get(t as usize))
+                .sum();
+            let theta_eta: f64 = v
+                .iter()
+                .map(|&(t, val)| val * self.eta.get(t as usize))
+                .sum();
 
             // [ξ_k]_a = C·[Q]_{a,:}·ξ_{k−1} + C·θ_ξ·[u]_a, scattered over
             // out-neighbourhoods (A_k of Eq. 40, but exact).
@@ -301,12 +307,9 @@ impl IncSr {
         let rows = crate::grouped::group_by_row(&self.graph, ops)?;
         let tol = self.cfg.zero_tol;
         for change in &rows {
-            let rro = crate::grouped::row_rank_one(
-                &self.graph,
-                &self.scores,
-                change,
-                |x, y| crate::grouped::graph_q_matvec(&self.graph, x, y),
-            )?;
+            let rro = crate::grouped::row_rank_one(&self.graph, &self.scores, change, |x, y| {
+                crate::grouped::graph_q_matvec(&self.graph, x, y)
+            })?;
             self.eta.clear();
             for (b, &g) in rro.gamma.iter().enumerate() {
                 if g.abs() > tol {
@@ -324,7 +327,12 @@ impl IncSr {
         })
     }
 
-    fn apply_update(&mut self, i: u32, j: u32, kind: UpdateKind) -> Result<UpdateStats, UpdateError> {
+    fn apply_update(
+        &mut self,
+        i: u32,
+        j: u32,
+        kind: UpdateKind,
+    ) -> Result<UpdateStats, UpdateError> {
         validate_update(&self.graph, i, j, kind)?;
         let n = self.graph.node_count();
         let k_iters = self.cfg.iterations;
@@ -436,7 +444,16 @@ mod tests {
     fn fixture() -> DiGraph {
         DiGraph::from_edges(
             7,
-            &[(0, 2), (1, 2), (2, 3), (3, 4), (4, 5), (5, 2), (1, 4), (6, 3)],
+            &[
+                (0, 2),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 2),
+                (1, 4),
+                (6, 3),
+            ],
         )
     }
 

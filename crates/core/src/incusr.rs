@@ -87,9 +87,7 @@ impl IncUSr {
     /// straight into the score matrix. Expects γ in `self.eta`.
     fn run_sylvester_iteration(&mut self, j: usize, u_coeff: f64, v: &[(u32, f64)]) {
         let c = self.cfg.c;
-        let v_dot = |x: &[f64]| -> f64 {
-            v.iter().map(|&(idx, val)| val * x[idx as usize]).sum()
-        };
+        let v_dot = |x: &[f64]| -> f64 { v.iter().map(|&(idx, val)| val * x[idx as usize]).sum() };
         incsim_linalg::vecops::zero(&mut self.xi);
         self.xi[j] = c;
         self.scores.add_sym_outer(1.0, &self.xi, &self.eta);
@@ -122,12 +120,9 @@ impl IncUSr {
     pub fn apply_grouped(&mut self, ops: &[UpdateOp]) -> Result<GroupedStats, UpdateError> {
         let rows = crate::grouped::group_by_row(&self.graph, ops)?;
         for change in &rows {
-            let rro = crate::grouped::row_rank_one(
-                &self.graph,
-                &self.scores,
-                change,
-                |x, y| self.q.matvec(x, y),
-            )?;
+            let rro = crate::grouped::row_rank_one(&self.graph, &self.scores, change, |x, y| {
+                self.q.matvec(x, y)
+            })?;
             self.eta.copy_from_slice(&rro.gamma);
             self.run_sylvester_iteration(change.j as usize, 1.0, &rro.v);
             for op in &change.ops {
@@ -141,7 +136,12 @@ impl IncUSr {
         })
     }
 
-    fn apply_update(&mut self, i: u32, j: u32, kind: UpdateKind) -> Result<UpdateStats, UpdateError> {
+    fn apply_update(
+        &mut self,
+        i: u32,
+        j: u32,
+        kind: UpdateKind,
+    ) -> Result<UpdateStats, UpdateError> {
         validate_update(&self.graph, i, j, kind)?;
         let n = self.graph.node_count();
         let c = self.cfg.c;
@@ -238,7 +238,16 @@ mod tests {
     fn fixture() -> DiGraph {
         DiGraph::from_edges(
             7,
-            &[(0, 2), (1, 2), (2, 3), (3, 4), (4, 5), (5, 2), (1, 4), (6, 3)],
+            &[
+                (0, 2),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 2),
+                (1, 4),
+                (6, 3),
+            ],
         )
     }
 

@@ -126,12 +126,7 @@ pub trait SimRankMaintainer {
 /// Validates a pending update against the current graph. Shared by all
 /// engines (including the Inc-SVD baseline in `incsim-baselines`) so they
 /// reject invalid updates *before* touching any state.
-pub fn validate_update(
-    g: &DiGraph,
-    i: u32,
-    j: u32,
-    kind: UpdateKind,
-) -> Result<(), UpdateError> {
+pub fn validate_update(g: &DiGraph, i: u32, j: u32, kind: UpdateKind) -> Result<(), UpdateError> {
     let n = g.node_count();
     for v in [i, j] {
         if v as usize >= n {
@@ -144,12 +139,18 @@ pub fn validate_update(
     match kind {
         UpdateKind::Insert => {
             if g.has_edge(i, j) {
-                return Err(UpdateError::Graph(GraphError::EdgeExists { src: i, dst: j }));
+                return Err(UpdateError::Graph(GraphError::EdgeExists {
+                    src: i,
+                    dst: j,
+                }));
             }
         }
         UpdateKind::Delete => {
             if !g.has_edge(i, j) {
-                return Err(UpdateError::Graph(GraphError::EdgeMissing { src: i, dst: j }));
+                return Err(UpdateError::Graph(GraphError::EdgeMissing {
+                    src: i,
+                    dst: j,
+                }));
             }
         }
     }

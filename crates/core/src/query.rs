@@ -86,8 +86,20 @@ mod tests {
     fn top_k_orders_descending_with_stable_ties() {
         let s = sample();
         let top = top_k_for_node(&s, 0, 2);
-        assert_eq!(top[0], RankedNode { node: 3, score: 0.7 });
-        assert_eq!(top[1], RankedNode { node: 1, score: 0.5 });
+        assert_eq!(
+            top[0],
+            RankedNode {
+                node: 3,
+                score: 0.7
+            }
+        );
+        assert_eq!(
+            top[1],
+            RankedNode {
+                node: 1,
+                score: 0.5
+            }
+        );
         // k larger than candidates truncates gracefully.
         assert_eq!(top_k_for_node(&s, 0, 10).len(), 3);
     }

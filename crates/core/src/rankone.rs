@@ -55,7 +55,10 @@ impl RankOneUpdate {
     /// pruned engine, whose vectors live in sparse accumulators).
     #[inline]
     pub fn v_dot_with<F: Fn(usize) -> f64>(&self, get: F) -> f64 {
-        self.v.iter().map(|&(idx, val)| val * get(idx as usize)).sum()
+        self.v
+            .iter()
+            .map(|&(idx, val)| val * get(idx as usize))
+            .sum()
     }
 
     /// Materialises `ΔQ = u·vᵀ` densely (test/diagnostic helper).
@@ -169,12 +172,7 @@ pub struct GammaVector {
 /// This is the faithful Algorithm 1 preprocessing: it performs **one**
 /// sparse matrix–vector product (`w = Q·[S]_{:,i}`, line 3) plus `O(n)`
 /// vector arithmetic — no matrix–matrix work.
-pub fn gamma_vector(
-    q: &CsrMatrix,
-    s: &DenseMatrix,
-    upd: &RankOneUpdate,
-    c: f64,
-) -> GammaVector {
+pub fn gamma_vector(q: &CsrMatrix, s: &DenseMatrix, upd: &RankOneUpdate, c: f64) -> GammaVector {
     let n = s.rows();
     let i = upd.i as usize;
     let j = upd.j as usize;
@@ -258,10 +256,7 @@ mod tests {
     }
 
     fn fixture() -> DiGraph {
-        DiGraph::from_edges(
-            6,
-            &[(0, 2), (1, 2), (2, 3), (3, 4), (4, 5), (5, 2), (1, 4)],
-        )
+        DiGraph::from_edges(6, &[(0, 2), (1, 2), (2, 3), (3, 4), (4, 5), (5, 2), (1, 4)])
     }
 
     #[test]

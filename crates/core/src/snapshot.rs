@@ -214,7 +214,10 @@ mod tests {
             Err(SnapshotError::BadMagic)
         ));
         let truncated = MAGIC.to_vec();
-        assert!(matches!(load(truncated.as_slice()), Err(SnapshotError::Io(_))));
+        assert!(matches!(
+            load(truncated.as_slice()),
+            Err(SnapshotError::Io(_))
+        ));
     }
 
     #[test]

@@ -63,11 +63,15 @@ impl TopKTracker {
         for a in 0..n {
             let row = scores.row(a);
             for (b, &score) in row.iter().enumerate().skip(a + 1) {
-                push_candidate(&mut all, self.k, TopPair {
-                    a: a as u32,
-                    b: b as u32,
-                    score,
-                });
+                push_candidate(
+                    &mut all,
+                    self.k,
+                    TopPair {
+                        a: a as u32,
+                        b: b as u32,
+                        score,
+                    },
+                );
             }
         }
         all.sort_by(pair_cmp);
@@ -123,11 +127,15 @@ impl TopKTracker {
                     continue;
                 }
                 let (x, y) = if a < b { (a, b) } else { (b, a) };
-                push_candidate(&mut kept, self.k, TopPair {
-                    a: x as u32,
-                    b: y as u32,
-                    score,
-                });
+                push_candidate(
+                    &mut kept,
+                    self.k,
+                    TopPair {
+                        a: x as u32,
+                        b: y as u32,
+                        score,
+                    },
+                );
             }
         }
         kept.sort_by(pair_cmp);
@@ -179,15 +187,39 @@ mod tests {
         s.set(1, 3, 0.5);
         s.set(3, 1, 0.5);
         let t = TopKTracker::new(&s, 2);
-        assert_eq!(t.entries()[0], TopPair { a: 0, b: 2, score: 0.8 });
-        assert_eq!(t.entries()[1], TopPair { a: 1, b: 3, score: 0.5 });
+        assert_eq!(
+            t.entries()[0],
+            TopPair {
+                a: 0,
+                b: 2,
+                score: 0.8
+            }
+        );
+        assert_eq!(
+            t.entries()[1],
+            TopPair {
+                a: 1,
+                b: 3,
+                score: 0.5
+            }
+        );
     }
 
     #[test]
     fn incremental_update_tracks_engine_exactly() {
         let g = DiGraph::from_edges(
             12,
-            &[(0, 2), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (8, 9), (9, 10)],
+            &[
+                (0, 2),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (8, 9),
+                (9, 10),
+            ],
         );
         let cfg = SimRankConfig::new(0.6, 20).unwrap();
         let s0 = batch_simrank(&g, &cfg);

@@ -189,10 +189,7 @@ mod tests {
         };
         let mut timeline = linkage_model(&params, &mut rng);
         let g = timeline.snapshot_at(u64::MAX);
-        let mutual = g
-            .edges()
-            .filter(|&(u, v)| g.has_edge(v, u))
-            .count();
+        let mutual = g.edges().filter(|&(u, v)| g.has_edge(v, u)).count();
         assert!(
             mutual as f64 > 0.2 * g.edge_count() as f64,
             "expected substantial reciprocity, got {mutual}/{}",

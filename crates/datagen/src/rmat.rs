@@ -152,8 +152,18 @@ mod tests {
 
     #[test]
     fn deterministic_under_seed() {
-        let a = rmat(7, 300, &RmatParams::default(), &mut StdRng::seed_from_u64(5));
-        let b = rmat(7, 300, &RmatParams::default(), &mut StdRng::seed_from_u64(5));
+        let a = rmat(
+            7,
+            300,
+            &RmatParams::default(),
+            &mut StdRng::seed_from_u64(5),
+        );
+        let b = rmat(
+            7,
+            300,
+            &RmatParams::default(),
+            &mut StdRng::seed_from_u64(5),
+        );
         assert_eq!(a, b);
     }
 

@@ -100,10 +100,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn base() -> DiGraph {
-        DiGraph::from_edges(
-            20,
-            &(0..19u32).map(|v| (v, v + 1)).collect::<Vec<_>>(),
-        )
+        DiGraph::from_edges(20, &(0..19u32).map(|v| (v, v + 1)).collect::<Vec<_>>())
     }
 
     #[test]

@@ -238,7 +238,10 @@ impl DiGraph {
             return Err(format!("edge count mismatch: out={count} in={in_count}"));
         }
         if count != self.num_edges {
-            return Err(format!("cached edge count {} != actual {count}", self.num_edges));
+            return Err(format!(
+                "cached edge count {} != actual {count}",
+                self.num_edges
+            ));
         }
         for (v, adj) in self.in_adj.iter().enumerate() {
             if !adj.windows(2).all(|w| w[0] < w[1]) {

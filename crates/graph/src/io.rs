@@ -104,7 +104,12 @@ pub fn parse_edge_list_str(text: &str) -> Result<ParsedGraph, IoError> {
 
 /// Writes a graph as a SNAP-style edge list.
 pub fn write_edge_list<W: Write>(g: &DiGraph, mut writer: W) -> std::io::Result<()> {
-    writeln!(writer, "# Nodes: {} Edges: {}", g.node_count(), g.edge_count())?;
+    writeln!(
+        writer,
+        "# Nodes: {} Edges: {}",
+        g.node_count(),
+        g.edge_count()
+    )?;
     for (u, v) in g.edges() {
         writeln!(writer, "{u}\t{v}")?;
     }

@@ -165,7 +165,10 @@ impl DenseMatrix {
     /// Splits the matrix into disjoint chunks of whole rows (for
     /// `std::thread::scope`-based parallel kernels). Each chunk holds
     /// `chunk_rows * cols` numbers except possibly the last.
-    pub fn par_row_chunks_mut(&mut self, chunk_rows: usize) -> impl Iterator<Item = (usize, &mut [f64])> {
+    pub fn par_row_chunks_mut(
+        &mut self,
+        chunk_rows: usize,
+    ) -> impl Iterator<Item = (usize, &mut [f64])> {
         let cols = self.cols;
         self.data
             .chunks_mut(chunk_rows.max(1) * cols)

@@ -85,7 +85,10 @@ impl std::fmt::Display for LinalgError {
                 routine,
                 iterations,
             } => {
-                write!(f, "{routine} failed to converge after {iterations} iterations")
+                write!(
+                    f,
+                    "{routine} failed to converge after {iterations} iterations"
+                )
             }
         }
     }

@@ -224,12 +224,7 @@ mod tests {
 
     #[test]
     fn qr_reconstructs_tall_matrix() {
-        let a = DenseMatrix::from_rows(&[
-            &[1.0, 2.0],
-            &[3.0, 4.0],
-            &[5.0, 6.0],
-            &[7.0, 9.0],
-        ]);
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0], &[7.0, 9.0]]);
         let (q, r) = qr_thin(&a);
         assert_eq!(q.rows(), 4);
         assert_eq!(q.cols(), 2);
@@ -284,11 +279,7 @@ mod tests {
     #[test]
     fn rank_detects_dependent_columns() {
         // Third column = col0 + col1.
-        let a = DenseMatrix::from_rows(&[
-            &[1.0, 0.0, 1.0],
-            &[0.0, 1.0, 1.0],
-            &[2.0, 1.0, 3.0],
-        ]);
+        let a = DenseMatrix::from_rows(&[&[1.0, 0.0, 1.0], &[0.0, 1.0, 1.0], &[2.0, 1.0, 3.0]]);
         assert_eq!(rank_qrcp(&a, 1e-10), 2);
     }
 }

@@ -48,7 +48,10 @@ impl CooBuilder {
     /// # Panics
     /// Panics if the coordinate is out of bounds.
     pub fn push(&mut self, i: usize, j: usize, v: f64) {
-        assert!(i < self.rows && j < self.cols, "CooBuilder::push out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "CooBuilder::push out of bounds"
+        );
         self.entries.push((i as u32, j as u32, v));
     }
 

@@ -78,7 +78,9 @@ impl SparseAccumulator {
 
     /// Iterates `(index, value)` over the support in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, f64)> + '_ {
-        self.support.iter().map(move |&i| (i, self.values[i as usize]))
+        self.support
+            .iter()
+            .map(move |&i| (i, self.values[i as usize]))
     }
 
     /// The support indices (insertion order, may contain exact zeros).

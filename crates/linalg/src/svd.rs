@@ -192,7 +192,11 @@ pub fn jacobi_svd(a: &DenseMatrix) -> Svd {
     // Singular values = column norms; U columns = normalised A columns.
     let mut order: Vec<usize> = (0..n).collect();
     let sigmas: Vec<f64> = cols.iter().map(|c| vecops::norm2(c)).collect();
-    order.sort_by(|&i, &j| sigmas[j].partial_cmp(&sigmas[i]).expect("finite singular values"));
+    order.sort_by(|&i, &j| {
+        sigmas[j]
+            .partial_cmp(&sigmas[i])
+            .expect("finite singular values")
+    });
 
     let mut u = DenseMatrix::zeros(m, n);
     let mut v = DenseMatrix::zeros(n, n);
@@ -341,11 +345,7 @@ mod tests {
 
     #[test]
     fn jacobi_svd_reconstructs_rectangular_matrices() {
-        let tall = DenseMatrix::from_rows(&[
-            &[1.0, 2.0],
-            &[3.0, 4.0],
-            &[5.0, 6.0],
-        ]);
+        let tall = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
         let svd = jacobi_svd(&tall);
         assert!(svd.reconstruct().max_abs_diff(&tall) < 1e-12);
         assert!(col_orthonormal_defect(&svd.u, svd.rank(1e-12)) < 1e-12);

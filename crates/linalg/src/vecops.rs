@@ -67,7 +67,10 @@ pub fn zero(x: &mut [f64]) {
 /// # Panics
 /// Panics if `i >= n`.
 pub fn unit_vector(n: usize, i: usize) -> Vec<f64> {
-    assert!(i < n, "unit_vector: index {i} out of range for dimension {n}");
+    assert!(
+        i < n,
+        "unit_vector: index {i} out of range for dimension {n}"
+    );
     let mut e = vec![0.0; n];
     e[i] = 1.0;
     e

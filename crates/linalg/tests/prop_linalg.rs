@@ -10,8 +10,10 @@ use incsim_linalg::{CooBuilder, DenseMatrix};
 use proptest::prelude::*;
 
 /// Strategy: an `r × c` dense matrix with entries in [-2, 2].
-fn arb_matrix(rows: std::ops::RangeInclusive<usize>, cols: std::ops::RangeInclusive<usize>)
-    -> impl Strategy<Value = DenseMatrix> {
+fn arb_matrix(
+    rows: std::ops::RangeInclusive<usize>,
+    cols: std::ops::RangeInclusive<usize>,
+) -> impl Strategy<Value = DenseMatrix> {
     (rows, cols).prop_flat_map(|(r, c)| {
         proptest::collection::vec(-2.0f64..2.0, r * c)
             .prop_map(move |data| DenseMatrix::from_vec(r, c, data))

@@ -79,6 +79,8 @@ fn main() {
         }
     }
 
-    println!("\nInc-SR and Inc-uSR agree to machine precision (lossless pruning): {:.2e}",
-        incsr.scores().max_abs_diff(incusr.scores()));
+    println!(
+        "\nInc-SR and Inc-uSR agree to machine precision (lossless pruning): {:.2e}",
+        incsr.scores().max_abs_diff(incusr.scores())
+    );
 }

@@ -27,8 +27,14 @@ fn main() {
 
     // 1) Batch: compute all-pairs scores from scratch once.
     let scores = batch_simrank(&g, &cfg);
-    println!("initial s(0,1) = {:.4}  (both referenced by page 2)", scores.get(0, 1));
-    println!("initial s(3,4) = {:.4}  (referenced by similar pages 0, 1)", scores.get(3, 4));
+    println!(
+        "initial s(0,1) = {:.4}  (both referenced by page 2)",
+        scores.get(0, 1)
+    );
+    println!(
+        "initial s(3,4) = {:.4}  (referenced by similar pages 0, 1)",
+        scores.get(3, 4)
+    );
 
     // 2) Incremental: hand graph + scores to the Inc-SR engine and evolve.
     let mut engine = IncSr::new(g, scores, cfg);
@@ -39,14 +45,20 @@ fn main() {
         stats.affected_pairs,
         100.0 * stats.pruned_fraction
     );
-    println!("now     s(0,4) = {:.4}  (4 gained referrer 2, like page 0)", engine.scores().get(0, 4));
+    println!(
+        "now     s(0,4) = {:.4}  (4 gained referrer 2, like page 0)",
+        engine.scores().get(0, 4)
+    );
 
     let stats = engine.remove_edge(0, 3).expect("edge exists");
     println!(
         "deleted  (0→3): {} node pairs affected",
         stats.affected_pairs
     );
-    println!("now     s(3,4) = {:.4}  (3 lost its only referrer)", engine.scores().get(3, 4));
+    println!(
+        "now     s(3,4) = {:.4}  (3 lost its only referrer)",
+        engine.scores().get(3, 4)
+    );
 
     // Sanity: the engine's scores equal a from-scratch batch run.
     let fresh = batch_simrank(engine.graph(), engine.config());

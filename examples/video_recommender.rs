@@ -47,8 +47,7 @@ fn main() {
     let sw = Stopwatch::start();
     let stats = engine.apply_batch(&churn).expect("valid churn stream");
     let inc_time = sw.elapsed();
-    let mean_pruned =
-        stats.iter().map(|s| s.pruned_fraction).sum::<f64>() / stats.len() as f64;
+    let mean_pruned = stats.iter().map(|s| s.pruned_fraction).sum::<f64>() / stats.len() as f64;
     println!(
         "incremental maintenance of {} link changes: {} ({:.1}% of pairs pruned per change)",
         churn.len(),

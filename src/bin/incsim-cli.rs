@@ -104,6 +104,12 @@ fn run(args: &[String]) -> Result<(), String> {
     let Some((cmd, rest)) = args.split_first() else {
         return Err("no command given".into());
     };
+    if matches!(cmd.as_str(), "help" | "--help" | "-h")
+        || rest.iter().any(|a| a == "--help" || a == "-h")
+    {
+        println!("{USAGE}");
+        return Ok(());
+    }
     let flags = Flags::parse(rest)?;
     match cmd.as_str() {
         "generate" => cmd_generate(&flags),
@@ -211,7 +217,10 @@ fn cmd_update(flags: &Flags) -> Result<(), String> {
     let snap = open_state(flags)?;
     let ops_path = flags.req(&["--ops"])?;
     let out = flags.req(&["-o", "--output"])?;
-    let grouped = flags.get(&["--grouped"]).map(|v| v == "true").unwrap_or(false);
+    let grouped = flags
+        .get(&["--grouped"])
+        .map(|v| v == "true")
+        .unwrap_or(false);
 
     let mut text = String::new();
     File::open(ops_path)
@@ -267,7 +276,11 @@ fn cmd_query(flags: &Flags) -> Result<(), String> {
             Err(format!("node {v} out of range (graph has {n} nodes)"))
         }
     };
-    match (flags.get(&["-a"]), flags.get(&["-b"]), flags.get(&["--node"])) {
+    match (
+        flags.get(&["-a"]),
+        flags.get(&["-b"]),
+        flags.get(&["--node"]),
+    ) {
         (Some(a), Some(b), None) => {
             let a: u32 = a.parse().map_err(|_| "bad -a".to_string())?;
             let b: u32 = b.parse().map_err(|_| "bad -b".to_string())?;
@@ -363,13 +376,25 @@ mod tests {
 
         // generate
         run(&to_args(&[
-            "generate", "--model", "er", "--nodes", "30", "--edges", "90", "-o",
+            "generate",
+            "--model",
+            "er",
+            "--nodes",
+            "30",
+            "--edges",
+            "90",
+            "-o",
             graph_path.to_str().unwrap(),
         ]))
         .unwrap();
         // compute
         run(&to_args(&[
-            "compute", "--input", graph_path.to_str().unwrap(), "--iters", "10", "-o",
+            "compute",
+            "--input",
+            graph_path.to_str().unwrap(),
+            "--iters",
+            "10",
+            "-o",
             state_path.to_str().unwrap(),
         ]))
         .unwrap();
@@ -387,15 +412,38 @@ mod tests {
         let (u, v) = free.unwrap();
         std::fs::write(&ops_path, format!("+ {u} {v}\n")).unwrap();
         run(&to_args(&[
-            "update", "--state", state_path.to_str().unwrap(), "--ops",
-            ops_path.to_str().unwrap(), "-o", state2_path.to_str().unwrap(),
+            "update",
+            "--state",
+            state_path.to_str().unwrap(),
+            "--ops",
+            ops_path.to_str().unwrap(),
+            "-o",
+            state2_path.to_str().unwrap(),
         ]))
         .unwrap();
         // info / topk / query all read the produced state.
-        run(&to_args(&["info", "--state", state2_path.to_str().unwrap()])).unwrap();
-        run(&to_args(&["topk", "--state", state2_path.to_str().unwrap(), "-k", "3"])).unwrap();
         run(&to_args(&[
-            "query", "--state", state2_path.to_str().unwrap(), "-a", "0", "-b", "1",
+            "info",
+            "--state",
+            state2_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&to_args(&[
+            "topk",
+            "--state",
+            state2_path.to_str().unwrap(),
+            "-k",
+            "3",
+        ]))
+        .unwrap();
+        run(&to_args(&[
+            "query",
+            "--state",
+            state2_path.to_str().unwrap(),
+            "-a",
+            "0",
+            "-b",
+            "1",
         ]))
         .unwrap();
         std::fs::remove_dir_all(&dir).ok();

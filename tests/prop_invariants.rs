@@ -13,8 +13,7 @@ fn arb_graph() -> impl Strategy<Value = DiGraph> {
         let max_edges = n * (n - 1);
         proptest::collection::vec((0..n as u32, 0..n as u32), 0..=max_edges.min(40)).prop_map(
             move |pairs| {
-                let edges: Vec<(u32, u32)> =
-                    pairs.into_iter().filter(|(u, v)| u != v).collect();
+                let edges: Vec<(u32, u32)> = pairs.into_iter().filter(|(u, v)| u != v).collect();
                 DiGraph::from_edges(n, &edges)
             },
         )

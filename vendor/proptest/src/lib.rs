@@ -1,0 +1,210 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The workspace builds without crates.io access, so this vendored crate
+//! implements the slice of proptest the test suites use:
+//!
+//! * the [`Strategy`] trait with `prop_map` and `prop_flat_map`,
+//! * range strategies (`0u32..9`, `3usize..=14`, `-2.0f64..2.0`),
+//!   tuple strategies up to arity 5, and [`collection::vec`],
+//! * [`any`]`::<T>()` for primitive `T`,
+//! * the [`proptest!`] macro plus `prop_assert!`, `prop_assert_eq!`,
+//!   `prop_assert_ne!`, and `prop_assume!`,
+//! * [`test_runner::ProptestConfig`] (`with_cases` only).
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case panics with the usual assertion
+//!   message; the input is printed but not minimised.
+//! * **Fully deterministic.** Each test derives its RNG stream from a
+//!   fixed seed and the case index, so every run explores the identical
+//!   sequence of inputs — the repo's tests require reproducibility.
+//! * `prop_assume!` skips the case rather than resampling, so a test
+//!   effectively runs `cases` minus the skipped count.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Everything a `use proptest::prelude::*;` consumer expects.
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+use strategy::Strategy;
+
+/// Deterministic SplitMix64 stream used by the runner and all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Strategy producing any value of a primitive type.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    type Strategy: Strategy<Value = Self>;
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Whole-domain strategy for a primitive type (the `any::<T>()` result).
+#[derive(Debug, Clone, Copy)]
+pub struct AnyStrategy<T> {
+    _marker: core::marker::PhantomData<T>,
+}
+
+macro_rules! impl_arbitrary {
+    ($($t:ty => |$rng:ident| $gen:expr;)*) => {$(
+        impl Strategy for AnyStrategy<$t> {
+            type Value = $t;
+            fn sample(&self, $rng: &mut TestRng) -> $t {
+                $gen
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = AnyStrategy<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyStrategy { _marker: core::marker::PhantomData }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary! {
+    bool => |rng| rng.next_u64() & 1 == 1;
+    u8 => |rng| rng.next_u64() as u8;
+    u16 => |rng| rng.next_u64() as u16;
+    u32 => |rng| rng.next_u64() as u32;
+    u64 => |rng| rng.next_u64();
+    usize => |rng| rng.next_u64() as usize;
+    i8 => |rng| rng.next_u64() as i8;
+    i16 => |rng| rng.next_u64() as i16;
+    i32 => |rng| rng.next_u64() as i32;
+    i64 => |rng| rng.next_u64() as i64;
+    isize => |rng| rng.next_u64() as isize;
+    f64 => |rng| rng.unit_f64() * 2.0 - 1.0;
+}
+
+/// The body of one generated `#[test]`: runs `cases` sampled inputs.
+///
+/// Not part of the public proptest API — invoked by the [`proptest!`]
+/// expansion only.
+pub fn run_cases<S: Strategy>(
+    config: test_runner::ProptestConfig,
+    test_name: &str,
+    strategy: &S,
+    body: impl Fn(S::Value),
+) where
+    S::Value: core::fmt::Debug + Clone,
+{
+    // A fixed per-test seed: deterministic across runs and platforms, but
+    // different tests explore different streams.
+    let mut seed = 0x5DEE_CE66_D127_2D4Eu64;
+    for b in test_name.bytes() {
+        seed = seed.wrapping_mul(0x100_0000_01B3).wrapping_add(b as u64);
+    }
+    for case in 0..config.cases {
+        let mut rng = TestRng::new(seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let value = strategy.sample(&mut rng);
+        let shown = value.clone();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(value)));
+        if let Err(payload) = outcome {
+            eprintln!(
+                "proptest case {case}/{} failed for `{test_name}` with input: {shown:?}",
+                config.cases
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Defines property tests: `fn name(pattern in strategy, ...) { body }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $cfg;
+                let strategy = ($($strat,)+);
+                $crate::run_cases(config, stringify!($name), &strategy, |($($pat,)+)| $body);
+            }
+        )*
+    };
+}
+
+/// `assert!` under a name the test suites expect.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under a name the test suites expect.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under a name the test suites expect.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when the precondition does not hold.
+///
+/// The real proptest resamples; this shim simply returns from the case
+/// body, so heavily-filtered tests run fewer effective cases.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return;
+        }
+    };
+}
