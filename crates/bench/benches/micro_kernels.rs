@@ -68,6 +68,49 @@ fn bench_kernels(c: &mut Criterion) {
         })
     });
 
+    // One fused LowRankDelta sweep applying K+1 = 16 buffered rank-two
+    // terms vs the equivalent 16 eager add_sym_outer sweeps: same FLOPs,
+    // 1/8th of the S row traffic (16 pairs at DENSE_GROUP = 8 per pass).
+    let pairs: Vec<(Vec<f64>, Vec<f64>)> = (0..16)
+        .map(|t| {
+            let xi: Vec<f64> = (0..n)
+                .map(|i| ((i * 7 + t * 13) as f64 * 0.21).sin())
+                .collect();
+            let yi: Vec<f64> = (0..n)
+                .map(|i| ((i * 3 + t * 29) as f64 * 0.17).cos())
+                .collect();
+            (xi, yi)
+        })
+        .collect();
+    c.bench_function("lowrank_fused_apply_16x600", |b| {
+        b.iter_batched(
+            || {
+                let mut d = incsim_linalg::LowRankDelta::new(n);
+                for (xi, yi) in &pairs {
+                    d.push_dense(xi.clone(), yi.clone());
+                }
+                (scores.clone(), d)
+            },
+            |(mut s, mut d)| {
+                d.apply_to_with_threads(&mut s, 1);
+                black_box(s)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    c.bench_function("lowrank_eager_equiv_16x600", |b| {
+        b.iter_batched(
+            || scores.clone(),
+            |mut s| {
+                for (xi, yi) in &pairs {
+                    s.add_sym_outer(1.0, xi, yi);
+                }
+                black_box(s)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
     // Full unit update through each engine (K = 10).
     c.bench_function("incsr_unit_insert_600", |b| {
         b.iter_batched(

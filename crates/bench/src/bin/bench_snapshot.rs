@@ -1,0 +1,143 @@
+//! `bench-snapshot` — records the PR's hot-path perf numbers as JSON.
+//!
+//! ```text
+//! bench-snapshot [--out BENCH_PR2.json] [--n 2048] [--k 15] [--cap 20]
+//! ```
+//!
+//! Runs the fig2a-style unit-update workload under the eager / fused /
+//! lazy apply modes plus the isolated micro-kernels, and writes a
+//! machine-readable snapshot (see `incsim_bench::snapshot`). Measurement
+//! caps honour `INCSIM_BENCH_SCALE`; unlike the full experiment suite the
+//! snapshot defaults to a quick `0.2` pass when the variable is unset.
+
+use incsim_bench::snapshot::{measure_apply_modes, measure_micro_kernels, snapshot_json};
+use incsim_bench::{bench_scale, scaled_cap};
+use incsim_metrics::timing::fmt_duration;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn main() -> ExitCode {
+    if std::env::var("INCSIM_BENCH_SCALE").is_err() {
+        std::env::set_var("INCSIM_BENCH_SCALE", "0.2");
+    }
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!(
+                "usage: bench-snapshot [--out FILE] [--n N] [--k K] [--cap UPDATES] [--min-speedup X]"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const FLAGS: &[&str] = &["--out", "--n", "--k", "--cap", "--min-speedup"];
+
+/// Rejects anything that is not a known `--flag value` pair, so a typo'd
+/// or `--flag=value`-style argument fails loudly instead of silently
+/// running (and gating) the default workload.
+fn validate_args(args: &[String]) -> Result<(), String> {
+    let mut i = 0;
+    while i < args.len() {
+        if !FLAGS.contains(&args[i].as_str()) {
+            return Err(format!("unknown argument {}", args[i]));
+        }
+        if i + 1 >= args.len() {
+            return Err(format!("flag {} expects a value", args[i]));
+        }
+        i += 2;
+    }
+    Ok(())
+}
+
+fn flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+    match args.iter().position(|a| a == name) {
+        None => Ok(default),
+        Some(pos) => args
+            .get(pos + 1)
+            .ok_or_else(|| format!("flag {name} expects a value"))?
+            .parse()
+            .map_err(|_| format!("flag {name} has an invalid value")),
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    validate_args(args)?;
+    let out: String = flag(args, "--out", "BENCH_PR2.json".to_string())?;
+    let n: usize = flag(args, "--n", 2048usize)?;
+    let k: usize = flag(args, "--k", 15usize)?;
+    let base_cap: usize = flag(args, "--cap", 20usize)?;
+    // Timing gate for the full-size run; 0.0 (the default) only warns —
+    // small smoke runs are too noisy to fail on wall-clock.
+    let min_speedup: f64 = flag(args, "--min-speedup", 0.0f64)?;
+    let cap = scaled_cap(base_cap);
+
+    println!(
+        "== bench-snapshot: n = {n}, K = {k}, {cap} unit updates per mode (scale {}) ==",
+        bench_scale()
+    );
+    let modes = measure_apply_modes(n, k, cap);
+    let per = |secs: f64| fmt_duration(Duration::from_secs_f64(secs));
+    println!(
+        "   eager       : {}/update",
+        per(modes.eager_per_update_secs)
+    );
+    println!(
+        "   fused       : {}/update  ({:.1}x vs eager)",
+        per(modes.fused_per_update_secs),
+        modes.fused_speedup
+    );
+    println!(
+        "   fused batch : {}/update",
+        per(modes.fused_batch_per_update_secs)
+    );
+    println!(
+        "   lazy        : {}/update, {}/pair-query, {} pairs pending",
+        per(modes.lazy_per_update_secs),
+        per(modes.lazy_query_secs),
+        modes.lazy_pending_pairs
+    );
+    println!(
+        "   exactness   : fused {:.2e}, lazy {:.2e} (max |Δ| vs eager)",
+        modes.max_abs_diff_fused_vs_eager, modes.max_abs_diff_lazy_vs_eager
+    );
+
+    let micro = measure_micro_kernels(600, k + 1, 3.max(cap / 4));
+    println!(
+        "   micro (n=600, {} pairs): eager sweeps {}, fused {} (serial), {} (parallel)",
+        micro.pairs,
+        per(micro.eager_sweeps_secs),
+        per(micro.fused_apply_secs),
+        per(micro.fused_apply_parallel_secs)
+    );
+
+    std::fs::write(&out, snapshot_json(&modes, &micro))
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("[ok] snapshot written to {out}");
+
+    // Exactness is noise-free at any scale: a nonzero drift means the
+    // deferred apply path is wrong, so the gate fails hard.
+    let drift = modes
+        .max_abs_diff_fused_vs_eager
+        .max(modes.max_abs_diff_lazy_vs_eager);
+    if drift > 1e-9 {
+        return Err(format!(
+            "deferred apply modes drifted {drift:.2e} from eager (tolerance 1e-9)"
+        ));
+    }
+    if modes.fused_speedup < min_speedup {
+        return Err(format!(
+            "fused speedup {:.2}x is below the required {min_speedup:.2}x",
+            modes.fused_speedup
+        ));
+    }
+    if min_speedup == 0.0 && modes.fused_speedup < 2.0 {
+        println!(
+            "[warn] fused speedup {:.2}x is below the 2x budget for this workload",
+            modes.fused_speedup
+        );
+    }
+    Ok(())
+}

@@ -13,7 +13,13 @@
 //! | `exp_fig2e_affected_area` | % of `\|AFF\|` vs `\|ΔE\|` | Fig. 2e |
 //! | `exp_fig3_memory` | intermediate memory incl. Inc-SVD(r) | Fig. 3 |
 //! | `exp_fig4_ndcg` | NDCG₃₀ exactness vs Batch(K=35) | Fig. 4 |
+//! | `exp_apply_modes` | eager vs fused vs lazy ΔS application | (extension) |
 //! | `micro_kernels` | criterion microbenches of the hot kernels | (supporting) |
+//!
+//! The `bench-snapshot` binary (see [`snapshot`]) distils the apply-mode
+//! workload plus the micro-kernels into a machine-readable
+//! `BENCH_PR<N>.json` for cross-PR perf tracking; CI runs it at a small
+//! scale as a regression smoke test.
 //!
 //! Absolute numbers differ from the paper (scaled datasets, different
 //! hardware — see `DESIGN.md` §3); the comparisons preserved are *who wins,
@@ -27,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod snapshot;
 pub mod table;
 
 pub use harness::{bench_scale, measure_per_update, scaled_cap, MeasuredUpdates};

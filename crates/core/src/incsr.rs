@@ -18,11 +18,11 @@
 //! Cost: `O(K·(n·d + |AFF|))` with `|AFF| = avg_k |A_k|·|B_k|`.
 
 use crate::grouped::GroupedStats;
-use crate::maintainer::{validate_update, SimRankMaintainer, UpdateError, UpdateStats};
+use crate::maintainer::{validate_update, ApplyMode, SimRankMaintainer, UpdateError, UpdateStats};
 use crate::rankone::{rank_one_decomposition, RankOneUpdate, UpdateKind};
 use crate::SimRankConfig;
 use incsim_graph::{DiGraph, UpdateOp};
-use incsim_linalg::{DenseMatrix, SparseAccumulator};
+use incsim_linalg::{DenseMatrix, LowRankDelta, SparseAccumulator};
 
 /// The Algorithm 2 engine. See the [module docs](self).
 ///
@@ -41,6 +41,9 @@ pub struct IncSr {
     graph: DiGraph,
     scores: DenseMatrix,
     cfg: SimRankConfig,
+    mode: ApplyMode,
+    // Pending ΔS as *sparse* factor columns in the fused/lazy modes.
+    delta: LowRankDelta,
     // Reused sparse workspaces (cleared in O(|support|) after each update).
     xi: SparseAccumulator,
     eta: SparseAccumulator,
@@ -51,6 +54,9 @@ pub struct IncSr {
     // accounting of Fig. 2d/2e.
     a_union: SparseAccumulator,
     b_union: SparseAccumulator,
+    // Effective rows S[i,:] / S[j,:] (base + pending Δ), staged per update.
+    eff_row_i: Vec<f64>,
+    eff_row_j: Vec<f64>,
 }
 
 impl IncSr {
@@ -66,6 +72,8 @@ impl IncSr {
             graph,
             scores,
             cfg,
+            mode: ApplyMode::Eager,
+            delta: LowRankDelta::new(n),
             xi: SparseAccumulator::new(n),
             eta: SparseAccumulator::new(n),
             xi_next: SparseAccumulator::new(n),
@@ -73,7 +81,42 @@ impl IncSr {
             wacc: SparseAccumulator::new(n),
             a_union: SparseAccumulator::new(n),
             b_union: SparseAccumulator::new(n),
+            eff_row_i: vec![0.0; n],
+            eff_row_j: vec![0.0; n],
         }
+    }
+
+    /// Selects the [`ApplyMode`] (builder style). In the fused/lazy modes
+    /// the pruned iteration pushes its sparse `(ξ_k, η_k)` supports into a
+    /// [`LowRankDelta`] instead of scattering into `S` term by term.
+    pub fn with_mode(mut self, mode: ApplyMode) -> Self {
+        self.set_mode(mode);
+        self
+    }
+
+    /// The current apply mode.
+    pub fn mode(&self) -> ApplyMode {
+        self.mode
+    }
+
+    /// Switches the apply mode, materialising any pending ΔS first.
+    pub fn set_mode(&mut self, mode: ApplyMode) {
+        self.flush();
+        self.mode = mode;
+    }
+
+    /// Folds all pending ΔS factors into the score matrix with one fused
+    /// sweep over the touched rows only (no-op when nothing is pending).
+    /// Returns the number of rank-two terms applied.
+    pub fn flush(&mut self) -> usize {
+        let pairs = self.delta.pending_pairs();
+        self.delta.apply_to(&mut self.scores);
+        pairs
+    }
+
+    /// The pending ΔS factor buffer (empty outside lazy windows).
+    pub fn pending_delta(&self) -> &LowRankDelta {
+        &self.delta
     }
 
     /// Convenience constructor that batch-computes the initial scores.
@@ -82,9 +125,24 @@ impl IncSr {
         IncSr::new(graph, scores, cfg)
     }
 
-    /// Consumes the engine, returning `(graph, scores)`.
-    pub fn into_parts(self) -> (DiGraph, DenseMatrix) {
+    /// Consumes the engine, returning `(graph, scores)` with any pending
+    /// ΔS materialised.
+    pub fn into_parts(mut self) -> (DiGraph, DenseMatrix) {
+        self.flush();
         (self.graph, self.scores)
+    }
+
+    /// Stages the effective rows `S[i,:]` and `S[j,:]` (base + pending Δ)
+    /// into the scratch fields; everything γ needs from `S` lives in these
+    /// two rows (S is symmetric), which is what lets deferred updates
+    /// chain without materialising the buffer.
+    fn stage_effective_rows(&mut self, i: usize, j: usize) {
+        self.eff_row_i.copy_from_slice(self.scores.row(i));
+        self.eff_row_j.copy_from_slice(self.scores.row(j));
+        if !self.delta.is_empty() {
+            self.delta.add_row_delta(i, &mut self.eff_row_i);
+            self.delta.add_row_delta(j, &mut self.eff_row_j);
+        }
     }
 
     /// The affected-area row/column supports (`A_∪`, `B_∪`) of the **last**
@@ -97,16 +155,16 @@ impl IncSr {
 
     /// Algorithm 2 line 3: assemble `B₀ = F₁ ∪ F₂ ∪ {j}` and memoise
     /// `[w]_b = [Q]_{b,:}·[S]_{:,i}` for `b ∈ B₀` into `self.wacc`.
+    /// Reads `S` through the staged effective rows only.
     fn build_b0_and_w(&mut self, upd: &RankOneUpdate) {
         let tol = self.cfg.zero_tol;
-        let i = upd.i as usize;
         let j = upd.j;
         let n = self.graph.node_count();
         self.wacc.clear();
 
         // F₁ = out-neighbours of T = supp([S]_{i,:}); w is supported on F₁.
         // (S is symmetric, so row i doubles as column i — contiguous reads.)
-        let s_row_i = self.scores.row(i);
+        let s_row_i = &self.eff_row_i;
         for (y, &sval) in s_row_i.iter().enumerate().take(n) {
             if sval.abs() <= tol {
                 continue;
@@ -124,7 +182,7 @@ impl IncSr {
             (UpdateKind::Insert, d) if d > 0
         ) || matches!((upd.kind, upd.dj_old), (UpdateKind::Delete, d) if d > 1);
         if needs_f2 {
-            let s_row_j = self.scores.row(j as usize);
+            let s_row_j = &self.eff_row_j;
             for (y, &sval) in s_row_j.iter().enumerate().take(n) {
                 if sval.abs() > tol {
                     self.wacc.add(y, 0.0);
@@ -141,19 +199,20 @@ impl IncSr {
             }
             let mut acc = 0.0;
             for &y in innb {
-                acc += s_row_i_get(&self.scores, i, y as usize);
+                acc += self.eff_row_i[y as usize];
             }
             self.wacc.set(b, acc / innb.len() as f64);
         }
     }
 
     /// Algorithm 2 lines 4–13: γ into `self.eta` (sparse), returns λ.
+    /// Reads `S` through the staged effective rows only.
     fn build_gamma(&mut self, upd: &RankOneUpdate) -> f64 {
         let c = self.cfg.c;
         let i = upd.i as usize;
         let j = upd.j as usize;
-        let s_ii = self.scores.get(i, i);
-        let s_jj = self.scores.get(j, j);
+        let s_ii = self.eff_row_i[i];
+        let s_jj = self.eff_row_j[j];
         let w_j = self.wacc.get(j);
         let lambda = s_ii + s_jj / c - 2.0 * w_j - 1.0 / c + 1.0;
 
@@ -172,7 +231,7 @@ impl IncSr {
                 let coeff = lambda / (2.0 * (djf + 1.0)) + 1.0 / c - 1.0;
                 for idx in 0..self.wacc.support_len() {
                     let b = self.wacc.support()[idx] as usize;
-                    let sbj = self.scores.get(j, b); // S[b,j] by symmetry
+                    let sbj = self.eff_row_j[b]; // S[b,j] by symmetry
                     self.eta.add(b, scale * (self.wacc.get(b) - sbj / c));
                 }
                 self.eta.add(j, scale * coeff);
@@ -191,7 +250,7 @@ impl IncSr {
                 let coeff = lambda / (2.0 * (djf - 1.0)) - 1.0 / c + 1.0;
                 for idx in 0..self.wacc.support_len() {
                     let b = self.wacc.support()[idx] as usize;
-                    let sbj = self.scores.get(j, b);
+                    let sbj = self.eff_row_j[b];
                     self.eta.add(b, scale * (sbj / c - self.wacc.get(b)));
                 }
                 self.eta.add(j, scale * coeff);
@@ -200,20 +259,35 @@ impl IncSr {
         lambda
     }
 
-    /// Folds the current term `ξ·ηᵀ + η·ξᵀ` of ΔS into the score matrix,
-    /// touching only `supp(ξ) × supp(η)` (plus its transpose), with all
-    /// writes row-contiguous:
-    /// row `a ∈ supp(ξ)` gains `ξ_a·η`, row `b ∈ supp(η)` gains `η_b·ξ`.
-    /// Also records the supports in the `A_∪`/`B_∪` affected-area unions.
+    /// Folds the current term `ξ·ηᵀ + η·ξᵀ` of ΔS into the score matrix
+    /// (eager) or the sparse factor buffer (fused/lazy), touching only
+    /// `supp(ξ) × supp(η)` (plus its transpose) either way. Eager writes
+    /// are row-contiguous: row `a ∈ supp(ξ)` gains `ξ_a·η`, row
+    /// `b ∈ supp(η)` gains `η_b·ξ`. Also records the supports in the
+    /// `A_∪`/`B_∪` affected-area unions (identically in every mode).
     fn add_affected_term(&mut self) {
         // Address-ordered supports keep the row writes prefetch-friendly.
         self.xi.sort_support();
         self.eta.sort_support();
         for (a, xa) in self.xi.iter() {
+            if xa != 0.0 {
+                self.a_union.set(a as usize, 1.0);
+            }
+        }
+        for (b, yb) in self.eta.iter() {
+            if yb != 0.0 {
+                self.b_union.set(b as usize, 1.0);
+            }
+        }
+        if self.mode != ApplyMode::Eager {
+            self.delta
+                .push_sparse(self.xi.to_pairs(0.0), self.eta.to_pairs(0.0));
+            return;
+        }
+        for (a, xa) in self.xi.iter() {
             if xa == 0.0 {
                 continue;
             }
-            self.a_union.set(a as usize, 1.0);
             let row = self.scores.row_mut(a as usize);
             for (b, yb) in self.eta.iter() {
                 row[b as usize] += xa * yb;
@@ -223,7 +297,6 @@ impl IncSr {
             if yb == 0.0 {
                 continue;
             }
-            self.b_union.set(b as usize, 1.0);
             let row = self.scores.row_mut(b as usize);
             for (a, xa) in self.xi.iter() {
                 row[a as usize] += xa * yb;
@@ -307,6 +380,9 @@ impl IncSr {
         let rows = crate::grouped::group_by_row(&self.graph, ops)?;
         let tol = self.cfg.zero_tol;
         for change in &rows {
+            // The grouped γ (Theorem 2 route) reads arbitrary rows of S,
+            // so any pending ΔS must be materialised first.
+            self.flush();
             let rro = crate::grouped::row_rank_one(&self.graph, &self.scores, change, |x, y| {
                 crate::grouped::graph_q_matvec(&self.graph, x, y)
             })?;
@@ -320,6 +396,9 @@ impl IncSr {
             for op in &change.ops {
                 op.apply(&mut self.graph)?;
             }
+        }
+        if self.mode == ApplyMode::Fused {
+            self.flush();
         }
         Ok(GroupedStats {
             unit_ops: ops.len(),
@@ -338,6 +417,7 @@ impl IncSr {
         let k_iters = self.cfg.iterations;
 
         let upd = rank_one_decomposition(&self.graph, i, j, kind);
+        self.stage_effective_rows(i as usize, j as usize);
         self.build_b0_and_w(&upd);
         let _lambda = self.build_gamma(&upd);
         let aff_sum = self.run_sylvester_iteration(j as usize, upd.u_coeff, &upd.v);
@@ -367,6 +447,8 @@ impl IncSr {
             + self.eta.support_len()
             + self.a_union.support_len()
             + self.b_union.support_len();
+        // Deferred modes also hold the sparse factor buffer.
+        let delta_bytes = self.delta.heap_bytes();
         Ok(UpdateStats {
             kind,
             edge: (i, j),
@@ -374,15 +456,9 @@ impl IncSr {
             affected_pairs: affected.min(total_pairs),
             aff_avg: aff_sum / (k_iters + 1) as f64,
             pruned_fraction: 1.0 - affected.min(total_pairs) as f64 / total_pairs as f64,
-            peak_intermediate_bytes: support_indices * idx_bytes,
+            peak_intermediate_bytes: support_indices * idx_bytes + delta_bytes,
         })
     }
-}
-
-/// `S[i, y]` read through row `i` (S is symmetric; row-major access).
-#[inline]
-fn s_row_i_get(s: &DenseMatrix, i: usize, y: usize) -> f64 {
-    s.get(i, y)
 }
 
 impl SimRankMaintainer for IncSr {
@@ -403,14 +479,38 @@ impl SimRankMaintainer for IncSr {
     }
 
     fn insert_edge(&mut self, i: u32, j: u32) -> Result<UpdateStats, UpdateError> {
-        self.apply_update(i, j, UpdateKind::Insert)
+        let stats = self.apply_update(i, j, UpdateKind::Insert)?;
+        if self.mode == ApplyMode::Fused {
+            self.flush();
+        }
+        Ok(stats)
     }
 
     fn remove_edge(&mut self, i: u32, j: u32) -> Result<UpdateStats, UpdateError> {
-        self.apply_update(i, j, UpdateKind::Delete)
+        let stats = self.apply_update(i, j, UpdateKind::Delete)?;
+        if self.mode == ApplyMode::Fused {
+            self.flush();
+        }
+        Ok(stats)
+    }
+
+    /// In [`ApplyMode::Fused`] the whole batch shares **one** fused apply
+    /// over the union of the touched rows (the updates chain through
+    /// effective rows), instead of one pass per update.
+    fn apply_batch(&mut self, ops: &[UpdateOp]) -> Result<Vec<UpdateStats>, UpdateError> {
+        crate::maintainer::drive_batch(
+            self,
+            ops,
+            self.mode == ApplyMode::Fused,
+            |e, i, j, kind| e.apply_update(i, j, kind),
+            |e| {
+                e.flush();
+            },
+        )
     }
 
     fn add_node(&mut self) -> u32 {
+        self.flush(); // the matrix is about to be re-shaped
         let v = self.graph.add_node();
         let n = self.graph.node_count();
         let mut grown = DenseMatrix::zeros(n, n);
@@ -420,6 +520,7 @@ impl SimRankMaintainer for IncSr {
         }
         grown.set(n - 1, n - 1, 1.0 - self.cfg.c);
         self.scores = grown;
+        self.delta = LowRankDelta::new(n);
         self.xi = SparseAccumulator::new(n);
         self.eta = SparseAccumulator::new(n);
         self.xi_next = SparseAccumulator::new(n);
@@ -427,6 +528,8 @@ impl SimRankMaintainer for IncSr {
         self.wacc = SparseAccumulator::new(n);
         self.a_union = SparseAccumulator::new(n);
         self.b_union = SparseAccumulator::new(n);
+        self.eff_row_i = vec![0.0; n];
+        self.eff_row_j = vec![0.0; n];
         v
     }
 }
@@ -607,6 +710,74 @@ mod tests {
     #[test]
     fn self_loop_updates_are_exact() {
         assert_matches_batch(&fixture(), 2, 2, UpdateKind::Insert);
+    }
+
+    fn mixed_ops() -> Vec<UpdateOp> {
+        use incsim_graph::UpdateOp::*;
+        vec![
+            Insert(0, 5),
+            Insert(6, 2),
+            Delete(2, 3),
+            Insert(3, 6),
+            Delete(6, 2),
+        ]
+    }
+
+    #[test]
+    fn fused_mode_matches_eager_bit_for_bit() {
+        let g = fixture();
+        let cfg = tight_cfg();
+        let s0 = batch_simrank(&g, &cfg);
+        let mut eager = IncSr::new(g.clone(), s0.clone(), cfg);
+        let mut fused = IncSr::new(g, s0, cfg).with_mode(ApplyMode::Fused);
+        for op in mixed_ops() {
+            eager.apply(op).unwrap();
+            fused.apply(op).unwrap();
+        }
+        assert!(fused.pending_delta().is_empty());
+        assert_eq!(
+            eager.scores().max_abs_diff(fused.scores()),
+            0.0,
+            "sparse fused apply replays the affected-area writes in order"
+        );
+    }
+
+    #[test]
+    fn fused_batch_defers_across_updates_and_stays_exact() {
+        let g = fixture();
+        let cfg = tight_cfg();
+        let s0 = batch_simrank(&g, &cfg);
+        let mut fused = IncSr::new(g, s0, cfg).with_mode(ApplyMode::Fused);
+        fused.apply_batch(&mixed_ops()).unwrap();
+        assert!(fused.pending_delta().is_empty());
+        let s_batch = batch_simrank(fused.graph(), &tight_cfg());
+        assert!(fused.scores().max_abs_diff(&s_batch) < 1e-8);
+    }
+
+    #[test]
+    fn lazy_mode_stays_exact_after_flush() {
+        let g = fixture();
+        let cfg = tight_cfg();
+        let s0 = batch_simrank(&g, &cfg);
+        let mut lazy = IncSr::new(g, s0.clone(), cfg).with_mode(ApplyMode::Lazy);
+        for op in mixed_ops() {
+            lazy.apply(op).unwrap();
+        }
+        // Updates chained through effective rows; base never touched.
+        assert_eq!(lazy.scores().max_abs_diff(&s0), 0.0);
+        assert!(lazy.pending_delta().pending_pairs() > 0);
+        // Lazy pair reads match the true updated scores.
+        let s_batch = batch_simrank(lazy.graph(), &tight_cfg());
+        let n = lazy.graph().node_count() as u32;
+        for a in 0..n {
+            for b in 0..n {
+                let got = crate::query::pair_score_lazy(lazy.scores(), lazy.pending_delta(), a, b);
+                let want = s_batch.get(a as usize, b as usize);
+                assert!((got - want).abs() < 1e-8, "pair ({a},{b}): {got} vs {want}");
+            }
+        }
+        lazy.flush();
+        assert!(lazy.scores().max_abs_diff(&s_batch) < 1e-8);
     }
 
     #[test]

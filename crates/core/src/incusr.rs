@@ -16,12 +16,12 @@
 //! after Theorem 3).
 
 use crate::grouped::GroupedStats;
-use crate::maintainer::{validate_update, SimRankMaintainer, UpdateError, UpdateStats};
-use crate::rankone::{gamma_vector, rank_one_decomposition, RankOneUpdate, UpdateKind};
+use crate::maintainer::{validate_update, ApplyMode, SimRankMaintainer, UpdateError, UpdateStats};
+use crate::rankone::{gamma_vector_from_cols, rank_one_decomposition, RankOneUpdate, UpdateKind};
 use crate::SimRankConfig;
 use incsim_graph::transition::backward_transition;
 use incsim_graph::{DiGraph, UpdateOp};
-use incsim_linalg::{CsrMatrix, DenseMatrix};
+use incsim_linalg::{CsrMatrix, DenseMatrix, LowRankDelta};
 
 /// The Algorithm 1 engine. See the [module docs](self).
 ///
@@ -40,10 +40,16 @@ pub struct IncUSr {
     q: CsrMatrix,
     scores: DenseMatrix,
     cfg: SimRankConfig,
+    mode: ApplyMode,
+    // Pending ΔS factors in the fused/lazy modes (empty while eager).
+    delta: LowRankDelta,
     // Reused workspace (amortises allocations across updates).
     xi: Vec<f64>,
     eta: Vec<f64>,
     scratch: Vec<f64>,
+    // Effective-column scratch: S[:,i] / S[:,j] plus any pending Δ.
+    col_i: Vec<f64>,
+    col_j: Vec<f64>,
 }
 
 impl IncUSr {
@@ -65,10 +71,49 @@ impl IncUSr {
             q,
             scores,
             cfg,
+            mode: ApplyMode::Eager,
+            delta: LowRankDelta::new(n),
             xi: vec![0.0; n],
             eta: vec![0.0; n],
             scratch: vec![0.0; n],
+            col_i: vec![0.0; n],
+            col_j: vec![0.0; n],
         }
+    }
+
+    /// Selects the [`ApplyMode`] (builder style). See the mode docs for the
+    /// eager / fused / lazy trade-off.
+    pub fn with_mode(mut self, mode: ApplyMode) -> Self {
+        self.set_mode(mode);
+        self
+    }
+
+    /// The current apply mode.
+    pub fn mode(&self) -> ApplyMode {
+        self.mode
+    }
+
+    /// Switches the apply mode, materialising any pending ΔS first so the
+    /// engine is consistent under the new regime.
+    pub fn set_mode(&mut self, mode: ApplyMode) {
+        self.flush();
+        self.mode = mode;
+    }
+
+    /// Folds all pending ΔS factors into the score matrix with one fused
+    /// parallel sweep (no-op when nothing is pending). Returns the number
+    /// of rank-two terms applied.
+    pub fn flush(&mut self) -> usize {
+        let pairs = self.delta.pending_pairs();
+        self.delta.apply_to(&mut self.scores);
+        pairs
+    }
+
+    /// The pending ΔS factor buffer (empty outside lazy windows). Pass it
+    /// to the lazy helpers in [`crate::query`] to answer queries without
+    /// materialising the update.
+    pub fn pending_delta(&self) -> &LowRankDelta {
+        &self.delta
     }
 
     /// Convenience constructor that batch-computes the initial scores.
@@ -77,20 +122,44 @@ impl IncUSr {
         IncUSr::new(graph, scores, cfg)
     }
 
-    /// Consumes the engine, returning `(graph, scores)`.
-    pub fn into_parts(self) -> (DiGraph, DenseMatrix) {
+    /// Consumes the engine, returning `(graph, scores)` with any pending
+    /// ΔS materialised.
+    pub fn into_parts(mut self) -> (DiGraph, DenseMatrix) {
+        self.flush();
         (self.graph, self.scores)
+    }
+
+    /// Folds the current `ξ·ηᵀ + η·ξᵀ` term into the scores (eager) or the
+    /// factor buffer (fused/lazy). Per-row accumulation order is identical
+    /// either way, so the regimes agree bit-for-bit.
+    fn emit_term(&mut self) {
+        match self.mode {
+            ApplyMode::Eager => self.scores.add_sym_outer(1.0, &self.xi, &self.eta),
+            ApplyMode::Fused | ApplyMode::Lazy => {
+                self.delta.push_dense(self.xi.clone(), self.eta.clone())
+            }
+        }
+    }
+
+    /// Copies the effective column `S[:,v]` (base matrix plus pending Δ)
+    /// into `out`.
+    fn effective_col(scores: &DenseMatrix, delta: &LowRankDelta, v: usize, out: &mut [f64]) {
+        scores.col_into(v, out);
+        if !delta.is_empty() {
+            delta.add_row_delta(v, out); // Δ is symmetric: row v == column v
+        }
     }
 
     /// Runs lines 13–18 of Algorithm 1 for a rank-one update
     /// `ΔQ = u_coeff·e_j·vᵀ`, folding every term of `ΔS = M_K + M_Kᵀ`
-    /// straight into the score matrix. Expects γ in `self.eta`.
+    /// into the score matrix (eager) or the pending factor buffer
+    /// (fused/lazy). Expects γ in `self.eta`.
     fn run_sylvester_iteration(&mut self, j: usize, u_coeff: f64, v: &[(u32, f64)]) {
         let c = self.cfg.c;
         let v_dot = |x: &[f64]| -> f64 { v.iter().map(|&(idx, val)| val * x[idx as usize]).sum() };
         incsim_linalg::vecops::zero(&mut self.xi);
         self.xi[j] = c;
-        self.scores.add_sym_outer(1.0, &self.xi, &self.eta);
+        self.emit_term();
 
         for _ in 0..self.cfg.iterations {
             // ξ ← C·(Q·ξ + u·(vᵀξ))
@@ -107,7 +176,7 @@ impl IncUSr {
             std::mem::swap(&mut self.eta, &mut self.scratch);
 
             // S ← S + ξ·ηᵀ + η·ξᵀ   (line 18, applied term by term)
-            self.scores.add_sym_outer(1.0, &self.xi, &self.eta);
+            self.emit_term();
         }
     }
 
@@ -120,6 +189,9 @@ impl IncUSr {
     pub fn apply_grouped(&mut self, ops: &[UpdateOp]) -> Result<GroupedStats, UpdateError> {
         let rows = crate::grouped::group_by_row(&self.graph, ops)?;
         for change in &rows {
+            // The grouped γ (Theorem 2 route) reads arbitrary rows of S,
+            // so any pending ΔS must be materialised first.
+            self.flush();
             let rro = crate::grouped::row_rank_one(&self.graph, &self.scores, change, |x, y| {
                 self.q.matvec(x, y)
             })?;
@@ -129,6 +201,9 @@ impl IncUSr {
                 op.apply(&mut self.graph)?;
             }
             self.q = backward_transition(&self.graph);
+        }
+        if self.mode == ApplyMode::Fused {
+            self.flush();
         }
         Ok(GroupedStats {
             unit_ops: ops.len(),
@@ -147,9 +222,13 @@ impl IncUSr {
         let c = self.cfg.c;
         let k_iters = self.cfg.iterations;
 
-        // Lines 1–12: rank-one decomposition and the γ vector.
+        // Lines 1–12: rank-one decomposition and the γ vector, computed
+        // from the *effective* columns S[:,i], S[:,j] (base + pending Δ)
+        // so deferred updates chain without materialising in between.
         let upd: RankOneUpdate = rank_one_decomposition(&self.graph, i, j, kind);
-        let gv = gamma_vector(&self.q, &self.scores, &upd, c);
+        Self::effective_col(&self.scores, &self.delta, i as usize, &mut self.col_i);
+        Self::effective_col(&self.scores, &self.delta, j as usize, &mut self.col_j);
+        let gv = gamma_vector_from_cols(&self.q, &self.col_i, &self.col_j, &upd, c);
 
         // Line 13: ξ₀ = C·e_j, η₀ = γ. The term M₀ = C·e_j·γᵀ of
         // ΔS = M_K + M_Kᵀ is folded into S immediately — `M` itself is
@@ -167,9 +246,12 @@ impl IncUSr {
         }
         self.q = backward_transition(&self.graph);
 
-        // Intermediate state: w, γ, ξ, η, scratch — five n-vectors.
+        // Intermediate state: w, γ, ξ, η, scratch — five n-vectors — plus
+        // the pending factor buffer (≈ 2·(K+1)·n floats per deferred
+        // update) in the fused/lazy modes.
         let peak = (self.xi.capacity() + self.eta.capacity() + self.scratch.capacity() + 2 * n)
-            * std::mem::size_of::<f64>();
+            * std::mem::size_of::<f64>()
+            + self.delta.heap_bytes();
         Ok(UpdateStats {
             kind,
             edge: (i, j),
@@ -200,14 +282,39 @@ impl SimRankMaintainer for IncUSr {
     }
 
     fn insert_edge(&mut self, i: u32, j: u32) -> Result<UpdateStats, UpdateError> {
-        self.apply_update(i, j, UpdateKind::Insert)
+        let stats = self.apply_update(i, j, UpdateKind::Insert)?;
+        if self.mode == ApplyMode::Fused {
+            self.flush();
+        }
+        Ok(stats)
     }
 
     fn remove_edge(&mut self, i: u32, j: u32) -> Result<UpdateStats, UpdateError> {
-        self.apply_update(i, j, UpdateKind::Delete)
+        let stats = self.apply_update(i, j, UpdateKind::Delete)?;
+        if self.mode == ApplyMode::Fused {
+            self.flush();
+        }
+        Ok(stats)
+    }
+
+    /// In [`ApplyMode::Fused`] the whole batch shares **one** fused apply:
+    /// the `b` updates chain through effective columns and the buffered
+    /// `b·(K+1)` terms are folded in with a single sweep at the end,
+    /// instead of `b` sweeps (or `b·(K+1)` eager ones).
+    fn apply_batch(&mut self, ops: &[UpdateOp]) -> Result<Vec<UpdateStats>, UpdateError> {
+        crate::maintainer::drive_batch(
+            self,
+            ops,
+            self.mode == ApplyMode::Fused,
+            |e, i, j, kind| e.apply_update(i, j, kind),
+            |e| {
+                e.flush();
+            },
+        )
     }
 
     fn add_node(&mut self) -> u32 {
+        self.flush(); // the matrix is about to be re-shaped
         let v = self.graph.add_node();
         let n = self.graph.node_count();
         let mut grown = DenseMatrix::zeros(n, n);
@@ -218,9 +325,12 @@ impl SimRankMaintainer for IncUSr {
         grown.set(n - 1, n - 1, 1.0 - self.cfg.c);
         self.scores = grown;
         self.q = backward_transition(&self.graph);
+        self.delta = LowRankDelta::new(n);
         self.xi = vec![0.0; n];
         self.eta = vec![0.0; n];
         self.scratch = vec![0.0; n];
+        self.col_i = vec![0.0; n];
+        self.col_j = vec![0.0; n];
         v
     }
 }
@@ -374,5 +484,99 @@ mod tests {
     #[test]
     fn self_loop_updates_are_exact() {
         assert_incremental_matches_batch(&fixture(), 2, 2, UpdateKind::Insert);
+    }
+
+    fn mixed_ops() -> Vec<incsim_graph::UpdateOp> {
+        use incsim_graph::UpdateOp::*;
+        vec![
+            Insert(0, 5),
+            Insert(6, 2),
+            Delete(2, 3),
+            Insert(3, 6),
+            Delete(6, 2),
+        ]
+    }
+
+    #[test]
+    fn fused_mode_matches_eager_bit_for_bit() {
+        let g = fixture();
+        let cfg = tight_cfg();
+        let s0 = batch_simrank(&g, &cfg);
+        let mut eager = IncUSr::new(g.clone(), s0.clone(), cfg);
+        let mut fused = IncUSr::new(g, s0, cfg).with_mode(ApplyMode::Fused);
+        for op in mixed_ops() {
+            eager.apply(op).unwrap();
+            fused.apply(op).unwrap();
+        }
+        assert!(fused.pending_delta().is_empty(), "fused flushes per call");
+        assert_eq!(
+            eager.scores().max_abs_diff(fused.scores()),
+            0.0,
+            "per-row accumulation order is identical in both regimes"
+        );
+    }
+
+    #[test]
+    fn fused_batch_defers_across_updates_and_stays_exact() {
+        let g = fixture();
+        let cfg = tight_cfg();
+        let s0 = batch_simrank(&g, &cfg);
+        let mut fused = IncUSr::new(g, s0, cfg).with_mode(ApplyMode::Fused);
+        // One apply_batch call: the b updates chain through effective
+        // columns and share a single fused sweep at the end.
+        fused.apply_batch(&mixed_ops()).unwrap();
+        assert!(fused.pending_delta().is_empty());
+        let s_batch = batch_simrank(fused.graph(), &tight_cfg());
+        assert!(fused.scores().max_abs_diff(&s_batch) < 1e-8);
+    }
+
+    #[test]
+    fn lazy_mode_answers_queries_without_any_apply() {
+        let g = fixture();
+        let cfg = tight_cfg();
+        let s0 = batch_simrank(&g, &cfg);
+        let mut eager = IncUSr::new(g.clone(), s0.clone(), cfg);
+        let mut lazy = IncUSr::new(g, s0.clone(), cfg).with_mode(ApplyMode::Lazy);
+        for op in mixed_ops() {
+            eager.apply(op).unwrap();
+            lazy.apply(op).unwrap();
+        }
+        // Nothing was materialised: the base matrix is byte-identical…
+        assert_eq!(lazy.scores().max_abs_diff(&s0), 0.0);
+        assert!(lazy.pending_delta().pending_pairs() > 0);
+        // …yet lazy reads see the fully-updated scores.
+        let n = lazy.graph().node_count() as u32;
+        for a in 0..n {
+            for b in 0..n {
+                let got = crate::query::pair_score_lazy(lazy.scores(), lazy.pending_delta(), a, b);
+                let want = eager.scores().get(a as usize, b as usize);
+                assert!(
+                    (got - want).abs() < 1e-12,
+                    "pair ({a},{b}): {got} vs {want}"
+                );
+            }
+        }
+        // Flushing materialises the same state.
+        lazy.flush();
+        assert!(lazy.scores().max_abs_diff(eager.scores()) < 1e-12);
+    }
+
+    #[test]
+    fn mode_switch_and_grouped_flush_pending() {
+        let g = fixture();
+        let cfg = tight_cfg();
+        let s0 = batch_simrank(&g, &cfg);
+        let mut engine = IncUSr::new(g, s0, cfg).with_mode(ApplyMode::Lazy);
+        engine.insert_edge(0, 5).unwrap();
+        assert!(!engine.pending_delta().is_empty());
+        // Grouped updates materialise before reading arbitrary S rows.
+        engine
+            .apply_grouped(&[incsim_graph::UpdateOp::Insert(6, 2)])
+            .unwrap();
+        engine.set_mode(ApplyMode::Eager);
+        assert!(engine.pending_delta().is_empty());
+        assert_eq!(engine.mode(), ApplyMode::Eager);
+        let s_batch = batch_simrank(engine.graph(), &tight_cfg());
+        assert!(engine.scores().max_abs_diff(&s_batch) < 1e-8);
     }
 }

@@ -20,6 +20,13 @@
 //! * [`SimRankMaintainer`] — the common engine interface: maintain scores
 //!   under edge insertions/deletions, batch update streams, and (as an
 //!   extension beyond the paper) node additions.
+//! * [`ApplyMode`] — how the per-update `ξηᵀ + ηξᵀ` terms reach the score
+//!   matrix: `Eager` (the paper's K+1 sweeps), `Fused` (one buffered,
+//!   cache-blocked, parallel sweep per mutation call), or `Lazy` (no sweep
+//!   at all; queries read `S_base + Δ` through
+//!   [`incsim_linalg::LowRankDelta`] factor dot-products — see
+//!   [`query`]'s `*_lazy` helpers and
+//!   [`topk_tracker::TopKTracker::update_lazy`]).
 //!
 //! ## Semantics
 //!
@@ -63,8 +70,10 @@ pub use batch::{batch_simrank, batch_simrank_detailed, BatchOptions, BatchResult
 pub use grouped::{group_by_row, GroupedStats, RowChange};
 pub use incsr::IncSr;
 pub use incusr::IncUSr;
-pub use maintainer::{validate_update, SimRankMaintainer, UpdateError, UpdateStats};
-pub use rankone::{gamma_vector, rank_one_decomposition, RankOneUpdate, UpdateKind};
+pub use maintainer::{validate_update, ApplyMode, SimRankMaintainer, UpdateError, UpdateStats};
+pub use rankone::{
+    gamma_vector, gamma_vector_from_cols, rank_one_decomposition, RankOneUpdate, UpdateKind,
+};
 
 /// Configuration shared by every SimRank algorithm in the workspace.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -6,6 +6,27 @@ use incsim_linalg::DenseMatrix;
 
 use crate::SimRankConfig;
 
+/// How an engine folds the per-update terms `ξ_k·η_kᵀ + η_k·ξ_kᵀ` of ΔS
+/// into its score matrix (see [`incsim_linalg::LowRankDelta`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ApplyMode {
+    /// Apply every term immediately — `K+1` full sweeps of `S` per unit
+    /// update (the paper's Algorithm 1/2 as written). The default.
+    #[default]
+    Eager,
+    /// Buffer the terms and fold them in with **one** fused, cache-blocked,
+    /// parallel sweep per mutation call; a batch of `b` updates costs one
+    /// sweep instead of `b·(K+1)`.
+    Fused,
+    /// Never apply automatically: queries read `S_base + Δ` through the
+    /// factor buffer, and the matrix is only materialised on an explicit
+    /// `flush()` (or when an operation needs the full matrix, e.g. the
+    /// row-grouped path or `add_node`). `scores()` returns the *base*
+    /// matrix — pending updates are visible through the lazy query
+    /// helpers in [`crate::query`] only.
+    Lazy,
+}
+
 /// Errors from incremental updates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum UpdateError {
@@ -121,6 +142,42 @@ pub trait SimRankMaintainer {
         }
         Ok(stats)
     }
+}
+
+/// Shared `apply_batch` driver for the deferred-ΔS engines: applies each
+/// op through the engine's `apply_update`, and when `fused` is set
+/// flushes exactly once at the end — including on the error path, so the
+/// engine stays consistent with the ops applied so far. Both [`crate::IncUSr`]
+/// and [`crate::IncSr`] delegate here so their batch semantics cannot drift.
+pub(crate) fn drive_batch<E>(
+    engine: &mut E,
+    ops: &[UpdateOp],
+    fused: bool,
+    apply: impl Fn(&mut E, u32, u32, UpdateKind) -> Result<UpdateStats, UpdateError>,
+    flush: impl Fn(&mut E),
+) -> Result<Vec<UpdateStats>, UpdateError> {
+    let finish = |e: &mut E| {
+        if fused {
+            flush(e);
+        }
+    };
+    let mut stats = Vec::with_capacity(ops.len());
+    for &op in ops {
+        let (i, j) = op.endpoints();
+        let kind = match op {
+            UpdateOp::Insert(..) => UpdateKind::Insert,
+            UpdateOp::Delete(..) => UpdateKind::Delete,
+        };
+        match apply(engine, i, j, kind) {
+            Ok(s) => stats.push(s),
+            Err(e) => {
+                finish(engine);
+                return Err(e);
+            }
+        }
+    }
+    finish(engine);
+    Ok(stats)
 }
 
 /// Validates a pending update against the current graph. Shared by all

@@ -4,8 +4,15 @@
 //! the queries applications actually ask (single pair, single source,
 //! top-k for a node) without re-deriving anything. They are extensions
 //! beyond the paper, which stops at producing `S̃`.
+//!
+//! The `*_lazy` variants answer the same queries against a **deferred**
+//! engine state `S_base + Δ`, where Δ is a pending
+//! [`LowRankDelta`] factor buffer (see
+//! [`crate::maintainer::ApplyMode::Lazy`]): a pair query costs `O(r)`
+//! factor dot-products and a per-node query one `O(r·n)` row
+//! reconstruction — never an `n²` apply.
 
-use incsim_linalg::DenseMatrix;
+use incsim_linalg::{DenseMatrix, LowRankDelta};
 
 /// A neighbor of the query node ranked by similarity.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -39,9 +46,9 @@ pub fn single_source(scores: &DenseMatrix, a: u32) -> Vec<RankedNode> {
         .collect()
 }
 
-/// The `k` most similar nodes to `a`, descending (ties by node id).
-pub fn top_k_for_node(scores: &DenseMatrix, a: u32, k: usize) -> Vec<RankedNode> {
-    let mut all = single_source(scores, a);
+/// Sorts candidates score-descending (ties by node id) and keeps the top
+/// `k` — the one ranking rule shared by every top-k helper here.
+fn rank_and_truncate(mut all: Vec<RankedNode>, k: usize) -> Vec<RankedNode> {
     all.sort_by(|x, y| {
         y.score
             .partial_cmp(&x.score)
@@ -52,12 +59,54 @@ pub fn top_k_for_node(scores: &DenseMatrix, a: u32, k: usize) -> Vec<RankedNode>
     all
 }
 
+/// The `k` most similar nodes to `a`, descending (ties by node id).
+pub fn top_k_for_node(scores: &DenseMatrix, a: u32, k: usize) -> Vec<RankedNode> {
+    rank_and_truncate(single_source(scores, a), k)
+}
+
 /// Nodes whose similarity to `a` is at least `threshold`, unordered.
 pub fn similar_above(scores: &DenseMatrix, a: u32, threshold: f64) -> Vec<RankedNode> {
     single_source(scores, a)
         .into_iter()
         .filter(|r| r.score >= threshold)
         .collect()
+}
+
+/// [`pair_score`] against `S_base + Δ`: `O(r)` factor dot-products, no
+/// materialisation of the pending update.
+pub fn pair_score_lazy(scores: &DenseMatrix, delta: &LowRankDelta, a: u32, b: u32) -> f64 {
+    pair_score(scores, a, b) + delta.pair_delta(a as usize, b as usize)
+}
+
+/// Effective row `a` of `S_base + Δ` (the lazy single-source primitive):
+/// one contiguous row read plus `O(r·n)` factor AXPYs.
+fn effective_row(scores: &DenseMatrix, delta: &LowRankDelta, a: u32) -> Vec<f64> {
+    let mut row = scores.row(a as usize).to_vec();
+    delta.add_row_delta(a as usize, &mut row);
+    row
+}
+
+/// [`single_source`] against `S_base + Δ`.
+pub fn single_source_lazy(scores: &DenseMatrix, delta: &LowRankDelta, a: u32) -> Vec<RankedNode> {
+    effective_row(scores, delta, a)
+        .into_iter()
+        .enumerate()
+        .filter(|&(v, _)| v != a as usize)
+        .map(|(v, score)| RankedNode {
+            node: v as u32,
+            score,
+        })
+        .collect()
+}
+
+/// [`top_k_for_node`] against `S_base + Δ`.
+pub fn top_k_for_node_lazy(
+    scores: &DenseMatrix,
+    delta: &LowRankDelta,
+    a: u32,
+    k: usize,
+) -> Vec<RankedNode> {
+    rank_and_truncate(single_source_lazy(scores, delta, a), k)
 }
 
 #[cfg(test)]
@@ -102,6 +151,34 @@ mod tests {
         );
         // k larger than candidates truncates gracefully.
         assert_eq!(top_k_for_node(&s, 0, 10).len(), 3);
+    }
+
+    #[test]
+    fn lazy_queries_match_materialized_matrix() {
+        let s = sample();
+        let mut delta = LowRankDelta::new(4);
+        delta.push_dense(vec![0.5, 0.0, -1.0, 0.0], vec![0.0, 2.0, 0.0, 1.0]);
+        delta.push_sparse(vec![(0, 1.0)], vec![(3, -0.5)]);
+
+        let mut applied = s.clone();
+        delta.clone().apply_to(&mut applied);
+
+        for a in 0..4u32 {
+            for b in 0..4u32 {
+                let lazy = pair_score_lazy(&s, &delta, a, b);
+                assert!((lazy - pair_score(&applied, a, b)).abs() < 1e-12);
+            }
+            let lazy_top = top_k_for_node_lazy(&s, &delta, a, 3);
+            let full_top = top_k_for_node(&applied, a, 3);
+            for (l, f) in lazy_top.iter().zip(&full_top) {
+                assert_eq!(l.node, f.node);
+                assert!((l.score - f.score).abs() < 1e-12);
+            }
+            assert_eq!(
+                single_source_lazy(&s, &delta, a).len(),
+                single_source(&applied, a).len()
+            );
+        }
     }
 
     #[test]

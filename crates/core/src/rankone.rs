@@ -173,31 +173,57 @@ pub struct GammaVector {
 /// sparse matrix–vector product (`w = Q·[S]_{:,i}`, line 3) plus `O(n)`
 /// vector arithmetic — no matrix–matrix work.
 pub fn gamma_vector(q: &CsrMatrix, s: &DenseMatrix, upd: &RankOneUpdate, c: f64) -> GammaVector {
-    let n = s.rows();
-    let i = upd.i as usize;
+    let s_col_i = s.col(upd.i as usize);
+    let s_col_j = s.col(upd.j as usize);
+    gamma_vector_from_cols(q, &s_col_i, &s_col_j, upd, c)
+}
+
+/// [`gamma_vector`] reading `S` through its columns `i` and `j` only.
+///
+/// γ depends on `S` solely through `[S]_{:,i}` and `[S]_{:,j}` (Theorem 3's
+/// closed forms), so callers that maintain `S` as a base matrix plus a
+/// pending [`incsim_linalg::LowRankDelta`] can pass *effective* columns
+/// (`base + Δ`) without materialising the deferred update — this is what
+/// lets the fused/lazy engines chain updates with no `n²` work in between.
+/// It also lets the eager engine reuse column scratch buffers instead of
+/// allocating per update (the old `DenseMatrix::col` hot path).
+///
+/// # Panics
+/// Panics if the column slices differ in length.
+pub fn gamma_vector_from_cols(
+    q: &CsrMatrix,
+    s_col_i: &[f64],
+    s_col_j: &[f64],
+    upd: &RankOneUpdate,
+    c: f64,
+) -> GammaVector {
+    let n = s_col_i.len();
+    assert_eq!(s_col_j.len(), n, "gamma_vector_from_cols: column mismatch");
     let j = upd.j as usize;
+    let i = upd.i as usize;
+    let s_ii = s_col_i[i];
+    let s_jj = s_col_j[j];
 
     // Line 3: w := Q · [S]_{:,i}
-    let s_col_i = s.col(i);
     let mut w = vec![0.0; n];
-    q.matvec(&s_col_i, &mut w);
+    q.matvec(s_col_i, &mut w);
 
     // Line 4 (Eq. 29): λ := S[i,i] + S[j,j]/C − 2·[w]_j − 1/C + 1.
-    let lambda = s.get(i, i) + s.get(j, j) / c - 2.0 * w[j] - 1.0 / c + 1.0;
+    let lambda = s_ii + s_jj / c - 2.0 * w[j] - 1.0 / c + 1.0;
 
     let mut gamma = vec![0.0; n];
     match (upd.kind, upd.dj_old) {
         // Line 6: γ := w + ½·S[i,i]·e_j       (insert, d_j = 0)
         (UpdateKind::Insert, 0) => {
             gamma.copy_from_slice(&w);
-            gamma[j] += 0.5 * s.get(i, i);
+            gamma[j] += 0.5 * s_ii;
         }
         // Line 8: γ := (w − S[:,j]/C + (λ/(2(d_j+1)) + 1/C − 1)·e_j)/(d_j+1)
         (UpdateKind::Insert, dj) => {
             let djf = dj as f64;
             let coeff = lambda / (2.0 * (djf + 1.0)) + 1.0 / c - 1.0;
             for b in 0..n {
-                gamma[b] = w[b] - s.get(b, j) / c;
+                gamma[b] = w[b] - s_col_j[b] / c;
             }
             gamma[j] += coeff;
             for gb in gamma.iter_mut() {
@@ -209,7 +235,7 @@ pub fn gamma_vector(q: &CsrMatrix, s: &DenseMatrix, upd: &RankOneUpdate, c: f64)
             for (gb, &wb) in gamma.iter_mut().zip(&w) {
                 *gb = -wb;
             }
-            gamma[j] += 0.5 * s.get(i, i);
+            gamma[j] += 0.5 * s_ii;
         }
         // Line 12: γ := (S[:,j]/C − w + (λ/(2(d_j−1)) − 1/C + 1)·e_j)/(d_j−1)
         (UpdateKind::Delete, dj) => {
@@ -217,7 +243,7 @@ pub fn gamma_vector(q: &CsrMatrix, s: &DenseMatrix, upd: &RankOneUpdate, c: f64)
             let djf = dj as f64;
             let coeff = lambda / (2.0 * (djf - 1.0)) - 1.0 / c + 1.0;
             for b in 0..n {
-                gamma[b] = s.get(b, j) / c - w[b];
+                gamma[b] = s_col_j[b] / c - w[b];
             }
             gamma[j] += coeff;
             for gb in gamma.iter_mut() {

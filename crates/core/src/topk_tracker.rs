@@ -7,7 +7,7 @@
 //! Theorem 4), so the ranking can be repaired by rescanning only those
 //! rows — `O(|touched|·n)` per update, `≪ n²` when updates are local.
 
-use incsim_linalg::DenseMatrix;
+use incsim_linalg::{DenseMatrix, LowRankDelta};
 
 /// A `(pair, score)` ranking entry; `a < b` always.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -58,10 +58,22 @@ impl TopKTracker {
 
     /// Full rescan (used at construction and as a fallback).
     pub fn rebuild(&mut self, scores: &DenseMatrix) {
-        let n = scores.rows();
+        self.rebuild_rows(&Rows::Direct(scores));
+    }
+
+    /// Full rescan of a deferred state `S_base + Δ` without materialising
+    /// the pending [`LowRankDelta`].
+    pub fn rebuild_lazy(&mut self, base: &DenseMatrix, delta: &LowRankDelta) {
+        self.rebuild_rows(&Rows::Deferred(base, delta));
+    }
+
+    /// Shared rescan core over a [`Rows`] source.
+    fn rebuild_rows(&mut self, rows: &Rows<'_>) {
+        let n = rows.n();
         let mut all: Vec<TopPair> = Vec::new();
+        let mut buf = rows.row_buf();
         for a in 0..n {
-            let row = scores.row(a);
+            let row = rows.row(a, &mut buf);
             for (b, &score) in row.iter().enumerate().skip(a + 1) {
                 push_candidate(
                     &mut all,
@@ -91,6 +103,35 @@ impl TopKTracker {
     /// to a full rebuild. Score-increasing updates (the common case on
     /// insertion streams) stay on the cheap path.
     pub fn update(&mut self, scores: &DenseMatrix, touched: &[u32]) {
+        self.update_rows(touched, &Rows::Direct(scores));
+    }
+
+    /// [`Self::update`] against a deferred state `S_base + Δ`: touched
+    /// rows are reconstructed from the base matrix plus the pending
+    /// [`LowRankDelta`], each in `O(n + r·n)` — the `n²` apply never
+    /// happens. Rows where Δ has support are rescanned automatically
+    /// (computed exactly from the factor buffer), so `touched` only needs
+    /// rows changed for reasons *outside* Δ — passing `&[]` is always
+    /// sound.
+    ///
+    /// **Cost caveat:** the total is `O(|touched ∪ supp(Δ)|·r·n)`. That
+    /// stays local for Inc-SR's sparse factors and for Inc-uSR factors
+    /// with narrow true support (DAG-ish scores), but when the factors are
+    /// genuinely dense (`supp(Δ) ≈ n`, e.g. Inc-uSR on a cyclic graph)
+    /// this is `O(r·n²)` — more than the one `n²` flush it defers. In that
+    /// regime prefer `engine.flush()` followed by [`Self::update`], and
+    /// keep `update_lazy` for windows that are mostly queries.
+    pub fn update_lazy(&mut self, base: &DenseMatrix, delta: &LowRankDelta, touched: &[u32]) {
+        let mut widened = delta.support_rows();
+        widened.extend_from_slice(touched);
+        widened.sort_unstable();
+        widened.dedup();
+        self.update_rows(&widened, &Rows::Deferred(base, delta));
+    }
+
+    /// Shared repair core over a [`Rows`] source.
+    fn update_rows(&mut self, touched: &[u32], rows: &Rows<'_>) {
+        let n = rows.n();
         if touched.is_empty() {
             return;
         }
@@ -101,7 +142,6 @@ impl TopKTracker {
         } else {
             f64::NEG_INFINITY
         };
-        let n = scores.rows();
         let mut is_touched = vec![false; n];
         for &t in touched {
             is_touched[t as usize] = true;
@@ -115,9 +155,10 @@ impl TopKTracker {
             .filter(|p| !is_touched[p.a as usize] && !is_touched[p.b as usize])
             .collect();
         // Rescan the touched rows against all columns.
+        let mut buf = rows.row_buf();
         for &t in touched {
             let a = t as usize;
-            let row = scores.row(a);
+            let row = rows.row(a, &mut buf);
             for (b, &score) in row.iter().enumerate() {
                 if b == a {
                     continue;
@@ -150,7 +191,44 @@ impl TopKTracker {
             self.entries = kept;
         } else {
             // An evicted untouched pair might now qualify: rescan fully.
-            self.rebuild(scores);
+            self.rebuild_rows(rows);
+        }
+    }
+}
+
+/// A score-row source: the materialised matrix, or a deferred
+/// `S_base + Δ` state read through the factor buffer. The direct variant
+/// borrows rows in place — no per-row copy on the common path.
+enum Rows<'a> {
+    Direct(&'a DenseMatrix),
+    Deferred(&'a DenseMatrix, &'a LowRankDelta),
+}
+
+impl Rows<'_> {
+    fn n(&self) -> usize {
+        match self {
+            Rows::Direct(m) | Rows::Deferred(m, _) => m.rows(),
+        }
+    }
+
+    /// Scratch for [`Self::row`]: only the deferred variant reconstructs
+    /// rows, so the direct path allocates nothing.
+    fn row_buf(&self) -> Vec<f64> {
+        match self {
+            Rows::Direct(_) => Vec::new(),
+            Rows::Deferred(..) => vec![0.0; self.n()],
+        }
+    }
+
+    /// Row `a`, reconstructed into `buf` only when deferred.
+    fn row<'b>(&'b self, a: usize, buf: &'b mut [f64]) -> &'b [f64] {
+        match *self {
+            Rows::Direct(m) => m.row(a),
+            Rows::Deferred(base, delta) => {
+                buf.copy_from_slice(base.row(a));
+                delta.add_row_delta(a, buf);
+                buf
+            }
         }
     }
 }
@@ -247,6 +325,94 @@ mod tests {
             let got: Vec<(u32, u32)> = tracker.entries().iter().map(|p| (p.a, p.b)).collect();
             assert_eq!(got, expect, "tracker diverged after update ({i},{j})");
         }
+    }
+
+    #[test]
+    fn lazy_update_tracks_deferred_engine_without_apply() {
+        use crate::maintainer::ApplyMode;
+
+        let g = DiGraph::from_edges(
+            10,
+            &[
+                (0, 2),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (7, 8),
+                (8, 9),
+            ],
+        );
+        let cfg = SimRankConfig::new(0.6, 12).unwrap();
+        let s0 = batch_simrank(&g, &cfg);
+        let mut engine = IncSr::new(g, s0.clone(), cfg).with_mode(ApplyMode::Lazy);
+        let mut tracker = TopKTracker::new(engine.scores(), 4);
+
+        for (i, j) in [(0u32, 4u32), (7, 2), (9, 5)] {
+            engine.insert_edge(i, j).unwrap();
+            let (a_sup, b_sup) = engine.last_affected();
+            let mut touched: Vec<u32> = a_sup.iter().chain(b_sup.iter()).copied().collect();
+            touched.sort_unstable();
+            touched.dedup();
+            tracker.update_lazy(engine.scores(), engine.pending_delta(), &touched);
+
+            // Reference: a full lazy rescan of the same deferred state.
+            let mut fresh = TopKTracker::new(engine.scores(), 4);
+            fresh.rebuild_lazy(engine.scores(), engine.pending_delta());
+            let got: Vec<(u32, u32)> = tracker.entries().iter().map(|p| (p.a, p.b)).collect();
+            let expect: Vec<(u32, u32)> = fresh.entries().iter().map(|p| (p.a, p.b)).collect();
+            assert_eq!(got, expect);
+        }
+        // The whole window ran without a single n² apply…
+        assert!(engine.pending_delta().pending_pairs() > 0);
+        assert_eq!(engine.scores().max_abs_diff(&s0), 0.0, "base untouched");
+        // …and materialising now agrees with what the tracker saw.
+        engine.flush();
+        let expect = full_scan(engine.scores(), 4);
+        let got: Vec<(u32, u32)> = tracker.entries().iter().map(|p| (p.a, p.b)).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn lazy_update_covers_dense_delta_support_itself() {
+        use crate::maintainer::ApplyMode;
+        use crate::IncUSr;
+
+        // Inc-uSR buffers *dense* factor pairs, so no caller-supplied
+        // `touched` set can cover Δ's support a priori; update_lazy must
+        // discover it from the factor buffer (an empty hint is sound).
+        let g = DiGraph::from_edges(
+            9,
+            &[
+                (0, 2),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 0),
+                (6, 7),
+                (7, 8),
+            ],
+        );
+        let cfg = SimRankConfig::new(0.6, 12).unwrap();
+        let s0 = batch_simrank(&g, &cfg);
+        let mut engine = IncUSr::new(g, s0, cfg).with_mode(ApplyMode::Lazy);
+        let mut tracker = TopKTracker::new(engine.scores(), 4);
+
+        for (i, j) in [(6u32, 2u32), (8, 4), (0, 7)] {
+            engine.insert_edge(i, j).unwrap();
+            tracker.update_lazy(engine.scores(), engine.pending_delta(), &[]);
+
+            let mut fresh = TopKTracker::new(engine.scores(), 4);
+            fresh.rebuild_lazy(engine.scores(), engine.pending_delta());
+            assert_eq!(tracker.entries(), fresh.entries());
+        }
+        assert!(engine.pending_delta().pending_pairs() > 0);
+        engine.flush();
+        let expect = full_scan(engine.scores(), 4);
+        let got: Vec<(u32, u32)> = tracker.entries().iter().map(|p| (p.a, p.b)).collect();
+        assert_eq!(got, expect);
     }
 
     #[test]

@@ -145,9 +145,24 @@ impl DenseMatrix {
         &mut self.data[i * self.cols..(i + 1) * self.cols]
     }
 
-    /// Column `j` copied into a new vector.
+    /// Column `j` copied into a new vector. Prefer [`Self::col_into`] on
+    /// hot paths — it reuses the caller's buffer instead of allocating.
     pub fn col(&self, j: usize) -> Vec<f64> {
-        (0..self.rows).map(|i| self.get(i, j)).collect()
+        let mut out = vec![0.0; self.rows];
+        self.col_into(j, &mut out);
+        out
+    }
+
+    /// Copies column `j` into `out` without allocating (strided gather).
+    ///
+    /// # Panics
+    /// Panics if `out.len() != rows` or `j >= cols`.
+    pub fn col_into(&self, j: usize, out: &mut [f64]) {
+        assert_eq!(out.len(), self.rows, "col_into: out length mismatch");
+        assert!(j < self.cols, "col_into: column out of range");
+        for (o, chunk) in out.iter_mut().zip(self.data.chunks_exact(self.cols)) {
+            *o = chunk[j];
+        }
     }
 
     /// The underlying row-major data.
@@ -416,6 +431,23 @@ mod tests {
         m.set(0, 1, 5.0);
         m.add_to(0, 1, 1.0);
         assert_eq!(m.get(0, 1), 6.0);
+    }
+
+    #[test]
+    fn col_and_col_into_agree() {
+        let m = DenseMatrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(m.col(1), vec![2.0, 5.0]);
+        let mut buf = vec![0.0; 2];
+        m.col_into(2, &mut buf);
+        assert_eq!(buf, vec![3.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "col_into: out length mismatch")]
+    fn col_into_rejects_wrong_length() {
+        let m = DenseMatrix::zeros(3, 2);
+        let mut buf = vec![0.0; 2];
+        m.col_into(0, &mut buf);
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //!   SimRank algorithm in the paper is built on.
 //! * [`SparseAccumulator`] — Gustavson-style sparse vector workspace used by
 //!   the pruned Inc-SR iteration (Algorithm 2).
+//! * [`LowRankDelta`] — buffered `ΔS = U·Vᵀ + V·Uᵀ` factors with a fused,
+//!   cache-blocked, thread-parallel apply and `O(r)` lazy entry reads (the
+//!   deferred update path of the incremental engines).
 //! * [`qr::qr_thin`] / [`qr::rank_qrcp`] — Householder QR and rank-revealing
 //!   QR with column pivoting (numerical rank for the paper's Fig. 2b).
 //! * [`svd::jacobi_svd`] / [`svd::truncated_svd`] — one-sided Jacobi SVD and
@@ -36,6 +39,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod dense;
+pub mod lowrank;
 pub mod lu;
 pub mod norms;
 pub mod qr;
@@ -46,6 +50,7 @@ pub mod svd;
 pub mod vecops;
 
 pub use dense::DenseMatrix;
+pub use lowrank::LowRankDelta;
 pub use sparse::{CooBuilder, CsrMatrix};
 pub use spvec::SparseAccumulator;
 pub use svd::{LinOp, Svd};

@@ -1,0 +1,695 @@
+//! Fused low-rank ΔS buffer: `S += U·Vᵀ + V·Uᵀ` in one pass.
+//!
+//! The incremental engines characterise every link update as a sum of
+//! symmetric rank-two terms `ΔS = Σ_k (ξ_k·η_kᵀ + η_k·ξ_kᵀ)` (Theorem 3 of
+//! the paper). Applying each term eagerly costs one full read/write sweep
+//! of the `n × n` score matrix — `K+1` sweeps per update, which makes the
+//! hot path memory-bound long before it is compute-bound.
+//!
+//! [`LowRankDelta`] buffers the `(ξ_k, η_k)` pairs as factor columns of
+//! `U, V` instead, deferring the matrix work. Three regimes fall out:
+//!
+//! * **Eager** (no buffer): `K+1` sweeps per update — the baseline.
+//! * **Fused**: the buffered pairs are folded into `S` by one
+//!   cache-blocked pass ([`LowRankDelta::apply_to`]): each row of `S` is
+//!   loaded once, receives all `2·(K+1)` AXPYs while it is cache-resident,
+//!   and is stored once. Row blocks are processed in parallel with
+//!   `std::thread::scope`; because every row's accumulation order is
+//!   independent of the blocking, the parallel result is **bit-for-bit**
+//!   identical to the serial one.
+//! * **Lazy**: the buffer is never applied; queries read
+//!   `S_base[a,b] + Δ[a,b]` through [`LowRankDelta::pair_delta`] /
+//!   [`LowRankDelta::add_row_delta`] in `O(r)` / `O(r·n)` — no `n²` work
+//!   at all for query-only windows.
+//!
+//! **When to flush.** Each pending pair costs `2n` floats (dense) or its
+//! support size (sparse), i.e. `≈ 2·(K+1)·n·8` bytes per pending unit
+//! update. Flush when (a) a consumer needs the materialised matrix,
+//! (b) the buffered rank approaches the point where `O(r)` per pair-query
+//! rivals a sweep (`r ≈ n / queries`), or (c) memory pressure demands it.
+//! The engines in `incsim-core` flush per mutation call in fused mode and
+//! on demand in lazy mode.
+
+use crate::dense::DenseMatrix;
+use crate::vecops;
+
+/// Rows per cache tile of the fused apply: factor columns are re-read once
+/// per tile instead of once per row, while a tile of `S` rows streams
+/// through the cache exactly once.
+const TILE_ROWS: usize = 32;
+
+/// Dense pairs fused into a single row pass. At `K+1 = 16` buffered pairs
+/// this cuts the per-element row loads/stores from 16 (eager) to 2; the
+/// factor working set per pass (`2·DENSE_GROUP` columns) still fits L2
+/// alongside a [`TILE_ROWS`] tile up to `n ≈ 10⁴`.
+const DENSE_GROUP: usize = 8;
+
+/// One buffered symmetric rank-two term `ξ·ηᵀ + η·ξᵀ`.
+#[derive(Clone, Debug)]
+enum FactorPair {
+    /// Dense factors (Inc-uSR pushes these).
+    Dense {
+        /// ξ, length `n`.
+        xi: Vec<f64>,
+        /// η, length `n`.
+        eta: Vec<f64>,
+    },
+    /// Sparse factors as sorted `(index, value)` pairs (Inc-SR pushes
+    /// these; only `supp(ξ) ∪ supp(η)` rows of `S` are ever touched).
+    Sparse {
+        /// ξ support, sorted by index, exact zeros dropped.
+        xi: Vec<(u32, f64)>,
+        /// η support, sorted by index, exact zeros dropped.
+        eta: Vec<(u32, f64)>,
+    },
+}
+
+/// Value at `a` of a sorted sparse factor column.
+#[inline]
+fn sparse_at(col: &[(u32, f64)], a: usize) -> f64 {
+    match col.binary_search_by_key(&(a as u32), |&(k, _)| k) {
+        Ok(pos) => col[pos].1,
+        Err(_) => 0.0,
+    }
+}
+
+/// A buffer of pending symmetric rank-two score updates
+/// `Δ = U·Vᵀ + V·Uᵀ` with `U = [ξ_0 … ξ_r]`, `V = [η_0 … η_r]`.
+///
+/// See the [module docs](self) for the eager/fused/lazy trade-off.
+///
+/// ```
+/// use incsim_linalg::{DenseMatrix, LowRankDelta};
+///
+/// let mut s = DenseMatrix::zeros(3, 3);
+/// let mut delta = LowRankDelta::new(3);
+/// delta.push_dense(vec![1.0, 0.0, 0.0], vec![0.0, 2.0, 0.0]);
+/// assert_eq!(delta.pair_delta(0, 1), 2.0); // lazy read, no apply
+/// delta.apply_to(&mut s);                  // one fused sweep, drains
+/// assert_eq!(s.get(0, 1), 2.0);
+/// assert_eq!(s.get(1, 0), 2.0);
+/// assert!(delta.is_empty());
+/// ```
+#[derive(Clone, Debug)]
+pub struct LowRankDelta {
+    dim: usize,
+    pairs: Vec<FactorPair>,
+}
+
+impl LowRankDelta {
+    /// Creates an empty buffer for `dim × dim` score matrices.
+    pub fn new(dim: usize) -> Self {
+        LowRankDelta {
+            dim,
+            pairs: Vec::new(),
+        }
+    }
+
+    /// Vector dimension `n`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of buffered `(ξ, η)` pairs (the rank of `U`/`V`).
+    #[inline]
+    pub fn pending_pairs(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// `true` when nothing is buffered (Δ is identically zero).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Buffers a dense term `ξ·ηᵀ + η·ξᵀ`.
+    ///
+    /// # Panics
+    /// Panics if either vector is not of length [`Self::dim`].
+    pub fn push_dense(&mut self, xi: Vec<f64>, eta: Vec<f64>) {
+        assert_eq!(xi.len(), self.dim, "push_dense: xi length mismatch");
+        assert_eq!(eta.len(), self.dim, "push_dense: eta length mismatch");
+        self.pairs.push(FactorPair::Dense { xi, eta });
+    }
+
+    /// Buffers a sparse term `ξ·ηᵀ + η·ξᵀ` given as `(index, value)`
+    /// pairs. Entries are sorted by index, duplicate indices are merged by
+    /// summing, and exact zeros are dropped (they contribute nothing to Δ).
+    ///
+    /// # Panics
+    /// Panics if any index is `>=` [`Self::dim`].
+    pub fn push_sparse(&mut self, mut xi: Vec<(u32, f64)>, mut eta: Vec<(u32, f64)>) {
+        for col in [&mut xi, &mut eta] {
+            for &(i, _) in col.iter() {
+                assert!((i as usize) < self.dim, "push_sparse: index out of range");
+            }
+            col.sort_unstable_by_key(|&(i, _)| i);
+            col.dedup_by(|next, prev| {
+                if next.0 == prev.0 {
+                    prev.1 += next.1;
+                    true
+                } else {
+                    false
+                }
+            });
+            col.retain(|&(_, v)| v != 0.0);
+        }
+        self.pairs.push(FactorPair::Sparse { xi, eta });
+    }
+
+    /// Drops all buffered pairs without applying them.
+    pub fn clear(&mut self) {
+        self.pairs.clear();
+    }
+
+    /// Lazy single-entry read: `Δ[a, b] = Σ_t ξ_t[a]·η_t[b] + η_t[a]·ξ_t[b]`
+    /// in `O(r)` (times `O(log s)` for sparse pairs) — no `n²` work.
+    pub fn pair_delta(&self, a: usize, b: usize) -> f64 {
+        let mut acc = 0.0;
+        for pair in &self.pairs {
+            match pair {
+                FactorPair::Dense { xi, eta } => {
+                    acc += xi[a] * eta[b] + eta[a] * xi[b];
+                }
+                FactorPair::Sparse { xi, eta } => {
+                    acc +=
+                        sparse_at(xi, a) * sparse_at(eta, b) + sparse_at(eta, a) * sparse_at(xi, b);
+                }
+            }
+        }
+        acc
+    }
+
+    /// Lazy row read: adds `Δ[a, :]` into `out` (Δ is symmetric, so this is
+    /// also column `a`). `O(r·n)` for dense pairs, `O(r·s)` for sparse.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != dim`.
+    pub fn add_row_delta(&self, a: usize, out: &mut [f64]) {
+        assert_eq!(out.len(), self.dim, "add_row_delta: length mismatch");
+        for pair in &self.pairs {
+            apply_pair_to_row(pair, a, out);
+        }
+    }
+
+    /// Rows of `S` with a nonzero Δ row: `None` means "potentially all"
+    /// (at least one dense pair is buffered), otherwise the sorted union
+    /// of the sparse supports.
+    pub fn touched_rows(&self) -> Option<Vec<u32>> {
+        let mut rows: Vec<u32> = Vec::new();
+        for pair in &self.pairs {
+            match pair {
+                FactorPair::Dense { .. } => return None,
+                FactorPair::Sparse { xi, eta } => {
+                    rows.extend(xi.iter().map(|&(i, _)| i));
+                    rows.extend(eta.iter().map(|&(i, _)| i));
+                }
+            }
+        }
+        rows.sort_unstable();
+        rows.dedup();
+        Some(rows)
+    }
+
+    /// The exact sorted union of rows where Δ is nonzero, scanning dense
+    /// factors for their true support in `O(r·n)` (unlike
+    /// [`Self::touched_rows`], which conservatively gives up on any dense
+    /// pair). Row `a` is included iff some buffered `ξ_t[a]` or `η_t[a]`
+    /// is nonzero — exactly the rows (and, by symmetry, columns) of `S` a
+    /// fused apply could change.
+    pub fn support_rows(&self) -> Vec<u32> {
+        let mut nonzero = vec![false; self.dim];
+        for pair in &self.pairs {
+            match pair {
+                FactorPair::Dense { xi, eta } => {
+                    for (a, flag) in nonzero.iter_mut().enumerate() {
+                        *flag |= xi[a] != 0.0 || eta[a] != 0.0;
+                    }
+                }
+                FactorPair::Sparse { xi, eta } => {
+                    for &(i, _) in xi.iter().chain(eta.iter()) {
+                        nonzero[i as usize] = true;
+                    }
+                }
+            }
+        }
+        (0..self.dim as u32)
+            .filter(|&a| nonzero[a as usize])
+            .collect()
+    }
+
+    /// Applies and drains the buffer: `S += U·Vᵀ + V·Uᵀ` in **one** fused
+    /// pass over `S`, parallelised over row blocks when the matrix is
+    /// large enough to pay for thread spawns.
+    ///
+    /// # Panics
+    /// Panics if `s` is not `dim × dim`.
+    pub fn apply_to(&mut self, s: &mut DenseMatrix) {
+        let threads = if self.dim >= 256 {
+            std::thread::available_parallelism().map_or(1, |p| p.get())
+        } else {
+            1
+        };
+        self.apply_to_with_threads(s, threads);
+    }
+
+    /// [`Self::apply_to`] with an explicit thread count (1 = serial). The
+    /// result is bit-for-bit identical for every thread count: each row's
+    /// AXPY sequence is pair 0 … pair r in order, regardless of how rows
+    /// are partitioned into blocks. (A sparse-only buffer visits just its
+    /// touched rows serially — the affected set is small by construction,
+    /// so neither a full-row sweep nor thread spawns would pay.)
+    pub fn apply_to_with_threads(&mut self, s: &mut DenseMatrix, threads: usize) {
+        assert_eq!(s.rows(), self.dim, "apply_to: row mismatch");
+        assert_eq!(s.cols(), self.dim, "apply_to: col mismatch");
+        if self.pairs.is_empty() {
+            return;
+        }
+        if let Some(rows) = self.touched_rows() {
+            // Sparse-only buffer: every other row of Δ is identically zero,
+            // and every schedule unit would be a single sparse pair.
+            for &a in &rows {
+                let row = s.row_mut(a as usize);
+                for pair in &self.pairs {
+                    apply_pair_to_row(pair, a as usize, row);
+                }
+            }
+            self.pairs.clear();
+            return;
+        }
+        // Group runs of dense pairs [`DENSE_GROUP`] at a time: the fused
+        // row kernel then does one load + `2·DENSE_GROUP` multiply-adds +
+        // one store per element instead of that many separate
+        // read-modify-write sweeps of the row.
+        let schedule = self.schedule();
+
+        let threads = threads.max(1);
+        let cols = s.cols();
+        let this: &LowRankDelta = self;
+        let schedule = &schedule[..];
+        if threads == 1 {
+            this.apply_chunk(0, s.as_mut_slice(), cols, schedule);
+        } else {
+            let chunk_rows = this.dim.div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (start_row, chunk) in s.par_row_chunks_mut(chunk_rows) {
+                    scope.spawn(move || this.apply_chunk(start_row, chunk, cols, schedule));
+                }
+            });
+        }
+        self.pairs.clear();
+    }
+
+    /// Partitions `self.pairs` into kernel units, in order: each range is
+    /// either one sparse pair or a run of up to [`DENSE_GROUP`] consecutive
+    /// dense pairs (fused into a single row pass).
+    fn schedule(&self) -> Vec<std::ops::Range<usize>> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.pairs.len() {
+            match self.pairs[i] {
+                FactorPair::Sparse { .. } => {
+                    out.push(i..i + 1);
+                    i += 1;
+                }
+                FactorPair::Dense { .. } => {
+                    let mut j = i + 1;
+                    while j < self.pairs.len()
+                        && j - i < DENSE_GROUP
+                        && matches!(self.pairs[j], FactorPair::Dense { .. })
+                    {
+                        j += 1;
+                    }
+                    out.push(i..j);
+                    i = j;
+                }
+            }
+        }
+        out
+    }
+
+    /// Fused kernel over one block of whole rows: tiles of [`TILE_ROWS`]
+    /// rows, schedule units swept per tile so each factor column is read
+    /// once per tile while the tile's `S` rows stay cache-resident.
+    fn apply_chunk(
+        &self,
+        start_row: usize,
+        chunk: &mut [f64],
+        cols: usize,
+        schedule: &[std::ops::Range<usize>],
+    ) {
+        let nrows = chunk.len() / cols;
+        let mut tile = 0;
+        while tile < nrows {
+            let tile_end = (tile + TILE_ROWS).min(nrows);
+            let rows = &mut chunk[tile * cols..tile_end * cols];
+            for unit in schedule {
+                let pairs = &self.pairs[unit.clone()];
+                match pairs {
+                    [pair @ FactorPair::Sparse { .. }] => {
+                        for (local, row) in rows.chunks_exact_mut(cols).enumerate() {
+                            apply_pair_to_row(pair, start_row + tile + local, row);
+                        }
+                    }
+                    dense => dense_unit_rows(dense, start_row + tile, rows, cols),
+                }
+            }
+            tile = tile_end;
+        }
+    }
+
+    /// Heap bytes held by the buffered factors (the paper-style
+    /// intermediate-memory accounting: `≈ 2·(K+1)·n·8` bytes per pending
+    /// dense update).
+    pub fn heap_bytes(&self) -> usize {
+        let per_dense = std::mem::size_of::<f64>();
+        let per_sparse = std::mem::size_of::<(u32, f64)>();
+        self.pairs
+            .iter()
+            .map(|p| match p {
+                FactorPair::Dense { xi, eta } => (xi.capacity() + eta.capacity()) * per_dense,
+                FactorPair::Sparse { xi, eta } => (xi.capacity() + eta.capacity()) * per_sparse,
+            })
+            .sum()
+    }
+}
+
+/// Applies one dense schedule unit (1–[`DENSE_GROUP`] consecutive dense
+/// pairs) to a tile of whole rows starting at global row `start_a`. The
+/// arity dispatch happens once per (tile, unit) — not per row — and each
+/// arity gets a fully unrolled inner loop.
+fn dense_unit_rows(pairs: &[FactorPair], start_a: usize, rows: &mut [f64], cols: usize) {
+    fn refs<const K: usize>(pairs: &[FactorPair]) -> ([&[f64]; K], [&[f64]; K]) {
+        let pick = |t: usize| match &pairs[t] {
+            FactorPair::Dense { xi, eta } => (xi.as_slice(), eta.as_slice()),
+            FactorPair::Sparse { .. } => unreachable!("schedule() groups only dense pairs"),
+        };
+        (
+            std::array::from_fn(|t| pick(t).0),
+            std::array::from_fn(|t| pick(t).1),
+        )
+    }
+    macro_rules! dispatch {
+        ($($k:literal),*) => {
+            match pairs.len() {
+                $($k => {
+                    let (xis, etas) = refs::<$k>(pairs);
+                    dense_group_rows::<$k>(&xis, &etas, start_a, rows, cols);
+                })*
+                _ => {
+                    // Unreachable via `schedule()`, but stay correct regardless.
+                    for (local, row) in rows.chunks_exact_mut(cols).enumerate() {
+                        for pair in pairs {
+                            apply_pair_to_row(pair, start_a + local, row);
+                        }
+                    }
+                }
+            }
+        };
+    }
+    dispatch!(1, 2, 3, 4, 5, 6, 7, 8);
+}
+
+/// Rows advanced together by the fused dense kernel. Each factor element
+/// `ξ_t[b]`/`η_t[b]` is loaded once and feeds [`ROW_UNROLL`] independent
+/// accumulator chains — the per-element chain of `2K` dependent adds is
+/// what bounds a single-row sweep, not bandwidth, so overlapping rows is
+/// worth ~1.4× on its own (more with wide registers).
+const ROW_UNROLL: usize = 4;
+
+/// The fused dense row kernel over a tile:
+/// `row_a += Σ_t ξ_t[a]·η_t + η_t[a]·ξ_t` for a group of `K` pairs, one
+/// load/store of each row element for all `2K` multiply-adds, processing
+/// [`ROW_UNROLL`] rows per factor-stream pass. Per element the
+/// accumulation order is exactly the eager one — pair `t`'s ξ-side then
+/// η-side, then pair `t+1` — and rows never mix, so every regime,
+/// grouping, unroll, and thread count produces the same floating-point
+/// result.
+fn dense_group_rows<const K: usize>(
+    xis: &[&[f64]; K],
+    etas: &[&[f64]; K],
+    start_a: usize,
+    rows: &mut [f64],
+    cols: usize,
+) {
+    const R: usize = ROW_UNROLL;
+    let mut blocks = rows.chunks_exact_mut(R * cols);
+    let mut base = start_a;
+    for block in blocks.by_ref() {
+        let mut xa = [[0.0f64; K]; R];
+        let mut ya = [[0.0f64; K]; R];
+        let mut all_zero = true;
+        for r in 0..R {
+            for t in 0..K {
+                xa[r][t] = xis[t][base + r];
+                ya[r][t] = etas[t][base + r];
+                all_zero &= xa[r][t] == 0.0 && ya[r][t] == 0.0;
+            }
+        }
+        base += R;
+        if all_zero {
+            continue;
+        }
+        // Re-slice to the row length so the inner loops elide bounds checks.
+        let xs: [&[f64]; K] = std::array::from_fn(|t| &xis[t][..cols]);
+        let es: [&[f64]; K] = std::array::from_fn(|t| &etas[t][..cols]);
+        let mut rest = &mut *block;
+        let mut row_refs: [&mut [f64]; R] = std::array::from_fn(|_| Default::default());
+        for slot in row_refs.iter_mut() {
+            let (head, tail) = rest.split_at_mut(cols);
+            *slot = head;
+            rest = tail;
+        }
+        for b in 0..cols {
+            let x_b: [f64; K] = std::array::from_fn(|t| xs[t][b]);
+            let e_b: [f64; K] = std::array::from_fn(|t| es[t][b]);
+            for r in 0..R {
+                let mut acc = row_refs[r][b];
+                for t in 0..K {
+                    acc += xa[r][t] * e_b[t];
+                    acc += ya[r][t] * x_b[t];
+                }
+                row_refs[r][b] = acc;
+            }
+        }
+    }
+    // Remainder rows (tile size not a multiple of R) one at a time.
+    for (local, row) in blocks.into_remainder().chunks_exact_mut(cols).enumerate() {
+        let a = base + local;
+        let mut xa = [0.0f64; K];
+        let mut ya = [0.0f64; K];
+        let mut all_zero = true;
+        for t in 0..K {
+            xa[t] = xis[t][a];
+            ya[t] = etas[t][a];
+            all_zero &= xa[t] == 0.0 && ya[t] == 0.0;
+        }
+        if all_zero {
+            continue;
+        }
+        let xs: [&[f64]; K] = std::array::from_fn(|t| &xis[t][..cols]);
+        let es: [&[f64]; K] = std::array::from_fn(|t| &etas[t][..cols]);
+        for (b, rb) in row.iter_mut().enumerate() {
+            let mut acc = *rb;
+            for t in 0..K {
+                acc += xa[t] * es[t][b];
+                acc += ya[t] * xs[t][b];
+            }
+            *rb = acc;
+        }
+    }
+}
+
+/// Adds row `a` of one pair's `ξ·ηᵀ + η·ξᵀ` into `row`: ξ-side first,
+/// then η-side — the same order as the eager `add_sym_outer` /
+/// affected-area loops, so fused results match eager ones exactly.
+#[inline]
+fn apply_pair_to_row(pair: &FactorPair, a: usize, row: &mut [f64]) {
+    match pair {
+        FactorPair::Dense { xi, eta } => {
+            let (xa, ya) = (xi[a], eta[a]);
+            if xa != 0.0 {
+                vecops::axpy(xa, eta, row);
+            }
+            if ya != 0.0 {
+                vecops::axpy(ya, xi, row);
+            }
+        }
+        FactorPair::Sparse { xi, eta } => {
+            let xa = sparse_at(xi, a);
+            if xa != 0.0 {
+                for &(b, v) in eta {
+                    row[b as usize] += xa * v;
+                }
+            }
+            let ya = sparse_at(eta, a);
+            if ya != 0.0 {
+                for &(b, v) in xi {
+                    row[b as usize] += ya * v;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_pair(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
+        let f = |i: usize, s: u64| (((i as u64 + 1) * (s + 3)) % 17) as f64 * 0.25 - 1.0;
+        (
+            (0..n).map(|i| f(i, seed)).collect(),
+            (0..n).map(|i| f(i, seed * 7 + 1)).collect(),
+        )
+    }
+
+    fn eager_reference(n: usize, pairs: &[(Vec<f64>, Vec<f64>)]) -> DenseMatrix {
+        let mut s = DenseMatrix::zeros(n, n);
+        for (xi, eta) in pairs {
+            s.add_sym_outer(1.0, xi, eta);
+        }
+        s
+    }
+
+    #[test]
+    fn fused_dense_apply_matches_eager_exactly() {
+        let n = 37;
+        let pairs: Vec<_> = (0..5).map(|t| dense_pair(n, t)).collect();
+        let expect = eager_reference(n, &pairs);
+
+        let mut delta = LowRankDelta::new(n);
+        for (xi, eta) in &pairs {
+            delta.push_dense(xi.clone(), eta.clone());
+        }
+        assert_eq!(delta.pending_pairs(), 5);
+        let mut s = DenseMatrix::zeros(n, n);
+        delta.apply_to_with_threads(&mut s, 1);
+        assert!(delta.is_empty(), "apply drains the buffer");
+        assert_eq!(s.max_abs_diff(&expect), 0.0, "fused == eager, bitwise");
+    }
+
+    #[test]
+    fn parallel_apply_is_bit_identical_to_serial() {
+        let n = 101; // not a multiple of the tile or chunk sizes
+        let pairs: Vec<_> = (0..7).map(|t| dense_pair(n, t + 11)).collect();
+        let mut serial = DenseMatrix::zeros(n, n);
+        let mut parallel = DenseMatrix::zeros(n, n);
+        for threads in [2, 3, 5] {
+            let mut d1 = LowRankDelta::new(n);
+            let mut d2 = LowRankDelta::new(n);
+            for (xi, eta) in &pairs {
+                d1.push_dense(xi.clone(), eta.clone());
+                d2.push_dense(xi.clone(), eta.clone());
+            }
+            // Mix in a sparse pair so both kinds cross chunk boundaries.
+            d1.push_sparse(vec![(3, 1.5), (90, -0.25)], vec![(0, 2.0), (55, 1.0)]);
+            d2.push_sparse(vec![(3, 1.5), (90, -0.25)], vec![(0, 2.0), (55, 1.0)]);
+            d1.apply_to_with_threads(&mut serial, 1);
+            d2.apply_to_with_threads(&mut parallel, threads);
+            assert_eq!(
+                serial.max_abs_diff(&parallel),
+                0.0,
+                "threads={threads} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_apply_touches_only_active_rows() {
+        let n = 20;
+        let mut delta = LowRankDelta::new(n);
+        delta.push_sparse(vec![(2, 1.0)], vec![(5, 3.0)]);
+        assert_eq!(delta.touched_rows(), Some(vec![2, 5]));
+        let mut s = DenseMatrix::zeros(n, n);
+        delta.apply_to(&mut s);
+        assert_eq!(s.get(2, 5), 3.0);
+        assert_eq!(s.get(5, 2), 3.0);
+        assert_eq!(s.count_nonzero(0.0), 2);
+    }
+
+    #[test]
+    fn support_rows_is_exact_for_dense_and_sparse() {
+        let n = 6;
+        let mut delta = LowRankDelta::new(n);
+        delta.push_dense(vec![0.0, 1.0, 0.0, 0.0, 0.0, 0.0], vec![0.0; 6]);
+        delta.push_sparse(vec![(4, 2.0)], vec![(2, -1.0)]);
+        // touched_rows gives up on the dense pair; support_rows does not.
+        assert_eq!(delta.touched_rows(), None);
+        assert_eq!(delta.support_rows(), vec![1, 2, 4]);
+        assert!(LowRankDelta::new(n).support_rows().is_empty());
+    }
+
+    #[test]
+    fn dense_pair_makes_touched_rows_unknown() {
+        let n = 4;
+        let mut delta = LowRankDelta::new(n);
+        delta.push_sparse(vec![(1, 1.0)], vec![(2, 1.0)]);
+        delta.push_dense(vec![0.0; n], vec![0.0; n]);
+        assert_eq!(delta.touched_rows(), None);
+    }
+
+    #[test]
+    fn lazy_reads_match_applied_matrix() {
+        let n = 23;
+        let pairs: Vec<_> = (0..4).map(|t| dense_pair(n, t + 5)).collect();
+        let mut delta = LowRankDelta::new(n);
+        for (xi, eta) in &pairs {
+            delta.push_dense(xi.clone(), eta.clone());
+        }
+        delta.push_sparse(vec![(1, 0.5), (7, -2.0)], vec![(0, 1.0), (19, 0.75)]);
+
+        let mut applied = DenseMatrix::zeros(n, n);
+        {
+            let mut d = delta.clone();
+            d.apply_to_with_threads(&mut applied, 1);
+        }
+        for a in 0..n {
+            let mut row = vec![0.0; n];
+            delta.add_row_delta(a, &mut row);
+            for b in 0..n {
+                assert!((applied.get(a, b) - row[b]).abs() < 1e-12);
+                assert!((applied.get(a, b) - delta.pair_delta(a, b)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn push_sparse_sorts_and_drops_zeros() {
+        let mut delta = LowRankDelta::new(10);
+        delta.push_sparse(vec![(7, 1.0), (2, 0.0), (1, -1.0)], vec![(4, 2.0)]);
+        // The zero entry at index 2 contributes nothing anywhere.
+        assert_eq!(delta.pair_delta(2, 4), 0.0);
+        assert_eq!(delta.pair_delta(7, 4), 2.0);
+        assert_eq!(delta.pair_delta(4, 1), -2.0);
+    }
+
+    #[test]
+    fn clear_and_bookkeeping() {
+        let mut delta = LowRankDelta::new(6);
+        assert!(delta.is_empty());
+        assert_eq!(delta.dim(), 6);
+        delta.push_dense(vec![1.0; 6], vec![2.0; 6]);
+        assert!(delta.heap_bytes() >= 2 * 6 * 8);
+        delta.clear();
+        assert!(delta.is_empty());
+        let mut s = DenseMatrix::zeros(6, 6);
+        delta.apply_to(&mut s); // empty apply is a no-op
+        assert_eq!(s.count_nonzero(0.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "push_dense: xi length mismatch")]
+    fn push_dense_rejects_wrong_length() {
+        let mut delta = LowRankDelta::new(4);
+        delta.push_dense(vec![1.0; 3], vec![0.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "push_sparse: index out of range")]
+    fn push_sparse_rejects_out_of_range() {
+        let mut delta = LowRankDelta::new(4);
+        delta.push_sparse(vec![(4, 1.0)], vec![]);
+    }
+}

@@ -72,12 +72,14 @@ impl Svd {
         let m = self.u.rows();
         let n = self.v.rows();
         let mut out = DenseMatrix::zeros(m, n);
+        let mut ut = vec![0.0; m];
+        let mut vt = vec![0.0; n];
         for (t, &sigma) in self.s.iter().enumerate() {
             if sigma == 0.0 {
                 continue;
             }
-            let ut = self.u.col(t);
-            let vt = self.v.col(t);
+            self.u.col_into(t, &mut ut);
+            self.v.col_into(t, &mut vt);
             out.rank_one_update(sigma, &ut, &vt);
         }
         out
@@ -250,13 +252,17 @@ pub fn truncated_svd<O: LinOp, R: Rng>(
     }
 
     // Power iterations with re-orthonormalisation: Y ← A·(Aᵀ·Q_y).
+    // Column extraction goes through reused buffers (`col_into`), not
+    // fresh allocations — this loop runs l·(2·power_iters + 1) times.
     let mut q = qr_thin(&y).0;
     let mut z_col = vec![0.0; n];
+    let mut q_col = vec![0.0; m];
+    let mut qz_col = vec![0.0; n];
     for _ in 0..power_iters {
         let mut z = DenseMatrix::zeros(n, l);
         for j in 0..l {
-            let qj = q.col(j);
-            op.apply_t(&qj, &mut z_col);
+            q.col_into(j, &mut q_col);
+            op.apply_t(&q_col, &mut z_col);
             for i in 0..n {
                 z.set(i, j, z_col[i]);
             }
@@ -264,8 +270,8 @@ pub fn truncated_svd<O: LinOp, R: Rng>(
         let qz = qr_thin(&z).0;
         let mut y2 = DenseMatrix::zeros(m, l);
         for j in 0..l {
-            let zj = qz.col(j);
-            op.apply(&zj, &mut y_col);
+            qz.col_into(j, &mut qz_col);
+            op.apply(&qz_col, &mut y_col);
             for i in 0..m {
                 y2.set(i, j, y_col[i]);
             }
@@ -276,8 +282,8 @@ pub fn truncated_svd<O: LinOp, R: Rng>(
     // B = Qᵀ·A  (l × n): row t of B is Aᵀ·q_t.
     let mut bt = DenseMatrix::zeros(n, l); // Bᵀ, tall
     for t in 0..l {
-        let qt = q.col(t);
-        op.apply_t(&qt, &mut z_col);
+        q.col_into(t, &mut q_col);
+        op.apply_t(&q_col, &mut z_col);
         for i in 0..n {
             bt.set(i, t, z_col[i]);
         }

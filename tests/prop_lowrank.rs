@@ -1,0 +1,174 @@
+//! Property tests (proptest) of the deferred low-rank ΔS subsystem:
+//! fused and lazy apply modes must match the eager path within 1e-12 over
+//! random update streams on ER and R-MAT graphs, and the parallel blocked
+//! apply must agree with the serial one bit-for-bit.
+
+use incsim::core::{batch_simrank, ApplyMode, IncSr, IncUSr, SimRankConfig, SimRankMaintainer};
+use incsim::datagen::er::erdos_renyi;
+use incsim::datagen::rmat::{rmat, RmatParams};
+use incsim::graph::{DiGraph, UpdateOp};
+use incsim::linalg::{DenseMatrix, LowRankDelta};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A valid update stream built by walking a shadow graph: flip the edge
+/// state of random non-loop pairs, so every op applies cleanly in order.
+fn stream_on(g: &DiGraph, len: usize, seed: u64) -> Vec<UpdateOp> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut shadow = g.clone();
+    let n = g.node_count() as u32;
+    let mut ops = Vec::new();
+    let mut guard = 0usize;
+    while ops.len() < len && guard < len * 200 + 50 {
+        guard += 1;
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u == v {
+            continue;
+        }
+        if shadow.has_edge(u, v) {
+            shadow.remove_edge(u, v).expect("edge tracked as present");
+            ops.push(UpdateOp::Delete(u, v));
+        } else {
+            shadow.insert_edge(u, v).expect("edge tracked as absent");
+            ops.push(UpdateOp::Insert(u, v));
+        }
+    }
+    ops
+}
+
+/// Strategy: an ER or R-MAT graph (both of the paper's synthetic models).
+fn arb_graph() -> impl Strategy<Value = DiGraph> {
+    (any::<u64>(), 0u8..2).prop_map(|(seed, model)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match model {
+            0 => {
+                let n = 8 + (seed % 13) as usize; // 8..=20
+                erdos_renyi(n, 2 * n, &mut rng)
+            }
+            _ => rmat(4, 40, &RmatParams::default(), &mut rng),
+        }
+    })
+}
+
+/// Applies `ops` to a fresh engine of each mode and returns the three
+/// final score matrices `(eager, fused-batch, lazy-flushed)` plus the
+/// lazy engine's worst pair-read error against the eager result.
+fn run_usr_modes(
+    g: &DiGraph,
+    s0: &DenseMatrix,
+    cfg: SimRankConfig,
+    ops: &[UpdateOp],
+) -> (f64, f64, f64) {
+    let mut eager = IncUSr::new(g.clone(), s0.clone(), cfg);
+    for &op in ops {
+        eager.apply(op).expect("stream valid by construction");
+    }
+    let mut fused = IncUSr::new(g.clone(), s0.clone(), cfg).with_mode(ApplyMode::Fused);
+    fused
+        .apply_batch(ops)
+        .expect("stream valid by construction");
+    let fused_diff = eager.scores().max_abs_diff(fused.scores());
+
+    let mut lazy = IncUSr::new(g.clone(), s0.clone(), cfg).with_mode(ApplyMode::Lazy);
+    for &op in ops {
+        lazy.apply(op).expect("stream valid by construction");
+    }
+    let n = g.node_count() as u32;
+    let mut query_diff = 0.0f64;
+    for a in 0..n {
+        for b in 0..n {
+            let got =
+                incsim::core::query::pair_score_lazy(lazy.scores(), lazy.pending_delta(), a, b);
+            query_diff = query_diff.max((got - eager.scores().get(a as usize, b as usize)).abs());
+        }
+    }
+    lazy.flush();
+    let lazy_diff = eager.scores().max_abs_diff(lazy.scores());
+    (fused_diff, lazy_diff, query_diff)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Inc-uSR: fused-batch and lazy runs reproduce the eager scores within
+    /// 1e-12 over random update streams.
+    #[test]
+    fn incusr_deferred_modes_match_eager(g in arb_graph(), seed in any::<u64>(), len in 1usize..6) {
+        let cfg = SimRankConfig::new(0.6, 8).unwrap();
+        let ops = stream_on(&g, len, seed);
+        prop_assume!(!ops.is_empty());
+        let s0 = batch_simrank(&g, &cfg);
+        let (fused_diff, lazy_diff, query_diff) = run_usr_modes(&g, &s0, cfg, &ops);
+        prop_assert!(fused_diff < 1e-12, "fused diverged: {fused_diff:.2e}");
+        prop_assert!(lazy_diff < 1e-12, "lazy diverged: {lazy_diff:.2e}");
+        prop_assert!(query_diff < 1e-12, "lazy pair reads diverged: {query_diff:.2e}");
+    }
+
+    /// Inc-SR: the pruned engine's fused and lazy modes match its eager
+    /// mode within 1e-12 over random update streams.
+    #[test]
+    fn incsr_deferred_modes_match_eager(g in arb_graph(), seed in any::<u64>(), len in 1usize..6) {
+        let cfg = SimRankConfig::new(0.6, 8).unwrap();
+        let ops = stream_on(&g, len, seed);
+        prop_assume!(!ops.is_empty());
+        let s0 = batch_simrank(&g, &cfg);
+
+        let mut eager = IncSr::new(g.clone(), s0.clone(), cfg);
+        for &op in &ops {
+            eager.apply(op).unwrap();
+        }
+        let mut fused = IncSr::new(g.clone(), s0.clone(), cfg).with_mode(ApplyMode::Fused);
+        fused.apply_batch(&ops).unwrap();
+        let fused_diff = eager.scores().max_abs_diff(fused.scores());
+        prop_assert!(fused_diff < 1e-12, "fused diverged: {fused_diff:.2e}");
+
+        let mut lazy = IncSr::new(g.clone(), s0.clone(), cfg).with_mode(ApplyMode::Lazy);
+        for &op in &ops {
+            lazy.apply(op).unwrap();
+        }
+        lazy.flush();
+        let lazy_diff = eager.scores().max_abs_diff(lazy.scores());
+        prop_assert!(lazy_diff < 1e-12, "lazy diverged: {lazy_diff:.2e}");
+    }
+
+    /// The parallel blocked apply is bit-for-bit equal to the serial one
+    /// for any mix of dense and sparse factor pairs and any thread count.
+    #[test]
+    fn parallel_apply_is_bitwise_serial(
+        seed in any::<u64>(),
+        n in 16usize..80,
+        pairs in 1usize..6,
+        threads in 2usize..6,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut delta_serial = LowRankDelta::new(n);
+        let mut delta_parallel = LowRankDelta::new(n);
+        for _ in 0..pairs {
+            if rng.gen_bool(0.5) {
+                let xi: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                let eta: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                delta_serial.push_dense(xi.clone(), eta.clone());
+                delta_parallel.push_dense(xi, eta);
+            } else {
+                let support = |rng: &mut StdRng| -> Vec<(u32, f64)> {
+                    (0..rng.gen_range(1..8))
+                        .map(|_| (rng.gen_range(0..n as u32), rng.gen_range(-1.0..1.0)))
+                        .collect()
+                };
+                let (xi, eta) = (support(&mut rng), support(&mut rng));
+                delta_serial.push_sparse(xi.clone(), eta.clone());
+                delta_parallel.push_sparse(xi, eta);
+            }
+        }
+        // A non-trivial base matrix: ordering bugs must show up against
+        // pre-existing values, not just zeros.
+        let base: Vec<f64> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut s1 = DenseMatrix::from_vec(n, n, base.clone());
+        let mut s2 = DenseMatrix::from_vec(n, n, base);
+        delta_serial.apply_to_with_threads(&mut s1, 1);
+        delta_parallel.apply_to_with_threads(&mut s2, threads);
+        prop_assert_eq!(s1.max_abs_diff(&s2), 0.0);
+    }
+}
