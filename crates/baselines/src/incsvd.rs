@@ -334,6 +334,10 @@ impl IncSvd {
             aff_avg: (n * n) as f64,
             pruned_fraction: 0.0,
             peak_intermediate_bytes: factor_bytes + kron_system_bytes(r) + work_bytes,
+            // No γ vector: the closed form rebuilds all n² scores.
+            gamma_density: 1.0,
+            applied_mode: incsim_core::ApplyMode::Eager,
+            pending_rank: 0,
         })
     }
 }
@@ -343,7 +347,7 @@ impl SimRankMaintainer for IncSvd {
         "Inc-SVD"
     }
 
-    fn scores(&self) -> &DenseMatrix {
+    fn base_scores(&self) -> &DenseMatrix {
         &self.scores
     }
 
@@ -528,7 +532,7 @@ mod tests {
                 randomized: false,
                 ..Default::default()
             };
-            let engine = IncSvd::new(g.clone(), cfg, opts).unwrap();
+            let mut engine = IncSvd::new(g.clone(), cfg, opts).unwrap();
             errs.push(engine.scores().max_abs_diff(&truth));
         }
         // Error decreases (weakly) as rank grows.

@@ -110,7 +110,7 @@ fn ablate_svd_method() {
     let cfg = SimRankConfig::new(0.6, 15).expect("valid config");
     let mut table = Table::new(&["method", "build time", "max |Δscores| between methods"]);
     let sw = Stopwatch::start();
-    let rand_engine = IncSvd::new(
+    let mut rand_engine = IncSvd::new(
         g.clone(),
         cfg,
         IncSvdOptions {
@@ -124,7 +124,7 @@ fn ablate_svd_method() {
     .expect("construction");
     let t_rand = sw.elapsed();
     let sw = Stopwatch::start();
-    let jacobi_engine = IncSvd::new(
+    let mut jacobi_engine = IncSvd::new(
         g.clone(),
         cfg,
         IncSvdOptions {

@@ -1,16 +1,20 @@
 //! `bench-snapshot` — records the PR's hot-path perf numbers as JSON.
 //!
 //! ```text
-//! bench-snapshot [--out BENCH_PR2.json] [--n 2048] [--k 15] [--cap 20]
+//! bench-snapshot [--out BENCH_PR3.json] [--n 2048] [--k 15] [--cap 20]
 //! ```
 //!
 //! Runs the fig2a-style unit-update workload under the eager / fused /
-//! lazy apply modes plus the isolated micro-kernels, and writes a
-//! machine-readable snapshot (see `incsim_bench::snapshot`). Measurement
-//! caps honour `INCSIM_BENCH_SCALE`; unlike the full experiment suite the
-//! snapshot defaults to a quick `0.2` pass when the variable is unset.
+//! lazy apply modes, the isolated micro-kernels, and the `service_overhead`
+//! case (the `incsim::api` dyn handle vs direct engine calls on an
+//! update+query serving workload), and writes a machine-readable snapshot
+//! (see `incsim_bench::snapshot`). Measurement caps honour
+//! `INCSIM_BENCH_SCALE`; unlike the full experiment suite the snapshot
+//! defaults to a quick `0.2` pass when the variable is unset.
 
-use incsim_bench::snapshot::{measure_apply_modes, measure_micro_kernels, snapshot_json};
+use incsim_bench::snapshot::{
+    measure_apply_modes, measure_micro_kernels, measure_service_overhead, snapshot_json,
+};
 use incsim_bench::{bench_scale, scaled_cap};
 use incsim_metrics::timing::fmt_duration;
 use std::process::ExitCode;
@@ -26,14 +30,22 @@ fn main() -> ExitCode {
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!(
-                "usage: bench-snapshot [--out FILE] [--n N] [--k K] [--cap UPDATES] [--min-speedup X]"
+                "usage: bench-snapshot [--out FILE] [--n N] [--k K] [--cap UPDATES] \
+                 [--min-speedup X] [--max-overhead PCT]"
             );
             ExitCode::FAILURE
         }
     }
 }
 
-const FLAGS: &[&str] = &["--out", "--n", "--k", "--cap", "--min-speedup"];
+const FLAGS: &[&str] = &[
+    "--out",
+    "--n",
+    "--k",
+    "--cap",
+    "--min-speedup",
+    "--max-overhead",
+];
 
 /// Rejects anything that is not a known `--flag value` pair, so a typo'd
 /// or `--flag=value`-style argument fails loudly instead of silently
@@ -65,13 +77,14 @@ fn flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result
 
 fn run(args: &[String]) -> Result<(), String> {
     validate_args(args)?;
-    let out: String = flag(args, "--out", "BENCH_PR2.json".to_string())?;
+    let out: String = flag(args, "--out", "BENCH_PR3.json".to_string())?;
     let n: usize = flag(args, "--n", 2048usize)?;
     let k: usize = flag(args, "--k", 15usize)?;
     let base_cap: usize = flag(args, "--cap", 20usize)?;
-    // Timing gate for the full-size run; 0.0 (the default) only warns —
+    // Timing gates for the full-size run; 0.0 (the defaults) only warn —
     // small smoke runs are too noisy to fail on wall-clock.
     let min_speedup: f64 = flag(args, "--min-speedup", 0.0f64)?;
+    let max_overhead: f64 = flag(args, "--max-overhead", 0.0f64)?;
     let cap = scaled_cap(base_cap);
 
     println!(
@@ -113,7 +126,21 @@ fn run(args: &[String]) -> Result<(), String> {
         per(micro.fused_apply_parallel_secs)
     );
 
-    std::fs::write(&out, snapshot_json(&modes, &micro))
+    let service = measure_service_overhead(n, k, cap);
+    println!(
+        "   service     : attributable overhead {:.3}% per step ({} updates x {} queries; \
+         envelope {}/update, query {} direct vs {} via api; wall-clock A/B {} vs {})",
+        service.overhead_pct,
+        service.updates,
+        service.queries_per_update,
+        per(service.update_envelope_secs),
+        per(service.direct_query_secs),
+        per(service.service_query_secs),
+        per(service.direct_secs),
+        per(service.service_secs),
+    );
+
+    std::fs::write(&out, snapshot_json(&modes, &micro, &service))
         .map_err(|e| format!("cannot write {out}: {e}"))?;
     println!("[ok] snapshot written to {out}");
 
@@ -137,6 +164,18 @@ fn run(args: &[String]) -> Result<(), String> {
         println!(
             "[warn] fused speedup {:.2}x is below the 2x budget for this workload",
             modes.fused_speedup
+        );
+    }
+    if max_overhead > 0.0 && service.overhead_pct > max_overhead {
+        return Err(format!(
+            "service-layer overhead {:.2}% exceeds the required < {max_overhead:.2}%",
+            service.overhead_pct
+        ));
+    }
+    if max_overhead == 0.0 && service.overhead_pct > 2.0 {
+        println!(
+            "[warn] service-layer overhead {:.2}% is above the 2% budget for this workload",
+            service.overhead_pct
         );
     }
     Ok(())

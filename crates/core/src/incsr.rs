@@ -18,7 +18,9 @@
 //! Cost: `O(K·(n·d + |AFF|))` with `|AFF| = avg_k |A_k|·|B_k|`.
 
 use crate::grouped::GroupedStats;
-use crate::maintainer::{validate_update, ApplyMode, SimRankMaintainer, UpdateError, UpdateStats};
+use crate::maintainer::{
+    validate_update, ApplyMode, DeferredApply, SimRankMaintainer, UpdateError, UpdateStats,
+};
 use crate::rankone::{rank_one_decomposition, RankOneUpdate, UpdateKind};
 use crate::SimRankConfig;
 use incsim_graph::{DiGraph, UpdateOp};
@@ -41,9 +43,8 @@ pub struct IncSr {
     graph: DiGraph,
     scores: DenseMatrix,
     cfg: SimRankConfig,
-    mode: ApplyMode,
-    // Pending ΔS as *sparse* factor columns in the fused/lazy modes.
-    delta: LowRankDelta,
+    // Apply mode + pending ΔS as *sparse* factor columns (fused/lazy).
+    deferred: DeferredApply,
     // Reused sparse workspaces (cleared in O(|support|) after each update).
     xi: SparseAccumulator,
     eta: SparseAccumulator,
@@ -72,8 +73,7 @@ impl IncSr {
             graph,
             scores,
             cfg,
-            mode: ApplyMode::Eager,
-            delta: LowRankDelta::new(n),
+            deferred: DeferredApply::new(n),
             xi: SparseAccumulator::new(n),
             eta: SparseAccumulator::new(n),
             xi_next: SparseAccumulator::new(n),
@@ -84,39 +84,6 @@ impl IncSr {
             eff_row_i: vec![0.0; n],
             eff_row_j: vec![0.0; n],
         }
-    }
-
-    /// Selects the [`ApplyMode`] (builder style). In the fused/lazy modes
-    /// the pruned iteration pushes its sparse `(ξ_k, η_k)` supports into a
-    /// [`LowRankDelta`] instead of scattering into `S` term by term.
-    pub fn with_mode(mut self, mode: ApplyMode) -> Self {
-        self.set_mode(mode);
-        self
-    }
-
-    /// The current apply mode.
-    pub fn mode(&self) -> ApplyMode {
-        self.mode
-    }
-
-    /// Switches the apply mode, materialising any pending ΔS first.
-    pub fn set_mode(&mut self, mode: ApplyMode) {
-        self.flush();
-        self.mode = mode;
-    }
-
-    /// Folds all pending ΔS factors into the score matrix with one fused
-    /// sweep over the touched rows only (no-op when nothing is pending).
-    /// Returns the number of rank-two terms applied.
-    pub fn flush(&mut self) -> usize {
-        let pairs = self.delta.pending_pairs();
-        self.delta.apply_to(&mut self.scores);
-        pairs
-    }
-
-    /// The pending ΔS factor buffer (empty outside lazy windows).
-    pub fn pending_delta(&self) -> &LowRankDelta {
-        &self.delta
     }
 
     /// Convenience constructor that batch-computes the initial scores.
@@ -139,9 +106,9 @@ impl IncSr {
     fn stage_effective_rows(&mut self, i: usize, j: usize) {
         self.eff_row_i.copy_from_slice(self.scores.row(i));
         self.eff_row_j.copy_from_slice(self.scores.row(j));
-        if !self.delta.is_empty() {
-            self.delta.add_row_delta(i, &mut self.eff_row_i);
-            self.delta.add_row_delta(j, &mut self.eff_row_j);
+        if !self.deferred.delta.is_empty() {
+            self.deferred.delta.add_row_delta(i, &mut self.eff_row_i);
+            self.deferred.delta.add_row_delta(j, &mut self.eff_row_j);
         }
     }
 
@@ -279,8 +246,9 @@ impl IncSr {
                 self.b_union.set(b as usize, 1.0);
             }
         }
-        if self.mode != ApplyMode::Eager {
-            self.delta
+        if self.deferred.mode != ApplyMode::Eager {
+            self.deferred
+                .delta
                 .push_sparse(self.xi.to_pairs(0.0), self.eta.to_pairs(0.0));
             return;
         }
@@ -397,7 +365,7 @@ impl IncSr {
                 op.apply(&mut self.graph)?;
             }
         }
-        if self.mode == ApplyMode::Fused {
+        if self.deferred.mode == ApplyMode::Fused {
             self.flush();
         }
         Ok(GroupedStats {
@@ -420,6 +388,11 @@ impl IncSr {
         self.stage_effective_rows(i as usize, j as usize);
         self.build_b0_and_w(&upd);
         let _lambda = self.build_gamma(&upd);
+        let gamma_nnz = self
+            .eta
+            .iter()
+            .filter(|&(_, v)| v.abs() > self.cfg.zero_tol)
+            .count();
         let aff_sum = self.run_sylvester_iteration(j as usize, upd.u_coeff, &upd.v);
 
         // Commit the link update (Inc-SR reads Q straight from the graph,
@@ -448,7 +421,7 @@ impl IncSr {
             + self.a_union.support_len()
             + self.b_union.support_len();
         // Deferred modes also hold the sparse factor buffer.
-        let delta_bytes = self.delta.heap_bytes();
+        let delta_bytes = self.deferred.delta.heap_bytes();
         Ok(UpdateStats {
             kind,
             edge: (i, j),
@@ -457,6 +430,9 @@ impl IncSr {
             aff_avg: aff_sum / (k_iters + 1) as f64,
             pruned_fraction: 1.0 - affected.min(total_pairs) as f64 / total_pairs as f64,
             peak_intermediate_bytes: support_indices * idx_bytes + delta_bytes,
+            gamma_density: gamma_nnz as f64 / n.max(1) as f64,
+            applied_mode: self.deferred.mode,
+            pending_rank: self.deferred.delta.pending_pairs(),
         })
     }
 }
@@ -466,7 +442,7 @@ impl SimRankMaintainer for IncSr {
         "Inc-SR"
     }
 
-    fn scores(&self) -> &DenseMatrix {
+    fn base_scores(&self) -> &DenseMatrix {
         &self.scores
     }
 
@@ -478,19 +454,38 @@ impl SimRankMaintainer for IncSr {
         &self.cfg
     }
 
+    fn pending_delta(&self) -> Option<&LowRankDelta> {
+        Some(&self.deferred.delta)
+    }
+
+    fn mode(&self) -> ApplyMode {
+        self.deferred.mode
+    }
+
+    fn set_mode(&mut self, mode: ApplyMode) {
+        self.deferred.set_mode(mode, &mut self.scores);
+    }
+
+    /// One fused sweep over the touched rows only (the factors are sparse).
+    fn flush(&mut self) -> usize {
+        self.deferred.flush_into(&mut self.scores)
+    }
+
     fn insert_edge(&mut self, i: u32, j: u32) -> Result<UpdateStats, UpdateError> {
-        let stats = self.apply_update(i, j, UpdateKind::Insert)?;
-        if self.mode == ApplyMode::Fused {
+        let mut stats = self.apply_update(i, j, UpdateKind::Insert)?;
+        if self.deferred.mode == ApplyMode::Fused {
             self.flush();
         }
+        stats.pending_rank = self.deferred.delta.pending_pairs();
         Ok(stats)
     }
 
     fn remove_edge(&mut self, i: u32, j: u32) -> Result<UpdateStats, UpdateError> {
-        let stats = self.apply_update(i, j, UpdateKind::Delete)?;
-        if self.mode == ApplyMode::Fused {
+        let mut stats = self.apply_update(i, j, UpdateKind::Delete)?;
+        if self.deferred.mode == ApplyMode::Fused {
             self.flush();
         }
+        stats.pending_rank = self.deferred.delta.pending_pairs();
         Ok(stats)
     }
 
@@ -501,7 +496,7 @@ impl SimRankMaintainer for IncSr {
         crate::maintainer::drive_batch(
             self,
             ops,
-            self.mode == ApplyMode::Fused,
+            self.deferred.mode == ApplyMode::Fused,
             |e, i, j, kind| e.apply_update(i, j, kind),
             |e| {
                 e.flush();
@@ -520,7 +515,7 @@ impl SimRankMaintainer for IncSr {
         }
         grown.set(n - 1, n - 1, 1.0 - self.cfg.c);
         self.scores = grown;
-        self.delta = LowRankDelta::new(n);
+        self.deferred.resize(n);
         self.xi = SparseAccumulator::new(n);
         self.eta = SparseAccumulator::new(n);
         self.xi_next = SparseAccumulator::new(n);
@@ -734,7 +729,7 @@ mod tests {
             eager.apply(op).unwrap();
             fused.apply(op).unwrap();
         }
-        assert!(fused.pending_delta().is_empty());
+        assert_eq!(fused.pending_rank(), 0);
         assert_eq!(
             eager.scores().max_abs_diff(fused.scores()),
             0.0,
@@ -749,7 +744,7 @@ mod tests {
         let s0 = batch_simrank(&g, &cfg);
         let mut fused = IncSr::new(g, s0, cfg).with_mode(ApplyMode::Fused);
         fused.apply_batch(&mixed_ops()).unwrap();
-        assert!(fused.pending_delta().is_empty());
+        assert_eq!(fused.pending_rank(), 0);
         let s_batch = batch_simrank(fused.graph(), &tight_cfg());
         assert!(fused.scores().max_abs_diff(&s_batch) < 1e-8);
     }
@@ -764,14 +759,14 @@ mod tests {
             lazy.apply(op).unwrap();
         }
         // Updates chained through effective rows; base never touched.
-        assert_eq!(lazy.scores().max_abs_diff(&s0), 0.0);
-        assert!(lazy.pending_delta().pending_pairs() > 0);
-        // Lazy pair reads match the true updated scores.
+        assert_eq!(lazy.base_scores().max_abs_diff(&s0), 0.0);
+        assert!(lazy.pending_rank() > 0);
+        // View reads match the true updated scores.
         let s_batch = batch_simrank(lazy.graph(), &tight_cfg());
         let n = lazy.graph().node_count() as u32;
         for a in 0..n {
             for b in 0..n {
-                let got = crate::query::pair_score_lazy(lazy.scores(), lazy.pending_delta(), a, b);
+                let got = lazy.view().pair(a, b);
                 let want = s_batch.get(a as usize, b as usize);
                 assert!((got - want).abs() < 1e-8, "pair ({a},{b}): {got} vs {want}");
             }

@@ -16,7 +16,9 @@
 //! after Theorem 3).
 
 use crate::grouped::GroupedStats;
-use crate::maintainer::{validate_update, ApplyMode, SimRankMaintainer, UpdateError, UpdateStats};
+use crate::maintainer::{
+    validate_update, ApplyMode, DeferredApply, SimRankMaintainer, UpdateError, UpdateStats,
+};
 use crate::rankone::{gamma_vector_from_cols, rank_one_decomposition, RankOneUpdate, UpdateKind};
 use crate::SimRankConfig;
 use incsim_graph::transition::backward_transition;
@@ -40,9 +42,8 @@ pub struct IncUSr {
     q: CsrMatrix,
     scores: DenseMatrix,
     cfg: SimRankConfig,
-    mode: ApplyMode,
-    // Pending ΔS factors in the fused/lazy modes (empty while eager).
-    delta: LowRankDelta,
+    // Apply mode + pending ΔS factors (empty while eager).
+    deferred: DeferredApply,
     // Reused workspace (amortises allocations across updates).
     xi: Vec<f64>,
     eta: Vec<f64>,
@@ -71,49 +72,13 @@ impl IncUSr {
             q,
             scores,
             cfg,
-            mode: ApplyMode::Eager,
-            delta: LowRankDelta::new(n),
+            deferred: DeferredApply::new(n),
             xi: vec![0.0; n],
             eta: vec![0.0; n],
             scratch: vec![0.0; n],
             col_i: vec![0.0; n],
             col_j: vec![0.0; n],
         }
-    }
-
-    /// Selects the [`ApplyMode`] (builder style). See the mode docs for the
-    /// eager / fused / lazy trade-off.
-    pub fn with_mode(mut self, mode: ApplyMode) -> Self {
-        self.set_mode(mode);
-        self
-    }
-
-    /// The current apply mode.
-    pub fn mode(&self) -> ApplyMode {
-        self.mode
-    }
-
-    /// Switches the apply mode, materialising any pending ΔS first so the
-    /// engine is consistent under the new regime.
-    pub fn set_mode(&mut self, mode: ApplyMode) {
-        self.flush();
-        self.mode = mode;
-    }
-
-    /// Folds all pending ΔS factors into the score matrix with one fused
-    /// parallel sweep (no-op when nothing is pending). Returns the number
-    /// of rank-two terms applied.
-    pub fn flush(&mut self) -> usize {
-        let pairs = self.delta.pending_pairs();
-        self.delta.apply_to(&mut self.scores);
-        pairs
-    }
-
-    /// The pending ΔS factor buffer (empty outside lazy windows). Pass it
-    /// to the lazy helpers in [`crate::query`] to answer queries without
-    /// materialising the update.
-    pub fn pending_delta(&self) -> &LowRankDelta {
-        &self.delta
     }
 
     /// Convenience constructor that batch-computes the initial scores.
@@ -133,11 +98,12 @@ impl IncUSr {
     /// factor buffer (fused/lazy). Per-row accumulation order is identical
     /// either way, so the regimes agree bit-for-bit.
     fn emit_term(&mut self) {
-        match self.mode {
+        match self.deferred.mode {
             ApplyMode::Eager => self.scores.add_sym_outer(1.0, &self.xi, &self.eta),
-            ApplyMode::Fused | ApplyMode::Lazy => {
-                self.delta.push_dense(self.xi.clone(), self.eta.clone())
-            }
+            ApplyMode::Fused | ApplyMode::Lazy => self
+                .deferred
+                .delta
+                .push_dense(self.xi.clone(), self.eta.clone()),
         }
     }
 
@@ -202,7 +168,7 @@ impl IncUSr {
             }
             self.q = backward_transition(&self.graph);
         }
-        if self.mode == ApplyMode::Fused {
+        if self.deferred.mode == ApplyMode::Fused {
             self.flush();
         }
         Ok(GroupedStats {
@@ -226,9 +192,24 @@ impl IncUSr {
         // from the *effective* columns S[:,i], S[:,j] (base + pending Δ)
         // so deferred updates chain without materialising in between.
         let upd: RankOneUpdate = rank_one_decomposition(&self.graph, i, j, kind);
-        Self::effective_col(&self.scores, &self.delta, i as usize, &mut self.col_i);
-        Self::effective_col(&self.scores, &self.delta, j as usize, &mut self.col_j);
+        Self::effective_col(
+            &self.scores,
+            &self.deferred.delta,
+            i as usize,
+            &mut self.col_i,
+        );
+        Self::effective_col(
+            &self.scores,
+            &self.deferred.delta,
+            j as usize,
+            &mut self.col_j,
+        );
         let gv = gamma_vector_from_cols(&self.q, &self.col_i, &self.col_j, &upd, c);
+        let gamma_nnz = gv
+            .gamma
+            .iter()
+            .filter(|v| v.abs() > self.cfg.zero_tol)
+            .count();
 
         // Line 13: ξ₀ = C·e_j, η₀ = γ. The term M₀ = C·e_j·γᵀ of
         // ΔS = M_K + M_Kᵀ is folded into S immediately — `M` itself is
@@ -251,7 +232,7 @@ impl IncUSr {
         // update) in the fused/lazy modes.
         let peak = (self.xi.capacity() + self.eta.capacity() + self.scratch.capacity() + 2 * n)
             * std::mem::size_of::<f64>()
-            + self.delta.heap_bytes();
+            + self.deferred.delta.heap_bytes();
         Ok(UpdateStats {
             kind,
             edge: (i, j),
@@ -260,6 +241,9 @@ impl IncUSr {
             aff_avg: (n * n) as f64,
             pruned_fraction: 0.0,
             peak_intermediate_bytes: peak,
+            gamma_density: gamma_nnz as f64 / n.max(1) as f64,
+            applied_mode: self.deferred.mode,
+            pending_rank: self.deferred.delta.pending_pairs(),
         })
     }
 }
@@ -269,7 +253,7 @@ impl SimRankMaintainer for IncUSr {
         "Inc-uSR"
     }
 
-    fn scores(&self) -> &DenseMatrix {
+    fn base_scores(&self) -> &DenseMatrix {
         &self.scores
     }
 
@@ -281,19 +265,38 @@ impl SimRankMaintainer for IncUSr {
         &self.cfg
     }
 
+    fn pending_delta(&self) -> Option<&LowRankDelta> {
+        Some(&self.deferred.delta)
+    }
+
+    fn mode(&self) -> ApplyMode {
+        self.deferred.mode
+    }
+
+    fn set_mode(&mut self, mode: ApplyMode) {
+        self.deferred.set_mode(mode, &mut self.scores);
+    }
+
+    /// One fused parallel sweep over the whole matrix.
+    fn flush(&mut self) -> usize {
+        self.deferred.flush_into(&mut self.scores)
+    }
+
     fn insert_edge(&mut self, i: u32, j: u32) -> Result<UpdateStats, UpdateError> {
-        let stats = self.apply_update(i, j, UpdateKind::Insert)?;
-        if self.mode == ApplyMode::Fused {
+        let mut stats = self.apply_update(i, j, UpdateKind::Insert)?;
+        if self.deferred.mode == ApplyMode::Fused {
             self.flush();
         }
+        stats.pending_rank = self.deferred.delta.pending_pairs();
         Ok(stats)
     }
 
     fn remove_edge(&mut self, i: u32, j: u32) -> Result<UpdateStats, UpdateError> {
-        let stats = self.apply_update(i, j, UpdateKind::Delete)?;
-        if self.mode == ApplyMode::Fused {
+        let mut stats = self.apply_update(i, j, UpdateKind::Delete)?;
+        if self.deferred.mode == ApplyMode::Fused {
             self.flush();
         }
+        stats.pending_rank = self.deferred.delta.pending_pairs();
         Ok(stats)
     }
 
@@ -305,7 +308,7 @@ impl SimRankMaintainer for IncUSr {
         crate::maintainer::drive_batch(
             self,
             ops,
-            self.mode == ApplyMode::Fused,
+            self.deferred.mode == ApplyMode::Fused,
             |e, i, j, kind| e.apply_update(i, j, kind),
             |e| {
                 e.flush();
@@ -325,7 +328,7 @@ impl SimRankMaintainer for IncUSr {
         grown.set(n - 1, n - 1, 1.0 - self.cfg.c);
         self.scores = grown;
         self.q = backward_transition(&self.graph);
-        self.delta = LowRankDelta::new(n);
+        self.deferred.resize(n);
         self.xi = vec![0.0; n];
         self.eta = vec![0.0; n];
         self.scratch = vec![0.0; n];
@@ -508,7 +511,7 @@ mod tests {
             eager.apply(op).unwrap();
             fused.apply(op).unwrap();
         }
-        assert!(fused.pending_delta().is_empty(), "fused flushes per call");
+        assert_eq!(fused.pending_rank(), 0, "fused flushes per call");
         assert_eq!(
             eager.scores().max_abs_diff(fused.scores()),
             0.0,
@@ -525,7 +528,7 @@ mod tests {
         // One apply_batch call: the b updates chain through effective
         // columns and share a single fused sweep at the end.
         fused.apply_batch(&mixed_ops()).unwrap();
-        assert!(fused.pending_delta().is_empty());
+        assert_eq!(fused.pending_rank(), 0);
         let s_batch = batch_simrank(fused.graph(), &tight_cfg());
         assert!(fused.scores().max_abs_diff(&s_batch) < 1e-8);
     }
@@ -542,14 +545,15 @@ mod tests {
             lazy.apply(op).unwrap();
         }
         // Nothing was materialised: the base matrix is byte-identical…
-        assert_eq!(lazy.scores().max_abs_diff(&s0), 0.0);
-        assert!(lazy.pending_delta().pending_pairs() > 0);
-        // …yet lazy reads see the fully-updated scores.
+        assert_eq!(lazy.base_scores().max_abs_diff(&s0), 0.0);
+        assert!(lazy.pending_rank() > 0);
+        // …yet view reads see the fully-updated scores.
         let n = lazy.graph().node_count() as u32;
+        let eager_final = eager.scores().clone();
         for a in 0..n {
             for b in 0..n {
-                let got = crate::query::pair_score_lazy(lazy.scores(), lazy.pending_delta(), a, b);
-                let want = eager.scores().get(a as usize, b as usize);
+                let got = lazy.view().pair(a, b);
+                let want = eager_final.get(a as usize, b as usize);
                 assert!(
                     (got - want).abs() < 1e-12,
                     "pair ({a},{b}): {got} vs {want}"
@@ -558,7 +562,39 @@ mod tests {
         }
         // Flushing materialises the same state.
         lazy.flush();
-        assert!(lazy.scores().max_abs_diff(eager.scores()) < 1e-12);
+        assert!(lazy.scores().max_abs_diff(&eager_final) < 1e-12);
+    }
+
+    #[test]
+    fn trait_scores_materialises_mid_lazy_window() {
+        // Regression (PR 3): `SimRankMaintainer::scores()` used to return
+        // the stale base matrix mid-lazy-window; it must now materialise
+        // pending ΔS so trait readers can never observe stale entries.
+        let g = fixture();
+        let cfg = tight_cfg();
+        let s0 = batch_simrank(&g, &cfg);
+        let mut lazy = IncUSr::new(g, s0.clone(), cfg).with_mode(ApplyMode::Lazy);
+        for op in mixed_ops() {
+            lazy.apply(op).unwrap();
+        }
+        assert!(lazy.pending_rank() > 0, "window is open");
+        let engine: &mut dyn SimRankMaintainer = &mut lazy;
+        let truth = batch_simrank(engine.graph(), &tight_cfg());
+        let via_trait = engine.scores().clone();
+        assert!(
+            via_trait.max_abs_diff(&truth) < 1e-8,
+            "trait scores() returned stale entries: {}",
+            via_trait.max_abs_diff(&truth)
+        );
+        assert_eq!(engine.pending_rank(), 0, "scores() drained the window");
+
+        // …and `into_parts` gives the same materialised matrix.
+        let mut again = IncUSr::new(fixture(), s0, cfg).with_mode(ApplyMode::Lazy);
+        for op in mixed_ops() {
+            again.apply(op).unwrap();
+        }
+        let (_, scores) = again.into_parts();
+        assert!(scores.max_abs_diff(&truth) < 1e-8);
     }
 
     #[test]
@@ -568,13 +604,13 @@ mod tests {
         let s0 = batch_simrank(&g, &cfg);
         let mut engine = IncUSr::new(g, s0, cfg).with_mode(ApplyMode::Lazy);
         engine.insert_edge(0, 5).unwrap();
-        assert!(!engine.pending_delta().is_empty());
+        assert!(engine.pending_rank() > 0);
         // Grouped updates materialise before reading arbitrary S rows.
         engine
             .apply_grouped(&[incsim_graph::UpdateOp::Insert(6, 2)])
             .unwrap();
         engine.set_mode(ApplyMode::Eager);
-        assert!(engine.pending_delta().is_empty());
+        assert_eq!(engine.pending_rank(), 0);
         assert_eq!(engine.mode(), ApplyMode::Eager);
         let s_batch = batch_simrank(engine.graph(), &tight_cfg());
         assert!(engine.scores().max_abs_diff(&s_batch) < 1e-8);

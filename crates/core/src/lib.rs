@@ -23,10 +23,11 @@
 //! * [`ApplyMode`] — how the per-update `ξηᵀ + ηξᵀ` terms reach the score
 //!   matrix: `Eager` (the paper's K+1 sweeps), `Fused` (one buffered,
 //!   cache-blocked, parallel sweep per mutation call), or `Lazy` (no sweep
-//!   at all; queries read `S_base + Δ` through
-//!   [`incsim_linalg::LowRankDelta`] factor dot-products — see
-//!   [`query`]'s `*_lazy` helpers and
-//!   [`topk_tracker::TopKTracker::update_lazy`]).
+//!   at all). Reads are mode-agnostic: [`query::ScoreView`] (obtained via
+//!   [`SimRankMaintainer::view`]) composes `S_base + Δ` over the pending
+//!   [`incsim_linalg::LowRankDelta`], and [`SimRankMaintainer::scores`]
+//!   materialises pending ΔS before returning — stale reads are
+//!   impossible through the trait.
 //!
 //! ## Semantics
 //!
@@ -71,6 +72,7 @@ pub use grouped::{group_by_row, GroupedStats, RowChange};
 pub use incsr::IncSr;
 pub use incusr::IncUSr;
 pub use maintainer::{validate_update, ApplyMode, SimRankMaintainer, UpdateError, UpdateStats};
+pub use query::{RankedNode, ScoreView};
 pub use rankone::{
     gamma_vector, gamma_vector_from_cols, rank_one_decomposition, RankOneUpdate, UpdateKind,
 };

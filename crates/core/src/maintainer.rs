@@ -1,8 +1,9 @@
 //! The common interface of incremental SimRank engines.
 
+use crate::query::ScoreView;
 use crate::rankone::UpdateKind;
 use incsim_graph::{DiGraph, GraphError, UpdateOp};
-use incsim_linalg::DenseMatrix;
+use incsim_linalg::{DenseMatrix, LowRankDelta};
 
 use crate::SimRankConfig;
 
@@ -21,10 +22,55 @@ pub enum ApplyMode {
     /// Never apply automatically: queries read `S_base + Δ` through the
     /// factor buffer, and the matrix is only materialised on an explicit
     /// `flush()` (or when an operation needs the full matrix, e.g. the
-    /// row-grouped path or `add_node`). `scores()` returns the *base*
-    /// matrix — pending updates are visible through the lazy query
-    /// helpers in [`crate::query`] only.
+    /// row-grouped path or `add_node`). Reads through
+    /// [`SimRankMaintainer::view`] compose `S_base + Δ` transparently;
+    /// [`SimRankMaintainer::scores`] materialises the pending Δ first, so
+    /// a stale base matrix is never observable through the trait.
     Lazy,
+}
+
+/// Shared deferred-ΔS state of the engines that support every
+/// [`ApplyMode`] ([`crate::IncSr`], [`crate::IncUSr`]): the current mode
+/// plus the pending factor buffer. Centralising it here keeps the
+/// mode/flush semantics of the two engines from drifting apart.
+#[derive(Debug, Clone)]
+pub(crate) struct DeferredApply {
+    pub mode: ApplyMode,
+    pub delta: LowRankDelta,
+}
+
+impl DeferredApply {
+    pub fn new(n: usize) -> Self {
+        DeferredApply {
+            mode: ApplyMode::Eager,
+            delta: LowRankDelta::new(n),
+        }
+    }
+
+    /// Folds all pending factors into `scores` (one fused sweep); returns
+    /// the number of rank-two terms applied.
+    pub fn flush_into(&mut self, scores: &mut DenseMatrix) -> usize {
+        let pairs = self.delta.pending_pairs();
+        self.delta.apply_to(scores);
+        pairs
+    }
+
+    /// Switches the mode. Materialises pending ΔS only when the mode
+    /// actually changes, so re-asserting the current mode (as the adaptive
+    /// policy does every update) never cuts a lazy window short.
+    pub fn set_mode(&mut self, mode: ApplyMode, scores: &mut DenseMatrix) {
+        if self.mode != mode {
+            self.flush_into(scores);
+            self.mode = mode;
+        }
+    }
+
+    /// Re-dimensions the buffer after the score matrix was re-shaped
+    /// (`add_node`). Pending factors must have been flushed by the caller.
+    pub fn resize(&mut self, n: usize) {
+        debug_assert!(self.delta.is_empty(), "resize with pending factors");
+        self.delta = LowRankDelta::new(n);
+    }
 }
 
 /// Errors from incremental updates.
@@ -93,19 +139,108 @@ pub struct UpdateStats {
     /// "memory space"; excludes the `n²` score matrix itself, matching the
     /// paper's definition of intermediate space).
     pub peak_intermediate_bytes: usize,
+    /// Fraction of nonzero entries in this update's γ vector (`nnz(γ)/n`).
+    /// This is the workload signal the adaptive apply policy routes on:
+    /// a sparse γ means the eager zero-skip sweeps are already cheap, a
+    /// dense γ means a fused/deferred apply pays. Engines without a γ
+    /// (Inc-SVD, batch recompute) report `1.0` — their updates always
+    /// touch the full matrix.
+    pub gamma_density: f64,
+    /// The [`ApplyMode`] that was in effect when this update ran.
+    pub applied_mode: ApplyMode,
+    /// Rank of the pending ΔS factor buffer *after* this update returned
+    /// (0 whenever the matrix is fully materialised; grows by `K+1` per
+    /// deferred update inside a lazy window or a fused batch).
+    pub pending_rank: usize,
 }
 
 /// An engine that maintains all-pairs SimRank scores on an evolving graph.
 ///
 /// Implemented by [`crate::IncUSr`] (Algorithm 1) and [`crate::IncSr`]
 /// (Algorithm 2); `incsim-baselines` adds the Inc-SVD engine of Li et al.
-/// behind the same interface so the experiment harness can swap them.
+/// and a from-scratch batch-recompute comparator behind the same
+/// interface so the experiment harness (and the `incsim::api` service
+/// layer) can swap engines. The trait is object-safe: everything the
+/// service layer does goes through `Box<dyn SimRankMaintainer>`.
+///
+/// ## Reading scores
+///
+/// Two read paths, both always consistent regardless of [`ApplyMode`]:
+///
+/// * [`Self::view`] — a cheap [`ScoreView`] composing `S_base + Δ` over
+///   any pending deferred update; never materialises anything.
+/// * [`Self::scores`] — the materialised matrix; takes `&mut self` and
+///   flushes pending ΔS first, so it can never return stale entries.
+///
+/// [`Self::base_scores`] exposes the raw base matrix (excluding pending
+/// ΔS) for diagnostics and zero-copy internal reads; treat anything it
+/// returns mid-lazy-window as stale by construction.
 pub trait SimRankMaintainer {
     /// Engine name as used in the paper's figures (e.g. `"Inc-SR"`).
     fn name(&self) -> &'static str;
 
-    /// The maintained score matrix (matrix-form SimRank of the current graph).
-    fn scores(&self) -> &DenseMatrix;
+    /// The maintained base score matrix **excluding** any pending deferred
+    /// ΔS. Identical to [`Self::scores`] outside lazy windows; inside one
+    /// it lags the true state — prefer [`Self::view`] or [`Self::scores`]
+    /// unless staleness is explicitly wanted.
+    fn base_scores(&self) -> &DenseMatrix;
+
+    /// The maintained score matrix (matrix-form SimRank of the current
+    /// graph), **with any pending deferred ΔS materialised first** — this
+    /// ends a lazy window. Guaranteed never stale; the default
+    /// implementation is [`Self::flush`] followed by [`Self::base_scores`].
+    fn scores(&mut self) -> &DenseMatrix {
+        self.flush();
+        self.base_scores()
+    }
+
+    /// A transparent read view `S_base + Δ` over the current state.
+    /// Answers are identical in every [`ApplyMode`] and nothing is
+    /// materialised — inside a lazy window a pair read costs `O(r)` factor
+    /// dot-products instead of an `n²` apply.
+    fn view(&self) -> ScoreView<'_> {
+        ScoreView::new(self.base_scores(), self.pending_delta())
+    }
+
+    /// The pending deferred-ΔS factor buffer, when the engine defers
+    /// applies (`None` for engines that always materialise immediately).
+    fn pending_delta(&self) -> Option<&LowRankDelta> {
+        None
+    }
+
+    /// Rank of the pending ΔS buffer (0 when fully materialised).
+    fn pending_rank(&self) -> usize {
+        self.pending_delta().map_or(0, |d| d.pending_pairs())
+    }
+
+    /// The current [`ApplyMode`]. Engines without deferred-apply support
+    /// are always [`ApplyMode::Eager`].
+    fn mode(&self) -> ApplyMode {
+        ApplyMode::Eager
+    }
+
+    /// Switches the apply mode, materialising any pending ΔS when the
+    /// mode actually changes. Engines without deferred-apply support
+    /// ignore this (they behave eagerly in every mode — still correct,
+    /// since reads compose `S_base + Δ` and their Δ is always empty).
+    fn set_mode(&mut self, mode: ApplyMode) {
+        let _ = mode;
+    }
+
+    /// Builder-style [`Self::set_mode`].
+    fn with_mode(mut self, mode: ApplyMode) -> Self
+    where
+        Self: Sized,
+    {
+        self.set_mode(mode);
+        self
+    }
+
+    /// Folds all pending ΔS factors into the score matrix (no-op when
+    /// nothing is pending). Returns the number of rank-two terms applied.
+    fn flush(&mut self) -> usize {
+        0
+    }
 
     /// The current graph.
     fn graph(&self) -> &DiGraph;

@@ -1,16 +1,23 @@
 //! Query helpers over maintained score matrices.
 //!
-//! The engines keep the full `n × n` matrix current; these helpers answer
-//! the queries applications actually ask (single pair, single source,
-//! top-k for a node) without re-deriving anything. They are extensions
-//! beyond the paper, which stops at producing `S̃`.
+//! The engines keep the full `n × n` matrix current (modulo a pending
+//! deferred ΔS); these helpers answer the queries applications actually
+//! ask (single pair, single source, top-k for a node) without re-deriving
+//! anything. They are extensions beyond the paper, which stops at
+//! producing `S̃`.
 //!
-//! The `*_lazy` variants answer the same queries against a **deferred**
-//! engine state `S_base + Δ`, where Δ is a pending
-//! [`LowRankDelta`] factor buffer (see
-//! [`crate::maintainer::ApplyMode::Lazy`]): a pair query costs `O(r)`
-//! factor dot-products and a per-node query one `O(r·n)` row
-//! reconstruction — never an `n²` apply.
+//! [`ScoreView`] is the one read path for engine state: it composes
+//! `S_base + Δ` over any pending [`LowRankDelta`] factor buffer, so the
+//! same call returns identical answers in every
+//! [`ApplyMode`](crate::maintainer::ApplyMode) — a pair query costs
+//! `O(r)` factor dot-products and a per-node query one `O(r·n)` row
+//! reconstruction inside a lazy window, and plain contiguous reads when
+//! nothing is pending. Obtain one with
+//! [`SimRankMaintainer::view`](crate::SimRankMaintainer::view).
+//!
+//! The free functions ([`pair_score`], [`single_source`],
+//! [`top_k_for_node`], [`similar_above`]) serve raw matrices that are
+//! known to be fully materialised (e.g. decoded snapshots).
 
 use incsim_linalg::{DenseMatrix, LowRankDelta};
 
@@ -72,41 +79,120 @@ pub fn similar_above(scores: &DenseMatrix, a: u32, threshold: f64) -> Vec<Ranked
         .collect()
 }
 
-/// [`pair_score`] against `S_base + Δ`: `O(r)` factor dot-products, no
-/// materialisation of the pending update.
-pub fn pair_score_lazy(scores: &DenseMatrix, delta: &LowRankDelta, a: u32, b: u32) -> f64 {
-    pair_score(scores, a, b) + delta.pair_delta(a as usize, b as usize)
+/// A transparent, mode-agnostic read view over engine state
+/// `S_eff = S_base + Δ`, where Δ is the (possibly empty) pending
+/// [`LowRankDelta`] factor buffer of a deferred apply regime.
+///
+/// Every query answers against `S_eff`, so callers never need to know —
+/// or branch on — the engine's
+/// [`ApplyMode`](crate::maintainer::ApplyMode). When Δ is empty the view
+/// degenerates to plain matrix reads with no overhead beyond one branch.
+///
+/// ```
+/// use incsim_core::query::ScoreView;
+/// use incsim_linalg::{DenseMatrix, LowRankDelta};
+///
+/// let base = DenseMatrix::zeros(3, 3);
+/// let mut delta = LowRankDelta::new(3);
+/// delta.push_dense(vec![1.0, 0.0, 0.0], vec![0.0, 2.0, 0.0]);
+/// let view = ScoreView::new(&base, Some(&delta));
+/// assert_eq!(view.pair(0, 1), 2.0); // composes S_base + Δ, no apply
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct ScoreView<'a> {
+    base: &'a DenseMatrix,
+    delta: Option<&'a LowRankDelta>,
 }
 
-/// Effective row `a` of `S_base + Δ` (the lazy single-source primitive):
-/// one contiguous row read plus `O(r·n)` factor AXPYs.
-fn effective_row(scores: &DenseMatrix, delta: &LowRankDelta, a: u32) -> Vec<f64> {
-    let mut row = scores.row(a as usize).to_vec();
-    delta.add_row_delta(a as usize, &mut row);
-    row
-}
+impl<'a> ScoreView<'a> {
+    /// Creates a view over `base` plus an optional pending Δ. An empty
+    /// buffer is normalised to `None`, so the fast path stays branch-cheap.
+    pub fn new(base: &'a DenseMatrix, delta: Option<&'a LowRankDelta>) -> Self {
+        ScoreView {
+            base,
+            delta: delta.filter(|d| !d.is_empty()),
+        }
+    }
 
-/// [`single_source`] against `S_base + Δ`.
-pub fn single_source_lazy(scores: &DenseMatrix, delta: &LowRankDelta, a: u32) -> Vec<RankedNode> {
-    effective_row(scores, delta, a)
-        .into_iter()
-        .enumerate()
-        .filter(|&(v, _)| v != a as usize)
-        .map(|(v, score)| RankedNode {
-            node: v as u32,
-            score,
-        })
-        .collect()
-}
+    /// Node count `n` of the viewed `n × n` state.
+    pub fn n(&self) -> usize {
+        self.base.rows()
+    }
 
-/// [`top_k_for_node`] against `S_base + Δ`.
-pub fn top_k_for_node_lazy(
-    scores: &DenseMatrix,
-    delta: &LowRankDelta,
-    a: u32,
-    k: usize,
-) -> Vec<RankedNode> {
-    rank_and_truncate(single_source_lazy(scores, delta, a), k)
+    /// The base matrix (excluding Δ). For consumers that need raw rows and
+    /// handle the deferred part themselves (e.g. the top-k tracker).
+    pub fn base(&self) -> &'a DenseMatrix {
+        self.base
+    }
+
+    /// The pending Δ, if any survives [`Self::new`]'s empty-normalisation.
+    pub fn delta(&self) -> Option<&'a LowRankDelta> {
+        self.delta
+    }
+
+    /// `true` when the view composes a non-empty pending Δ (i.e. the base
+    /// matrix alone would be stale).
+    pub fn is_deferred(&self) -> bool {
+        self.delta.is_some()
+    }
+
+    /// Similarity of one node pair: `O(1)` materialised, `O(r)` deferred.
+    ///
+    /// # Panics
+    /// Panics if either node is out of range.
+    pub fn pair(&self, a: u32, b: u32) -> f64 {
+        let direct = self.base.get(a as usize, b as usize);
+        match self.delta {
+            None => direct,
+            Some(d) => direct + d.pair_delta(a as usize, b as usize),
+        }
+    }
+
+    /// Effective row `a` of `S_eff` (the single-source primitive): one
+    /// contiguous row read plus `O(r·n)` factor AXPYs when deferred.
+    pub fn row(&self, a: u32) -> Vec<f64> {
+        let mut row = self.base.row(a as usize).to_vec();
+        if let Some(d) = self.delta {
+            d.add_row_delta(a as usize, &mut row);
+        }
+        row
+    }
+
+    /// All similarities of node `a`, excluding itself.
+    pub fn single_source(&self, a: u32) -> Vec<RankedNode> {
+        self.row(a)
+            .into_iter()
+            .enumerate()
+            .filter(|&(v, _)| v != a as usize)
+            .map(|(v, score)| RankedNode {
+                node: v as u32,
+                score,
+            })
+            .collect()
+    }
+
+    /// The `k` most similar nodes to `a`, descending (ties by node id).
+    pub fn top_k(&self, a: u32, k: usize) -> Vec<RankedNode> {
+        rank_and_truncate(self.single_source(a), k)
+    }
+
+    /// Nodes whose similarity to `a` is at least `threshold`, unordered.
+    pub fn similar_above(&self, a: u32, threshold: f64) -> Vec<RankedNode> {
+        self.single_source(a)
+            .into_iter()
+            .filter(|r| r.score >= threshold)
+            .collect()
+    }
+
+    /// The fully-composed `S_eff` as a fresh matrix (an `n²` copy; for
+    /// exports and tests — queries never need this).
+    pub fn materialise(&self) -> DenseMatrix {
+        let mut s = self.base.clone();
+        if let Some(d) = self.delta {
+            d.clone().apply_to(&mut s);
+        }
+        s
+    }
 }
 
 #[cfg(test)]
@@ -154,7 +240,23 @@ mod tests {
     }
 
     #[test]
-    fn lazy_queries_match_materialized_matrix() {
+    fn view_without_delta_matches_free_functions() {
+        let s = sample();
+        let view = ScoreView::new(&s, None);
+        assert!(!view.is_deferred());
+        assert_eq!(view.n(), 4);
+        for a in 0..4u32 {
+            for b in 0..4u32 {
+                assert_eq!(view.pair(a, b), pair_score(&s, a, b));
+            }
+            assert_eq!(view.single_source(a), single_source(&s, a));
+            assert_eq!(view.top_k(a, 2), top_k_for_node(&s, a, 2));
+            assert_eq!(view.similar_above(a, 0.5), similar_above(&s, a, 0.5));
+        }
+    }
+
+    #[test]
+    fn deferred_view_matches_materialized_matrix() {
         let s = sample();
         let mut delta = LowRankDelta::new(4);
         delta.push_dense(vec![0.5, 0.0, -1.0, 0.0], vec![0.0, 2.0, 0.0, 1.0]);
@@ -163,22 +265,34 @@ mod tests {
         let mut applied = s.clone();
         delta.clone().apply_to(&mut applied);
 
+        let view = ScoreView::new(&s, Some(&delta));
+        assert!(view.is_deferred());
+        assert!(view.materialise().max_abs_diff(&applied) < 1e-15);
         for a in 0..4u32 {
             for b in 0..4u32 {
-                let lazy = pair_score_lazy(&s, &delta, a, b);
+                let lazy = view.pair(a, b);
                 assert!((lazy - pair_score(&applied, a, b)).abs() < 1e-12);
             }
-            let lazy_top = top_k_for_node_lazy(&s, &delta, a, 3);
+            let lazy_top = view.top_k(a, 3);
             let full_top = top_k_for_node(&applied, a, 3);
             for (l, f) in lazy_top.iter().zip(&full_top) {
                 assert_eq!(l.node, f.node);
                 assert!((l.score - f.score).abs() < 1e-12);
             }
             assert_eq!(
-                single_source_lazy(&s, &delta, a).len(),
+                view.single_source(a).len(),
                 single_source(&applied, a).len()
             );
         }
+    }
+
+    #[test]
+    fn empty_delta_is_normalised_away() {
+        let s = sample();
+        let delta = LowRankDelta::new(4);
+        let view = ScoreView::new(&s, Some(&delta));
+        assert!(!view.is_deferred());
+        assert!(view.delta().is_none());
     }
 
     #[test]

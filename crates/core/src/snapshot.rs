@@ -142,10 +142,22 @@ pub fn load<R: Read>(mut r: R) -> Result<Snapshot, SnapshotError> {
     })
 }
 
+/// Checkpoints any engine behind the [`SimRankMaintainer`] trait:
+/// materialises pending deferred ΔS first (this ends a lazy window), then
+/// writes the `(graph, scores, config)` triple — a checkpoint can never
+/// capture a stale base matrix.
+pub fn save_engine<W: Write>(
+    engine: &mut dyn SimRankMaintainer,
+    w: W,
+) -> Result<(), SnapshotError> {
+    engine.flush();
+    save(engine.graph(), engine.base_scores(), engine.config(), w)
+}
+
 impl crate::IncSr {
-    /// Checkpoints this engine's state.
-    pub fn save_snapshot<W: Write>(&self, w: W) -> Result<(), SnapshotError> {
-        save(self.graph(), self.scores(), self.config(), w)
+    /// Checkpoints this engine's state (pending ΔS materialised first).
+    pub fn save_snapshot<W: Write>(&mut self, w: W) -> Result<(), SnapshotError> {
+        save_engine(self, w)
     }
 
     /// Restores an engine from a checkpoint.
@@ -156,9 +168,9 @@ impl crate::IncSr {
 }
 
 impl crate::IncUSr {
-    /// Checkpoints this engine's state.
-    pub fn save_snapshot<W: Write>(&self, w: W) -> Result<(), SnapshotError> {
-        save(self.graph(), self.scores(), self.config(), w)
+    /// Checkpoints this engine's state (pending ΔS materialised first).
+    pub fn save_snapshot<W: Write>(&mut self, w: W) -> Result<(), SnapshotError> {
+        save_engine(self, w)
     }
 
     /// Restores an engine from a checkpoint.

@@ -7,6 +7,7 @@
 //! Theorem 4), so the ranking can be repaired by rescanning only those
 //! rows — `O(|touched|·n)` per update, `≪ n²` when updates are local.
 
+use crate::query::ScoreView;
 use incsim_linalg::{DenseMatrix, LowRankDelta};
 
 /// A `(pair, score)` ranking entry; `a < b` always.
@@ -61,10 +62,10 @@ impl TopKTracker {
         self.rebuild_rows(&Rows::Direct(scores));
     }
 
-    /// Full rescan of a deferred state `S_base + Δ` without materialising
-    /// the pending [`LowRankDelta`].
-    pub fn rebuild_lazy(&mut self, base: &DenseMatrix, delta: &LowRankDelta) {
-        self.rebuild_rows(&Rows::Deferred(base, delta));
+    /// Full rescan of a [`ScoreView`] without materialising any pending
+    /// ΔS — works in every apply mode.
+    pub fn rebuild_view(&mut self, view: &ScoreView<'_>) {
+        self.rebuild_rows(&Rows::from_view(view));
     }
 
     /// Shared rescan core over a [`Rows`] source.
@@ -106,8 +107,8 @@ impl TopKTracker {
         self.update_rows(touched, &Rows::Direct(scores));
     }
 
-    /// [`Self::update`] against a deferred state `S_base + Δ`: touched
-    /// rows are reconstructed from the base matrix plus the pending
+    /// [`Self::update`] against a [`ScoreView`]: touched rows are
+    /// reconstructed from the base matrix plus any pending
     /// [`LowRankDelta`], each in `O(n + r·n)` — the `n²` apply never
     /// happens. Rows where Δ has support are rescanned automatically
     /// (computed exactly from the factor buffer), so `touched` only needs
@@ -120,13 +121,13 @@ impl TopKTracker {
     /// genuinely dense (`supp(Δ) ≈ n`, e.g. Inc-uSR on a cyclic graph)
     /// this is `O(r·n²)` — more than the one `n²` flush it defers. In that
     /// regime prefer `engine.flush()` followed by [`Self::update`], and
-    /// keep `update_lazy` for windows that are mostly queries.
-    pub fn update_lazy(&mut self, base: &DenseMatrix, delta: &LowRankDelta, touched: &[u32]) {
-        let mut widened = delta.support_rows();
+    /// keep `update_view` for windows that are mostly queries.
+    pub fn update_view(&mut self, view: &ScoreView<'_>, touched: &[u32]) {
+        let mut widened = view.delta().map_or_else(Vec::new, |d| d.support_rows());
         widened.extend_from_slice(touched);
         widened.sort_unstable();
         widened.dedup();
-        self.update_rows(&widened, &Rows::Deferred(base, delta));
+        self.update_rows(&widened, &Rows::from_view(view));
     }
 
     /// Shared repair core over a [`Rows`] source.
@@ -204,7 +205,14 @@ enum Rows<'a> {
     Deferred(&'a DenseMatrix, &'a LowRankDelta),
 }
 
-impl Rows<'_> {
+impl<'a> Rows<'a> {
+    fn from_view(view: &ScoreView<'a>) -> Self {
+        match view.delta() {
+            None => Rows::Direct(view.base()),
+            Some(d) => Rows::Deferred(view.base(), d),
+        }
+    }
+
     fn n(&self) -> usize {
         match self {
             Rows::Direct(m) | Rows::Deferred(m, _) => m.rows(),
@@ -355,18 +363,22 @@ mod tests {
             let mut touched: Vec<u32> = a_sup.iter().chain(b_sup.iter()).copied().collect();
             touched.sort_unstable();
             touched.dedup();
-            tracker.update_lazy(engine.scores(), engine.pending_delta(), &touched);
+            tracker.update_view(&engine.view(), &touched);
 
-            // Reference: a full lazy rescan of the same deferred state.
-            let mut fresh = TopKTracker::new(engine.scores(), 4);
-            fresh.rebuild_lazy(engine.scores(), engine.pending_delta());
+            // Reference: a full view rescan of the same deferred state.
+            let mut fresh = TopKTracker::new(engine.base_scores(), 4);
+            fresh.rebuild_view(&engine.view());
             let got: Vec<(u32, u32)> = tracker.entries().iter().map(|p| (p.a, p.b)).collect();
             let expect: Vec<(u32, u32)> = fresh.entries().iter().map(|p| (p.a, p.b)).collect();
             assert_eq!(got, expect);
         }
         // The whole window ran without a single n² apply…
-        assert!(engine.pending_delta().pending_pairs() > 0);
-        assert_eq!(engine.scores().max_abs_diff(&s0), 0.0, "base untouched");
+        assert!(engine.pending_rank() > 0);
+        assert_eq!(
+            engine.base_scores().max_abs_diff(&s0),
+            0.0,
+            "base untouched"
+        );
         // …and materialising now agrees with what the tracker saw.
         engine.flush();
         let expect = full_scan(engine.scores(), 4);
@@ -402,13 +414,13 @@ mod tests {
 
         for (i, j) in [(6u32, 2u32), (8, 4), (0, 7)] {
             engine.insert_edge(i, j).unwrap();
-            tracker.update_lazy(engine.scores(), engine.pending_delta(), &[]);
+            tracker.update_view(&engine.view(), &[]);
 
-            let mut fresh = TopKTracker::new(engine.scores(), 4);
-            fresh.rebuild_lazy(engine.scores(), engine.pending_delta());
+            let mut fresh = TopKTracker::new(engine.base_scores(), 4);
+            fresh.rebuild_view(&engine.view());
             assert_eq!(tracker.entries(), fresh.entries());
         }
-        assert!(engine.pending_delta().pending_pairs() > 0);
+        assert!(engine.pending_rank() > 0);
         engine.flush();
         let expect = full_scan(engine.scores(), 4);
         let got: Vec<(u32, u32)> = tracker.entries().iter().map(|p| (p.a, p.b)).collect();

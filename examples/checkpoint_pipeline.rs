@@ -1,13 +1,14 @@
 //! A production-shaped pipeline: maintain SimRank over a timestamped edge
 //! timeline, keep an incrementally-repaired top-k ranking, and checkpoint
-//! the state across a simulated restart.
+//! the service state across a simulated restart.
 //!
 //! ```bash
 //! cargo run --release --example checkpoint_pipeline
 //! ```
 
+use incsim::api::{ApplyPolicy, EngineKind, SimRankBuilder};
 use incsim::core::topk_tracker::TopKTracker;
-use incsim::core::{batch_simrank, IncSr, SimRankConfig, SimRankMaintainer};
+use incsim::core::SimRankConfig;
 use incsim::datagen::linkage::{linkage_model, LinkageParams};
 use incsim::metrics::timing::{fmt_bytes, Stopwatch};
 use rand::rngs::StdRng;
@@ -27,30 +28,38 @@ fn main() {
     // Day 0: batch-compute on the first 300 arrivals.
     let base = timeline.snapshot_at(300);
     let cfg = SimRankConfig::new(0.6, 15).expect("valid parameters");
-    let scores = batch_simrank(&base, &cfg);
-    let mut engine = IncSr::new(base, scores, cfg);
-    let mut topk = TopKTracker::new(engine.scores(), 8);
+    // Lazy policy: updates buffer their ΔS factors, so the top-k tracker
+    // below can discover exactly which rows changed from the pending-Δ
+    // support — no engine-specific affected-area plumbing needed. (Under
+    // eager/fused the delta is already materialised when we repair, so
+    // the tracker would need explicit touched rows from the engine layer.)
+    let mut sim = SimRankBuilder::new()
+        .algorithm(EngineKind::IncSr)
+        .mode(ApplyPolicy::Lazy)
+        .config(cfg)
+        .from_graph(base)
+        .expect("engine constructs");
+    let mut topk = TopKTracker::new(sim.view().base(), 8);
     println!(
         "day 0: {} edges, top pair = ({}, {}) @ {:.4}",
-        engine.graph().edge_count(),
+        sim.graph().edge_count(),
         topk.entries()[0].a,
         topk.entries()[0].b,
         topk.entries()[0].score
     );
 
-    // Days 1..5: replay arrivals incrementally, repairing top-k from the
-    // affected-area supports only.
+    // Days 1..5: replay arrivals incrementally, repairing top-k through
+    // the mode-agnostic view: `update_view` rescans the pending-ΔS
+    // support rows itself, and values are identical before and after any
+    // rank-cap flush (the view composes S_base + Δ), so the repair stays
+    // exact across the whole lazy window.
     let sw = Stopwatch::start();
     for day in 1..=5u64 {
         let (t0, t1) = (290 + day * 10, 300 + day * 10);
         let ops = timeline.updates_between(t0, t1);
         for op in &ops {
-            engine.apply(*op).expect("timeline stream is valid");
-            let (a_sup, b_sup) = engine.last_affected();
-            let mut touched: Vec<u32> = a_sup.iter().chain(b_sup).copied().collect();
-            touched.sort_unstable();
-            touched.dedup();
-            topk.update(engine.scores(), &touched);
+            sim.update(*op).expect("timeline stream is valid");
+            topk.update_view(&sim.view(), &[]);
         }
         let best = topk.entries()[0];
         println!(
@@ -62,22 +71,38 @@ fn main() {
         );
     }
     println!("5 days of maintenance: {:.2}s", sw.secs());
+    let c = sim.counters();
+    println!(
+        "policy routing: {} eager / {} fused / {} lazy updates, {} rank-cap flushes, {} queries",
+        c.eager_updates, c.fused_updates, c.lazy_updates, c.rank_cap_flushes, c.queries
+    );
+    // The locally-repaired ranking matches a from-scratch scan of the
+    // effective (base + pending Δ) scores.
+    let full = incsim::metrics::top_k_pairs(&sim.view().materialise(), 8);
+    assert_eq!(
+        topk.entries()[0].a,
+        full[0].a,
+        "tracker diverged from full scan"
+    );
+    assert_eq!(topk.entries()[0].b, full[0].b);
 
     // Nightly checkpoint …
     let mut checkpoint = Vec::new();
-    engine
-        .save_snapshot(&mut checkpoint)
-        .expect("in-memory checkpoint");
+    sim.snapshot(&mut checkpoint).expect("in-memory checkpoint");
     println!("checkpoint size: {}", fmt_bytes(checkpoint.len()));
 
     // … and a restart: restore, verify, continue.
-    let mut restored = IncSr::load_snapshot(checkpoint.as_slice()).expect("restore");
-    assert_eq!(restored.graph(), engine.graph());
-    assert!(restored.scores().max_abs_diff(engine.scores()) == 0.0);
+    let mut restored = SimRankBuilder::new()
+        .algorithm(EngineKind::IncSr)
+        .mode(ApplyPolicy::Lazy)
+        .from_snapshot(checkpoint.as_slice())
+        .expect("restore");
+    assert_eq!(restored.graph(), sim.graph());
+    assert!(restored.scores().max_abs_diff(sim.scores()) == 0.0);
     let more = timeline.updates_between(350, 360);
-    restored.apply_batch(&more).expect("stream valid");
+    restored.update_batch(&more).expect("stream valid");
     println!(
-        "restored engine applied {} more links; final |E| = {}",
+        "restored service applied {} more links; final |E| = {}",
         more.len(),
         restored.graph().edge_count()
     );

@@ -6,8 +6,8 @@
 //! are similar if cited by similar papers"). This example
 //!
 //! 1. takes a DBLP-like citation graph at a base "year",
-//! 2. precomputes SimRank once with the batch algorithm,
-//! 3. replays the next years' citations through the Inc-SR engine,
+//! 2. builds a `SimRank` service handle (batch precompute happens once),
+//! 3. replays the next years' citations through it,
 //! 4. answers top-k "related papers" queries at any point — without ever
 //!    recomputing from scratch.
 //!
@@ -15,7 +15,8 @@
 //! cargo run --release --example citation_analysis
 //! ```
 
-use incsim::core::{batch_simrank, IncSr, SimRankConfig, SimRankMaintainer};
+use incsim::api::SimRankBuilder;
+use incsim::core::{batch_simrank, SimRankConfig};
 use incsim::datagen::presets::mini;
 use incsim::metrics::timing::{fmt_duration, Stopwatch};
 use incsim::metrics::top_k_pairs;
@@ -32,10 +33,11 @@ fn main() {
 
     let cfg = SimRankConfig::new(0.6, 15).expect("valid parameters");
     let sw = Stopwatch::start();
-    let scores = batch_simrank(&base, &cfg);
+    let mut sim = SimRankBuilder::new()
+        .config(cfg) // defaults: Inc-SR engine, adaptive apply policy
+        .from_graph(base)
+        .expect("engine constructs");
     println!("batch precompute: {}", fmt_duration(sw.elapsed()));
-
-    let mut engine = IncSr::new(base, scores, cfg);
 
     // Replay each "publication year" (snapshot increment) incrementally.
     for idx in 0..dataset.increment_times.len() {
@@ -47,7 +49,7 @@ fn main() {
             dataset.timeline.updates_between(prev, next)
         };
         let sw = Stopwatch::start();
-        let stats = engine.apply_batch(&ops).expect("valid citation stream");
+        let stats = sim.update_batch(&ops).expect("valid citation stream");
         let touched: usize = stats.iter().map(|s| s.affected_pairs).sum();
         println!(
             "year {}: +{} citations in {} (affected pairs per citation: {})",
@@ -60,29 +62,28 @@ fn main() {
 
     // Query: which paper pairs are most related right now?
     println!("\ntop-5 most related paper pairs (by SimRank):");
-    for p in top_k_pairs(engine.scores(), 5) {
+    for p in top_k_pairs(sim.scores(), 5) {
         println!("  papers #{:<3} ~ #{:<3}  s = {:.4}", p.a, p.b, p.score);
     }
 
     // Query: papers most related to one given paper.
     let target: u32 = 42;
-    let row = engine.scores().row(target as usize);
-    let mut related: Vec<(usize, f64)> = row
-        .iter()
-        .copied()
-        .enumerate()
-        .filter(|&(other, s)| other != target as usize && s > 0.0)
-        .collect();
-    related.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
     println!("\npapers most related to paper #{target}:");
-    for (other, s) in related.into_iter().take(5) {
-        println!("  paper #{other:<3}  s = {s:.4}");
+    for r in sim.top_k(target, 5) {
+        if r.score > 0.0 {
+            println!("  paper #{:<3}  s = {:.4}", r.node, r.score);
+        }
     }
 
     // The maintained scores match a from-scratch recomputation.
-    let fresh = batch_simrank(engine.graph(), engine.config());
+    let fresh = batch_simrank(sim.graph(), sim.config());
     println!(
         "\nmax drift vs from-scratch batch after all years: {:.2e}",
-        engine.scores().max_abs_diff(&fresh)
+        sim.scores().max_abs_diff(&fresh)
+    );
+    let c = sim.counters();
+    println!(
+        "adaptive policy routed {} eager / {} fused / {} lazy updates",
+        c.eager_updates, c.fused_updates, c.lazy_updates
     );
 }

@@ -1,18 +1,22 @@
 //! Engine showdown: exactness and cost of every incremental SimRank engine
 //! on the same update stream — a miniature of the paper's whole evaluation.
 //!
-//! Runs Inc-SR (pruned, exact), Inc-uSR (unpruned, exact) and Inc-SVD
-//! (Li et al., approximate) side by side against from-scratch batch truth,
-//! printing per-engine error, NDCG₁₀, time, and intermediate memory.
+//! Runs all four `EngineKind`s — Inc-SR (pruned, exact), Inc-uSR
+//! (unpruned, exact), Inc-SVD (Li et al., approximate) and the Batch
+//! recompute comparator — through one `SimRank` service handle each,
+//! against from-scratch batch truth, printing per-engine error, NDCG₁₀,
+//! time, and intermediate memory.
 //!
 //! ```bash
 //! cargo run --release --example engine_showdown
 //! ```
 
-use incsim::baselines::{IncSvd, IncSvdOptions};
-use incsim::core::{batch_simrank, IncSr, IncUSr, SimRankConfig, SimRankMaintainer};
+use incsim::api::{EngineKind, SimRank, SimRankBuilder};
+use incsim::baselines::IncSvdOptions;
+use incsim::core::{batch_simrank, SimRankConfig};
 use incsim::datagen::presets::mini;
 use incsim::datagen::updates::random_insertions;
+use incsim::linalg::DenseMatrix;
 use incsim::metrics::timing::{fmt_bytes, fmt_duration, Stopwatch};
 use incsim::metrics::{max_error, ndcg_at_k};
 use rand::rngs::StdRng;
@@ -28,7 +32,6 @@ fn main() {
         base.edge_count()
     );
 
-    let s_base = batch_simrank(&base, &cfg);
     let mut rng = StdRng::seed_from_u64(1);
     let stream = random_insertions(&base, 40, &mut rng);
 
@@ -39,48 +42,59 @@ fn main() {
     }
     let truth = batch_simrank(&g_new, &SimRankConfig::new(0.6, 35).expect("valid"));
 
-    let run = |engine: &mut dyn SimRankMaintainer| {
+    // One batch precompute, shared by every handle below.
+    let s_base = batch_simrank(&base, &cfg);
+    let mut final_scores: Vec<(EngineKind, DenseMatrix)> = Vec::new();
+    for (kind, rank) in [
+        (EngineKind::IncSr, 0usize),
+        (EngineKind::IncUSr, 0),
+        (EngineKind::IncSvd, 5),
+        (EngineKind::IncSvd, 15),
+        (EngineKind::Naive, 0),
+    ] {
+        let mut builder = SimRankBuilder::new().algorithm(kind).config(cfg);
+        if kind == EngineKind::IncSvd {
+            builder = builder.svd_options(IncSvdOptions {
+                rank,
+                ..Default::default()
+            });
+        }
+        let mut sim: SimRank = match builder.with_scores(base.clone(), s_base.clone()) {
+            Ok(sim) => sim,
+            Err(e) => {
+                println!("{kind:?} unavailable: {e}");
+                continue;
+            }
+        };
         let sw = Stopwatch::start();
-        let stats = engine.apply_batch(&stream).expect("valid stream");
+        let stats = sim.update_batch(&stream).expect("valid stream");
         let elapsed = sw.elapsed();
         let peak = stats
             .iter()
             .map(|s| s.peak_intermediate_bytes)
             .max()
             .unwrap_or(0);
+        let label = if kind == EngineKind::IncSvd {
+            format!("{} r={rank}", sim.engine_name())
+        } else {
+            sim.engine_name().to_string()
+        };
         println!(
-            "{:<8}  time {:>8}  max-err {:.2e}  NDCG10 {:.3}  intermediate {:>8}",
-            engine.name(),
+            "{label:<12}  time {:>8}  max-err {:.2e}  NDCG10 {:.3}  intermediate {:>8}",
             fmt_duration(elapsed),
-            max_error(engine.scores(), &truth),
-            ndcg_at_k(&truth, engine.scores(), 10),
+            max_error(sim.scores(), &truth),
+            ndcg_at_k(&truth, sim.scores(), 10),
             fmt_bytes(peak),
         );
-    };
-
-    let mut incsr = IncSr::new(base.clone(), s_base.clone(), cfg);
-    run(&mut incsr);
-    let mut incusr = IncUSr::new(base.clone(), s_base.clone(), cfg);
-    run(&mut incusr);
-    for rank in [5, 15] {
-        match IncSvd::new(
-            base.clone(),
-            cfg,
-            IncSvdOptions {
-                rank,
-                ..Default::default()
-            },
-        ) {
-            Ok(mut engine) => {
-                print!("r={rank:<3} ");
-                run(&mut engine);
-            }
-            Err(e) => println!("Inc-SVD(r={rank}) unavailable: {e}"),
+        if rank == 0 {
+            final_scores.push((kind, sim.scores().clone()));
         }
     }
 
-    println!(
-        "\nInc-SR and Inc-uSR agree to machine precision (lossless pruning): {:.2e}",
-        incsr.scores().max_abs_diff(incusr.scores())
-    );
+    // Lossless pruning: the Inc-SR and Inc-uSR runs above agree to
+    // machine precision.
+    let incsr = &final_scores[0].1;
+    let incusr = &final_scores[1].1;
+    let diff = incsr.max_abs_diff(incusr);
+    println!("\nInc-SR and Inc-uSR agree to machine precision (lossless pruning): {diff:.2e}");
 }

@@ -1,10 +1,12 @@
-//! Quickstart: compute SimRank once, then keep it fresh incrementally.
+//! Quickstart: compute SimRank once, then keep it fresh incrementally —
+//! all through the `incsim::api` service handle.
 //!
 //! ```bash
 //! cargo run --release --example quickstart
 //! ```
 
-use incsim::core::{batch_simrank, IncSr, SimRankConfig, SimRankMaintainer};
+use incsim::api::{ApplyPolicy, EngineKind, SimRankBuilder};
+use incsim::core::{batch_simrank, SimRankConfig};
 use incsim::graph::DiGraph;
 
 fn main() {
@@ -25,43 +27,56 @@ fn main() {
     // paper's experimental defaults (residual ≤ C^{K+1} ≈ 2.8e-4).
     let cfg = SimRankConfig::new(0.6, 15).expect("valid parameters");
 
-    // 1) Batch: compute all-pairs scores from scratch once.
-    let scores = batch_simrank(&g, &cfg);
+    // One handle: pick the algorithm, let the apply policy adapt to the
+    // workload, batch-precompute the initial scores.
+    let mut sim = SimRankBuilder::new()
+        .algorithm(EngineKind::IncSr) // the paper's pruned engine
+        .mode(ApplyPolicy::Auto) // adaptive eager/fused/lazy
+        .config(cfg)
+        .from_graph(g)
+        .expect("engine constructs");
+
     println!(
         "initial s(0,1) = {:.4}  (both referenced by page 2)",
-        scores.get(0, 1)
+        sim.pair(0, 1)
     );
     println!(
         "initial s(3,4) = {:.4}  (referenced by similar pages 0, 1)",
-        scores.get(3, 4)
+        sim.pair(3, 4)
     );
 
-    // 2) Incremental: hand graph + scores to the Inc-SR engine and evolve.
-    let mut engine = IncSr::new(g, scores, cfg);
-
-    let stats = engine.insert_edge(2, 4).expect("edge is new");
+    // Evolve the graph; the scores stay fresh incrementally.
+    let stats = sim.insert(2, 4).expect("edge is new");
     println!(
-        "\ninserted (2→4): {} node pairs affected ({:.1}% of all pairs pruned)",
+        "\ninserted (2→4): {} node pairs affected ({:.1}% of all pairs pruned, applied {:?})",
         stats.affected_pairs,
-        100.0 * stats.pruned_fraction
+        100.0 * stats.pruned_fraction,
+        stats.applied_mode,
     );
     println!(
         "now     s(0,4) = {:.4}  (4 gained referrer 2, like page 0)",
-        engine.scores().get(0, 4)
+        sim.pair(0, 4)
     );
 
-    let stats = engine.remove_edge(0, 3).expect("edge exists");
+    let stats = sim.remove(0, 3).expect("edge exists");
     println!(
         "deleted  (0→3): {} node pairs affected",
         stats.affected_pairs
     );
     println!(
         "now     s(3,4) = {:.4}  (3 lost its only referrer)",
-        engine.scores().get(3, 4)
+        sim.pair(3, 4)
     );
 
-    // Sanity: the engine's scores equal a from-scratch batch run.
-    let fresh = batch_simrank(engine.graph(), engine.config());
-    let drift = engine.scores().max_abs_diff(&fresh);
-    println!("\nmax drift vs from-scratch batch: {drift:.2e}  (bounded by ~C^K per update)");
+    // Ranked queries come straight off the handle.
+    let top = sim.top_k(0, 2);
+    println!(
+        "\npages most similar to page 0: {:?}",
+        top.iter().map(|r| (r.node, r.score)).collect::<Vec<_>>()
+    );
+
+    // Sanity: the maintained scores equal a from-scratch batch run.
+    let fresh = batch_simrank(sim.graph(), sim.config());
+    let drift = sim.scores().max_abs_diff(&fresh);
+    println!("max drift vs from-scratch batch: {drift:.2e}  (bounded by ~C^K per update)");
 }

@@ -4,14 +4,16 @@
 //! Videos link to "related" videos; the platform continuously rewires
 //! those lists. SimRank over the related-links graph gives a
 //! collaborative-style "viewers of similar videos…" signal. This example
-//! maintains the scores through link churn and compares the incremental
-//! engine against periodic batch recomputation.
+//! maintains the scores through link churn behind one `SimRank` handle
+//! and compares the incremental engine against periodic batch
+//! recomputation.
 //!
 //! ```bash
 //! cargo run --release --example video_recommender
 //! ```
 
-use incsim::core::{batch_simrank, IncSr, SimRankConfig, SimRankMaintainer};
+use incsim::api::{ApplyPolicy, SimRankBuilder};
+use incsim::core::{batch_simrank, SimRankConfig};
 use incsim::datagen::linkage::{linkage_model, LinkageParams};
 use incsim::datagen::updates::random_mixed;
 use incsim::metrics::timing::{fmt_duration, Stopwatch};
@@ -38,14 +40,17 @@ fn main() {
     );
 
     let cfg = SimRankConfig::new(0.6, 10).expect("valid parameters");
-    let scores = batch_simrank(&g, &cfg);
-    let mut engine = IncSr::new(g.clone(), scores, cfg);
+    let mut sim = SimRankBuilder::new()
+        .mode(ApplyPolicy::Auto) // reciprocal links ⇒ dense scores ⇒ fused
+        .config(cfg)
+        .from_graph(g.clone())
+        .expect("engine constructs");
 
     // 60% insertions / 40% deletions: the platform rewires related lists.
     let churn = random_mixed(&g, 120, 0.6, &mut rng);
 
     let sw = Stopwatch::start();
-    let stats = engine.apply_batch(&churn).expect("valid churn stream");
+    let stats = sim.update_batch(&churn).expect("valid churn stream");
     let inc_time = sw.elapsed();
     let mean_pruned = stats.iter().map(|s| s.pruned_fraction).sum::<f64>() / stats.len() as f64;
     println!(
@@ -58,7 +63,7 @@ fn main() {
     // What a batch-only system would have paid for the same freshness: one
     // recomputation per change.
     let sw = Stopwatch::start();
-    let fresh = batch_simrank(engine.graph(), &cfg);
+    let fresh = batch_simrank(sim.graph(), &cfg);
     let one_batch = sw.elapsed();
     println!(
         "one batch recomputation: {} → staying fresh batch-only would cost ~{} for this churn",
@@ -67,21 +72,16 @@ fn main() {
     );
     println!(
         "max drift of maintained scores vs batch: {:.2e}",
-        engine.scores().max_abs_diff(&fresh)
+        sim.scores().max_abs_diff(&fresh)
     );
 
-    // Recommend: top related videos for a channel's flagship video.
+    // Recommend: top related videos for a channel's flagship video — one
+    // service call, no matrix plumbing.
     let flagship: u32 = 7;
-    let row = engine.scores().row(flagship as usize);
-    let mut recs: Vec<(usize, f64)> = row
-        .iter()
-        .copied()
-        .enumerate()
-        .filter(|&(v, s)| v != flagship as usize && s > 0.0)
-        .collect();
-    recs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
     println!("\n\"viewers also liked\" for video #{flagship}:");
-    for (v, s) in recs.into_iter().take(8) {
-        println!("  video #{v:<3}  similarity {s:.4}");
+    for r in sim.top_k(flagship, 8) {
+        if r.score > 0.0 {
+            println!("  video #{:<3}  similarity {:.4}", r.node, r.score);
+        }
     }
 }

@@ -1,0 +1,815 @@
+//! The `incsim` **service API**: one handle for the whole system.
+//!
+//! Dynamic-SimRank services expose three things — *update*, *query*,
+//! *snapshot* — and nothing else. This module is that surface: a
+//! [`SimRank`] handle built with [`SimRankBuilder`], dispatching over any
+//! of the four engines behind the object-safe
+//! [`SimRankMaintainer`](incsim_core::SimRankMaintainer) trait. Callers
+//! never pick an engine struct, never choose between "plain" and "lazy"
+//! query functions, and never have to remember to `flush()`:
+//!
+//! * **Updates** go through [`SimRank::update`] / [`SimRank::insert`] /
+//!   [`SimRank::remove`] / [`SimRank::update_batch`].
+//! * **Queries** ([`SimRank::pair`], [`SimRank::single_source`],
+//!   [`SimRank::top_k`], [`SimRank::similar_above`]) read through a
+//!   [`ScoreView`] composing `S_base + pending ΔS`, so the answers are
+//!   identical under every [`ApplyPolicy`] — a deferred update can never
+//!   be observed as a stale score.
+//! * **Snapshots** ([`SimRank::snapshot`] / [`SimRankBuilder::from_snapshot`])
+//!   materialise pending ΔS and persist `(graph, scores, config)`.
+//!
+//! ## Apply policies
+//!
+//! [`ApplyPolicy`] decides how each update's rank-two ΔS terms reach the
+//! score matrix (see [`incsim_linalg::LowRankDelta`] for the mechanism):
+//!
+//! * [`ApplyPolicy::Eager`] — every term applied immediately (`K+1` full
+//!   sweeps per unit update; the paper's algorithms as written). Wins when
+//!   the score matrix is DAG-sparse: the sweeps zero-skip most rows.
+//! * [`ApplyPolicy::Fused`] — terms buffered and folded in with **one**
+//!   cache-blocked parallel sweep per update call (a batch shares a single
+//!   sweep). Wins on dense score matrices, where eager sweeps are
+//!   memory-bound full passes.
+//! * [`ApplyPolicy::Lazy`] — no sweep at all; queries read `S_base + Δ`
+//!   in `O(r)` per pair. Wins in query-heavy windows with occasional
+//!   updates; the handle flushes automatically when the buffered rank
+//!   would make queries dearer than one materialisation.
+//! * [`ApplyPolicy::Auto`] (the default) — picks one of the above **per
+//!   update** from measured workload signals:
+//!   - the previous update's γ-vector density (`UpdateStats::gamma_density`):
+//!     below [`SimRank::AUTO_SPARSE_GAMMA`] the scores are DAG-sparse and
+//!     **eager** wins;
+//!   - queries observed since the last update: at least
+//!     [`SimRank::AUTO_QUERY_HEAVY`] of them routes to **lazy** (the
+//!     window is query-dominated, so defer the `n²` work);
+//!   - everything else routes to **fused**; batches of ≥ 2 ops always
+//!     route to **fused** (one shared sweep);
+//!   - whenever the pending ΔS rank reaches `auto_flush_rank` (default
+//!     `8·(K+1)`), the buffer is materialised first so lazy queries stay
+//!     `O(r)` with bounded `r` and memory stops growing.
+//!
+//!   Every decision is recorded: per update in
+//!   [`UpdateStats::applied_mode`], cumulatively in
+//!   [`SimRank::counters`].
+//!
+//! All four policies produce identical query answers (the deferred-apply
+//! subsystem is exact; `tests/api_conformance.rs` drives every engine ×
+//! policy combination against batch recomputation).
+//!
+//! ## Example
+//!
+//! ```
+//! use incsim::api::{ApplyPolicy, EngineKind, SimRankBuilder};
+//! use incsim::core::SimRankConfig;
+//! use incsim::graph::DiGraph;
+//!
+//! let g = DiGraph::from_edges(5, &[(2, 0), (2, 1), (0, 3), (1, 4)]);
+//! let mut sim = SimRankBuilder::new()
+//!     .algorithm(EngineKind::IncSr)
+//!     .mode(ApplyPolicy::Auto)
+//!     .config(SimRankConfig::new(0.6, 15).unwrap())
+//!     .from_graph(g)
+//!     .unwrap();
+//!
+//! sim.insert(2, 4).unwrap();              // update
+//! let s = sim.pair(0, 4);                 // query — any time, any policy
+//! let top = sim.top_k(0, 3);
+//! assert!(s > 0.0 && top.len() == 3);
+//! ```
+
+use crate::baselines::{BatchRecompute, IncSvd, IncSvdOptions};
+use crate::core::query::RankedNode;
+use crate::core::snapshot::{load, save_engine, Snapshot, SnapshotError};
+use crate::core::{
+    batch_simrank, ApplyMode, IncSr, IncUSr, ScoreView, SimRankConfig, SimRankMaintainer,
+    UpdateError, UpdateStats,
+};
+use crate::graph::{DiGraph, UpdateOp};
+use crate::linalg::DenseMatrix;
+use std::cell::Cell;
+use std::io::{Read, Write};
+
+/// Which maintenance algorithm backs the service handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// Algorithm 2 (**Inc-SR**): exact, with lossless affected-area
+    /// pruning — the paper's headline engine and the default.
+    #[default]
+    IncSr,
+    /// Algorithm 1 (**Inc-uSR**): exact, unpruned (`O(K·n²)` per update).
+    IncUSr,
+    /// The **Inc-SVD** baseline of Li et al. — *approximate* whenever
+    /// `rank(Q) < n` (§IV of the paper). For comparison studies.
+    IncSvd,
+    /// The **Batch** comparator: recompute from scratch per update.
+    /// Exact and slow; the ground-truth anchor.
+    Naive,
+}
+
+impl EngineKind {
+    /// All four kinds, in the order the paper's tables list them.
+    pub const ALL: [EngineKind; 4] = [
+        EngineKind::IncSr,
+        EngineKind::IncUSr,
+        EngineKind::IncSvd,
+        EngineKind::Naive,
+    ];
+}
+
+/// How deferred ΔS terms are applied — see the [module docs](self).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ApplyPolicy {
+    /// Always apply immediately (`K+1` sweeps per unit update).
+    Eager,
+    /// Always one fused sweep per update call.
+    Fused,
+    /// Never apply automatically; the handle flushes only when the
+    /// buffered rank reaches its cap or a consumer needs the full matrix.
+    Lazy,
+    /// Pick eager/fused/lazy per update from measured workload signals.
+    #[default]
+    Auto,
+}
+
+/// Errors from [`SimRankBuilder`] construction.
+#[derive(Debug)]
+pub enum BuildError {
+    /// `with_scores` got a matrix that is not `n × n` for the graph.
+    ShapeMismatch {
+        /// The graph's node count.
+        nodes: usize,
+        /// The offered matrix's rows.
+        rows: usize,
+        /// The offered matrix's columns.
+        cols: usize,
+    },
+    /// The engine itself failed to construct (Inc-SVD memory budget or
+    /// numerics).
+    Engine(UpdateError),
+    /// A snapshot failed to decode.
+    Snapshot(SnapshotError),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::ShapeMismatch { nodes, rows, cols } => write!(
+                f,
+                "score matrix is {rows}x{cols} but the graph has {nodes} nodes"
+            ),
+            BuildError::Engine(e) => write!(f, "engine construction failed: {e}"),
+            BuildError::Snapshot(e) => write!(f, "snapshot rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<SnapshotError> for BuildError {
+    fn from(e: SnapshotError) -> Self {
+        BuildError::Snapshot(e)
+    }
+}
+
+/// Builder for a [`SimRank`] service handle.
+///
+/// Defaults: [`EngineKind::IncSr`], [`ApplyPolicy::Auto`],
+/// [`SimRankConfig::paper_default`].
+#[derive(Debug, Clone)]
+pub struct SimRankBuilder {
+    kind: EngineKind,
+    policy: ApplyPolicy,
+    cfg: SimRankConfig,
+    svd_opts: IncSvdOptions,
+    auto_flush_rank: Option<usize>,
+}
+
+impl Default for SimRankBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimRankBuilder {
+    /// Starts from the defaults (Inc-SR, `Auto`, paper config).
+    pub fn new() -> Self {
+        SimRankBuilder {
+            kind: EngineKind::default(),
+            policy: ApplyPolicy::default(),
+            cfg: SimRankConfig::paper_default(),
+            svd_opts: IncSvdOptions::default(),
+            auto_flush_rank: None,
+        }
+    }
+
+    /// Selects the maintenance algorithm.
+    pub fn algorithm(mut self, kind: EngineKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Selects the apply policy (default [`ApplyPolicy::Auto`]).
+    pub fn mode(mut self, policy: ApplyPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the SimRank configuration (damping `C`, iterations `K`).
+    pub fn config(mut self, cfg: SimRankConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Options for the [`EngineKind::IncSvd`] engine (ignored otherwise).
+    pub fn svd_options(mut self, opts: IncSvdOptions) -> Self {
+        self.svd_opts = opts;
+        self
+    }
+
+    /// Pending-ΔS rank at which deferred buffers are force-materialised
+    /// (default `8·(K+1)`). Applies to the `Lazy` and `Auto` policies.
+    pub fn flush_at_rank(mut self, rank: usize) -> Self {
+        self.auto_flush_rank = Some(rank.max(1));
+        self
+    }
+
+    /// Builds the handle, batch-computing the initial scores from `graph`
+    /// (the paper's workflow: precompute once, then maintain forever).
+    pub fn from_graph(self, graph: DiGraph) -> Result<SimRank, BuildError> {
+        let scores = batch_simrank(&graph, &self.cfg);
+        self.with_scores(graph, scores)
+    }
+
+    /// Builds the handle from a graph and **pre-computed** scores (e.g. a
+    /// restored checkpoint), skipping the batch precomputation.
+    ///
+    /// [`EngineKind::IncSvd`] derives its scores from its own truncated
+    /// factorisation of `Q`, so for that engine the offered matrix is only
+    /// shape-checked and then discarded.
+    pub fn with_scores(self, graph: DiGraph, scores: DenseMatrix) -> Result<SimRank, BuildError> {
+        let n = graph.node_count();
+        if scores.rows() != n || scores.cols() != n {
+            return Err(BuildError::ShapeMismatch {
+                nodes: n,
+                rows: scores.rows(),
+                cols: scores.cols(),
+            });
+        }
+        let engine: Box<dyn SimRankMaintainer> = match self.kind {
+            EngineKind::IncSr => Box::new(IncSr::new(graph, scores, self.cfg)),
+            EngineKind::IncUSr => Box::new(IncUSr::new(graph, scores, self.cfg)),
+            EngineKind::IncSvd => Box::new(
+                IncSvd::new(graph, self.cfg, self.svd_opts)
+                    .map_err(|e| BuildError::Engine(e.into()))?,
+            ),
+            EngineKind::Naive => Box::new(BatchRecompute::new(graph, scores, self.cfg)),
+        };
+        Ok(SimRank::from_engine(engine, self))
+    }
+
+    /// Builds the handle from a checkpoint previously written by
+    /// [`SimRank::snapshot`].
+    pub fn from_snapshot<R: Read>(mut self, r: R) -> Result<SimRank, BuildError> {
+        let Snapshot {
+            graph,
+            scores,
+            config,
+        } = load(r)?;
+        self.cfg = config;
+        self.with_scores(graph, scores)
+    }
+}
+
+/// Cumulative apply-policy accounting — how often each route ran and why.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ModeCounters {
+    /// Unit updates applied eagerly.
+    pub eager_updates: usize,
+    /// Unit updates applied through a fused sweep.
+    pub fused_updates: usize,
+    /// Unit updates deferred into the factor buffer.
+    pub lazy_updates: usize,
+    /// Forced materialisations because the pending rank hit its cap.
+    pub rank_cap_flushes: usize,
+    /// Queries served (all paths: pair, single-source, top-k, view).
+    pub queries: usize,
+}
+
+/// The service handle: update / query / snapshot over any engine. Build
+/// with [`SimRankBuilder`]; see the [module docs](self) for the policy
+/// semantics.
+pub struct SimRank {
+    engine: Box<dyn SimRankMaintainer>,
+    policy: ApplyPolicy,
+    counters: ModeCounters,
+    // Query traffic since the last update; `Cell` because query methods
+    // take `&self` (reads never need exclusive access to the scores).
+    queries_since_update: Cell<usize>,
+    // γ density of the most recent update (seeded from the base matrix's
+    // own density, the best prior before any update has run).
+    last_gamma_density: f64,
+    flush_rank: usize,
+}
+
+impl SimRank {
+    /// Auto routes to **eager** when the previous γ density is below this
+    /// (the score matrix is DAG-sparse, so zero-skip sweeps are cheap).
+    pub const AUTO_SPARSE_GAMMA: f64 = 0.25;
+    /// Auto routes to **lazy** when at least this many queries arrived
+    /// since the previous update (query-heavy window).
+    pub const AUTO_QUERY_HEAVY: usize = 4;
+
+    fn from_engine(engine: Box<dyn SimRankMaintainer>, b: SimRankBuilder) -> Self {
+        let n = engine.base_scores().rows();
+        let nnz = engine.base_scores().count_nonzero(b.cfg.zero_tol);
+        let mut svc = SimRank {
+            engine,
+            policy: b.policy,
+            counters: ModeCounters::default(),
+            queries_since_update: Cell::new(0),
+            last_gamma_density: nnz as f64 / ((n * n).max(1)) as f64,
+            flush_rank: b.auto_flush_rank.unwrap_or(8 * (b.cfg.iterations + 1)),
+        };
+        // Fixed policies pin the engine mode once, up front.
+        match svc.policy {
+            ApplyPolicy::Eager => svc.engine.set_mode(ApplyMode::Eager),
+            ApplyPolicy::Fused => svc.engine.set_mode(ApplyMode::Fused),
+            ApplyPolicy::Lazy | ApplyPolicy::Auto => {}
+        }
+        svc
+    }
+
+    // ---- updates ------------------------------------------------------
+
+    /// Applies one link update, routing it per the active policy.
+    pub fn update(&mut self, op: UpdateOp) -> Result<UpdateStats, UpdateError> {
+        let mode = self.route_unit();
+        self.engine.set_mode(mode);
+        let stats = self.engine.apply(op)?;
+        self.note_update(&stats);
+        Ok(stats)
+    }
+
+    /// Inserts edge `(i, j)` and updates all scores.
+    pub fn insert(&mut self, i: u32, j: u32) -> Result<UpdateStats, UpdateError> {
+        self.update(UpdateOp::Insert(i, j))
+    }
+
+    /// Deletes edge `(i, j)` and updates all scores.
+    pub fn remove(&mut self, i: u32, j: u32) -> Result<UpdateStats, UpdateError> {
+        self.update(UpdateOp::Delete(i, j))
+    }
+
+    /// Applies a batch `ΔG`. Under `Auto` (and `Fused`) a batch of `b ≥ 2`
+    /// ops shares **one** fused sweep; under `Eager` each op follows the
+    /// fixed policy; under `Lazy` the ops are routed one at a time so the
+    /// pending-rank cap is enforced *inside* the batch (a lazy batch has
+    /// no shared-sweep benefit to lose — nothing is swept at all). Stops
+    /// at the first invalid op, leaving the engine consistent with the
+    /// ops applied so far.
+    pub fn update_batch(&mut self, ops: &[UpdateOp]) -> Result<Vec<UpdateStats>, UpdateError> {
+        let mode = match (self.policy, ops.len()) {
+            (_, 0) => return Ok(Vec::new()),
+            (ApplyPolicy::Auto, n) if n >= 2 => ApplyMode::Fused,
+            _ => self.route_unit(),
+        };
+        if mode == ApplyMode::Lazy {
+            let mut stats = Vec::with_capacity(ops.len());
+            for &op in ops {
+                stats.push(self.update(op)?);
+            }
+            return Ok(stats);
+        }
+        self.engine.set_mode(mode);
+        let result = self.engine.apply_batch(ops);
+        match &result {
+            Ok(stats) => {
+                for s in stats {
+                    self.note_update(s);
+                }
+            }
+            Err(_) => {
+                // The prefix before the invalid op *was* applied (and any
+                // fused buffer flushed); the engines do not report its
+                // per-op stats on the error path, so the per-mode counters
+                // cannot itemise it — but the query window did end, so
+                // reset it to keep the adaptive routing signal honest.
+                self.counters.queries += self.queries_since_update.get();
+                self.queries_since_update.set(0);
+            }
+        }
+        result
+    }
+
+    /// Appends an isolated node, growing the score matrix.
+    pub fn add_node(&mut self) -> u32 {
+        self.engine.add_node()
+    }
+
+    /// Picks the [`ApplyMode`] for the next unit update.
+    fn route_unit(&mut self) -> ApplyMode {
+        // Bound the deferred rank first: queries stay O(r) with bounded r
+        // and buffer memory stops growing linearly in the window length.
+        if matches!(self.policy, ApplyPolicy::Lazy | ApplyPolicy::Auto)
+            && self.engine.pending_rank() >= self.flush_rank
+        {
+            self.engine.flush();
+            self.counters.rank_cap_flushes += 1;
+        }
+        match self.policy {
+            ApplyPolicy::Eager => ApplyMode::Eager,
+            ApplyPolicy::Fused => ApplyMode::Fused,
+            ApplyPolicy::Lazy => ApplyMode::Lazy,
+            ApplyPolicy::Auto => {
+                let queries = self.queries_since_update.get();
+                if queries >= Self::AUTO_QUERY_HEAVY {
+                    // Query-dominated window: defer the n² work entirely.
+                    ApplyMode::Lazy
+                } else if self.last_gamma_density < Self::AUTO_SPARSE_GAMMA {
+                    // DAG-sparse scores: eager zero-skip sweeps are cheap,
+                    // and buffering would only add factor traffic.
+                    ApplyMode::Eager
+                } else {
+                    // Dense scores: one fused sweep beats K+1 eager ones.
+                    ApplyMode::Fused
+                }
+            }
+        }
+    }
+
+    fn note_update(&mut self, stats: &UpdateStats) {
+        self.counters.queries += self.queries_since_update.get();
+        self.queries_since_update.set(0);
+        self.last_gamma_density = stats.gamma_density;
+        match stats.applied_mode {
+            ApplyMode::Eager => self.counters.eager_updates += 1,
+            ApplyMode::Fused => self.counters.fused_updates += 1,
+            ApplyMode::Lazy => self.counters.lazy_updates += 1,
+        }
+    }
+
+    // ---- queries ------------------------------------------------------
+
+    fn count_query(&self) {
+        self.queries_since_update
+            .set(self.queries_since_update.get() + 1);
+    }
+
+    /// Similarity of one node pair. `O(1)` materialised, `O(r)` during a
+    /// deferred window — never an `n²` apply.
+    ///
+    /// # Panics
+    /// Panics if either node is out of range.
+    pub fn pair(&self, a: u32, b: u32) -> f64 {
+        self.count_query();
+        self.engine.view().pair(a, b)
+    }
+
+    /// All similarities of one node, excluding itself.
+    pub fn single_source(&self, a: u32) -> Vec<RankedNode> {
+        self.count_query();
+        self.engine.view().single_source(a)
+    }
+
+    /// The `k` most similar nodes to `a`, descending (ties by node id).
+    pub fn top_k(&self, a: u32, k: usize) -> Vec<RankedNode> {
+        self.count_query();
+        self.engine.view().top_k(a, k)
+    }
+
+    /// Nodes whose similarity to `a` is at least `threshold`, unordered.
+    pub fn similar_above(&self, a: u32, threshold: f64) -> Vec<RankedNode> {
+        self.count_query();
+        self.engine.view().similar_above(a, threshold)
+    }
+
+    /// A raw [`ScoreView`] over the current state, for bulk readers (the
+    /// top-k tracker, exporters). Counted as one query for routing.
+    pub fn view(&self) -> ScoreView<'_> {
+        self.count_query();
+        self.engine.view()
+    }
+
+    /// The materialised score matrix: any pending ΔS is applied first, so
+    /// this is never stale — but it also ends a lazy window; prefer the
+    /// query methods unless the full matrix is genuinely needed.
+    pub fn scores(&mut self) -> &DenseMatrix {
+        self.engine.scores()
+    }
+
+    // ---- snapshot & introspection -------------------------------------
+
+    /// Checkpoints `(graph, scores, config)` — pending ΔS materialised
+    /// first. Restore with [`SimRankBuilder::from_snapshot`].
+    pub fn snapshot<W: Write>(&mut self, w: W) -> Result<(), SnapshotError> {
+        save_engine(self.engine.as_mut(), w)
+    }
+
+    /// Materialises any pending deferred ΔS now; returns the number of
+    /// rank-two terms applied.
+    pub fn flush(&mut self) -> usize {
+        self.engine.flush()
+    }
+
+    /// The current graph.
+    pub fn graph(&self) -> &DiGraph {
+        self.engine.graph()
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &SimRankConfig {
+        self.engine.config()
+    }
+
+    /// The backing engine's display name (`"Inc-SR"`, `"Inc-uSR"`,
+    /// `"Inc-SVD"`, `"Batch"`).
+    pub fn engine_name(&self) -> &'static str {
+        self.engine.name()
+    }
+
+    /// The configured apply policy.
+    pub fn policy(&self) -> ApplyPolicy {
+        self.policy
+    }
+
+    /// Rank of the pending deferred-ΔS buffer (0 when materialised).
+    pub fn pending_rank(&self) -> usize {
+        self.engine.pending_rank()
+    }
+
+    /// Cumulative routing counters, including the total query count.
+    pub fn counters(&self) -> ModeCounters {
+        let mut c = self.counters;
+        c.queries += self.queries_since_update.get();
+        c
+    }
+
+    /// Escape hatch: the raw engine, for harnesses that need
+    /// engine-specific extensions (e.g. row-grouped batch updates).
+    pub fn engine_mut(&mut self) -> &mut dyn SimRankMaintainer {
+        self.engine.as_mut()
+    }
+}
+
+impl std::fmt::Debug for SimRank {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimRank")
+            .field("engine", &self.engine.name())
+            .field("policy", &self.policy)
+            .field("nodes", &self.engine.graph().node_count())
+            .field("edges", &self.engine.graph().edge_count())
+            .field("pending_rank", &self.engine.pending_rank())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> DiGraph {
+        DiGraph::from_edges(
+            7,
+            &[
+                (0, 2),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 2),
+                (1, 4),
+                (6, 3),
+            ],
+        )
+    }
+
+    fn tight() -> SimRankConfig {
+        SimRankConfig::new(0.6, 60).unwrap()
+    }
+
+    #[test]
+    fn builder_constructs_every_engine() {
+        for kind in EngineKind::ALL {
+            let sim = SimRankBuilder::new()
+                .algorithm(kind)
+                .config(SimRankConfig::new(0.6, 10).unwrap())
+                .from_graph(fixture())
+                .unwrap();
+            assert_eq!(sim.graph().node_count(), 7);
+            assert!(!sim.engine_name().is_empty());
+        }
+    }
+
+    #[test]
+    fn with_scores_rejects_shape_mismatch() {
+        let err = SimRankBuilder::new()
+            .with_scores(fixture(), DenseMatrix::zeros(3, 3))
+            .unwrap_err();
+        assert!(matches!(err, BuildError::ShapeMismatch { nodes: 7, .. }));
+        assert!(err.to_string().contains("3x3"));
+    }
+
+    #[test]
+    fn update_then_query_matches_batch_truth() {
+        let mut sim = SimRankBuilder::new()
+            .algorithm(EngineKind::IncSr)
+            .config(tight())
+            .from_graph(fixture())
+            .unwrap();
+        sim.insert(0, 4).unwrap();
+        sim.remove(2, 3).unwrap();
+        let truth = batch_simrank(sim.graph(), sim.config());
+        for a in 0..7u32 {
+            for b in 0..7u32 {
+                let got = sim.pair(a, b);
+                let want = truth.get(a as usize, b as usize);
+                assert!((got - want).abs() < 1e-8, "pair ({a},{b})");
+            }
+        }
+        assert!(sim.scores().max_abs_diff(&truth) < 1e-8);
+    }
+
+    #[test]
+    fn auto_routes_lazy_in_query_heavy_windows() {
+        let mut sim = SimRankBuilder::new()
+            .algorithm(EngineKind::IncUSr)
+            .mode(ApplyPolicy::Auto)
+            .config(tight())
+            .from_graph(fixture())
+            .unwrap();
+        // Make the window query-heavy, then update: must defer.
+        for _ in 0..SimRank::AUTO_QUERY_HEAVY {
+            sim.pair(0, 1);
+        }
+        let stats = sim.insert(0, 4).unwrap();
+        assert_eq!(stats.applied_mode, ApplyMode::Lazy);
+        assert!(stats.pending_rank > 0);
+        assert_eq!(sim.counters().lazy_updates, 1);
+        // Queries still see the updated state.
+        let truth = batch_simrank(sim.graph(), sim.config());
+        assert!((sim.pair(0, 1) - truth.get(0, 1)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn auto_routes_eager_on_sparse_gamma_and_fused_on_dense() {
+        // A long path: scores are extremely sparse, γ density ~ 0.
+        let n = 40;
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|v| (v, v + 1)).collect();
+        let mut sparse = SimRankBuilder::new()
+            .algorithm(EngineKind::IncSr)
+            .config(SimRankConfig::new(0.6, 10).unwrap())
+            .from_graph(DiGraph::from_edges(n, &edges))
+            .unwrap();
+        sparse.insert(0, (n - 1) as u32).unwrap();
+        let stats = sparse.insert(5, 20).unwrap();
+        assert_eq!(
+            stats.applied_mode,
+            ApplyMode::Eager,
+            "γ density {} should route eager",
+            stats.gamma_density
+        );
+
+        // A cyclic, well-connected graph: γ is dense. The first update
+        // routes on the base matrix's density (the only prior available);
+        // from the second on, the *measured* γ density drives the route.
+        let mut dense = SimRankBuilder::new()
+            .algorithm(EngineKind::IncUSr)
+            .config(SimRankConfig::new(0.6, 10).unwrap())
+            .from_graph(fixture())
+            .unwrap();
+        let warmup = dense.insert(0, 4).unwrap();
+        assert!(warmup.gamma_density > SimRank::AUTO_SPARSE_GAMMA);
+        let stats = dense.insert(6, 5).unwrap();
+        assert_eq!(
+            stats.applied_mode,
+            ApplyMode::Fused,
+            "γ density {} should route fused",
+            warmup.gamma_density
+        );
+        assert!(dense.counters().fused_updates >= 1);
+    }
+
+    #[test]
+    fn auto_flushes_at_rank_cap() {
+        let cfg = tight();
+        let cap = cfg.iterations + 1; // one update's worth of pairs
+        let mut sim = SimRankBuilder::new()
+            .algorithm(EngineKind::IncUSr)
+            .mode(ApplyPolicy::Lazy)
+            .config(cfg)
+            .flush_at_rank(cap)
+            .from_graph(fixture())
+            .unwrap();
+        let ops = [
+            UpdateOp::Insert(0, 5),
+            UpdateOp::Insert(6, 2),
+            UpdateOp::Delete(2, 3),
+            UpdateOp::Insert(3, 6),
+        ];
+        for op in ops {
+            sim.update(op).unwrap();
+        }
+        // Every update buffers K+1 pairs; the cap forces materialisation
+        // before each subsequent one, bounding the pending rank.
+        assert_eq!(sim.counters().rank_cap_flushes, 3);
+        assert!(sim.pending_rank() <= cap);
+        let truth = batch_simrank(sim.graph(), sim.config());
+        assert!(sim.scores().max_abs_diff(&truth) < 1e-8);
+    }
+
+    #[test]
+    fn lazy_batch_enforces_rank_cap_inside_the_batch() {
+        let cfg = tight();
+        let cap = cfg.iterations + 1;
+        let mut sim = SimRankBuilder::new()
+            .algorithm(EngineKind::IncUSr)
+            .mode(ApplyPolicy::Lazy)
+            .config(cfg)
+            .flush_at_rank(cap)
+            .from_graph(fixture())
+            .unwrap();
+        // One batch of 4 ops: the cap must be re-checked per op, not once.
+        sim.update_batch(&[
+            UpdateOp::Insert(0, 5),
+            UpdateOp::Insert(6, 2),
+            UpdateOp::Delete(2, 3),
+            UpdateOp::Insert(3, 6),
+        ])
+        .unwrap();
+        assert_eq!(sim.counters().rank_cap_flushes, 3);
+        assert!(sim.pending_rank() <= cap);
+        let truth = batch_simrank(sim.graph(), sim.config());
+        assert!(sim.scores().max_abs_diff(&truth) < 1e-8);
+    }
+
+    #[test]
+    fn failed_batch_keeps_routing_signals_sane() {
+        let mut sim = SimRankBuilder::new()
+            .algorithm(EngineKind::IncSr)
+            .config(SimRankConfig::new(0.6, 8).unwrap())
+            .from_graph(fixture())
+            .unwrap();
+        for _ in 0..3 {
+            sim.pair(0, 1);
+        }
+        // Second op is invalid (duplicate insert); the first applies.
+        let err = sim
+            .update_batch(&[UpdateOp::Insert(0, 5), UpdateOp::Insert(0, 5)])
+            .unwrap_err();
+        assert!(matches!(err, UpdateError::Graph(_)));
+        assert!(sim.graph().has_edge(0, 5), "prefix was applied");
+        // The query window ended with the (partial) batch: queries moved
+        // into the cumulative counter and the window reset.
+        assert_eq!(sim.counters().queries, 3);
+    }
+
+    #[test]
+    fn batch_update_shares_one_fused_sweep_under_auto() {
+        let mut sim = SimRankBuilder::new()
+            .algorithm(EngineKind::IncUSr)
+            .mode(ApplyPolicy::Auto)
+            .config(tight())
+            .from_graph(fixture())
+            .unwrap();
+        let stats = sim
+            .update_batch(&[UpdateOp::Insert(0, 5), UpdateOp::Insert(6, 2)])
+            .unwrap();
+        assert!(stats.iter().all(|s| s.applied_mode == ApplyMode::Fused));
+        assert_eq!(sim.pending_rank(), 0, "batch flushed at the end");
+        let truth = batch_simrank(sim.graph(), sim.config());
+        assert!(sim.scores().max_abs_diff(&truth) < 1e-8);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_mid_lazy_window() {
+        let mut sim = SimRankBuilder::new()
+            .algorithm(EngineKind::IncSr)
+            .mode(ApplyPolicy::Lazy)
+            .config(tight())
+            .from_graph(fixture())
+            .unwrap();
+        sim.insert(0, 4).unwrap();
+        assert!(sim.pending_rank() > 0);
+        let mut buf = Vec::new();
+        sim.snapshot(&mut buf).unwrap(); // must materialise first
+        let mut restored = SimRankBuilder::new()
+            .algorithm(EngineKind::IncSr)
+            .from_snapshot(buf.as_slice())
+            .unwrap();
+        assert_eq!(restored.graph(), sim.graph());
+        let truth = batch_simrank(sim.graph(), sim.config());
+        assert!(restored.scores().max_abs_diff(&truth) < 1e-8);
+    }
+
+    #[test]
+    fn counters_track_queries() {
+        let sim = SimRankBuilder::new()
+            .config(SimRankConfig::new(0.6, 5).unwrap())
+            .from_graph(fixture())
+            .unwrap();
+        sim.pair(0, 1);
+        sim.top_k(0, 3);
+        sim.single_source(2);
+        assert_eq!(sim.counters().queries, 3);
+    }
+}

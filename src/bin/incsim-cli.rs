@@ -13,8 +13,9 @@
 //! Update files (`--ops`) hold one op per line: `+ u v` inserts, `- u v`
 //! deletes; `#` comments and blank lines are skipped.
 
+use incsim::api::{ApplyPolicy, EngineKind, SimRankBuilder};
 use incsim::core::snapshot::{load, save, Snapshot};
-use incsim::core::{batch_simrank, IncSr, SimRankConfig, SimRankMaintainer};
+use incsim::core::{batch_simrank, IncSr, SimRankConfig};
 use incsim::datagen::er::erdos_renyi;
 use incsim::datagen::linkage::{linkage_model, LinkageParams};
 use incsim::datagen::rmat::{rmat, RmatParams};
@@ -50,6 +51,8 @@ commands:
              --input FILE [--c 0.6] [--iters 15] -o STATE
   update     apply link updates to a maintained state
              --state STATE --ops FILE -o STATE_OUT
+             [--algorithm incsr|incusr|incsvd|naive] [--mode auto|eager|fused|lazy]
+             [--grouped true]
   topk       print the top-k most similar pairs
              --state STATE [-k 10]
   query      pair score or per-node ranking
@@ -213,6 +216,28 @@ fn parse_ops(text: &str) -> Result<Vec<UpdateOp>, String> {
     Ok(ops)
 }
 
+fn parse_algorithm(raw: Option<&str>) -> Result<EngineKind, String> {
+    match raw.unwrap_or("incsr") {
+        "incsr" => Ok(EngineKind::IncSr),
+        "incusr" => Ok(EngineKind::IncUSr),
+        "incsvd" => Ok(EngineKind::IncSvd),
+        "naive" | "batch" => Ok(EngineKind::Naive),
+        other => Err(format!(
+            "unknown algorithm {other:?} (incsr|incusr|incsvd|naive)"
+        )),
+    }
+}
+
+fn parse_mode(raw: Option<&str>) -> Result<ApplyPolicy, String> {
+    match raw.unwrap_or("auto") {
+        "auto" => Ok(ApplyPolicy::Auto),
+        "eager" => Ok(ApplyPolicy::Eager),
+        "fused" => Ok(ApplyPolicy::Fused),
+        "lazy" => Ok(ApplyPolicy::Lazy),
+        other => Err(format!("unknown mode {other:?} (auto|eager|fused|lazy)")),
+    }
+}
+
 fn cmd_update(flags: &Flags) -> Result<(), String> {
     let snap = open_state(flags)?;
     let ops_path = flags.req(&["--ops"])?;
@@ -221,6 +246,8 @@ fn cmd_update(flags: &Flags) -> Result<(), String> {
         .get(&["--grouped"])
         .map(|v| v == "true")
         .unwrap_or(false);
+    let algorithm = parse_algorithm(flags.get(&["--algorithm"]))?;
+    let policy = parse_mode(flags.get(&["--mode"]))?;
 
     let mut text = String::new();
     File::open(ops_path)
@@ -229,9 +256,19 @@ fn cmd_update(flags: &Flags) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     let ops = parse_ops(&text)?;
 
-    let mut engine = IncSr::new(snap.graph, snap.scores, snap.config);
     let started = std::time::Instant::now();
+    let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
     if grouped {
+        // Row-grouped folding is an Inc-SR-specific extension; it bypasses
+        // the engine-agnostic service handle by design — reject flags it
+        // would silently ignore.
+        if flags.get(&["--algorithm"]).is_some_and(|a| a != "incsr") {
+            return Err("--grouped is Inc-SR-specific; drop --algorithm or set it to incsr".into());
+        }
+        if flags.get(&["--mode"]).is_some() {
+            return Err("--grouped applies its own flush schedule; drop --mode".into());
+        }
+        let mut engine = IncSr::new(snap.graph, snap.scores, snap.config);
         let stats = engine.apply_grouped(&ops).map_err(|e| e.to_string())?;
         println!(
             "applied {} ops as {} row-grouped updates in {:.3}s",
@@ -239,20 +276,28 @@ fn cmd_update(flags: &Flags) -> Result<(), String> {
             stats.row_updates,
             started.elapsed().as_secs_f64()
         );
+        engine
+            .save_snapshot(BufWriter::new(file))
+            .map_err(|e| e.to_string())?;
     } else {
-        let stats = engine.apply_batch(&ops).map_err(|e| e.to_string())?;
+        let mut sim = SimRankBuilder::new()
+            .algorithm(algorithm)
+            .mode(policy)
+            .config(snap.config)
+            .with_scores(snap.graph, snap.scores)
+            .map_err(|e| e.to_string())?;
+        let stats = sim.update_batch(&ops).map_err(|e| e.to_string())?;
         let touched: usize = stats.iter().map(|s| s.affected_pairs).sum();
         println!(
-            "applied {} unit updates in {:.3}s (avg affected pairs: {})",
+            "applied {} unit updates via {} in {:.3}s (avg affected pairs: {})",
             stats.len(),
+            sim.engine_name(),
             started.elapsed().as_secs_f64(),
             touched / stats.len().max(1)
         );
+        sim.snapshot(BufWriter::new(file))
+            .map_err(|e| e.to_string())?;
     }
-    let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
-    engine
-        .save_snapshot(BufWriter::new(file))
-        .map_err(|e| e.to_string())?;
     println!("state written to {out}");
     Ok(())
 }
@@ -276,6 +321,10 @@ fn cmd_query(flags: &Flags) -> Result<(), String> {
             Err(format!("node {v} out of range (graph has {n} nodes)"))
         }
     };
+    let sim = SimRankBuilder::new()
+        .config(snap.config)
+        .with_scores(snap.graph, snap.scores)
+        .map_err(|e| e.to_string())?;
     match (
         flags.get(&["-a"]),
         flags.get(&["-b"]),
@@ -286,14 +335,14 @@ fn cmd_query(flags: &Flags) -> Result<(), String> {
             let b: u32 = b.parse().map_err(|_| "bad -b".to_string())?;
             check(a)?;
             check(b)?;
-            println!("{:.6}", incsim::core::query::pair_score(&snap.scores, a, b));
+            println!("{:.6}", sim.pair(a, b));
             Ok(())
         }
         (None, None, Some(v)) => {
             let v: u32 = v.parse().map_err(|_| "bad --node".to_string())?;
             check(v)?;
             let k: usize = flags.num(&["-k", "--k"], 5usize)?;
-            for r in incsim::core::query::top_k_for_node(&snap.scores, v, k) {
+            for r in sim.top_k(v, k) {
                 println!("{}\t{:.6}", r.node, r.score);
             }
             Ok(())
@@ -359,6 +408,78 @@ mod tests {
     }
 
     #[test]
+    fn algorithm_and_mode_flags_parse() {
+        assert!(matches!(parse_algorithm(None), Ok(EngineKind::IncSr)));
+        assert!(matches!(
+            parse_algorithm(Some("incusr")),
+            Ok(EngineKind::IncUSr)
+        ));
+        assert!(matches!(
+            parse_algorithm(Some("naive")),
+            Ok(EngineKind::Naive)
+        ));
+        assert!(parse_algorithm(Some("bogus")).is_err());
+        assert!(matches!(parse_mode(None), Ok(ApplyPolicy::Auto)));
+        assert!(matches!(parse_mode(Some("lazy")), Ok(ApplyPolicy::Lazy)));
+        assert!(parse_mode(Some("bogus")).is_err());
+    }
+
+    #[test]
+    fn grouped_rejects_conflicting_flags() {
+        let dir = std::env::temp_dir().join(format!("incsim-cli-grouped-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let graph_path = dir.join("g.txt");
+        let state_path = dir.join("s.bin");
+        let ops_path = dir.join("ops.txt");
+        run(&to_args(&[
+            "generate",
+            "--model",
+            "er",
+            "--nodes",
+            "10",
+            "--edges",
+            "20",
+            "-o",
+            graph_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&to_args(&[
+            "compute",
+            "--input",
+            graph_path.to_str().unwrap(),
+            "--iters",
+            "5",
+            "-o",
+            state_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        std::fs::write(&ops_path, "+ 0 9\n").unwrap();
+        let out_path = dir.join("out.bin");
+        let base = [
+            "update",
+            "--state",
+            state_path.to_str().unwrap(),
+            "--ops",
+            ops_path.to_str().unwrap(),
+            "--grouped",
+            "true",
+            "-o",
+            out_path.to_str().unwrap(),
+        ];
+        let mut with_algo = base.to_vec();
+        with_algo.extend(["--algorithm", "naive"]);
+        assert!(run(&to_args(&with_algo)).is_err());
+        let mut with_mode = base.to_vec();
+        with_mode.extend(["--mode", "lazy"]);
+        assert!(run(&to_args(&with_mode)).is_err());
+        // incsr + grouped is the supported combination.
+        let mut ok = base.to_vec();
+        ok.extend(["--algorithm", "incsr"]);
+        assert!(run(&to_args(&ok)).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn unknown_command_errors() {
         let args: Vec<String> = ["frobnicate"].iter().map(|s| s.to_string()).collect();
         assert!(run(&args).is_err());
@@ -417,6 +538,10 @@ mod tests {
             state_path.to_str().unwrap(),
             "--ops",
             ops_path.to_str().unwrap(),
+            "--algorithm",
+            "incsr",
+            "--mode",
+            "fused",
             "-o",
             state2_path.to_str().unwrap(),
         ]))

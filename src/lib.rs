@@ -6,9 +6,15 @@
 //!
 //! ## Quickstart
 //!
+//! The [`api`] module is the service surface: build a [`api::SimRank`]
+//! handle with [`api::SimRankBuilder`], then *update*, *query*, and
+//! *snapshot* — the engine choice and the deferred-apply machinery stay
+//! internal.
+//!
 //! ```
+//! use incsim::api::{ApplyPolicy, EngineKind, SimRankBuilder};
+//! use incsim::core::SimRankConfig;
 //! use incsim::graph::DiGraph;
-//! use incsim::core::{SimRankConfig, SimRankMaintainer, batch_simrank, IncSr};
 //!
 //! // A tiny citation graph: 0→2, 1→2, 2→3.
 //! let mut g = DiGraph::new(4);
@@ -16,27 +22,42 @@
 //! g.insert_edge(1, 2).unwrap();
 //! g.insert_edge(2, 3).unwrap();
 //!
-//! let cfg = SimRankConfig::new(0.6, 10).unwrap();
-//! let s = batch_simrank(&g, &cfg);
+//! // One handle: algorithm + apply policy + config, scores precomputed.
+//! let mut sim = SimRankBuilder::new()
+//!     .algorithm(EngineKind::IncSr)      // the paper's pruned engine
+//!     .mode(ApplyPolicy::Auto)           // adaptive eager/fused/lazy
+//!     .config(SimRankConfig::new(0.6, 10).unwrap())
+//!     .from_graph(g)
+//!     .unwrap();
 //!
-//! // Maintain scores incrementally as the graph evolves.
-//! let mut engine = IncSr::new(g, s, cfg);
-//! let stats = engine.insert_edge(0, 3).unwrap();
+//! // Maintain incrementally as the graph evolves…
+//! let stats = sim.insert(0, 3).unwrap();
 //! println!("affected area: {} node pairs", stats.affected_pairs);
-//! let sim_0_1 = engine.scores().get(0, 1);
-//! assert!(sim_0_1 >= 0.0);
+//!
+//! // …and query at any time; answers are identical in every policy.
+//! let sim_0_1 = sim.pair(0, 1);
+//! let related = sim.top_k(0, 2);
+//! assert!(sim_0_1 >= 0.0 && related.len() == 2);
 //! ```
+//!
+//! The algorithm layer stays fully accessible for harnesses and
+//! extensions: [`core::IncSr`] / [`core::IncUSr`] expose the engines
+//! directly behind [`core::SimRankMaintainer`], and
+//! [`core::batch_simrank`] is the batch precomputation.
 //!
 //! ## Workspace layout
 //!
 //! | module | crate | contents |
 //! |--------|-------|----------|
+//! | [`api`] | `incsim` (this crate) | the service layer: builder, handle, apply policies |
 //! | [`linalg`] | `incsim-linalg` | dense/sparse matrices, QR, SVD, LU, Stein solver |
 //! | [`graph`] | `incsim-graph` | dynamic digraph, evolving timeline, I/O |
 //! | [`core`] | `incsim-core` | matrix-form SimRank, **Inc-uSR**, **Inc-SR** |
-//! | [`baselines`] | `incsim-baselines` | naive/partial-sums SimRank, **Inc-SVD** (Li et al.) |
+//! | [`baselines`] | `incsim-baselines` | naive/partial-sums SimRank, **Inc-SVD** (Li et al.), batch recompute |
 //! | [`datagen`] | `incsim-datagen` | synthetic graphs, dataset presets, update streams |
 //! | [`metrics`] | `incsim-metrics` | NDCG@k, error norms, timing/memory accounting |
+
+pub mod api;
 
 pub use incsim_baselines as baselines;
 pub use incsim_core as core;

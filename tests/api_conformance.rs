@@ -1,0 +1,207 @@
+//! Dyn-object conformance suite for the `incsim::api` service layer: every
+//! [`EngineKind`] is driven through one random ER and one random R-MAT
+//! update stream behind `Box<dyn SimRankMaintainer>` (inside a [`SimRank`]
+//! handle), under **every** [`ApplyPolicy`] — and must give the same
+//! answers.
+//!
+//! * The exact engines (Inc-SR, Inc-uSR, Batch) are checked against a
+//!   from-scratch batch recomputation after *every* update — pair queries,
+//!   top-k, and the final materialised matrix all within 1e-12.
+//! * Inc-SVD is *inherently approximate* whenever `rank(Q) < n` (§IV of
+//!   the paper proves its factor update loses eigen-information), so
+//!   batch recomputation is not its ground truth. Its conformance
+//!   contract is policy-invariance: all four policies must reproduce its
+//!   own eager trajectory within 1e-12, with views never stale.
+
+use incsim::api::{ApplyPolicy, EngineKind, SimRank, SimRankBuilder};
+use incsim::baselines::IncSvdOptions;
+use incsim::core::{batch_simrank, SimRankConfig};
+use incsim::datagen::er::erdos_renyi;
+use incsim::datagen::rmat::{rmat, RmatParams};
+use incsim::graph::{DiGraph, UpdateOp};
+use incsim::linalg::DenseMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const POLICIES: [ApplyPolicy; 4] = [
+    ApplyPolicy::Eager,
+    ApplyPolicy::Fused,
+    ApplyPolicy::Lazy,
+    ApplyPolicy::Auto,
+];
+
+/// High-K config: truncation ~0.6^61 ≈ 4e-14 per entry, far below the
+/// 1e-12 agreement bar, so any excess disagreement is a logic bug.
+fn tight() -> SimRankConfig {
+    SimRankConfig::new(0.6, 60).expect("valid config")
+}
+
+/// A valid update stream built by walking a shadow graph: flip the edge
+/// state of random non-loop pairs, so every op applies cleanly in order.
+fn stream_on(g: &DiGraph, len: usize, seed: u64) -> Vec<UpdateOp> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut shadow = g.clone();
+    let n = g.node_count() as u32;
+    let mut ops = Vec::new();
+    while ops.len() < len {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u == v {
+            continue;
+        }
+        if shadow.has_edge(u, v) {
+            shadow.remove_edge(u, v).expect("edge tracked as present");
+            ops.push(UpdateOp::Delete(u, v));
+        } else {
+            shadow.insert_edge(u, v).expect("edge tracked as absent");
+            ops.push(UpdateOp::Insert(u, v));
+        }
+    }
+    ops
+}
+
+fn build(kind: EngineKind, policy: ApplyPolicy, g: &DiGraph, s0: &DenseMatrix) -> SimRank {
+    let mut builder = SimRankBuilder::new()
+        .algorithm(kind)
+        .mode(policy)
+        .config(tight());
+    if kind == EngineKind::IncSvd {
+        builder = builder.svd_options(IncSvdOptions {
+            rank: g.node_count(),
+            randomized: false,
+            ..Default::default()
+        });
+    }
+    builder
+        .with_scores(g.clone(), s0.clone())
+        .expect("engine constructs")
+}
+
+/// The service-call schedule shared by every run: alternate unit updates
+/// with small batches so both paths are exercised. Returns the op ranges.
+fn schedule(len: usize) -> Vec<std::ops::Range<usize>> {
+    let mut out = Vec::new();
+    let mut idx = 0usize;
+    while idx < len {
+        let take = if idx % 3 == 2 { 3.min(len - idx) } else { 1 };
+        out.push(idx..idx + take);
+        idx += take;
+    }
+    out
+}
+
+/// Drives one handle through `ops`, cross-checking every step against the
+/// precomputed per-step reference matrices. Interleaves queries so `Auto`
+/// visits its lazy route. Returns the final materialised matrix.
+fn drive(
+    sim: &mut SimRank,
+    ops: &[UpdateOp],
+    refs: &[DenseMatrix],
+    tol: f64,
+    ctx: &str,
+) -> DenseMatrix {
+    let mut shadow = sim.graph().clone();
+    let n = shadow.node_count() as u32;
+    for (step, range) in schedule(ops.len()).into_iter().enumerate() {
+        let chunk = &ops[range];
+        for op in chunk {
+            op.apply(&mut shadow).expect("stream valid");
+        }
+        if chunk.len() == 1 {
+            sim.update(chunk[0]).expect("stream valid");
+        } else {
+            sim.update_batch(chunk).expect("stream valid");
+        }
+        let idx = step + 1;
+
+        let expect = &refs[step];
+        // Pair queries across the whole matrix — identical in every mode.
+        for a in 0..n {
+            for b in 0..n {
+                let got = sim.pair(a, b);
+                let want = expect.get(a as usize, b as usize);
+                assert!(
+                    (got - want).abs() <= tol,
+                    "{ctx}: step {idx} pair ({a},{b}): {got} vs {want} \
+                     (diff {:.2e})",
+                    (got - want).abs()
+                );
+            }
+        }
+        // Ranked queries agree on scores (rank ties may reorder freely).
+        let probe = (idx as u32 * 7) % n;
+        let got_top = sim.top_k(probe, 5);
+        let want_top = incsim::core::query::top_k_for_node(expect, probe, 5);
+        for (g_, w) in got_top.iter().zip(&want_top) {
+            assert!(
+                (g_.score - w.score).abs() <= tol,
+                "{ctx}: step {idx} top-k score drift"
+            );
+        }
+    }
+    assert_eq!(sim.graph(), &shadow, "{ctx}: graph drift");
+    sim.scores().clone()
+}
+
+fn conformance_on(g: DiGraph, stream_seed: u64, ctx: &str) {
+    let cfg = tight();
+    let s0 = batch_simrank(&g, &cfg);
+    let ops = stream_on(&g, 10, stream_seed);
+
+    // Per-step ground truth, computed once: from-scratch batch SimRank on
+    // the shadow graph after every service call of the shared schedule.
+    let mut shadow = g.clone();
+    let mut refs: Vec<DenseMatrix> = Vec::new();
+    for range in schedule(ops.len()) {
+        for op in &ops[range] {
+            op.apply(&mut shadow).expect("stream valid");
+        }
+        refs.push(batch_simrank(&shadow, &cfg));
+    }
+
+    // Exact engines: ground truth is the batch recomputation.
+    for kind in [EngineKind::IncSr, EngineKind::IncUSr, EngineKind::Naive] {
+        for policy in POLICIES {
+            let mut sim = build(kind, policy, &g, &s0);
+            let ctx = format!("{ctx}/{kind:?}/{policy:?}");
+            let final_scores = drive(&mut sim, &ops, &refs, 1e-12, &ctx);
+            let diff = final_scores.max_abs_diff(refs.last().expect("nonempty"));
+            assert!(diff <= 1e-12, "{ctx}: final matrix drift {diff:.2e}");
+        }
+    }
+
+    // Inc-SVD: approximate by design; its conformance bar is that every
+    // policy reproduces its own eager trajectory bit-for-bit-ish (the
+    // engine ignores deferral, so any drift means the service layer
+    // changed its inputs).
+    let mut eager_svd = build(EngineKind::IncSvd, ApplyPolicy::Eager, &g, &s0);
+    let mut eager_steps: Vec<DenseMatrix> = Vec::new();
+    for range in schedule(ops.len()) {
+        let chunk = &ops[range];
+        if chunk.len() == 1 {
+            eager_svd.update(chunk[0]).expect("valid");
+        } else {
+            eager_svd.update_batch(chunk).expect("valid");
+        }
+        eager_steps.push(eager_svd.scores().clone());
+    }
+    for policy in [ApplyPolicy::Fused, ApplyPolicy::Lazy, ApplyPolicy::Auto] {
+        let mut sim = build(EngineKind::IncSvd, policy, &g, &s0);
+        let ctx = format!("{ctx}/IncSvd/{policy:?}");
+        drive(&mut sim, &ops, &eager_steps, 1e-12, &ctx);
+    }
+}
+
+#[test]
+fn all_engines_all_policies_agree_on_er_stream() {
+    let mut rng = StdRng::seed_from_u64(0xE7);
+    let g = erdos_renyi(18, 40, &mut rng);
+    conformance_on(g, 11, "ER");
+}
+
+#[test]
+fn all_engines_all_policies_agree_on_rmat_stream() {
+    let mut rng = StdRng::seed_from_u64(0x77A7);
+    let g = rmat(4, 36, &RmatParams::default(), &mut rng);
+    conformance_on(g, 23, "R-MAT");
+}

@@ -116,7 +116,7 @@ fn incsvd_engine_scores_match_closed_form_at_construction() {
         randomized: false,
         ..Default::default()
     };
-    let engine = IncSvd::new(g.clone(), cfg, opts).expect("construction");
+    let mut engine = IncSvd::new(g.clone(), cfg, opts).expect("construction");
     let q = backward_transition(&g).to_dense();
     let svd = jacobi_svd(&q).truncate(8);
     let expect = svd_simrank(&svd, 0.6, 0).expect("closed form");

@@ -2,7 +2,8 @@
 //! incremental maintenance across increments → checkpoint verification —
 //! the full Exp-1 methodology in miniature.
 
-use incsim::core::{batch_simrank, IncSr, SimRankConfig, SimRankMaintainer};
+use incsim::api::{ApplyPolicy, SimRankBuilder};
+use incsim::core::{batch_simrank, SimRankConfig};
 use incsim::datagen::presets::mini;
 use incsim::graph::io::{parse_edge_list, write_edge_list};
 use incsim::metrics::{ndcg_at_k, top_k_pairs};
@@ -12,8 +13,11 @@ fn snapshot_replay_matches_batch_at_every_checkpoint() {
     let mut ds = mini("pipeline", 120, 7);
     let base = ds.base_graph();
     let cfg = SimRankConfig::new(0.6, 60).unwrap();
-    let s0 = batch_simrank(&base, &cfg);
-    let mut engine = IncSr::new(base, s0, cfg);
+    let mut sim = SimRankBuilder::new()
+        .mode(ApplyPolicy::Auto)
+        .config(cfg)
+        .from_graph(base)
+        .expect("engine constructs");
 
     for idx in 0..ds.increment_times.len() {
         let ops = if idx == 0 {
@@ -22,13 +26,13 @@ fn snapshot_replay_matches_batch_at_every_checkpoint() {
             let prev = ds.increment_times[idx - 1];
             ds.timeline.updates_between(prev, ds.increment_times[idx])
         };
-        engine.apply_batch(&ops).expect("stream valid");
+        sim.update_batch(&ops).expect("stream valid");
 
         // Checkpoint: graph matches the snapshot, scores match batch.
         let snapshot = ds.timeline.snapshot_at(ds.increment_times[idx]);
-        assert_eq!(engine.graph(), &snapshot, "checkpoint {idx}: graph drift");
+        assert_eq!(sim.graph(), &snapshot, "checkpoint {idx}: graph drift");
         let truth = batch_simrank(&snapshot, &cfg);
-        let diff = engine.scores().max_abs_diff(&truth);
+        let diff = sim.scores().max_abs_diff(&truth);
         assert!(diff < 1e-7, "checkpoint {idx}: score drift {diff}");
     }
 }
@@ -38,18 +42,20 @@ fn top_k_ranking_is_stable_under_incremental_maintenance() {
     let mut ds = mini("ranking", 100, 9);
     let base = ds.base_graph();
     let cfg = SimRankConfig::new(0.6, 30).unwrap();
-    let s0 = batch_simrank(&base, &cfg);
-    let mut engine = IncSr::new(base, s0, cfg);
+    let mut sim = SimRankBuilder::new()
+        .config(cfg)
+        .from_graph(base)
+        .expect("engine constructs");
     let ops = ds.updates_to_increment(ds.increment_times.len() - 1);
-    engine.apply_batch(&ops).expect("stream valid");
+    sim.update_batch(&ops).expect("stream valid");
 
-    let truth = batch_simrank(engine.graph(), &cfg);
-    let ndcg = ndcg_at_k(&truth, engine.scores(), 30);
+    let truth = batch_simrank(sim.graph(), &cfg);
+    let ndcg = ndcg_at_k(&truth, sim.scores(), 30);
     assert!(ndcg > 0.9999, "NDCG30 = {ndcg}");
 
     // The literal top-10 pair sets coincide.
     let a: Vec<(u32, u32)> = top_k_pairs(&truth, 10).iter().map(|p| (p.a, p.b)).collect();
-    let b: Vec<(u32, u32)> = top_k_pairs(engine.scores(), 10)
+    let b: Vec<(u32, u32)> = top_k_pairs(sim.scores(), 10)
         .iter()
         .map(|p| (p.a, p.b))
         .collect();

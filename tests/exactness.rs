@@ -17,7 +17,7 @@ fn tight() -> SimRankConfig {
     SimRankConfig::new(0.6, 90).expect("valid config")
 }
 
-fn assert_engine_matches_batch(engine: &dyn SimRankMaintainer, tol: f64, ctx: &str) {
+fn assert_engine_matches_batch(engine: &mut dyn SimRankMaintainer, tol: f64, ctx: &str) {
     let fresh = batch_simrank(engine.graph(), engine.config());
     let diff = engine.scores().max_abs_diff(&fresh);
     assert!(diff < tol, "{ctx}: engine drift {diff} exceeds {tol}");
@@ -36,8 +36,8 @@ fn mixed_stream_on_random_graph_stays_exact() {
     incsr.apply_batch(&stream).expect("valid stream");
     incusr.apply_batch(&stream).expect("valid stream");
 
-    assert_engine_matches_batch(&incsr, 1e-8, "Inc-SR after mixed stream");
-    assert_engine_matches_batch(&incusr, 1e-8, "Inc-uSR after mixed stream");
+    assert_engine_matches_batch(&mut incsr, 1e-8, "Inc-SR after mixed stream");
+    assert_engine_matches_batch(&mut incusr, 1e-8, "Inc-uSR after mixed stream");
     // Lossless pruning: identical matrices.
     assert!(
         incsr.scores().max_abs_diff(incusr.scores()) < 1e-10,
@@ -64,7 +64,7 @@ fn insertion_only_stream_on_preferential_graph() {
 
     let mut engine = IncSr::new(g, s0, cfg);
     engine.apply_batch(&stream).expect("valid stream");
-    assert_engine_matches_batch(&engine, 1e-8, "Inc-SR insertions on PA graph");
+    assert_engine_matches_batch(&mut engine, 1e-8, "Inc-SR insertions on PA graph");
 }
 
 #[test]
@@ -77,7 +77,7 @@ fn deletion_only_stream_stays_exact() {
 
     let mut incsr = IncSr::new(g.clone(), s0.clone(), cfg);
     incsr.apply_batch(&stream).expect("valid stream");
-    assert_engine_matches_batch(&incsr, 1e-8, "Inc-SR deletions");
+    assert_engine_matches_batch(&mut incsr, 1e-8, "Inc-SR deletions");
 
     let mut incusr = IncUSr::new(g, s0, cfg);
     incusr.apply_batch(&stream).expect("valid stream");
@@ -112,7 +112,7 @@ fn rebuilding_from_empty_matches_batch() {
     for (u, v) in target.edges() {
         engine.insert_edge(u, v).expect("fresh edge");
     }
-    assert_engine_matches_batch(&engine, 1e-8, "graph rebuilt from empty");
+    assert_engine_matches_batch(&mut engine, 1e-8, "graph rebuilt from empty");
 }
 
 #[test]
@@ -143,7 +143,7 @@ fn node_growth_interleaved_with_updates() {
     let v6 = engine.add_node();
     engine.insert_edge(v6, 2).expect("link new node");
     engine.insert_edge(0, v6).expect("link to new node");
-    assert_engine_matches_batch(&engine, 1e-8, "after node growth");
+    assert_engine_matches_batch(&mut engine, 1e-8, "after node growth");
 }
 
 #[test]

@@ -76,16 +76,16 @@ fn run_usr_modes(
         lazy.apply(op).expect("stream valid by construction");
     }
     let n = g.node_count() as u32;
+    let eager_final = eager.scores().clone();
     let mut query_diff = 0.0f64;
     for a in 0..n {
         for b in 0..n {
-            let got =
-                incsim::core::query::pair_score_lazy(lazy.scores(), lazy.pending_delta(), a, b);
-            query_diff = query_diff.max((got - eager.scores().get(a as usize, b as usize)).abs());
+            let got = lazy.view().pair(a, b);
+            query_diff = query_diff.max((got - eager_final.get(a as usize, b as usize)).abs());
         }
     }
     lazy.flush();
-    let lazy_diff = eager.scores().max_abs_diff(lazy.scores());
+    let lazy_diff = eager_final.max_abs_diff(lazy.scores());
     (fused_diff, lazy_diff, query_diff)
 }
 
