@@ -1,19 +1,32 @@
 //! `bench-snapshot` — records the PR's hot-path perf numbers as JSON.
 //!
 //! ```text
-//! bench-snapshot [--out BENCH_PR3.json] [--n 2048] [--k 15] [--cap 20]
+//! bench-snapshot [--out BENCH_PR4.json] [--n 2048] [--k 15] [--cap 20]
+//!                [--compare BENCH_PR4.json --tolerance 200]
 //! ```
 //!
 //! Runs the fig2a-style unit-update workload under the eager / fused /
-//! lazy apply modes, the isolated micro-kernels, and the `service_overhead`
+//! lazy apply modes, the isolated micro-kernels, the `service_overhead`
 //! case (the `incsim::api` dyn handle vs direct engine calls on an
-//! update+query serving workload), and writes a machine-readable snapshot
-//! (see `incsim_bench::snapshot`). Measurement caps honour
-//! `INCSIM_BENCH_SCALE`; unlike the full experiment suite the snapshot
-//! defaults to a quick `0.2` pass when the variable is unset.
+//! update+query serving workload), and the `concurrent_throughput` case
+//! (epoch-reader queries/sec at 1/2/4 threads against the sharded
+//! `incsim::serve` layer under a saturated background writer), and writes
+//! a machine-readable snapshot (see `incsim_bench::snapshot`).
+//!
+//! `--compare FILE` additionally gates the run against a committed
+//! snapshot: the scale-robust kernel metrics (`fused_speedup`,
+//! `lazy_query_secs`, `overhead_pct`) must not regress beyond
+//! `--tolerance` percent (default 200, i.e. 3×) past their noise floors —
+//! see `incsim_bench::compare`. Exactness gates fail hard at any scale.
+//!
+//! Measurement caps honour `INCSIM_BENCH_SCALE`; unlike the full
+//! experiment suite the snapshot defaults to a quick `0.2` pass when the
+//! variable is unset.
 
+use incsim_bench::compare::{compare, parse_metrics, SnapshotMetrics};
 use incsim_bench::snapshot::{
-    measure_apply_modes, measure_micro_kernels, measure_service_overhead, snapshot_json,
+    measure_apply_modes, measure_concurrent_throughput, measure_micro_kernels,
+    measure_service_overhead, snapshot_json,
 };
 use incsim_bench::{bench_scale, scaled_cap};
 use incsim_metrics::timing::fmt_duration;
@@ -31,7 +44,8 @@ fn main() -> ExitCode {
             eprintln!("error: {msg}");
             eprintln!(
                 "usage: bench-snapshot [--out FILE] [--n N] [--k K] [--cap UPDATES] \
-                 [--min-speedup X] [--max-overhead PCT]"
+                 [--min-speedup X] [--max-overhead PCT] \
+                 [--compare FILE] [--tolerance PCT]"
             );
             ExitCode::FAILURE
         }
@@ -45,6 +59,8 @@ const FLAGS: &[&str] = &[
     "--cap",
     "--min-speedup",
     "--max-overhead",
+    "--compare",
+    "--tolerance",
 ];
 
 /// Rejects anything that is not a known `--flag value` pair, so a typo'd
@@ -77,7 +93,7 @@ fn flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result
 
 fn run(args: &[String]) -> Result<(), String> {
     validate_args(args)?;
-    let out: String = flag(args, "--out", "BENCH_PR3.json".to_string())?;
+    let out: String = flag(args, "--out", "BENCH_PR4.json".to_string())?;
     let n: usize = flag(args, "--n", 2048usize)?;
     let k: usize = flag(args, "--k", 15usize)?;
     let base_cap: usize = flag(args, "--cap", 20usize)?;
@@ -85,6 +101,8 @@ fn run(args: &[String]) -> Result<(), String> {
     // small smoke runs are too noisy to fail on wall-clock.
     let min_speedup: f64 = flag(args, "--min-speedup", 0.0f64)?;
     let max_overhead: f64 = flag(args, "--max-overhead", 0.0f64)?;
+    let compare_path: String = flag(args, "--compare", String::new())?;
+    let tolerance_pct: f64 = flag(args, "--tolerance", 200.0f64)?;
     let cap = scaled_cap(base_cap);
 
     println!(
@@ -140,12 +158,34 @@ fn run(args: &[String]) -> Result<(), String> {
         per(service.service_secs),
     );
 
-    std::fs::write(&out, snapshot_json(&modes, &micro, &service))
+    // Concurrent sharded serving: qps at 1/2/4 reader threads with a
+    // saturated writer, plus sharded-path exactness. Dimension n/2 keeps
+    // the extra batch precompute a fraction of the apply-modes one.
+    let duration = (2.0 * bench_scale()).max(0.04);
+    let concurrent = measure_concurrent_throughput(n / 2, k, 4, duration);
+    println!(
+        "   concurrent  : {:.2e} q/s @1t, {:.2e} @2t, {:.2e} @4t ({:.2}x 4t vs 1t; \
+         writer {:.0} upd/s, {} epochs)",
+        concurrent.qps_1t,
+        concurrent.qps_2t,
+        concurrent.qps_4t,
+        concurrent.speedup_4_vs_1,
+        concurrent.writer_updates_per_sec,
+        concurrent.epochs_published,
+    );
+    println!(
+        "   sharded     : fused {:.2e}, lazy {:.2e} (max |Δ| vs eager through epochs)",
+        concurrent.max_abs_diff_sharded_fused_vs_eager,
+        concurrent.max_abs_diff_sharded_lazy_vs_eager
+    );
+
+    std::fs::write(&out, snapshot_json(&modes, &micro, &service, &concurrent))
         .map_err(|e| format!("cannot write {out}: {e}"))?;
     println!("[ok] snapshot written to {out}");
 
     // Exactness is noise-free at any scale: a nonzero drift means the
-    // deferred apply path is wrong, so the gate fails hard.
+    // deferred apply path is wrong, so the gate fails hard — including
+    // through the sharded serving path.
     let drift = modes
         .max_abs_diff_fused_vs_eager
         .max(modes.max_abs_diff_lazy_vs_eager);
@@ -153,6 +193,20 @@ fn run(args: &[String]) -> Result<(), String> {
         return Err(format!(
             "deferred apply modes drifted {drift:.2e} from eager (tolerance 1e-9)"
         ));
+    }
+    let sharded_drift = concurrent
+        .max_abs_diff_sharded_fused_vs_eager
+        .max(concurrent.max_abs_diff_sharded_lazy_vs_eager);
+    if sharded_drift > 1e-12 {
+        return Err(format!(
+            "sharded serving path drifted {sharded_drift:.2e} from eager (tolerance 1e-12)"
+        ));
+    }
+    if bench_scale() >= 1.0 && concurrent.speedup_4_vs_1 < 2.0 {
+        println!(
+            "[warn] concurrent 4-thread speedup {:.2}x is below the 2x serving budget",
+            concurrent.speedup_4_vs_1
+        );
     }
     if modes.fused_speedup < min_speedup {
         return Err(format!(
@@ -177,6 +231,34 @@ fn run(args: &[String]) -> Result<(), String> {
             "[warn] service-layer overhead {:.2}% is above the 2% budget for this workload",
             service.overhead_pct
         );
+    }
+
+    // Cross-PR regression gate against a committed snapshot.
+    if !compare_path.is_empty() {
+        let committed_json = std::fs::read_to_string(&compare_path)
+            .map_err(|e| format!("cannot read committed snapshot {compare_path}: {e}"))?;
+        let committed = parse_metrics(&committed_json);
+        // The current side never needs parsing — read the structs.
+        let current = SnapshotMetrics {
+            fused_speedup: Some(modes.fused_speedup),
+            lazy_query_secs: Some(modes.lazy_query_secs),
+            overhead_pct: Some(service.overhead_pct),
+        };
+        let regressions = compare(&current, &committed, tolerance_pct);
+        if regressions.is_empty() {
+            println!(
+                "[ok] no kernel-timing regression vs {compare_path} \
+                 (tolerance {tolerance_pct:.0}%)"
+            );
+        } else {
+            for r in &regressions {
+                eprintln!("[regression] {r}");
+            }
+            return Err(format!(
+                "{} kernel metric(s) regressed beyond {tolerance_pct:.0}% vs {compare_path}",
+                regressions.len()
+            ));
+        }
     }
     Ok(())
 }

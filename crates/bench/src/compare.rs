@@ -1,0 +1,225 @@
+//! Cross-PR perf-regression gate: compare a freshly measured snapshot
+//! against a committed `BENCH_PR<N>.json` and fail on timing drift.
+//!
+//! The committed snapshots are full-scale runs on the bench host; CI
+//! re-measures at smoke scale on whatever runner it gets. Absolute
+//! wall-clock therefore cannot be compared — what *can* is the set of
+//! scale-robust kernel metrics:
+//!
+//! * `fused_speedup` — eager/fused ratio, dimensionless;
+//! * `lazy_query_secs` — a single `O(r)` pair read, microsecond scale,
+//!   essentially size-independent at smoke workloads (smaller runs carry
+//!   a smaller pending `r`, so smoke can only look *faster*);
+//! * `overhead_pct` — the service layer's attributable per-step cost, a
+//!   percentage.
+//!
+//! Each metric fails only on **regression** (improvement always passes),
+//! only beyond the configured tolerance factor, and only past a
+//! per-metric noise floor (so a 0.01 %-vs-0.03 % overhead wiggle on a
+//! shared CI box cannot fail a push, while a genuine 10× slowdown
+//! always does). Parsing is a minimal key scanner — the workspace is
+//! offline, so no serde.
+
+/// The comparable metrics extracted from a snapshot JSON (any schema
+/// version: keys are matched by name, missing keys are skipped).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SnapshotMetrics {
+    /// `apply_modes.fused_speedup` (higher is better).
+    pub fused_speedup: Option<f64>,
+    /// `apply_modes.lazy_query_secs` (lower is better).
+    pub lazy_query_secs: Option<f64>,
+    /// `service_overhead.overhead_pct` (lower is better).
+    pub overhead_pct: Option<f64>,
+}
+
+/// Extracts the first `"key": <number>` occurrence from a JSON text.
+/// Good enough for the snapshot files this crate itself writes (flat
+/// objects, unique key names, numbers in plain or scientific notation).
+fn scan_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parses the comparable metrics out of a snapshot JSON.
+pub fn parse_metrics(json: &str) -> SnapshotMetrics {
+    SnapshotMetrics {
+        fused_speedup: scan_number(json, "fused_speedup"),
+        lazy_query_secs: scan_number(json, "lazy_query_secs"),
+        overhead_pct: scan_number(json, "overhead_pct"),
+    }
+}
+
+/// One detected regression: `current` is worse than `committed` by
+/// `factor` (always ≥ 1; the worse-direction ratio).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Which metric drifted.
+    pub metric: &'static str,
+    /// The committed (baseline) value.
+    pub committed: f64,
+    /// The freshly measured value.
+    pub current: f64,
+    /// How many times worse the current value is.
+    pub factor: f64,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {:.4e} vs committed {:.4e} ({:.1}x worse)",
+            self.metric, self.current, self.committed, self.factor
+        )
+    }
+}
+
+/// Noise floors: a metric must be past its floor *and* past the
+/// tolerance factor to count as a regression. Values chosen from the
+/// observed cross-run spread of the committed snapshots.
+const SPEEDUP_FLOOR: f64 = 1.5; // a fused speedup still ≥ 1.5x is healthy
+const LAZY_QUERY_FLOOR_SECS: f64 = 2e-6; // sub-2µs pair reads are in-noise
+const OVERHEAD_FLOOR_PCT: f64 = 1.0; // the service contract is < 2%
+
+/// Compares `current` against `committed` with a tolerance given in
+/// percent of allowed drift (e.g. `200` ⇒ up to 3× worse passes).
+/// Returns every metric that regressed beyond tolerance *and* floor;
+/// empty means the gate passes. Metrics absent on either side are
+/// skipped (older snapshots predate some cases).
+pub fn compare(
+    current: &SnapshotMetrics,
+    committed: &SnapshotMetrics,
+    tolerance_pct: f64,
+) -> Vec<Regression> {
+    let factor_allowed = 1.0 + (tolerance_pct.max(0.0) / 100.0);
+    let mut out = Vec::new();
+
+    // Higher is better: regression when current falls below
+    // committed / allowed — unless it is still above the healthy floor.
+    if let (Some(cur), Some(com)) = (current.fused_speedup, committed.fused_speedup) {
+        let factor = com / cur.max(1e-12);
+        if factor > factor_allowed && cur < SPEEDUP_FLOOR {
+            out.push(Regression {
+                metric: "fused_speedup",
+                committed: com,
+                current: cur,
+                factor,
+            });
+        }
+    }
+    // Lower is better for the timing metrics.
+    let mut lower_better =
+        |metric: &'static str, cur: Option<f64>, com: Option<f64>, floor: f64| {
+            if let (Some(cur), Some(com)) = (cur, com) {
+                let factor = cur / com.max(1e-12);
+                if factor > factor_allowed && cur > floor {
+                    out.push(Regression {
+                        metric,
+                        committed: com,
+                        current: cur,
+                        factor,
+                    });
+                }
+            }
+        };
+    lower_better(
+        "lazy_query_secs",
+        current.lazy_query_secs,
+        committed.lazy_query_secs,
+        LAZY_QUERY_FLOOR_SECS,
+    );
+    lower_better(
+        "overhead_pct",
+        current.overhead_pct,
+        committed.overhead_pct,
+        OVERHEAD_FLOOR_PCT,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(speedup: f64, lazy: f64, overhead: f64) -> SnapshotMetrics {
+        SnapshotMetrics {
+            fused_speedup: Some(speedup),
+            lazy_query_secs: Some(lazy),
+            overhead_pct: Some(overhead),
+        }
+    }
+
+    #[test]
+    fn parses_snapshot_keys_in_plain_and_scientific_notation() {
+        let json = r#"{
+  "apply_modes": { "fused_speedup": 2.751, "lazy_query_secs": 4.254302e-6 },
+  "service_overhead": { "overhead_pct": 0.0102 }
+}"#;
+        let m = parse_metrics(json);
+        assert_eq!(m.fused_speedup, Some(2.751));
+        assert!((m.lazy_query_secs.unwrap() - 4.254302e-6).abs() < 1e-12);
+        assert_eq!(m.overhead_pct, Some(0.0102));
+        // Missing keys are None, not errors.
+        assert_eq!(parse_metrics("{}"), SnapshotMetrics::default());
+    }
+
+    #[test]
+    fn equal_or_better_always_passes() {
+        let committed = metrics(2.7, 4e-6, 0.05);
+        assert!(compare(&committed, &committed, 200.0).is_empty());
+        // Strictly better on every axis.
+        let better = metrics(3.5, 1e-6, 0.01);
+        assert!(compare(&better, &committed, 200.0).is_empty());
+    }
+
+    #[test]
+    fn a_10x_slowdown_fails_every_timing_metric() {
+        let committed = metrics(2.7, 4e-6, 0.9);
+        let slow = metrics(0.27, 4e-5, 9.0);
+        let regs = compare(&slow, &committed, 200.0);
+        let names: Vec<&str> = regs.iter().map(|r| r.metric).collect();
+        assert!(names.contains(&"fused_speedup"), "{names:?}");
+        assert!(names.contains(&"lazy_query_secs"), "{names:?}");
+        assert!(names.contains(&"overhead_pct"), "{names:?}");
+        assert!(regs.iter().all(|r| r.factor > 3.0));
+        assert!(regs[0].to_string().contains("worse"));
+    }
+
+    #[test]
+    fn drift_inside_tolerance_or_under_floor_passes() {
+        let committed = metrics(2.7, 4e-6, 0.01);
+        // 2x worse with 200% tolerance (3x allowed): passes.
+        assert!(compare(&metrics(1.4, 8e-6, 0.02), &committed, 200.0).is_empty());
+        // 5x worse overhead but still under the 1% floor: passes (this is
+        // exactly the smoke-scale noise band the floor exists for).
+        assert!(compare(&metrics(2.7, 4e-6, 0.05), &committed, 200.0).is_empty());
+        // Sub-floor lazy query stays in-noise even at large ratios.
+        let fast_commit = metrics(2.7, 1e-7, 0.01);
+        assert!(compare(&metrics(2.7, 1e-6, 0.01), &fast_commit, 200.0).is_empty());
+        // A healthy absolute speedup passes even if the committed one was
+        // unusually high.
+        let high_commit = metrics(8.0, 4e-6, 0.01);
+        assert!(compare(&metrics(2.0, 4e-6, 0.01), &high_commit, 200.0).is_empty());
+        // But a genuinely collapsed speedup fails.
+        assert_eq!(
+            compare(&metrics(0.8, 4e-6, 0.01), &high_commit, 200.0).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn missing_metrics_are_skipped_not_failed() {
+        let committed = SnapshotMetrics {
+            fused_speedup: Some(2.7),
+            ..Default::default()
+        };
+        let current = metrics(0.1, 1.0, 99.0);
+        let regs = compare(&current, &committed, 200.0);
+        assert_eq!(regs.len(), 1, "only the shared metric is judged");
+        assert_eq!(regs[0].metric, "fused_speedup");
+    }
+}

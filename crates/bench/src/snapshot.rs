@@ -8,9 +8,10 @@
 
 use crate::harness::{bench_scale, measure_per_update};
 use incsim::api::{ApplyPolicy, EngineKind, SimRankBuilder};
+use incsim::serve::{drive_load, ConcurrentSimRank, LoadOptions, ShardedSimRank};
 use incsim_core::{batch_simrank, ApplyMode, IncUSr, SimRankConfig, SimRankMaintainer};
-use incsim_datagen::er::erdos_renyi;
-use incsim_datagen::updates::random_insertions;
+use incsim_datagen::er::{erdos_renyi, erdos_renyi_blocks};
+use incsim_datagen::updates::{random_insertions, random_toggles_blocks};
 use incsim_graph::{DiGraph, UpdateOp};
 use incsim_linalg::{DenseMatrix, LowRankDelta};
 use rand::rngs::StdRng;
@@ -402,15 +403,171 @@ pub fn measure_micro_kernels(n: usize, pairs: usize, reps: usize) -> MicroKernel
     }
 }
 
+/// Throughput and exactness of the `incsim::serve` concurrent sharded
+/// layer: aggregate epoch-reader queries/sec at 1, 2 and 4 reader
+/// threads with a saturated background writer, plus the deferred-apply
+/// exactness of the fused and lazy policies *through the sharded path*
+/// (vs the eager sharded trajectory — an identity, so noise-free).
+#[derive(Debug, Clone)]
+pub struct ConcurrentThroughputSnapshot {
+    /// Node count of the workload graph.
+    pub n: usize,
+    /// Engine shards behind the router.
+    pub shards: usize,
+    /// Iterations `K`.
+    pub k_iters: usize,
+    /// Seconds measured per reader-thread point.
+    pub duration_secs: f64,
+    /// Aggregate pair queries/sec with 1 reader thread.
+    pub qps_1t: f64,
+    /// Aggregate pair queries/sec with 2 reader threads.
+    pub qps_2t: f64,
+    /// Aggregate pair queries/sec with 4 reader threads.
+    pub qps_4t: f64,
+    /// `qps_4t / qps_1t` — the serving-scalability headline.
+    pub speedup_4_vs_1: f64,
+    /// Updates/sec the background writer sustained at the 4-reader point
+    /// (batched, fanned across shards, publish every 4 batches).
+    pub writer_updates_per_sec: f64,
+    /// Epochs published at the 4-reader point.
+    pub epochs_published: u64,
+    /// Max |fused − eager| over all pairs, read through sharded epochs.
+    pub max_abs_diff_sharded_fused_vs_eager: f64,
+    /// Max |lazy − eager| over all pairs, same read path — the lazy
+    /// router's epoch composes its *pending* Δ (nothing flushed), so this
+    /// also certifies Δ-composition through snapshots.
+    pub max_abs_diff_sharded_lazy_vs_eager: f64,
+}
+
+/// The next `len` valid intra-component toggles, round-robin across the
+/// component blocks (a balanced partitioned-ingest stream).
+fn intra_block_toggles(
+    shadow: &mut DiGraph,
+    shards: usize,
+    per: usize,
+    len: usize,
+    rng: &mut StdRng,
+) -> Vec<UpdateOp> {
+    let blocks: Vec<std::ops::Range<u32>> = (0..shards)
+        .map(|s| (s * per) as u32..((s + 1) * per) as u32)
+        .collect();
+    random_toggles_blocks(shadow, &blocks, len, rng)
+}
+
+/// Measures the concurrent serving layer at dimension `n` (rounded down
+/// to a multiple of `shards`): reader-thread sweep for throughput, then
+/// a policy sweep for sharded exactness. `duration_secs` is the
+/// measurement window per reader point (scaled by the caller).
+pub fn measure_concurrent_throughput(
+    n: usize,
+    k_iters: usize,
+    shards: usize,
+    duration_secs: f64,
+) -> ConcurrentThroughputSnapshot {
+    let per = (n / shards).max(2);
+    let n = per * shards;
+    let mut graph_rng = StdRng::seed_from_u64(99);
+    let g = erdos_renyi_blocks(shards, per, per * 6, &mut graph_rng);
+    let cfg = SimRankConfig::new(0.6, k_iters).expect("valid config");
+    let s0 = batch_simrank(&g, &cfg);
+    let builder = |policy: ApplyPolicy| {
+        SimRankBuilder::new()
+            .algorithm(EngineKind::IncUSr)
+            .mode(policy)
+            .config(cfg)
+            .shards(shards)
+    };
+
+    // ---- exactness through the sharded path ---------------------------
+    // Same stream through eager / fused / lazy sharded routers; answers
+    // are read through a frozen epoch (base + pending Δ for lazy), so the
+    // comparison crosses routing, snapshotting and Δ-composition at once.
+    let mut stream_shadow = g.clone();
+    let mut stream_rng = StdRng::seed_from_u64(4321);
+    let exact_ops = intra_block_toggles(&mut stream_shadow, shards, per, 12, &mut stream_rng);
+    let drive = |policy: ApplyPolicy| -> ShardedSimRank {
+        let mut sharded = ShardedSimRank::with_scores(builder(policy), g.clone(), s0.clone())
+            .expect("router builds");
+        for chunk in exact_ops.chunks(3) {
+            sharded
+                .update_batch_with_threads(chunk, shards)
+                .expect("stream valid");
+        }
+        sharded
+    };
+    let eager = drive(ApplyPolicy::Eager).snapshot_epoch(0);
+    let fused = drive(ApplyPolicy::Fused).snapshot_epoch(0);
+    let lazy = drive(ApplyPolicy::Lazy).snapshot_epoch(0);
+    let mut diff_fused = 0.0f64;
+    let mut diff_lazy = 0.0f64;
+    for a in 0..n as u32 {
+        for b in a..n as u32 {
+            let e = eager.pair(a, b);
+            diff_fused = diff_fused.max((fused.pair(a, b) - e).abs());
+            diff_lazy = diff_lazy.max((lazy.pair(a, b) - e).abs());
+        }
+    }
+
+    // ---- reader-thread throughput sweep -------------------------------
+    // The writer side is deliberately saturated (continuous 16-op
+    // batches — 4 per shard, round-robin — fanned across the shards,
+    // publish every 4 batches): the number under load is the one that
+    // matters, and on any core count it exposes how much reader capacity
+    // the epoch design preserves. `incsim::serve::drive_load` is the
+    // shared harness (also behind `incsim-cli serve`).
+    let mut qps = [0.0f64; 3];
+    let mut writer_updates_per_sec = 0.0;
+    let mut epochs_published = 0u64;
+    for (point, readers) in [1usize, 2, 4].into_iter().enumerate() {
+        let sharded =
+            ShardedSimRank::with_scores(builder(ApplyPolicy::Fused), g.clone(), s0.clone())
+                .expect("router builds");
+        let mut serving = ConcurrentSimRank::new(sharded);
+        let report = drive_load(
+            &mut serving,
+            &LoadOptions {
+                readers,
+                duration: std::time::Duration::from_secs_f64(duration_secs),
+                write_batch: 16,
+                publish_every: 4,
+                writer_threads: shards,
+                seed: 777,
+            },
+        )
+        .expect("toggle stream valid");
+        qps[point] = report.queries_per_sec();
+        if readers == 4 {
+            writer_updates_per_sec = report.updates_per_sec();
+            epochs_published = report.epochs_published;
+        }
+    }
+
+    ConcurrentThroughputSnapshot {
+        n,
+        shards,
+        k_iters,
+        duration_secs,
+        qps_1t: qps[0],
+        qps_2t: qps[1],
+        qps_4t: qps[2],
+        speedup_4_vs_1: qps[2] / qps[0].max(1e-9),
+        writer_updates_per_sec,
+        epochs_published,
+        max_abs_diff_sharded_fused_vs_eager: diff_fused,
+        max_abs_diff_sharded_lazy_vs_eager: diff_lazy,
+    }
+}
+
 /// Renders the full snapshot as pretty-printed JSON.
 pub fn snapshot_json(
     modes: &ApplyModeSnapshot,
     micro: &MicroKernelSnapshot,
     service: &ServiceOverheadSnapshot,
+    concurrent: &ConcurrentThroughputSnapshot,
 ) -> String {
     format!(
         r#"{{
-  "schema": "incsim-bench-snapshot-v2",
+  "schema": "incsim-bench-snapshot-v3",
   "bench_scale": {scale},
   "apply_modes": {{
     "n": {n},
@@ -445,6 +602,20 @@ pub fn snapshot_json(
     "update_envelope_secs": {sue:.6e},
     "direct_query_secs": {sdq:.6e},
     "service_query_secs": {ssq:.6e}
+  }},
+  "concurrent_throughput": {{
+    "n": {cn},
+    "shards": {csh},
+    "k_iters": {ck},
+    "duration_secs": {cd:.3},
+    "qps_1t": {cq1:.6e},
+    "qps_2t": {cq2:.6e},
+    "qps_4t": {cq4:.6e},
+    "speedup_4_vs_1": {csp:.3},
+    "writer_updates_per_sec": {cwu:.3},
+    "epochs_published": {cep},
+    "max_abs_diff_sharded_fused_vs_eager": {cdf:.3e},
+    "max_abs_diff_sharded_lazy_vs_eager": {cdl:.3e}
   }}
 }}
 "#,
@@ -477,6 +648,18 @@ pub fn snapshot_json(
         sue = service.update_envelope_secs,
         sdq = service.direct_query_secs,
         ssq = service.service_query_secs,
+        cn = concurrent.n,
+        csh = concurrent.shards,
+        ck = concurrent.k_iters,
+        cd = concurrent.duration_secs,
+        cq1 = concurrent.qps_1t,
+        cq2 = concurrent.qps_2t,
+        cq4 = concurrent.qps_4t,
+        csp = concurrent.speedup_4_vs_1,
+        cwu = concurrent.writer_updates_per_sec,
+        cep = concurrent.epochs_published,
+        cdf = concurrent.max_abs_diff_sharded_fused_vs_eager,
+        cdl = concurrent.max_abs_diff_sharded_lazy_vs_eager,
     )
 }
 
@@ -496,10 +679,25 @@ mod tests {
         assert_eq!(service.updates, 2);
         assert!(service.overhead_pct.is_finite());
         assert!(service.direct_secs > 0.0 && service.service_secs > 0.0);
-        let json = snapshot_json(&modes, &micro, &service);
-        assert!(json.contains("\"schema\": \"incsim-bench-snapshot-v2\""));
+        let concurrent = measure_concurrent_throughput(48, 4, 2, 0.02);
+        assert!(concurrent.qps_1t > 0.0 && concurrent.qps_4t > 0.0);
+        assert!(concurrent.epochs_published > 0);
+        assert!(
+            concurrent.max_abs_diff_sharded_fused_vs_eager < 1e-12,
+            "sharded fused drift {:.2e}",
+            concurrent.max_abs_diff_sharded_fused_vs_eager
+        );
+        assert!(
+            concurrent.max_abs_diff_sharded_lazy_vs_eager < 1e-12,
+            "sharded lazy drift {:.2e}",
+            concurrent.max_abs_diff_sharded_lazy_vs_eager
+        );
+        let json = snapshot_json(&modes, &micro, &service, &concurrent);
+        assert!(json.contains("\"schema\": \"incsim-bench-snapshot-v3\""));
         assert!(json.contains("fused_speedup"));
         assert!(json.contains("service_overhead"));
+        assert!(json.contains("concurrent_throughput"));
+        assert!(json.contains("speedup_4_vs_1"));
         // Balanced braces — cheap structural sanity for the hand-rolled JSON.
         assert_eq!(
             json.matches('{').count(),

@@ -82,7 +82,7 @@ pub fn batch_simrank_detailed(
     let n = g.node_count();
     let q = backward_transition(g);
     let threads = if opts.threads == 0 {
-        std::thread::available_parallelism().map_or(1, |p| p.get())
+        incsim_linalg::lowrank::default_threads()
     } else {
         opts.threads
     };

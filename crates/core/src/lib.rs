@@ -72,7 +72,7 @@ pub use grouped::{group_by_row, GroupedStats, RowChange};
 pub use incsr::IncSr;
 pub use incusr::IncUSr;
 pub use maintainer::{validate_update, ApplyMode, SimRankMaintainer, UpdateError, UpdateStats};
-pub use query::{RankedNode, ScoreView};
+pub use query::{RankedNode, ScoreSnapshot, ScoreView};
 pub use rankone::{
     gamma_vector, gamma_vector_from_cols, rank_one_decomposition, RankOneUpdate, UpdateKind,
 };

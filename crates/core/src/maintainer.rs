@@ -1,6 +1,6 @@
 //! The common interface of incremental SimRank engines.
 
-use crate::query::ScoreView;
+use crate::query::{ScoreSnapshot, ScoreView};
 use crate::rankone::UpdateKind;
 use incsim_graph::{DiGraph, GraphError, UpdateOp};
 use incsim_linalg::{DenseMatrix, LowRankDelta};
@@ -200,6 +200,15 @@ pub trait SimRankMaintainer {
     /// dot-products instead of an `n²` apply.
     fn view(&self) -> ScoreView<'_> {
         ScoreView::new(self.base_scores(), self.pending_delta())
+    }
+
+    /// An **owned** frozen copy of the current state (`S_base + Δ`) —
+    /// epoch material for concurrent serving. Unlike [`Self::view`] the
+    /// result borrows nothing, so it can outlive any subsequent mutation
+    /// of the engine; unlike [`Self::scores`] it needs only `&self` and
+    /// never materialises the pending ΔS.
+    fn snapshot_view(&self) -> ScoreSnapshot {
+        self.view().to_snapshot()
     }
 
     /// The pending deferred-ΔS factor buffer, when the engine defers

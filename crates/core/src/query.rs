@@ -193,6 +193,74 @@ impl<'a> ScoreView<'a> {
         }
         s
     }
+
+    /// An **owned** copy of this view — snapshot material for concurrent
+    /// serving: the result is `Clone + Send + Sync` and stays frozen at
+    /// the state observed now, no matter how the engine evolves after.
+    /// Costs one `n²` base copy plus the pending factor columns; the
+    /// deferred Δ is *not* materialised (reads through the snapshot keep
+    /// composing `S_base + Δ`, exactly like the live view).
+    pub fn to_snapshot(&self) -> ScoreSnapshot {
+        ScoreSnapshot {
+            base: self.base.clone(),
+            delta: self.delta.cloned(),
+        }
+    }
+}
+
+/// An owned, immutable `S_eff = S_base + Δ` snapshot — the epoch material
+/// of the concurrent serving layer (`incsim::serve`).
+///
+/// Where [`ScoreView`] borrows live engine state, `ScoreSnapshot` *owns*
+/// a frozen copy: it is `Clone + Send + Sync`, can be parked behind an
+/// `Arc` and read from any number of threads while the engine that
+/// produced it keeps mutating. Query it through [`Self::view`], which
+/// yields a regular [`ScoreView`] over the frozen state.
+#[derive(Clone, Debug)]
+pub struct ScoreSnapshot {
+    base: DenseMatrix,
+    delta: Option<LowRankDelta>,
+}
+
+impl ScoreSnapshot {
+    /// Node count `n` of the frozen `n × n` state.
+    pub fn n(&self) -> usize {
+        self.base.rows()
+    }
+
+    /// A [`ScoreView`] over the frozen state — the same query surface as
+    /// a live engine view, answering from the snapshot forever.
+    pub fn view(&self) -> ScoreView<'_> {
+        ScoreView::new(&self.base, self.delta.as_ref())
+    }
+
+    /// Similarity of one node pair (see [`ScoreView::pair`]).
+    ///
+    /// # Panics
+    /// Panics if either node is out of range.
+    pub fn pair(&self, a: u32, b: u32) -> f64 {
+        self.view().pair(a, b)
+    }
+
+    /// All similarities of node `a`, excluding itself.
+    pub fn single_source(&self, a: u32) -> Vec<RankedNode> {
+        self.view().single_source(a)
+    }
+
+    /// The `k` most similar nodes to `a`, descending (ties by node id).
+    pub fn top_k(&self, a: u32, k: usize) -> Vec<RankedNode> {
+        self.view().top_k(a, k)
+    }
+
+    /// Nodes whose similarity to `a` is at least `threshold`, unordered.
+    pub fn similar_above(&self, a: u32, threshold: f64) -> Vec<RankedNode> {
+        self.view().similar_above(a, threshold)
+    }
+
+    /// Heap bytes held by the frozen state (base matrix + factor buffer).
+    pub fn heap_bytes(&self) -> usize {
+        self.base.heap_bytes() + self.delta.as_ref().map_or(0, |d| d.heap_bytes())
+    }
 }
 
 #[cfg(test)]
@@ -284,6 +352,31 @@ mod tests {
                 single_source(&applied, a).len()
             );
         }
+    }
+
+    #[test]
+    fn snapshot_freezes_state_and_is_send_sync() {
+        fn assert_send_sync_clone<T: Send + Sync + Clone>() {}
+        assert_send_sync_clone::<ScoreSnapshot>();
+
+        let mut s = sample();
+        let mut delta = LowRankDelta::new(4);
+        delta.push_dense(vec![0.5, 0.0, -1.0, 0.0], vec![0.0, 2.0, 0.0, 1.0]);
+        let snap = ScoreView::new(&s, Some(&delta)).to_snapshot();
+        assert_eq!(snap.n(), 4);
+        assert!(snap.view().is_deferred(), "pending Δ travels with it");
+        let before: Vec<f64> = (0..4u32).map(|b| snap.pair(0, b)).collect();
+        // Mutate the source; the snapshot must not move.
+        s.set(0, 1, 99.0);
+        delta.push_dense(vec![9.0; 4], vec![9.0; 4]);
+        let after: Vec<f64> = (0..4u32).map(|b| snap.pair(0, b)).collect();
+        assert_eq!(before, after);
+        // Snapshot queries agree with an equivalent live view.
+        let live = snap.view();
+        assert_eq!(snap.top_k(1, 3), live.top_k(1, 3));
+        assert_eq!(snap.single_source(2), live.single_source(2));
+        assert_eq!(snap.similar_above(3, 0.4), live.similar_above(3, 0.4));
+        assert!(snap.heap_bytes() > 0);
     }
 
     #[test]

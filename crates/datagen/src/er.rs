@@ -3,6 +3,28 @@
 use incsim_graph::DiGraph;
 use rand::Rng;
 
+/// Samples a graph of `blocks` **disjoint** ER components, component `b`
+/// on the contiguous id block `[b·per, (b+1)·per)` with `edges_per_block`
+/// edges. This is the workload shape of the serving layer's exactness
+/// contract (`incsim::serve`): a block partition over it is
+/// component-aligned, so every sharded answer is globally exact.
+pub fn erdos_renyi_blocks<R: Rng>(
+    blocks: usize,
+    per: usize,
+    edges_per_block: usize,
+    rng: &mut R,
+) -> DiGraph {
+    let mut g = DiGraph::new(blocks * per);
+    for b in 0..blocks {
+        let base = (b * per) as u32;
+        for (u, v) in erdos_renyi(per, edges_per_block, rng).edges() {
+            g.insert_edge(base + u, base + v)
+                .expect("component edges land in distinct blocks");
+        }
+    }
+    g
+}
+
 /// Samples a directed graph with exactly `m` distinct edges chosen
 /// uniformly among all `n·(n−1)` non-loop ordered pairs.
 ///
@@ -77,6 +99,18 @@ mod tests {
         let g1 = erdos_renyi(30, 90, &mut StdRng::seed_from_u64(7));
         let g2 = erdos_renyi(30, 90, &mut StdRng::seed_from_u64(7));
         assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn block_graph_components_stay_disjoint() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = erdos_renyi_blocks(3, 8, 16, &mut rng);
+        assert_eq!(g.node_count(), 24);
+        assert_eq!(g.edge_count(), 48);
+        for (u, v) in g.edges() {
+            assert_eq!(u / 8, v / 8, "edge ({u},{v}) crosses blocks");
+        }
+        g.validate().unwrap();
     }
 
     #[test]

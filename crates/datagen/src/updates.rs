@@ -38,6 +38,77 @@ pub fn random_insertions<R: Rng>(g: &DiGraph, count: usize, rng: &mut R) -> Vec<
     ops
 }
 
+/// Samples `count` valid edge **toggles** against an evolving shadow
+/// graph, restricted to node ids in `nodes` (pass `0..n` for the whole
+/// graph): each op flips the presence of a random non-loop pair and is
+/// recorded in `shadow`, so the stream applies cleanly in order — and so
+/// repeated calls with the same shadow keep extending one valid stream
+/// (the serving benchmarks generate load this way). The insert/delete
+/// mix follows the current edge density, the steady-state churn of a
+/// link-evolving graph.
+///
+/// # Panics
+/// Panics if `nodes` spans fewer than two ids or exceeds the graph.
+pub fn random_toggles_in<R: Rng>(
+    shadow: &mut DiGraph,
+    nodes: std::ops::Range<u32>,
+    count: usize,
+    rng: &mut R,
+) -> Vec<UpdateOp> {
+    assert!(
+        nodes.end - nodes.start >= 2,
+        "need at least two nodes to toggle edges"
+    );
+    assert!(
+        nodes.end as usize <= shadow.node_count(),
+        "toggle block {nodes:?} exceeds the graph"
+    );
+    let mut ops = Vec::with_capacity(count);
+    while ops.len() < count {
+        let u = rng.gen_range(nodes.clone());
+        let v = rng.gen_range(nodes.clone());
+        if u == v {
+            continue;
+        }
+        if shadow.has_edge(u, v) {
+            shadow.remove_edge(u, v).expect("tracked as present");
+            ops.push(UpdateOp::Delete(u, v));
+        } else {
+            shadow.insert_edge(u, v).expect("tracked as absent");
+            ops.push(UpdateOp::Insert(u, v));
+        }
+    }
+    ops
+}
+
+/// [`random_toggles_in`] spread **round-robin** across several blocks:
+/// op `i` toggles inside `blocks[i % blocks.len()]`, so every block
+/// receives the same op count (±1). This is the balanced ingest stream
+/// of the sharded serving benchmarks — even per-shard fan-out by
+/// construction.
+///
+/// # Panics
+/// Panics if `blocks` is empty or any block is invalid for
+/// [`random_toggles_in`].
+pub fn random_toggles_blocks<R: Rng>(
+    shadow: &mut DiGraph,
+    blocks: &[std::ops::Range<u32>],
+    count: usize,
+    rng: &mut R,
+) -> Vec<UpdateOp> {
+    assert!(!blocks.is_empty(), "need at least one toggle block");
+    let mut ops = Vec::with_capacity(count);
+    for i in 0..count {
+        ops.extend(random_toggles_in(
+            shadow,
+            blocks[i % blocks.len()].clone(),
+            1,
+            rng,
+        ));
+    }
+    ops
+}
+
 /// Samples `count` deletions of distinct existing edges of `g`.
 ///
 /// # Panics
@@ -150,6 +221,38 @@ mod tests {
         let g = base();
         let mut rng = StdRng::seed_from_u64(8);
         let _ = random_deletions(&g, 1000, &mut rng);
+    }
+
+    #[test]
+    fn toggles_track_the_shadow_and_respect_blocks() {
+        let g = base();
+        let mut shadow = g.clone();
+        let mut rng = StdRng::seed_from_u64(10);
+        // Two successive calls extend one valid stream.
+        let mut ops = random_toggles_in(&mut shadow, 0..10, 15, &mut rng);
+        ops.extend(random_toggles_in(&mut shadow, 2..9, 10, &mut rng));
+        let mut h = g.clone();
+        for op in &ops {
+            op.apply(&mut h).unwrap();
+        }
+        assert_eq!(&h, &shadow, "shadow tracks exactly the applied stream");
+        for op in &ops[15..] {
+            let (u, v) = op.endpoints();
+            assert!(
+                (2..9).contains(&u) && (2..9).contains(&v),
+                "block respected"
+            );
+        }
+        assert!(ops.iter().any(|o| matches!(o, UpdateOp::Delete(..))));
+        assert!(ops.iter().any(|o| matches!(o, UpdateOp::Insert(..))));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two nodes")]
+    fn toggles_reject_degenerate_blocks() {
+        let mut shadow = base();
+        let mut rng = StdRng::seed_from_u64(11);
+        let _ = random_toggles_in(&mut shadow, 3..4, 1, &mut rng);
     }
 
     #[test]

@@ -44,6 +44,19 @@ const TILE_ROWS: usize = 32;
 /// alongside a [`TILE_ROWS`] tile up to `n ≈ 10⁴`.
 const DENSE_GROUP: usize = 8;
 
+/// Default worker count for the fused apply: `INCSIM_THREADS` when set to
+/// a positive integer (the knob CI's thread matrix drives so both the
+/// serial and parallel sweep paths are exercised), otherwise the host
+/// parallelism. Serial and parallel results are bit-for-bit identical, so
+/// this only moves work, never answers.
+pub fn default_threads() -> usize {
+    std::env::var("INCSIM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()))
+}
+
 /// One buffered symmetric rank-two term `ξ·ηᵀ + η·ξᵀ`.
 #[derive(Clone, Debug)]
 enum FactorPair {
@@ -247,7 +260,7 @@ impl LowRankDelta {
     /// Panics if `s` is not `dim × dim`.
     pub fn apply_to(&mut self, s: &mut DenseMatrix) {
         let threads = if self.dim >= 256 {
-            std::thread::available_parallelism().map_or(1, |p| p.get())
+            default_threads()
         } else {
             1
         };

@@ -81,8 +81,8 @@ use crate::baselines::{BatchRecompute, IncSvd, IncSvdOptions};
 use crate::core::query::RankedNode;
 use crate::core::snapshot::{load, save_engine, Snapshot, SnapshotError};
 use crate::core::{
-    batch_simrank, ApplyMode, IncSr, IncUSr, ScoreView, SimRankConfig, SimRankMaintainer,
-    UpdateError, UpdateStats,
+    batch_simrank, ApplyMode, IncSr, IncUSr, ScoreSnapshot, ScoreView, SimRankConfig,
+    SimRankMaintainer, UpdateError, UpdateStats,
 };
 use crate::graph::{DiGraph, UpdateOp};
 use crate::linalg::DenseMatrix;
@@ -174,7 +174,7 @@ impl From<SnapshotError> for BuildError {
 /// Builder for a [`SimRank`] service handle.
 ///
 /// Defaults: [`EngineKind::IncSr`], [`ApplyPolicy::Auto`],
-/// [`SimRankConfig::paper_default`].
+/// [`SimRankConfig::paper_default`], 1 shard.
 #[derive(Debug, Clone)]
 pub struct SimRankBuilder {
     kind: EngineKind,
@@ -182,6 +182,7 @@ pub struct SimRankBuilder {
     cfg: SimRankConfig,
     svd_opts: IncSvdOptions,
     auto_flush_rank: Option<usize>,
+    shard_count: usize,
 }
 
 impl Default for SimRankBuilder {
@@ -199,6 +200,7 @@ impl SimRankBuilder {
             cfg: SimRankConfig::paper_default(),
             svd_opts: IncSvdOptions::default(),
             auto_flush_rank: None,
+            shard_count: 1,
         }
     }
 
@@ -233,6 +235,40 @@ impl SimRankBuilder {
         self
     }
 
+    /// Number of engine shards for the serving terminals
+    /// ([`Self::build_sharded`] / [`Self::concurrent`]); the node set is
+    /// block-partitioned across them (see [`crate::serve`]). Ignored by
+    /// the single-handle terminals ([`Self::from_graph`] and friends).
+    /// Default 1; 0 is clamped to 1.
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shard_count = n.max(1);
+        self
+    }
+
+    /// The configured shard count (see [`Self::shards`]).
+    pub fn shard_count(&self) -> usize {
+        self.shard_count
+    }
+
+    /// Terminal: builds a [`ShardedSimRank`](crate::serve::ShardedSimRank)
+    /// router over [`Self::shards`] per-shard engines, batch-computing the
+    /// initial scores once and seeding every shard with them.
+    pub fn build_sharded(self, graph: DiGraph) -> Result<crate::serve::ShardedSimRank, BuildError> {
+        let scores = batch_simrank(&graph, &self.cfg);
+        crate::serve::ShardedSimRank::with_scores(self, graph, scores)
+    }
+
+    /// Terminal: builds a
+    /// [`ConcurrentSimRank`](crate::serve::ConcurrentSimRank) — the
+    /// single-writer/many-reader serving handle — over a sharded router
+    /// with [`Self::shards`] shards (1 shard is a perfectly good
+    /// concurrent single-engine handle).
+    pub fn concurrent(self, graph: DiGraph) -> Result<crate::serve::ConcurrentSimRank, BuildError> {
+        Ok(crate::serve::ConcurrentSimRank::new(
+            self.build_sharded(graph)?,
+        ))
+    }
+
     /// Builds the handle, batch-computing the initial scores from `graph`
     /// (the paper's workflow: precompute once, then maintain forever).
     pub fn from_graph(self, graph: DiGraph) -> Result<SimRank, BuildError> {
@@ -255,7 +291,7 @@ impl SimRankBuilder {
                 cols: scores.cols(),
             });
         }
-        let engine: Box<dyn SimRankMaintainer> = match self.kind {
+        let engine: Box<dyn SimRankMaintainer + Send> = match self.kind {
             EngineKind::IncSr => Box::new(IncSr::new(graph, scores, self.cfg)),
             EngineKind::IncUSr => Box::new(IncUSr::new(graph, scores, self.cfg)),
             EngineKind::IncSvd => Box::new(
@@ -295,11 +331,23 @@ pub struct ModeCounters {
     pub queries: usize,
 }
 
+impl ModeCounters {
+    /// Accumulates `other` into `self` — the aggregation the sharded
+    /// router uses so its counters stay meaningful across shards.
+    pub fn merge(&mut self, other: &ModeCounters) {
+        self.eager_updates += other.eager_updates;
+        self.fused_updates += other.fused_updates;
+        self.lazy_updates += other.lazy_updates;
+        self.rank_cap_flushes += other.rank_cap_flushes;
+        self.queries += other.queries;
+    }
+}
+
 /// The service handle: update / query / snapshot over any engine. Build
 /// with [`SimRankBuilder`]; see the [module docs](self) for the policy
 /// semantics.
 pub struct SimRank {
-    engine: Box<dyn SimRankMaintainer>,
+    engine: Box<dyn SimRankMaintainer + Send>,
     policy: ApplyPolicy,
     counters: ModeCounters,
     // Query traffic since the last update; `Cell` because query methods
@@ -319,7 +367,7 @@ impl SimRank {
     /// since the previous update (query-heavy window).
     pub const AUTO_QUERY_HEAVY: usize = 4;
 
-    fn from_engine(engine: Box<dyn SimRankMaintainer>, b: SimRankBuilder) -> Self {
+    fn from_engine(engine: Box<dyn SimRankMaintainer + Send>, b: SimRankBuilder) -> Self {
         let n = engine.base_scores().rows();
         let nnz = engine.base_scores().count_nonzero(b.cfg.zero_tol);
         let mut svc = SimRank {
@@ -488,6 +536,14 @@ impl SimRank {
     pub fn view(&self) -> ScoreView<'_> {
         self.count_query();
         self.engine.view()
+    }
+
+    /// An owned, frozen [`ScoreSnapshot`] of the current state — epoch
+    /// material for the concurrent serving layer ([`crate::serve`]). Not
+    /// counted as a query: epoch publication is maintenance traffic, not
+    /// workload signal.
+    pub fn snapshot_view(&self) -> ScoreSnapshot {
+        self.engine.snapshot_view()
     }
 
     /// The materialised score matrix: any pending ΔS is applied first, so

@@ -7,6 +7,7 @@
 //! incsim-cli topk     --state state.incsim -k 10
 //! incsim-cli query    --state state.incsim --node 42 -k 5
 //! incsim-cli query    --state state.incsim -a 3 -b 7
+//! incsim-cli serve    --state state.incsim --shards 4 --readers 4 --duration-ms 1000
 //! incsim-cli info     --state state.incsim
 //! ```
 //!
@@ -57,6 +58,10 @@ commands:
              --state STATE [-k 10]
   query      pair score or per-node ranking
              --state STATE (-a A -b B | --node V [-k 5])
+  serve      multi-threaded query benchmark over the concurrent serving layer
+             --state STATE [--shards N] [--readers R] [--duration-ms D]
+             [--batch B] [--publish-every P]
+             [--algorithm incsr|incusr|incsvd|naive] [--mode auto|eager|fused|lazy]
   info       describe a state file
              --state STATE";
 
@@ -120,6 +125,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "update" => cmd_update(&flags),
         "topk" => cmd_topk(&flags),
         "query" => cmd_query(&flags),
+        "serve" => cmd_serve(&flags),
         "info" => cmd_info(&flags),
         other => Err(format!("unknown command {other:?}")),
     }
@@ -351,6 +357,81 @@ fn cmd_query(flags: &Flags) -> Result<(), String> {
     }
 }
 
+/// `serve` — load a state, stand up the sharded concurrent serving layer,
+/// and hammer it with [`incsim::serve::drive_load`] (the same harness
+/// behind the `concurrent_throughput` bench case): `--readers` threads
+/// answer batched **pair** queries from epoch snapshots while a
+/// background writer toggles edges in batches of `--batch` and publishes
+/// every `--publish-every` batches. Prints aggregate queries/sec — the
+/// single-node pair-serving throughput of this state file on this
+/// machine (ranked queries cost `O(n log k)` each; budget accordingly).
+fn cmd_serve(flags: &Flags) -> Result<(), String> {
+    let snap = open_state(flags)?;
+    let shards: usize = flags.num(&["--shards"], 1usize)?;
+    let readers: usize = flags.num(&["--readers"], incsim::serve::serve_threads())?;
+    let duration_ms: u64 = flags.num(&["--duration-ms"], 1000u64)?;
+    let batch: usize = flags.num(&["--batch"], 8usize)?;
+    let publish_every: usize = flags.num(&["--publish-every"], 1usize)?;
+    let algorithm = parse_algorithm(flags.get(&["--algorithm"]))?;
+    let policy = parse_mode(flags.get(&["--mode"]))?;
+    if readers == 0 || batch == 0 || publish_every == 0 {
+        return Err("--readers, --batch and --publish-every must be positive".into());
+    }
+    let n = snap.graph.node_count();
+    if n < 2 {
+        return Err("state has fewer than 2 nodes; nothing to serve".into());
+    }
+
+    let builder = SimRankBuilder::new()
+        .algorithm(algorithm)
+        .mode(policy)
+        .shards(shards)
+        .config(snap.config);
+    let sharded = incsim::serve::ShardedSimRank::with_scores(builder, snap.graph, snap.scores)
+        .map_err(|e| e.to_string())?;
+    let mut serving = incsim::serve::ConcurrentSimRank::new(sharded);
+    println!(
+        "serving n = {n} via {} across {} shard(s); {readers} reader thread(s), \
+         writer batches of {batch}, publish every {publish_every} batch(es)",
+        serving.sharded().shard(0).engine_name(),
+        serving.sharded().shard_count()
+    );
+    if serving.sharded().shard_count() > 1 {
+        println!(
+            "note: with > 1 shard, cross-shard exactness holds for component-aligned \
+             partitions (see the incsim::serve docs); this benchmark measures throughput"
+        );
+    }
+
+    let report = incsim::serve::drive_load(
+        &mut serving,
+        &incsim::serve::LoadOptions {
+            readers,
+            duration: std::time::Duration::from_millis(duration_ms),
+            write_batch: batch,
+            publish_every,
+            writer_threads: incsim::serve::serve_threads(),
+            seed: 0xC0FFEE,
+        },
+    )
+    .map_err(|e| format!("writer failed: {e}"))?;
+
+    println!(
+        "served {} queries in {:.2}s  ->  {:.0} queries/sec aggregate ({:.0}/sec/reader)",
+        report.queries,
+        report.elapsed_secs,
+        report.queries_per_sec(),
+        report.queries_per_sec() / readers as f64
+    );
+    println!(
+        "writer applied {} updates ({:.0}/sec) and published {} epoch(s)",
+        report.updates,
+        report.updates_per_sec(),
+        report.epochs_published
+    );
+    Ok(())
+}
+
 fn cmd_info(flags: &Flags) -> Result<(), String> {
     let snap = open_state(flags)?;
     println!("nodes:       {}", snap.graph.node_count());
@@ -476,6 +557,60 @@ mod tests {
         let mut ok = base.to_vec();
         ok.extend(["--algorithm", "incsr"]);
         assert!(run(&to_args(&ok)).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_benchmark_runs_briefly() {
+        let dir = std::env::temp_dir().join(format!("incsim-cli-serve-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let graph_path = dir.join("g.txt");
+        let state_path = dir.join("s.bin");
+        run(&to_args(&[
+            "generate",
+            "--model",
+            "er",
+            "--nodes",
+            "40",
+            "--edges",
+            "120",
+            "-o",
+            graph_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&to_args(&[
+            "compute",
+            "--input",
+            graph_path.to_str().unwrap(),
+            "--iters",
+            "8",
+            "-o",
+            state_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&to_args(&[
+            "serve",
+            "--state",
+            state_path.to_str().unwrap(),
+            "--shards",
+            "2",
+            "--readers",
+            "2",
+            "--duration-ms",
+            "50",
+            "--batch",
+            "4",
+        ]))
+        .unwrap();
+        // Bad knobs fail loudly.
+        assert!(run(&to_args(&[
+            "serve",
+            "--state",
+            state_path.to_str().unwrap(),
+            "--readers",
+            "0",
+        ]))
+        .is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -50,6 +50,7 @@
 //! | module | crate | contents |
 //! |--------|-------|----------|
 //! | [`api`] | `incsim` (this crate) | the service layer: builder, handle, apply policies |
+//! | [`serve`] | `incsim` (this crate) | the serving layer: sharded router, concurrent epoch reads |
 //! | [`linalg`] | `incsim-linalg` | dense/sparse matrices, QR, SVD, LU, Stein solver |
 //! | [`graph`] | `incsim-graph` | dynamic digraph, evolving timeline, I/O |
 //! | [`core`] | `incsim-core` | matrix-form SimRank, **Inc-uSR**, **Inc-SR** |
@@ -58,6 +59,7 @@
 //! | [`metrics`] | `incsim-metrics` | NDCG@k, error norms, timing/memory accounting |
 
 pub mod api;
+pub mod serve;
 
 pub use incsim_baselines as baselines;
 pub use incsim_core as core;

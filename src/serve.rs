@@ -1,0 +1,1204 @@
+//! The `incsim` **serving layer**: shard the node set across engines,
+//! serve reads from immutable epoch snapshots.
+//!
+//! The [`crate::api::SimRank`] handle is the single-node service surface;
+//! this module is the scaling step on top of it, in two composable
+//! pieces:
+//!
+//! * [`ShardedSimRank`] — a **router** over `N` per-shard engines (each
+//!   its own `Box<dyn SimRankMaintainer + Send>` behind a
+//!   [`SimRank`](crate::api::SimRank) handle, built by the same
+//!   [`SimRankBuilder`]). The node set is block-partitioned; updates are
+//!   routed to the shard(s) owning their endpoints, queries to the shard
+//!   owning the query node. [`ApplyPolicy`](crate::api::ApplyPolicy)
+//!   (including `Auto`) keeps working independently per shard, and batch
+//!   updates fan out across shards in parallel.
+//! * [`ConcurrentSimRank`] — a **single-writer / many-reader** wrapper:
+//!   readers query an immutable epoch snapshot ([`Epoch`], an
+//!   `Arc`-parked [`ScoreSnapshot`] per shard) through cloneable
+//!   [`EpochReader`] handles, while the one writer applies updates and
+//!   [publishes](ConcurrentSimRank::publish) new epochs. Readers never
+//!   block the writer and never observe a half-applied update: a reader
+//!   holds one coherent epoch for as long as it likes.
+//!
+//! ## Partitioning and the exactness contract
+//!
+//! Nodes are partitioned into contiguous blocks by id: with `n₀` nodes at
+//! build time and `S` shards, shard `s` owns ids
+//! `[s·⌈n₀/S⌉, (s+1)·⌈n₀/S⌉)` (the last shard also owns any ids appended
+//! later via [`ShardedSimRank::add_node`]). Every shard engine spans the
+//! **full** node set — partitioning routes *work*, not matrix indices —
+//! and is seeded with the same batch-computed initial scores.
+//!
+//! Routing rules:
+//!
+//! * an edge update `(i, j)` is applied to `owner(i)` and `owner(j)`
+//!   (once, when they coincide);
+//! * a pair query `s(a, b)` is answered by `owner(min(a, b))` — both
+//!   orders of the same pair hit the same shard, so
+//!   `pair(a, b) == pair(b, a)` holds **exactly**, always;
+//! * per-node queries (`single_source`, `top_k`, `similar_above`) are
+//!   answered by `owner(a)`.
+//!
+//! **Contract.** Each shard engine is *exact for the update stream it
+//! receives* — the initial graph plus every update touching a node it
+//! owns. Its answers therefore equal global SimRank exactly whenever the
+//! updates it did **not** see cannot influence the scores it serves; the
+//! clean sufficient condition is a **component-aligned partition**: every
+//! weakly-connected component of the evolving graph stays within one
+//! shard's ownership block (SimRank between nodes of different components
+//! is identically 0, and no in-link path crosses components). The
+//! conformance suite and the `concurrent_throughput` bench drive exactly
+//! such workloads and hold the router to ≤ 1e-12 of batch recomputation.
+//! For partitions that split a component, per-shard answers are exact
+//! SimRank *of the shard's observed subgraph* — a documented
+//! approximation (each missed remote update perturbs scores by at most
+//! `C^d` at in-link distance `d`), not silent corruption; align the
+//! partition when exactness across the cut matters.
+//!
+//! ## Epoch semantics
+//!
+//! [`ConcurrentSimRank`] decouples reads from writes with epochs:
+//!
+//! * the writer mutates shard engines freely; **readers are unaffected**
+//!   (they hold the previously published epoch);
+//! * [`ConcurrentSimRank::publish`] freezes every shard's current
+//!   `S_base + Δ` into a new [`Epoch`] and swaps it in atomically
+//!   (readers pick it up on their next [`EpochReader::epoch`] call);
+//! * a lazy window travels *into* the epoch: pending ΔS factors are
+//!   snapshotted, not materialised, so publishing never forces an `n²`
+//!   apply.
+//!
+//! The swap slot is an `RwLock<Arc<Epoch>>` held only for the pointer
+//! clone/replace (an arc-swap without the dependency — `std` only);
+//! queries themselves run entirely outside the lock. Readers fetching an
+//! epoch per *batch* of queries (see [`EpochReader::epoch`]) pay the
+//! synchronisation cost once per batch.
+//!
+//! ## Example
+//!
+//! ```
+//! use incsim::api::SimRankBuilder;
+//! use incsim::core::SimRankConfig;
+//! use incsim::graph::DiGraph;
+//!
+//! let g = DiGraph::from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]);
+//! let mut serving = SimRankBuilder::new()
+//!     .config(SimRankConfig::new(0.6, 10).unwrap())
+//!     .shards(2)
+//!     .concurrent(g)
+//!     .unwrap();
+//!
+//! let reader = serving.reader();          // Clone + Send: one per thread
+//! let before = reader.epoch();
+//! serving.insert(3, 1).unwrap();          // writer side
+//! assert_eq!(reader.epoch().seq(), before.seq()); // not yet visible
+//! serving.publish();
+//! assert!(reader.epoch().seq() > before.seq());   // now it is
+//! let _scores = reader.top_k(1, 3);
+//! ```
+
+use crate::api::{BuildError, ModeCounters, SimRank, SimRankBuilder};
+use crate::core::query::RankedNode;
+use crate::core::{ScoreSnapshot, SimRankConfig, UpdateError, UpdateStats};
+use crate::graph::{DiGraph, UpdateOp};
+use crate::linalg::DenseMatrix;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, PoisonError, RwLock};
+
+/// Worker count for the serving layer's parallel paths (per-shard batch
+/// dispatch, reader pools in the harnesses): `INCSIM_THREADS` when set,
+/// otherwise the host parallelism — same knob as the fused apply.
+pub fn serve_threads() -> usize {
+    crate::linalg::lowrank::default_threads()
+}
+
+/// Raises a stop flag when dropped — **including on panic unwind**.
+///
+/// The scope-based reader/writer harnesses around [`ConcurrentSimRank`]
+/// ([`drive_load`], the conformance tests, the serving example) spin
+/// reader threads on an `AtomicBool`; if the writer side panics before
+/// storing the flag, `std::thread::scope` waits on those readers forever
+/// and the panic never propagates. Holding a `RaiseOnDrop` over the
+/// writer body turns that livelock into a clean join-and-propagate.
+pub struct RaiseOnDrop<'a>(pub &'a AtomicBool);
+
+impl Drop for RaiseOnDrop<'_> {
+    fn drop(&mut self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+}
+
+/// The block partition of node ids across shards (see the
+/// [module docs](self) for the ownership rules and exactness contract).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPartition {
+    shards: usize,
+    block: usize,
+}
+
+impl ShardPartition {
+    /// Partitions `n` initial nodes across `shards` contiguous blocks
+    /// (`shards` is clamped to ≥ 1; a shard count above `n` leaves the
+    /// high shards owning no nodes, which is legal).
+    pub fn new(n: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        ShardPartition {
+            shards,
+            block: n.div_ceil(shards).max(1),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning node `v`. Ids past the initial range (appended
+    /// nodes) fall to the last shard.
+    pub fn owner(&self, v: u32) -> usize {
+        (v as usize / self.block).min(self.shards - 1)
+    }
+
+    /// The shard answering pair queries on `{a, b}`: the owner of the
+    /// smaller id, so both argument orders route identically and pair
+    /// symmetry is structural.
+    pub fn pair_owner(&self, a: u32, b: u32) -> usize {
+        self.owner(a.min(b))
+    }
+
+    /// The contiguous id range shard `s` owns in an `n`-node graph
+    /// (possibly empty when `s` exceeds the populated blocks; the last
+    /// shard also owns every id appended past the initial range).
+    pub fn owned_block(&self, s: usize, n: usize) -> std::ops::Range<u32> {
+        let start = (s * self.block).min(n) as u32;
+        let end = if s + 1 == self.shards {
+            n as u32
+        } else {
+            ((s + 1) * self.block).min(n) as u32
+        };
+        start..end.max(start)
+    }
+}
+
+/// A router over `N` per-shard engines: same service surface as
+/// [`SimRank`], scaled across shards. Build with
+/// [`SimRankBuilder::shards`] + [`SimRankBuilder::build_sharded`].
+///
+/// The router keeps the authoritative global graph; updates are validated
+/// against it *before* touching any shard, so an invalid op (duplicate
+/// insert, missing delete, node out of range) is rejected atomically and
+/// a batch is all-or-nothing. See the [module docs](self) for routing and
+/// exactness.
+pub struct ShardedSimRank {
+    shards: Vec<SimRank>,
+    partition: ShardPartition,
+    graph: DiGraph,
+}
+
+impl ShardedSimRank {
+    /// Builds the router from a builder, a graph, and pre-computed scores
+    /// (every shard is seeded with a copy; [`EngineKind::IncSvd`] shards
+    /// derive their own factorisation as usual).
+    ///
+    /// [`EngineKind::IncSvd`]: crate::api::EngineKind::IncSvd
+    pub fn with_scores(
+        builder: SimRankBuilder,
+        graph: DiGraph,
+        scores: DenseMatrix,
+    ) -> Result<Self, BuildError> {
+        let shard_count = builder.shard_count();
+        let partition = ShardPartition::new(graph.node_count(), shard_count);
+        let mut shards = Vec::with_capacity(shard_count);
+        for _ in 0..shard_count {
+            shards.push(builder.clone().with_scores(graph.clone(), scores.clone())?);
+        }
+        Ok(ShardedSimRank {
+            shards,
+            partition,
+            graph,
+        })
+    }
+
+    // ---- topology ------------------------------------------------------
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The node partition.
+    pub fn partition(&self) -> &ShardPartition {
+        &self.partition
+    }
+
+    /// Read access to one shard's service handle (diagnostics, tests).
+    ///
+    /// # Panics
+    /// Panics if `s >= shard_count()`.
+    pub fn shard(&self, s: usize) -> &SimRank {
+        &self.shards[s]
+    }
+
+    /// The authoritative global graph (every update applied, regardless
+    /// of which shards received it).
+    pub fn graph(&self) -> &DiGraph {
+        &self.graph
+    }
+
+    /// The engine configuration (identical across shards).
+    pub fn config(&self) -> &SimRankConfig {
+        self.shards[0].config()
+    }
+
+    // ---- updates -------------------------------------------------------
+
+    /// Applies one link update: validated against the global graph, then
+    /// routed to the shard(s) owning its endpoints. Returns the stats of
+    /// each shard application (one entry, or two when the endpoints live
+    /// on different shards).
+    pub fn update(&mut self, op: UpdateOp) -> Result<Vec<UpdateStats>, UpdateError> {
+        let (i, j) = op.endpoints();
+        let kind = match op {
+            UpdateOp::Insert(..) => crate::core::UpdateKind::Insert,
+            UpdateOp::Delete(..) => crate::core::UpdateKind::Delete,
+        };
+        crate::core::validate_update(&self.graph, i, j, kind)?;
+        let mut stats = Vec::with_capacity(2);
+        for s in self.owners(i, j) {
+            stats.push(self.shards[s].update(op)?);
+        }
+        op.apply(&mut self.graph)
+            .expect("validated against this graph");
+        Ok(stats)
+    }
+
+    /// Inserts edge `(i, j)` on the owning shard(s).
+    pub fn insert(&mut self, i: u32, j: u32) -> Result<Vec<UpdateStats>, UpdateError> {
+        self.update(UpdateOp::Insert(i, j))
+    }
+
+    /// Deletes edge `(i, j)` on the owning shard(s).
+    pub fn remove(&mut self, i: u32, j: u32) -> Result<Vec<UpdateStats>, UpdateError> {
+        self.update(UpdateOp::Delete(i, j))
+    }
+
+    /// Applies a batch `ΔG`, fanning the per-shard sub-batches out across
+    /// up to [`serve_threads`] worker threads (shard engines are
+    /// independent, so this is the update-side parallelism sharding buys).
+    /// The whole batch is validated against the global graph first and
+    /// rejected **atomically** if any op is invalid — stronger than the
+    /// single-handle prefix semantics, because the router can afford to
+    /// simulate the batch on its shadow graph before any engine moves.
+    ///
+    /// Returns one [`UpdateStats`] per op (from the op's primary owner,
+    /// the shard that also answers pair queries on its endpoints).
+    pub fn update_batch(&mut self, ops: &[UpdateOp]) -> Result<Vec<UpdateStats>, UpdateError> {
+        self.update_batch_with_threads(ops, serve_threads())
+    }
+
+    /// [`Self::update_batch`] with an explicit worker-thread cap
+    /// (1 = fully serial dispatch). Results are identical for every
+    /// thread count; only the wall-clock moves.
+    pub fn update_batch_with_threads(
+        &mut self,
+        ops: &[UpdateOp],
+        threads: usize,
+    ) -> Result<Vec<UpdateStats>, UpdateError> {
+        if ops.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Atomic pre-validation: replay the batch on a shadow graph.
+        let mut shadow = self.graph.clone();
+        for &op in ops {
+            op.apply(&mut shadow).map_err(UpdateError::Graph)?;
+        }
+
+        // Route: per-shard sub-batches, preserving global op order, plus
+        // the global index each sub-op came from.
+        let mut sub_ops: Vec<Vec<UpdateOp>> = vec![Vec::new(); self.shards.len()];
+        let mut sub_idx: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (g, &op) in ops.iter().enumerate() {
+            let (i, j) = op.endpoints();
+            for s in self.owners(i, j) {
+                sub_ops[s].push(op);
+                sub_idx[s].push(g);
+            }
+        }
+
+        // Dispatch: the busy shards are split into at most `threads`
+        // contiguous groups, one scoped worker per group, so the cap is
+        // honoured exactly (a group works through its shards serially).
+        let shard_count = self.shards.len();
+        let mut busy: Vec<(usize, &mut SimRank, &Vec<UpdateOp>)> = self
+            .shards
+            .iter_mut()
+            .zip(&sub_ops)
+            .enumerate()
+            .filter(|(_, (_, sub))| !sub.is_empty())
+            .map(|(s, (shard, sub))| (s, shard, sub))
+            .collect();
+        let workers = threads.max(1).min(busy.len().max(1));
+        let mut per_shard: Vec<Option<Vec<UpdateStats>>> = vec![None; shard_count];
+        if workers <= 1 {
+            for (s, shard, sub) in busy {
+                per_shard[s] = Some(shard.update_batch(sub)?);
+            }
+        } else {
+            let group_len = busy.len().div_ceil(workers);
+            let mut results: Vec<(usize, Result<Vec<UpdateStats>, UpdateError>)> = Vec::new();
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for group in busy.chunks_mut(group_len) {
+                    handles.push(scope.spawn(move || {
+                        group
+                            .iter_mut()
+                            .map(|(s, shard, sub)| (*s, shard.update_batch(sub)))
+                            .collect::<Vec<_>>()
+                    }));
+                }
+                for h in handles {
+                    results.extend(h.join().expect("shard worker panicked"));
+                }
+            });
+            for (s, r) in results {
+                per_shard[s] = Some(r?);
+            }
+        }
+
+        // Pre-validation guarantees per-shard success (each shard's graph
+        // agrees with the global one on every edge it owns), so reaching
+        // here means every sub-batch applied; commit the shadow graph and
+        // collect each op's primary-owner stats.
+        self.graph = shadow;
+        let mut out: Vec<Option<UpdateStats>> = vec![None; ops.len()];
+        for (s, stats) in per_shard.iter().enumerate() {
+            let Some(stats) = stats else { continue };
+            for (k, &g) in sub_idx[s].iter().enumerate() {
+                let (i, j) = ops[g].endpoints();
+                if self.partition.pair_owner(i, j) == s {
+                    out[g] = Some(stats[k]);
+                }
+            }
+        }
+        Ok(out
+            .into_iter()
+            .map(|s| s.expect("every op has a primary owner"))
+            .collect())
+    }
+
+    /// Appends an isolated node to **every** shard (all engines span the
+    /// full node set); the new id is owned by the last shard.
+    pub fn add_node(&mut self) -> u32 {
+        let id = self.graph.add_node();
+        for shard in &mut self.shards {
+            let shard_id = shard.add_node();
+            debug_assert_eq!(shard_id, id, "shard node-id drift");
+        }
+        id
+    }
+
+    /// The shard(s) owning the endpoints of an edge, deduplicated.
+    fn owners(&self, i: u32, j: u32) -> impl Iterator<Item = usize> {
+        let a = self.partition.owner(i);
+        let b = self.partition.owner(j);
+        std::iter::once(a.min(b)).chain((a != b).then_some(a.max(b)))
+    }
+
+    // ---- queries -------------------------------------------------------
+
+    /// Similarity of one node pair, answered by the owner of the smaller
+    /// id with the arguments in canonical `(min, max)` order — both
+    /// orders are literally the same shard read, so
+    /// `pair(a, b) == pair(b, a)` holds bit-for-bit (the engine matrix
+    /// itself is only symmetric up to rounding).
+    ///
+    /// # Panics
+    /// Panics if either node is out of range; see [`Self::try_pair`].
+    pub fn pair(&self, a: u32, b: u32) -> f64 {
+        self.shards[self.partition.pair_owner(a, b)].pair(a.min(b), a.max(b))
+    }
+
+    /// [`Self::pair`], returning `None` when either node is absent from
+    /// every shard (id out of range) instead of panicking.
+    pub fn try_pair(&self, a: u32, b: u32) -> Option<f64> {
+        let n = self.graph.node_count() as u32;
+        (a < n && b < n).then(|| self.pair(a, b))
+    }
+
+    /// All similarities of node `a`, from its owning shard.
+    ///
+    /// # Panics
+    /// Panics if `a` is out of range; see [`Self::try_single_source`].
+    pub fn single_source(&self, a: u32) -> Vec<RankedNode> {
+        self.shards[self.partition.owner(a)].single_source(a)
+    }
+
+    /// [`Self::single_source`], `None` when `a` is absent from every shard.
+    pub fn try_single_source(&self, a: u32) -> Option<Vec<RankedNode>> {
+        ((a as usize) < self.graph.node_count()).then(|| self.single_source(a))
+    }
+
+    /// The `k` most similar nodes to `a`, from its owning shard.
+    ///
+    /// # Panics
+    /// Panics if `a` is out of range; see [`Self::try_top_k`].
+    pub fn top_k(&self, a: u32, k: usize) -> Vec<RankedNode> {
+        self.shards[self.partition.owner(a)].top_k(a, k)
+    }
+
+    /// [`Self::top_k`], `None` when `a` is absent from every shard.
+    pub fn try_top_k(&self, a: u32, k: usize) -> Option<Vec<RankedNode>> {
+        ((a as usize) < self.graph.node_count()).then(|| self.top_k(a, k))
+    }
+
+    /// Nodes at least `threshold`-similar to `a`, from its owning shard.
+    ///
+    /// # Panics
+    /// Panics if `a` is out of range.
+    pub fn similar_above(&self, a: u32, threshold: f64) -> Vec<RankedNode> {
+        self.shards[self.partition.owner(a)].similar_above(a, threshold)
+    }
+
+    // ---- maintenance & introspection -----------------------------------
+
+    /// Materialises pending deferred ΔS on every shard; returns the total
+    /// rank-two terms applied.
+    pub fn flush(&mut self) -> usize {
+        self.shards.iter_mut().map(|s| s.flush()).sum()
+    }
+
+    /// Largest pending deferred-ΔS rank across shards (0 when every shard
+    /// is fully materialised).
+    pub fn pending_rank(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.pending_rank())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Routing counters aggregated across every shard — per-shard
+    /// accounting stays meaningful behind the router; see
+    /// [`Self::shard_counters`] for the unmerged view.
+    pub fn counters(&self) -> ModeCounters {
+        let mut total = ModeCounters::default();
+        for shard in &self.shards {
+            total.merge(&shard.counters());
+        }
+        total
+    }
+
+    /// Per-shard routing counters, indexed by shard.
+    pub fn shard_counters(&self) -> Vec<ModeCounters> {
+        self.shards.iter().map(|s| s.counters()).collect()
+    }
+
+    /// Freezes every shard's current `S_base + Δ` into an [`Epoch`] with
+    /// the given sequence number (the [`ConcurrentSimRank`] publish
+    /// primitive; also useful stand-alone for consistent bulk exports).
+    pub fn snapshot_epoch(&self, seq: u64) -> Epoch {
+        Epoch {
+            seq,
+            partition: self.partition,
+            views: self.shards.iter().map(|s| s.snapshot_view()).collect(),
+        }
+    }
+}
+
+impl std::fmt::Debug for ShardedSimRank {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedSimRank")
+            .field("shards", &self.shards.len())
+            .field("nodes", &self.graph.node_count())
+            .field("edges", &self.graph.edge_count())
+            .field("engine", &self.shards[0].engine_name())
+            .finish()
+    }
+}
+
+/// One published, immutable serving epoch: a frozen `S_base + Δ` per
+/// shard plus the partition that routes queries into them. Shared across
+/// reader threads behind an `Arc`; every answer drawn from one `Epoch`
+/// value is mutually consistent (the writer can never tear it).
+#[derive(Clone, Debug)]
+pub struct Epoch {
+    seq: u64,
+    partition: ShardPartition,
+    views: Vec<ScoreSnapshot>,
+}
+
+impl Epoch {
+    /// The publish sequence number (0 = the epoch published at build).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Node count of the frozen state.
+    pub fn n(&self) -> usize {
+        self.views[0].n()
+    }
+
+    /// Similarity of one node pair (routing and canonical argument order
+    /// as in [`ShardedSimRank::pair`], so both orders read identically).
+    ///
+    /// # Panics
+    /// Panics if either node is out of range; see [`Self::try_pair`].
+    pub fn pair(&self, a: u32, b: u32) -> f64 {
+        self.views[self.partition.pair_owner(a, b)].pair(a.min(b), a.max(b))
+    }
+
+    /// [`Self::pair`], `None` when either node is out of range.
+    pub fn try_pair(&self, a: u32, b: u32) -> Option<f64> {
+        let n = self.n() as u32;
+        (a < n && b < n).then(|| self.pair(a, b))
+    }
+
+    /// All similarities of node `a` at this epoch.
+    ///
+    /// # Panics
+    /// Panics if `a` is out of range.
+    pub fn single_source(&self, a: u32) -> Vec<RankedNode> {
+        self.views[self.partition.owner(a)].single_source(a)
+    }
+
+    /// The `k` most similar nodes to `a` at this epoch.
+    ///
+    /// # Panics
+    /// Panics if `a` is out of range; see [`Self::try_top_k`].
+    pub fn top_k(&self, a: u32, k: usize) -> Vec<RankedNode> {
+        self.views[self.partition.owner(a)].top_k(a, k)
+    }
+
+    /// [`Self::top_k`], `None` when `a` is out of range.
+    pub fn try_top_k(&self, a: u32, k: usize) -> Option<Vec<RankedNode>> {
+        ((a as usize) < self.n()).then(|| self.top_k(a, k))
+    }
+
+    /// Nodes at least `threshold`-similar to `a` at this epoch.
+    ///
+    /// # Panics
+    /// Panics if `a` is out of range.
+    pub fn similar_above(&self, a: u32, threshold: f64) -> Vec<RankedNode> {
+        self.views[self.partition.owner(a)].similar_above(a, threshold)
+    }
+}
+
+/// The swap slot shared between the writer and every reader. `RwLock` is
+/// held only to clone or replace the `Arc` — queries run outside it.
+struct EpochSlot {
+    current: RwLock<Arc<Epoch>>,
+}
+
+impl EpochSlot {
+    fn load(&self) -> Arc<Epoch> {
+        self.current
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    fn store(&self, epoch: Arc<Epoch>) {
+        *self.current.write().unwrap_or_else(PoisonError::into_inner) = epoch;
+    }
+}
+
+/// The single-writer / many-reader serving handle: owns a
+/// [`ShardedSimRank`] for the write path and publishes immutable
+/// [`Epoch`]s for the read path. Build with
+/// [`SimRankBuilder::concurrent`]; hand [`EpochReader`]s (cheap, `Clone +
+/// Send + Sync`) to query threads.
+///
+/// Updates are **not** visible to readers until [`Self::publish`] runs —
+/// that is the point: the writer batches freely, readers always see one
+/// coherent state. See the [module docs](self) for the epoch semantics.
+pub struct ConcurrentSimRank {
+    inner: ShardedSimRank,
+    slot: Arc<EpochSlot>,
+    seq: u64,
+}
+
+impl ConcurrentSimRank {
+    /// Wraps a router, publishing epoch 0 from its current state.
+    pub fn new(inner: ShardedSimRank) -> Self {
+        let slot = Arc::new(EpochSlot {
+            current: RwLock::new(Arc::new(inner.snapshot_epoch(0))),
+        });
+        ConcurrentSimRank {
+            inner,
+            slot,
+            seq: 0,
+        }
+    }
+
+    /// A new reader handle. Readers are independent: clone one per
+    /// thread, or clone the handle itself — both see every future epoch.
+    pub fn reader(&self) -> EpochReader {
+        EpochReader {
+            slot: Arc::clone(&self.slot),
+        }
+    }
+
+    /// Freezes the current shard states into a new epoch and swaps it in;
+    /// returns its sequence number. Pending lazy ΔS is snapshotted, not
+    /// materialised.
+    pub fn publish(&mut self) -> u64 {
+        self.seq += 1;
+        // Build the epoch before touching the slot: readers keep serving
+        // the old epoch during the (n²-copy) freeze and only ever wait on
+        // the pointer swap itself.
+        let epoch = Arc::new(self.inner.snapshot_epoch(self.seq));
+        self.slot.store(epoch);
+        self.seq
+    }
+
+    /// Sequence number of the most recently published epoch.
+    pub fn epoch_seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Applies one update on the write path (readers unaffected until
+    /// [`Self::publish`]).
+    pub fn update(&mut self, op: UpdateOp) -> Result<Vec<UpdateStats>, UpdateError> {
+        self.inner.update(op)
+    }
+
+    /// Inserts edge `(i, j)` on the write path.
+    pub fn insert(&mut self, i: u32, j: u32) -> Result<Vec<UpdateStats>, UpdateError> {
+        self.inner.insert(i, j)
+    }
+
+    /// Deletes edge `(i, j)` on the write path.
+    pub fn remove(&mut self, i: u32, j: u32) -> Result<Vec<UpdateStats>, UpdateError> {
+        self.inner.remove(i, j)
+    }
+
+    /// Applies a batch on the write path (atomic; parallel across shards).
+    pub fn update_batch(&mut self, ops: &[UpdateOp]) -> Result<Vec<UpdateStats>, UpdateError> {
+        self.inner.update_batch(ops)
+    }
+
+    /// [`ShardedSimRank::update_batch_with_threads`] on the write path.
+    pub fn update_batch_with_threads(
+        &mut self,
+        ops: &[UpdateOp],
+        threads: usize,
+    ) -> Result<Vec<UpdateStats>, UpdateError> {
+        self.inner.update_batch_with_threads(ops, threads)
+    }
+
+    /// Materialises pending deferred ΔS on every shard **and publishes**
+    /// the result as a new epoch (the one mutation that should always be
+    /// immediately visible); returns the rank-two terms applied.
+    pub fn flush(&mut self) -> usize {
+        let pairs = self.inner.flush();
+        self.publish();
+        pairs
+    }
+
+    /// The wrapped router — fresh (unpublished) state, for the writer's
+    /// own reads and introspection.
+    pub fn sharded(&self) -> &ShardedSimRank {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped router (escape hatch; remember that
+    /// readers only see published epochs).
+    pub fn sharded_mut(&mut self) -> &mut ShardedSimRank {
+        &mut self.inner
+    }
+}
+
+impl std::fmt::Debug for ConcurrentSimRank {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConcurrentSimRank")
+            .field("inner", &self.inner)
+            .field("epoch_seq", &self.seq)
+            .finish()
+    }
+}
+
+/// A read handle onto the published epoch stream: `Clone + Send + Sync`,
+/// one per reader thread. [`Self::epoch`] pins the current epoch (hold it
+/// across a batch of queries — synchronise once, read thousands of
+/// times); the convenience query methods re-fetch per call.
+#[derive(Clone)]
+pub struct EpochReader {
+    slot: Arc<EpochSlot>,
+}
+
+impl EpochReader {
+    /// The most recently published epoch, pinned: the returned `Arc`
+    /// keeps answering from that one coherent state no matter how many
+    /// epochs the writer publishes after.
+    pub fn epoch(&self) -> Arc<Epoch> {
+        self.slot.load()
+    }
+
+    /// Sequence number of the current epoch.
+    pub fn seq(&self) -> u64 {
+        self.epoch().seq()
+    }
+
+    /// Similarity of one node pair at the current epoch.
+    ///
+    /// # Panics
+    /// Panics if either node is out of range; see [`Epoch::try_pair`].
+    pub fn pair(&self, a: u32, b: u32) -> f64 {
+        self.epoch().pair(a, b)
+    }
+
+    /// All similarities of node `a` at the current epoch.
+    ///
+    /// # Panics
+    /// Panics if `a` is out of range.
+    pub fn single_source(&self, a: u32) -> Vec<RankedNode> {
+        self.epoch().single_source(a)
+    }
+
+    /// The `k` most similar nodes to `a` at the current epoch.
+    ///
+    /// # Panics
+    /// Panics if `a` is out of range.
+    pub fn top_k(&self, a: u32, k: usize) -> Vec<RankedNode> {
+        self.epoch().top_k(a, k)
+    }
+
+    /// Nodes at least `threshold`-similar to `a` at the current epoch.
+    ///
+    /// # Panics
+    /// Panics if `a` is out of range.
+    pub fn similar_above(&self, a: u32, threshold: f64) -> Vec<RankedNode> {
+        self.epoch().similar_above(a, threshold)
+    }
+}
+
+impl std::fmt::Debug for EpochReader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EpochReader")
+            .field("epoch_seq", &self.epoch().seq())
+            .finish()
+    }
+}
+
+/// Knobs for [`drive_load`].
+#[derive(Debug, Clone, Copy)]
+pub struct LoadOptions {
+    /// Reader threads issuing pair queries against pinned epochs.
+    pub readers: usize,
+    /// Measurement window.
+    pub duration: std::time::Duration,
+    /// Edge toggles per writer batch.
+    pub write_batch: usize,
+    /// Publish a fresh epoch every this many batches (a final epoch is
+    /// always published when the window closes).
+    pub publish_every: usize,
+    /// Worker-thread cap for the per-shard batch fan-out
+    /// ([`ShardedSimRank::update_batch_with_threads`]).
+    pub writer_threads: usize,
+    /// Seed of the writer's toggle stream.
+    pub seed: u64,
+}
+
+/// Outcome of one [`drive_load`] window.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadReport {
+    /// Pair queries the readers answered.
+    pub queries: u64,
+    /// Edge toggles the writer applied.
+    pub updates: usize,
+    /// Epochs published over the handle's lifetime so far.
+    pub epochs_published: u64,
+    /// Actual window length (≥ the requested duration: the writer
+    /// finishes its in-flight batch).
+    pub elapsed_secs: f64,
+}
+
+impl LoadReport {
+    /// Aggregate reader throughput.
+    pub fn queries_per_sec(&self) -> f64 {
+        self.queries as f64 / self.elapsed_secs.max(1e-12)
+    }
+
+    /// Writer throughput.
+    pub fn updates_per_sec(&self) -> f64 {
+        self.updates as f64 / self.elapsed_secs.max(1e-12)
+    }
+}
+
+/// The serving load driver shared by `bench-snapshot`'s
+/// `concurrent_throughput` case and `incsim-cli serve`: `readers` threads
+/// issue batches of 256 pair queries against pinned epochs (one
+/// [`EpochReader::epoch`] per batch) while the writer applies
+/// [`LoadOptions::write_batch`]-sized toggle batches — spread round-robin
+/// across the shard blocks so the per-shard fan-out stays balanced —
+/// publishing on the configured cadence and once more when the window
+/// closes. Blocks until every thread has joined, even on writer error.
+///
+/// # Panics
+/// Panics if the graph has fewer than 2 nodes, or `readers`,
+/// `write_batch` or `publish_every` is 0.
+pub fn drive_load(
+    serving: &mut ConcurrentSimRank,
+    opts: &LoadOptions,
+) -> Result<LoadReport, UpdateError> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::atomic::AtomicU64;
+
+    let n = serving.sharded().graph().node_count();
+    assert!(n >= 2, "drive_load: need at least two nodes");
+    assert!(
+        opts.readers > 0 && opts.write_batch > 0 && opts.publish_every > 0,
+        "drive_load: readers, write_batch and publish_every must be positive"
+    );
+    // Toggle targets: the shard blocks (round-robin keeps the fan-out
+    // balanced); blocks too small to toggle within (
+    // < 2 ids, e.g. with more shards than nodes) fall back to the
+    // whole id range.
+    let partition = *serving.sharded().partition();
+    let mut blocks: Vec<std::ops::Range<u32>> = (0..partition.shard_count())
+        .map(|s| partition.owned_block(s, n))
+        .filter(|r| r.end - r.start >= 2)
+        .collect();
+    if blocks.is_empty() {
+        blocks.push(0..n as u32);
+    }
+
+    let mut shadow = serving.sharded().graph().clone();
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let stop = AtomicBool::new(false);
+    let queries = AtomicU64::new(0);
+    let started = std::time::Instant::now();
+    let mut updates = 0usize;
+    let writer_result = std::thread::scope(|scope| {
+        let _stop_on_exit = RaiseOnDrop(&stop);
+        for t in 0..opts.readers {
+            let reader = serving.reader();
+            let (stop, queries) = (&stop, &queries);
+            scope.spawn(move || {
+                let mut acc = 0.0f64;
+                let mut x = 0x2545F4914F6CDD1Du64.wrapping_add(t as u64);
+                let mut local = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    // One coherent epoch per batch of 256 queries.
+                    let epoch = reader.epoch();
+                    for _ in 0..256 {
+                        x = x
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        let a = ((x >> 33) as usize % n) as u32;
+                        let b = ((x >> 13) as usize % n) as u32;
+                        acc += epoch.pair(a, b);
+                    }
+                    local += 256;
+                }
+                queries.fetch_add(local, Ordering::Relaxed);
+                std::hint::black_box(acc);
+            });
+        }
+
+        // The writer. Errors break rather than return, so `stop` is
+        // always raised and the readers always join.
+        let mut batches = 0usize;
+        let mut result = Ok(());
+        while started.elapsed() < opts.duration {
+            let ops = crate::datagen::updates::random_toggles_blocks(
+                &mut shadow,
+                &blocks,
+                opts.write_batch,
+                &mut rng,
+            );
+            if let Err(e) = serving.update_batch_with_threads(&ops, opts.writer_threads) {
+                result = Err(e);
+                break;
+            }
+            updates += ops.len();
+            batches += 1;
+            if batches % opts.publish_every == 0 {
+                serving.publish();
+            }
+        }
+        // Close the window with a published epoch so readers see the
+        // final state even when it was too short for a full cadence.
+        // (`_stop_on_exit` raises the stop flag as the closure returns.)
+        serving.publish();
+        result
+    });
+    writer_result?;
+    Ok(LoadReport {
+        queries: queries.load(std::sync::atomic::Ordering::Relaxed),
+        updates,
+        epochs_published: serving.epoch_seq(),
+        elapsed_secs: started.elapsed().as_secs_f64(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{ApplyPolicy, EngineKind};
+    use crate::core::batch_simrank;
+
+    fn fixture() -> DiGraph {
+        DiGraph::from_edges(
+            8,
+            &[
+                (0, 2),
+                (1, 2),
+                (2, 3),
+                (3, 0),
+                (4, 6),
+                (5, 6),
+                (6, 7),
+                (7, 4),
+            ],
+        )
+    }
+
+    fn cfg() -> SimRankConfig {
+        // K = 60: truncation ~0.6^61 ≈ 4e-14, far below the test bars.
+        SimRankConfig::new(0.6, 60).unwrap()
+    }
+
+    #[test]
+    fn partition_blocks_and_clamps() {
+        let p = ShardPartition::new(8, 2);
+        assert_eq!(p.shard_count(), 2);
+        assert_eq!(p.owner(0), 0);
+        assert_eq!(p.owner(3), 0);
+        assert_eq!(p.owner(4), 1);
+        assert_eq!(p.owner(7), 1);
+        assert_eq!(p.owner(100), 1, "appended ids fall to the last shard");
+        assert_eq!(p.pair_owner(6, 1), p.pair_owner(1, 6));
+        // More shards than nodes: high shards own nothing, low ids map 1:1.
+        let p = ShardPartition::new(3, 8);
+        assert_eq!(p.shard_count(), 8);
+        assert_eq!(p.owner(2), 2);
+        assert_eq!(p.owner(9), 7);
+        // Clamp: zero shards behaves as one.
+        assert_eq!(ShardPartition::new(5, 0).shard_count(), 1);
+    }
+
+    #[test]
+    fn handles_are_send_and_readers_sync() {
+        fn assert_send<T: Send>() {}
+        fn assert_send_sync_clone<T: Send + Sync + Clone>() {}
+        assert_send::<ShardedSimRank>();
+        assert_send::<ConcurrentSimRank>();
+        assert_send_sync_clone::<EpochReader>();
+        assert_send_sync_clone::<Arc<Epoch>>();
+    }
+
+    #[test]
+    fn component_aligned_sharding_matches_batch_truth() {
+        // Two 4-node components, one per shard: the exactness contract's
+        // clean case. Updates stay within components.
+        let g = fixture();
+        let mut sharded = SimRankBuilder::new()
+            .algorithm(EngineKind::IncSr)
+            .config(cfg())
+            .shards(2)
+            .build_sharded(g)
+            .unwrap();
+        sharded.insert(0, 3).unwrap();
+        sharded.remove(6, 7).unwrap();
+        sharded
+            .update_batch(&[UpdateOp::Insert(4, 7), UpdateOp::Insert(1, 3)])
+            .unwrap();
+        let truth = batch_simrank(sharded.graph(), sharded.config());
+        for a in 0..8u32 {
+            for b in 0..8u32 {
+                let got = sharded.pair(a, b);
+                let want = truth.get(a as usize, b as usize);
+                assert!(
+                    (got - want).abs() < 1e-10,
+                    "pair ({a},{b}): {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cross_shard_updates_reach_both_owners() {
+        let mut sharded = SimRankBuilder::new()
+            .config(cfg())
+            .shards(2)
+            .build_sharded(fixture())
+            .unwrap();
+        // Edge (1, 6): endpoints on different shards — two applications.
+        let stats = sharded.insert(1, 6).unwrap();
+        assert_eq!(stats.len(), 2);
+        // Same-shard edge — one application.
+        let stats = sharded.insert(0, 1).unwrap();
+        assert_eq!(stats.len(), 1);
+        assert!(sharded.graph().has_edge(1, 6));
+        // Both owning shards saw the cross edge; the router graph is
+        // authoritative either way.
+        assert!(sharded.shard(0).graph().has_edge(1, 6));
+        assert!(sharded.shard(1).graph().has_edge(1, 6));
+    }
+
+    #[test]
+    fn invalid_batch_is_rejected_atomically() {
+        let mut sharded = SimRankBuilder::new()
+            .config(cfg())
+            .shards(2)
+            .build_sharded(fixture())
+            .unwrap();
+        let before_edges = sharded.graph().edge_count();
+        let err = sharded
+            .update_batch(&[
+                UpdateOp::Insert(0, 1),
+                UpdateOp::Insert(0, 2), // duplicate: already present
+            ])
+            .unwrap_err();
+        assert!(matches!(err, UpdateError::Graph(_)));
+        // Nothing applied anywhere — not even the valid prefix.
+        assert_eq!(sharded.graph().edge_count(), before_edges);
+        assert!(!sharded.graph().has_edge(0, 1));
+        assert!(!sharded.shard(0).graph().has_edge(0, 1));
+    }
+
+    #[test]
+    fn batch_dispatch_is_thread_count_invariant() {
+        let ops = [
+            UpdateOp::Insert(0, 1),
+            UpdateOp::Insert(5, 7),
+            UpdateOp::Delete(2, 3),
+            UpdateOp::Insert(2, 6),
+        ];
+        let build = || {
+            SimRankBuilder::new()
+                .config(cfg())
+                .mode(ApplyPolicy::Fused)
+                .shards(3)
+                .build_sharded(fixture())
+                .unwrap()
+        };
+        let mut serial = build();
+        let mut grouped = build();
+        let mut parallel = build();
+        let s1 = serial.update_batch_with_threads(&ops, 1).unwrap();
+        // A cap below the busy-shard count exercises the grouped
+        // dispatch (workers process several shards each, serially).
+        let s2 = grouped.update_batch_with_threads(&ops, 2).unwrap();
+        let s4 = parallel.update_batch_with_threads(&ops, 4).unwrap();
+        assert_eq!(s1.len(), ops.len());
+        assert_eq!(s2.len(), ops.len());
+        assert_eq!(s4.len(), ops.len());
+        for a in 0..8u32 {
+            for b in 0..8u32 {
+                assert_eq!(serial.pair(a, b), parallel.pair(a, b));
+                assert_eq!(serial.pair(a, b), grouped.pair(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_isolation_and_publish() {
+        let mut serving = SimRankBuilder::new()
+            .config(cfg())
+            .shards(2)
+            .concurrent(fixture())
+            .unwrap();
+        let reader = serving.reader();
+        let e0 = reader.epoch();
+        assert_eq!(e0.seq(), 0);
+        let before = e0.pair(0, 1);
+
+        serving.insert(0, 1).unwrap();
+        // Unpublished: readers still see epoch 0, pinned or re-fetched.
+        assert_eq!(reader.epoch().seq(), 0);
+        assert_eq!(reader.pair(0, 1), before);
+
+        let seq = serving.publish();
+        assert_eq!(seq, 1);
+        assert_eq!(reader.seq(), 1);
+        // The pinned epoch still answers from its own frozen state.
+        assert_eq!(e0.pair(0, 1), before);
+        // The fresh epoch agrees with the writer's router.
+        assert_eq!(reader.pair(0, 1), serving.sharded().pair(0, 1));
+    }
+
+    #[test]
+    fn flush_publishes_and_lazy_delta_travels_into_epochs() {
+        let mut serving = SimRankBuilder::new()
+            .config(cfg())
+            .mode(ApplyPolicy::Lazy)
+            .shards(2)
+            .concurrent(fixture())
+            .unwrap();
+        serving.insert(0, 1).unwrap();
+        serving.publish();
+        let reader = serving.reader();
+        assert!(
+            serving.sharded().pending_rank() > 0,
+            "lazy window still open"
+        );
+        // The epoch composes S_base + Δ without materialising.
+        let truth = batch_simrank(serving.sharded().graph(), serving.sharded().config());
+        assert!((reader.pair(0, 1) - truth.get(0, 1)).abs() < 1e-10);
+        let seq_before = reader.seq();
+        let pairs = serving.flush();
+        assert!(pairs > 0);
+        assert_eq!(serving.sharded().pending_rank(), 0);
+        assert!(reader.seq() > seq_before, "flush publishes");
+        assert!((reader.pair(0, 1) - truth.get(0, 1)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn absent_node_yields_none_not_panic() {
+        let sharded = SimRankBuilder::new()
+            .config(cfg())
+            .shards(3)
+            .build_sharded(fixture())
+            .unwrap();
+        assert!(sharded.try_pair(0, 1).is_some());
+        assert!(sharded.try_pair(0, 99).is_none());
+        assert!(sharded.try_pair(99, 0).is_none());
+        assert!(sharded.try_single_source(99).is_none());
+        assert!(sharded.try_top_k(99, 3).is_none());
+        let serving = ConcurrentSimRank::new(sharded);
+        let epoch = serving.reader().epoch();
+        assert!(epoch.try_pair(99, 0).is_none());
+        assert!(epoch.try_top_k(99, 3).is_none());
+    }
+
+    #[test]
+    fn counters_aggregate_across_shards() {
+        let mut sharded = SimRankBuilder::new()
+            .config(cfg())
+            .mode(ApplyPolicy::Fused)
+            .shards(2)
+            .build_sharded(fixture())
+            .unwrap();
+        sharded.insert(0, 1).unwrap(); // shard 0 only
+        sharded.insert(1, 6).unwrap(); // both shards
+        sharded.pair(0, 1); // shard 0
+        sharded.pair(5, 6); // shard 1
+        let per = sharded.shard_counters();
+        assert_eq!(per.len(), 2);
+        assert_eq!(per[0].fused_updates, 2);
+        assert_eq!(per[1].fused_updates, 1);
+        let total = sharded.counters();
+        assert_eq!(total.fused_updates, 3);
+        assert_eq!(total.queries, per[0].queries + per[1].queries);
+        assert_eq!(total.queries, 2);
+    }
+
+    #[test]
+    fn add_node_grows_every_shard() {
+        let mut sharded = SimRankBuilder::new()
+            .config(cfg())
+            .shards(2)
+            .build_sharded(fixture())
+            .unwrap();
+        let id = sharded.add_node();
+        assert_eq!(id, 8);
+        assert_eq!(sharded.graph().node_count(), 9);
+        assert!(sharded.try_pair(8, 0).is_some());
+        sharded.insert(8, 2).unwrap();
+        assert!(sharded.pair(8, 8) > 0.0);
+    }
+}

@@ -1,0 +1,359 @@
+//! Conformance suite for the `incsim::serve` layer: the sharded router
+//! and the concurrent epoch wrapper must preserve the service API's
+//! answers under every [`ApplyPolicy`], across shard counts, thread
+//! counts (`INCSIM_THREADS` — CI runs this suite at 1 and 4), and
+//! concurrent publish/read interleavings.
+//!
+//! Exactness is asserted on **component-aligned** workloads (each
+//! weakly-connected component inside one shard's block — the router's
+//! documented exact regime); structural properties (pair symmetry,
+//! absent-node handling, epoch coherence) are asserted on general
+//! workloads too.
+
+use incsim::api::{ApplyPolicy, EngineKind, SimRankBuilder};
+use incsim::core::{batch_simrank, SimRankConfig};
+use incsim::datagen::er::{erdos_renyi, erdos_renyi_blocks};
+use incsim::datagen::updates::random_toggles_in;
+use incsim::graph::{DiGraph, UpdateOp};
+use incsim::serve::{serve_threads, ConcurrentSimRank, ShardPartition};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const POLICIES: [ApplyPolicy; 4] = [
+    ApplyPolicy::Eager,
+    ApplyPolicy::Fused,
+    ApplyPolicy::Lazy,
+    ApplyPolicy::Auto,
+];
+
+/// K = 60: truncation ~0.6^61 ≈ 4e-14, far below the 1e-12 bar.
+fn tight() -> SimRankConfig {
+    SimRankConfig::new(0.6, 60).expect("valid config")
+}
+
+/// A component-aligned graph (see [`ShardPartition`] and the serve
+/// module's exactness contract): `shards` disjoint ER components, one
+/// per contiguous block.
+fn component_aligned_graph(shards: usize, per: usize, seed: u64) -> DiGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    erdos_renyi_blocks(shards, per, per * 2, &mut rng)
+}
+
+/// A valid update stream whose ops all stay inside one component block
+/// (block chosen at random per op).
+fn intra_block_stream(
+    g: &DiGraph,
+    shards: usize,
+    per: usize,
+    len: usize,
+    seed: u64,
+) -> Vec<UpdateOp> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut shadow = g.clone();
+    let mut ops = Vec::new();
+    for _ in 0..len {
+        let base = (rng.gen_range(0..shards) * per) as u32;
+        ops.extend(random_toggles_in(
+            &mut shadow,
+            base..base + per as u32,
+            1,
+            &mut rng,
+        ));
+    }
+    ops
+}
+
+/// Alternate unit updates and batches, as the api conformance suite does.
+fn schedule(len: usize) -> Vec<std::ops::Range<usize>> {
+    let mut out = Vec::new();
+    let mut idx = 0usize;
+    while idx < len {
+        let take = if idx % 3 == 2 { 3.min(len - idx) } else { 1 };
+        out.push(idx..idx + take);
+        idx += take;
+    }
+    out
+}
+
+#[test]
+fn sharded_router_is_exact_on_component_aligned_workloads() {
+    const SHARDS: usize = 3;
+    const PER: usize = 6;
+    let g = component_aligned_graph(SHARDS, PER, 0xA11);
+    let cfg = tight();
+    let ops = intra_block_stream(&g, SHARDS, PER, 9, 0xB22);
+    let n = g.node_count() as u32;
+
+    // Per-service-call ground truth from scratch.
+    let mut shadow = g.clone();
+    let mut refs = Vec::new();
+    for range in schedule(ops.len()) {
+        for op in &ops[range] {
+            op.apply(&mut shadow).expect("stream valid");
+        }
+        refs.push(batch_simrank(&shadow, &cfg));
+    }
+
+    for policy in POLICIES {
+        let mut sharded = SimRankBuilder::new()
+            .algorithm(EngineKind::IncSr)
+            .mode(policy)
+            .config(cfg)
+            .shards(SHARDS)
+            .build_sharded(g.clone())
+            .expect("router builds");
+        for (step, range) in schedule(ops.len()).into_iter().enumerate() {
+            let chunk = &ops[range];
+            if chunk.len() == 1 {
+                sharded.update(chunk[0]).expect("stream valid");
+            } else {
+                sharded.update_batch(chunk).expect("stream valid");
+            }
+            let expect = &refs[step];
+            for a in 0..n {
+                for b in 0..n {
+                    let got = sharded.pair(a, b);
+                    let want = expect.get(a as usize, b as usize);
+                    assert!(
+                        (got - want).abs() <= 1e-12,
+                        "{policy:?}: step {step} pair ({a},{b}): {got} vs {want} \
+                         (diff {:.2e})",
+                        (got - want).abs()
+                    );
+                }
+            }
+        }
+        assert_eq!(sharded.graph(), &shadow, "{policy:?}: graph drift");
+    }
+}
+
+#[test]
+fn concurrent_epochs_are_exact_through_publish() {
+    const SHARDS: usize = 2;
+    const PER: usize = 6;
+    let g = component_aligned_graph(SHARDS, PER, 0xC33);
+    let cfg = tight();
+    let ops = intra_block_stream(&g, SHARDS, PER, 6, 0xD44);
+    let n = g.node_count() as u32;
+
+    let mut serving = SimRankBuilder::new()
+        .mode(ApplyPolicy::Lazy) // epochs must compose pending Δ too
+        .config(cfg)
+        .shards(SHARDS)
+        .concurrent(g.clone())
+        .expect("serving handle builds");
+    let reader = serving.reader();
+    let mut shadow = g;
+    for &op in &ops {
+        op.apply(&mut shadow).expect("stream valid");
+        serving.update(op).expect("stream valid");
+        serving.publish();
+        let truth = batch_simrank(&shadow, &cfg);
+        let epoch = reader.epoch();
+        for a in 0..n {
+            for b in 0..n {
+                let got = epoch.pair(a, b);
+                let want = truth.get(a as usize, b as usize);
+                assert!(
+                    (got - want).abs() <= 1e-12,
+                    "epoch {} pair ({a},{b}): {got} vs {want}",
+                    epoch.seq()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn cross_shard_pair_queries_are_symmetric_on_general_graphs() {
+    // One well-connected ER graph: components straddle shards, so this is
+    // the *approximate* regime — symmetry must still hold bit-for-bit
+    // because both argument orders route to the same shard.
+    let mut rng = StdRng::seed_from_u64(0xE55);
+    let g = erdos_renyi(20, 60, &mut rng);
+    let mut sharded = SimRankBuilder::new()
+        .config(SimRankConfig::new(0.6, 20).expect("valid"))
+        .shards(3)
+        .build_sharded(g)
+        .expect("router builds");
+    let ops = random_toggles_in(&mut sharded.graph().clone(), 0..20, 8, &mut rng);
+    sharded.update_batch(&ops).expect("stream valid");
+    let part = *sharded.partition();
+    let mut crossed = 0usize;
+    for a in 0..20u32 {
+        for b in 0..20u32 {
+            let ab = sharded.pair(a, b);
+            let ba = sharded.pair(b, a);
+            assert!(
+                ab == ba,
+                "pair symmetry broke across shards: s({a},{b})={ab} vs s({b},{a})={ba}"
+            );
+            if part.owner(a) != part.owner(b) {
+                crossed += 1;
+            }
+        }
+    }
+    assert!(crossed > 0, "workload never crossed shards");
+}
+
+#[test]
+fn more_shards_than_nodes_still_serves() {
+    let g = DiGraph::from_edges(3, &[(1, 0), (2, 0)]);
+    let cfg = tight();
+    let mut sharded = SimRankBuilder::new()
+        .config(cfg)
+        .shards(8)
+        .build_sharded(g)
+        .expect("router builds");
+    assert_eq!(sharded.shard_count(), 8);
+    // Every update touches node 0, so shard 0 (which answers pair(0, ·))
+    // sees the full stream and stays globally exact.
+    sharded.insert(0, 1).expect("valid");
+    sharded.insert(0, 2).expect("valid");
+    sharded.remove(1, 0).expect("valid");
+    let truth = batch_simrank(sharded.graph(), sharded.config());
+    for b in 0..3u32 {
+        let got = sharded.pair(0, b);
+        assert!(
+            (got - truth.get(0, b as usize)).abs() <= 1e-12,
+            "pair (0,{b})"
+        );
+        assert_eq!(sharded.pair(b, 0), got);
+    }
+    assert!(sharded.try_pair(0, 3).is_none(), "absent node");
+    assert!(sharded.try_top_k(7, 2).is_none());
+    assert_eq!(sharded.top_k(0, 10).len(), 2, "k clamps to n-1 candidates");
+}
+
+#[test]
+fn partition_owner_is_total_and_consistent() {
+    for (n, shards) in [(1usize, 1usize), (5, 2), (16, 4), (3, 9), (100, 7)] {
+        let p = ShardPartition::new(n, shards);
+        for v in 0..(n as u32 + 4) {
+            let o = p.owner(v);
+            assert!(o < p.shard_count());
+            assert_eq!(p.pair_owner(v, v + 1), p.pair_owner(v + 1, v));
+        }
+        // Ownership blocks are contiguous and non-decreasing.
+        let owners: Vec<usize> = (0..n as u32).map(|v| p.owner(v)).collect();
+        assert!(owners.windows(2).all(|w| w[0] <= w[1]));
+    }
+}
+
+/// The torn-view test: a writer races through update+publish cycles while
+/// reader threads continuously pin epochs and probe several pairs. Every
+/// probed value must match the *recorded trajectory* for that epoch's
+/// sequence number — a reader observing a mix of two epochs would miss.
+#[test]
+fn readers_never_observe_a_torn_epoch() {
+    const SHARDS: usize = 2;
+    const PER: usize = 5;
+    const STEPS: usize = 12;
+    let g = component_aligned_graph(SHARDS, PER, 0xF66);
+    let cfg = SimRankConfig::new(0.6, 20).expect("valid");
+    let ops = intra_block_stream(&g, SHARDS, PER, STEPS, 0xA77);
+    let n = (SHARDS * PER) as u32;
+    let probes: Vec<(u32, u32)> = (0..n).flat_map(|a| [(a, (a + 1) % n), (a, 0)]).collect();
+
+    let build = || {
+        SimRankBuilder::new()
+            .mode(ApplyPolicy::Fused)
+            .config(cfg)
+            .shards(SHARDS)
+            .concurrent(g.clone())
+            .expect("serving handle builds")
+    };
+
+    // Record the deterministic trajectory: probe values after each
+    // publish of an identical replay (engines are bitwise deterministic).
+    let mut replay = build();
+    let mut trajectory: Vec<Vec<f64>> = Vec::with_capacity(STEPS + 1);
+    let record = |serving: &ConcurrentSimRank| -> Vec<f64> {
+        let e = serving.reader().epoch();
+        probes.iter().map(|&(a, b)| e.pair(a, b)).collect()
+    };
+    trajectory.push(record(&replay));
+    for &op in &ops {
+        replay.update(op).expect("stream valid");
+        replay.publish();
+        trajectory.push(record(&replay));
+    }
+
+    // Now race readers against a live writer doing the same sequence.
+    let mut serving = build();
+    let readers = serve_threads().clamp(2, 8);
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        // Raised on every exit, panic unwind included, so the readers
+        // always terminate and assertion failures propagate instead of
+        // livelocking the scope join.
+        let _stop_on_exit = incsim::serve::RaiseOnDrop(&stop);
+        let stop = &stop;
+        let trajectory = &trajectory;
+        let probes = &probes;
+        let mut handles = Vec::new();
+        for _ in 0..readers {
+            let reader = serving.reader();
+            handles.push(scope.spawn(move || {
+                let mut checked = 0usize;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let epoch = reader.epoch();
+                    let want = &trajectory[epoch.seq() as usize];
+                    for (i, &(a, b)) in probes.iter().enumerate() {
+                        let got = epoch.pair(a, b);
+                        assert!(
+                            got == want[i],
+                            "torn epoch {}: probe ({a},{b}) read {got}, \
+                             trajectory says {}",
+                            epoch.seq(),
+                            want[i]
+                        );
+                    }
+                    checked += 1;
+                }
+                checked
+            }));
+        }
+        for &op in &ops {
+            serving.update(op).expect("stream valid");
+            serving.publish();
+            // A breath per publish so readers interleave with several
+            // distinct epochs rather than only the last one.
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        drop(_stop_on_exit);
+        let total: usize = handles
+            .into_iter()
+            .map(|h| h.join().expect("reader ok"))
+            .sum();
+        assert!(total > 0, "readers never ran");
+    });
+    assert_eq!(serving.epoch_seq(), STEPS as u64);
+}
+
+#[test]
+fn counters_aggregate_through_the_serving_stack() {
+    let g = component_aligned_graph(2, 5, 0xB88);
+    let mut serving = SimRankBuilder::new()
+        .mode(ApplyPolicy::Fused)
+        .config(SimRankConfig::new(0.6, 10).expect("valid"))
+        .shards(2)
+        .concurrent(g)
+        .expect("serving handle builds");
+    serving.insert(0, 1).expect("valid");
+    serving.insert(0, 6).expect("valid"); // cross-shard: applied twice
+    serving.sharded().pair(0, 1);
+    serving.sharded().pair(6, 7);
+    let per = serving.sharded().shard_counters();
+    let total = serving.sharded().counters();
+    assert_eq!(per.len(), 2);
+    assert_eq!(
+        total.fused_updates,
+        per.iter().map(|c| c.fused_updates).sum::<usize>()
+    );
+    assert_eq!(
+        total.fused_updates, 3,
+        "cross-shard update counted per shard"
+    );
+    assert_eq!(total.queries, 2);
+}
