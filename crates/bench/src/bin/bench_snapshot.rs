@@ -1,8 +1,8 @@
 //! `bench-snapshot` — records the PR's hot-path perf numbers as JSON.
 //!
 //! ```text
-//! bench-snapshot [--out BENCH_PR4.json] [--n 2048] [--k 15] [--cap 20]
-//!                [--compare BENCH_PR4.json --tolerance 200]
+//! bench-snapshot [--out BENCH_PR5.json] [--n 2048] [--k 15] [--cap 20]
+//!                [--window 256] [--compare BENCH_PR5.json --tolerance 200]
 //! ```
 //!
 //! Runs the fig2a-style unit-update workload under the eager / fused /
@@ -15,7 +15,8 @@
 //!
 //! `--compare FILE` additionally gates the run against a committed
 //! snapshot: the scale-robust kernel metrics (`fused_speedup`,
-//! `lazy_query_secs`, `overhead_pct`) must not regress beyond
+//! `lazy_query_secs`, `overhead_pct`, `long_lazy_query_speedup`,
+//! `compressed_query_secs`) must not regress beyond
 //! `--tolerance` percent (default 200, i.e. 3×) past their noise floors —
 //! see `incsim_bench::compare`. Exactness gates fail hard at any scale.
 //!
@@ -25,8 +26,8 @@
 
 use incsim_bench::compare::{compare, parse_metrics, SnapshotMetrics};
 use incsim_bench::snapshot::{
-    measure_apply_modes, measure_concurrent_throughput, measure_micro_kernels,
-    measure_service_overhead, snapshot_json,
+    measure_apply_modes, measure_concurrent_throughput, measure_long_lazy_window,
+    measure_micro_kernels, measure_service_overhead, snapshot_json,
 };
 use incsim_bench::{bench_scale, scaled_cap};
 use incsim_metrics::timing::fmt_duration;
@@ -44,7 +45,7 @@ fn main() -> ExitCode {
             eprintln!("error: {msg}");
             eprintln!(
                 "usage: bench-snapshot [--out FILE] [--n N] [--k K] [--cap UPDATES] \
-                 [--min-speedup X] [--max-overhead PCT] \
+                 [--window W] [--min-speedup X] [--max-overhead PCT] \
                  [--compare FILE] [--tolerance PCT]"
             );
             ExitCode::FAILURE
@@ -57,6 +58,7 @@ const FLAGS: &[&str] = &[
     "--n",
     "--k",
     "--cap",
+    "--window",
     "--min-speedup",
     "--max-overhead",
     "--compare",
@@ -93,10 +95,11 @@ fn flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result
 
 fn run(args: &[String]) -> Result<(), String> {
     validate_args(args)?;
-    let out: String = flag(args, "--out", "BENCH_PR4.json".to_string())?;
+    let out: String = flag(args, "--out", "BENCH_PR5.json".to_string())?;
     let n: usize = flag(args, "--n", 2048usize)?;
     let k: usize = flag(args, "--k", 15usize)?;
     let base_cap: usize = flag(args, "--cap", 20usize)?;
+    let base_window: usize = flag(args, "--window", 256usize)?;
     // Timing gates for the full-size run; 0.0 (the defaults) only warn —
     // small smoke runs are too noisy to fail on wall-clock.
     let min_speedup: f64 = flag(args, "--min-speedup", 0.0f64)?;
@@ -179,8 +182,39 @@ fn run(args: &[String]) -> Result<(), String> {
         concurrent.max_abs_diff_sharded_lazy_vs_eager
     );
 
-    std::fs::write(&out, snapshot_json(&modes, &micro, &service, &concurrent))
-        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    // Long lazy window: recompression holds query cost at O(numerical
+    // rank) and the buffer memory at a plateau. Dimension n/8 keeps the
+    // case's batch precompute and its recompression passes (which hit
+    // the rank ≤ n cap on a long window) marginal next to the
+    // apply-modes workload; the window length rides the measurement
+    // scale like every other cap.
+    let window = scaled_cap(base_window);
+    let long_lazy = measure_long_lazy_window(n / 8, k, window);
+    println!(
+        "   long lazy   : {} updates -> {} pairs raw vs {} compressed ({} recompressions); \
+         query {} vs {} ({:.1}x)",
+        long_lazy.window,
+        long_lazy.uncompressed_pairs,
+        long_lazy.compressed_pairs,
+        long_lazy.recompressions,
+        per(long_lazy.uncompressed_query_secs),
+        per(long_lazy.compressed_query_secs),
+        long_lazy.long_lazy_query_speedup,
+    );
+    println!(
+        "   lazy memory : raw {} at window end vs compressed peak {} / end {}; \
+         drift {:.2e}",
+        incsim_metrics::timing::fmt_bytes(long_lazy.uncompressed_heap_bytes),
+        incsim_metrics::timing::fmt_bytes(long_lazy.compressed_heap_peak_bytes),
+        incsim_metrics::timing::fmt_bytes(long_lazy.compressed_heap_end_bytes),
+        long_lazy.max_abs_diff_compressed_vs_uncompressed,
+    );
+
+    std::fs::write(
+        &out,
+        snapshot_json(&modes, &micro, &service, &concurrent, &long_lazy),
+    )
+    .map_err(|e| format!("cannot write {out}: {e}"))?;
     println!("[ok] snapshot written to {out}");
 
     // Exactness is noise-free at any scale: a nonzero drift means the
@@ -201,6 +235,37 @@ fn run(args: &[String]) -> Result<(), String> {
         return Err(format!(
             "sharded serving path drifted {sharded_drift:.2e} from eager (tolerance 1e-12)"
         ));
+    }
+    // The compressed window answers from the same factor representation
+    // as the uncompressed one; drift beyond the default tolerance means
+    // the recompression maths is wrong, so this gate fails hard at any
+    // scale (like the other exactness gates).
+    if long_lazy.max_abs_diff_compressed_vs_uncompressed > 1e-12 {
+        return Err(format!(
+            "recompressed lazy window drifted {:.2e} from the uncompressed one (tolerance 1e-12)",
+            long_lazy.max_abs_diff_compressed_vs_uncompressed
+        ));
+    }
+    // The plateau gate is only meaningful when the window was long
+    // enough for at least one recompression; a tiny scaled window runs
+    // both sides identically (peak == uncompressed) and must not fail.
+    if long_lazy.recompressions == 0 {
+        println!(
+            "[warn] long-lazy window of {} updates never reached the compress threshold {}; \
+             plateau gate skipped",
+            long_lazy.window, long_lazy.compress_rank
+        );
+    } else if long_lazy.compressed_heap_peak_bytes >= long_lazy.uncompressed_heap_bytes {
+        return Err(format!(
+            "recompression failed to bound the buffer: peak {} vs uncompressed {}",
+            long_lazy.compressed_heap_peak_bytes, long_lazy.uncompressed_heap_bytes
+        ));
+    }
+    if bench_scale() >= 1.0 && long_lazy.long_lazy_query_speedup < 2.0 {
+        println!(
+            "[warn] long-lazy-window query speedup {:.2}x is below the 2x budget",
+            long_lazy.long_lazy_query_speedup
+        );
     }
     if bench_scale() >= 1.0 && concurrent.speedup_4_vs_1 < 2.0 {
         println!(
@@ -243,6 +308,8 @@ fn run(args: &[String]) -> Result<(), String> {
             fused_speedup: Some(modes.fused_speedup),
             lazy_query_secs: Some(modes.lazy_query_secs),
             overhead_pct: Some(service.overhead_pct),
+            long_lazy_query_speedup: Some(long_lazy.long_lazy_query_speedup),
+            compressed_query_secs: Some(long_lazy.compressed_query_secs),
         };
         let regressions = compare(&current, &committed, tolerance_pct);
         if regressions.is_empty() {

@@ -11,7 +11,11 @@
 //!   essentially size-independent at smoke workloads (smaller runs carry
 //!   a smaller pending `r`, so smoke can only look *faster*);
 //! * `overhead_pct` — the service layer's attributable per-step cost, a
-//!   percentage.
+//!   percentage;
+//! * `long_lazy_query_speedup` — uncompressed/compressed lazy pair-read
+//!   ratio at the end of a long window, dimensionless;
+//! * `compressed_query_secs` — a single pair read against the
+//!   recompressed buffer, microsecond scale.
 //!
 //! Each metric fails only on **regression** (improvement always passes),
 //! only beyond the configured tolerance factor, and only past a
@@ -30,6 +34,10 @@ pub struct SnapshotMetrics {
     pub lazy_query_secs: Option<f64>,
     /// `service_overhead.overhead_pct` (lower is better).
     pub overhead_pct: Option<f64>,
+    /// `long_lazy_window.long_lazy_query_speedup` (higher is better).
+    pub long_lazy_query_speedup: Option<f64>,
+    /// `long_lazy_window.compressed_query_secs` (lower is better).
+    pub compressed_query_secs: Option<f64>,
 }
 
 /// Extracts the first `"key": <number>` occurrence from a JSON text.
@@ -51,6 +59,8 @@ pub fn parse_metrics(json: &str) -> SnapshotMetrics {
         fused_speedup: scan_number(json, "fused_speedup"),
         lazy_query_secs: scan_number(json, "lazy_query_secs"),
         overhead_pct: scan_number(json, "overhead_pct"),
+        long_lazy_query_speedup: scan_number(json, "long_lazy_query_speedup"),
+        compressed_query_secs: scan_number(json, "compressed_query_secs"),
     }
 }
 
@@ -84,6 +94,7 @@ impl std::fmt::Display for Regression {
 const SPEEDUP_FLOOR: f64 = 1.5; // a fused speedup still ≥ 1.5x is healthy
 const LAZY_QUERY_FLOOR_SECS: f64 = 2e-6; // sub-2µs pair reads are in-noise
 const OVERHEAD_FLOOR_PCT: f64 = 1.0; // the service contract is < 2%
+const LONG_LAZY_SPEEDUP_FLOOR: f64 = 2.0; // the acceptance bar at full scale
 
 /// Compares `current` against `committed` with a tolerance given in
 /// percent of allowed drift (e.g. `200` ⇒ up to 3× worse passes).
@@ -100,17 +111,32 @@ pub fn compare(
 
     // Higher is better: regression when current falls below
     // committed / allowed — unless it is still above the healthy floor.
-    if let (Some(cur), Some(com)) = (current.fused_speedup, committed.fused_speedup) {
-        let factor = com / cur.max(1e-12);
-        if factor > factor_allowed && cur < SPEEDUP_FLOOR {
-            out.push(Regression {
-                metric: "fused_speedup",
-                committed: com,
-                current: cur,
-                factor,
-            });
-        }
-    }
+    let mut higher_better =
+        |metric: &'static str, cur: Option<f64>, com: Option<f64>, floor: f64| {
+            if let (Some(cur), Some(com)) = (cur, com) {
+                let factor = com / cur.max(1e-12);
+                if factor > factor_allowed && cur < floor {
+                    out.push(Regression {
+                        metric,
+                        committed: com,
+                        current: cur,
+                        factor,
+                    });
+                }
+            }
+        };
+    higher_better(
+        "fused_speedup",
+        current.fused_speedup,
+        committed.fused_speedup,
+        SPEEDUP_FLOOR,
+    );
+    higher_better(
+        "long_lazy_query_speedup",
+        current.long_lazy_query_speedup,
+        committed.long_lazy_query_speedup,
+        LONG_LAZY_SPEEDUP_FLOOR,
+    );
     // Lower is better for the timing metrics.
     let mut lower_better =
         |metric: &'static str, cur: Option<f64>, com: Option<f64>, floor: f64| {
@@ -138,6 +164,12 @@ pub fn compare(
         committed.overhead_pct,
         OVERHEAD_FLOOR_PCT,
     );
+    lower_better(
+        "compressed_query_secs",
+        current.compressed_query_secs,
+        committed.compressed_query_secs,
+        LAZY_QUERY_FLOOR_SECS,
+    );
     out
 }
 
@@ -150,6 +182,7 @@ mod tests {
             fused_speedup: Some(speedup),
             lazy_query_secs: Some(lazy),
             overhead_pct: Some(overhead),
+            ..Default::default()
         }
     }
 
@@ -209,6 +242,39 @@ mod tests {
             compare(&metrics(0.8, 4e-6, 0.01), &high_commit, 200.0).len(),
             1
         );
+    }
+
+    #[test]
+    fn long_lazy_metrics_gate_like_their_siblings() {
+        let committed = SnapshotMetrics {
+            long_lazy_query_speedup: Some(16.0),
+            compressed_query_secs: Some(4e-6),
+            ..Default::default()
+        };
+        // Healthy current values pass even when far off the committed run.
+        let healthy = SnapshotMetrics {
+            long_lazy_query_speedup: Some(3.0),
+            compressed_query_secs: Some(1e-6), // under the noise floor
+            ..Default::default()
+        };
+        assert!(compare(&healthy, &committed, 200.0).is_empty());
+        // A collapsed speedup and a genuinely slow compressed read fail.
+        let bad = SnapshotMetrics {
+            long_lazy_query_speedup: Some(1.1),
+            compressed_query_secs: Some(4e-5),
+            ..Default::default()
+        };
+        let regs = compare(&bad, &committed, 200.0);
+        let names: Vec<&str> = regs.iter().map(|r| r.metric).collect();
+        assert!(names.contains(&"long_lazy_query_speedup"), "{names:?}");
+        assert!(names.contains(&"compressed_query_secs"), "{names:?}");
+        // Parsing picks the new keys out of a v4 snapshot body.
+        let json = r#"{
+  "long_lazy_window": { "long_lazy_query_speedup": 15.2, "compressed_query_secs": 3.1e-6 }
+}"#;
+        let m = parse_metrics(json);
+        assert_eq!(m.long_lazy_query_speedup, Some(15.2));
+        assert!((m.compressed_query_secs.unwrap() - 3.1e-6).abs() < 1e-12);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! written by hand (the workspace is offline — no serde).
 
 use crate::harness::{bench_scale, measure_per_update};
-use incsim::api::{ApplyPolicy, EngineKind, SimRankBuilder};
+use incsim::api::{ApplyPolicy, EngineKind, SimRank, SimRankBuilder};
 use incsim::serve::{drive_load, ConcurrentSimRank, LoadOptions, ShardedSimRank};
 use incsim_core::{batch_simrank, ApplyMode, IncUSr, SimRankConfig, SimRankMaintainer};
 use incsim_datagen::er::{erdos_renyi, erdos_renyi_blocks};
@@ -558,16 +558,147 @@ pub fn measure_concurrent_throughput(
     }
 }
 
+/// A long lazy serving window with periodic ΔS recompression vs the same
+/// window uncompressed: pair-query latency at window end, buffer memory
+/// trajectory, and exactness of the compressed trajectory.
+#[derive(Debug, Clone)]
+pub struct LongLazyWindowSnapshot {
+    /// Node count of the workload graph.
+    pub n: usize,
+    /// Iterations `K`.
+    pub k_iters: usize,
+    /// Unit updates deferred into the lazy window.
+    pub window: usize,
+    /// Pending rank at which the compressed run recompresses.
+    pub compress_rank: usize,
+    /// Factor pairs pending at window end, uncompressed (`window·(K+1)`
+    /// minus dropped no-op terms — grows linearly in the window).
+    pub uncompressed_pairs: usize,
+    /// Factor pairs pending at window end with recompression (≈ the
+    /// numerical rank of ΔS — plateaus).
+    pub compressed_pairs: usize,
+    /// Recompression passes the window triggered.
+    pub recompressions: usize,
+    /// Mean seconds per lazy pair query at window end, uncompressed.
+    pub uncompressed_query_secs: f64,
+    /// Mean seconds per lazy pair query at window end, compressed.
+    pub compressed_query_secs: f64,
+    /// `uncompressed_query_secs / compressed_query_secs` — the headline:
+    /// recompression holds lazy query cost at O(numerical rank).
+    pub long_lazy_query_speedup: f64,
+    /// Buffer heap bytes at window end, uncompressed (grows linearly).
+    pub uncompressed_heap_bytes: usize,
+    /// Peak buffer heap bytes over the whole compressed window (the
+    /// plateau — bounded by the threshold, not the window length).
+    pub compressed_heap_peak_bytes: usize,
+    /// Buffer heap bytes at window end, compressed.
+    pub compressed_heap_end_bytes: usize,
+    /// Max |compressed − uncompressed| over the full final matrix (the
+    /// uncompressed lazy trajectory equals eager — gated by the
+    /// apply-modes case — so this is the compressed-vs-eager drift).
+    pub max_abs_diff_compressed_vs_uncompressed: f64,
+}
+
+/// Drives a `window`-update lazy window twice through the service handle
+/// (`ApplyPolicy::Lazy`) — once with `.compress_at_rank(compress_rank)`
+/// armed at the default tolerance, once without — and measures pair-query
+/// latency, buffer memory, and drift at window end. The insertion stream,
+/// initial scores, and probe set are shared, so the comparison is
+/// apples-to-apples.
+pub fn measure_long_lazy_window(n: usize, k_iters: usize, window: usize) -> LongLazyWindowSnapshot {
+    let g = snapshot_graph(n);
+    let cfg = SimRankConfig::new(0.6, k_iters).expect("valid config");
+    let s0 = batch_simrank(&g, &cfg);
+    let mut rng = StdRng::seed_from_u64(77);
+    let stream = random_insertions(&g, window, &mut rng);
+    let compress_rank = 4 * (k_iters + 1);
+
+    let build = |compress: bool| -> SimRank {
+        let b = SimRankBuilder::new()
+            .algorithm(EngineKind::IncUSr)
+            .mode(ApplyPolicy::Lazy)
+            .config(cfg)
+            // Never materialise inside the window: the point is the
+            // lazy steady state, bounded by compression alone.
+            .flush_at_rank(usize::MAX);
+        let b = if compress {
+            b.compress_at_rank(compress_rank)
+        } else {
+            b
+        };
+        b.with_scores(g.clone(), s0.clone())
+            .expect("engine constructs")
+    };
+    let heap_of = |sim: &SimRank| -> usize { sim.pending_heap_bytes() };
+    let query_probe = |sim: &SimRank| -> f64 {
+        let queries = 2000usize;
+        let start = Instant::now();
+        let mut acc = 0.0;
+        for t in 0..queries {
+            let a = ((t * 131) % n) as u32;
+            let b = ((t * 197 + 13) % n) as u32;
+            acc += sim.pair(a, b);
+        }
+        let per = start.elapsed().as_secs_f64() / queries as f64;
+        std::hint::black_box(acc);
+        per
+    };
+
+    let mut plain = build(false);
+    for &op in &stream {
+        plain.update(op).expect("stream valid by construction");
+    }
+    let uncompressed_pairs = plain.pending_rank();
+    let uncompressed_heap = heap_of(&plain);
+    let uncompressed_query_secs = query_probe(&plain);
+
+    let mut compressed = build(true);
+    let mut peak_heap = 0usize;
+    for &op in &stream {
+        compressed.update(op).expect("stream valid by construction");
+        peak_heap = peak_heap.max(heap_of(&compressed));
+    }
+    let compressed_pairs = compressed.pending_rank();
+    let compressed_heap_end = heap_of(&compressed);
+    let compressed_query_secs = query_probe(&compressed);
+    let recompressions = compressed.counters().recompressions;
+
+    // Drift: materialise both windows (the only n² work in this case,
+    // off the measured paths) and compare the full matrices.
+    let diff = {
+        let a = plain.scores().clone();
+        compressed.scores().max_abs_diff(&a)
+    };
+
+    LongLazyWindowSnapshot {
+        n,
+        k_iters,
+        window: stream.len(),
+        compress_rank,
+        uncompressed_pairs,
+        compressed_pairs,
+        recompressions,
+        uncompressed_query_secs,
+        compressed_query_secs,
+        long_lazy_query_speedup: uncompressed_query_secs / compressed_query_secs.max(1e-12),
+        uncompressed_heap_bytes: uncompressed_heap,
+        compressed_heap_peak_bytes: peak_heap,
+        compressed_heap_end_bytes: compressed_heap_end,
+        max_abs_diff_compressed_vs_uncompressed: diff,
+    }
+}
+
 /// Renders the full snapshot as pretty-printed JSON.
 pub fn snapshot_json(
     modes: &ApplyModeSnapshot,
     micro: &MicroKernelSnapshot,
     service: &ServiceOverheadSnapshot,
     concurrent: &ConcurrentThroughputSnapshot,
+    long_lazy: &LongLazyWindowSnapshot,
 ) -> String {
     format!(
         r#"{{
-  "schema": "incsim-bench-snapshot-v3",
+  "schema": "incsim-bench-snapshot-v4",
   "bench_scale": {scale},
   "apply_modes": {{
     "n": {n},
@@ -616,6 +747,22 @@ pub fn snapshot_json(
     "epochs_published": {cep},
     "max_abs_diff_sharded_fused_vs_eager": {cdf:.3e},
     "max_abs_diff_sharded_lazy_vs_eager": {cdl:.3e}
+  }},
+  "long_lazy_window": {{
+    "n": {ln},
+    "k_iters": {lk},
+    "window": {lw},
+    "compress_rank": {lcr},
+    "uncompressed_pairs": {lup},
+    "compressed_pairs": {lcp},
+    "recompressions": {lrc},
+    "uncompressed_query_secs": {luq:.6e},
+    "compressed_query_secs": {lcq:.6e},
+    "long_lazy_query_speedup": {lsp:.3},
+    "uncompressed_heap_bytes": {luh},
+    "compressed_heap_peak_bytes": {lph},
+    "compressed_heap_end_bytes": {leh},
+    "max_abs_diff_compressed_vs_uncompressed": {ldf:.3e}
   }}
 }}
 "#,
@@ -660,6 +807,20 @@ pub fn snapshot_json(
         cep = concurrent.epochs_published,
         cdf = concurrent.max_abs_diff_sharded_fused_vs_eager,
         cdl = concurrent.max_abs_diff_sharded_lazy_vs_eager,
+        ln = long_lazy.n,
+        lk = long_lazy.k_iters,
+        lw = long_lazy.window,
+        lcr = long_lazy.compress_rank,
+        lup = long_lazy.uncompressed_pairs,
+        lcp = long_lazy.compressed_pairs,
+        lrc = long_lazy.recompressions,
+        luq = long_lazy.uncompressed_query_secs,
+        lcq = long_lazy.compressed_query_secs,
+        lsp = long_lazy.long_lazy_query_speedup,
+        luh = long_lazy.uncompressed_heap_bytes,
+        lph = long_lazy.compressed_heap_peak_bytes,
+        leh = long_lazy.compressed_heap_end_bytes,
+        ldf = long_lazy.max_abs_diff_compressed_vs_uncompressed,
     )
 }
 
@@ -692,12 +853,32 @@ mod tests {
             "sharded lazy drift {:.2e}",
             concurrent.max_abs_diff_sharded_lazy_vs_eager
         );
-        let json = snapshot_json(&modes, &micro, &service, &concurrent);
-        assert!(json.contains("\"schema\": \"incsim-bench-snapshot-v3\""));
+        let long_lazy = measure_long_lazy_window(56, 4, 12);
+        assert_eq!(long_lazy.window, 12);
+        assert!(long_lazy.recompressions >= 1, "window must recompress");
+        assert!(
+            long_lazy.compressed_pairs < long_lazy.uncompressed_pairs,
+            "compression must shrink the buffered rank ({} vs {})",
+            long_lazy.compressed_pairs,
+            long_lazy.uncompressed_pairs
+        );
+        assert!(
+            long_lazy.compressed_heap_peak_bytes < long_lazy.uncompressed_heap_bytes,
+            "compressed window must stay under the uncompressed end size"
+        );
+        assert!(
+            long_lazy.max_abs_diff_compressed_vs_uncompressed < 1e-12,
+            "compressed window drifted {:.2e}",
+            long_lazy.max_abs_diff_compressed_vs_uncompressed
+        );
+        let json = snapshot_json(&modes, &micro, &service, &concurrent, &long_lazy);
+        assert!(json.contains("\"schema\": \"incsim-bench-snapshot-v4\""));
         assert!(json.contains("fused_speedup"));
         assert!(json.contains("service_overhead"));
         assert!(json.contains("concurrent_throughput"));
         assert!(json.contains("speedup_4_vs_1"));
+        assert!(json.contains("long_lazy_window"));
+        assert!(json.contains("long_lazy_query_speedup"));
         // Balanced braces — cheap structural sanity for the hand-rolled JSON.
         assert_eq!(
             json.matches('{').count(),

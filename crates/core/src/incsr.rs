@@ -471,6 +471,11 @@ impl SimRankMaintainer for IncSr {
         self.deferred.flush_into(&mut self.scores)
     }
 
+    fn compress_pending(&mut self, tol: f64) -> usize {
+        self.deferred.compress(tol);
+        self.deferred.delta.pending_pairs()
+    }
+
     fn insert_edge(&mut self, i: u32, j: u32) -> Result<UpdateStats, UpdateError> {
         let mut stats = self.apply_update(i, j, UpdateKind::Insert)?;
         if self.deferred.mode == ApplyMode::Fused {
@@ -773,6 +778,64 @@ mod tests {
         }
         lazy.flush();
         assert!(lazy.scores().max_abs_diff(&s_batch) < 1e-8);
+    }
+
+    #[test]
+    fn lazy_window_skips_died_out_terms() {
+        // On a path graph the pruned supports of an update die out once
+        // they pass the tail (no out-neighbours left to scatter to). The
+        // empty tail terms are no-op pairs: they must not be buffered, so
+        // the pending rank reflects only the terms that carry mass —
+        // otherwise `ApplyPolicy::Auto` counts them against its rank cap
+        // and fires spurious `rank_cap_flushes`.
+        let n = 30;
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|v| (v, v + 1)).collect();
+        let cfg = SimRankConfig::new(0.6, 20).unwrap();
+        let mut engine =
+            IncSr::from_graph(DiGraph::from_edges(n, &edges), cfg).with_mode(ApplyMode::Lazy);
+        let stats = engine.insert_edge(0, (n - 1) as u32).unwrap();
+        assert!(
+            stats.pending_rank < cfg.iterations + 1,
+            "died-out terms inflated the pending rank to {} (K+1 = {})",
+            stats.pending_rank,
+            cfg.iterations + 1
+        );
+        // The skipped terms were genuinely zero: the window is still exact.
+        engine.flush();
+        let truth = batch_simrank(engine.graph(), &cfg);
+        assert!(engine.scores().max_abs_diff(&truth) < 1e-9);
+    }
+
+    #[test]
+    fn compress_pending_keeps_lazy_reads_exact() {
+        let g = fixture();
+        let cfg = tight_cfg();
+        let s0 = batch_simrank(&g, &cfg);
+        let mut lazy = IncSr::new(g, s0, cfg).with_mode(ApplyMode::Lazy);
+        for op in mixed_ops() {
+            lazy.apply(op).unwrap();
+        }
+        let before = lazy.pending_rank();
+        let after = lazy.compress_pending(1e-13);
+        assert_eq!(after, lazy.pending_rank());
+        // 5 updates × (K+1) terms on a 7-node support: the numerical rank
+        // is bounded by the support size, far below the raw pair count.
+        assert!(
+            after <= 7 && after < before,
+            "compression did not shrink the window: {before} -> {after}"
+        );
+        assert_eq!(lazy.mode(), ApplyMode::Lazy, "the window stays open");
+        let truth = batch_simrank(lazy.graph(), &tight_cfg());
+        let n = lazy.graph().node_count() as u32;
+        for a in 0..n {
+            for b in 0..n {
+                let got = lazy.view().pair(a, b);
+                let want = truth.get(a as usize, b as usize);
+                assert!((got - want).abs() < 1e-8, "pair ({a},{b}): {got} vs {want}");
+            }
+        }
+        lazy.flush();
+        assert!(lazy.scores().max_abs_diff(&truth) < 1e-8);
     }
 
     #[test]

@@ -282,6 +282,11 @@ impl SimRankMaintainer for IncUSr {
         self.deferred.flush_into(&mut self.scores)
     }
 
+    fn compress_pending(&mut self, tol: f64) -> usize {
+        self.deferred.compress(tol);
+        self.deferred.delta.pending_pairs()
+    }
+
     fn insert_edge(&mut self, i: u32, j: u32) -> Result<UpdateStats, UpdateError> {
         let mut stats = self.apply_update(i, j, UpdateKind::Insert)?;
         if self.deferred.mode == ApplyMode::Fused {

@@ -3,7 +3,7 @@
 use crate::query::{ScoreSnapshot, ScoreView};
 use crate::rankone::UpdateKind;
 use incsim_graph::{DiGraph, GraphError, UpdateOp};
-use incsim_linalg::{DenseMatrix, LowRankDelta};
+use incsim_linalg::{DenseMatrix, LowRankDelta, Recompression};
 
 use crate::SimRankConfig;
 
@@ -63,6 +63,13 @@ impl DeferredApply {
             self.flush_into(scores);
             self.mode = mode;
         }
+    }
+
+    /// Recompresses the pending factor buffer in place to its numerical
+    /// rank (see [`LowRankDelta::recompress`]) — the lazy window stays
+    /// open, queries drop to `O(rank)`, and nothing is materialised.
+    pub fn compress(&mut self, tol: f64) -> Recompression {
+        self.delta.recompress(tol)
     }
 
     /// Re-dimensions the buffer after the score matrix was re-shaped
@@ -248,6 +255,18 @@ pub trait SimRankMaintainer {
     /// Folds all pending ΔS factors into the score matrix (no-op when
     /// nothing is pending). Returns the number of rank-two terms applied.
     fn flush(&mut self) -> usize {
+        0
+    }
+
+    /// Recompresses the pending deferred-ΔS buffer **in place** to its
+    /// numerical rank at the relative tolerance `tol` (see
+    /// [`LowRankDelta::recompress`]): the lazy window stays open and no
+    /// `n²` materialisation happens, but queries drop from `O(r)` to
+    /// `O(rank)` and the buffer memory plateaus. Returns the pending rank
+    /// after compression; engines without a deferred buffer are no-ops
+    /// returning 0 (their Δ is always empty).
+    fn compress_pending(&mut self, tol: f64) -> usize {
+        let _ = tol;
         0
     }
 

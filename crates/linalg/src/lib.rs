@@ -16,13 +16,16 @@
 //! * [`SparseAccumulator`] — Gustavson-style sparse vector workspace used by
 //!   the pruned Inc-SR iteration (Algorithm 2).
 //! * [`LowRankDelta`] — buffered `ΔS = U·Vᵀ + V·Uᵀ` factors with a fused,
-//!   cache-blocked, thread-parallel apply and `O(r)` lazy entry reads (the
-//!   deferred update path of the incremental engines).
+//!   cache-blocked, thread-parallel apply, `O(r)` lazy entry reads (the
+//!   deferred update path of the incremental engines), and in-place
+//!   rank-truncating recompression ([`LowRankDelta::recompress`]) so long
+//!   lazy windows stay at the numerical rank of Δ.
 //! * [`qr::qr_thin`] / [`qr::rank_qrcp`] — Householder QR and rank-revealing
 //!   QR with column pivoting (numerical rank for the paper's Fig. 2b).
-//! * [`svd::jacobi_svd`] / [`svd::truncated_svd`] — one-sided Jacobi SVD and
-//!   a Halko-style randomized truncated SVD (the Inc-SVD baseline of
-//!   Li et al. requires both).
+//! * [`svd::jacobi_svd`] / [`svd::truncated_svd`] / [`svd::sym_eigen`] —
+//!   one-sided Jacobi SVD, a Halko-style randomized truncated SVD (the
+//!   Inc-SVD baseline of Li et al. requires both), and a signed symmetric
+//!   Jacobi eigensolver (the ΔS recompression core).
 //! * [`lu::LuFactors`] — LU with partial pivoting (the explicit r²×r² solve
 //!   in the Inc-SVD closed form).
 //! * [`stein::solve_stein`] — fixed-point solver for the (rank-one) Sylvester
@@ -50,7 +53,7 @@ pub mod svd;
 pub mod vecops;
 
 pub use dense::DenseMatrix;
-pub use lowrank::LowRankDelta;
+pub use lowrank::{LowRankDelta, Recompression};
 pub use sparse::{CooBuilder, CsrMatrix};
 pub use spvec::SparseAccumulator;
 pub use svd::{LinOp, Svd};

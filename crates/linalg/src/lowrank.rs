@@ -29,8 +29,28 @@
 //! rivals a sweep (`r ≈ n / queries`), or (c) memory pressure demands it.
 //! The engines in `incsim-core` flush per mutation call in fused mode and
 //! on demand in lazy mode.
+//!
+//! **Recompression instead of flushing.** A long lazy window accumulates
+//! `r = b·(K+1)` pairs over `b` updates, but the *numerical* rank of Δ is
+//! usually far smaller — consecutive updates perturb overlapping
+//! subspaces and the per-iteration terms decay geometrically in `C`.
+//! [`LowRankDelta::recompress`] rewrites the buffer in place at that
+//! numerical rank: stack `W = [U V]` (support-compacted), thin-QR it,
+//! eigendecompose the small symmetric core `M = R·J·Rᵀ` (where
+//! `Δ = W·J·Wᵀ` with `J` the block swap), truncate at a tolerance
+//! **relative to the largest `|λ|`** (the [`crate::qr::rank_qrcp`] /
+//! [`crate::svd::Svd::rank`] convention), and re-express the kept
+//! eigendirections as ordinary pairs `ξ·ηᵀ + η·ξᵀ` — packed two per
+//! pair, one of each sign, falling back to `ξ = (λ/2)·q`, `η = q` for an
+//! unmatched direction. Compressed buffers therefore stay plain
+//! [`LowRankDelta`] state: every consumer (fused apply, lazy reads,
+//! snapshots) works unchanged, queries drop from `O(r)` to `O(ρ)` with
+//! `ρ` the numerical rank, and the buffer's memory plateaus instead of
+//! growing linearly in the window length.
 
 use crate::dense::DenseMatrix;
+use crate::qr::qr_thin;
+use crate::svd::sym_eigen;
 use crate::vecops;
 
 /// Rows per cache tile of the fused apply: factor columns are re-read once
@@ -136,19 +156,29 @@ impl LowRankDelta {
         self.pairs.is_empty()
     }
 
-    /// Buffers a dense term `ξ·ηᵀ + η·ξᵀ`.
+    /// Buffers a dense term `ξ·ηᵀ + η·ξᵀ`. A pair with an identically
+    /// zero factor contributes nothing to Δ and is dropped — buffering it
+    /// would only inflate [`Self::pending_pairs`] and trigger spurious
+    /// rank-cap flushes in the adaptive apply policy.
     ///
     /// # Panics
     /// Panics if either vector is not of length [`Self::dim`].
     pub fn push_dense(&mut self, xi: Vec<f64>, eta: Vec<f64>) {
         assert_eq!(xi.len(), self.dim, "push_dense: xi length mismatch");
         assert_eq!(eta.len(), self.dim, "push_dense: eta length mismatch");
+        if xi.iter().all(|&v| v == 0.0) || eta.iter().all(|&v| v == 0.0) {
+            return;
+        }
         self.pairs.push(FactorPair::Dense { xi, eta });
     }
 
     /// Buffers a sparse term `ξ·ηᵀ + η·ξᵀ` given as `(index, value)`
     /// pairs. Entries are sorted by index, duplicate indices are merged by
     /// summing, and exact zeros are dropped (they contribute nothing to Δ).
+    /// A pair left with an **empty** factor after that cleanup — e.g. a
+    /// toggle whose γ cancels exactly, or a pruned iteration whose support
+    /// died out — is a no-op term and is dropped entirely, so it cannot
+    /// inflate [`Self::pending_pairs`] or trip rank-cap flushes.
     ///
     /// # Panics
     /// Panics if any index is `>=` [`Self::dim`].
@@ -167,6 +197,9 @@ impl LowRankDelta {
                 }
             });
             col.retain(|&(_, v)| v != 0.0);
+        }
+        if xi.is_empty() || eta.is_empty() {
+            return;
         }
         self.pairs.push(FactorPair::Sparse { xi, eta });
     }
@@ -372,20 +405,301 @@ impl LowRankDelta {
         }
     }
 
-    /// Heap bytes held by the buffered factors (the paper-style
-    /// intermediate-memory accounting: `≈ 2·(K+1)·n·8` bytes per pending
-    /// dense update).
+    /// Heap bytes held by the buffer (the paper-style intermediate-memory
+    /// accounting: `≈ 2·(K+1)·n·8` bytes per pending dense update). This
+    /// is the memory-pressure signal the adaptive policy and serve
+    /// telemetry read, so it accounts *allocation*, not content: dense
+    /// factors at 8 B per `f64` slot, sparse factors at 16 B per
+    /// `(u32, f64)` slot — both by `Vec` **capacity** (reserve growth is
+    /// real memory even before it is filled) — plus the pair container
+    /// itself (one [`FactorPair`] header per slot of `pairs`' capacity).
     pub fn heap_bytes(&self) -> usize {
         let per_dense = std::mem::size_of::<f64>();
         let per_sparse = std::mem::size_of::<(u32, f64)>();
-        self.pairs
-            .iter()
-            .map(|p| match p {
-                FactorPair::Dense { xi, eta } => (xi.capacity() + eta.capacity()) * per_dense,
-                FactorPair::Sparse { xi, eta } => (xi.capacity() + eta.capacity()) * per_sparse,
-            })
-            .sum()
+        let container = self.pairs.capacity() * std::mem::size_of::<FactorPair>();
+        container
+            + self
+                .pairs
+                .iter()
+                .map(|p| match p {
+                    FactorPair::Dense { xi, eta } => (xi.capacity() + eta.capacity()) * per_dense,
+                    FactorPair::Sparse { xi, eta } => (xi.capacity() + eta.capacity()) * per_sparse,
+                })
+                .sum::<usize>()
     }
+
+    /// Recompresses the buffer **in place** to the numerical rank of Δ:
+    /// stack `W = [U V]` over the union support, thin-QR it, eigendecompose
+    /// the small symmetric core `M = R·J·Rᵀ` (`Δ = W·J·Wᵀ`, `J` the block
+    /// swap), truncate every eigendirection with `|λ| ≤ tol·|λ|_max` (the
+    /// tolerance is relative to the largest magnitude, matching
+    /// [`crate::qr::rank_qrcp`] / [`crate::svd::Svd::rank`]), and rewrite
+    /// the survivors as ordinary factor pairs — two directions per pair,
+    /// one of each sign (a symmetric rank-two term holds exactly one
+    /// `λ₊ ≥ 0` and one `λ₋ ≤ 0`), so the pair count lands at
+    /// `max(#λ₊, #λ₋) ≈ rank/2` and a compressed buffer is
+    /// indistinguishable from a freshly pushed one to every consumer.
+    ///
+    /// Cost: with `2r ≤ s` (support size `s`, buffered rank `r`) the
+    /// thin-QR route runs in `O(s·r²)` with `O(s·r)` scratch; a buffer
+    /// already wider than its support (`2r > s`) instead eigendecomposes
+    /// the support-compacted `s × s` Δ directly — `O(s²·r + s³)` with a
+    /// transient `s²` scratch, exact at rank ≤ `s`. Neither route touches
+    /// the `n × n` score matrix, and a sparse window never pays `n`
+    /// (drivers should still trigger compression at rank thresholds well
+    /// below `n/2` so dense windows stay on the QR route).
+    /// Sparse-supported results are re-emitted as sparse pairs (when the
+    /// support is under half the dimension), so Inc-SR windows keep their
+    /// touched-rows flush path.
+    ///
+    /// Returns the before/after pair counts and the total discarded
+    /// spectral mass `Σ|λ_dropped|`, which bounds the max-abs entrywise
+    /// change of Δ. With `tol = 0` only exact zeros are dropped.
+    pub fn recompress(&mut self, tol: f64) -> Recompression {
+        let pairs_before = self.pairs.len();
+        let mut discarded = 0.0f64;
+        if pairs_before > 1 {
+            let rows = self.support_rows();
+            if rows.is_empty() {
+                self.pairs.clear();
+            } else {
+                let batch = std::mem::take(&mut self.pairs);
+                let (dirs, dropped) = if 2 * batch.len() <= rows.len() {
+                    eigen_directions_qr(&rows, &batch, tol)
+                } else {
+                    eigen_directions_direct(&rows, &batch, tol)
+                };
+                discarded = dropped;
+                self.pairs = emit_eigen_pairs(self.dim, &rows, dirs);
+            }
+        }
+        Recompression {
+            pairs_before,
+            pairs_after: self.pairs.len(),
+            discarded_mass: discarded,
+        }
+    }
+}
+
+/// Outcome of one [`LowRankDelta::recompress`] call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Recompression {
+    /// Buffered pairs before the pass.
+    pub pairs_before: usize,
+    /// Buffered pairs after the pass: `max(#λ₊, #λ₋) ≈ rank/2` of the
+    /// numerical rank of Δ at `tol` (two eigendirections per pair, one of
+    /// each sign).
+    pub pairs_after: usize,
+    /// `Σ|λ|` over the truncated eigendirections: a hard upper bound on
+    /// `max |Δ_after − Δ_before|` entrywise (each dropped direction moves
+    /// an entry by at most `|λ|·|q_a|·|q_b| ≤ |λ|` for unit `q`).
+    pub discarded_mass: f64,
+}
+
+/// One eigendirection of Δ restricted to the support: the signed
+/// eigenvalue and the unit eigenvector in support-local coordinates.
+type EigenDirection = (f64, Vec<f64>);
+
+/// Copies one factor pair into support-local dense vectors.
+fn compact_pair(rows: &[u32], pair: &FactorPair, xs: &mut [f64], es: &mut [f64]) {
+    let local = |g: u32| -> usize {
+        rows.binary_search(&g)
+            .expect("support covers every factor index")
+    };
+    xs.fill(0.0);
+    es.fill(0.0);
+    match pair {
+        FactorPair::Dense { xi, eta } => {
+            for (li, &g) in rows.iter().enumerate() {
+                xs[li] = xi[g as usize];
+                es[li] = eta[g as usize];
+            }
+        }
+        FactorPair::Sparse { xi, eta } => {
+            for &(g, val) in xi {
+                xs[local(g)] = val;
+            }
+            for &(g, val) in eta {
+                es[local(g)] = val;
+            }
+        }
+    }
+}
+
+/// Truncates a spectrum at `tol` relative to `|λ|_max`: keeps the
+/// surviving `(λ, q)` directions, accumulates the discarded `Σ|λ|`.
+fn truncate_spectrum(
+    lambda: &[f64],
+    vec_of: impl Fn(usize) -> Vec<f64>,
+    tol: f64,
+) -> (Vec<EigenDirection>, f64) {
+    let lmax = lambda.iter().fold(0.0f64, |a, &l| a.max(l.abs()));
+    let mut dirs = Vec::new();
+    let mut dropped = 0.0f64;
+    for (t, &l) in lambda.iter().enumerate() {
+        if l == 0.0 || l.abs() <= tol.max(0.0) * lmax {
+            dropped += l.abs();
+        } else {
+            dirs.push((l, vec_of(t)));
+        }
+    }
+    (dirs, dropped)
+}
+
+/// The thin-QR route (`2m ≤ s`): `Δ|support = W·J·Wᵀ = Q·(R·J·Rᵀ)·Qᵀ`
+/// with `W = [U V]` support-compacted and `J` the block swap; the
+/// `2m × 2m` core is eigendecomposed and the survivors lifted back
+/// through `Q`.
+fn eigen_directions_qr(rows: &[u32], batch: &[FactorPair], tol: f64) -> (Vec<EigenDirection>, f64) {
+    let s = rows.len();
+    let m = batch.len();
+    debug_assert!(m >= 1 && 2 * m <= s, "QR route needs a tall stack");
+    let mut w = DenseMatrix::zeros(s, 2 * m);
+    let mut xs = vec![0.0; s];
+    let mut es = vec![0.0; s];
+    for (t, pair) in batch.iter().enumerate() {
+        compact_pair(rows, pair, &mut xs, &mut es);
+        for li in 0..s {
+            w.set(li, t, xs[li]);
+            w.set(li, m + t, es[li]);
+        }
+    }
+    let (q, r) = qr_thin(&w);
+    // R·J: column k of the product is column (k+m) mod 2m of R.
+    let mut rj = DenseMatrix::zeros(2 * m, 2 * m);
+    for k in 0..2 * m {
+        let src = (k + m) % (2 * m);
+        for i in 0..2 * m {
+            rj.set(i, k, r.get(i, src));
+        }
+    }
+    let mut core = rj.matmul_nt(&r);
+    // Symmetric in exact arithmetic; symmetrise away the roundoff.
+    for i in 0..2 * m {
+        for j in (i + 1)..2 * m {
+            let v = 0.5 * (core.get(i, j) + core.get(j, i));
+            core.set(i, j, v);
+            core.set(j, i, v);
+        }
+    }
+    let (lambda, z) = sym_eigen(&core);
+    truncate_spectrum(
+        &lambda,
+        |t| {
+            let mut zt = vec![0.0; 2 * m];
+            let mut qz = vec![0.0; s];
+            z.col_into(t, &mut zt);
+            q.matvec(&zt, &mut qz);
+            qz
+        },
+        tol,
+    )
+}
+
+/// The direct route (`2m > s`): materialise the support-compacted
+/// `s × s` Δ (never `n × n`) and eigendecompose it outright — exact at
+/// rank ≤ `s`, which is also Δ's true rank bound.
+fn eigen_directions_direct(
+    rows: &[u32],
+    batch: &[FactorPair],
+    tol: f64,
+) -> (Vec<EigenDirection>, f64) {
+    let s = rows.len();
+    let mut ds = DenseMatrix::zeros(s, s);
+    let mut xs = vec![0.0; s];
+    let mut es = vec![0.0; s];
+    for pair in batch {
+        compact_pair(rows, pair, &mut xs, &mut es);
+        ds.rank_one_update(1.0, &xs, &es);
+        ds.rank_one_update(1.0, &es, &xs);
+    }
+    let (lambda, v) = sym_eigen(&ds);
+    truncate_spectrum(
+        &lambda,
+        |t| {
+            let mut vt = vec![0.0; s];
+            v.col_into(t, &mut vt);
+            vt
+        },
+        tol,
+    )
+}
+
+/// Rewrites eigendirections as ordinary factor pairs. A symmetric
+/// rank-two term `ξ·ηᵀ + η·ξᵀ` carries exactly one non-negative and one
+/// non-positive eigenvalue (`λ± = ξᵀη ± |ξ|·|η|`), so eigendirections
+/// are packed **two per pair**, one of each sign:
+///
+/// ```text
+/// λ₊·q₊·q₊ᵀ + λ₋·q₋·q₋ᵀ = ξ·ηᵀ + η·ξᵀ
+///   with ξ = a·q₊ + b·q₋, η = a·q₊ − b·q₋, a = √(λ₊/2), b = √(−λ₋/2)
+/// ```
+///
+/// (then `ξ·ηᵀ + η·ξᵀ = 2a²·q₊q₊ᵀ − 2b²·q₋q₋ᵀ`, and the cross terms
+/// cancel). An unmatched direction falls back to the single-direction
+/// form `ξ = (λ/2)·q, η = q`. Both signed lists arrive sorted by `|λ|`
+/// descending, so zipped partners have comparable magnitude and the
+/// balanced `√` coefficients keep the factors well-scaled. Emitted pairs
+/// are sparse when the support is a minority of the dimension
+/// (16 B/entry sparse vs 8 B/entry dense breaks even at `s = dim/2`, and
+/// sparse preserves the touched-rows flush path).
+fn emit_eigen_pairs(dim: usize, rows: &[u32], dirs: Vec<EigenDirection>) -> Vec<FactorPair> {
+    let s = rows.len();
+    let sparse_out = 2 * s <= dim;
+    let (pos, neg): (Vec<_>, Vec<_>) = dirs.into_iter().partition(|&(l, _)| l > 0.0);
+    let paired = pos.len().min(neg.len());
+    let mut out = Vec::with_capacity(pos.len().max(neg.len()));
+    let mut xi_local = vec![0.0; s];
+    let mut eta_local = vec![0.0; s];
+
+    let emit = |xi_local: &[f64], eta_local: &[f64], out: &mut Vec<FactorPair>| {
+        if sparse_out {
+            let xi: Vec<(u32, f64)> = rows
+                .iter()
+                .zip(xi_local)
+                .filter(|&(_, &v)| v != 0.0)
+                .map(|(&g, &v)| (g, v))
+                .collect();
+            let eta: Vec<(u32, f64)> = rows
+                .iter()
+                .zip(eta_local)
+                .filter(|&(_, &v)| v != 0.0)
+                .map(|(&g, &v)| (g, v))
+                .collect();
+            if !xi.is_empty() && !eta.is_empty() {
+                out.push(FactorPair::Sparse { xi, eta });
+            }
+        } else {
+            let mut xi = vec![0.0; dim];
+            let mut eta = vec![0.0; dim];
+            for (li, &g) in rows.iter().enumerate() {
+                xi[g as usize] = xi_local[li];
+                eta[g as usize] = eta_local[li];
+            }
+            out.push(FactorPair::Dense { xi, eta });
+        }
+    };
+
+    for k in 0..paired {
+        let (lp, ref qp) = pos[k];
+        let (ln, ref qn) = neg[k];
+        let a = (lp / 2.0).sqrt();
+        let b = (-ln / 2.0).sqrt();
+        for li in 0..s {
+            xi_local[li] = a * qp[li] + b * qn[li];
+            eta_local[li] = a * qp[li] - b * qn[li];
+        }
+        emit(&xi_local, &eta_local, &mut out);
+    }
+    // Exactly one signed list has a tail past the zipped prefix.
+    for &(l, ref q) in pos[paired..].iter().chain(neg[paired..].iter()) {
+        for li in 0..s {
+            xi_local[li] = 0.5 * l * q[li];
+            eta_local[li] = q[li];
+        }
+        emit(&xi_local, &eta_local, &mut out);
+    }
+    out
 }
 
 /// Applies one dense schedule unit (1–[`DENSE_GROUP`] consecutive dense
@@ -626,11 +940,14 @@ mod tests {
     fn support_rows_is_exact_for_dense_and_sparse() {
         let n = 6;
         let mut delta = LowRankDelta::new(n);
-        delta.push_dense(vec![0.0, 1.0, 0.0, 0.0, 0.0, 0.0], vec![0.0; 6]);
+        delta.push_dense(
+            vec![0.0, 1.0, 0.0, 0.0, 0.0, 0.0],
+            vec![0.0, 0.0, 0.0, 1.0, 0.0, 0.0],
+        );
         delta.push_sparse(vec![(4, 2.0)], vec![(2, -1.0)]);
         // touched_rows gives up on the dense pair; support_rows does not.
         assert_eq!(delta.touched_rows(), None);
-        assert_eq!(delta.support_rows(), vec![1, 2, 4]);
+        assert_eq!(delta.support_rows(), vec![1, 2, 3, 4]);
         assert!(LowRankDelta::new(n).support_rows().is_empty());
     }
 
@@ -639,8 +956,221 @@ mod tests {
         let n = 4;
         let mut delta = LowRankDelta::new(n);
         delta.push_sparse(vec![(1, 1.0)], vec![(2, 1.0)]);
-        delta.push_dense(vec![0.0; n], vec![0.0; n]);
+        delta.push_dense(vec![1.0; n], vec![1.0; n]);
         assert_eq!(delta.touched_rows(), None);
+    }
+
+    #[test]
+    fn cancelled_pushes_leave_the_buffer_empty() {
+        let n = 8;
+        let mut delta = LowRankDelta::new(n);
+        // A sparse term whose γ cancels exactly after dedup: no-op.
+        delta.push_sparse(vec![(3, 1.0), (3, -1.0)], vec![(5, 2.0)]);
+        // An empty support outright.
+        delta.push_sparse(vec![], vec![(1, 1.0)]);
+        // A dense term with an identically zero factor.
+        delta.push_dense(vec![0.0; n], vec![1.0; n]);
+        delta.push_dense(vec![1.0; n], vec![0.0; n]);
+        assert!(delta.is_empty(), "no-op terms must not be buffered");
+        assert_eq!(delta.pending_pairs(), 0);
+        // A genuinely nonzero term still buffers.
+        delta.push_sparse(vec![(3, 1.0), (3, 1.0)], vec![(5, 2.0)]);
+        assert_eq!(delta.pending_pairs(), 1);
+        assert_eq!(delta.pair_delta(3, 5), 4.0);
+    }
+
+    #[test]
+    fn heap_bytes_accounts_sparse_storage_and_capacity() {
+        let n = 1000;
+        let mut delta = LowRankDelta::new(n);
+        // Sparse-heavy buffer: 3 pairs of 2+2 entries each.
+        for t in 0..3u32 {
+            delta.push_sparse(
+                vec![(t, 1.0), (t + 10, -1.0)],
+                vec![(t + 20, 2.0), (t + 30, 0.5)],
+            );
+        }
+        let per_entry = std::mem::size_of::<(u32, f64)>();
+        let entries = 3 * 4 * per_entry; // 12 stored (u32, f64) slots
+        let container = delta.pending_pairs() * std::mem::size_of::<FactorPair>();
+        assert!(
+            delta.heap_bytes() >= entries + container,
+            "heap_bytes {} under-reports a sparse buffer (≥ {} expected)",
+            delta.heap_bytes(),
+            entries + container
+        );
+        // Capacity counts even past the filled length: a reserve on the
+        // factor vec of a fresh pair must show up in the signal.
+        let mut xi: Vec<(u32, f64)> = Vec::with_capacity(64);
+        xi.push((0, 1.0));
+        let before = delta.heap_bytes();
+        delta.push_sparse(xi, vec![(1, 1.0)]);
+        assert!(
+            delta.heap_bytes() >= before + 64 * per_entry,
+            "reserved sparse capacity must be accounted"
+        );
+    }
+
+    /// A deliberately rank-deficient stream: every pushed pair is a
+    /// combination of `basis` shared directions, so the numerical rank of
+    /// Δ is at most `2·basis` no matter how many pairs are buffered.
+    fn low_rank_stream(n: usize, pairs: usize, basis: usize) -> LowRankDelta {
+        let base: Vec<Vec<f64>> = (0..basis)
+            .map(|t| {
+                (0..n)
+                    .map(|i| ((i * (t + 2) + 1) as f64 * 0.61).sin())
+                    .collect()
+            })
+            .collect();
+        let mut delta = LowRankDelta::new(n);
+        for p in 0..pairs {
+            let mut xi = vec![0.0; n];
+            let mut eta = vec![0.0; n];
+            for (t, b) in base.iter().enumerate() {
+                let cx = ((p * 7 + t * 3 + 1) as f64 * 0.37).cos();
+                let ce = ((p * 5 + t * 11 + 2) as f64 * 0.53).sin();
+                for i in 0..n {
+                    xi[i] += cx * b[i];
+                    eta[i] += ce * b[i];
+                }
+            }
+            delta.push_dense(xi, eta);
+        }
+        delta
+    }
+
+    #[test]
+    fn recompress_truncates_to_numerical_rank_and_preserves_delta() {
+        let n = 40;
+        let mut delta = low_rank_stream(n, 12, 3);
+        assert_eq!(delta.pending_pairs(), 12);
+        let reference: Vec<f64> = (0..n * n).map(|e| delta.pair_delta(e / n, e % n)).collect();
+        let report = delta.recompress(1e-12);
+        assert_eq!(report.pairs_before, 12);
+        assert_eq!(report.pairs_after, delta.pending_pairs());
+        // Numerical rank ≤ 2·basis = 6 ≪ 12.
+        assert!(
+            delta.pending_pairs() <= 6,
+            "expected ≤ 6 eigenpairs, got {}",
+            delta.pending_pairs()
+        );
+        // Lazy reads are unchanged within the tolerance.
+        let mut max_diff = 0.0f64;
+        for a in 0..n {
+            for b in 0..n {
+                max_diff = max_diff.max((delta.pair_delta(a, b) - reference[a * n + b]).abs());
+            }
+        }
+        assert!(max_diff < 1e-12, "recompression drifted {max_diff:.2e}");
+        // The applied matrix matches too (compressed pairs are ordinary).
+        let mut s = DenseMatrix::zeros(n, n);
+        delta.clone().apply_to_with_threads(&mut s, 1);
+        let mut max_apply = 0.0f64;
+        for a in 0..n {
+            for b in 0..n {
+                max_apply = max_apply.max((s.get(a, b) - reference[a * n + b]).abs());
+            }
+        }
+        assert!(max_apply < 1e-12);
+        // Idempotent-ish: a second pass cannot grow the buffer.
+        let again = delta.recompress(1e-12);
+        assert!(again.pairs_after <= again.pairs_before);
+    }
+
+    #[test]
+    fn recompress_handles_more_pairs_than_the_dimension() {
+        // 2·pairs ≫ n forces the direct s×s eigen route.
+        let n = 10;
+        let mut delta = low_rank_stream(n, 40, 2);
+        let reference: Vec<f64> = (0..n * n).map(|e| delta.pair_delta(e / n, e % n)).collect();
+        let report = delta.recompress(1e-12);
+        assert!(
+            report.pairs_after <= n / 2,
+            "rank ≤ 4 fits under the s/2 cap"
+        );
+        for a in 0..n {
+            for b in 0..n {
+                assert!((delta.pair_delta(a, b) - reference[a * n + b]).abs() < 1e-11);
+            }
+        }
+    }
+
+    #[test]
+    fn recompress_error_is_bounded_by_discarded_mass() {
+        let n = 24;
+        let mut delta = low_rank_stream(n, 8, 4);
+        let reference: Vec<f64> = (0..n * n).map(|e| delta.pair_delta(e / n, e % n)).collect();
+        // A deliberately lossy tolerance: some real directions are cut.
+        let report = delta.recompress(0.2);
+        assert!(report.discarded_mass > 0.0, "0.2 rel tol must discard mass");
+        let mut max_diff = 0.0f64;
+        for a in 0..n {
+            for b in 0..n {
+                max_diff = max_diff.max((delta.pair_delta(a, b) - reference[a * n + b]).abs());
+            }
+        }
+        assert!(
+            max_diff <= report.discarded_mass * (1.0 + 1e-9) + 1e-13,
+            "error {max_diff:.3e} exceeds the discarded spectral mass {:.3e}",
+            report.discarded_mass
+        );
+    }
+
+    #[test]
+    fn recompress_keeps_sparse_windows_sparse() {
+        // All factors live on 6 of 100 rows: the compressed pairs must
+        // stay sparse and the touched-rows flush path must survive.
+        let n = 100;
+        let mut delta = LowRankDelta::new(n);
+        for t in 0..8u32 {
+            delta.push_sparse(
+                vec![(2, 1.0 + t as f64 * 0.1), (17, -0.5)],
+                vec![(40, 2.0), (63, 0.25 * (t + 1) as f64), (90, -1.0)],
+            );
+        }
+        let reference: Vec<(usize, usize, f64)> = [2usize, 17, 40, 63, 90, 5]
+            .iter()
+            .flat_map(|&a| {
+                [2usize, 17, 40, 63, 90, 5]
+                    .iter()
+                    .map(|&b| (a, b, delta.pair_delta(a, b)))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        delta.recompress(1e-12);
+        assert!(delta.pending_pairs() < 8);
+        let touched = delta.touched_rows();
+        assert!(
+            touched.is_some(),
+            "compressed sparse window lost its sparse representation"
+        );
+        assert!(touched
+            .unwrap()
+            .iter()
+            .all(|r| [2, 17, 40, 63, 90].contains(r)));
+        for (a, b, want) in reference {
+            assert!((delta.pair_delta(a, b) - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn recompress_trivial_buffers_are_no_ops_or_exact() {
+        // Empty and single-pair buffers are left alone.
+        let mut empty = LowRankDelta::new(5);
+        let r = empty.recompress(1e-12);
+        assert_eq!((r.pairs_before, r.pairs_after), (0, 0));
+        let mut single = LowRankDelta::new(5);
+        single.push_dense(vec![1.0, 0.0, 0.0, 0.0, 0.0], vec![0.0, 2.0, 0.0, 0.0, 0.0]);
+        let r = single.recompress(1e-12);
+        assert_eq!((r.pairs_before, r.pairs_after), (1, 1));
+        // A single-row support (s = 1) collapses to one diagonal pair.
+        let mut diag = LowRankDelta::new(5);
+        diag.push_sparse(vec![(3, 2.0)], vec![(3, 1.0)]);
+        diag.push_sparse(vec![(3, -0.5)], vec![(3, 1.0)]);
+        assert_eq!(diag.pair_delta(3, 3), 3.0);
+        let r = diag.recompress(1e-12);
+        assert_eq!(r.pairs_after, 1);
+        assert!((diag.pair_delta(3, 3) - 3.0).abs() < 1e-14);
     }
 
     #[test]

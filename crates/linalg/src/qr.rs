@@ -110,8 +110,12 @@ pub fn qr_thin(a: &DenseMatrix) -> (DenseMatrix, DenseMatrix) {
 /// Numerical rank via QR with column pivoting.
 ///
 /// Returns the number of diagonal entries of `R` with
-/// `|r_kk| > tol · |r_00|`. With `tol = ε·max(m,n)` this matches the usual
-/// SVD-based numerical-rank definition closely on well-behaved matrices.
+/// `|r_kk| > tol · |r_00|`. The tolerance is **relative to the largest
+/// pivot magnitude `|r_00|`** — the convention shared with
+/// [`crate::svd::Svd::rank`] (relative to `σ_max`), so a scaled matrix
+/// `αA` reports the same rank as `A`. With `tol = ε·max(m,n)` this
+/// matches the usual SVD-based numerical-rank definition closely on
+/// well-behaved matrices.
 pub fn rank_qrcp(a: &DenseMatrix, tol: f64) -> usize {
     let m = a.rows();
     let n = a.cols();

@@ -105,9 +105,19 @@ impl Svd {
         }
     }
 
-    /// Number of singular values above `tol` (numerical rank).
+    /// Numerical rank: the number of singular values above
+    /// `tol · σ_max`. The tolerance is **relative to the largest singular
+    /// value** — the same convention as [`crate::qr::rank_qrcp`], so a
+    /// scaled matrix `αA` reports the same rank as `A` and a rank
+    /// tolerance means the same thing on small-magnitude deltas as on
+    /// unit-scale matrices. A matrix whose largest singular value is
+    /// exactly 0 has rank 0.
     pub fn rank(&self, tol: f64) -> usize {
-        self.s.iter().filter(|&&x| x > tol).count()
+        let smax = self.s.iter().copied().fold(0.0f64, f64::max);
+        if smax <= 0.0 {
+            return 0;
+        }
+        self.s.iter().filter(|&&x| x > tol * smax).count()
     }
 
     /// Heap bytes held by the three factors (memory experiment).
@@ -216,6 +226,103 @@ pub fn jacobi_svd(a: &DenseMatrix) -> Svd {
         }
     }
     Svd { u, s, v }
+}
+
+/// Eigendecomposition `A = V·diag(λ)·Vᵀ` of a **symmetric** matrix via
+/// classical cyclic Jacobi rotations.
+///
+/// Returns the *signed* eigenvalues sorted by `|λ|` descending and the
+/// matching orthonormal eigenvectors as the columns of `V`. This is the
+/// routine the ΔS recompression core needs instead of [`jacobi_svd`]: an
+/// SVD only recovers `|λ|` for an indefinite symmetric matrix, and when
+/// `+σ` and `−σ` both occur the singular subspaces of the repeated `σ`
+/// can mix the two eigendirections — the signs would be unrecoverable.
+///
+/// # Panics
+/// Panics if `a` is not square. Symmetry is assumed, not checked: only
+/// the upper triangle drives the rotations.
+pub fn sym_eigen(a: &DenseMatrix) -> (Vec<f64>, DenseMatrix) {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "sym_eigen requires a square matrix");
+    let mut w = a.clone();
+    let mut v = DenseMatrix::identity(n);
+    // Rotation threshold: off-diagonal entries below eps·‖A‖_F cannot
+    // move any eigenvalue by more than ~eps·‖A‖_F — converged.
+    let fro = {
+        let mut acc = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                acc += w.get(i, j) * w.get(i, j);
+            }
+        }
+        acc.sqrt()
+    };
+    let tiny = 1e-15 * fro;
+    let max_sweeps = 60;
+    for _sweep in 0..max_sweeps {
+        let mut rotated = false;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = w.get(p, q);
+                if apq == 0.0 || apq.abs() <= tiny {
+                    continue;
+                }
+                rotated = true;
+                let app = w.get(p, p);
+                let aqq = w.get(q, q);
+                // The rotation angle that annihilates the (p,q) entry.
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (1.0 + theta * theta).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                // A ← Gᵀ·A·G on the (p,q) plane: columns first, then rows.
+                for i in 0..n {
+                    let aip = w.get(i, p);
+                    let aiq = w.get(i, q);
+                    w.set(i, p, c * aip - s * aiq);
+                    w.set(i, q, s * aip + c * aiq);
+                }
+                for j in 0..n {
+                    let apj = w.get(p, j);
+                    let aqj = w.get(q, j);
+                    w.set(p, j, c * apj - s * aqj);
+                    w.set(q, j, s * apj + c * aqj);
+                }
+                // Exact closed forms kill the roundoff the two-step
+                // update leaves on the pivot entries.
+                w.set(p, p, app - t * apq);
+                w.set(q, q, aqq + t * apq);
+                w.set(p, q, 0.0);
+                w.set(q, p, 0.0);
+                for i in 0..n {
+                    let vip = v.get(i, p);
+                    let viq = v.get(i, q);
+                    v.set(i, p, c * vip - s * viq);
+                    v.set(i, q, s * vip + c * viq);
+                }
+            }
+        }
+        if !rotated {
+            break;
+        }
+    }
+
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| {
+        w.get(j, j)
+            .abs()
+            .partial_cmp(&w.get(i, i).abs())
+            .expect("finite eigenvalues")
+    });
+    let mut lambda = Vec::with_capacity(n);
+    let mut vecs = DenseMatrix::zeros(n, n);
+    for (t, &j) in order.iter().enumerate() {
+        lambda.push(w.get(j, j));
+        for i in 0..n {
+            vecs.set(i, t, v.get(i, j));
+        }
+    }
+    (lambda, vecs)
 }
 
 /// Randomized truncated SVD of rank `r` (Halko, Martinsson & Tropp 2011).
@@ -418,6 +525,72 @@ mod tests {
         // Reconstruction is the best rank-2 approximation: error = σ₃ = 3.
         let err = svd.reconstruct().max_abs_diff(&a);
         assert!((err - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sym_eigen_recovers_signed_spectrum() {
+        // A = [[0, 1], [1, 0]]: eigenvalues ±1 — jacobi_svd would report
+        // σ = {1, 1} and could mix the subspaces; sym_eigen must not.
+        let a = DenseMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let (lambda, v) = sym_eigen(&a);
+        let mut sorted = lambda.clone();
+        sorted.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        assert!((sorted[0] + 1.0).abs() < 1e-14);
+        assert!((sorted[1] - 1.0).abs() < 1e-14);
+        // A·v_t = λ_t·v_t for each column.
+        for (t, &l) in lambda.iter().enumerate() {
+            let vt = v.col(t);
+            let mut av = vec![0.0; 2];
+            a.matvec(&vt, &mut av);
+            for i in 0..2 {
+                assert!((av[i] - l * vt[i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn sym_eigen_reconstructs_indefinite_matrix() {
+        // A symmetric indefinite 5×5 built from signed rank-one terms.
+        let n = 5;
+        let mut a = DenseMatrix::zeros(n, n);
+        for (t, &coef) in [2.5f64, -1.75, 0.5].iter().enumerate() {
+            let x: Vec<f64> = (0..n).map(|i| ((i * (t + 2) + 1) as f64).sin()).collect();
+            a.rank_one_update(coef, &x, &x);
+        }
+        let (lambda, v) = sym_eigen(&a);
+        // |λ| sorted non-increasing.
+        for w in lambda.windows(2) {
+            assert!(w[0].abs() >= w[1].abs() - 1e-13);
+        }
+        // V orthonormal.
+        assert!(col_orthonormal_defect(&v, n) < 1e-12);
+        // Σ λ_t·v_t·v_tᵀ reconstructs A.
+        let mut rec = DenseMatrix::zeros(n, n);
+        for (t, &l) in lambda.iter().enumerate() {
+            let vt = v.col(t);
+            rec.rank_one_update(l, &vt, &vt);
+        }
+        assert!(rec.max_abs_diff(&a) < 1e-12);
+    }
+
+    #[test]
+    fn rank_is_scale_invariant_and_relative() {
+        // Same numerical rank whether the matrix is unit-scale or scaled
+        // down by 1e-8 — the aligned relative-tolerance semantics.
+        let build = |scale: f64| {
+            let mut a = DenseMatrix::zeros(4, 4);
+            a.rank_one_update(scale, &[1.0, 2.0, 3.0, 4.0], &[2.0, -1.0, 0.5, 3.0]);
+            a.rank_one_update(0.5 * scale, &[1.0, 0.0, -1.0, 2.0], &[0.0, 1.0, 1.0, -1.0]);
+            a
+        };
+        let unit = jacobi_svd(&build(1.0));
+        let small = jacobi_svd(&build(1e-8));
+        assert_eq!(unit.rank(1e-10), 2);
+        assert_eq!(small.rank(1e-10), unit.rank(1e-10));
+        // rank_qrcp agrees under the same relative tolerance.
+        use crate::qr::rank_qrcp;
+        assert_eq!(rank_qrcp(&build(1.0), 1e-10), 2);
+        assert_eq!(rank_qrcp(&build(1e-8), 1e-10), 2);
     }
 
     #[test]

@@ -53,7 +53,7 @@ commands:
   update     apply link updates to a maintained state
              --state STATE --ops FILE -o STATE_OUT
              [--algorithm incsr|incusr|incsvd|naive] [--mode auto|eager|fused|lazy]
-             [--grouped true]
+             [--compress-at-rank R] [--compress-tol T] [--grouped true]
   topk       print the top-k most similar pairs
              --state STATE [-k 10]
   query      pair score or per-node ranking
@@ -62,6 +62,7 @@ commands:
              --state STATE [--shards N] [--readers R] [--duration-ms D]
              [--batch B] [--publish-every P]
              [--algorithm incsr|incusr|incsvd|naive] [--mode auto|eager|fused|lazy]
+             [--compress-at-rank R] [--compress-tol T]
   info       describe a state file
              --state STATE";
 
@@ -244,6 +245,31 @@ fn parse_mode(raw: Option<&str>) -> Result<ApplyPolicy, String> {
     }
 }
 
+/// Applies the ΔS-recompression knobs (`--compress-at-rank`,
+/// `--compress-tol`) to a service builder. Both only affect the `lazy`
+/// and `auto` policies — see `incsim::api`'s module docs.
+fn apply_compress_flags(
+    mut builder: SimRankBuilder,
+    flags: &Flags,
+) -> Result<SimRankBuilder, String> {
+    if let Some(raw) = flags.get(&["--compress-at-rank"]) {
+        let rank: usize =
+            raw.parse().ok().filter(|&r| r > 0).ok_or_else(|| {
+                format!("--compress-at-rank needs a positive integer, got {raw:?}")
+            })?;
+        builder = builder.compress_at_rank(rank);
+    }
+    if let Some(raw) = flags.get(&["--compress-tol"]) {
+        let tol: f64 = raw
+            .parse()
+            .ok()
+            .filter(|t: &f64| t.is_finite() && *t >= 0.0)
+            .ok_or_else(|| format!("--compress-tol needs a non-negative number, got {raw:?}"))?;
+        builder = builder.compress_tol(tol);
+    }
+    Ok(builder)
+}
+
 fn cmd_update(flags: &Flags) -> Result<(), String> {
     let snap = open_state(flags)?;
     let ops_path = flags.req(&["--ops"])?;
@@ -274,6 +300,12 @@ fn cmd_update(flags: &Flags) -> Result<(), String> {
         if flags.get(&["--mode"]).is_some() {
             return Err("--grouped applies its own flush schedule; drop --mode".into());
         }
+        if flags.get(&["--compress-at-rank"]).is_some() || flags.get(&["--compress-tol"]).is_some()
+        {
+            return Err(
+                "--grouped materialises per row update; drop the --compress-* flags".into(),
+            );
+        }
         let mut engine = IncSr::new(snap.graph, snap.scores, snap.config);
         let stats = engine.apply_grouped(&ops).map_err(|e| e.to_string())?;
         println!(
@@ -286,10 +318,14 @@ fn cmd_update(flags: &Flags) -> Result<(), String> {
             .save_snapshot(BufWriter::new(file))
             .map_err(|e| e.to_string())?;
     } else {
-        let mut sim = SimRankBuilder::new()
-            .algorithm(algorithm)
-            .mode(policy)
-            .config(snap.config)
+        let builder = apply_compress_flags(
+            SimRankBuilder::new()
+                .algorithm(algorithm)
+                .mode(policy)
+                .config(snap.config),
+            flags,
+        )?;
+        let mut sim = builder
             .with_scores(snap.graph, snap.scores)
             .map_err(|e| e.to_string())?;
         let stats = sim.update_batch(&ops).map_err(|e| e.to_string())?;
@@ -301,6 +337,14 @@ fn cmd_update(flags: &Flags) -> Result<(), String> {
             started.elapsed().as_secs_f64(),
             touched / stats.len().max(1)
         );
+        let counters = sim.counters();
+        if counters.recompressions > 0 {
+            println!(
+                "recompressed the pending ΔS {} time(s); {} factor pair(s) left lazy",
+                counters.recompressions,
+                sim.pending_rank()
+            );
+        }
         sim.snapshot(BufWriter::new(file))
             .map_err(|e| e.to_string())?;
     }
@@ -382,11 +426,14 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         return Err("state has fewer than 2 nodes; nothing to serve".into());
     }
 
-    let builder = SimRankBuilder::new()
-        .algorithm(algorithm)
-        .mode(policy)
-        .shards(shards)
-        .config(snap.config);
+    let builder = apply_compress_flags(
+        SimRankBuilder::new()
+            .algorithm(algorithm)
+            .mode(policy)
+            .shards(shards)
+            .config(snap.config),
+        flags,
+    )?;
     let sharded = incsim::serve::ShardedSimRank::with_scores(builder, snap.graph, snap.scores)
         .map_err(|e| e.to_string())?;
     let mut serving = incsim::serve::ConcurrentSimRank::new(sharded);
@@ -506,6 +553,99 @@ mod tests {
     }
 
     #[test]
+    fn compress_flags_parse_and_reject_garbage() {
+        let ok = |args: &[&str]| {
+            let args = to_args(args);
+            let flags = Flags::parse(&args).unwrap();
+            apply_compress_flags(SimRankBuilder::new(), &flags)
+        };
+        assert!(ok(&["--compress-at-rank", "32"]).is_ok());
+        assert!(ok(&["--compress-tol", "1e-12"]).is_ok());
+        assert!(ok(&["--compress-at-rank", "32", "--compress-tol", "0"]).is_ok());
+        assert!(ok(&[]).is_ok(), "both flags are optional");
+        assert!(ok(&["--compress-at-rank", "0"]).is_err());
+        assert!(ok(&["--compress-at-rank", "many"]).is_err());
+        assert!(ok(&["--compress-tol", "-1"]).is_err());
+        assert!(ok(&["--compress-tol", "NaN"]).is_err());
+    }
+
+    #[test]
+    fn update_with_compression_roundtrips() {
+        let dir = std::env::temp_dir().join(format!("incsim-cli-compress-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let graph_path = dir.join("g.txt");
+        let state_path = dir.join("s.bin");
+        let out_path = dir.join("out.bin");
+        let ops_path = dir.join("ops.txt");
+        run(&to_args(&[
+            "generate",
+            "--model",
+            "er",
+            "--nodes",
+            "24",
+            "--edges",
+            "72",
+            "-o",
+            graph_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&to_args(&[
+            "compute",
+            "--input",
+            graph_path.to_str().unwrap(),
+            "--iters",
+            "8",
+            "-o",
+            state_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // Three valid toggles read off the state file.
+        let snap = load(BufReader::new(File::open(&state_path).unwrap())).unwrap();
+        let mut lines = String::new();
+        let mut found = 0;
+        'outer: for u in 0..24u32 {
+            for v in 0..24u32 {
+                if u != v && !snap.graph.has_edge(u, v) {
+                    lines.push_str(&format!("+ {u} {v}\n"));
+                    found += 1;
+                    if found == 3 {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        std::fs::write(&ops_path, lines).unwrap();
+        run(&to_args(&[
+            "update",
+            "--state",
+            state_path.to_str().unwrap(),
+            "--ops",
+            ops_path.to_str().unwrap(),
+            "--mode",
+            "lazy",
+            "--compress-at-rank",
+            "4",
+            "--compress-tol",
+            "1e-13",
+            "-o",
+            out_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // The written state is fully materialised and queryable.
+        run(&to_args(&[
+            "query",
+            "--state",
+            out_path.to_str().unwrap(),
+            "-a",
+            "0",
+            "-b",
+            "1",
+        ]))
+        .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn grouped_rejects_conflicting_flags() {
         let dir = std::env::temp_dir().join(format!("incsim-cli-grouped-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
@@ -553,6 +693,9 @@ mod tests {
         let mut with_mode = base.to_vec();
         with_mode.extend(["--mode", "lazy"]);
         assert!(run(&to_args(&with_mode)).is_err());
+        let mut with_compress = base.to_vec();
+        with_compress.extend(["--compress-at-rank", "8"]);
+        assert!(run(&to_args(&with_compress)).is_err());
         // incsr + grouped is the supported combination.
         let mut ok = base.to_vec();
         ok.extend(["--algorithm", "incsr"]);

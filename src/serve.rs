@@ -468,6 +468,19 @@ impl ShardedSimRank {
         self.shards.iter_mut().map(|s| s.flush()).sum()
     }
 
+    /// Recompresses pending deferred ΔS on every shard **in place** (see
+    /// [`SimRank::compress`]): the serve-side alternative to
+    /// [`Self::flush`] that keeps every lazy window open — epoch
+    /// publication keeps snapshotting `S_base + Δ` factors, just fewer of
+    /// them. Returns the largest pending rank that remains.
+    pub fn compress_pending(&mut self) -> usize {
+        self.shards
+            .iter_mut()
+            .map(|s| s.compress())
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Largest pending deferred-ΔS rank across shards (0 when every shard
     /// is fully materialised).
     pub fn pending_rank(&self) -> usize {
@@ -476,6 +489,13 @@ impl ShardedSimRank {
             .map(|s| s.pending_rank())
             .max()
             .unwrap_or(0)
+    }
+
+    /// Total heap bytes of the pending deferred-ΔS buffers across shards
+    /// — the router-level memory-pressure signal (see
+    /// [`SimRank::pending_heap_bytes`]).
+    pub fn pending_heap_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.pending_heap_bytes()).sum()
     }
 
     /// Routing counters aggregated across every shard — per-shard
@@ -694,6 +714,14 @@ impl ConcurrentSimRank {
         let pairs = self.inner.flush();
         self.publish();
         pairs
+    }
+
+    /// Recompresses pending deferred ΔS on every shard in place (no
+    /// publish needed: compression changes no observable score, only the
+    /// factor count behind future epochs). Returns the largest pending
+    /// rank that remains.
+    pub fn compress_pending(&mut self) -> usize {
+        self.inner.compress_pending()
     }
 
     /// The wrapped router — fresh (unpublished) state, for the writer's
@@ -1185,6 +1213,48 @@ mod tests {
         assert_eq!(total.fused_updates, 3);
         assert_eq!(total.queries, per[0].queries + per[1].queries);
         assert_eq!(total.queries, 2);
+    }
+
+    #[test]
+    fn recompressions_aggregate_across_shards_and_epochs_stay_exact() {
+        let cfg = cfg();
+        let mut serving = SimRankBuilder::new()
+            .config(cfg)
+            .mode(ApplyPolicy::Lazy)
+            .compress_at_rank(cfg.iterations + 1)
+            .shards(2)
+            .concurrent(fixture())
+            .unwrap();
+        // Two updates per shard: the second hits each shard's threshold.
+        for (i, j) in [(0u32, 1u32), (1, 3), (5, 7), (4, 5)] {
+            serving.insert(i, j).unwrap();
+        }
+        let per = serving.sharded().shard_counters();
+        let total = serving.sharded().counters();
+        assert_eq!(
+            total.recompressions,
+            per.iter().map(|c| c.recompressions).sum::<usize>()
+        );
+        assert!(total.recompressions >= 2, "each shard recompressed once");
+        assert_eq!(total.rank_cap_flushes, 0);
+        assert!(serving.sharded().pending_rank() > 0, "windows stay open");
+        // Epochs publish the compressed factors; answers match truth.
+        serving.publish();
+        let reader = serving.reader();
+        let truth = batch_simrank(serving.sharded().graph(), serving.sharded().config());
+        for a in 0..8u32 {
+            for b in 0..8u32 {
+                let got = reader.pair(a, b);
+                let want = truth.get(a as usize, b as usize);
+                assert!(
+                    (got - want).abs() < 1e-10,
+                    "pair ({a},{b}): {got} vs {want}"
+                );
+            }
+        }
+        // The explicit serve-side compress keeps working afterwards.
+        let rank = serving.compress_pending();
+        assert!(rank <= serving.sharded().pending_rank().max(1));
     }
 
     #[test]

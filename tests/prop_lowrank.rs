@@ -1,7 +1,10 @@
 //! Property tests (proptest) of the deferred low-rank ΔS subsystem:
 //! fused and lazy apply modes must match the eager path within 1e-12 over
-//! random update streams on ER and R-MAT graphs, and the parallel blocked
-//! apply must agree with the serial one bit-for-bit.
+//! random update streams on ER and R-MAT graphs, the parallel blocked
+//! apply must agree with the serial one bit-for-bit, and mid-window
+//! recompression must keep every query surface (pair, single-source,
+//! top-k) within 1e-12 of the uncompressed trajectory — with a forced
+//! lossy tolerance bounded by the discarded spectral mass.
 
 use incsim::core::{batch_simrank, ApplyMode, IncSr, IncUSr, SimRankConfig, SimRankMaintainer};
 use incsim::datagen::er::erdos_renyi;
@@ -131,6 +134,113 @@ proptest! {
         lazy.flush();
         let lazy_diff = eager.scores().max_abs_diff(lazy.scores());
         prop_assert!(lazy_diff < 1e-12, "lazy diverged: {lazy_diff:.2e}");
+    }
+
+    /// Recompressing the pending buffer mid-window — every other update,
+    /// on both engines — keeps pair, single-source, and top-k queries
+    /// within 1e-12 of the uncompressed lazy trajectory on ER and R-MAT
+    /// streams, and the flushed end states agree too.
+    #[test]
+    fn recompression_mid_window_preserves_queries(
+        g in arb_graph(),
+        seed in any::<u64>(),
+        len in 2usize..6,
+    ) {
+        let cfg = SimRankConfig::new(0.6, 8).unwrap();
+        let ops = stream_on(&g, len, seed);
+        prop_assume!(ops.len() >= 2);
+        let s0 = batch_simrank(&g, &cfg);
+        let n = g.node_count() as u32;
+
+        let mut plain_usr = IncUSr::new(g.clone(), s0.clone(), cfg).with_mode(ApplyMode::Lazy);
+        let mut comp_usr = IncUSr::new(g.clone(), s0.clone(), cfg).with_mode(ApplyMode::Lazy);
+        let mut plain_sr = IncSr::new(g.clone(), s0.clone(), cfg).with_mode(ApplyMode::Lazy);
+        let mut comp_sr = IncSr::new(g.clone(), s0.clone(), cfg).with_mode(ApplyMode::Lazy);
+        for (t, &op) in ops.iter().enumerate() {
+            for engine in [
+                &mut plain_usr as &mut dyn SimRankMaintainer,
+                &mut comp_usr,
+                &mut plain_sr,
+                &mut comp_sr,
+            ] {
+                engine.apply(op).expect("stream valid by construction");
+            }
+            if t % 2 == 0 {
+                comp_usr.compress_pending(1e-13);
+                comp_sr.compress_pending(1e-13);
+            }
+            // Mid-window probes after every step, compressed or not.
+            for a in 0..n {
+                let pu = plain_usr.view();
+                let cu = comp_usr.view();
+                for b in 0..n {
+                    let d_usr = (pu.pair(a, b) - cu.pair(a, b)).abs();
+                    prop_assert!(d_usr < 1e-12, "usr pair ({a},{b}) drift {d_usr:.2e}");
+                    let d_sr = (plain_sr.view().pair(a, b) - comp_sr.view().pair(a, b)).abs();
+                    prop_assert!(d_sr < 1e-12, "sr pair ({a},{b}) drift {d_sr:.2e}");
+                }
+                // Ranked surfaces: scores per rank position must agree
+                // (node order can legitimately swap on sub-1e-12 ties).
+                let want = pu.top_k(a, 5);
+                let got = cu.top_k(a, 5);
+                prop_assert_eq!(want.len(), got.len());
+                for (w, gt) in want.iter().zip(&got) {
+                    prop_assert!((w.score - gt.score).abs() < 1e-12);
+                }
+                let want_row = pu.single_source(a);
+                let got_row = cu.single_source(a);
+                for (w, gt) in want_row.iter().zip(&got_row) {
+                    prop_assert_eq!(w.node, gt.node);
+                    prop_assert!((w.score - gt.score).abs() < 1e-12);
+                }
+            }
+        }
+        comp_usr.flush();
+        plain_usr.flush();
+        let end_diff = plain_usr.scores().max_abs_diff(comp_usr.scores());
+        prop_assert!(end_diff < 1e-12, "flushed end states drifted {end_diff:.2e}");
+    }
+
+    /// A deliberately lossy tolerance still keeps the entrywise error of
+    /// Δ within the discarded spectral mass the recompression reports.
+    #[test]
+    fn forced_truncation_is_bounded_by_discarded_mass(
+        seed in any::<u64>(),
+        n in 12usize..48,
+        pairs in 2usize..10,
+        tol in 0.05f64..0.6,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut delta = LowRankDelta::new(n);
+        for _ in 0..pairs {
+            if rng.gen_bool(0.5) {
+                let xi: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                let eta: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                delta.push_dense(xi, eta);
+            } else {
+                let support = |rng: &mut StdRng| -> Vec<(u32, f64)> {
+                    (0..rng.gen_range(1..8))
+                        .map(|_| (rng.gen_range(0..n as u32), rng.gen_range(-1.0..1.0)))
+                        .collect()
+                };
+                delta.push_sparse(support(&mut rng), support(&mut rng));
+            }
+        }
+        let reference: Vec<f64> = (0..n * n).map(|e| delta.pair_delta(e / n, e % n)).collect();
+        let report = delta.recompress(tol);
+        prop_assert!(report.pairs_after <= report.pairs_before);
+        let mut max_diff = 0.0f64;
+        for a in 0..n {
+            for b in 0..n {
+                max_diff = max_diff.max((delta.pair_delta(a, b) - reference[a * n + b]).abs());
+            }
+        }
+        prop_assert!(
+            max_diff <= report.discarded_mass * (1.0 + 1e-9) + 1e-12,
+            "error {:.3e} exceeds the discarded spectral mass {:.3e}",
+            max_diff,
+            report.discarded_mass
+        );
     }
 
     /// The parallel blocked apply is bit-for-bit equal to the serial one

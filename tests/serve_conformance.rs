@@ -164,6 +164,63 @@ fn concurrent_epochs_are_exact_through_publish() {
     }
 }
 
+/// An epoch published mid-window from a **recompressed** lazy buffer:
+/// the compressed factors travel into the snapshot as ordinary pairs and
+/// every reader answer must stay at the exactness bar — no materialise,
+/// no flush, through several update→compress→publish rounds.
+#[test]
+fn epoch_from_compressed_window_matches_truth() {
+    const SHARDS: usize = 2;
+    const PER: usize = 6;
+    let g = component_aligned_graph(SHARDS, PER, 0xC99);
+    let cfg = tight();
+    let ops = intra_block_stream(&g, SHARDS, PER, 8, 0xDAA);
+    let n = g.node_count() as u32;
+
+    let mut serving = SimRankBuilder::new()
+        .mode(ApplyPolicy::Lazy)
+        // A threshold below one update's K+1 terms: every later update
+        // recompresses the shard it lands on before applying.
+        .compress_at_rank(8)
+        .config(cfg)
+        .shards(SHARDS)
+        .concurrent(g.clone())
+        .expect("serving handle builds");
+    let reader = serving.reader();
+    let mut shadow = g;
+    for &op in &ops {
+        op.apply(&mut shadow).expect("stream valid");
+        serving.update(op).expect("stream valid");
+        serving.publish();
+        let truth = batch_simrank(&shadow, &cfg);
+        let epoch = reader.epoch();
+        for a in 0..n {
+            for b in 0..n {
+                let got = epoch.pair(a, b);
+                let want = truth.get(a as usize, b as usize);
+                assert!(
+                    (got - want).abs() <= 1e-12,
+                    "compressed epoch {} pair ({a},{b}): {got} vs {want} (diff {:.2e})",
+                    epoch.seq(),
+                    (got - want).abs()
+                );
+            }
+        }
+    }
+    let total = serving.sharded().counters();
+    assert!(
+        total.recompressions >= 2,
+        "the stream must actually recompress (got {})",
+        total.recompressions
+    );
+    assert_eq!(total.rank_cap_flushes, 0, "no window was materialised");
+    assert!(
+        serving.sharded().pending_rank() > 0,
+        "the lazy windows are still open after the last publish"
+    );
+    assert!(serving.sharded().pending_heap_bytes() > 0);
+}
+
 #[test]
 fn cross_shard_pair_queries_are_symmetric_on_general_graphs() {
     // One well-connected ER graph: components straddle shards, so this is
