@@ -28,7 +28,10 @@
 //! below with the paper's exact matrices).
 
 use incsim_core::rankone::{rank_one_decomposition, UpdateKind};
-use incsim_core::{validate_update, SimRankConfig, SimRankMaintainer, UpdateError, UpdateStats};
+use incsim_core::{
+    validate_update, GraphSink, MatrixAccess, SimRankConfig, SimRankMaintainer, UpdateError,
+    UpdateStats,
+};
 use incsim_graph::transition::backward_transition;
 use incsim_graph::DiGraph;
 use incsim_linalg::lu::LuFactors;
@@ -342,13 +345,25 @@ impl IncSvd {
     }
 }
 
-impl SimRankMaintainer for IncSvd {
-    fn name(&self) -> &'static str {
-        "Inc-SVD"
-    }
-
+impl MatrixAccess for IncSvd {
     fn base_scores(&self) -> &DenseMatrix {
         &self.scores
+    }
+}
+
+impl SimRankMaintainer for IncSvd {
+    fn matrix(&self) -> Option<&dyn MatrixAccess> {
+        Some(self)
+    }
+
+    fn matrix_mut(&mut self) -> Option<&mut dyn MatrixAccess> {
+        Some(self)
+    }
+}
+
+impl GraphSink for IncSvd {
+    fn name(&self) -> &'static str {
+        "Inc-SVD"
     }
 
     fn graph(&self) -> &DiGraph {

@@ -17,7 +17,8 @@
 
 use incsim_core::rankone::UpdateKind;
 use incsim_core::{
-    batch_simrank, validate_update, SimRankConfig, SimRankMaintainer, UpdateError, UpdateStats,
+    batch_simrank, validate_update, GraphSink, MatrixAccess, SimRankConfig, SimRankMaintainer,
+    UpdateError, UpdateStats,
 };
 use incsim_graph::DiGraph;
 use incsim_linalg::DenseMatrix;
@@ -26,7 +27,7 @@ use incsim_linalg::DenseMatrix;
 ///
 /// ```
 /// use incsim_baselines::BatchRecompute;
-/// use incsim_core::{SimRankConfig, SimRankMaintainer};
+/// use incsim_core::{GraphSink, MatrixAccess, SimRankConfig};
 /// use incsim_graph::DiGraph;
 ///
 /// let g = DiGraph::from_edges(4, &[(2, 0), (2, 1), (0, 3)]);
@@ -93,13 +94,25 @@ impl BatchRecompute {
     }
 }
 
-impl SimRankMaintainer for BatchRecompute {
-    fn name(&self) -> &'static str {
-        "Batch"
-    }
-
+impl MatrixAccess for BatchRecompute {
     fn base_scores(&self) -> &DenseMatrix {
         &self.scores
+    }
+}
+
+impl SimRankMaintainer for BatchRecompute {
+    fn matrix(&self) -> Option<&dyn MatrixAccess> {
+        Some(self)
+    }
+
+    fn matrix_mut(&mut self) -> Option<&mut dyn MatrixAccess> {
+        Some(self)
+    }
+}
+
+impl GraphSink for BatchRecompute {
+    fn name(&self) -> &'static str {
+        "Batch"
     }
 
     fn graph(&self) -> &DiGraph {

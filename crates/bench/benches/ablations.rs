@@ -11,7 +11,8 @@
 use incsim_baselines::{IncSvd, IncSvdOptions};
 use incsim_bench::Table;
 use incsim_core::{
-    batch_simrank, batch_simrank_detailed, BatchOptions, IncSr, SimRankConfig, SimRankMaintainer,
+    batch_simrank, batch_simrank_detailed, BatchOptions, GraphSink, IncSr, MatrixAccess,
+    SimRankConfig,
 };
 use incsim_datagen::presets::mini;
 use incsim_metrics::timing::{fmt_duration, Stopwatch};

@@ -14,7 +14,7 @@
 
 use incsim_baselines::{IncSvd, IncSvdOptions};
 use incsim_bench::Table;
-use incsim_core::{batch_simrank, IncSr, SimRankConfig, SimRankMaintainer};
+use incsim_core::{batch_simrank, GraphSink, IncSr, MatrixAccess, SimRankConfig};
 use incsim_datagen::fig1::{fig1_graph, FIG1_DAMPING, INSERTED_EDGE};
 use incsim_graph::transition::backward_transition;
 use incsim_linalg::norms::spectral_norm_est;

@@ -7,7 +7,7 @@
 //! score matrices stay identical, asserted below).
 
 use incsim_bench::{measure_per_update, scaled_cap, Table};
-use incsim_core::{batch_simrank, IncSr, IncUSr, SimRankConfig, SimRankMaintainer};
+use incsim_core::{batch_simrank, GraphSink, IncSr, IncUSr, MatrixAccess, SimRankConfig};
 use incsim_datagen::{cith_like, dblp_like, youtu_like, Dataset};
 use incsim_metrics::timing::fmt_duration;
 use std::time::Duration;

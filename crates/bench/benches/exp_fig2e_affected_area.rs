@@ -9,7 +9,7 @@
 //! exploits.
 
 use incsim_bench::{scaled_cap, Table};
-use incsim_core::{batch_simrank, IncSr, SimRankConfig, SimRankMaintainer};
+use incsim_core::{batch_simrank, GraphSink, IncSr, SimRankConfig};
 use incsim_datagen::{cith_like, dblp_like, youtu_like, Dataset};
 
 fn main() {

@@ -8,7 +8,7 @@
 
 use incsim_baselines::{IncSvd, IncSvdOptions};
 use incsim_bench::{scaled_cap, Table};
-use incsim_core::{batch_simrank, IncSr, IncUSr, SimRankConfig, SimRankMaintainer};
+use incsim_core::{batch_simrank, GraphSink, IncSr, IncUSr, MatrixAccess, SimRankConfig};
 use incsim_datagen::{cith_like, dblp_like, youtu_like, Dataset};
 use incsim_graph::UpdateOp;
 use incsim_metrics::ndcg_at_k;

@@ -4,7 +4,7 @@
 //! each incremental engine.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use incsim_core::{batch_simrank, IncSr, IncUSr, SimRankConfig, SimRankMaintainer};
+use incsim_core::{batch_simrank, GraphSink, IncSr, IncUSr, MatrixAccess, SimRankConfig};
 use incsim_datagen::linkage::{linkage_model, LinkageParams};
 use incsim_graph::transition::backward_transition;
 use incsim_graph::DiGraph;

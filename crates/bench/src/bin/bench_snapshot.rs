@@ -1,24 +1,31 @@
 //! `bench-snapshot` — records the PR's hot-path perf numbers as JSON.
 //!
 //! ```text
-//! bench-snapshot [--out BENCH_PR5.json] [--n 2048] [--k 15] [--cap 20]
-//!                [--window 256] [--compare BENCH_PR5.json --tolerance 200]
+//! bench-snapshot [--out BENCH_PR6.json] [--n 2048] [--k 15] [--cap 20]
+//!                [--window 256] [--probe-n 12500]
+//!                [--compare BENCH_PR6.json --tolerance 200]
 //! ```
 //!
 //! Runs the fig2a-style unit-update workload under the eager / fused /
 //! lazy apply modes, the isolated micro-kernels, the `service_overhead`
 //! case (the `incsim::api` dyn handle vs direct engine calls on an
-//! update+query serving workload), and the `concurrent_throughput` case
+//! update+query serving workload), the `concurrent_throughput` case
 //! (epoch-reader queries/sec at 1/2/4 threads against the sharded
-//! `incsim::serve` layer under a saturated background writer), and writes
-//! a machine-readable snapshot (see `incsim_bench::snapshot`).
+//! `incsim::serve` layer under a saturated background writer), and the
+//! `probe_single_source` case (matrix-free single-source latency and
+//! peak heap at `--probe-n` and `4 × --probe-n` nodes — sizes no dense
+//! engine could touch), and writes a machine-readable snapshot (see
+//! `incsim_bench::snapshot`).
 //!
 //! `--compare FILE` additionally gates the run against a committed
 //! snapshot: the scale-robust kernel metrics (`fused_speedup`,
 //! `lazy_query_secs`, `overhead_pct`, `long_lazy_query_speedup`,
-//! `compressed_query_secs`) must not regress beyond
+//! `compressed_query_secs`, `query_secs_large`, `probe_heap_growth`)
+//! must not regress beyond
 //! `--tolerance` percent (default 200, i.e. 3×) past their noise floors —
-//! see `incsim_bench::compare`. Exactness gates fail hard at any scale.
+//! see `incsim_bench::compare`. Exactness gates fail hard at any scale,
+//! as does the probe engine's sub-quadratic heap-growth gate (asserted
+//! inside the measurement).
 //!
 //! Measurement caps honour `INCSIM_BENCH_SCALE`; unlike the full
 //! experiment suite the snapshot defaults to a quick `0.2` pass when the
@@ -27,7 +34,7 @@
 use incsim_bench::compare::{compare, parse_metrics, SnapshotMetrics};
 use incsim_bench::snapshot::{
     measure_apply_modes, measure_concurrent_throughput, measure_long_lazy_window,
-    measure_micro_kernels, measure_service_overhead, snapshot_json,
+    measure_micro_kernels, measure_probe_single_source, measure_service_overhead, snapshot_json,
 };
 use incsim_bench::{bench_scale, scaled_cap};
 use incsim_metrics::timing::fmt_duration;
@@ -45,7 +52,7 @@ fn main() -> ExitCode {
             eprintln!("error: {msg}");
             eprintln!(
                 "usage: bench-snapshot [--out FILE] [--n N] [--k K] [--cap UPDATES] \
-                 [--window W] [--min-speedup X] [--max-overhead PCT] \
+                 [--window W] [--probe-n N] [--min-speedup X] [--max-overhead PCT] \
                  [--compare FILE] [--tolerance PCT]"
             );
             ExitCode::FAILURE
@@ -59,6 +66,7 @@ const FLAGS: &[&str] = &[
     "--k",
     "--cap",
     "--window",
+    "--probe-n",
     "--min-speedup",
     "--max-overhead",
     "--compare",
@@ -95,11 +103,15 @@ fn flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result
 
 fn run(args: &[String]) -> Result<(), String> {
     validate_args(args)?;
-    let out: String = flag(args, "--out", "BENCH_PR5.json".to_string())?;
+    let out: String = flag(args, "--out", "BENCH_PR6.json".to_string())?;
     let n: usize = flag(args, "--n", 2048usize)?;
     let k: usize = flag(args, "--k", 15usize)?;
     let base_cap: usize = flag(args, "--cap", 20usize)?;
     let base_window: usize = flag(args, "--window", 256usize)?;
+    // The probe case holds no n x n matrix, so its default size is an
+    // order of magnitude past the dense cases: 12_500 -> 50_000 nodes at
+    // full scale (scaled like every other cap on smoke runs).
+    let base_probe_n: usize = flag(args, "--probe-n", 12_500usize)?;
     // Timing gates for the full-size run; 0.0 (the defaults) only warn —
     // small smoke runs are too noisy to fail on wall-clock.
     let min_speedup: f64 = flag(args, "--min-speedup", 0.0f64)?;
@@ -210,9 +222,27 @@ fn run(args: &[String]) -> Result<(), String> {
         long_lazy.max_abs_diff_compressed_vs_uncompressed,
     );
 
+    // Matrix-free probe serving at sizes no dense engine could touch.
+    // The sub-quadratic heap gate is asserted inside the measurement.
+    let probe_n = scaled_cap(base_probe_n).max(64);
+    let probe = measure_probe_single_source(probe_n, k);
+    println!(
+        "   probe       : single-source {} @ n={} vs {} @ n={} ({} walks); \
+         peak heap {} -> {} (x{:.1} for 4x nodes; dense matrix would need {})",
+        per(probe.query_secs_small),
+        probe.n_small,
+        per(probe.query_secs_large),
+        probe.n_large,
+        probe.walks,
+        incsim_metrics::timing::fmt_bytes(probe.heap_peak_bytes_small),
+        incsim_metrics::timing::fmt_bytes(probe.heap_peak_bytes_large),
+        probe.heap_growth,
+        incsim_metrics::timing::fmt_bytes(probe.dense_bytes_large),
+    );
+
     std::fs::write(
         &out,
-        snapshot_json(&modes, &micro, &service, &concurrent, &long_lazy),
+        snapshot_json(&modes, &micro, &service, &concurrent, &long_lazy, &probe),
     )
     .map_err(|e| format!("cannot write {out}: {e}"))?;
     println!("[ok] snapshot written to {out}");
@@ -310,6 +340,8 @@ fn run(args: &[String]) -> Result<(), String> {
             overhead_pct: Some(service.overhead_pct),
             long_lazy_query_speedup: Some(long_lazy.long_lazy_query_speedup),
             compressed_query_secs: Some(long_lazy.compressed_query_secs),
+            probe_query_secs: Some(probe.query_secs_large),
+            probe_heap_growth: Some(probe.heap_growth),
         };
         let regressions = compare(&current, &committed, tolerance_pct);
         if regressions.is_empty() {

@@ -15,7 +15,12 @@
 //! * `long_lazy_query_speedup` — uncompressed/compressed lazy pair-read
 //!   ratio at the end of a long window, dimensionless;
 //! * `compressed_query_secs` — a single pair read against the
-//!   recompressed buffer, microsecond scale.
+//!   recompressed buffer, microsecond scale;
+//! * `query_secs_large` — one matrix-free probe single-source query at
+//!   the large point (walk count is fixed, so smoke runs only shrink
+//!   the per-walk graph work);
+//! * `probe_heap_growth` — probe peak-heap ratio across a 4× node-count
+//!   step, dimensionless (≈4 linear, 16 quadratic).
 //!
 //! Each metric fails only on **regression** (improvement always passes),
 //! only beyond the configured tolerance factor, and only past a
@@ -38,6 +43,11 @@ pub struct SnapshotMetrics {
     pub long_lazy_query_speedup: Option<f64>,
     /// `long_lazy_window.compressed_query_secs` (lower is better).
     pub compressed_query_secs: Option<f64>,
+    /// `probe_single_source.query_secs_large` (lower is better).
+    pub probe_query_secs: Option<f64>,
+    /// `probe_single_source.probe_heap_growth` (lower is better; the
+    /// sub-quadratic law says ≈4 for a 4× node step, 16 is quadratic).
+    pub probe_heap_growth: Option<f64>,
 }
 
 /// Extracts the first `"key": <number>` occurrence from a JSON text.
@@ -61,6 +71,8 @@ pub fn parse_metrics(json: &str) -> SnapshotMetrics {
         overhead_pct: scan_number(json, "overhead_pct"),
         long_lazy_query_speedup: scan_number(json, "long_lazy_query_speedup"),
         compressed_query_secs: scan_number(json, "compressed_query_secs"),
+        probe_query_secs: scan_number(json, "query_secs_large"),
+        probe_heap_growth: scan_number(json, "probe_heap_growth"),
     }
 }
 
@@ -95,6 +107,8 @@ const SPEEDUP_FLOOR: f64 = 1.5; // a fused speedup still ≥ 1.5x is healthy
 const LAZY_QUERY_FLOOR_SECS: f64 = 2e-6; // sub-2µs pair reads are in-noise
 const OVERHEAD_FLOOR_PCT: f64 = 1.0; // the service contract is < 2%
 const LONG_LAZY_SPEEDUP_FLOOR: f64 = 2.0; // the acceptance bar at full scale
+const PROBE_QUERY_FLOOR_SECS: f64 = 2e-3; // sub-2ms single-source reads are in-noise
+const PROBE_HEAP_GROWTH_FLOOR: f64 = 6.0; // < 6x for 4x nodes is comfortably sub-quadratic
 
 /// Compares `current` against `committed` with a tolerance given in
 /// percent of allowed drift (e.g. `200` ⇒ up to 3× worse passes).
@@ -169,6 +183,18 @@ pub fn compare(
         current.compressed_query_secs,
         committed.compressed_query_secs,
         LAZY_QUERY_FLOOR_SECS,
+    );
+    lower_better(
+        "probe_query_secs",
+        current.probe_query_secs,
+        committed.probe_query_secs,
+        PROBE_QUERY_FLOOR_SECS,
+    );
+    lower_better(
+        "probe_heap_growth",
+        current.probe_heap_growth,
+        committed.probe_heap_growth,
+        PROBE_HEAP_GROWTH_FLOOR,
     );
     out
 }
@@ -275,6 +301,40 @@ mod tests {
         let m = parse_metrics(json);
         assert_eq!(m.long_lazy_query_speedup, Some(15.2));
         assert!((m.compressed_query_secs.unwrap() - 3.1e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probe_metrics_gate_like_their_siblings() {
+        let committed = SnapshotMetrics {
+            probe_query_secs: Some(1e-3),
+            probe_heap_growth: Some(4.2),
+            ..Default::default()
+        };
+        // In-noise latency and healthy sub-quadratic growth pass even at
+        // large ratios off the committed run.
+        let healthy = SnapshotMetrics {
+            probe_query_secs: Some(1.5e-3), // under the 2ms floor
+            probe_heap_growth: Some(5.0),   // under the 6x floor
+            ..Default::default()
+        };
+        assert!(compare(&healthy, &committed, 200.0).is_empty());
+        // A genuinely slow query and near-quadratic heap growth fail.
+        let bad = SnapshotMetrics {
+            probe_query_secs: Some(1e-2),
+            probe_heap_growth: Some(14.0),
+            ..Default::default()
+        };
+        let regs = compare(&bad, &committed, 200.0);
+        let names: Vec<&str> = regs.iter().map(|r| r.metric).collect();
+        assert!(names.contains(&"probe_query_secs"), "{names:?}");
+        assert!(names.contains(&"probe_heap_growth"), "{names:?}");
+        // Parsing picks the probe keys out of a v5 snapshot body.
+        let json = r#"{
+  "probe_single_source": { "query_secs_large": 8.4e-4, "probe_heap_growth": 4.31 }
+}"#;
+        let m = parse_metrics(json);
+        assert!((m.probe_query_secs.unwrap() - 8.4e-4).abs() < 1e-12);
+        assert_eq!(m.probe_heap_growth, Some(4.31));
     }
 
     #[test]

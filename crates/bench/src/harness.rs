@@ -86,7 +86,7 @@ fn summarize(stats: &[UpdateStats], total_secs: f64) -> MeasuredUpdates {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use incsim_core::{IncSr, SimRankConfig};
+    use incsim_core::{GraphSink, IncSr, SimRankConfig};
     use incsim_graph::DiGraph;
 
     #[test]

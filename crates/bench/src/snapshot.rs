@@ -9,7 +9,9 @@
 use crate::harness::{bench_scale, measure_per_update};
 use incsim::api::{ApplyPolicy, EngineKind, SimRank, SimRankBuilder};
 use incsim::serve::{drive_load, ConcurrentSimRank, LoadOptions, ShardedSimRank};
-use incsim_core::{batch_simrank, ApplyMode, IncUSr, SimRankConfig, SimRankMaintainer};
+use incsim_core::{
+    batch_simrank, ApplyMode, GraphSink, IncUSr, MatrixAccess, ProbeOptions, SimRankConfig,
+};
 use incsim_datagen::er::{erdos_renyi, erdos_renyi_blocks};
 use incsim_datagen::updates::{random_insertions, random_toggles_blocks};
 use incsim_graph::{DiGraph, UpdateOp};
@@ -666,8 +668,11 @@ pub fn measure_long_lazy_window(n: usize, k_iters: usize, window: usize) -> Long
     // Drift: materialise both windows (the only n² work in this case,
     // off the measured paths) and compare the full matrices.
     let diff = {
-        let a = plain.scores().clone();
-        compressed.scores().max_abs_diff(&a)
+        let a = plain.scores().expect("IncUSr is matrix-backed").clone();
+        compressed
+            .scores()
+            .expect("IncUSr is matrix-backed")
+            .max_abs_diff(&a)
     };
 
     LongLazyWindowSnapshot {
@@ -688,6 +693,104 @@ pub fn measure_long_lazy_window(n: usize, k_iters: usize, window: usize) -> Long
     }
 }
 
+/// Matrix-free serving headline: single-source query latency and peak
+/// heap of the [`EngineKind::Probe`] engine at two graph sizes.
+///
+/// The point of this case is the *memory scaling law*: every dense
+/// engine carries an `n × n` score matrix, so its footprint is Θ(n²) by
+/// construction; the probe engine holds only the graph plus a walk
+/// scratch tally, so its peak heap must grow **sub-quadratically** in
+/// `n`. The measurement runs the same query workload at `n_small` and
+/// `n_large = 4·n_small` and records the heap growth ratio — linear
+/// scaling lands near 4, quadratic at 16; the gate (asserted here and in
+/// the `bench-snapshot` binary) is `heap_growth < 8`.
+#[derive(Debug, Clone)]
+pub struct ProbeSingleSourceSnapshot {
+    /// Smaller graph size.
+    pub n_small: usize,
+    /// Larger graph size (4× the smaller one).
+    pub n_large: usize,
+    /// Iterations `K` (walk-length truncation).
+    pub k_iters: usize,
+    /// Reverse walks per single-source query.
+    pub walks: usize,
+    /// Mean seconds per single-source query at `n_small`.
+    pub query_secs_small: f64,
+    /// Mean seconds per single-source query at `n_large`.
+    pub query_secs_large: f64,
+    /// Peak engine heap (graph + walk scratch) after the workload, small.
+    pub heap_peak_bytes_small: usize,
+    /// Peak engine heap (graph + walk scratch) after the workload, large.
+    pub heap_peak_bytes_large: usize,
+    /// `heap_peak_bytes_large / heap_peak_bytes_small` — the scaling
+    /// headline (≈4 linear, 16 quadratic; must stay < 8).
+    pub heap_growth: f64,
+    /// What a dense engine's score matrix alone would cost at `n_large`
+    /// (`8·n_large²` bytes), for context in the JSON.
+    pub dense_bytes_large: usize,
+}
+
+/// Measures the probe engine's single-source serving path at `n_small`
+/// and `4·n_small` nodes (fig2a-style ER graphs, same family as every
+/// other case) and asserts the sub-quadratic heap gate. A handful of
+/// update ops are applied first so the measured engine is the
+/// post-ingest steady state, not a freshly built one.
+pub fn measure_probe_single_source(n_small: usize, k_iters: usize) -> ProbeSingleSourceSnapshot {
+    let n_large = 4 * n_small;
+    let cfg = SimRankConfig::new(0.6, k_iters).expect("valid config");
+    let opts = ProbeOptions {
+        seed: 0xBE9C_0DE5,
+        ..ProbeOptions::default()
+    };
+
+    let point = |n: usize| -> (f64, usize) {
+        let g = snapshot_graph(n);
+        let mut sim = SimRankBuilder::new()
+            .algorithm(EngineKind::Probe)
+            .config(cfg)
+            .probe_options(opts)
+            .from_graph(g.clone())
+            .expect("probe builds from the graph alone");
+        let mut rng = StdRng::seed_from_u64(77);
+        for op in random_insertions(&g, 8, &mut rng) {
+            sim.update(op).expect("stream valid by construction");
+        }
+        let queries = 12usize;
+        let mut acc = 0.0f64;
+        // Warm-up query (first-touch scratch allocation), then measure.
+        acc += sim.single_source(0).len() as f64;
+        let start = Instant::now();
+        for t in 0..queries {
+            let a = ((t * 131 + 7) % n) as u32;
+            acc += sim.single_source(a).iter().map(|r| r.score).sum::<f64>();
+        }
+        let per_query = start.elapsed().as_secs_f64() / queries as f64;
+        std::hint::black_box(acc);
+        (per_query, sim.snapshot_query().heap_bytes())
+    };
+
+    let (query_secs_small, heap_small) = point(n_small);
+    let (query_secs_large, heap_large) = point(n_large);
+    let heap_growth = heap_large as f64 / heap_small.max(1) as f64;
+    assert!(
+        heap_growth < 8.0,
+        "probe peak heap must grow sub-quadratically: {heap_small} B at n={n_small} -> \
+         {heap_large} B at n={n_large} (x{heap_growth:.1}; quadratic would be x16)"
+    );
+    ProbeSingleSourceSnapshot {
+        n_small,
+        n_large,
+        k_iters,
+        walks: opts.walks,
+        query_secs_small,
+        query_secs_large,
+        heap_peak_bytes_small: heap_small,
+        heap_peak_bytes_large: heap_large,
+        heap_growth,
+        dense_bytes_large: 8 * n_large * n_large,
+    }
+}
+
 /// Renders the full snapshot as pretty-printed JSON.
 pub fn snapshot_json(
     modes: &ApplyModeSnapshot,
@@ -695,10 +798,11 @@ pub fn snapshot_json(
     service: &ServiceOverheadSnapshot,
     concurrent: &ConcurrentThroughputSnapshot,
     long_lazy: &LongLazyWindowSnapshot,
+    probe: &ProbeSingleSourceSnapshot,
 ) -> String {
     format!(
         r#"{{
-  "schema": "incsim-bench-snapshot-v4",
+  "schema": "incsim-bench-snapshot-v5",
   "bench_scale": {scale},
   "apply_modes": {{
     "n": {n},
@@ -763,6 +867,18 @@ pub fn snapshot_json(
     "compressed_heap_peak_bytes": {lph},
     "compressed_heap_end_bytes": {leh},
     "max_abs_diff_compressed_vs_uncompressed": {ldf:.3e}
+  }},
+  "probe_single_source": {{
+    "n_small": {pns},
+    "n_large": {pnl},
+    "k_iters": {pk},
+    "walks": {pw},
+    "query_secs_small": {pqs:.6e},
+    "query_secs_large": {pql:.6e},
+    "heap_peak_bytes_small": {phs},
+    "heap_peak_bytes_large": {phl},
+    "probe_heap_growth": {phg:.3},
+    "dense_bytes_large": {pdb}
   }}
 }}
 "#,
@@ -821,6 +937,16 @@ pub fn snapshot_json(
         lph = long_lazy.compressed_heap_peak_bytes,
         leh = long_lazy.compressed_heap_end_bytes,
         ldf = long_lazy.max_abs_diff_compressed_vs_uncompressed,
+        pns = probe.n_small,
+        pnl = probe.n_large,
+        pk = probe.k_iters,
+        pw = probe.walks,
+        pqs = probe.query_secs_small,
+        pql = probe.query_secs_large,
+        phs = probe.heap_peak_bytes_small,
+        phl = probe.heap_peak_bytes_large,
+        phg = probe.heap_growth,
+        pdb = probe.dense_bytes_large,
     )
 }
 
@@ -871,14 +997,23 @@ mod tests {
             "compressed window drifted {:.2e}",
             long_lazy.max_abs_diff_compressed_vs_uncompressed
         );
-        let json = snapshot_json(&modes, &micro, &service, &concurrent, &long_lazy);
-        assert!(json.contains("\"schema\": \"incsim-bench-snapshot-v4\""));
+        // The probe case's sub-quadratic heap gate is asserted inside the
+        // measurement itself; 4x the node count with a Theta(n^2) matrix
+        // would blow straight past the x8 bar.
+        let probe = measure_probe_single_source(64, 4);
+        assert_eq!(probe.n_large, 256);
+        assert!(probe.query_secs_small > 0.0 && probe.query_secs_large > 0.0);
+        assert!(probe.heap_peak_bytes_large > probe.heap_peak_bytes_small);
+        let json = snapshot_json(&modes, &micro, &service, &concurrent, &long_lazy, &probe);
+        assert!(json.contains("\"schema\": \"incsim-bench-snapshot-v5\""));
         assert!(json.contains("fused_speedup"));
         assert!(json.contains("service_overhead"));
         assert!(json.contains("concurrent_throughput"));
         assert!(json.contains("speedup_4_vs_1"));
         assert!(json.contains("long_lazy_window"));
         assert!(json.contains("long_lazy_query_speedup"));
+        assert!(json.contains("probe_single_source"));
+        assert!(json.contains("probe_heap_growth"));
         // Balanced braces — cheap structural sanity for the hand-rolled JSON.
         assert_eq!(
             json.matches('{').count(),

@@ -19,7 +19,8 @@
 
 use crate::grouped::GroupedStats;
 use crate::maintainer::{
-    validate_update, ApplyMode, DeferredApply, SimRankMaintainer, UpdateError, UpdateStats,
+    validate_update, ApplyMode, DeferredApply, GraphSink, MatrixAccess, SimRankMaintainer,
+    UpdateError, UpdateStats,
 };
 use crate::rankone::{rank_one_decomposition, RankOneUpdate, UpdateKind};
 use crate::SimRankConfig;
@@ -29,7 +30,7 @@ use incsim_linalg::{DenseMatrix, LowRankDelta, SparseAccumulator};
 /// The Algorithm 2 engine. See the [module docs](self).
 ///
 /// ```
-/// use incsim_core::{IncSr, SimRankConfig, SimRankMaintainer};
+/// use incsim_core::{GraphSink, IncSr, MatrixAccess, SimRankConfig};
 /// use incsim_graph::DiGraph;
 ///
 /// let g = DiGraph::from_edges(4, &[(2, 0), (2, 1), (0, 3)]);
@@ -437,21 +438,9 @@ impl IncSr {
     }
 }
 
-impl SimRankMaintainer for IncSr {
-    fn name(&self) -> &'static str {
-        "Inc-SR"
-    }
-
+impl MatrixAccess for IncSr {
     fn base_scores(&self) -> &DenseMatrix {
         &self.scores
-    }
-
-    fn graph(&self) -> &DiGraph {
-        &self.graph
-    }
-
-    fn config(&self) -> &SimRankConfig {
-        &self.cfg
     }
 
     fn pending_delta(&self) -> Option<&LowRankDelta> {
@@ -474,6 +463,30 @@ impl SimRankMaintainer for IncSr {
     fn compress_pending(&mut self, tol: f64) -> usize {
         self.deferred.compress(tol);
         self.deferred.delta.pending_pairs()
+    }
+}
+
+impl SimRankMaintainer for IncSr {
+    fn matrix(&self) -> Option<&dyn MatrixAccess> {
+        Some(self)
+    }
+
+    fn matrix_mut(&mut self) -> Option<&mut dyn MatrixAccess> {
+        Some(self)
+    }
+}
+
+impl GraphSink for IncSr {
+    fn name(&self) -> &'static str {
+        "Inc-SR"
+    }
+
+    fn graph(&self) -> &DiGraph {
+        &self.graph
+    }
+
+    fn config(&self) -> &SimRankConfig {
+        &self.cfg
     }
 
     fn insert_edge(&mut self, i: u32, j: u32) -> Result<UpdateStats, UpdateError> {
@@ -510,9 +523,11 @@ impl SimRankMaintainer for IncSr {
     }
 
     fn add_node(&mut self) -> u32 {
-        self.flush(); // the matrix is about to be re-shaped
         let v = self.graph.add_node();
         let n = self.graph.node_count();
+        // Flush any pending Δ (still at the old dimension) into the old
+        // matrix and re-dimension the buffer before the re-shape.
+        self.deferred.resize(n, &mut self.scores);
         let mut grown = DenseMatrix::zeros(n, n);
         for a in 0..n - 1 {
             let src = self.scores.row(a);
@@ -520,7 +535,6 @@ impl SimRankMaintainer for IncSr {
         }
         grown.set(n - 1, n - 1, 1.0 - self.cfg.c);
         self.scores = grown;
-        self.deferred.resize(n);
         self.xi = SparseAccumulator::new(n);
         self.eta = SparseAccumulator::new(n);
         self.xi_next = SparseAccumulator::new(n);

@@ -17,7 +17,8 @@
 
 use crate::grouped::GroupedStats;
 use crate::maintainer::{
-    validate_update, ApplyMode, DeferredApply, SimRankMaintainer, UpdateError, UpdateStats,
+    validate_update, ApplyMode, DeferredApply, GraphSink, MatrixAccess, SimRankMaintainer,
+    UpdateError, UpdateStats,
 };
 use crate::rankone::{gamma_vector_from_cols, rank_one_decomposition, RankOneUpdate, UpdateKind};
 use crate::SimRankConfig;
@@ -28,7 +29,7 @@ use incsim_linalg::{CsrMatrix, DenseMatrix, LowRankDelta};
 /// The Algorithm 1 engine. See the [module docs](self).
 ///
 /// ```
-/// use incsim_core::{IncUSr, SimRankConfig, SimRankMaintainer};
+/// use incsim_core::{GraphSink, IncUSr, SimRankConfig};
 /// use incsim_graph::DiGraph;
 ///
 /// let g = DiGraph::from_edges(4, &[(2, 0), (2, 1), (0, 3)]);
@@ -248,21 +249,9 @@ impl IncUSr {
     }
 }
 
-impl SimRankMaintainer for IncUSr {
-    fn name(&self) -> &'static str {
-        "Inc-uSR"
-    }
-
+impl MatrixAccess for IncUSr {
     fn base_scores(&self) -> &DenseMatrix {
         &self.scores
-    }
-
-    fn graph(&self) -> &DiGraph {
-        &self.graph
-    }
-
-    fn config(&self) -> &SimRankConfig {
-        &self.cfg
     }
 
     fn pending_delta(&self) -> Option<&LowRankDelta> {
@@ -285,6 +274,30 @@ impl SimRankMaintainer for IncUSr {
     fn compress_pending(&mut self, tol: f64) -> usize {
         self.deferred.compress(tol);
         self.deferred.delta.pending_pairs()
+    }
+}
+
+impl SimRankMaintainer for IncUSr {
+    fn matrix(&self) -> Option<&dyn MatrixAccess> {
+        Some(self)
+    }
+
+    fn matrix_mut(&mut self) -> Option<&mut dyn MatrixAccess> {
+        Some(self)
+    }
+}
+
+impl GraphSink for IncUSr {
+    fn name(&self) -> &'static str {
+        "Inc-uSR"
+    }
+
+    fn graph(&self) -> &DiGraph {
+        &self.graph
+    }
+
+    fn config(&self) -> &SimRankConfig {
+        &self.cfg
     }
 
     fn insert_edge(&mut self, i: u32, j: u32) -> Result<UpdateStats, UpdateError> {
@@ -322,9 +335,11 @@ impl SimRankMaintainer for IncUSr {
     }
 
     fn add_node(&mut self) -> u32 {
-        self.flush(); // the matrix is about to be re-shaped
         let v = self.graph.add_node();
         let n = self.graph.node_count();
+        // Flush any pending Δ (still at the old dimension) into the old
+        // matrix and re-dimension the buffer before the re-shape.
+        self.deferred.resize(n, &mut self.scores);
         let mut grown = DenseMatrix::zeros(n, n);
         for a in 0..n - 1 {
             let src = self.scores.row(a);
@@ -333,7 +348,6 @@ impl SimRankMaintainer for IncUSr {
         grown.set(n - 1, n - 1, 1.0 - self.cfg.c);
         self.scores = grown;
         self.q = backward_transition(&self.graph);
-        self.deferred.resize(n);
         self.xi = vec![0.0; n];
         self.eta = vec![0.0; n];
         self.scratch = vec![0.0; n];
@@ -585,13 +599,14 @@ mod tests {
         assert!(lazy.pending_rank() > 0, "window is open");
         let engine: &mut dyn SimRankMaintainer = &mut lazy;
         let truth = batch_simrank(engine.graph(), &tight_cfg());
-        let via_trait = engine.scores().clone();
+        let matrix = engine.matrix_mut().expect("IncUSr is matrix-backed");
+        let via_trait = matrix.scores().clone();
         assert!(
             via_trait.max_abs_diff(&truth) < 1e-8,
             "trait scores() returned stale entries: {}",
             via_trait.max_abs_diff(&truth)
         );
-        assert_eq!(engine.pending_rank(), 0, "scores() drained the window");
+        assert_eq!(matrix.pending_rank(), 0, "scores() drained the window");
 
         // …and `into_parts` gives the same materialised matrix.
         let mut again = IncUSr::new(fixture(), s0, cfg).with_mode(ApplyMode::Lazy);

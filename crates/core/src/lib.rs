@@ -17,15 +17,23 @@
 //! * [`IncSr`] — Algorithm 2 (*Inc-SR*): Inc-uSR plus the lossless pruning
 //!   of Theorem 4, confining work to the affected area of ΔS —
 //!   `O(K(n·d + |AFF|))` time.
-//! * [`SimRankMaintainer`] — the common engine interface: maintain scores
-//!   under edge insertions/deletions, batch update streams, and (as an
-//!   extension beyond the paper) node additions.
+//! * [`SimRankMaintainer`] — the engine *composition*: a supertrait bundle
+//!   of the capability traits [`GraphSink`] (mutate the graph),
+//!   [`PairQuery`] / [`SingleSourceQuery`] / [`TopKQuery`] (answer
+//!   queries), plus optional dense-state access via
+//!   [`SimRankMaintainer::matrix`] → [`MatrixAccess`]. Matrix engines get
+//!   the query capabilities for free from blanket impls over their
+//!   [`MatrixAccess::view`]; matrix-free engines implement them directly.
+//! * [`ProbeSim`] — the first matrix-free engine: ProbeSim-style
+//!   Monte-Carlo sampling over the graph alone (`O(n + m)` state, zero
+//!   `n²` allocations), answering within a documented `(1 ± ε)` of the
+//!   K-truncated batch scores.
 //! * [`ApplyMode`] — how the per-update `ξηᵀ + ηξᵀ` terms reach the score
 //!   matrix: `Eager` (the paper's K+1 sweeps), `Fused` (one buffered,
 //!   cache-blocked, parallel sweep per mutation call), or `Lazy` (no sweep
 //!   at all). Reads are mode-agnostic: [`query::ScoreView`] (obtained via
-//!   [`SimRankMaintainer::view`]) composes `S_base + Δ` over the pending
-//!   [`incsim_linalg::LowRankDelta`], and [`SimRankMaintainer::scores`]
+//!   [`MatrixAccess::view`]) composes `S_base + Δ` over the pending
+//!   [`incsim_linalg::LowRankDelta`], and [`MatrixAccess::scores`]
 //!   materialises pending ΔS before returning — stale reads are
 //!   impossible through the trait.
 //!
@@ -41,7 +49,7 @@
 //!
 //! ```
 //! use incsim_graph::DiGraph;
-//! use incsim_core::{batch_simrank, IncSr, SimRankConfig, SimRankMaintainer};
+//! use incsim_core::{batch_simrank, GraphSink, IncSr, SimRankConfig};
 //!
 //! let g = DiGraph::from_edges(5, &[(0, 2), (1, 2), (2, 3), (3, 4)]);
 //! let cfg = SimRankConfig::new(0.6, 12).unwrap();
@@ -62,6 +70,7 @@ pub mod grouped;
 pub mod incsr;
 pub mod incusr;
 pub mod maintainer;
+pub mod probe;
 pub mod query;
 pub mod rankone;
 pub mod snapshot;
@@ -71,8 +80,12 @@ pub use batch::{batch_simrank, batch_simrank_detailed, BatchOptions, BatchResult
 pub use grouped::{group_by_row, GroupedStats, RowChange};
 pub use incsr::IncSr;
 pub use incusr::IncUSr;
-pub use maintainer::{validate_update, ApplyMode, SimRankMaintainer, UpdateError, UpdateStats};
-pub use query::{RankedNode, ScoreSnapshot, ScoreView};
+pub use maintainer::{
+    validate_update, ApplyMode, CapabilityError, GraphSink, MatrixAccess, PairQuery,
+    SimRankMaintainer, SingleSourceQuery, TopKQuery, UpdateError, UpdateStats, WalkStats,
+};
+pub use probe::{ProbeOptions, ProbeSim, ProbeSnapshot};
+pub use query::{RankedNode, ScoreSnapshot, ScoreView, SnapshotQuery};
 pub use rankone::{
     gamma_vector, gamma_vector_from_cols, rank_one_decomposition, RankOneUpdate, UpdateKind,
 };

@@ -1,6 +1,6 @@
 //! The common interface of incremental SimRank engines.
 
-use crate::query::{ScoreSnapshot, ScoreView};
+use crate::query::{RankedNode, ScoreSnapshot, ScoreView, SnapshotQuery};
 use crate::rankone::UpdateKind;
 use incsim_graph::{DiGraph, GraphError, UpdateOp};
 use incsim_linalg::{DenseMatrix, LowRankDelta, Recompression};
@@ -72,11 +72,17 @@ impl DeferredApply {
         self.delta.recompress(tol)
     }
 
-    /// Re-dimensions the buffer after the score matrix was re-shaped
-    /// (`add_node`). Pending factors must have been flushed by the caller.
-    pub fn resize(&mut self, n: usize) {
-        debug_assert!(self.delta.is_empty(), "resize with pending factors");
+    /// Re-dimensions the buffer to `n` because the score matrix is about
+    /// to be re-shaped (`add_node`). Factors still pending at the *old*
+    /// dimension cannot be applied after the re-shape, so they are
+    /// flushed into `old_scores` (which must still have the old shape)
+    /// first — unconditionally, in every build profile. A `debug_assert!`
+    /// here used to vanish in release builds and silently drop an
+    /// un-flushed Δ. Returns the number of rank-two terms flushed.
+    pub fn resize(&mut self, n: usize, old_scores: &mut DenseMatrix) -> usize {
+        let flushed = self.flush_into(old_scores);
         self.delta = LowRankDelta::new(n);
+        flushed
     }
 }
 
@@ -161,14 +167,149 @@ pub struct UpdateStats {
     pub pending_rank: usize,
 }
 
-/// An engine that maintains all-pairs SimRank scores on an evolving graph.
+/// A requested capability is not implemented by the active engine —
+/// e.g. asking a matrix-free engine ([`crate::ProbeSim`]) for its dense
+/// score matrix. The documented, non-panicking answer to "this engine
+/// cannot do that".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CapabilityError {
+    /// Name of the engine the capability was requested from.
+    pub engine: &'static str,
+    /// The missing capability (e.g. `"MatrixAccess"`).
+    pub capability: &'static str,
+}
+
+impl std::fmt::Display for CapabilityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "engine {} does not implement the {} capability",
+            self.engine, self.capability
+        )
+    }
+}
+
+impl std::error::Error for CapabilityError {}
+
+/// Counters of a sampling (walk-based) engine — the probe engine's
+/// analogue of the apply-pipeline diagnostics. Engines with an apply
+/// pipeline report `None` from
+/// [`SimRankMaintainer::walk_stats`]; the service layer surfaces these
+/// instead of zero-stuffing its apply-mode counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalkStats {
+    /// Graph mutations absorbed without any score recomputation (the
+    /// index-free engine's "update" is just the graph edit).
+    pub walk_updates: u64,
+    /// Reverse √C-walks sampled across all queries so far.
+    pub walks_sampled: u64,
+    /// Probe-tree node expansions performed across all queries so far.
+    pub probe_expansions: u64,
+}
+
+impl WalkStats {
+    /// Accumulates `other` into `self` (saturating).
+    pub fn merge(&mut self, other: &WalkStats) {
+        self.walk_updates = self.walk_updates.saturating_add(other.walk_updates);
+        self.walks_sampled = self.walks_sampled.saturating_add(other.walks_sampled);
+        self.probe_expansions = self.probe_expansions.saturating_add(other.probe_expansions);
+    }
+}
+
+/// The graph-mutation capability: an engine that consumes an evolving
+/// edge stream and keeps *some* internal representation current.
 ///
-/// Implemented by [`crate::IncUSr`] (Algorithm 1) and [`crate::IncSr`]
-/// (Algorithm 2); `incsim-baselines` adds the Inc-SVD engine of Li et al.
-/// and a from-scratch batch-recompute comparator behind the same
-/// interface so the experiment harness (and the `incsim::api` service
-/// layer) can swap engines. The trait is object-safe: everything the
-/// service layer does goes through `Box<dyn SimRankMaintainer>`.
+/// This is the one capability every engine must implement; what an
+/// engine maintains in response (a dense matrix, low-rank factors, or —
+/// for the matrix-free probe engine — nothing beyond the graph itself)
+/// is expressed through the other capability traits.
+pub trait GraphSink {
+    /// Engine name as used in the paper's figures (e.g. `"Inc-SR"`).
+    fn name(&self) -> &'static str;
+
+    /// The current graph.
+    fn graph(&self) -> &DiGraph;
+
+    /// The engine configuration.
+    fn config(&self) -> &SimRankConfig;
+
+    /// Inserts edge `(i, j)` and incrementally updates the maintained state.
+    fn insert_edge(&mut self, i: u32, j: u32) -> Result<UpdateStats, UpdateError>;
+
+    /// Deletes edge `(i, j)` and incrementally updates the maintained state.
+    fn remove_edge(&mut self, i: u32, j: u32) -> Result<UpdateStats, UpdateError>;
+
+    /// Appends an isolated node (extension beyond the paper, which fixes
+    /// the node set). Engines with a score matrix grow it; the new node's
+    /// only nonzero score is its diagonal `1 − C`.
+    fn add_node(&mut self) -> u32;
+
+    /// Applies one [`UpdateOp`].
+    fn apply(&mut self, op: UpdateOp) -> Result<UpdateStats, UpdateError> {
+        match op {
+            UpdateOp::Insert(u, v) => self.insert_edge(u, v),
+            UpdateOp::Delete(u, v) => self.remove_edge(u, v),
+        }
+    }
+
+    /// Applies a batch update `ΔG` as the sequence of its unit updates
+    /// (the decomposition described in §V of the paper). Stops at the first
+    /// invalid op, leaving the engine consistent with the ops applied so far.
+    fn apply_batch(&mut self, ops: &[UpdateOp]) -> Result<Vec<UpdateStats>, UpdateError> {
+        let mut stats = Vec::with_capacity(ops.len());
+        for &op in ops {
+            stats.push(self.apply(op)?);
+        }
+        Ok(stats)
+    }
+}
+
+/// The single-pair query capability: `S(a, b)` of the current graph.
+///
+/// Exact engines answer from their maintained matrix (`O(1)`
+/// materialised, `O(r)` through a pending Δ); the probe engine answers
+/// by sampling coupled reverse walks, within its documented `(1 ± ε)`
+/// contract.
+pub trait PairQuery {
+    /// Similarity of one node pair (symmetric).
+    ///
+    /// # Panics
+    /// Panics if either node is out of range.
+    fn pair_score(&self, a: u32, b: u32) -> f64;
+}
+
+/// The single-source query capability: all similarities of one node.
+pub trait SingleSourceQuery {
+    /// Similarities of node `a`, excluding itself. Matrix engines list
+    /// every other node (zeros included); sampling engines list only
+    /// nodes with a nonzero estimate — an absent node means score 0.
+    fn single_source(&self, a: u32) -> Vec<RankedNode>;
+
+    /// Nodes whose similarity to `a` is at least `threshold`, unordered.
+    fn similar_above(&self, a: u32, threshold: f64) -> Vec<RankedNode> {
+        self.single_source(a)
+            .into_iter()
+            .filter(|r| r.score >= threshold)
+            .collect()
+    }
+}
+
+/// The top-k query capability: the `k` most similar nodes to a query
+/// node, ranked by the shared rule (score descending, ties by node id).
+pub trait TopKQuery {
+    /// The `k` most similar nodes to `a`, descending (ties by node id).
+    fn top_k(&self, a: u32, k: usize) -> Vec<RankedNode>;
+}
+
+/// The dense-matrix capability: the engine maintains the full `n × n`
+/// score matrix (plus, optionally, a deferred low-rank ΔS buffer).
+///
+/// This was the whole `SimRankMaintainer` surface before the capability
+/// split; it is now optional — the matrix-free probe engine does not
+/// implement it, and every consumer that used to reach for
+/// `base_scores()` goes through
+/// [`SimRankMaintainer::matrix`]/[`SimRankMaintainer::matrix_mut`]
+/// instead, degrading gracefully when the capability is absent.
 ///
 /// ## Reading scores
 ///
@@ -182,10 +323,7 @@ pub struct UpdateStats {
 /// [`Self::base_scores`] exposes the raw base matrix (excluding pending
 /// ΔS) for diagnostics and zero-copy internal reads; treat anything it
 /// returns mid-lazy-window as stale by construction.
-pub trait SimRankMaintainer {
-    /// Engine name as used in the paper's figures (e.g. `"Inc-SR"`).
-    fn name(&self) -> &'static str;
-
+pub trait MatrixAccess {
     /// The maintained base score matrix **excluding** any pending deferred
     /// ΔS. Identical to [`Self::scores`] outside lazy windows; inside one
     /// it lags the true state — prefer [`Self::view`] or [`Self::scores`]
@@ -269,41 +407,85 @@ pub trait SimRankMaintainer {
         let _ = tol;
         0
     }
+}
 
-    /// The current graph.
-    fn graph(&self) -> &DiGraph;
+// Every matrix engine answers the three query capabilities the same way:
+// through its transparent `S_base + Δ` view. These blanket impls are
+// what "the four existing engines implement unchanged in behavior"
+// means — their query answers are bit-identical to the pre-split
+// `view()`-based reads, and a matrix engine can never drift from its
+// own view. Matrix-free engines implement the query traits directly.
 
-    /// The engine configuration.
-    fn config(&self) -> &SimRankConfig;
+impl<T: MatrixAccess> PairQuery for T {
+    fn pair_score(&self, a: u32, b: u32) -> f64 {
+        self.view().pair(a, b)
+    }
+}
 
-    /// Inserts edge `(i, j)` and incrementally updates all scores.
-    fn insert_edge(&mut self, i: u32, j: u32) -> Result<UpdateStats, UpdateError>;
+impl<T: MatrixAccess> SingleSourceQuery for T {
+    fn single_source(&self, a: u32) -> Vec<RankedNode> {
+        self.view().single_source(a)
+    }
 
-    /// Deletes edge `(i, j)` and incrementally updates all scores.
-    fn remove_edge(&mut self, i: u32, j: u32) -> Result<UpdateStats, UpdateError>;
+    fn similar_above(&self, a: u32, threshold: f64) -> Vec<RankedNode> {
+        self.view().similar_above(a, threshold)
+    }
+}
 
-    /// Appends an isolated node, growing the score matrix (extension beyond
-    /// the paper, which fixes the node set). The new node's only nonzero
-    /// score is its diagonal `1 − C`.
-    fn add_node(&mut self) -> u32;
+impl<T: MatrixAccess> TopKQuery for T {
+    fn top_k(&self, a: u32, k: usize) -> Vec<RankedNode> {
+        self.view().top_k(a, k)
+    }
+}
 
-    /// Applies one [`UpdateOp`].
-    fn apply(&mut self, op: UpdateOp) -> Result<UpdateStats, UpdateError> {
-        match op {
-            UpdateOp::Insert(u, v) => self.insert_edge(u, v),
-            UpdateOp::Delete(u, v) => self.remove_edge(u, v),
+/// An engine that maintains SimRank answers on an evolving graph — the
+/// composition of the capability traits, and the object-safe surface
+/// the `incsim::api` service layer drives through
+/// `Box<dyn SimRankMaintainer>`.
+///
+/// Every engine mutates through [`GraphSink`] and answers the three
+/// query capabilities ([`PairQuery`], [`SingleSourceQuery`],
+/// [`TopKQuery`]); whether it *also* maintains the dense matrix is
+/// discoverable at runtime through [`Self::matrix`] — `Some` for the
+/// four exact/factored engines ([`crate::IncSr`], [`crate::IncUSr`],
+/// Inc-SVD, batch recompute), `None` for the matrix-free probe engine
+/// ([`crate::ProbeSim`]). Consumers needing dense state must go through
+/// the capability probe and degrade gracefully (return the documented
+/// [`CapabilityError`], never panic) when it is absent.
+pub trait SimRankMaintainer: GraphSink + PairQuery + SingleSourceQuery + TopKQuery {
+    /// The dense-matrix capability, when this engine maintains the full
+    /// `n × n` score matrix. `None` for matrix-free engines.
+    fn matrix(&self) -> Option<&dyn MatrixAccess> {
+        None
+    }
+
+    /// Mutable access to the dense-matrix capability (flush, mode
+    /// switches, recompression). `None` for matrix-free engines.
+    fn matrix_mut(&mut self) -> Option<&mut dyn MatrixAccess> {
+        None
+    }
+
+    /// An **owned** frozen query surface over the current state — epoch
+    /// material for concurrent serving, from *any* engine. Matrix
+    /// engines freeze `S_base + Δ` (the default); matrix-free engines
+    /// must override with their own walk-state snapshot.
+    fn snapshot_query(&self) -> std::sync::Arc<dyn SnapshotQuery> {
+        match self.matrix() {
+            Some(m) => std::sync::Arc::new(m.snapshot_view()),
+            // An engine must expose one of the two snapshot sources; this
+            // is a contract violation in the engine, not a user error.
+            None => panic!(
+                "engine {} implements neither MatrixAccess nor snapshot_query",
+                self.name()
+            ),
         }
     }
 
-    /// Applies a batch update `ΔG` as the sequence of its unit updates
-    /// (the decomposition described in §V of the paper). Stops at the first
-    /// invalid op, leaving the engine consistent with the ops applied so far.
-    fn apply_batch(&mut self, ops: &[UpdateOp]) -> Result<Vec<UpdateStats>, UpdateError> {
-        let mut stats = Vec::with_capacity(ops.len());
-        for &op in ops {
-            stats.push(self.apply(op)?);
-        }
-        Ok(stats)
+    /// Sampling-engine counters, for engines without an apply pipeline
+    /// (`None` for matrix engines — their diagnostics live in
+    /// [`UpdateStats`] and the apply-mode counters).
+    fn walk_stats(&self) -> Option<WalkStats> {
+        None
     }
 }
 

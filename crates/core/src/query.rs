@@ -54,8 +54,9 @@ pub fn single_source(scores: &DenseMatrix, a: u32) -> Vec<RankedNode> {
 }
 
 /// Sorts candidates score-descending (ties by node id) and keeps the top
-/// `k` — the one ranking rule shared by every top-k helper here.
-fn rank_and_truncate(mut all: Vec<RankedNode>, k: usize) -> Vec<RankedNode> {
+/// `k` — the one ranking rule shared by every top-k helper here (and by
+/// the matrix-free probe engine, so rankings agree across engines).
+pub(crate) fn rank_and_truncate(mut all: Vec<RankedNode>, k: usize) -> Vec<RankedNode> {
     all.sort_by(|x, y| {
         y.score
             .partial_cmp(&x.score)
@@ -260,6 +261,78 @@ impl ScoreSnapshot {
     /// Heap bytes held by the frozen state (base matrix + factor buffer).
     pub fn heap_bytes(&self) -> usize {
         self.base.heap_bytes() + self.delta.as_ref().map_or(0, |d| d.heap_bytes())
+    }
+}
+
+/// An owned, engine-agnostic frozen query surface — what the concurrent
+/// serving layer (`incsim::serve`) parks behind an epoch.
+///
+/// Matrix engines implement it via [`ScoreSnapshot`] (a frozen
+/// `S_base + Δ` copy); matrix-free engines (the probe engine) implement
+/// it over a frozen graph copy plus their sampling parameters. Either
+/// way the object is `Send + Sync`, answers forever at the state
+/// observed when it was taken, and costs no `n²` memory unless the
+/// engine itself holds `n²` state.
+pub trait SnapshotQuery: std::fmt::Debug + Send + Sync {
+    /// Node count `n` of the frozen state.
+    fn n(&self) -> usize;
+
+    /// Similarity of one node pair.
+    ///
+    /// # Panics
+    /// Panics if either node is out of range.
+    fn pair(&self, a: u32, b: u32) -> f64;
+
+    /// Similarities of node `a`, excluding itself. Matrix snapshots list
+    /// every other node; sampling snapshots list only nodes with a
+    /// nonzero estimate (absent ⇒ score 0).
+    fn single_source(&self, a: u32) -> Vec<RankedNode>;
+
+    /// The `k` most similar nodes to `a`, descending (ties by node id).
+    fn top_k(&self, a: u32, k: usize) -> Vec<RankedNode>;
+
+    /// Nodes whose similarity to `a` is at least `threshold`, unordered.
+    fn similar_above(&self, a: u32, threshold: f64) -> Vec<RankedNode>;
+
+    /// Heap bytes held by the frozen state.
+    fn heap_bytes(&self) -> usize;
+
+    /// The underlying [`ScoreSnapshot`], when this epoch material is a
+    /// frozen matrix (`None` for matrix-free snapshots). Lets consumers
+    /// that genuinely need dense rows (exports, diagnostics) recover
+    /// them without downcasting.
+    fn score_snapshot(&self) -> Option<&ScoreSnapshot> {
+        None
+    }
+}
+
+impl SnapshotQuery for ScoreSnapshot {
+    fn n(&self) -> usize {
+        ScoreSnapshot::n(self)
+    }
+
+    fn pair(&self, a: u32, b: u32) -> f64 {
+        ScoreSnapshot::pair(self, a, b)
+    }
+
+    fn single_source(&self, a: u32) -> Vec<RankedNode> {
+        ScoreSnapshot::single_source(self, a)
+    }
+
+    fn top_k(&self, a: u32, k: usize) -> Vec<RankedNode> {
+        ScoreSnapshot::top_k(self, a, k)
+    }
+
+    fn similar_above(&self, a: u32, threshold: f64) -> Vec<RankedNode> {
+        ScoreSnapshot::similar_above(self, a, threshold)
+    }
+
+    fn heap_bytes(&self) -> usize {
+        ScoreSnapshot::heap_bytes(self)
+    }
+
+    fn score_snapshot(&self) -> Option<&ScoreSnapshot> {
+        Some(self)
     }
 }
 

@@ -24,6 +24,9 @@ pub enum SnapshotError {
     Corrupt(&'static str),
     /// The stored configuration is invalid.
     BadConfig(ConfigError),
+    /// The engine cannot be checkpointed in this format (the named
+    /// engine holds no dense score matrix — see [`crate::MatrixAccess`]).
+    Unsupported(&'static str),
 }
 
 impl std::fmt::Display for SnapshotError {
@@ -33,6 +36,11 @@ impl std::fmt::Display for SnapshotError {
             SnapshotError::BadMagic => write!(f, "not an incsim snapshot (bad magic)"),
             SnapshotError::Corrupt(what) => write!(f, "corrupt snapshot: {what}"),
             SnapshotError::BadConfig(e) => write!(f, "snapshot holds invalid config: {e}"),
+            SnapshotError::Unsupported(engine) => write!(
+                f,
+                "engine {engine} holds no score matrix; the INCSIM01 checkpoint \
+                 format does not apply (rebuild it from the graph instead)"
+            ),
         }
     }
 }
@@ -142,16 +150,27 @@ pub fn load<R: Read>(mut r: R) -> Result<Snapshot, SnapshotError> {
     })
 }
 
-/// Checkpoints any engine behind the [`SimRankMaintainer`] trait:
-/// materialises pending deferred ΔS first (this ends a lazy window), then
-/// writes the `(graph, scores, config)` triple — a checkpoint can never
-/// capture a stale base matrix.
+/// Checkpoints any matrix-backed engine behind the [`SimRankMaintainer`]
+/// trait: materialises pending deferred ΔS first (this ends a lazy
+/// window), then writes the `(graph, scores, config)` triple — a
+/// checkpoint can never capture a stale base matrix.
+///
+/// # Errors
+/// Returns [`SnapshotError::Unsupported`] for engines without the
+/// [`crate::MatrixAccess`] capability (e.g. the matrix-free probe
+/// engine): their whole state *is* the graph, so the dense checkpoint
+/// format has nothing to store.
 pub fn save_engine<W: Write>(
     engine: &mut dyn SimRankMaintainer,
     w: W,
 ) -> Result<(), SnapshotError> {
-    engine.flush();
-    save(engine.graph(), engine.base_scores(), engine.config(), w)
+    let name = engine.name();
+    let (graph, config) = (engine.graph().clone(), *engine.config());
+    let matrix = engine
+        .matrix_mut()
+        .ok_or(SnapshotError::Unsupported(name))?;
+    matrix.flush();
+    save(&graph, matrix.base_scores(), &config, w)
 }
 
 impl crate::IncSr {
@@ -183,7 +202,7 @@ impl crate::IncUSr {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{batch_simrank, IncSr, SimRankMaintainer};
+    use crate::{batch_simrank, GraphSink, IncSr, MatrixAccess, ProbeSim};
 
     fn fixture() -> (DiGraph, DenseMatrix, SimRankConfig) {
         let g = DiGraph::from_edges(5, &[(0, 2), (1, 2), (2, 3), (3, 4)]);
@@ -230,6 +249,18 @@ mod tests {
             load(truncated.as_slice()),
             Err(SnapshotError::Io(_))
         ));
+    }
+
+    #[test]
+    fn matrix_free_engine_is_unsupported_not_a_panic() {
+        let (g, _, cfg) = fixture();
+        let mut engine = ProbeSim::new(g, cfg);
+        let mut buf = Vec::new();
+        match save_engine(&mut engine, &mut buf) {
+            Err(SnapshotError::Unsupported(name)) => assert_eq!(name, "Probe"),
+            other => panic!("expected Unsupported, got {other:?}"),
+        }
+        assert!(buf.is_empty(), "nothing written");
     }
 
     #[test]

@@ -254,7 +254,7 @@ fn push_candidate(buf: &mut Vec<TopPair>, k: usize, p: TopPair) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{batch_simrank, IncSr, SimRankConfig, SimRankMaintainer};
+    use crate::{batch_simrank, GraphSink, IncSr, MatrixAccess, SimRankConfig};
     use incsim_graph::DiGraph;
 
     fn full_scan(scores: &DenseMatrix, k: usize) -> Vec<(u32, u32)> {

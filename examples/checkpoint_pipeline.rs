@@ -39,7 +39,7 @@ fn main() {
         .config(cfg)
         .from_graph(base)
         .expect("engine constructs");
-    let mut topk = TopKTracker::new(sim.view().base(), 8);
+    let mut topk = TopKTracker::new(sim.view().expect("dense engine").base(), 8);
     println!(
         "day 0: {} edges, top pair = ({}, {}) @ {:.4}",
         sim.graph().edge_count(),
@@ -59,7 +59,7 @@ fn main() {
         let ops = timeline.updates_between(t0, t1);
         for op in &ops {
             sim.update(*op).expect("timeline stream is valid");
-            topk.update_view(&sim.view(), &[]);
+            topk.update_view(&sim.view().expect("dense engine"), &[]);
         }
         let best = topk.entries()[0];
         println!(
@@ -78,7 +78,7 @@ fn main() {
     );
     // The locally-repaired ranking matches a from-scratch scan of the
     // effective (base + pending Δ) scores.
-    let full = incsim::metrics::top_k_pairs(&sim.view().materialise(), 8);
+    let full = incsim::metrics::top_k_pairs(&sim.view().expect("dense engine").materialise(), 8);
     assert_eq!(
         topk.entries()[0].a,
         full[0].a,
@@ -98,7 +98,13 @@ fn main() {
         .from_snapshot(checkpoint.as_slice())
         .expect("restore");
     assert_eq!(restored.graph(), sim.graph());
-    assert!(restored.scores().max_abs_diff(sim.scores()) == 0.0);
+    assert!(
+        restored
+            .scores()
+            .expect("dense engine")
+            .max_abs_diff(sim.scores().expect("dense engine"))
+            == 0.0
+    );
     let more = timeline.updates_between(350, 360);
     restored.update_batch(&more).expect("stream valid");
     println!(
@@ -108,7 +114,7 @@ fn main() {
     );
 
     // The maintained ranking still matches a from-scratch scan.
-    let fresh = incsim::metrics::top_k_pairs(restored.scores(), 8);
+    let fresh = incsim::metrics::top_k_pairs(restored.scores().expect("dense engine"), 8);
     println!(
         "post-restart top pair = ({}, {}) @ {:.4} (full-scan verified)",
         fresh[0].a, fresh[0].b, fresh[0].score

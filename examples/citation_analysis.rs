@@ -62,7 +62,7 @@ fn main() {
 
     // Query: which paper pairs are most related right now?
     println!("\ntop-5 most related paper pairs (by SimRank):");
-    for p in top_k_pairs(sim.scores(), 5) {
+    for p in top_k_pairs(sim.scores().expect("dense engine"), 5) {
         println!("  papers #{:<3} ~ #{:<3}  s = {:.4}", p.a, p.b, p.score);
     }
 
@@ -79,7 +79,7 @@ fn main() {
     let fresh = batch_simrank(sim.graph(), sim.config());
     println!(
         "\nmax drift vs from-scratch batch after all years: {:.2e}",
-        sim.scores().max_abs_diff(&fresh)
+        sim.scores().expect("dense engine").max_abs_diff(&fresh)
     );
     let c = sim.counters();
     println!(

@@ -1,11 +1,13 @@
 //! Engine showdown: exactness and cost of every incremental SimRank engine
 //! on the same update stream — a miniature of the paper's whole evaluation.
 //!
-//! Runs all four `EngineKind`s — Inc-SR (pruned, exact), Inc-uSR
-//! (unpruned, exact), Inc-SVD (Li et al., approximate) and the Batch
-//! recompute comparator — through one `SimRank` service handle each,
-//! against from-scratch batch truth, printing per-engine error, NDCG₁₀,
-//! time, and intermediate memory.
+//! Runs all five `EngineKind`s — Inc-SR (pruned, exact), Inc-uSR
+//! (unpruned, exact), Inc-SVD (Li et al., approximate), the Batch
+//! recompute comparator, and the matrix-free Probe sampler — through one
+//! `SimRank` service handle each, against from-scratch batch truth,
+//! printing per-engine error, NDCG₁₀, time, and intermediate memory.
+//! (Probe holds no score matrix, so its row reports sampled spot-check
+//! deviation instead of a full-matrix error.)
 //!
 //! ```bash
 //! cargo run --release --example engine_showdown
@@ -51,6 +53,7 @@ fn main() {
         (EngineKind::IncSvd, 5),
         (EngineKind::IncSvd, 15),
         (EngineKind::Naive, 0),
+        (EngineKind::Probe, 0),
     ] {
         let mut builder = SimRankBuilder::new().algorithm(kind).config(cfg);
         if kind == EngineKind::IncSvd {
@@ -79,15 +82,33 @@ fn main() {
         } else {
             sim.engine_name().to_string()
         };
+        if sim.is_matrix_free() {
+            // No matrix to diff: spot-check sampled pairs against truth.
+            let n = sim.graph().node_count() as u32;
+            let mut spot_dev = 0.0f64;
+            for t in 0..8u32 {
+                let (a, b) = ((t * 37) % n, (t * 59 + 11) % n);
+                spot_dev = spot_dev.max((sim.pair(a, b) - truth.get(a as usize, b as usize)).abs());
+            }
+            let c = sim.counters();
+            println!(
+                "{label:<12}  time {:>8}  spot-dev {:.2e} (8 sampled pairs)  walks {}  heap {:>8}",
+                fmt_duration(elapsed),
+                spot_dev,
+                c.walks_sampled,
+                fmt_bytes(sim.graph().heap_bytes()),
+            );
+            continue;
+        }
         println!(
             "{label:<12}  time {:>8}  max-err {:.2e}  NDCG10 {:.3}  intermediate {:>8}",
             fmt_duration(elapsed),
-            max_error(sim.scores(), &truth),
-            ndcg_at_k(&truth, sim.scores(), 10),
+            max_error(sim.scores().expect("dense engine"), &truth),
+            ndcg_at_k(&truth, sim.scores().expect("dense engine"), 10),
             fmt_bytes(peak),
         );
         if rank == 0 {
-            final_scores.push((kind, sim.scores().clone()));
+            final_scores.push((kind, sim.scores().expect("dense engine").clone()));
         }
     }
 

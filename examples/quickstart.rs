@@ -77,6 +77,6 @@ fn main() {
 
     // Sanity: the maintained scores equal a from-scratch batch run.
     let fresh = batch_simrank(sim.graph(), sim.config());
-    let drift = sim.scores().max_abs_diff(&fresh);
+    let drift = sim.scores().expect("dense engine").max_abs_diff(&fresh);
     println!("max drift vs from-scratch batch: {drift:.2e}  (bounded by ~C^K per update)");
 }

@@ -72,7 +72,7 @@ fn main() {
     );
     println!(
         "max drift of maintained scores vs batch: {:.2e}",
-        sim.scores().max_abs_diff(&fresh)
+        sim.scores().expect("dense engine").max_abs_diff(&fresh)
     );
 
     // Recommend: top related videos for a channel's flagship video — one

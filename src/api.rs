@@ -3,20 +3,30 @@
 //! Dynamic-SimRank services expose three things — *update*, *query*,
 //! *snapshot* — and nothing else. This module is that surface: a
 //! [`SimRank`] handle built with [`SimRankBuilder`], dispatching over any
-//! of the four engines behind the object-safe
-//! [`SimRankMaintainer`](incsim_core::SimRankMaintainer) trait. Callers
-//! never pick an engine struct, never choose between "plain" and "lazy"
-//! query functions, and never have to remember to `flush()`:
+//! of the five engines behind the object-safe
+//! [`SimRankMaintainer`](incsim_core::SimRankMaintainer) capability
+//! bundle. Callers never pick an engine struct, never choose between
+//! "plain" and "lazy" query functions, and never have to remember to
+//! `flush()`:
 //!
 //! * **Updates** go through [`SimRank::update`] / [`SimRank::insert`] /
 //!   [`SimRank::remove`] / [`SimRank::update_batch`].
 //! * **Queries** ([`SimRank::pair`], [`SimRank::single_source`],
-//!   [`SimRank::top_k`], [`SimRank::similar_above`]) read through a
+//!   [`SimRank::top_k`], [`SimRank::similar_above`]) dispatch through the
+//!   engine's query capabilities. Matrix-backed engines answer through a
 //!   [`ScoreView`] composing `S_base + pending ΔS`, so the answers are
 //!   identical under every [`ApplyPolicy`] — a deferred update can never
-//!   be observed as a stale score.
+//!   be observed as a stale score. The matrix-free
+//!   [`EngineKind::Probe`] engine samples its answers on demand within a
+//!   documented `(1 ± ε)`.
 //! * **Snapshots** ([`SimRank::snapshot`] / [`SimRankBuilder::from_snapshot`])
 //!   materialise pending ΔS and persist `(graph, scores, config)`.
+//!
+//! Dense-matrix extras — [`SimRank::scores`], [`SimRank::view`],
+//! [`SimRank::snapshot_view`], [`SimRank::snapshot`] — require the
+//! engine's `MatrixAccess` capability and return
+//! `Result`/`Option`/[`SnapshotError::Unsupported`] when it is absent
+//! (they never panic); everything else works on every engine.
 //!
 //! ## Apply policies
 //!
@@ -105,8 +115,9 @@ use crate::baselines::{BatchRecompute, IncSvd, IncSvdOptions};
 use crate::core::query::RankedNode;
 use crate::core::snapshot::{load, save_engine, Snapshot, SnapshotError};
 use crate::core::{
-    batch_simrank, ApplyMode, IncSr, IncUSr, ScoreSnapshot, ScoreView, SimRankConfig,
-    SimRankMaintainer, UpdateError, UpdateStats,
+    batch_simrank, ApplyMode, CapabilityError, IncSr, IncUSr, ProbeOptions, ProbeSim,
+    ScoreSnapshot, ScoreView, SimRankConfig, SimRankMaintainer, SnapshotQuery, UpdateError,
+    UpdateStats,
 };
 use crate::graph::{DiGraph, UpdateOp};
 use crate::linalg::DenseMatrix;
@@ -128,16 +139,33 @@ pub enum EngineKind {
     /// The **Batch** comparator: recompute from scratch per update.
     /// Exact and slow; the ground-truth anchor.
     Naive,
+    /// The **Probe** engine: matrix-free ProbeSim-style Monte-Carlo
+    /// sampling (see [`incsim_core::probe`]). `O(n + m)` state, `O(deg)`
+    /// updates, answers within a documented `(1 ± ε)` of the K-truncated
+    /// batch scores — the only engine here that scales past dense-matrix
+    /// memory. No [`MatrixAccess`](incsim_core::MatrixAccess): the
+    /// dense-matrix extras return their documented absence values.
+    Probe,
 }
 
 impl EngineKind {
-    /// All four kinds, in the order the paper's tables list them.
-    pub const ALL: [EngineKind; 4] = [
+    /// All five kinds: the paper's four in table order, then the
+    /// matrix-free probe extension.
+    pub const ALL: [EngineKind; 5] = [
         EngineKind::IncSr,
         EngineKind::IncUSr,
         EngineKind::IncSvd,
         EngineKind::Naive,
+        EngineKind::Probe,
     ];
+
+    /// `true` for engines that keep no dense score matrix (no
+    /// [`MatrixAccess`](incsim_core::MatrixAccess) capability): no batch
+    /// precomputation at build time, sampled `(1 ± ε)` answers, and the
+    /// dense-matrix extras on [`SimRank`] report absence.
+    pub fn is_matrix_free(self) -> bool {
+        matches!(self, EngineKind::Probe)
+    }
 }
 
 /// How deferred ΔS terms are applied — see the [module docs](self).
@@ -205,6 +233,7 @@ pub struct SimRankBuilder {
     policy: ApplyPolicy,
     cfg: SimRankConfig,
     svd_opts: IncSvdOptions,
+    probe_opts: ProbeOptions,
     auto_flush_rank: Option<usize>,
     compress_rank: Option<usize>,
     compress_tol: Option<f64>,
@@ -225,6 +254,7 @@ impl SimRankBuilder {
             policy: ApplyPolicy::default(),
             cfg: SimRankConfig::paper_default(),
             svd_opts: IncSvdOptions::default(),
+            probe_opts: ProbeOptions::default(),
             auto_flush_rank: None,
             compress_rank: None,
             compress_tol: None,
@@ -254,6 +284,18 @@ impl SimRankBuilder {
     pub fn svd_options(mut self, opts: IncSvdOptions) -> Self {
         self.svd_opts = opts;
         self
+    }
+
+    /// Sampling options for the [`EngineKind::Probe`] engine — walk
+    /// counts, probe pruning, RNG seed (ignored otherwise).
+    pub fn probe_options(mut self, opts: ProbeOptions) -> Self {
+        self.probe_opts = opts;
+        self
+    }
+
+    /// The selected engine kind.
+    pub fn kind(&self) -> EngineKind {
+        self.kind
     }
 
     /// Pending-ΔS rank at which deferred buffers are force-materialised
@@ -307,8 +349,13 @@ impl SimRankBuilder {
 
     /// Terminal: builds a [`ShardedSimRank`](crate::serve::ShardedSimRank)
     /// router over [`Self::shards`] per-shard engines, batch-computing the
-    /// initial scores once and seeding every shard with them.
+    /// initial scores once and seeding every shard with them. Matrix-free
+    /// kinds skip the precomputation entirely (each shard just clones the
+    /// graph — no `n²` allocation anywhere on the path).
     pub fn build_sharded(self, graph: DiGraph) -> Result<crate::serve::ShardedSimRank, BuildError> {
+        if self.kind.is_matrix_free() {
+            return crate::serve::ShardedSimRank::build_internal(self, graph, None);
+        }
         let scores = batch_simrank(&graph, &self.cfg);
         crate::serve::ShardedSimRank::with_scores(self, graph, scores)
     }
@@ -326,7 +373,13 @@ impl SimRankBuilder {
 
     /// Builds the handle, batch-computing the initial scores from `graph`
     /// (the paper's workflow: precompute once, then maintain forever).
+    /// Matrix-free kinds ([`EngineKind::Probe`]) skip the `O(K·d·n²)`
+    /// precomputation — and its `n²` allocation — entirely.
     pub fn from_graph(self, graph: DiGraph) -> Result<SimRank, BuildError> {
+        if self.kind.is_matrix_free() {
+            let engine = self.make_engine(graph, None)?;
+            return Ok(SimRank::from_engine(engine, self));
+        }
         let scores = batch_simrank(&graph, &self.cfg);
         self.with_scores(graph, scores)
     }
@@ -335,8 +388,9 @@ impl SimRankBuilder {
     /// restored checkpoint), skipping the batch precomputation.
     ///
     /// [`EngineKind::IncSvd`] derives its scores from its own truncated
-    /// factorisation of `Q`, so for that engine the offered matrix is only
-    /// shape-checked and then discarded.
+    /// factorisation of `Q`, and [`EngineKind::Probe`] keeps no scores at
+    /// all, so for those engines the offered matrix is only shape-checked
+    /// and then discarded.
     pub fn with_scores(self, graph: DiGraph, scores: DenseMatrix) -> Result<SimRank, BuildError> {
         let n = graph.node_count();
         if scores.rows() != n || scores.cols() != n {
@@ -346,16 +400,40 @@ impl SimRankBuilder {
                 cols: scores.cols(),
             });
         }
-        let engine: Box<dyn SimRankMaintainer + Send> = match self.kind {
-            EngineKind::IncSr => Box::new(IncSr::new(graph, scores, self.cfg)),
-            EngineKind::IncUSr => Box::new(IncUSr::new(graph, scores, self.cfg)),
+        let engine = self.make_engine(graph, Some(scores))?;
+        Ok(SimRank::from_engine(engine, self))
+    }
+
+    /// Constructs the bare engine. `scores` of `None` means "compute if
+    /// the kind needs them" — the sharded router uses this so matrix-free
+    /// shards never see (or pay for) an `n²` buffer.
+    pub(crate) fn make_engine(
+        &self,
+        graph: DiGraph,
+        scores: Option<DenseMatrix>,
+    ) -> Result<Box<dyn SimRankMaintainer + Send>, BuildError> {
+        let need_scores = |scores: Option<DenseMatrix>, graph: &DiGraph| {
+            scores.unwrap_or_else(|| batch_simrank(graph, &self.cfg))
+        };
+        Ok(match self.kind {
+            EngineKind::IncSr => {
+                let s = need_scores(scores, &graph);
+                Box::new(IncSr::new(graph, s, self.cfg))
+            }
+            EngineKind::IncUSr => {
+                let s = need_scores(scores, &graph);
+                Box::new(IncUSr::new(graph, s, self.cfg))
+            }
             EngineKind::IncSvd => Box::new(
                 IncSvd::new(graph, self.cfg, self.svd_opts)
                     .map_err(|e| BuildError::Engine(e.into()))?,
             ),
-            EngineKind::Naive => Box::new(BatchRecompute::new(graph, scores, self.cfg)),
-        };
-        Ok(SimRank::from_engine(engine, self))
+            EngineKind::Naive => {
+                let s = need_scores(scores, &graph);
+                Box::new(BatchRecompute::new(graph, s, self.cfg))
+            }
+            EngineKind::Probe => Box::new(ProbeSim::with_options(graph, self.cfg, self.probe_opts)),
+        })
     }
 
     /// Builds the handle from a checkpoint previously written by
@@ -388,6 +466,16 @@ pub struct ModeCounters {
     pub recompressions: usize,
     /// Queries served (all paths: pair, single-source, top-k, view).
     pub queries: usize,
+    /// Updates absorbed by engines without an apply pipeline (matrix-free
+    /// walk engines): pure graph edits, **not** double-counted in the
+    /// eager/fused/lazy buckets — those stay strictly "ΔS apply routes".
+    pub walk_updates: u64,
+    /// Reverse walks sampled by matrix-free engines while answering
+    /// queries (both sides of a pair query count).
+    pub walks_sampled: u64,
+    /// Probe-tree edge expansions performed by matrix-free engines while
+    /// answering single-source / top-k queries.
+    pub probe_expansions: u64,
 }
 
 impl ModeCounters {
@@ -400,6 +488,9 @@ impl ModeCounters {
         self.rank_cap_flushes += other.rank_cap_flushes;
         self.recompressions += other.recompressions;
         self.queries += other.queries;
+        self.walk_updates += other.walk_updates;
+        self.walks_sampled += other.walks_sampled;
+        self.probe_expansions += other.probe_expansions;
     }
 }
 
@@ -441,34 +532,64 @@ impl SimRank {
     pub const DEFAULT_COMPRESS_TOL: f64 = 1e-13;
 
     fn from_engine(engine: Box<dyn SimRankMaintainer + Send>, b: SimRankBuilder) -> Self {
-        let n = engine.base_scores().rows();
-        let nnz = engine.base_scores().count_nonzero(b.cfg.zero_tol);
+        // γ-density prior: the base matrix's own density where there is
+        // one. A matrix-free engine has no apply pipeline to route, so
+        // the prior is inert — 1.0 keeps the signal well-defined.
+        let last_gamma_density = match engine.matrix() {
+            Some(m) => {
+                let n = m.base_scores().rows();
+                let nnz = m.base_scores().count_nonzero(b.cfg.zero_tol);
+                nnz as f64 / ((n * n).max(1)) as f64
+            }
+            None => 1.0,
+        };
         let mut svc = SimRank {
             engine,
             policy: b.policy,
             counters: ModeCounters::default(),
             queries_since_update: Cell::new(0),
-            last_gamma_density: nnz as f64 / ((n * n).max(1)) as f64,
+            last_gamma_density,
             flush_rank: b.auto_flush_rank.unwrap_or(8 * (b.cfg.iterations + 1)),
             compress_rank: b.compress_rank,
             compress_tol: b.compress_tol.unwrap_or(Self::DEFAULT_COMPRESS_TOL),
             compressed_floor: 0,
         };
-        // Fixed policies pin the engine mode once, up front.
-        match svc.policy {
-            ApplyPolicy::Eager => svc.engine.set_mode(ApplyMode::Eager),
-            ApplyPolicy::Fused => svc.engine.set_mode(ApplyMode::Fused),
-            ApplyPolicy::Lazy | ApplyPolicy::Auto => {}
+        // Fixed policies pin the engine mode once, up front (a no-op for
+        // engines without deferred-apply state).
+        if let Some(m) = svc.engine.matrix_mut() {
+            match svc.policy {
+                ApplyPolicy::Eager => m.set_mode(ApplyMode::Eager),
+                ApplyPolicy::Fused => m.set_mode(ApplyMode::Fused),
+                ApplyPolicy::Lazy | ApplyPolicy::Auto => {}
+            }
         }
         svc
     }
 
+    /// `true` when the engine keeps no dense score matrix (no
+    /// `MatrixAccess` capability): the dense-matrix extras below report
+    /// absence, and the apply-policy machinery is inert.
+    pub fn is_matrix_free(&self) -> bool {
+        self.engine.matrix().is_none()
+    }
+
+    fn missing_matrix(&self) -> CapabilityError {
+        CapabilityError {
+            engine: self.engine.name(),
+            capability: "MatrixAccess",
+        }
+    }
+
     // ---- updates ------------------------------------------------------
 
-    /// Applies one link update, routing it per the active policy.
+    /// Applies one link update, routing it per the active policy. On a
+    /// matrix-free engine the policy is inert: the update is a pure graph
+    /// edit regardless.
     pub fn update(&mut self, op: UpdateOp) -> Result<UpdateStats, UpdateError> {
         let mode = self.route_unit();
-        self.engine.set_mode(mode);
+        if let Some(m) = self.engine.matrix_mut() {
+            m.set_mode(mode);
+        }
         let stats = self.engine.apply(op)?;
         self.note_update(&stats);
         Ok(stats)
@@ -504,7 +625,9 @@ impl SimRank {
             }
             return Ok(stats);
         }
-        self.engine.set_mode(mode);
+        if let Some(m) = self.engine.matrix_mut() {
+            m.set_mode(mode);
+        }
         let result = self.engine.apply_batch(ops);
         match &result {
             Ok(stats) => {
@@ -537,43 +660,53 @@ impl SimRank {
         // cost drops to O(rank), memory plateaus), materialising only
         // when compression is not armed or cannot get back under the cap.
         if matches!(self.policy, ApplyPolicy::Lazy | ApplyPolicy::Auto) {
-            let pending = self.engine.pending_rank();
-            // Compression never grows the buffer and pushes only grow it,
-            // so pending below the floor proves a flush ran behind our
-            // back (an engine-internal one: a mode-change materialisation,
-            // `scores()`, `snapshot()`): the hysteresis floor is stale —
-            // drop it so the fresh window compresses on schedule.
-            if pending < self.compressed_floor {
-                self.compressed_floor = 0;
-            }
-            // Doubling hysteresis on both trigger paths: once a
-            // compression has run, wait until the buffer doubles past its
-            // result before paying for another pass — a window whose
-            // numerical rank plateaus (whether incompressible or merely
-            // barely-compressible) is not refactorised per update.
-            let rearmed = pending >= 2 * self.compressed_floor;
-            let compress_now = match self.compress_rank {
-                Some(rank) => pending >= rank && rearmed,
-                // Auto without the explicit knob: at the flush cap of a
-                // query-dominated window, recompression is the cheaper
-                // way to keep serving lazily; when the hysteresis says a
-                // pass would not shrink the buffer meaningfully, the
-                // flush below bounds it instead.
-                None => {
-                    self.policy == ApplyPolicy::Auto
-                        && pending >= self.flush_rank
-                        && rearmed
-                        && self.queries_since_update.get() >= Self::AUTO_QUERY_HEAVY
+            let policy = self.policy;
+            let flush_rank = self.flush_rank;
+            let compress_rank = self.compress_rank;
+            let compress_tol = self.compress_tol;
+            let queries = self.queries_since_update.get();
+            // Matrix-free engines have no deferred buffer to bound.
+            if let Some(m) = self.engine.matrix_mut() {
+                let pending = m.pending_rank();
+                // Compression never grows the buffer and pushes only grow
+                // it, so pending below the floor proves a flush ran behind
+                // our back (an engine-internal one: a mode-change
+                // materialisation, `scores()`, `snapshot()`): the
+                // hysteresis floor is stale — drop it so the fresh window
+                // compresses on schedule.
+                if pending < self.compressed_floor {
+                    self.compressed_floor = 0;
                 }
-            };
-            if compress_now && pending > 0 {
-                self.compressed_floor = self.engine.compress_pending(self.compress_tol);
-                self.counters.recompressions += 1;
-            }
-            if self.engine.pending_rank() >= self.flush_rank {
-                self.engine.flush();
-                self.counters.rank_cap_flushes += 1;
-                self.compressed_floor = 0;
+                // Doubling hysteresis on both trigger paths: once a
+                // compression has run, wait until the buffer doubles past
+                // its result before paying for another pass — a window
+                // whose numerical rank plateaus (whether incompressible or
+                // merely barely-compressible) is not refactorised per
+                // update.
+                let rearmed = pending >= 2 * self.compressed_floor;
+                let compress_now = match compress_rank {
+                    Some(rank) => pending >= rank && rearmed,
+                    // Auto without the explicit knob: at the flush cap of
+                    // a query-dominated window, recompression is the
+                    // cheaper way to keep serving lazily; when the
+                    // hysteresis says a pass would not shrink the buffer
+                    // meaningfully, the flush below bounds it instead.
+                    None => {
+                        policy == ApplyPolicy::Auto
+                            && pending >= flush_rank
+                            && rearmed
+                            && queries >= Self::AUTO_QUERY_HEAVY
+                    }
+                };
+                if compress_now && pending > 0 {
+                    self.compressed_floor = m.compress_pending(compress_tol);
+                    self.counters.recompressions += 1;
+                }
+                if m.pending_rank() >= flush_rank {
+                    m.flush();
+                    self.counters.rank_cap_flushes += 1;
+                    self.compressed_floor = 0;
+                }
             }
         }
         match self.policy {
@@ -600,6 +733,14 @@ impl SimRank {
     fn note_update(&mut self, stats: &UpdateStats) {
         self.counters.queries += self.queries_since_update.get();
         self.queries_since_update.set(0);
+        // Matrix-free updates are pure graph edits: no ΔS was applied in
+        // *any* mode, so crediting an eager/fused/lazy bucket would
+        // misreport. They are accounted as `walk_updates` instead (read
+        // back from the engine's own stats in [`Self::counters`]); the
+        // γ-density signal likewise stays untouched.
+        if self.engine.matrix().is_none() {
+            return;
+        }
         self.last_gamma_density = stats.gamma_density;
         match stats.applied_mode {
             ApplyMode::Eager => self.counters.eager_updates += 1,
@@ -615,81 +756,111 @@ impl SimRank {
             .set(self.queries_since_update.get() + 1);
     }
 
-    /// Similarity of one node pair. `O(1)` materialised, `O(r)` during a
-    /// deferred window — never an `n²` apply.
+    /// Similarity of one node pair, through the engine's [`PairQuery`]
+    /// capability: matrix engines read `S_base + Δ` exactly (`O(1)`
+    /// materialised, `O(r)` during a deferred window — never an `n²`
+    /// apply); the probe engine samples a `(1 ± ε)` estimate on demand.
+    ///
+    /// [`PairQuery`]: incsim_core::PairQuery
     ///
     /// # Panics
     /// Panics if either node is out of range.
     pub fn pair(&self, a: u32, b: u32) -> f64 {
         self.count_query();
-        self.engine.view().pair(a, b)
+        self.engine.pair_score(a, b)
     }
 
-    /// All similarities of one node, excluding itself.
+    /// All similarities of one node, excluding itself. Sampling engines
+    /// list only nodes with a nonzero estimate (absent ⇒ 0).
     pub fn single_source(&self, a: u32) -> Vec<RankedNode> {
         self.count_query();
-        self.engine.view().single_source(a)
+        self.engine.single_source(a)
     }
 
     /// The `k` most similar nodes to `a`, descending (ties by node id).
     pub fn top_k(&self, a: u32, k: usize) -> Vec<RankedNode> {
         self.count_query();
-        self.engine.view().top_k(a, k)
+        self.engine.top_k(a, k)
     }
 
     /// Nodes whose similarity to `a` is at least `threshold`, unordered.
     pub fn similar_above(&self, a: u32, threshold: f64) -> Vec<RankedNode> {
         self.count_query();
-        self.engine.view().similar_above(a, threshold)
+        self.engine.similar_above(a, threshold)
     }
 
     /// A raw [`ScoreView`] over the current state, for bulk readers (the
     /// top-k tracker, exporters). Counted as one query for routing.
-    pub fn view(&self) -> ScoreView<'_> {
+    /// `None` when the engine is matrix-free — use the query methods,
+    /// which work on every engine.
+    pub fn view(&self) -> Option<ScoreView<'_>> {
         self.count_query();
-        self.engine.view()
+        self.engine.matrix().map(|m| m.view())
     }
 
-    /// An owned, frozen [`ScoreSnapshot`] of the current state — epoch
-    /// material for the concurrent serving layer ([`crate::serve`]). Not
-    /// counted as a query: epoch publication is maintenance traffic, not
-    /// workload signal.
-    pub fn snapshot_view(&self) -> ScoreSnapshot {
-        self.engine.snapshot_view()
+    /// An owned, frozen [`ScoreSnapshot`] of the current state, or `None`
+    /// when the engine is matrix-free (use [`Self::snapshot_query`] for
+    /// the engine-agnostic frozen handle). Not counted as a query: epoch
+    /// publication is maintenance traffic, not workload signal.
+    pub fn snapshot_view(&self) -> Option<ScoreSnapshot> {
+        self.engine.matrix().map(|m| m.snapshot_view())
+    }
+
+    /// An engine-agnostic frozen query handle — the epoch material of the
+    /// concurrent serving layer ([`crate::serve`]). Matrix engines freeze
+    /// an owned `S_base + Δ` snapshot (`n²` bytes); the probe engine
+    /// freezes its graph (`O(n + m)` bytes) and keeps sampling against
+    /// it. Works on every engine; not counted as a query.
+    pub fn snapshot_query(&self) -> std::sync::Arc<dyn SnapshotQuery> {
+        self.engine.snapshot_query()
     }
 
     /// The materialised score matrix: any pending ΔS is applied first, so
     /// this is never stale — but it also ends a lazy window; prefer the
-    /// query methods unless the full matrix is genuinely needed.
-    pub fn scores(&mut self) -> &DenseMatrix {
-        self.engine.scores()
+    /// query methods unless the full matrix is genuinely needed. Errors
+    /// (never panics) on matrix-free engines, which have no such matrix.
+    pub fn scores(&mut self) -> Result<&DenseMatrix, CapabilityError> {
+        let err = self.missing_matrix();
+        match self.engine.matrix_mut() {
+            Some(m) => Ok(m.scores()),
+            None => Err(err),
+        }
     }
 
     // ---- snapshot & introspection -------------------------------------
 
     /// Checkpoints `(graph, scores, config)` — pending ΔS materialised
-    /// first. Restore with [`SimRankBuilder::from_snapshot`].
+    /// first. Restore with [`SimRankBuilder::from_snapshot`]. Returns
+    /// [`SnapshotError::Unsupported`] (never panics) on matrix-free
+    /// engines: their whole state is the graph, so there is nothing the
+    /// dense checkpoint format could store.
     pub fn snapshot<W: Write>(&mut self, w: W) -> Result<(), SnapshotError> {
         save_engine(self.engine.as_mut(), w)
     }
 
     /// Materialises any pending deferred ΔS now; returns the number of
-    /// rank-two terms applied.
+    /// rank-two terms applied (0 on matrix-free engines — nothing is ever
+    /// pending).
     pub fn flush(&mut self) -> usize {
         self.compressed_floor = 0;
-        self.engine.flush()
+        self.engine.matrix_mut().map_or(0, |m| m.flush())
     }
 
     /// Recompresses any pending deferred ΔS **in place** to its numerical
     /// rank at the configured tolerance — unlike [`Self::flush`] the lazy
     /// window stays open and nothing is materialised. Returns the pending
-    /// rank after compression (0 when nothing was pending).
+    /// rank after compression (0 when nothing was pending, including on
+    /// matrix-free engines).
     pub fn compress(&mut self) -> usize {
-        if self.engine.pending_rank() == 0 {
+        let tol = self.compress_tol;
+        let Some(m) = self.engine.matrix_mut() else {
+            return 0;
+        };
+        if m.pending_rank() == 0 {
             return 0;
         }
+        self.compressed_floor = m.compress_pending(tol);
         self.counters.recompressions += 1;
-        self.compressed_floor = self.engine.compress_pending(self.compress_tol);
         self.compressed_floor
     }
 
@@ -704,7 +875,7 @@ impl SimRank {
     }
 
     /// The backing engine's display name (`"Inc-SR"`, `"Inc-uSR"`,
-    /// `"Inc-SVD"`, `"Batch"`).
+    /// `"Inc-SVD"`, `"Batch"`, `"Probe"`).
     pub fn engine_name(&self) -> &'static str {
         self.engine.name()
     }
@@ -714,9 +885,10 @@ impl SimRank {
         self.policy
     }
 
-    /// Rank of the pending deferred-ΔS buffer (0 when materialised).
+    /// Rank of the pending deferred-ΔS buffer (0 when materialised, and
+    /// always 0 on matrix-free engines).
     pub fn pending_rank(&self) -> usize {
-        self.engine.pending_rank()
+        self.engine.matrix().map_or(0, |m| m.pending_rank())
     }
 
     /// Heap bytes held by the pending deferred-ΔS buffer (0 when
@@ -724,13 +896,23 @@ impl SimRank {
     /// watches; with recompression armed it plateaus at the numerical
     /// rank instead of growing linearly in the window length.
     pub fn pending_heap_bytes(&self) -> usize {
-        self.engine.pending_delta().map_or(0, |d| d.heap_bytes())
+        self.engine
+            .matrix()
+            .and_then(|m| m.pending_delta())
+            .map_or(0, |d| d.heap_bytes())
     }
 
-    /// Cumulative routing counters, including the total query count.
+    /// Cumulative routing counters, including the total query count. For
+    /// matrix-free engines the eager/fused/lazy buckets stay 0 (no ΔS is
+    /// ever applied) and the walk counters carry the real accounting.
     pub fn counters(&self) -> ModeCounters {
         let mut c = self.counters;
         c.queries += self.queries_since_update.get();
+        if let Some(ws) = self.engine.walk_stats() {
+            c.walk_updates = ws.walk_updates;
+            c.walks_sampled = ws.walks_sampled;
+            c.probe_expansions = ws.probe_expansions;
+        }
         c
     }
 
@@ -748,7 +930,7 @@ impl std::fmt::Debug for SimRank {
             .field("policy", &self.policy)
             .field("nodes", &self.engine.graph().node_count())
             .field("edges", &self.engine.graph().edge_count())
-            .field("pending_rank", &self.engine.pending_rank())
+            .field("pending_rank", &self.pending_rank())
             .finish()
     }
 }
@@ -816,7 +998,7 @@ mod tests {
                 assert!((got - want).abs() < 1e-8, "pair ({a},{b})");
             }
         }
-        assert!(sim.scores().max_abs_diff(&truth) < 1e-8);
+        assert!(sim.scores().unwrap().max_abs_diff(&truth) < 1e-8);
     }
 
     #[test]
@@ -913,7 +1095,7 @@ mod tests {
         // by one update's worth of terms on top of it.
         assert!(sim.pending_rank() < cap + cfg.iterations + 1);
         let truth = batch_simrank(sim.graph(), sim.config());
-        assert!(sim.scores().max_abs_diff(&truth) < 1e-8);
+        assert!(sim.scores().unwrap().max_abs_diff(&truth) < 1e-8);
     }
 
     #[test]
@@ -1105,7 +1287,7 @@ mod tests {
         assert_eq!(sim.counters().rank_cap_flushes, expected_flushes);
         assert!(sim.pending_rank() < cap + cfg.iterations + 1);
         let truth = batch_simrank(sim.graph(), sim.config());
-        assert!(sim.scores().max_abs_diff(&truth) < 1e-8);
+        assert!(sim.scores().unwrap().max_abs_diff(&truth) < 1e-8);
     }
 
     #[test]
@@ -1143,7 +1325,7 @@ mod tests {
         assert!(stats.iter().all(|s| s.applied_mode == ApplyMode::Fused));
         assert_eq!(sim.pending_rank(), 0, "batch flushed at the end");
         let truth = batch_simrank(sim.graph(), sim.config());
-        assert!(sim.scores().max_abs_diff(&truth) < 1e-8);
+        assert!(sim.scores().unwrap().max_abs_diff(&truth) < 1e-8);
     }
 
     #[test]
@@ -1164,7 +1346,91 @@ mod tests {
             .unwrap();
         assert_eq!(restored.graph(), sim.graph());
         let truth = batch_simrank(sim.graph(), sim.config());
-        assert!(restored.scores().max_abs_diff(&truth) < 1e-8);
+        assert!(restored.scores().unwrap().max_abs_diff(&truth) < 1e-8);
+    }
+
+    fn probe_fixture() -> DiGraph {
+        // 0 ← {2,3} and 1 ← {2,4} share referrer 2 — nonzero pair scores.
+        DiGraph::from_edges(
+            7,
+            &[
+                (2, 0),
+                (3, 0),
+                (2, 1),
+                (4, 1),
+                (0, 5),
+                (1, 5),
+                (5, 6),
+                (6, 2),
+                (6, 3),
+            ],
+        )
+    }
+
+    #[test]
+    fn probe_builds_and_serves_without_a_matrix() {
+        let mut sim = SimRankBuilder::new()
+            .algorithm(EngineKind::Probe)
+            .config(SimRankConfig::new(0.6, 8).unwrap())
+            .from_graph(probe_fixture())
+            .unwrap();
+        assert!(sim.is_matrix_free());
+        assert_eq!(sim.engine_name(), "Probe");
+        sim.insert(0, 6).unwrap();
+        sim.remove(0, 6).unwrap();
+        let truth = batch_simrank(sim.graph(), sim.config());
+        assert!((sim.pair(0, 1) - truth.get(0, 1)).abs() < 0.05);
+        assert!(!sim.top_k(0, 3).is_empty());
+        let snap = sim.snapshot_query();
+        assert_eq!(snap.n(), 7);
+        assert!((snap.pair(0, 1) - truth.get(0, 1)).abs() < 0.05);
+    }
+
+    #[test]
+    fn probe_matrix_extras_report_absence_not_panic() {
+        let mut sim = SimRankBuilder::new()
+            .algorithm(EngineKind::Probe)
+            .config(SimRankConfig::new(0.6, 8).unwrap())
+            .from_graph(probe_fixture())
+            .unwrap();
+        let err = sim.scores().unwrap_err();
+        assert_eq!(err.engine, "Probe");
+        assert!(err.to_string().contains("MatrixAccess"));
+        assert!(sim.view().is_none());
+        assert!(sim.snapshot_view().is_none());
+        assert!(matches!(
+            sim.snapshot(Vec::new()),
+            Err(SnapshotError::Unsupported("Probe"))
+        ));
+        assert_eq!(sim.flush(), 0);
+        assert_eq!(sim.compress(), 0);
+        assert_eq!(sim.pending_rank(), 0);
+        assert_eq!(sim.pending_heap_bytes(), 0);
+    }
+
+    #[test]
+    fn probe_counters_use_walk_buckets_not_apply_modes() {
+        let mut sim = SimRankBuilder::new()
+            .algorithm(EngineKind::Probe)
+            .mode(ApplyPolicy::Auto)
+            .config(SimRankConfig::new(0.6, 8).unwrap())
+            .from_graph(probe_fixture())
+            .unwrap();
+        sim.insert(0, 6).unwrap();
+        sim.update_batch(&[UpdateOp::Delete(0, 6), UpdateOp::Insert(3, 5)])
+            .unwrap();
+        sim.pair(0, 1);
+        sim.single_source(0);
+        let c = sim.counters();
+        assert_eq!(c.walk_updates, 3, "three graph edits");
+        assert_eq!(
+            c.eager_updates + c.fused_updates + c.lazy_updates,
+            0,
+            "no ΔS apply ever ran — the mode buckets must not be stuffed"
+        );
+        assert!(c.walks_sampled > 0);
+        assert!(c.probe_expansions > 0);
+        assert_eq!(c.queries, 2);
     }
 
     #[test]

@@ -54,6 +54,7 @@ commands:
              --state STATE --ops FILE -o STATE_OUT
              [--algorithm incsr|incusr|incsvd|naive] [--mode auto|eager|fused|lazy]
              [--compress-at-rank R] [--compress-tol T] [--grouped true]
+             (probe is matrix-free and cannot write state files; use it in serve)
   topk       print the top-k most similar pairs
              --state STATE [-k 10]
   query      pair score or per-node ranking
@@ -61,7 +62,7 @@ commands:
   serve      multi-threaded query benchmark over the concurrent serving layer
              --state STATE [--shards N] [--readers R] [--duration-ms D]
              [--batch B] [--publish-every P]
-             [--algorithm incsr|incusr|incsvd|naive] [--mode auto|eager|fused|lazy]
+             [--algorithm incsr|incusr|incsvd|naive|probe] [--mode auto|eager|fused|lazy]
              [--compress-at-rank R] [--compress-tol T]
   info       describe a state file
              --state STATE";
@@ -229,8 +230,9 @@ fn parse_algorithm(raw: Option<&str>) -> Result<EngineKind, String> {
         "incusr" => Ok(EngineKind::IncUSr),
         "incsvd" => Ok(EngineKind::IncSvd),
         "naive" | "batch" => Ok(EngineKind::Naive),
+        "probe" => Ok(EngineKind::Probe),
         other => Err(format!(
-            "unknown algorithm {other:?} (incsr|incusr|incsvd|naive)"
+            "unknown algorithm {other:?} (incsr|incusr|incsvd|naive|probe)"
         )),
     }
 }
@@ -280,6 +282,14 @@ fn cmd_update(flags: &Flags) -> Result<(), String> {
         .unwrap_or(false);
     let algorithm = parse_algorithm(flags.get(&["--algorithm"]))?;
     let policy = parse_mode(flags.get(&["--mode"]))?;
+    if algorithm.is_matrix_free() {
+        return Err(
+            "probe is matrix-free: there is no score matrix to maintain or checkpoint, so \
+             `update` does not apply — serve it directly (incsim-cli serve --algorithm probe) \
+             or use the library API"
+                .into(),
+        );
+    }
 
     let mut text = String::new();
     File::open(ops_path)
@@ -546,10 +556,21 @@ mod tests {
             parse_algorithm(Some("naive")),
             Ok(EngineKind::Naive)
         ));
-        assert!(parse_algorithm(Some("bogus")).is_err());
+        assert!(matches!(
+            parse_algorithm(Some("probe")),
+            Ok(EngineKind::Probe)
+        ));
+        // Failure must enumerate every valid engine so users can self-correct.
+        let err = parse_algorithm(Some("bogus")).unwrap_err();
+        for kind in ["incsr", "incusr", "incsvd", "naive", "probe"] {
+            assert!(err.contains(kind), "algorithm error {err:?} omits {kind}");
+        }
         assert!(matches!(parse_mode(None), Ok(ApplyPolicy::Auto)));
         assert!(matches!(parse_mode(Some("lazy")), Ok(ApplyPolicy::Lazy)));
-        assert!(parse_mode(Some("bogus")).is_err());
+        let err = parse_mode(Some("bogus")).unwrap_err();
+        for mode in ["auto", "eager", "fused", "lazy"] {
+            assert!(err.contains(mode), "mode error {err:?} omits {mode}");
+        }
     }
 
     #[test]
@@ -745,6 +766,40 @@ mod tests {
             "4",
         ]))
         .unwrap();
+        // The matrix-free probe engine serves from the same checkpoint (the
+        // stored scores are ignored; shards rebuild samplers from the graph).
+        run(&to_args(&[
+            "serve",
+            "--state",
+            state_path.to_str().unwrap(),
+            "--algorithm",
+            "probe",
+            "--shards",
+            "2",
+            "--readers",
+            "2",
+            "--duration-ms",
+            "50",
+            "--batch",
+            "4",
+        ]))
+        .unwrap();
+        // ...but it cannot write a state file, so `update` rejects it up front.
+        let ops_path = dir.join("ops.txt");
+        std::fs::write(&ops_path, "+ 0 1\n").unwrap();
+        let err = run(&to_args(&[
+            "update",
+            "--state",
+            state_path.to_str().unwrap(),
+            "--ops",
+            ops_path.to_str().unwrap(),
+            "-o",
+            dir.join("s2.bin").to_str().unwrap(),
+            "--algorithm",
+            "probe",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("matrix-free"), "unexpected error: {err}");
         // Bad knobs fail loudly.
         assert!(run(&to_args(&[
             "serve",

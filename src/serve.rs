@@ -15,7 +15,9 @@
 //!   updates fan out across shards in parallel.
 //! * [`ConcurrentSimRank`] — a **single-writer / many-reader** wrapper:
 //!   readers query an immutable epoch snapshot ([`Epoch`], an
-//!   `Arc`-parked [`ScoreSnapshot`] per shard) through cloneable
+//!   `Arc`-parked [`SnapshotQuery`] handle per shard — a frozen score
+//!   matrix for dense engines, a frozen graph for the probe engine)
+//!   through cloneable
 //!   [`EpochReader`] handles, while the one writer applies updates and
 //!   [publishes](ConcurrentSimRank::publish) new epochs. Readers never
 //!   block the writer and never observe a half-applied update: a reader
@@ -28,7 +30,8 @@
 //! `[s·⌈n₀/S⌉, (s+1)·⌈n₀/S⌉)` (the last shard also owns any ids appended
 //! later via [`ShardedSimRank::add_node`]). Every shard engine spans the
 //! **full** node set — partitioning routes *work*, not matrix indices —
-//! and is seeded with the same batch-computed initial scores.
+//! and is seeded with the same batch-computed initial scores (matrix-free
+//! shards skip the batch solve and hold only the graph).
 //!
 //! Routing rules:
 //!
@@ -100,7 +103,7 @@
 
 use crate::api::{BuildError, ModeCounters, SimRank, SimRankBuilder};
 use crate::core::query::RankedNode;
-use crate::core::{ScoreSnapshot, SimRankConfig, UpdateError, UpdateStats};
+use crate::core::{SimRankConfig, SnapshotQuery, UpdateError, UpdateStats};
 use crate::graph::{DiGraph, UpdateOp};
 use crate::linalg::DenseMatrix;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -199,7 +202,10 @@ pub struct ShardedSimRank {
 impl ShardedSimRank {
     /// Builds the router from a builder, a graph, and pre-computed scores
     /// (every shard is seeded with a copy; [`EngineKind::IncSvd`] shards
-    /// derive their own factorisation as usual).
+    /// derive their own factorisation as usual, and matrix-free kinds
+    /// ignore the matrix — prefer
+    /// [`SimRankBuilder::build_sharded`](crate::api::SimRankBuilder::build_sharded)
+    /// for those, which never allocates it in the first place).
     ///
     /// [`EngineKind::IncSvd`]: crate::api::EngineKind::IncSvd
     pub fn with_scores(
@@ -207,11 +213,27 @@ impl ShardedSimRank {
         graph: DiGraph,
         scores: DenseMatrix,
     ) -> Result<Self, BuildError> {
+        Self::build_internal(builder, graph, Some(scores))
+    }
+
+    /// Shared construction: `scores` of `None` lets each shard build
+    /// without ever seeing an `n²` buffer (matrix-free kinds) or compute
+    /// its own (matrix kinds — the public paths always pass `Some` for
+    /// those, computing the batch scores once, not per shard).
+    pub(crate) fn build_internal(
+        builder: SimRankBuilder,
+        graph: DiGraph,
+        scores: Option<DenseMatrix>,
+    ) -> Result<Self, BuildError> {
         let shard_count = builder.shard_count();
         let partition = ShardPartition::new(graph.node_count(), shard_count);
         let mut shards = Vec::with_capacity(shard_count);
         for _ in 0..shard_count {
-            shards.push(builder.clone().with_scores(graph.clone(), scores.clone())?);
+            let b = builder.clone();
+            shards.push(match &scores {
+                Some(s) => b.with_scores(graph.clone(), s.clone())?,
+                None => b.from_graph(graph.clone())?,
+            });
         }
         Ok(ShardedSimRank {
             shards,
@@ -514,14 +536,19 @@ impl ShardedSimRank {
         self.shards.iter().map(|s| s.counters()).collect()
     }
 
-    /// Freezes every shard's current `S_base + Δ` into an [`Epoch`] with
-    /// the given sequence number (the [`ConcurrentSimRank`] publish
+    /// Freezes every shard's current state into an [`Epoch`] with the
+    /// given sequence number (the [`ConcurrentSimRank`] publish
     /// primitive; also useful stand-alone for consistent bulk exports).
+    /// Matrix shards freeze an owned `S_base + Δ` snapshot; matrix-free
+    /// shards freeze their graph (`O(n + m)`) and keep sampling — every
+    /// engine publishes through the same engine-agnostic
+    /// [`SnapshotQuery`] handle.
     pub fn snapshot_epoch(&self, seq: u64) -> Epoch {
         Epoch {
             seq,
             partition: self.partition,
-            views: self.shards.iter().map(|s| s.snapshot_view()).collect(),
+            n: self.graph.node_count(),
+            views: self.shards.iter().map(|s| s.snapshot_query()).collect(),
         }
     }
 }
@@ -537,15 +564,18 @@ impl std::fmt::Debug for ShardedSimRank {
     }
 }
 
-/// One published, immutable serving epoch: a frozen `S_base + Δ` per
-/// shard plus the partition that routes queries into them. Shared across
-/// reader threads behind an `Arc`; every answer drawn from one `Epoch`
-/// value is mutually consistent (the writer can never tear it).
+/// One published, immutable serving epoch: a frozen query handle per
+/// shard ([`SnapshotQuery`]: an owned `S_base + Δ` snapshot for matrix
+/// engines, a frozen graph for the probe engine) plus the partition that
+/// routes queries into them. Shared across reader threads behind an
+/// `Arc`; every answer drawn from one `Epoch` value is mutually
+/// consistent (the writer can never tear it).
 #[derive(Clone, Debug)]
 pub struct Epoch {
     seq: u64,
     partition: ShardPartition,
-    views: Vec<ScoreSnapshot>,
+    n: usize,
+    views: Vec<Arc<dyn SnapshotQuery>>,
 }
 
 impl Epoch {
@@ -556,7 +586,7 @@ impl Epoch {
 
     /// Node count of the frozen state.
     pub fn n(&self) -> usize {
-        self.views[0].n()
+        self.n
     }
 
     /// Similarity of one node pair (routing and canonical argument order
@@ -1270,5 +1300,93 @@ mod tests {
         assert!(sharded.try_pair(8, 0).is_some());
         sharded.insert(8, 2).unwrap();
         assert!(sharded.pair(8, 8) > 0.0);
+    }
+
+    #[test]
+    fn probe_shards_publish_epochs_without_a_matrix() {
+        use crate::core::ProbeOptions;
+        // Nodes 0 and 1 share in-neighbour 2, so s(0, 1) is the strong
+        // pair; removing (2, 1) later knocks it down.
+        let g = DiGraph::from_edges(
+            7,
+            &[
+                (2, 0),
+                (3, 0),
+                (2, 1),
+                (4, 1),
+                (0, 5),
+                (1, 5),
+                (5, 6),
+                (6, 2),
+                (6, 3),
+            ],
+        );
+        // K = 8 keeps walks short; R below is large enough that the batch
+        // truth sits well inside the 0.05 tolerance declared by the engine
+        // docs for these sample counts.
+        let cfg = SimRankConfig::new(0.6, 8).unwrap();
+        let opts = ProbeOptions {
+            walks: 3000,
+            pair_walks: 20_000,
+            prune: 0.0,
+            seed: 7,
+        };
+        let sharded = SimRankBuilder::new()
+            .algorithm(EngineKind::Probe)
+            .config(cfg)
+            .probe_options(opts)
+            .shards(2)
+            .build_sharded(g)
+            .unwrap();
+        for s in 0..sharded.shard_count() {
+            assert!(sharded.shard(s).is_matrix_free());
+        }
+        assert_eq!(sharded.pending_rank(), 0);
+
+        let mut concurrent = ConcurrentSimRank::new(sharded);
+        let reader = concurrent.reader();
+        let frozen = reader.epoch();
+        assert_eq!(frozen.n(), 7);
+        let truth = batch_simrank(concurrent.sharded().graph(), &cfg);
+        let before = frozen.pair(0, 1);
+        assert!(
+            (before - truth.get(0, 1)).abs() < 0.05,
+            "epoch pair (0,1): {before} vs {}",
+            truth.get(0, 1)
+        );
+        assert_eq!(frozen.pair(0, 1), frozen.pair(1, 0));
+        assert!(frozen.try_pair(99, 0).is_none());
+        let ranked = frozen.top_k(0, 3);
+        assert!(!ranked.is_empty() && ranked[0].node == 1);
+
+        // Cross-shard edge (shards own 0..4 and 4..7): both owners apply
+        // it as a plain graph edit.
+        let stats = concurrent.insert(0, 6).unwrap();
+        assert_eq!(stats.len(), 2);
+        concurrent.remove(2, 1).unwrap();
+        let seq = concurrent.publish();
+        assert_eq!(seq, 1);
+
+        // The pinned epoch still answers from the old topology…
+        assert!((frozen.pair(0, 1) - before).abs() < 1e-12);
+        // …while fresh epochs see the removal of 0 and 1's shared
+        // in-neighbour evidence.
+        let truth_after = batch_simrank(concurrent.sharded().graph(), &cfg);
+        let after = reader.pair(0, 1);
+        assert!(
+            (after - truth_after.get(0, 1)).abs() < 0.05,
+            "post-update pair (0,1): {after} vs {}",
+            truth_after.get(0, 1)
+        );
+        assert!(before > after + 0.02);
+
+        // Counters: walk buckets only, never zero-stuffed apply modes.
+        // (Epoch queries sample against their own frozen cores; hit the
+        // live read path once so the shard's sampling tally moves.)
+        let _ = concurrent.sharded().pair(0, 1);
+        let c = concurrent.sharded().counters();
+        assert_eq!(c.walk_updates, 3, "insert hit 2 shards, remove hit 1");
+        assert_eq!(c.eager_updates + c.fused_updates + c.lazy_updates, 0);
+        assert!(c.walks_sampled > 0);
     }
 }

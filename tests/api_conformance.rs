@@ -15,7 +15,7 @@
 
 use incsim::api::{ApplyPolicy, EngineKind, SimRank, SimRankBuilder};
 use incsim::baselines::IncSvdOptions;
-use incsim::core::{batch_simrank, SimRankConfig};
+use incsim::core::{batch_simrank, ProbeOptions, SimRankConfig};
 use incsim::datagen::er::erdos_renyi;
 use incsim::datagen::rmat::{rmat, RmatParams};
 use incsim::graph::{DiGraph, UpdateOp};
@@ -140,7 +140,7 @@ fn drive(
         }
     }
     assert_eq!(sim.graph(), &shadow, "{ctx}: graph drift");
-    sim.scores().clone()
+    sim.scores().expect("dense engines under test").clone()
 }
 
 fn conformance_on(g: DiGraph, stream_seed: u64, ctx: &str) {
@@ -183,7 +183,7 @@ fn conformance_on(g: DiGraph, stream_seed: u64, ctx: &str) {
         } else {
             eager_svd.update_batch(chunk).expect("valid");
         }
-        eager_steps.push(eager_svd.scores().clone());
+        eager_steps.push(eager_svd.scores().expect("IncSvd is matrix-backed").clone());
     }
     for policy in [ApplyPolicy::Fused, ApplyPolicy::Lazy, ApplyPolicy::Auto] {
         let mut sim = build(EngineKind::IncSvd, policy, &g, &s0);
@@ -204,4 +204,138 @@ fn all_engines_all_policies_agree_on_rmat_stream() {
     let mut rng = StdRng::seed_from_u64(0x77A7);
     let g = rmat(4, 36, &RmatParams::default(), &mut rng);
     conformance_on(g, 23, "R-MAT");
+}
+
+/// Probe-engine conformance: the matrix-free engine is *unbiased for the
+/// K-truncated batch scores* (same truncation `Naive` computes), so its
+/// contract is `(1 ± ε)` agreement where ε is pure sampling noise,
+/// `O(1/√R)`. With the sample counts below the documented tolerance is
+/// **ε = 0.05 absolute** on scores in `[0, 1]` — orders of magnitude
+/// above the observed noise floor, so a failure means a logic bug, not
+/// an unlucky seed (the seed is fixed anyway).
+fn probe_conformance_on(g: DiGraph, stream_seed: u64, ctx: &str) {
+    const EPS: f64 = 0.05;
+    // K = 8 (not the exact engines' K = 60): walk length is O(K) per
+    // sample, and 0.6^9 ≈ 0.01 already sits below ε.
+    let cfg = SimRankConfig::new(0.6, 8).expect("valid config");
+    let opts = ProbeOptions {
+        walks: 3000,
+        pair_walks: 20_000,
+        prune: 0.0,
+        seed: 0xC0FFEE,
+    };
+    let mut sim = SimRankBuilder::new()
+        .algorithm(EngineKind::Probe)
+        .config(cfg)
+        .probe_options(opts)
+        .from_graph(g.clone())
+        .expect("engine constructs");
+    assert!(sim.is_matrix_free());
+
+    let ops = stream_on(&g, 10, stream_seed);
+    let mut shadow = g.clone();
+    let n = shadow.node_count() as u32;
+    for (step, range) in schedule(ops.len()).into_iter().enumerate() {
+        let chunk = &ops[range];
+        for op in chunk {
+            op.apply(&mut shadow).expect("stream valid");
+        }
+        if chunk.len() == 1 {
+            sim.update(chunk[0]).expect("stream valid");
+        } else {
+            sim.update_batch(chunk).expect("stream valid");
+        }
+        let truth = batch_simrank(&shadow, &cfg);
+
+        // Spot pair queries (two-sided sampled estimate).
+        for t in 0..4usize {
+            let a = ((step * 5 + t * 7) as u32) % n;
+            let b = ((step * 3 + t * 11 + 1) as u32) % n;
+            let got = sim.pair(a, b);
+            let want = truth.get(a as usize, b as usize);
+            assert!(
+                (got - want).abs() <= EPS,
+                "{ctx}: step {step} pair ({a},{b}): {got} vs {want}"
+            );
+        }
+
+        // One full row via single-source (walk-and-probe; absent ⇒ 0).
+        let src = (step as u32 * 7) % n;
+        let row = sim.single_source(src);
+        let by_node: std::collections::HashMap<u32, f64> =
+            row.iter().map(|r| (r.node, r.score)).collect();
+        for b in 0..n {
+            if b == src {
+                continue;
+            }
+            let est = by_node.get(&b).copied().unwrap_or(0.0);
+            let want = truth.get(src as usize, b as usize);
+            assert!(
+                (est - want).abs() <= EPS,
+                "{ctx}: step {step} source {src} target {b}: {est} vs {want}"
+            );
+        }
+
+        // Ranked queries: estimated top-k scores track the true ones.
+        let got_top = sim.top_k(src, 3);
+        let want_top = incsim::core::query::top_k_for_node(&truth, src, 3);
+        for (g_, w) in got_top.iter().zip(&want_top) {
+            assert!(
+                (g_.score - w.score).abs() <= EPS,
+                "{ctx}: step {step} top-k score {} vs {}",
+                g_.score,
+                w.score
+            );
+        }
+    }
+    assert_eq!(sim.graph(), &shadow, "{ctx}: graph drift");
+}
+
+#[test]
+fn probe_tracks_batch_truth_on_er_stream() {
+    let mut rng = StdRng::seed_from_u64(0xE7);
+    let g = erdos_renyi(18, 40, &mut rng);
+    probe_conformance_on(g, 11, "ER/Probe");
+}
+
+#[test]
+fn probe_tracks_batch_truth_on_rmat_stream() {
+    let mut rng = StdRng::seed_from_u64(0x77A7);
+    let g = rmat(4, 36, &RmatParams::default(), &mut rng);
+    probe_conformance_on(g, 23, "R-MAT/Probe");
+}
+
+/// Capability absence is an *answer*, not a crash: every dense-matrix
+/// extra on the service surface degrades to a documented `Result`/
+/// `Option`/error value when the engine holds no matrix.
+#[test]
+fn probe_matrix_capabilities_absent_without_panic() {
+    let mut rng = StdRng::seed_from_u64(0xE7);
+    let g = erdos_renyi(18, 40, &mut rng);
+    let mut sim = SimRankBuilder::new()
+        .algorithm(EngineKind::Probe)
+        .config(SimRankConfig::new(0.6, 8).expect("valid config"))
+        .from_graph(g)
+        .expect("engine constructs");
+
+    let err = sim.scores().expect_err("no matrix behind Probe");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("Probe") && msg.contains("MatrixAccess"),
+        "unhelpful capability error: {msg}"
+    );
+    assert!(sim.view().is_none());
+    assert!(sim.snapshot_view().is_none());
+    assert_eq!(sim.flush(), 0);
+    assert_eq!(sim.compress(), 0);
+    assert_eq!(sim.pending_rank(), 0);
+    assert_eq!(sim.pending_heap_bytes(), 0);
+    let mut buf = Vec::new();
+    sim.snapshot(&mut buf)
+        .expect_err("INCSIM01 checkpoints need a matrix");
+    assert!(buf.is_empty());
+    // The engine-agnostic snapshot path still works.
+    let snap = sim.snapshot_query();
+    assert_eq!(snap.n(), 18);
+    assert!(snap.score_snapshot().is_none());
 }

@@ -2,7 +2,7 @@
 //! end-to-end behaviour of the Inc-SVD baseline on realistic graphs.
 
 use incsim::baselines::{naive_simrank, partial_sums_simrank, svd_simrank, IncSvd, IncSvdOptions};
-use incsim::core::{batch_simrank, IncSr, SimRankConfig, SimRankMaintainer};
+use incsim::core::{batch_simrank, GraphSink, IncSr, MatrixAccess, SimRankConfig};
 use incsim::datagen::er::erdos_renyi;
 use incsim::graph::transition::backward_transition;
 use incsim::graph::DiGraph;

@@ -32,7 +32,7 @@ fn snapshot_replay_matches_batch_at_every_checkpoint() {
         let snapshot = ds.timeline.snapshot_at(ds.increment_times[idx]);
         assert_eq!(sim.graph(), &snapshot, "checkpoint {idx}: graph drift");
         let truth = batch_simrank(&snapshot, &cfg);
-        let diff = sim.scores().max_abs_diff(&truth);
+        let diff = sim.scores().expect("dense engine").max_abs_diff(&truth);
         assert!(diff < 1e-7, "checkpoint {idx}: score drift {diff}");
     }
 }
@@ -50,12 +50,12 @@ fn top_k_ranking_is_stable_under_incremental_maintenance() {
     sim.update_batch(&ops).expect("stream valid");
 
     let truth = batch_simrank(sim.graph(), &cfg);
-    let ndcg = ndcg_at_k(&truth, sim.scores(), 30);
+    let ndcg = ndcg_at_k(&truth, sim.scores().expect("dense engine"), 30);
     assert!(ndcg > 0.9999, "NDCG30 = {ndcg}");
 
     // The literal top-10 pair sets coincide.
     let a: Vec<(u32, u32)> = top_k_pairs(&truth, 10).iter().map(|p| (p.a, p.b)).collect();
-    let b: Vec<(u32, u32)> = top_k_pairs(sim.scores(), 10)
+    let b: Vec<(u32, u32)> = top_k_pairs(sim.scores().expect("dense engine"), 10)
         .iter()
         .map(|p| (p.a, p.b))
         .collect();

@@ -3,7 +3,7 @@
 //! as from-scratch batch recomputation, for arbitrary update streams —
 //! and pruning never changes a single entry.
 
-use incsim::core::{batch_simrank, IncSr, IncUSr, SimRankConfig, SimRankMaintainer};
+use incsim::core::{batch_simrank, GraphSink, IncSr, IncUSr, MatrixAccess, SimRankConfig};
 use incsim::datagen::er::erdos_renyi;
 use incsim::datagen::linkage::{linkage_model, LinkageParams};
 use incsim::datagen::updates::{random_deletions, random_insertions, random_mixed};
@@ -17,7 +17,7 @@ fn tight() -> SimRankConfig {
     SimRankConfig::new(0.6, 90).expect("valid config")
 }
 
-fn assert_engine_matches_batch(engine: &mut dyn SimRankMaintainer, tol: f64, ctx: &str) {
+fn assert_engine_matches_batch<E: GraphSink + MatrixAccess>(engine: &mut E, tol: f64, ctx: &str) {
     let fresh = batch_simrank(engine.graph(), engine.config());
     let diff = engine.scores().max_abs_diff(&fresh);
     assert!(diff < tol, "{ctx}: engine drift {diff} exceeds {tol}");

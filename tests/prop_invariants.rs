@@ -2,7 +2,7 @@
 //! arbitrary graphs and updates.
 
 use incsim::core::rankone::{rank_one_decomposition, UpdateKind};
-use incsim::core::{batch_simrank, IncSr, IncUSr, SimRankConfig, SimRankMaintainer};
+use incsim::core::{batch_simrank, GraphSink, IncSr, IncUSr, MatrixAccess, SimRankConfig};
 use incsim::graph::transition::backward_transition;
 use incsim::graph::DiGraph;
 use proptest::prelude::*;

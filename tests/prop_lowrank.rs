@@ -6,7 +6,10 @@
 //! top-k) within 1e-12 of the uncompressed trajectory — with a forced
 //! lossy tolerance bounded by the discarded spectral mass.
 
-use incsim::core::{batch_simrank, ApplyMode, IncSr, IncUSr, SimRankConfig, SimRankMaintainer};
+use incsim::core::{
+    batch_simrank, ApplyMode, GraphSink, IncSr, IncUSr, MatrixAccess, SimRankConfig,
+    SimRankMaintainer,
+};
 use incsim::datagen::er::erdos_renyi;
 use incsim::datagen::rmat::{rmat, RmatParams};
 use incsim::graph::{DiGraph, UpdateOp};
