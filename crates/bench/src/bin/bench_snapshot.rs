@@ -20,7 +20,8 @@
 //! `--compare FILE` additionally gates the run against a committed
 //! snapshot: the scale-robust kernel metrics (`fused_speedup`,
 //! `lazy_query_secs`, `overhead_pct`, `long_lazy_query_speedup`,
-//! `compressed_query_secs`, `query_secs_large`, `probe_heap_growth`)
+//! `compressed_query_secs`, `query_secs_large`, `probe_heap_growth`,
+//! `wal_overhead_pct`)
 //! must not regress beyond
 //! `--tolerance` percent (default 200, i.e. 3×) past their noise floors —
 //! see `incsim_bench::compare`. Exactness gates fail hard at any scale,
@@ -34,7 +35,8 @@
 use incsim_bench::compare::{compare, parse_metrics, SnapshotMetrics};
 use incsim_bench::snapshot::{
     measure_apply_modes, measure_concurrent_throughput, measure_long_lazy_window,
-    measure_micro_kernels, measure_probe_single_source, measure_service_overhead, snapshot_json,
+    measure_micro_kernels, measure_probe_single_source, measure_service_overhead,
+    measure_wal_overhead, snapshot_json,
 };
 use incsim_bench::{bench_scale, scaled_cap};
 use incsim_metrics::timing::fmt_duration;
@@ -103,7 +105,7 @@ fn flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result
 
 fn run(args: &[String]) -> Result<(), String> {
     validate_args(args)?;
-    let out: String = flag(args, "--out", "BENCH_PR6.json".to_string())?;
+    let out: String = flag(args, "--out", "BENCH_PR7.json".to_string())?;
     let n: usize = flag(args, "--n", 2048usize)?;
     let k: usize = flag(args, "--k", 15usize)?;
     let base_cap: usize = flag(args, "--cap", 20usize)?;
@@ -240,9 +242,31 @@ fn run(args: &[String]) -> Result<(), String> {
         incsim_metrics::timing::fmt_bytes(probe.dense_bytes_large),
     );
 
+    // Durability tax: the WAL append cost on the serving write path,
+    // paired against an identical log-free router. Contract: < 5% of the
+    // per-update cost at full scale.
+    let wal = measure_wal_overhead(n, k, cap);
+    println!(
+        "   wal         : {} plain vs {} durable per update; append envelope {} \
+         ({:.3}% tax, {:.0} log bytes/op)",
+        per(wal.plain_per_update_secs),
+        per(wal.durable_per_update_secs),
+        per(wal.wal_append_envelope_secs),
+        wal.wal_overhead_pct,
+        wal.wal_bytes_per_op,
+    );
+
     std::fs::write(
         &out,
-        snapshot_json(&modes, &micro, &service, &concurrent, &long_lazy, &probe),
+        snapshot_json(
+            &modes,
+            &micro,
+            &service,
+            &concurrent,
+            &long_lazy,
+            &probe,
+            &wal,
+        ),
     )
     .map_err(|e| format!("cannot write {out}: {e}"))?;
     println!("[ok] snapshot written to {out}");
@@ -327,6 +351,18 @@ fn run(args: &[String]) -> Result<(), String> {
             service.overhead_pct
         );
     }
+    if bench_scale() >= 1.0 && wal.wal_overhead_pct > 5.0 {
+        return Err(format!(
+            "write-ahead log overhead {:.2}% exceeds the < 5% durability budget",
+            wal.wal_overhead_pct
+        ));
+    }
+    if wal.wal_overhead_pct > 5.0 {
+        println!(
+            "[warn] write-ahead log overhead {:.2}% is above the 5% budget (smoke scale)",
+            wal.wal_overhead_pct
+        );
+    }
 
     // Cross-PR regression gate against a committed snapshot.
     if !compare_path.is_empty() {
@@ -342,6 +378,7 @@ fn run(args: &[String]) -> Result<(), String> {
             compressed_query_secs: Some(long_lazy.compressed_query_secs),
             probe_query_secs: Some(probe.query_secs_large),
             probe_heap_growth: Some(probe.heap_growth),
+            wal_overhead_pct: Some(wal.wal_overhead_pct),
         };
         let regressions = compare(&current, &committed, tolerance_pct);
         if regressions.is_empty() {

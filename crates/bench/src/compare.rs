@@ -48,6 +48,9 @@ pub struct SnapshotMetrics {
     /// `probe_single_source.probe_heap_growth` (lower is better; the
     /// sub-quadratic law says ≈4 for a 4× node step, 16 is quadratic).
     pub probe_heap_growth: Option<f64>,
+    /// `wal_overhead.wal_overhead_pct` (lower is better; the durability
+    /// tax of logging every op on the serving write path).
+    pub wal_overhead_pct: Option<f64>,
 }
 
 /// Extracts the first `"key": <number>` occurrence from a JSON text.
@@ -73,6 +76,7 @@ pub fn parse_metrics(json: &str) -> SnapshotMetrics {
         compressed_query_secs: scan_number(json, "compressed_query_secs"),
         probe_query_secs: scan_number(json, "query_secs_large"),
         probe_heap_growth: scan_number(json, "probe_heap_growth"),
+        wal_overhead_pct: scan_number(json, "wal_overhead_pct"),
     }
 }
 
@@ -109,6 +113,7 @@ const OVERHEAD_FLOOR_PCT: f64 = 1.0; // the service contract is < 2%
 const LONG_LAZY_SPEEDUP_FLOOR: f64 = 2.0; // the acceptance bar at full scale
 const PROBE_QUERY_FLOOR_SECS: f64 = 2e-3; // sub-2ms single-source reads are in-noise
 const PROBE_HEAP_GROWTH_FLOOR: f64 = 6.0; // < 6x for 4x nodes is comfortably sub-quadratic
+const WAL_OVERHEAD_FLOOR_PCT: f64 = 5.0; // the durability contract is < 5% at full scale
 
 /// Compares `current` against `committed` with a tolerance given in
 /// percent of allowed drift (e.g. `200` ⇒ up to 3× worse passes).
@@ -195,6 +200,12 @@ pub fn compare(
         current.probe_heap_growth,
         committed.probe_heap_growth,
         PROBE_HEAP_GROWTH_FLOOR,
+    );
+    lower_better(
+        "wal_overhead_pct",
+        current.wal_overhead_pct,
+        committed.wal_overhead_pct,
+        WAL_OVERHEAD_FLOOR_PCT,
     );
     out
 }
@@ -335,6 +346,38 @@ mod tests {
         let m = parse_metrics(json);
         assert!((m.probe_query_secs.unwrap() - 8.4e-4).abs() < 1e-12);
         assert_eq!(m.probe_heap_growth, Some(4.31));
+    }
+
+    #[test]
+    fn wal_overhead_gates_like_its_siblings() {
+        let committed = SnapshotMetrics {
+            wal_overhead_pct: Some(0.4),
+            ..Default::default()
+        };
+        // Anything under the 5% durability contract passes, whatever the
+        // ratio to the committed run (smoke-scale appends are all noise).
+        let healthy = SnapshotMetrics {
+            wal_overhead_pct: Some(4.0),
+            ..Default::default()
+        };
+        assert!(compare(&healthy, &committed, 200.0).is_empty());
+        // Past the floor *and* the tolerance: the append path got slow.
+        let bad = SnapshotMetrics {
+            wal_overhead_pct: Some(12.0),
+            ..Default::default()
+        };
+        let regs = compare(&bad, &committed, 200.0);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "wal_overhead_pct");
+        // The quoted-key scan keeps `overhead_pct` and `wal_overhead_pct`
+        // apart even though one name contains the other.
+        let json = r#"{
+  "service_overhead": { "overhead_pct": 0.02 },
+  "wal_overhead": { "wal_overhead_pct": 0.37 }
+}"#;
+        let m = parse_metrics(json);
+        assert_eq!(m.overhead_pct, Some(0.02));
+        assert_eq!(m.wal_overhead_pct, Some(0.37));
     }
 
     #[test]

@@ -497,9 +497,9 @@ pub fn measure_concurrent_throughput(
         }
         sharded
     };
-    let eager = drive(ApplyPolicy::Eager).snapshot_epoch(0);
-    let fused = drive(ApplyPolicy::Fused).snapshot_epoch(0);
-    let lazy = drive(ApplyPolicy::Lazy).snapshot_epoch(0);
+    let eager = drive(ApplyPolicy::Eager).snapshot_epoch(0, None);
+    let fused = drive(ApplyPolicy::Fused).snapshot_epoch(0, None);
+    let lazy = drive(ApplyPolicy::Lazy).snapshot_epoch(0, None);
     let mut diff_fused = 0.0f64;
     let mut diff_lazy = 0.0f64;
     for a in 0..n as u32 {
@@ -791,6 +791,105 @@ pub fn measure_probe_single_source(n_small: usize, k_iters: usize) -> ProbeSingl
     }
 }
 
+/// Cost of write-ahead durability on the serving write path: the same
+/// unit-update stream through two single-shard routers, one logging every
+/// op (`SimRankBuilder::wal`), one not.
+#[derive(Debug, Clone)]
+pub struct WalOverheadSnapshot {
+    /// Node count of the workload graph.
+    pub n: usize,
+    /// Measured unit updates (one warm-up excluded).
+    pub updates: usize,
+    /// Median per-update seconds without a log.
+    pub plain_per_update_secs: f64,
+    /// Median per-update seconds with every op appended to the log.
+    pub durable_per_update_secs: f64,
+    /// Median of the paired per-update differences, clamped at 0 — the
+    /// append cost itself (serialise + checksum + buffered write).
+    pub wal_append_envelope_secs: f64,
+    /// `100 · envelope / plain median`: the durability tax in percent of
+    /// the per-update cost. The acceptance bar is < 5% at full scale —
+    /// one O(26-byte) append against an O(K·n·d) maintenance step.
+    pub wal_overhead_pct: f64,
+    /// Log bytes appended per op (frame header + op payload).
+    pub wal_bytes_per_op: f64,
+}
+
+/// Measures the WAL append tax with the same paired, order-alternating
+/// protocol as [`measure_service_overhead`]: per step the op is applied
+/// on both routers back to back (order swapping every step), and the
+/// median paired difference isolates the append from shared noise. The
+/// checkpoint cadence is pushed out of the window so the envelope prices
+/// the steady-state append alone (checkpoints amortise separately).
+pub fn measure_wal_overhead(n: usize, k_iters: usize, cap: usize) -> WalOverheadSnapshot {
+    let g = snapshot_graph(n);
+    let cfg = SimRankConfig::new(0.6, k_iters).expect("valid config");
+    let s0 = batch_simrank(&g, &cfg);
+    let mut rng = StdRng::seed_from_u64(0x0A17);
+    let stream = random_insertions(&g, cap + 1, &mut rng);
+
+    let path = std::env::temp_dir().join(format!("incsim_bench_wal_{}.wal", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let base = SimRankBuilder::new()
+        .algorithm(EngineKind::IncUSr)
+        .mode(ApplyPolicy::Fused)
+        .config(cfg);
+    let mut plain =
+        ShardedSimRank::with_scores(base.clone(), g.clone(), s0.clone()).expect("router builds");
+    let mut durable =
+        ShardedSimRank::with_scores(base.wal(&path).checkpoint_every(u64::MAX), g, s0)
+            .expect("durable router builds");
+
+    let (&warmup, measured) = stream.split_first().expect("cap >= 1");
+    plain.update(warmup).expect("stream valid");
+    durable.update(warmup).expect("stream valid");
+    let log_bytes_start = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+
+    let mut plain_times: Vec<f64> = Vec::with_capacity(measured.len());
+    let mut durable_times: Vec<f64> = Vec::with_capacity(measured.len());
+    let mut diffs: Vec<f64> = Vec::with_capacity(measured.len());
+    for (step, &op) in measured.iter().enumerate() {
+        let (p, d) = if step % 2 == 0 {
+            let t = Instant::now();
+            plain.update(op).expect("stream valid");
+            let p = t.elapsed().as_secs_f64();
+            let t = Instant::now();
+            durable.update(op).expect("stream valid");
+            (p, t.elapsed().as_secs_f64())
+        } else {
+            let t = Instant::now();
+            durable.update(op).expect("stream valid");
+            let d = t.elapsed().as_secs_f64();
+            let t = Instant::now();
+            plain.update(op).expect("stream valid");
+            (t.elapsed().as_secs_f64(), d)
+        };
+        plain_times.push(p);
+        durable_times.push(d);
+        diffs.push(d - p);
+    }
+    let log_bytes_end = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    let _ = std::fs::remove_file(&path);
+
+    let median = |v: &mut Vec<f64>| -> f64 {
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        v.get(v.len() / 2).copied().unwrap_or(1e-12)
+    };
+    let plain_median = median(&mut plain_times);
+    let durable_median = median(&mut durable_times);
+    let envelope = median(&mut diffs).max(0.0);
+    WalOverheadSnapshot {
+        n,
+        updates: measured.len(),
+        plain_per_update_secs: plain_median,
+        durable_per_update_secs: durable_median,
+        wal_append_envelope_secs: envelope,
+        wal_overhead_pct: 100.0 * envelope / plain_median.max(1e-12),
+        wal_bytes_per_op: (log_bytes_end.saturating_sub(log_bytes_start)) as f64
+            / measured.len().max(1) as f64,
+    }
+}
+
 /// Renders the full snapshot as pretty-printed JSON.
 pub fn snapshot_json(
     modes: &ApplyModeSnapshot,
@@ -799,10 +898,11 @@ pub fn snapshot_json(
     concurrent: &ConcurrentThroughputSnapshot,
     long_lazy: &LongLazyWindowSnapshot,
     probe: &ProbeSingleSourceSnapshot,
+    wal: &WalOverheadSnapshot,
 ) -> String {
     format!(
         r#"{{
-  "schema": "incsim-bench-snapshot-v5",
+  "schema": "incsim-bench-snapshot-v6",
   "bench_scale": {scale},
   "apply_modes": {{
     "n": {n},
@@ -879,6 +979,15 @@ pub fn snapshot_json(
     "heap_peak_bytes_large": {phl},
     "probe_heap_growth": {phg:.3},
     "dense_bytes_large": {pdb}
+  }},
+  "wal_overhead": {{
+    "n": {wn},
+    "updates": {wu},
+    "plain_per_update_secs": {wps:.6e},
+    "durable_per_update_secs": {wds:.6e},
+    "wal_append_envelope_secs": {wae:.6e},
+    "wal_overhead_pct": {wop:.4},
+    "wal_bytes_per_op": {wbo:.1}
   }}
 }}
 "#,
@@ -947,6 +1056,13 @@ pub fn snapshot_json(
         phl = probe.heap_peak_bytes_large,
         phg = probe.heap_growth,
         pdb = probe.dense_bytes_large,
+        wn = wal.n,
+        wu = wal.updates,
+        wps = wal.plain_per_update_secs,
+        wds = wal.durable_per_update_secs,
+        wae = wal.wal_append_envelope_secs,
+        wop = wal.wal_overhead_pct,
+        wbo = wal.wal_bytes_per_op,
     )
 }
 
@@ -1004,8 +1120,23 @@ mod tests {
         assert_eq!(probe.n_large, 256);
         assert!(probe.query_secs_small > 0.0 && probe.query_secs_large > 0.0);
         assert!(probe.heap_peak_bytes_large > probe.heap_peak_bytes_small);
-        let json = snapshot_json(&modes, &micro, &service, &concurrent, &long_lazy, &probe);
-        assert!(json.contains("\"schema\": \"incsim-bench-snapshot-v5\""));
+        let wal = measure_wal_overhead(60, 4, 3);
+        assert_eq!(wal.updates, 3);
+        assert!(wal.wal_overhead_pct.is_finite() && wal.wal_overhead_pct >= 0.0);
+        assert!(
+            wal.wal_bytes_per_op > 0.0,
+            "durable router stopped appending ops"
+        );
+        let json = snapshot_json(
+            &modes,
+            &micro,
+            &service,
+            &concurrent,
+            &long_lazy,
+            &probe,
+            &wal,
+        );
+        assert!(json.contains("\"schema\": \"incsim-bench-snapshot-v6\""));
         assert!(json.contains("fused_speedup"));
         assert!(json.contains("service_overhead"));
         assert!(json.contains("concurrent_throughput"));
@@ -1014,6 +1145,8 @@ mod tests {
         assert!(json.contains("long_lazy_query_speedup"));
         assert!(json.contains("probe_single_source"));
         assert!(json.contains("probe_heap_growth"));
+        assert!(json.contains("wal_overhead"));
+        assert!(json.contains("wal_overhead_pct"));
         // Balanced braces — cheap structural sanity for the hand-rolled JSON.
         assert_eq!(
             json.matches('{').count(),

@@ -20,8 +20,16 @@ pub enum SnapshotError {
     Io(io::Error),
     /// The input does not start with the expected magic/version.
     BadMagic,
-    /// The payload is structurally inconsistent (sizes, counts).
-    Corrupt(&'static str),
+    /// The payload is structurally inconsistent (sizes, counts, or a
+    /// truncation mid-structure). `offset` is the byte position in the
+    /// snapshot stream at which decoding gave up — forensics for torn
+    /// WAL checkpoints and hand-corrupted state files alike.
+    Corrupt {
+        /// Byte offset at which the inconsistency was detected.
+        offset: u64,
+        /// What was wrong there.
+        detail: &'static str,
+    },
     /// The stored configuration is invalid.
     BadConfig(ConfigError),
     /// The engine cannot be checkpointed in this format (the named
@@ -34,7 +42,9 @@ impl std::fmt::Display for SnapshotError {
         match self {
             SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
             SnapshotError::BadMagic => write!(f, "not an incsim snapshot (bad magic)"),
-            SnapshotError::Corrupt(what) => write!(f, "corrupt snapshot: {what}"),
+            SnapshotError::Corrupt { offset, detail } => {
+                write!(f, "corrupt snapshot at byte {offset}: {detail}")
+            }
             SnapshotError::BadConfig(e) => write!(f, "snapshot holds invalid config: {e}"),
             SnapshotError::Unsupported(engine) => write!(
                 f,
@@ -71,16 +81,52 @@ fn write_f64<W: Write>(w: &mut W, v: f64) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
 
-fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
-    let mut buf = [0u8; 8];
-    r.read_exact(&mut buf)?;
-    Ok(u64::from_le_bytes(buf))
+/// A reader that tracks its byte offset, so every decode failure can be
+/// pinned to the position it happened at ([`SnapshotError::Corrupt`]).
+/// Truncation (`UnexpectedEof`) is reported as `Corrupt`, not `Io`: a
+/// short file is a structural defect of the snapshot, not a transport
+/// failure of the reader.
+struct CountingReader<R> {
+    inner: R,
+    offset: u64,
 }
 
-fn read_f64<R: Read>(r: &mut R) -> io::Result<f64> {
-    let mut buf = [0u8; 8];
-    r.read_exact(&mut buf)?;
-    Ok(f64::from_le_bytes(buf))
+impl<R: Read> CountingReader<R> {
+    fn new(inner: R) -> Self {
+        CountingReader { inner, offset: 0 }
+    }
+
+    fn corrupt(&self, detail: &'static str) -> SnapshotError {
+        SnapshotError::Corrupt {
+            offset: self.offset,
+            detail,
+        }
+    }
+
+    fn fill(&mut self, buf: &mut [u8]) -> Result<(), SnapshotError> {
+        match self.inner.read_exact(buf) {
+            Ok(()) => {
+                self.offset += buf.len() as u64;
+                Ok(())
+            }
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                Err(self.corrupt("unexpected end of snapshot"))
+            }
+            Err(e) => Err(SnapshotError::Io(e)),
+        }
+    }
+
+    fn read_u64(&mut self) -> Result<u64, SnapshotError> {
+        let mut buf = [0u8; 8];
+        self.fill(&mut buf)?;
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    fn read_f64(&mut self) -> Result<f64, SnapshotError> {
+        let mut buf = [0u8; 8];
+        self.fill(&mut buf)?;
+        Ok(f64::from_le_bytes(buf))
+    }
 }
 
 /// Writes a checkpoint of `(graph, scores, config)`.
@@ -95,7 +141,10 @@ pub fn save<W: Write>(
 ) -> Result<(), SnapshotError> {
     let n = graph.node_count();
     if scores.rows() != n || scores.cols() != n {
-        return Err(SnapshotError::Corrupt("scores shape mismatches graph"));
+        return Err(SnapshotError::Corrupt {
+            offset: 0,
+            detail: "scores shape mismatches graph",
+        });
     }
     w.write_all(MAGIC)?;
     write_f64(&mut w, config.c)?;
@@ -113,35 +162,68 @@ pub fn save<W: Write>(
 }
 
 /// Reads a checkpoint previously written by [`save`].
-pub fn load<R: Read>(mut r: R) -> Result<Snapshot, SnapshotError> {
+///
+/// Hardened against hostile or damaged input: every structural
+/// inconsistency — truncation mid-field, impossible counts, an edge
+/// list that disagrees with itself — comes back as a typed
+/// [`SnapshotError`] carrying the byte offset; no input can panic the
+/// decoder or make it allocate more than the scores it actually reads.
+pub fn load<R: Read>(r: R) -> Result<Snapshot, SnapshotError> {
+    let mut r = CountingReader::new(r);
     let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)?;
+    r.fill(&mut magic)?;
     if &magic != MAGIC {
         return Err(SnapshotError::BadMagic);
     }
-    let c = read_f64(&mut r)?;
-    let iterations = read_u64(&mut r)? as usize;
-    let zero_tol = read_f64(&mut r)?;
+    let c = r.read_f64()?;
+    let iterations = r.read_u64()? as usize;
+    let zero_tol = r.read_f64()?;
     let config = SimRankConfig::new(c, iterations)
         .map_err(SnapshotError::BadConfig)?
         .with_zero_tol(zero_tol);
 
-    let n = read_u64(&mut r)? as usize;
-    let m = read_u64(&mut r)? as usize;
-    if n > u32::MAX as usize {
-        return Err(SnapshotError::Corrupt("node count exceeds u32"));
+    let n64 = r.read_u64()?;
+    if n64 > u32::MAX as u64 {
+        return Err(r.corrupt("node count exceeds u32"));
     }
+    let n = n64 as usize;
+    let cells = n
+        .checked_mul(n)
+        .ok_or_else(|| r.corrupt("node count overflows score matrix size"))?;
+    let m64 = r.read_u64()?;
+    // A simple digraph without self-loops holds at most n·(n-1) edges;
+    // bounding by n² is enough to reject declared counts that could
+    // only come from corruption (and would drive a huge read loop).
+    if m64 > cells as u64 {
+        return Err(r.corrupt("edge count exceeds n^2"));
+    }
+    let m = m64 as usize;
     let mut graph = DiGraph::new(n);
     for _ in 0..m {
-        let packed = read_u64(&mut r)?;
+        let packed = r.read_u64()?;
         let (u, v) = ((packed >> 32) as u32, (packed & 0xFFFF_FFFF) as u32);
         graph
             .insert_edge(u, v)
-            .map_err(|_| SnapshotError::Corrupt("invalid or duplicate edge"))?;
+            .map_err(|_| SnapshotError::Corrupt {
+                // The offending record is the 8 bytes just consumed.
+                offset: r.offset - 8,
+                detail: "invalid or duplicate edge",
+            })?;
     }
-    let mut data = vec![0.0f64; n * n];
-    for value in data.iter_mut() {
-        *value = read_f64(&mut r)?;
+    // The score block is the one length-driven allocation; grow it in
+    // bounded chunks as bytes actually arrive so a corrupt header can
+    // never commit us to an n²-sized buffer the stream doesn't back.
+    const CHUNK: usize = 64 * 1024;
+    let mut data: Vec<f64> = Vec::new();
+    while data.len() < cells {
+        let want = CHUNK.min(cells - data.len());
+        data.try_reserve(want).map_err(|_| SnapshotError::Corrupt {
+            offset: r.offset,
+            detail: "score matrix too large to allocate",
+        })?;
+        for _ in 0..want {
+            data.push(r.read_f64()?);
+        }
     }
     Ok(Snapshot {
         graph,
@@ -247,7 +329,50 @@ mod tests {
         let truncated = MAGIC.to_vec();
         assert!(matches!(
             load(truncated.as_slice()),
-            Err(SnapshotError::Io(_))
+            Err(SnapshotError::Corrupt { offset: 8, .. })
+        ));
+    }
+
+    #[test]
+    fn every_truncated_prefix_fails_cleanly() {
+        let (g, s, cfg) = fixture();
+        let mut buf = Vec::new();
+        save(&g, &s, &cfg, &mut buf).unwrap();
+        // Loading any strict prefix must return a typed error — never a
+        // panic, never a bogus success — and short magic is the only
+        // case allowed to look like a non-snapshot rather than a torn one.
+        for cut in 0..buf.len() {
+            match load(&buf[..cut]) {
+                Err(SnapshotError::Corrupt { offset, .. }) => {
+                    assert!(offset <= cut as u64, "offset {offset} past cut {cut}")
+                }
+                Err(SnapshotError::BadMagic) => assert!(cut < 8, "BadMagic at cut {cut}"),
+                Err(other) => panic!("prefix {cut}: unexpected error {other:?}"),
+                Ok(_) => panic!("prefix {cut}: truncated snapshot loaded successfully"),
+            }
+        }
+        // Sanity: the full buffer still loads.
+        assert!(load(buf.as_slice()).is_ok());
+    }
+
+    #[test]
+    fn rejects_impossible_counts_without_allocating() {
+        let (g, s, cfg) = fixture();
+        let mut buf = Vec::new();
+        save(&g, &s, &cfg, &mut buf).unwrap();
+        // Corrupt the edge-count field to a number the stream cannot back.
+        let m_off = 8 + 8 + 8 + 8 + 8; // magic + c + iters + tol + n
+        buf[m_off..m_off + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            load(buf.as_slice()),
+            Err(SnapshotError::Corrupt { .. })
+        ));
+        // And a node count past u32 is rejected before any allocation.
+        let n_off = 8 + 8 + 8 + 8;
+        buf[n_off..n_off + 8].copy_from_slice(&(u64::MAX / 2).to_le_bytes());
+        assert!(matches!(
+            load(buf.as_slice()),
+            Err(SnapshotError::Corrupt { .. })
         ));
     }
 
@@ -269,7 +394,7 @@ mod tests {
         let wrong = DenseMatrix::zeros(3, 3);
         assert!(matches!(
             save(&g, &wrong, &cfg, Vec::new()),
-            Err(SnapshotError::Corrupt(_))
+            Err(SnapshotError::Corrupt { .. })
         ));
     }
 
@@ -284,7 +409,10 @@ mod tests {
         buf[edge_off + 8..edge_off + 16].copy_from_slice(&first);
         assert!(matches!(
             load(buf.as_slice()),
-            Err(SnapshotError::Corrupt(_))
+            Err(SnapshotError::Corrupt {
+                offset: 56, // the duplicated second edge record
+                ..
+            })
         ));
     }
 }

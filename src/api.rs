@@ -121,8 +121,11 @@ use crate::core::{
 };
 use crate::graph::{DiGraph, UpdateOp};
 use crate::linalg::DenseMatrix;
+use crate::wal::faults::{ApplyFaults, FaultEngine};
 use std::cell::Cell;
 use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Which maintenance algorithm backs the service handle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -200,6 +203,9 @@ pub enum BuildError {
     Engine(UpdateError),
     /// A snapshot failed to decode.
     Snapshot(SnapshotError),
+    /// A durable build could not attach or recover its write-ahead log
+    /// (boxed: `WalError` can itself carry a `BuildError`).
+    Wal(Box<crate::wal::WalError>),
 }
 
 impl std::fmt::Display for BuildError {
@@ -211,6 +217,7 @@ impl std::fmt::Display for BuildError {
             ),
             BuildError::Engine(e) => write!(f, "engine construction failed: {e}"),
             BuildError::Snapshot(e) => write!(f, "snapshot rejected: {e}"),
+            BuildError::Wal(e) => write!(f, "write-ahead log rejected: {e}"),
         }
     }
 }
@@ -220,6 +227,12 @@ impl std::error::Error for BuildError {}
 impl From<SnapshotError> for BuildError {
     fn from(e: SnapshotError) -> Self {
         BuildError::Snapshot(e)
+    }
+}
+
+impl From<crate::wal::WalError> for BuildError {
+    fn from(e: crate::wal::WalError) -> Self {
+        BuildError::Wal(Box::new(e))
     }
 }
 
@@ -238,6 +251,9 @@ pub struct SimRankBuilder {
     compress_rank: Option<usize>,
     compress_tol: Option<f64>,
     shard_count: usize,
+    wal_path: Option<PathBuf>,
+    checkpoint_every: Option<u64>,
+    faults: Option<Arc<ApplyFaults>>,
 }
 
 impl Default for SimRankBuilder {
@@ -259,6 +275,9 @@ impl SimRankBuilder {
             compress_rank: None,
             compress_tol: None,
             shard_count: 1,
+            wal_path: None,
+            checkpoint_every: None,
+            faults: None,
         }
     }
 
@@ -347,6 +366,51 @@ impl SimRankBuilder {
         self.shard_count
     }
 
+    /// Runs the serving terminals ([`Self::build_sharded`] /
+    /// [`Self::concurrent`]) **durably**: every accepted update is
+    /// appended to a write-ahead log at `path` before it is applied, and
+    /// engine checkpoints are embedded every [`Self::checkpoint_every`]
+    /// ops (see [`crate::wal`] for the format, the durability contract,
+    /// and recovery). Opening an existing log recovers it: a torn tail is
+    /// truncated and the suffix after the newest checkpoint is replayed.
+    /// Ignored by the single-handle terminals.
+    pub fn wal(mut self, path: impl Into<PathBuf>) -> Self {
+        self.wal_path = Some(path.into());
+        self
+    }
+
+    /// Checkpoint cadence of the write-ahead log: a full engine image is
+    /// embedded after every `n` logged ops (default
+    /// [`crate::serve::DEFAULT_CHECKPOINT_EVERY`]). Smaller `n` bounds
+    /// replay time after a crash; larger `n` bounds log growth and
+    /// checkpoint I/O. No effect without [`Self::wal`].
+    pub fn checkpoint_every(mut self, n: u64) -> Self {
+        self.checkpoint_every = Some(n.max(1));
+        self
+    }
+
+    /// Wires a scheduled mid-apply panic
+    /// ([`crate::wal::faults::ApplyFaults`]) into every engine this
+    /// builder constructs — the deterministic crash harness used by the
+    /// fault-injection tests. The schedule is shared across shards, so
+    /// "panic at the Nth op" means the Nth op applied anywhere in the
+    /// router.
+    pub fn fault_injection(mut self, faults: Arc<ApplyFaults>) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// The configured WAL path, if durable serving was requested.
+    pub(crate) fn wal_path(&self) -> Option<&Path> {
+        self.wal_path.as_deref()
+    }
+
+    /// The checkpoint cadence (default applied).
+    pub(crate) fn checkpoint_cadence(&self) -> u64 {
+        self.checkpoint_every
+            .unwrap_or(crate::serve::DEFAULT_CHECKPOINT_EVERY)
+    }
+
     /// Terminal: builds a [`ShardedSimRank`](crate::serve::ShardedSimRank)
     /// router over [`Self::shards`] per-shard engines, batch-computing the
     /// initial scores once and seeding every shard with them. Matrix-free
@@ -415,7 +479,7 @@ impl SimRankBuilder {
         let need_scores = |scores: Option<DenseMatrix>, graph: &DiGraph| {
             scores.unwrap_or_else(|| batch_simrank(graph, &self.cfg))
         };
-        Ok(match self.kind {
+        let engine: Box<dyn SimRankMaintainer + Send> = match self.kind {
             EngineKind::IncSr => {
                 let s = need_scores(scores, &graph);
                 Box::new(IncSr::new(graph, s, self.cfg))
@@ -433,6 +497,10 @@ impl SimRankBuilder {
                 Box::new(BatchRecompute::new(graph, s, self.cfg))
             }
             EngineKind::Probe => Box::new(ProbeSim::with_options(graph, self.cfg, self.probe_opts)),
+        };
+        Ok(match &self.faults {
+            Some(f) => Box::new(FaultEngine::new(engine, f.clone())),
+            None => engine,
         })
     }
 
@@ -476,6 +544,17 @@ pub struct ModeCounters {
     /// Probe-tree edge expansions performed by matrix-free engines while
     /// answering single-source / top-k queries.
     pub probe_expansions: u64,
+    /// Ops appended to the write-ahead log (durable serving only).
+    pub wal_appends: u64,
+    /// Engine checkpoints embedded in the write-ahead log.
+    pub checkpoints: u64,
+    /// Ops replayed from the log during recovery / shard rebuild.
+    pub replayed_ops: u64,
+    /// Shards quarantined after a mid-apply panic or a WAL failure.
+    pub quarantines: u64,
+    /// Reads served from a stale epoch view because the owning shard was
+    /// quarantined (each one carried a typed `Degraded` status).
+    pub degraded_reads: u64,
 }
 
 impl ModeCounters {
@@ -491,6 +570,11 @@ impl ModeCounters {
         self.walk_updates += other.walk_updates;
         self.walks_sampled += other.walks_sampled;
         self.probe_expansions += other.probe_expansions;
+        self.wal_appends += other.wal_appends;
+        self.checkpoints += other.checkpoints;
+        self.replayed_ops += other.replayed_ops;
+        self.quarantines += other.quarantines;
+        self.degraded_reads += other.degraded_reads;
     }
 }
 
@@ -920,6 +1004,12 @@ impl SimRank {
     /// engine-specific extensions (e.g. row-grouped batch updates).
     pub fn engine_mut(&mut self) -> &mut dyn SimRankMaintainer {
         self.engine.as_mut()
+    }
+
+    /// Direct counter access for the durability layer (replay accounting
+    /// on rebuilt handles, router-level WAL/quarantine attribution).
+    pub(crate) fn counters_mut(&mut self) -> &mut ModeCounters {
+        &mut self.counters
     }
 }
 
@@ -1443,5 +1533,31 @@ mod tests {
         sim.top_k(0, 3);
         sim.single_source(2);
         assert_eq!(sim.counters().queries, 3);
+    }
+
+    #[test]
+    fn durability_counters_merge_as_sums() {
+        let mut a = ModeCounters {
+            wal_appends: 1,
+            checkpoints: 2,
+            replayed_ops: 3,
+            quarantines: 4,
+            degraded_reads: 5,
+            ..Default::default()
+        };
+        let b = ModeCounters {
+            wal_appends: 10,
+            checkpoints: 20,
+            replayed_ops: 30,
+            quarantines: 40,
+            degraded_reads: 50,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.wal_appends, 11);
+        assert_eq!(a.checkpoints, 22);
+        assert_eq!(a.replayed_ops, 33);
+        assert_eq!(a.quarantines, 44);
+        assert_eq!(a.degraded_reads, 55);
     }
 }

@@ -8,6 +8,9 @@
 //! incsim-cli query    --state state.incsim --node 42 -k 5
 //! incsim-cli query    --state state.incsim -a 3 -b 7
 //! incsim-cli serve    --state state.incsim --shards 4 --readers 4 --duration-ms 1000
+//! incsim-cli serve    --state state.incsim --wal updates.wal --checkpoint-every 512
+//! incsim-cli recover  --wal updates.wal -o recovered.incsim
+//! incsim-cli wal-fault --wal updates.wal -o damaged.wal --fault torn --at 4096
 //! incsim-cli info     --state state.incsim
 //! ```
 //!
@@ -62,8 +65,15 @@ commands:
   serve      multi-threaded query benchmark over the concurrent serving layer
              --state STATE [--shards N] [--readers R] [--duration-ms D]
              [--batch B] [--publish-every P]
+             [--wal FILE] [--checkpoint-every N]
              [--algorithm incsr|incusr|incsvd|naive|probe] [--mode auto|eager|fused|lazy]
              [--compress-at-rank R] [--compress-tol T]
+  recover    rebuild a state file from a write-ahead log (checkpoint + replay)
+             --wal FILE -o STATE [--shard N]
+             [--algorithm incsr|incusr|incsvd|naive] [--mode auto|eager|fused|lazy]
+  wal-fault  damage a copy of a write-ahead log (fault-injection harness)
+             --wal FILE -o FILE --fault torn|flip|crc|short|random
+             [--at BYTE] [--bit B] [--frame N] [--len N] [--seed S]
   info       describe a state file
              --state STATE";
 
@@ -128,6 +138,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "topk" => cmd_topk(&flags),
         "query" => cmd_query(&flags),
         "serve" => cmd_serve(&flags),
+        "recover" => cmd_recover(&flags),
+        "wal-fault" => cmd_wal_fault(&flags),
         "info" => cmd_info(&flags),
         other => Err(format!("unknown command {other:?}")),
     }
@@ -436,7 +448,7 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         return Err("state has fewer than 2 nodes; nothing to serve".into());
     }
 
-    let builder = apply_compress_flags(
+    let mut builder = apply_compress_flags(
         SimRankBuilder::new()
             .algorithm(algorithm)
             .mode(policy)
@@ -444,8 +456,27 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
             .config(snap.config),
         flags,
     )?;
+    let wal_path = flags.get(&["--wal"]);
+    if let Some(path) = wal_path {
+        builder = builder.wal(path);
+    }
+    let checkpoint_every: u64 = flags.num(&["--checkpoint-every"], 0u64)?;
+    if checkpoint_every > 0 {
+        if wal_path.is_none() {
+            return Err("--checkpoint-every needs --wal".into());
+        }
+        builder = builder.checkpoint_every(checkpoint_every);
+    }
     let sharded = incsim::serve::ShardedSimRank::with_scores(builder, snap.graph, snap.scores)
         .map_err(|e| e.to_string())?;
+    if let Some(path) = wal_path {
+        // A non-empty log overrides the supplied state: the durable
+        // trajectory is authoritative over whatever file the caller passed.
+        println!(
+            "durable: write-ahead log at {path}, recovered to seq {}",
+            sharded.last_seq()
+        );
+    }
     let mut serving = incsim::serve::ConcurrentSimRank::new(sharded);
     println!(
         "serving n = {n} via {} across {} shard(s); {readers} reader thread(s), \
@@ -485,6 +516,109 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         report.updates,
         report.updates_per_sec(),
         report.epochs_published
+    );
+    Ok(())
+}
+
+/// `recover` — rebuild a state file from a durable write-ahead log. The
+/// reader truncates any torn tail, starts from the newest usable
+/// checkpoint (a per-shard one when `--shard` is given, the global base
+/// otherwise) and replays the op suffix on top; the result is written as
+/// an ordinary state file any other command can open.
+fn cmd_recover(flags: &Flags) -> Result<(), String> {
+    let wal_path = flags.req(&["--wal"])?;
+    let out = flags.req(&["-o", "--output"])?;
+    let shard: Option<u32> = match flags.get(&["--shard"]) {
+        None => None,
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|_| format!("bad --shard value {raw:?}"))?,
+        ),
+    };
+    let algorithm = parse_algorithm(flags.get(&["--algorithm"]))?;
+    let policy = parse_mode(flags.get(&["--mode"]))?;
+    if algorithm.is_matrix_free() {
+        return Err(
+            "probe is matrix-free and cannot write state files; recover with an exact \
+             engine, or attach the log to `serve --algorithm probe` directly"
+                .into(),
+        );
+    }
+
+    let log = incsim::wal::read_log(std::path::Path::new(wal_path))
+        .map_err(|e| format!("cannot read log {wal_path}: {e}"))?;
+    if log.torn {
+        eprintln!(
+            "note: {wal_path} ends in a torn/corrupt frame; recovering from the \
+             {}-byte valid prefix",
+            log.valid_bytes
+        );
+    }
+    let builder = apply_compress_flags(
+        SimRankBuilder::new().algorithm(algorithm).mode(policy),
+        flags,
+    )?;
+    let rebuilt = incsim::wal::rebuild_engine(&builder, &log, shard).map_err(|e| e.to_string())?;
+    println!(
+        "recovered to seq {} via {}: checkpoint at seq {}, {} op(s) replayed{}",
+        rebuilt.last_seq,
+        rebuilt.sim.engine_name(),
+        rebuilt.checkpoint_seq,
+        rebuilt.replayed_ops,
+        match shard {
+            Some(s) => format!(" (shard {s} only)"),
+            None => String::new(),
+        }
+    );
+    let mut sim = rebuilt.sim;
+    let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    sim.snapshot(BufWriter::new(file))
+        .map_err(|e| e.to_string())?;
+    println!("state written to {out}");
+    Ok(())
+}
+
+/// `wal-fault` — write a damaged copy of a write-ahead log. This is the
+/// CLI face of [`incsim::wal::faults`]: pick an explicit fault
+/// (`torn`/`flip`/`crc`/`short` with its offset flags) or let a seeded
+/// plan draw one (`random --seed S`), then point `recover` at the output
+/// to watch the torn-tail truncation and checkpoint replay do their job.
+fn cmd_wal_fault(flags: &Flags) -> Result<(), String> {
+    use incsim::wal::faults::{apply_fault, Fault, FaultPlan};
+
+    let wal_path = flags.req(&["--wal"])?;
+    let out = flags.req(&["-o", "--output"])?;
+    let bytes = std::fs::read(wal_path).map_err(|e| format!("cannot read {wal_path}: {e}"))?;
+    let fault = match flags.req(&["--fault"])? {
+        "torn" => Fault::TornWrite {
+            cut: flags.num(&["--at"], bytes.len() / 2)?,
+        },
+        "flip" => Fault::BitFlip {
+            offset: flags.num(&["--at"], bytes.len() / 2)?,
+            bit: flags.num(&["--bit"], 0u8)?,
+        },
+        "crc" => Fault::CorruptChecksum {
+            frame: flags.num(&["--frame"], 0usize)?,
+        },
+        "short" => Fault::ShortRead {
+            len: flags.num(&["--len"], bytes.len() / 2)?,
+        },
+        "random" => {
+            let seed: u64 = flags.num(&["--seed", "-s"], 42u64)?;
+            FaultPlan::seeded(seed).draw(&bytes)
+        }
+        other => {
+            return Err(format!(
+                "unknown fault {other:?} (torn|flip|crc|short|random)"
+            ))
+        }
+    };
+    let damaged = apply_fault(&bytes, fault);
+    std::fs::write(out, &damaged).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "applied {fault:?}: {} -> {} bytes, written to {out}",
+        bytes.len(),
+        damaged.len()
     );
     Ok(())
 }

@@ -51,6 +51,7 @@
 //! |--------|-------|----------|
 //! | [`api`] | `incsim` (this crate) | the service layer: builder, handle, apply policies |
 //! | [`serve`] | `incsim` (this crate) | the serving layer: sharded router, concurrent epoch reads |
+//! | [`wal`] | `incsim` (this crate) | durability: write-ahead log, crash recovery, fault injection |
 //! | [`linalg`] | `incsim-linalg` | dense/sparse matrices, QR, SVD, LU, Stein solver |
 //! | [`graph`] | `incsim-graph` | dynamic digraph, evolving timeline, I/O |
 //! | [`core`] | `incsim-core` | matrix-form SimRank, **Inc-uSR**, **Inc-SR** |
@@ -60,6 +61,7 @@
 
 pub mod api;
 pub mod serve;
+pub mod wal;
 
 pub use incsim_baselines as baselines;
 pub use incsim_core as core;

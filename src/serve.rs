@@ -78,6 +78,35 @@
 //! epoch per *batch* of queries (see [`EpochReader::epoch`]) pay the
 //! synchronisation cost once per batch.
 //!
+//! ## Durability and crash containment
+//!
+//! A router built with [`SimRankBuilder::wal`] is **durable**: every
+//! accepted op is appended (write-ahead) to an [`crate::wal`] log before
+//! any engine applies it, with periodic full-image checkpoints on the
+//! [`SimRankBuilder::checkpoint_every`] cadence
+//! ([`DEFAULT_CHECKPOINT_EVERY`]). Re-opening the same log rebuilds the
+//! router exactly where the crashed process stopped — checkpoint +
+//! shard-filtered replay, torn tails truncated, see the [`crate::wal`]
+//! docs for the recovery contract.
+//!
+//! Failures inside one shard are **contained**, durable or not: each
+//! shard's apply runs under `catch_unwind`, so a panicking engine
+//! quarantines that shard ([`ShardHealth::Quarantined`]) instead of
+//! killing the process. While quarantined:
+//!
+//! * writes routing to the shard are rejected with the retryable
+//!   [`ServeError::Quarantined`] (bounded backoff hint attached);
+//!   writes on healthy shards keep flowing;
+//! * checked reads return [`ServeError::Degraded`]; epoch readers keep
+//!   being served the shard's last **published** view, marked
+//!   [`ReadStatus::Degraded`] — a shard crash never takes reads down;
+//! * [`ShardedSimRank::rebuild_shard`] restores the shard from
+//!   checkpoint + replay (or batch recompute without a WAL) and lifts
+//!   the quarantine.
+//!
+//! [`SimRankBuilder::wal`]: crate::api::SimRankBuilder::wal
+//! [`SimRankBuilder::checkpoint_every`]: crate::api::SimRankBuilder::checkpoint_every
+//!
 //! ## Example
 //!
 //! ```
@@ -106,8 +135,187 @@ use crate::core::query::RankedNode;
 use crate::core::{SimRankConfig, SnapshotQuery, UpdateError, UpdateStats};
 use crate::graph::{DiGraph, UpdateOp};
 use crate::linalg::DenseMatrix;
-use std::sync::atomic::{AtomicBool, Ordering};
+use crate::wal::{self, CheckpointRecord, Wal, WalError};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, PoisonError, RwLock};
+use std::time::Duration;
+
+/// Default checkpoint cadence of a durable router: a full engine image is
+/// embedded in the WAL after every this many logged ops (override with
+/// [`SimRankBuilder::checkpoint_every`]).
+pub const DEFAULT_CHECKPOINT_EVERY: u64 = 1024;
+
+/// The backoff hint attached to writes rejected because their shard is
+/// quarantined: callers should wait at least this long (rebuilding takes
+/// one checkpoint decode + replay) before retrying or give up to a
+/// different replica.
+pub const QUARANTINE_RETRY_AFTER: Duration = Duration::from_millis(50);
+
+/// Errors from the serving layer's write and checked-read paths.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The op itself is invalid, or an engine failed it (routed through
+    /// from the shard engines / validation).
+    Update(UpdateError),
+    /// The write-ahead log rejected the append — write-ahead ordering
+    /// means nothing was applied.
+    Wal(WalError),
+    /// The write routes to a quarantined shard and was applied **nowhere**;
+    /// retryable after `retry_after` (rebuild the shard first, or wait for
+    /// an operator to).
+    Quarantined {
+        /// The quarantined shard.
+        shard: usize,
+        /// Log sequence number at which it was quarantined.
+        since_seq: u64,
+        /// Bounded backoff hint.
+        retry_after: Duration,
+    },
+    /// A shard worker panicked mid-apply. The panicking shard is now
+    /// quarantined; every *healthy* shard's application and the router
+    /// graph **did commit** (the batch is in the log, so the quarantined
+    /// shard recovers it on rebuild).
+    ShardPanicked {
+        /// The shard that panicked.
+        shard: usize,
+        /// Log sequence number at which it was quarantined.
+        since_seq: u64,
+    },
+    /// A shard rebuild failed to reconstruct its engine.
+    Build(BuildError),
+    /// A checked read routed to a quarantined shard: the live engine is
+    /// not trustworthy, so no fresh answer exists. Epoch readers keep
+    /// being served the last published state with a
+    /// [`ReadStatus::Degraded`] marker instead.
+    Degraded {
+        /// The quarantined shard.
+        shard: usize,
+        /// Log sequence number at which it was quarantined.
+        since_seq: u64,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Update(e) => write!(f, "{e}"),
+            ServeError::Wal(e) => write!(f, "durable write failed: {e}"),
+            ServeError::Quarantined {
+                shard,
+                since_seq,
+                retry_after,
+            } => write!(
+                f,
+                "shard {shard} is quarantined (since seq {since_seq}); \
+                 retry after {retry_after:?} or rebuild_shard({shard})"
+            ),
+            ServeError::ShardPanicked { shard, since_seq } => write!(
+                f,
+                "shard {shard} panicked mid-apply and is quarantined (seq {since_seq}); \
+                 healthy shards committed"
+            ),
+            ServeError::Build(e) => write!(f, "shard rebuild failed: {e}"),
+            ServeError::Degraded { shard, since_seq } => write!(
+                f,
+                "shard {shard} is quarantined (since seq {since_seq}); \
+                 no fresh answer — epoch readers serve the last published state"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<UpdateError> for ServeError {
+    fn from(e: UpdateError) -> Self {
+        ServeError::Update(e)
+    }
+}
+
+impl From<WalError> for ServeError {
+    fn from(e: WalError) -> Self {
+        ServeError::Wal(e)
+    }
+}
+
+impl From<BuildError> for ServeError {
+    fn from(e: BuildError) -> Self {
+        ServeError::Build(e)
+    }
+}
+
+/// Liveness of one shard engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardHealth {
+    /// Serving normally.
+    Healthy,
+    /// A mid-apply panic (or engine error) left this shard's engine in an
+    /// untrusted state: writes to it are rejected, checked reads report
+    /// [`ServeError::Degraded`], epochs freeze its last published view.
+    /// [`ShardedSimRank::rebuild_shard`] restores it.
+    Quarantined {
+        /// Log sequence number at quarantine time.
+        since_seq: u64,
+    },
+}
+
+/// Why an epoch read of a quarantined shard is stale — attached to the
+/// epoch at publish time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradedInfo {
+    /// Log sequence number at which the owning shard was quarantined.
+    pub since_seq: u64,
+    /// Node count of the frozen view; ids appended after the quarantine
+    /// read as 0.0 (no similarity evidence ever reached the frozen view).
+    pub frozen_n: usize,
+}
+
+/// Freshness of an epoch read — [`ReadStatus::Degraded`] answers come
+/// from the last epoch published before the owning shard was quarantined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadStatus {
+    /// Served from the shard's current published state.
+    Fresh,
+    /// Served from the stale pre-quarantine view.
+    Degraded {
+        /// The quarantined shard.
+        shard: usize,
+        /// Log sequence number at which it was quarantined.
+        since_seq: u64,
+    },
+}
+
+/// The all-zeros fallback view for a shard quarantined before any epoch
+/// of it was published (SimRank of an unknown state: no evidence, 0.0).
+#[derive(Debug)]
+struct ZeroView;
+
+impl SnapshotQuery for ZeroView {
+    fn n(&self) -> usize {
+        0
+    }
+
+    fn pair(&self, _a: u32, _b: u32) -> f64 {
+        0.0
+    }
+
+    fn single_source(&self, _a: u32) -> Vec<RankedNode> {
+        Vec::new()
+    }
+
+    fn top_k(&self, _a: u32, _k: usize) -> Vec<RankedNode> {
+        Vec::new()
+    }
+
+    fn similar_above(&self, _a: u32, _threshold: f64) -> Vec<RankedNode> {
+        Vec::new()
+    }
+
+    fn heap_bytes(&self) -> usize {
+        0
+    }
+}
 
 /// Worker count for the serving layer's parallel paths (per-shard batch
 /// dispatch, reader pools in the harnesses): `INCSIM_THREADS` when set,
@@ -157,6 +365,13 @@ impl ShardPartition {
         self.shards
     }
 
+    /// The block size: `owner(x) = min(x / block, shards - 1)`. Stored in
+    /// WAL checkpoint records so shard-filtered replay uses the partition
+    /// geometry the ops were routed under.
+    pub fn block(&self) -> usize {
+        self.block
+    }
+
     /// The shard owning node `v`. Ids past the initial range (appended
     /// nodes) fall to the last shard.
     pub fn owner(&self, v: u32) -> usize {
@@ -197,6 +412,19 @@ pub struct ShardedSimRank {
     shards: Vec<SimRank>,
     partition: ShardPartition,
     graph: DiGraph,
+    /// The builder the shards were made from — rebuilds reuse it.
+    builder: SimRankBuilder,
+    health: Vec<ShardHealth>,
+    wal: Option<Wal>,
+    checkpoint_every: u64,
+    /// Highest op sequence number accepted (matches the WAL's when one is
+    /// attached; counted locally otherwise).
+    last_seq: u64,
+    ops_since_checkpoint: u64,
+    quarantines_total: u64,
+    /// Shared with every published [`Epoch`], which bumps it on each read
+    /// served from a stale (degraded) view.
+    degraded_reads: Arc<AtomicU64>,
 }
 
 impl ShardedSimRank {
@@ -225,6 +453,22 @@ impl ShardedSimRank {
         graph: DiGraph,
         scores: Option<DenseMatrix>,
     ) -> Result<Self, BuildError> {
+        // Durable routers attach the write-ahead log first: an existing
+        // non-empty log is the authoritative history and *overrides* the
+        // supplied graph (`serve --wal` reopens exactly where the crashed
+        // process stopped); a fresh log records the supplied state as its
+        // global base checkpoint.
+        let (wal, recovered) = match builder.wal_path() {
+            Some(path) => {
+                let (w, r) = Wal::open_or_create(path)?;
+                (Some(w), r)
+            }
+            None => (None, None),
+        };
+        if let Some(log) = recovered.filter(|l| !l.records.is_empty()) {
+            return Self::recover_internal(builder, wal.expect("recovered implies wal"), &log);
+        }
+
         let shard_count = builder.shard_count();
         let partition = ShardPartition::new(graph.node_count(), shard_count);
         let mut shards = Vec::with_capacity(shard_count);
@@ -235,11 +479,108 @@ impl ShardedSimRank {
                 None => b.from_graph(graph.clone())?,
             });
         }
-        Ok(ShardedSimRank {
+        let mut router = ShardedSimRank {
+            health: vec![ShardHealth::Healthy; shards.len()],
+            checkpoint_every: builder.checkpoint_cadence(),
             shards,
             partition,
             graph,
+            builder,
+            wal,
+            last_seq: 0,
+            ops_since_checkpoint: 0,
+            quarantines_total: 0,
+            degraded_reads: Arc::new(AtomicU64::new(0)),
+        };
+        // Every shard's state coincides at build, so one image serves as
+        // the base any shard (or the whole system) can rebuild from.
+        if let Some(mut wal) = router.wal.take() {
+            wal.append_checkpoint(&CheckpointRecord {
+                shard: None,
+                shard_count: router.partition.shard_count() as u32,
+                block: router.partition.block() as u64,
+                seq: 0,
+                image: wal::checkpoint_image_for(&mut router.shards[0]),
+            })
+            .map_err(BuildError::from)?;
+            router.wal = Some(wal);
+        }
+        Ok(router)
+    }
+
+    /// Reconstructs a router from a recovered log: every shard rebuilds
+    /// from its newest usable checkpoint + shard-filtered replay, and the
+    /// authoritative graph replays unfiltered from the global base. The
+    /// partition geometry comes from the log, not the builder — the ops
+    /// were routed under it.
+    fn recover_internal(
+        builder: SimRankBuilder,
+        wal: Wal,
+        log: &wal::RecoveredLog,
+    ) -> Result<Self, BuildError> {
+        let cp = log
+            .newest_checkpoint(None)
+            .ok_or(WalError::NoCheckpoint)
+            .map_err(BuildError::from)?;
+        let shard_count = (cp.shard_count as usize).max(1);
+        let partition = ShardPartition {
+            shards: shard_count,
+            block: (cp.block as usize).max(1),
+        };
+        let mut shards = Vec::with_capacity(shard_count);
+        let mut replayed = 0u64;
+        for s in 0..shard_count {
+            let rebuilt =
+                wal::rebuild_engine(&builder, log, Some(s as u32)).map_err(BuildError::from)?;
+            replayed += rebuilt.replayed_ops;
+            shards.push(rebuilt.sim);
+        }
+        let graph = Self::replay_authoritative_graph(log).map_err(BuildError::from)?;
+        debug_assert!(shards
+            .iter()
+            .all(|s| { s.graph().node_count() == graph.node_count() }));
+        let last_seq = log.last_seq();
+        let _ = replayed; // per-shard counters already carry the replay accounting
+        Ok(ShardedSimRank {
+            health: vec![ShardHealth::Healthy; shards.len()],
+            checkpoint_every: builder.checkpoint_cadence(),
+            shards,
+            partition,
+            graph,
+            builder,
+            wal: Some(wal),
+            last_seq,
+            ops_since_checkpoint: 0,
+            quarantines_total: 0,
+            degraded_reads: Arc::new(AtomicU64::new(0)),
         })
+    }
+
+    /// The authoritative (unfiltered) graph of a recovered log: the global
+    /// base checkpoint's graph plus every op after it, regardless of shard.
+    fn replay_authoritative_graph(log: &wal::RecoveredLog) -> Result<DiGraph, WalError> {
+        let cp = log.newest_checkpoint(None).ok_or(WalError::NoCheckpoint)?;
+        let mut graph = match &cp.image {
+            wal::CheckpointImage::GraphOnly { graph, .. } => graph.clone(),
+            wal::CheckpointImage::Dense(bytes) => {
+                crate::core::snapshot::load(&mut &bytes[..])?.graph
+            }
+        };
+        for rec in log.ops_after(cp.seq) {
+            match rec {
+                wal::WalRecord::Op { op, .. } => {
+                    op.apply(&mut graph).map_err(|_| WalError::Corrupt {
+                        offset: 0,
+                        detail: "logged op does not apply to the checkpoint graph",
+                    })?
+                }
+                wal::WalRecord::AddNode { .. } => {
+                    graph.add_node();
+                }
+                wal::WalRecord::Checkpoint(_) => unreachable!("ops_after yields no checkpoints"),
+            }
+        }
+        Ok(graph)
     }
 
     // ---- topology ------------------------------------------------------
@@ -279,29 +620,66 @@ impl ShardedSimRank {
     /// routed to the shard(s) owning its endpoints. Returns the stats of
     /// each shard application (one entry, or two when the endpoints live
     /// on different shards).
-    pub fn update(&mut self, op: UpdateOp) -> Result<Vec<UpdateStats>, UpdateError> {
+    ///
+    /// Durable routers append the op to the WAL *before* applying it. A
+    /// shard that panics (or errors) mid-apply is quarantined; the op
+    /// still commits everywhere else — the quarantined shard recovers it
+    /// from the log on [`Self::rebuild_shard`].
+    pub fn update(&mut self, op: UpdateOp) -> Result<Vec<UpdateStats>, ServeError> {
         let (i, j) = op.endpoints();
         let kind = match op {
             UpdateOp::Insert(..) => crate::core::UpdateKind::Insert,
             UpdateOp::Delete(..) => crate::core::UpdateKind::Delete,
         };
-        crate::core::validate_update(&self.graph, i, j, kind)?;
+        crate::core::validate_update(&self.graph, i, j, kind).map_err(ServeError::Update)?;
+        let owners: Vec<usize> = self.owners(i, j).collect();
+        self.check_writable(owners.iter().copied())?;
+        if let Some(w) = self.wal.as_mut() {
+            w.append_ops(std::slice::from_ref(&op))?;
+        }
+        self.last_seq += 1;
+
         let mut stats = Vec::with_capacity(2);
-        for s in self.owners(i, j) {
-            stats.push(self.shards[s].update(op)?);
+        let mut first_failure: Option<(usize, Option<UpdateError>)> = None;
+        for &s in &owners {
+            // Every owner gets the op even after one fails: the op is
+            // committed (logged + in the router graph), so a healthy
+            // shard skipping it would silently diverge.
+            match catch_unwind(AssertUnwindSafe(|| self.shards[s].update(op))) {
+                Ok(Ok(st)) => stats.push(st),
+                Ok(Err(e)) => {
+                    self.quarantine(s);
+                    first_failure.get_or_insert((s, Some(e)));
+                }
+                Err(_) => {
+                    self.quarantine(s);
+                    first_failure.get_or_insert((s, None));
+                }
+            }
         }
         op.apply(&mut self.graph)
             .expect("validated against this graph");
-        Ok(stats)
+        self.ops_since_checkpoint += 1;
+        match first_failure {
+            None => {
+                self.maybe_checkpoint()?;
+                Ok(stats)
+            }
+            Some((_, Some(e))) => Err(ServeError::Update(e)),
+            Some((s, None)) => Err(ServeError::ShardPanicked {
+                shard: s,
+                since_seq: self.last_seq,
+            }),
+        }
     }
 
     /// Inserts edge `(i, j)` on the owning shard(s).
-    pub fn insert(&mut self, i: u32, j: u32) -> Result<Vec<UpdateStats>, UpdateError> {
+    pub fn insert(&mut self, i: u32, j: u32) -> Result<Vec<UpdateStats>, ServeError> {
         self.update(UpdateOp::Insert(i, j))
     }
 
     /// Deletes edge `(i, j)` on the owning shard(s).
-    pub fn remove(&mut self, i: u32, j: u32) -> Result<Vec<UpdateStats>, UpdateError> {
+    pub fn remove(&mut self, i: u32, j: u32) -> Result<Vec<UpdateStats>, ServeError> {
         self.update(UpdateOp::Delete(i, j))
     }
 
@@ -315,25 +693,34 @@ impl ShardedSimRank {
     ///
     /// Returns one [`UpdateStats`] per op (from the op's primary owner,
     /// the shard that also answers pair queries on its endpoints).
-    pub fn update_batch(&mut self, ops: &[UpdateOp]) -> Result<Vec<UpdateStats>, UpdateError> {
+    pub fn update_batch(&mut self, ops: &[UpdateOp]) -> Result<Vec<UpdateStats>, ServeError> {
         self.update_batch_with_threads(ops, serve_threads())
     }
 
     /// [`Self::update_batch`] with an explicit worker-thread cap
     /// (1 = fully serial dispatch). Results are identical for every
     /// thread count; only the wall-clock moves.
+    ///
+    /// Panic containment: each shard's sub-batch runs under
+    /// `catch_unwind`, so a shard engine panicking mid-apply **cannot
+    /// kill the process or poison the router**. The panicking shard is
+    /// quarantined and the call returns [`ServeError::ShardPanicked`];
+    /// every healthy shard's application and the router graph still
+    /// commit (the batch is already in the WAL, so the quarantined shard
+    /// recovers it on [`Self::rebuild_shard`]).
     pub fn update_batch_with_threads(
         &mut self,
         ops: &[UpdateOp],
         threads: usize,
-    ) -> Result<Vec<UpdateStats>, UpdateError> {
+    ) -> Result<Vec<UpdateStats>, ServeError> {
         if ops.is_empty() {
             return Ok(Vec::new());
         }
         // Atomic pre-validation: replay the batch on a shadow graph.
         let mut shadow = self.graph.clone();
         for &op in ops {
-            op.apply(&mut shadow).map_err(UpdateError::Graph)?;
+            op.apply(&mut shadow)
+                .map_err(|e| ServeError::Update(UpdateError::Graph(e)))?;
         }
 
         // Route: per-shard sub-batches, preserving global op order, plus
@@ -348,9 +735,22 @@ impl ShardedSimRank {
             }
         }
 
+        // Quarantine pre-check: a batch touching a quarantined shard is
+        // rejected before the log or any engine moves.
+        self.check_writable((0..self.shards.len()).filter(|&s| !sub_ops[s].is_empty()))?;
+
+        // Write-ahead: the whole batch is logged (and flushed) before any
+        // shard applies an op — on append failure nothing was applied.
+        if let Some(w) = self.wal.as_mut() {
+            w.append_ops(ops)?;
+        }
+
         // Dispatch: the busy shards are split into at most `threads`
         // contiguous groups, one scoped worker per group, so the cap is
         // honoured exactly (a group works through its shards serially).
+        // Both paths apply under `catch_unwind`, so results are identical
+        // for every thread count even when a shard dies.
+        type ShardOutcome = std::thread::Result<Result<Vec<UpdateStats>, UpdateError>>;
         let shard_count = self.shards.len();
         let mut busy: Vec<(usize, &mut SimRank, &Vec<UpdateOp>)> = self
             .shards
@@ -361,38 +761,72 @@ impl ShardedSimRank {
             .map(|(s, (shard, sub))| (s, shard, sub))
             .collect();
         let workers = threads.max(1).min(busy.len().max(1));
-        let mut per_shard: Vec<Option<Vec<UpdateStats>>> = vec![None; shard_count];
+        let mut results: Vec<(usize, ShardOutcome)> = Vec::new();
         if workers <= 1 {
             for (s, shard, sub) in busy {
-                per_shard[s] = Some(shard.update_batch(sub)?);
+                results.push((
+                    s,
+                    catch_unwind(AssertUnwindSafe(|| shard.update_batch(sub))),
+                ));
             }
         } else {
             let group_len = busy.len().div_ceil(workers);
-            let mut results: Vec<(usize, Result<Vec<UpdateStats>, UpdateError>)> = Vec::new();
             std::thread::scope(|scope| {
                 let mut handles = Vec::new();
                 for group in busy.chunks_mut(group_len) {
                     handles.push(scope.spawn(move || {
                         group
                             .iter_mut()
-                            .map(|(s, shard, sub)| (*s, shard.update_batch(sub)))
+                            .map(|(s, shard, sub)| {
+                                (
+                                    *s,
+                                    catch_unwind(AssertUnwindSafe(|| shard.update_batch(sub))),
+                                )
+                            })
                             .collect::<Vec<_>>()
                     }));
                 }
                 for h in handles {
-                    results.extend(h.join().expect("shard worker panicked"));
+                    results.extend(h.join().expect("group worker itself cannot panic"));
                 }
             });
-            for (s, r) in results {
-                per_shard[s] = Some(r?);
-            }
         }
 
-        // Pre-validation guarantees per-shard success (each shard's graph
-        // agrees with the global one on every edge it owns), so reaching
-        // here means every sub-batch applied; commit the shadow graph and
-        // collect each op's primary-owner stats.
+        // Commit: the batch is durable and every healthy shard applied it
+        // (pre-validation guarantees per-shard success), so the shadow
+        // graph becomes authoritative even when some shard failed — that
+        // shard is quarantined and recovers the suffix from the log.
         self.graph = shadow;
+        self.last_seq += ops.len() as u64;
+        self.ops_since_checkpoint += ops.len() as u64;
+        let mut per_shard: Vec<Option<Vec<UpdateStats>>> = vec![None; shard_count];
+        let mut first_failure: Option<(usize, Option<UpdateError>)> = None;
+        for (s, outcome) in results {
+            match outcome {
+                Ok(Ok(stats)) => per_shard[s] = Some(stats),
+                Ok(Err(e)) => {
+                    self.quarantine(s);
+                    first_failure.get_or_insert((s, Some(e)));
+                }
+                Err(_) => {
+                    self.quarantine(s);
+                    first_failure.get_or_insert((s, None));
+                }
+            }
+        }
+        match first_failure {
+            Some((_, Some(e))) => return Err(ServeError::Update(e)),
+            Some((s, None)) => {
+                return Err(ServeError::ShardPanicked {
+                    shard: s,
+                    since_seq: self.last_seq,
+                })
+            }
+            None => {}
+        }
+        self.maybe_checkpoint()?;
+
+        // Collect each op's primary-owner stats.
         let mut out: Vec<Option<UpdateStats>> = vec![None; ops.len()];
         for (s, stats) in per_shard.iter().enumerate() {
             let Some(stats) = stats else { continue };
@@ -410,14 +844,165 @@ impl ShardedSimRank {
     }
 
     /// Appends an isolated node to **every** shard (all engines span the
-    /// full node set); the new id is owned by the last shard.
-    pub fn add_node(&mut self) -> u32 {
+    /// full node set); the new id is owned by the last shard. Rejected
+    /// with [`ServeError::Quarantined`] while any shard is quarantined
+    /// (its engine cannot take the append; rebuild first).
+    pub fn add_node(&mut self) -> Result<u32, ServeError> {
+        self.check_writable(0..self.shards.len())?;
+        if let Some(w) = self.wal.as_mut() {
+            w.append_add_node()?;
+        }
+        self.last_seq += 1;
+        self.ops_since_checkpoint += 1;
         let id = self.graph.add_node();
         for shard in &mut self.shards {
             let shard_id = shard.add_node();
             debug_assert_eq!(shard_id, id, "shard node-id drift");
         }
-        id
+        self.maybe_checkpoint()?;
+        Ok(id)
+    }
+
+    // ---- health & durability -------------------------------------------
+
+    /// Health of shard `s`.
+    ///
+    /// # Panics
+    /// Panics if `s >= shard_count()`.
+    pub fn shard_health(&self, s: usize) -> ShardHealth {
+        self.health[s]
+    }
+
+    /// Indices of the currently quarantined shards (empty when all serve).
+    pub fn quarantined_shards(&self) -> Vec<usize> {
+        self.health
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| matches!(h, ShardHealth::Quarantined { .. }))
+            .map(|(s, _)| s)
+            .collect()
+    }
+
+    /// The highest op sequence number accepted so far (the WAL's when one
+    /// is attached).
+    pub fn last_seq(&self) -> u64 {
+        self.last_seq
+    }
+
+    /// Path of the attached write-ahead log, if the router is durable.
+    pub fn wal_path(&self) -> Option<&std::path::Path> {
+        self.wal.as_ref().map(|w| w.path())
+    }
+
+    fn check_writable(&self, owners: impl IntoIterator<Item = usize>) -> Result<(), ServeError> {
+        for s in owners {
+            if let ShardHealth::Quarantined { since_seq } = self.health[s] {
+                return Err(ServeError::Quarantined {
+                    shard: s,
+                    since_seq,
+                    retry_after: QUARANTINE_RETRY_AFTER,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn quarantine(&mut self, s: usize) {
+        if matches!(self.health[s], ShardHealth::Healthy) {
+            self.health[s] = ShardHealth::Quarantined {
+                since_seq: self.last_seq,
+            };
+            self.quarantines_total += 1;
+        }
+    }
+
+    /// Writes a per-shard checkpoint image for every healthy shard when
+    /// the op cadence is due (durable routers only).
+    fn maybe_checkpoint(&mut self) -> Result<(), ServeError> {
+        if self.wal.is_none() || self.ops_since_checkpoint < self.checkpoint_every {
+            return Ok(());
+        }
+        let mut wal = self.wal.take().expect("checked above");
+        let result = (|| {
+            for s in 0..self.shards.len() {
+                if !matches!(self.health[s], ShardHealth::Healthy) {
+                    continue;
+                }
+                wal.append_checkpoint(&CheckpointRecord {
+                    shard: Some(s as u32),
+                    shard_count: self.partition.shard_count() as u32,
+                    block: self.partition.block() as u64,
+                    seq: self.last_seq,
+                    image: wal::checkpoint_image_for(&mut self.shards[s]),
+                })?;
+            }
+            Ok(())
+        })();
+        self.wal = Some(wal);
+        if result.is_ok() {
+            self.ops_since_checkpoint = 0;
+        }
+        result.map_err(ServeError::Wal)
+    }
+
+    /// Restores a quarantined shard from the write-ahead log (newest
+    /// usable checkpoint + shard-filtered replay — see
+    /// [`crate::wal::rebuild_engine`]) and marks it healthy again. Without
+    /// a WAL the shard is recomputed from the authoritative router graph
+    /// instead. A fresh per-shard checkpoint is appended after a durable
+    /// rebuild, so the *next* recovery replays a short suffix.
+    ///
+    /// Rebuilding a healthy shard is a no-op returning `Ok(())`.
+    ///
+    /// # Panics
+    /// Panics if `s >= shard_count()`.
+    pub fn rebuild_shard(&mut self, s: usize) -> Result<(), ServeError> {
+        if matches!(self.health[s], ShardHealth::Healthy) {
+            return Ok(());
+        }
+        match self.wal.take() {
+            Some(mut wal) => {
+                let restore = (|| -> Result<SimRank, WalError> {
+                    wal.sync()?;
+                    let log = wal::read_log(wal.path())?;
+                    Ok(wal::rebuild_engine(&self.builder, &log, Some(s as u32))?.sim)
+                })();
+                match restore {
+                    Ok(mut sim) => {
+                        debug_assert_eq!(
+                            sim.graph().node_count(),
+                            self.graph.node_count(),
+                            "rebuilt shard node-universe drift"
+                        );
+                        // Best-effort hygiene checkpoint: a failure here
+                        // costs only a longer replay next time (the log
+                        // truncated back to a consistent state).
+                        let _ = wal.append_checkpoint(&CheckpointRecord {
+                            shard: Some(s as u32),
+                            shard_count: self.partition.shard_count() as u32,
+                            block: self.partition.block() as u64,
+                            seq: self.last_seq,
+                            image: wal::checkpoint_image_for(&mut sim),
+                        });
+                        self.wal = Some(wal);
+                        self.shards[s] = sim;
+                    }
+                    Err(e) => {
+                        self.wal = Some(wal);
+                        return Err(ServeError::Wal(e));
+                    }
+                }
+            }
+            None => {
+                // No log: recompute from the authoritative router graph.
+                // The crashed shard's op-subset trajectory is not
+                // recoverable without a log; batch recompute over the full
+                // graph is the best reconstruction available.
+                self.shards[s] = self.builder.clone().from_graph(self.graph.clone())?;
+            }
+        }
+        self.health[s] = ShardHealth::Healthy;
+        Ok(())
     }
 
     /// The shard(s) owning the endpoints of an edge, deduplicated.
@@ -482,6 +1067,57 @@ impl ShardedSimRank {
         self.shards[self.partition.owner(a)].similar_above(a, threshold)
     }
 
+    // ---- checked reads --------------------------------------------------
+    //
+    // The plain query methods read the live shard engine as-is — on a
+    // quarantined shard that state may be torn mid-update. The checked
+    // variants refuse instead with a typed `ServeError::Degraded`; epoch
+    // readers ([`ConcurrentSimRank`]) get the third option, the last
+    // *published* pre-quarantine state.
+
+    /// [`Self::pair`], refusing with [`ServeError::Degraded`] when the
+    /// owning shard is quarantined.
+    ///
+    /// # Panics
+    /// Panics if either node is out of range.
+    pub fn checked_pair(&self, a: u32, b: u32) -> Result<f64, ServeError> {
+        let s = self.partition.pair_owner(a, b);
+        self.check_readable(s)?;
+        Ok(self.shards[s].pair(a.min(b), a.max(b)))
+    }
+
+    /// [`Self::single_source`], refusing with [`ServeError::Degraded`]
+    /// when the owning shard is quarantined.
+    ///
+    /// # Panics
+    /// Panics if `a` is out of range.
+    pub fn checked_single_source(&self, a: u32) -> Result<Vec<RankedNode>, ServeError> {
+        let s = self.partition.owner(a);
+        self.check_readable(s)?;
+        Ok(self.shards[s].single_source(a))
+    }
+
+    /// [`Self::top_k`], refusing with [`ServeError::Degraded`] when the
+    /// owning shard is quarantined.
+    ///
+    /// # Panics
+    /// Panics if `a` is out of range.
+    pub fn checked_top_k(&self, a: u32, k: usize) -> Result<Vec<RankedNode>, ServeError> {
+        let s = self.partition.owner(a);
+        self.check_readable(s)?;
+        Ok(self.shards[s].top_k(a, k))
+    }
+
+    fn check_readable(&self, s: usize) -> Result<(), ServeError> {
+        match self.health[s] {
+            ShardHealth::Healthy => Ok(()),
+            ShardHealth::Quarantined { since_seq } => Err(ServeError::Degraded {
+                shard: s,
+                since_seq,
+            }),
+        }
+    }
+
     // ---- maintenance & introspection -----------------------------------
 
     /// Materialises pending deferred ΔS on every shard; returns the total
@@ -522,12 +1158,21 @@ impl ShardedSimRank {
 
     /// Routing counters aggregated across every shard — per-shard
     /// accounting stays meaningful behind the router; see
-    /// [`Self::shard_counters`] for the unmerged view.
+    /// [`Self::shard_counters`] for the unmerged view. Router-level
+    /// durability accounting (`wal_appends`, `checkpoints`,
+    /// `quarantines`, `degraded_reads`) is merged in on top of the
+    /// engine-level counters (which carry `replayed_ops`).
     pub fn counters(&self) -> ModeCounters {
         let mut total = ModeCounters::default();
         for shard in &self.shards {
             total.merge(&shard.counters());
         }
+        if let Some(w) = &self.wal {
+            total.wal_appends += w.appends();
+            total.checkpoints += w.checkpoints();
+        }
+        total.quarantines += self.quarantines_total;
+        total.degraded_reads += self.degraded_reads.load(Ordering::Relaxed);
         total
     }
 
@@ -543,12 +1188,49 @@ impl ShardedSimRank {
     /// shards freeze their graph (`O(n + m)`) and keep sampling — every
     /// engine publishes through the same engine-agnostic
     /// [`SnapshotQuery`] handle.
-    pub fn snapshot_epoch(&self, seq: u64) -> Epoch {
+    ///
+    /// A **quarantined** shard's live engine is never snapshotted:
+    /// its view is carried over from `prev` (the last epoch published
+    /// before the quarantine — reads of it come back
+    /// [`ReadStatus::Degraded`]), or an all-zeros view when there is no
+    /// previous epoch to freeze.
+    pub fn snapshot_epoch(&self, seq: u64, prev: Option<&Epoch>) -> Epoch {
+        let mut views: Vec<Arc<dyn SnapshotQuery>> = Vec::with_capacity(self.shards.len());
+        let mut degraded: Vec<Option<DegradedInfo>> = Vec::with_capacity(self.shards.len());
+        for (s, shard) in self.shards.iter().enumerate() {
+            match self.health[s] {
+                ShardHealth::Healthy => {
+                    views.push(shard.snapshot_query());
+                    degraded.push(None);
+                }
+                ShardHealth::Quarantined { since_seq } => match prev {
+                    Some(p) if s < p.views.len() => {
+                        views.push(Arc::clone(&p.views[s]));
+                        // Freeze n where the carried-over view froze it:
+                        // ids appended later read 0.0, never out-of-range.
+                        let frozen_n = p.degraded[s].map_or(p.n, |d| d.frozen_n);
+                        degraded.push(Some(DegradedInfo {
+                            since_seq,
+                            frozen_n,
+                        }));
+                    }
+                    _ => {
+                        views.push(Arc::new(ZeroView));
+                        degraded.push(Some(DegradedInfo {
+                            since_seq,
+                            frozen_n: 0,
+                        }));
+                    }
+                },
+            }
+        }
         Epoch {
             seq,
             partition: self.partition,
             n: self.graph.node_count(),
-            views: self.shards.iter().map(|s| s.snapshot_query()).collect(),
+            views,
+            degraded,
+            degraded_reads: Arc::clone(&self.degraded_reads),
         }
     }
 }
@@ -560,6 +1242,8 @@ impl std::fmt::Debug for ShardedSimRank {
             .field("nodes", &self.graph.node_count())
             .field("edges", &self.graph.edge_count())
             .field("engine", &self.shards[0].engine_name())
+            .field("durable", &self.wal.is_some())
+            .field("quarantined", &self.quarantined_shards())
             .finish()
     }
 }
@@ -576,6 +1260,11 @@ pub struct Epoch {
     partition: ShardPartition,
     n: usize,
     views: Vec<Arc<dyn SnapshotQuery>>,
+    /// `Some` for shards whose view was carried over because the live
+    /// engine was quarantined at publish time.
+    degraded: Vec<Option<DegradedInfo>>,
+    /// Shared router counter, bumped per read served from a stale view.
+    degraded_reads: Arc<AtomicU64>,
 }
 
 impl Epoch {
@@ -589,13 +1278,67 @@ impl Epoch {
         self.n
     }
 
+    /// `Some` when shard `s`'s view is a stale carry-over from before its
+    /// quarantine (reads of it are answered, marked
+    /// [`ReadStatus::Degraded`], and counted).
+    ///
+    /// # Panics
+    /// Panics if `s` is not a shard index.
+    pub fn degraded(&self, s: usize) -> Option<DegradedInfo> {
+        self.degraded[s]
+    }
+
+    /// `true` when any shard's view is a stale carry-over.
+    pub fn any_degraded(&self) -> bool {
+        self.degraded.iter().any(Option::is_some)
+    }
+
+    /// Routes a read of shard `s` through its degradation state: bumps
+    /// the shared counter and clamps ids past the frozen range (the view
+    /// predates those nodes — similarity evidence for them never reached
+    /// it, so they read as 0).
+    fn route(&self, s: usize, max_id: u32) -> (bool, ReadStatus) {
+        match self.degraded[s] {
+            None => (true, ReadStatus::Fresh),
+            Some(d) => {
+                self.degraded_reads.fetch_add(1, Ordering::Relaxed);
+                (
+                    (max_id as usize) < d.frozen_n,
+                    ReadStatus::Degraded {
+                        shard: s,
+                        since_seq: d.since_seq,
+                    },
+                )
+            }
+        }
+    }
+
     /// Similarity of one node pair (routing and canonical argument order
     /// as in [`ShardedSimRank::pair`], so both orders read identically).
+    /// Reads of a degraded shard come from its frozen pre-quarantine view
+    /// — use [`Self::pair_with_status`] to observe that.
     ///
     /// # Panics
     /// Panics if either node is out of range; see [`Self::try_pair`].
     pub fn pair(&self, a: u32, b: u32) -> f64 {
-        self.views[self.partition.pair_owner(a, b)].pair(a.min(b), a.max(b))
+        self.pair_with_status(a, b).0
+    }
+
+    /// [`Self::pair`] plus the freshness of the answer: **never panics on
+    /// a degraded shard** — ids appended after the quarantine read 0.0
+    /// from the frozen view instead of erroring.
+    ///
+    /// # Panics
+    /// Panics if either node is out of range *of a fresh shard's view*.
+    pub fn pair_with_status(&self, a: u32, b: u32) -> (f64, ReadStatus) {
+        let s = self.partition.pair_owner(a, b);
+        let (in_range, status) = self.route(s, a.max(b));
+        let v = if in_range {
+            self.views[s].pair(a.min(b), a.max(b))
+        } else {
+            0.0
+        };
+        (v, status)
     }
 
     /// [`Self::pair`], `None` when either node is out of range.
@@ -609,7 +1352,20 @@ impl Epoch {
     /// # Panics
     /// Panics if `a` is out of range.
     pub fn single_source(&self, a: u32) -> Vec<RankedNode> {
-        self.views[self.partition.owner(a)].single_source(a)
+        self.single_source_with_status(a).0
+    }
+
+    /// [`Self::single_source`] plus freshness; a degraded answer covers
+    /// only the frozen node range (empty when `a` itself postdates it).
+    pub fn single_source_with_status(&self, a: u32) -> (Vec<RankedNode>, ReadStatus) {
+        let s = self.partition.owner(a);
+        let (in_range, status) = self.route(s, a);
+        let v = if in_range {
+            self.views[s].single_source(a)
+        } else {
+            Vec::new()
+        };
+        (v, status)
     }
 
     /// The `k` most similar nodes to `a` at this epoch.
@@ -617,7 +1373,20 @@ impl Epoch {
     /// # Panics
     /// Panics if `a` is out of range; see [`Self::try_top_k`].
     pub fn top_k(&self, a: u32, k: usize) -> Vec<RankedNode> {
-        self.views[self.partition.owner(a)].top_k(a, k)
+        self.top_k_with_status(a, k).0
+    }
+
+    /// [`Self::top_k`] plus freshness; a degraded answer covers only the
+    /// frozen node range (empty when `a` itself postdates it).
+    pub fn top_k_with_status(&self, a: u32, k: usize) -> (Vec<RankedNode>, ReadStatus) {
+        let s = self.partition.owner(a);
+        let (in_range, status) = self.route(s, a);
+        let v = if in_range {
+            self.views[s].top_k(a, k)
+        } else {
+            Vec::new()
+        };
+        (v, status)
     }
 
     /// [`Self::top_k`], `None` when `a` is out of range.
@@ -630,7 +1399,13 @@ impl Epoch {
     /// # Panics
     /// Panics if `a` is out of range.
     pub fn similar_above(&self, a: u32, threshold: f64) -> Vec<RankedNode> {
-        self.views[self.partition.owner(a)].similar_above(a, threshold)
+        let s = self.partition.owner(a);
+        let (in_range, _) = self.route(s, a);
+        if in_range {
+            self.views[s].similar_above(a, threshold)
+        } else {
+            Vec::new()
+        }
     }
 }
 
@@ -672,7 +1447,7 @@ impl ConcurrentSimRank {
     /// Wraps a router, publishing epoch 0 from its current state.
     pub fn new(inner: ShardedSimRank) -> Self {
         let slot = Arc::new(EpochSlot {
-            current: RwLock::new(Arc::new(inner.snapshot_epoch(0))),
+            current: RwLock::new(Arc::new(inner.snapshot_epoch(0, None))),
         });
         ConcurrentSimRank {
             inner,
@@ -691,13 +1466,16 @@ impl ConcurrentSimRank {
 
     /// Freezes the current shard states into a new epoch and swaps it in;
     /// returns its sequence number. Pending lazy ΔS is snapshotted, not
-    /// materialised.
+    /// materialised. Quarantined shards keep their last published view
+    /// (readers keep being answered, marked [`ReadStatus::Degraded`]) —
+    /// **a shard crash never takes reads down**.
     pub fn publish(&mut self) -> u64 {
         self.seq += 1;
         // Build the epoch before touching the slot: readers keep serving
         // the old epoch during the (n²-copy) freeze and only ever wait on
         // the pointer swap itself.
-        let epoch = Arc::new(self.inner.snapshot_epoch(self.seq));
+        let prev = self.slot.load();
+        let epoch = Arc::new(self.inner.snapshot_epoch(self.seq, Some(&prev)));
         self.slot.store(epoch);
         self.seq
     }
@@ -709,22 +1487,22 @@ impl ConcurrentSimRank {
 
     /// Applies one update on the write path (readers unaffected until
     /// [`Self::publish`]).
-    pub fn update(&mut self, op: UpdateOp) -> Result<Vec<UpdateStats>, UpdateError> {
+    pub fn update(&mut self, op: UpdateOp) -> Result<Vec<UpdateStats>, ServeError> {
         self.inner.update(op)
     }
 
     /// Inserts edge `(i, j)` on the write path.
-    pub fn insert(&mut self, i: u32, j: u32) -> Result<Vec<UpdateStats>, UpdateError> {
+    pub fn insert(&mut self, i: u32, j: u32) -> Result<Vec<UpdateStats>, ServeError> {
         self.inner.insert(i, j)
     }
 
     /// Deletes edge `(i, j)` on the write path.
-    pub fn remove(&mut self, i: u32, j: u32) -> Result<Vec<UpdateStats>, UpdateError> {
+    pub fn remove(&mut self, i: u32, j: u32) -> Result<Vec<UpdateStats>, ServeError> {
         self.inner.remove(i, j)
     }
 
     /// Applies a batch on the write path (atomic; parallel across shards).
-    pub fn update_batch(&mut self, ops: &[UpdateOp]) -> Result<Vec<UpdateStats>, UpdateError> {
+    pub fn update_batch(&mut self, ops: &[UpdateOp]) -> Result<Vec<UpdateStats>, ServeError> {
         self.inner.update_batch(ops)
     }
 
@@ -733,8 +1511,16 @@ impl ConcurrentSimRank {
         &mut self,
         ops: &[UpdateOp],
         threads: usize,
-    ) -> Result<Vec<UpdateStats>, UpdateError> {
+    ) -> Result<Vec<UpdateStats>, ServeError> {
         self.inner.update_batch_with_threads(ops, threads)
+    }
+
+    /// [`ShardedSimRank::rebuild_shard`] on the write path, followed by a
+    /// publish so readers immediately leave the degraded view.
+    pub fn rebuild_shard(&mut self, s: usize) -> Result<(), ServeError> {
+        self.inner.rebuild_shard(s)?;
+        self.publish();
+        Ok(())
     }
 
     /// Materialises pending deferred ΔS on every shard **and publishes**
@@ -899,10 +1685,9 @@ impl LoadReport {
 pub fn drive_load(
     serving: &mut ConcurrentSimRank,
     opts: &LoadOptions,
-) -> Result<LoadReport, UpdateError> {
+) -> Result<LoadReport, ServeError> {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use std::sync::atomic::AtomicU64;
 
     let n = serving.sharded().graph().node_count();
     assert!(n >= 2, "drive_load: need at least two nodes");
@@ -1111,7 +1896,7 @@ mod tests {
                 UpdateOp::Insert(0, 2), // duplicate: already present
             ])
             .unwrap_err();
-        assert!(matches!(err, UpdateError::Graph(_)));
+        assert!(matches!(err, ServeError::Update(UpdateError::Graph(_))));
         // Nothing applied anywhere — not even the valid prefix.
         assert_eq!(sharded.graph().edge_count(), before_edges);
         assert!(!sharded.graph().has_edge(0, 1));
@@ -1294,7 +2079,7 @@ mod tests {
             .shards(2)
             .build_sharded(fixture())
             .unwrap();
-        let id = sharded.add_node();
+        let id = sharded.add_node().unwrap();
         assert_eq!(id, 8);
         assert_eq!(sharded.graph().node_count(), 9);
         assert!(sharded.try_pair(8, 0).is_some());
@@ -1388,5 +2173,164 @@ mod tests {
         assert_eq!(c.walk_updates, 3, "insert hit 2 shards, remove hit 1");
         assert_eq!(c.eager_updates + c.fused_updates + c.lazy_updates, 0);
         assert!(c.walks_sampled > 0);
+    }
+
+    fn tmp_wal(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "incsim_serve_test_{}_{name}.wal",
+            std::process::id()
+        ));
+        p
+    }
+
+    #[test]
+    fn panicking_shard_is_quarantined_and_batch_commits_elsewhere() {
+        use crate::wal::faults::ApplyFaults;
+        // Fixture components are shard-aligned (0-3 / 4-7 over block 4);
+        // the fault detonates inside shard 1's apply of edge (4, 5).
+        let faults = ApplyFaults::panic_on_edge(4, 5);
+        let mut sharded = SimRankBuilder::new()
+            .config(cfg())
+            .mode(ApplyPolicy::Eager)
+            .shards(2)
+            .fault_injection(Arc::clone(&faults))
+            .build_sharded(fixture())
+            .unwrap();
+        let ops = [UpdateOp::Insert(0, 1), UpdateOp::Insert(4, 5)];
+        let err = sharded.update_batch_with_threads(&ops, 2).unwrap_err();
+        assert!(matches!(err, ServeError::ShardPanicked { shard: 1, .. }));
+        assert!(faults.exhausted(), "the scheduled panic fired");
+
+        // The healthy shard and the router graph committed the batch.
+        assert!(sharded.graph().has_edge(0, 1) && sharded.graph().has_edge(4, 5));
+        assert!(sharded.shard(0).graph().has_edge(0, 1));
+        assert_eq!(sharded.quarantined_shards(), vec![1]);
+        assert_eq!(sharded.counters().quarantines, 1);
+
+        // Shard 0 keeps taking writes; shard 1 rejects with the typed,
+        // retryable error, and checked reads degrade instead of serving
+        // its torn engine state.
+        sharded.insert(1, 3).unwrap();
+        let err = sharded.insert(6, 5).unwrap_err();
+        assert!(matches!(err, ServeError::Quarantined { shard: 1, .. }));
+        assert!(matches!(
+            sharded.checked_pair(4, 5),
+            Err(ServeError::Degraded { shard: 1, .. })
+        ));
+        sharded.checked_pair(0, 1).unwrap();
+        assert!(matches!(
+            sharded.add_node(),
+            Err(ServeError::Quarantined { .. })
+        ));
+
+        // Rebuild (no WAL here: recompute from the authoritative graph)
+        // restores the shard and lifts the quarantine.
+        sharded.rebuild_shard(1).unwrap();
+        assert_eq!(sharded.shard_health(1), ShardHealth::Healthy);
+        sharded.insert(6, 5).unwrap();
+        let truth = batch_simrank(sharded.graph(), &cfg());
+        let diff = (sharded.pair(4, 5) - truth.get(4, 5)).abs();
+        assert!(diff < 1e-12, "rebuilt shard diverges: {diff}");
+    }
+
+    #[test]
+    fn readers_survive_a_shard_crash_on_stale_epochs() {
+        use crate::wal::faults::ApplyFaults;
+        let faults = ApplyFaults::panic_on_edge(4, 5);
+        let sharded = SimRankBuilder::new()
+            .config(cfg())
+            .shards(2)
+            .fault_injection(faults)
+            .build_sharded(fixture())
+            .unwrap();
+        let mut serving = ConcurrentSimRank::new(sharded);
+        let reader = serving.reader();
+        let before = reader.pair(4, 6);
+
+        let err = serving.update_batch(&[UpdateOp::Insert(4, 5)]).unwrap_err();
+        assert!(matches!(err, ServeError::ShardPanicked { shard: 1, .. }));
+
+        // Publishing with a quarantined shard carries its last published
+        // view over — readers never go down, answers are marked.
+        serving.publish();
+        let epoch = reader.epoch();
+        assert!(epoch.any_degraded());
+        assert!(epoch.degraded(1).is_some() && epoch.degraded(0).is_none());
+        let (v, status) = epoch.pair_with_status(4, 6);
+        assert_eq!(v, before, "stale answer is the pre-crash epoch's");
+        assert!(matches!(status, ReadStatus::Degraded { shard: 1, .. }));
+        let (_, fresh) = epoch.pair_with_status(0, 1);
+        assert!(matches!(fresh, ReadStatus::Fresh));
+        assert!(serving.sharded().counters().degraded_reads >= 1);
+
+        // Rebuild + publish: readers leave the degraded view, and the
+        // interrupted batch is there (it committed on the router).
+        serving.rebuild_shard(1).unwrap();
+        let epoch = reader.epoch();
+        assert!(!epoch.any_degraded());
+        let (v_new, status) = epoch.pair_with_status(4, 6);
+        assert!(matches!(status, ReadStatus::Fresh));
+        let truth = batch_simrank(serving.sharded().graph(), &cfg());
+        assert!((v_new - truth.get(4, 6)).abs() < 1e-12);
+        assert!(serving.sharded().graph().has_edge(4, 5));
+    }
+
+    #[test]
+    fn durable_router_recovers_from_its_log() {
+        let path = tmp_wal("recover");
+        let _ = std::fs::remove_file(&path);
+        let durable = SimRankBuilder::new()
+            .config(cfg())
+            .mode(ApplyPolicy::Fused)
+            .shards(2)
+            .checkpoint_every(4)
+            .wal(&path);
+
+        let mut live = durable.clone().build_sharded(fixture()).unwrap();
+        live.update_batch(&[UpdateOp::Insert(0, 1), UpdateOp::Insert(4, 5)])
+            .unwrap();
+        live.insert(1, 3).unwrap();
+        live.add_node().unwrap(); // seq 4: cadence fires, per-shard images
+        live.insert(8, 6).unwrap();
+        let c = live.counters();
+        assert_eq!(c.wal_appends, 5);
+        assert_eq!(c.checkpoints, 3, "global base + one image per shard");
+        assert_eq!(live.last_seq(), 5);
+        assert_eq!(live.wal_path(), Some(path.as_path()));
+        drop(live);
+
+        // Re-opening the log overrides the supplied graph: the recovered
+        // router resumes exactly where the dropped one stopped.
+        let recovered = durable.clone().build_sharded(fixture()).unwrap();
+        assert_eq!(recovered.graph().node_count(), 9);
+        assert!(recovered.graph().has_edge(8, 6));
+        assert_eq!(recovered.last_seq(), 5);
+        // Only the post-checkpoint suffix replays, filtered by shard:
+        // seq 5 = insert(8, 6), owned by shard 1 alone.
+        assert_eq!(recovered.counters().replayed_ops, 1);
+
+        // Bit-identical to an uncrashed trajectory under a fixed policy.
+        let mut truth = SimRankBuilder::new()
+            .config(cfg())
+            .mode(ApplyPolicy::Fused)
+            .shards(2)
+            .build_sharded(fixture())
+            .unwrap();
+        truth
+            .update_batch(&[UpdateOp::Insert(0, 1), UpdateOp::Insert(4, 5)])
+            .unwrap();
+        truth.insert(1, 3).unwrap();
+        truth.add_node().unwrap();
+        truth.insert(8, 6).unwrap();
+        for a in 0..9u32 {
+            for b in a..9u32 {
+                assert!(
+                    recovered.pair(a, b) == truth.pair(a, b),
+                    "recovered pair({a},{b}) drifted"
+                );
+            }
+        }
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -1,0 +1,1035 @@
+//! Durable **write-ahead log** for the serving layer: crash recovery by
+//! checkpoint + replay, with a deterministic fault-injection harness.
+//!
+//! The paper's workload is a long-lived edge stream maintained
+//! incrementally — exactly the shape where durability matters: losing the
+//! process must not lose the stream. This module makes the `UpdateOp`
+//! stream itself the recoverable source of truth.
+//!
+//! ## Log format
+//!
+//! A log file is the 8-byte magic `INCSWAL1` followed by a sequence of
+//! *frames*:
+//!
+//! ```text
+//! ┌──────────────┬──────────────┬─────────────────────┐
+//! │ len: u32 LE  │ crc32: u32 LE│ payload (len bytes) │
+//! └──────────────┴──────────────┴─────────────────────┘
+//! ```
+//!
+//! `crc32` is the IEEE CRC of the payload alone. The payload's first byte
+//! is a record tag:
+//!
+//! | tag | record | layout after the tag |
+//! |-----|--------|----------------------|
+//! | 1 | edge op | `kind u8` (0 insert, 1 delete), `u u32`, `v u32`, `seq u64` |
+//! | 2 | add node | `seq u64` |
+//! | 3 | checkpoint | `shard u32` (`u32::MAX` = global base), `shard_count u32`, `block u64`, `seq u64`, `image_kind u8`, `image_len u64`, image bytes |
+//!
+//! All integers are little-endian. Checkpoint images come in two kinds:
+//! `0` = *graph-only* (config + edge list — enough for engines whose
+//! whole state is the graph, e.g. the matrix-free probe engine, or for
+//! rebuild-by-recompute), `1` = a full `INCSIM01` dense snapshot as
+//! written by [`crate::core::snapshot::save_engine`].
+//!
+//! Sequence numbers are assigned by the writer, strictly monotonic across
+//! op and add-node records; a checkpoint's `seq` names the last op it
+//! covers, so replay resumes at `seq + 1`.
+//!
+//! ## Durability contract
+//!
+//! Appends are *write-ahead*: the serving layer appends (and flushes) a
+//! batch's frames before applying any of its ops. The file is `fsync`ed
+//! at every checkpoint, not at every batch — so a power loss can lose at
+//! most the ops since the newest checkpoint that the OS had not yet made
+//! durable, and can *tear* the final frames. Torn tails are expected,
+//! not errors: [`read_records`] stops at the first frame whose length or
+//! checksum does not hold, reports the prefix, and [`Wal::open_or_create`]
+//! physically truncates the tail so the log is clean again. A failed
+//! append truncates the file back to its pre-append length, so a log
+//! never holds a half-written batch from a *live* process either.
+//!
+//! ## Recovery
+//!
+//! [`rebuild_engine`] finds the newest usable checkpoint (per shard, or
+//! the global base written when the log was attached), reconstructs the
+//! engine from its image, and replays the op suffix. For the exact
+//! engines the result is bit-identical to the pre-crash engine's
+//! materialised scores under the fixed apply policies (and within the
+//! recompression bar under `Auto`, whose per-op routing depends on query
+//! traffic that is not logged); for the probe engine the rebuilt state is
+//! seed-identical — the same builder seed replays to the same sampler.
+//!
+//! Per-shard rebuild replays only the ops the shard owns, using the
+//! partition geometry (`shard_count`, `block`) stored in the checkpoint
+//! record — see [`crate::serve::ShardedSimRank::rebuild_shard`].
+//!
+//! ## Fault injection
+//!
+//! The [`faults`] submodule is the deterministic harness: byte-level log
+//! faults (torn write, bit flip, checksum corruption, short read) and
+//! scheduled mid-apply panics ([`faults::ApplyFaults`]) that the builder
+//! wires into any engine — all seedable, so every failure replays
+//! exactly. `tests/fault_injection.rs` and the CLI `wal-fault` /
+//! `recover` subcommands drive it.
+
+use crate::api::{BuildError, SimRank, SimRankBuilder};
+use crate::core::snapshot::SnapshotError;
+use crate::core::SimRankConfig;
+use crate::graph::{DiGraph, UpdateOp};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+pub mod faults;
+
+/// The 8-byte file magic.
+pub const MAGIC: &[u8; 8] = b"INCSWAL1";
+
+/// Frame header size: `len: u32` + `crc: u32`.
+pub const FRAME_HEADER: usize = 8;
+
+const TAG_OP: u8 = 1;
+const TAG_ADD_NODE: u8 = 2;
+const TAG_CHECKPOINT: u8 = 3;
+
+const IMAGE_GRAPH_ONLY: u8 = 0;
+const IMAGE_DENSE: u8 = 1;
+
+/// Shard tag of a global (base) checkpoint.
+const SHARD_GLOBAL: u32 = u32::MAX;
+
+// ---- CRC32 (IEEE, reflected) — no external crates ----------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// IEEE CRC-32 of `bytes` (the `cksum`/zlib polynomial, reflected).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---- errors -------------------------------------------------------------
+
+/// Errors from the WAL subsystem.
+#[derive(Debug)]
+pub enum WalError {
+    /// Underlying I/O failure (not a torn tail — those are truncated, not
+    /// errored).
+    Io(io::Error),
+    /// The file does not start with the `INCSWAL1` magic.
+    BadMagic,
+    /// The log is structurally broken *before* its torn tail — e.g. a
+    /// CRC-valid frame whose payload does not decode.
+    Corrupt {
+        /// Byte offset of the offending frame.
+        offset: u64,
+        /// What was wrong there.
+        detail: &'static str,
+    },
+    /// The log holds no usable checkpoint for the requested shard, so
+    /// there is no state to replay onto.
+    NoCheckpoint,
+    /// A checkpoint image failed to decode.
+    Snapshot(SnapshotError),
+    /// The engine could not be reconstructed from a checkpoint image.
+    Build(BuildError),
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal I/O error: {e}"),
+            WalError::BadMagic => write!(f, "not an incsim WAL (bad magic)"),
+            WalError::Corrupt { offset, detail } => {
+                write!(f, "corrupt wal frame at byte {offset}: {detail}")
+            }
+            WalError::NoCheckpoint => write!(f, "wal holds no usable checkpoint"),
+            WalError::Snapshot(e) => write!(f, "wal checkpoint image rejected: {e}"),
+            WalError::Build(e) => write!(f, "engine rebuild from wal failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<io::Error> for WalError {
+    fn from(e: io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+impl From<SnapshotError> for WalError {
+    fn from(e: SnapshotError) -> Self {
+        WalError::Snapshot(e)
+    }
+}
+
+impl From<BuildError> for WalError {
+    fn from(e: BuildError) -> Self {
+        WalError::Build(e)
+    }
+}
+
+// ---- records ------------------------------------------------------------
+
+/// A checkpoint's engine image.
+#[derive(Debug, Clone)]
+pub enum CheckpointImage {
+    /// Config + graph only — for engines whose state *is* the graph
+    /// (probe), or rebuild-by-recompute.
+    GraphOnly {
+        /// The engine configuration at checkpoint time.
+        config: SimRankConfig,
+        /// The graph at checkpoint time.
+        graph: DiGraph,
+    },
+    /// A full `INCSIM01` dense snapshot (graph + scores + config), as
+    /// written by [`crate::core::snapshot::save_engine`].
+    Dense(Vec<u8>),
+}
+
+/// A decoded checkpoint record.
+#[derive(Debug, Clone)]
+pub struct CheckpointRecord {
+    /// Which shard's engine this image captures; `None` is the *global
+    /// base* written when the log was attached (every shard's state
+    /// coincided then, so any shard may rebuild from it).
+    pub shard: Option<u32>,
+    /// Shard count of the partition at checkpoint time.
+    pub shard_count: u32,
+    /// Block size of the partition (`owner(x) = min(x / block, shards-1)`).
+    pub block: u64,
+    /// The last op sequence number this image covers; replay resumes at
+    /// `seq + 1`.
+    pub seq: u64,
+    /// The engine image.
+    pub image: CheckpointImage,
+}
+
+/// One decoded WAL record.
+#[derive(Debug, Clone)]
+pub enum WalRecord {
+    /// An edge update.
+    Op {
+        /// Its sequence number.
+        seq: u64,
+        /// The update.
+        op: UpdateOp,
+    },
+    /// A node append (grows the node universe on every shard).
+    AddNode {
+        /// Its sequence number.
+        seq: u64,
+    },
+    /// A checkpoint.
+    Checkpoint(CheckpointRecord),
+}
+
+// ---- encode -------------------------------------------------------------
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn encode_frame(out: &mut Vec<u8>, payload: &[u8]) {
+    put_u32(out, payload.len() as u32);
+    put_u32(out, crc32(payload));
+    out.extend_from_slice(payload);
+}
+
+fn encode_op_payload(seq: u64, op: UpdateOp) -> Vec<u8> {
+    let mut p = Vec::with_capacity(18);
+    p.push(TAG_OP);
+    p.push(match op {
+        UpdateOp::Insert(..) => 0,
+        UpdateOp::Delete(..) => 1,
+    });
+    let (u, v) = op.endpoints();
+    put_u32(&mut p, u);
+    put_u32(&mut p, v);
+    put_u64(&mut p, seq);
+    p
+}
+
+fn encode_add_node_payload(seq: u64) -> Vec<u8> {
+    let mut p = Vec::with_capacity(9);
+    p.push(TAG_ADD_NODE);
+    put_u64(&mut p, seq);
+    p
+}
+
+fn encode_checkpoint_payload(cp: &CheckpointRecord) -> Vec<u8> {
+    let mut image = Vec::new();
+    let image_kind = match &cp.image {
+        CheckpointImage::GraphOnly { config, graph } => {
+            image.extend_from_slice(&config.c.to_le_bytes());
+            put_u64(&mut image, config.iterations as u64);
+            image.extend_from_slice(&config.zero_tol.to_le_bytes());
+            put_u64(&mut image, graph.node_count() as u64);
+            put_u64(&mut image, graph.edge_count() as u64);
+            for (u, v) in graph.edges() {
+                put_u64(&mut image, ((u as u64) << 32) | v as u64);
+            }
+            IMAGE_GRAPH_ONLY
+        }
+        CheckpointImage::Dense(bytes) => {
+            image.extend_from_slice(bytes);
+            IMAGE_DENSE
+        }
+    };
+    let mut p = Vec::with_capacity(29 + image.len());
+    p.push(TAG_CHECKPOINT);
+    put_u32(&mut p, cp.shard.unwrap_or(SHARD_GLOBAL));
+    put_u32(&mut p, cp.shard_count);
+    put_u64(&mut p, cp.block);
+    put_u64(&mut p, cp.seq);
+    p.push(image_kind);
+    put_u64(&mut p, image.len() as u64);
+    p.extend_from_slice(&image);
+    p
+}
+
+// ---- decode -------------------------------------------------------------
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let s = self.bytes.get(self.pos..self.pos + n)?;
+        self.pos += n;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|s| u32::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|s| u64::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        self.u64().map(f64::from_bits)
+    }
+}
+
+fn decode_payload(payload: &[u8]) -> Option<WalRecord> {
+    let mut c = Cursor {
+        bytes: payload,
+        pos: 0,
+    };
+    let rec = match c.u8()? {
+        TAG_OP => {
+            let kind = c.u8()?;
+            let (u, v) = (c.u32()?, c.u32()?);
+            let seq = c.u64()?;
+            let op = match kind {
+                0 => UpdateOp::Insert(u, v),
+                1 => UpdateOp::Delete(u, v),
+                _ => return None,
+            };
+            WalRecord::Op { seq, op }
+        }
+        TAG_ADD_NODE => WalRecord::AddNode { seq: c.u64()? },
+        TAG_CHECKPOINT => {
+            let shard = c.u32()?;
+            let shard_count = c.u32()?;
+            let block = c.u64()?;
+            let seq = c.u64()?;
+            let image_kind = c.u8()?;
+            let image_len = c.u64()? as usize;
+            let image_bytes = c.take(image_len)?;
+            let image = match image_kind {
+                IMAGE_GRAPH_ONLY => {
+                    let mut ic = Cursor {
+                        bytes: image_bytes,
+                        pos: 0,
+                    };
+                    let cc = ic.f64()?;
+                    let iterations = ic.u64()? as usize;
+                    let zero_tol = ic.f64()?;
+                    let config = SimRankConfig::new(cc, iterations)
+                        .ok()?
+                        .with_zero_tol(zero_tol);
+                    let n = ic.u64()? as usize;
+                    let m = ic.u64()? as usize;
+                    if n > u32::MAX as usize || m > n.checked_mul(n)? {
+                        return None;
+                    }
+                    let mut graph = DiGraph::new(n);
+                    for _ in 0..m {
+                        let packed = ic.u64()?;
+                        let (u, v) = ((packed >> 32) as u32, (packed & 0xFFFF_FFFF) as u32);
+                        graph.insert_edge(u, v).ok()?;
+                    }
+                    CheckpointImage::GraphOnly { config, graph }
+                }
+                IMAGE_DENSE => CheckpointImage::Dense(image_bytes.to_vec()),
+                _ => return None,
+            };
+            WalRecord::Checkpoint(CheckpointRecord {
+                shard: if shard == SHARD_GLOBAL {
+                    None
+                } else {
+                    Some(shard)
+                },
+                shard_count,
+                block,
+                seq,
+                image,
+            })
+        }
+        _ => return None,
+    };
+    // Trailing bytes after a well-formed record mean the writer and
+    // reader disagree on the format — refuse rather than guess.
+    if c.pos == payload.len() {
+        Some(rec)
+    } else {
+        None
+    }
+}
+
+/// The parse of a (possibly torn) log.
+#[derive(Debug)]
+pub struct RecoveredLog {
+    /// Every record of the valid prefix, in append order.
+    pub records: Vec<WalRecord>,
+    /// `true` when the log ended in a torn/corrupt frame that was cut off
+    /// (the expected shape after a crash mid-append).
+    pub torn: bool,
+    /// Length in bytes of the valid prefix (magic included); a recovering
+    /// writer truncates the file to this.
+    pub valid_bytes: u64,
+}
+
+impl RecoveredLog {
+    /// The highest sequence number in the log (0 when empty).
+    pub fn last_seq(&self) -> u64 {
+        self.records
+            .iter()
+            .map(|r| match r {
+                WalRecord::Op { seq, .. } | WalRecord::AddNode { seq } => *seq,
+                WalRecord::Checkpoint(cp) => cp.seq,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of op/add-node records (the replayable stream).
+    pub fn op_count(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| !matches!(r, WalRecord::Checkpoint(_)))
+            .count()
+    }
+
+    /// The newest checkpoint usable for `shard`: a checkpoint tagged with
+    /// that shard, or the global base. `shard` of `None` accepts only the
+    /// global base (whole-system rebuild must not start from one shard's
+    /// diverged image).
+    pub fn newest_checkpoint(&self, shard: Option<u32>) -> Option<&CheckpointRecord> {
+        self.records.iter().rev().find_map(|r| match r {
+            WalRecord::Checkpoint(cp) if cp.shard.is_none() || cp.shard == shard => Some(cp),
+            _ => None,
+        })
+    }
+
+    /// Op and add-node records with sequence numbers after `seq`.
+    pub fn ops_after(&self, seq: u64) -> impl Iterator<Item = &WalRecord> {
+        self.records.iter().filter(move |r| match r {
+            WalRecord::Op { seq: s, .. } | WalRecord::AddNode { seq: s } => *s > seq,
+            WalRecord::Checkpoint(_) => false,
+        })
+    }
+}
+
+/// Byte offsets (from the start of the buffer) of every well-formed frame
+/// — the crash points the fault sweep cuts at. Offset 8 is the first
+/// frame; the final entry is the end of the valid log.
+pub fn frame_offsets(bytes: &[u8]) -> Vec<usize> {
+    let mut offs = Vec::new();
+    if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+        return offs;
+    }
+    let mut pos = MAGIC.len();
+    loop {
+        offs.push(pos);
+        let Some(header) = bytes.get(pos..pos + FRAME_HEADER) else {
+            break;
+        };
+        let len = u32::from_le_bytes(header[..4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        let Some(payload) = bytes.get(pos + FRAME_HEADER..pos + FRAME_HEADER + len) else {
+            break;
+        };
+        if crc32(payload) != crc {
+            break;
+        }
+        pos += FRAME_HEADER + len;
+    }
+    offs
+}
+
+/// Parses a log image. Stops cleanly — `torn`, not an error — at the
+/// first frame whose length does not fit, whose checksum does not hold,
+/// or whose payload does not decode: after a crash that is precisely the
+/// torn tail, and everything before it is intact by construction.
+///
+/// # Errors
+/// [`WalError::BadMagic`] when the buffer does not start with `INCSWAL1`.
+pub fn read_records(bytes: &[u8]) -> Result<RecoveredLog, WalError> {
+    if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+        return Err(WalError::BadMagic);
+    }
+    let mut records = Vec::new();
+    let mut pos = MAGIC.len();
+    let mut torn = false;
+    while pos < bytes.len() {
+        let frame_ok = (|| {
+            let header = bytes.get(pos..pos + FRAME_HEADER)?;
+            let len = u32::from_le_bytes(header[..4].try_into().unwrap()) as usize;
+            let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+            let payload = bytes.get(pos + FRAME_HEADER..pos + FRAME_HEADER + len)?;
+            if crc32(payload) != crc {
+                return None;
+            }
+            decode_payload(payload).map(|rec| (rec, FRAME_HEADER + len))
+        })();
+        match frame_ok {
+            Some((rec, advance)) => {
+                records.push(rec);
+                pos += advance;
+            }
+            None => {
+                torn = true;
+                break;
+            }
+        }
+    }
+    Ok(RecoveredLog {
+        records,
+        torn,
+        valid_bytes: pos as u64,
+    })
+}
+
+/// Reads and parses a log file — see [`read_records`].
+pub fn read_log(path: &Path) -> Result<RecoveredLog, WalError> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    read_records(&bytes)
+}
+
+// ---- the writer ---------------------------------------------------------
+
+/// An open, append-only log. Created or recovered with
+/// [`Wal::open_or_create`]; the serving layer holds one per router.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    /// Bytes known good (everything before is flushed, framed, valid).
+    len: u64,
+    next_seq: u64,
+    appends: u64,
+    checkpoints: u64,
+}
+
+impl Wal {
+    /// Opens `path`, recovering (and physically truncating) a torn tail,
+    /// or creates a fresh log when the file is missing or empty. Returns
+    /// the parsed prefix when an existing log was recovered.
+    pub fn open_or_create(path: &Path) -> Result<(Wal, Option<RecoveredLog>), WalError> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        if bytes.is_empty() {
+            file.write_all(MAGIC)?;
+            file.flush()?;
+            return Ok((
+                Wal {
+                    file,
+                    path: path.to_path_buf(),
+                    len: MAGIC.len() as u64,
+                    next_seq: 1,
+                    appends: 0,
+                    checkpoints: 0,
+                },
+                None,
+            ));
+        }
+        let log = read_records(&bytes)?;
+        if log.valid_bytes < bytes.len() as u64 {
+            file.set_len(log.valid_bytes)?;
+        }
+        file.seek(SeekFrom::Start(log.valid_bytes))?;
+        let next_seq = log.last_seq() + 1;
+        Ok((
+            Wal {
+                file,
+                path: path.to_path_buf(),
+                len: log.valid_bytes,
+                next_seq,
+                appends: 0,
+                checkpoints: 0,
+            },
+            Some(log),
+        ))
+    }
+
+    /// The log's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The sequence number the next appended op will carry.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Ops appended through this handle (not counting recovered history).
+    pub fn appends(&self) -> u64 {
+        self.appends
+    }
+
+    /// Checkpoints written through this handle.
+    pub fn checkpoints(&self) -> u64 {
+        self.checkpoints
+    }
+
+    /// Writes pre-encoded frames atomically-with-respect-to-this-log: on
+    /// any write error the file is truncated back to its previous length,
+    /// so a failed append never leaves a half-written batch behind.
+    fn append_frames(&mut self, buf: &[u8]) -> Result<(), WalError> {
+        let prev = self.len;
+        let res = self.file.write_all(buf).and_then(|()| self.file.flush());
+        match res {
+            Ok(()) => {
+                self.len += buf.len() as u64;
+                Ok(())
+            }
+            Err(e) => {
+                let _ = self.file.set_len(prev);
+                let _ = self.file.seek(SeekFrom::Start(prev));
+                Err(WalError::Io(e))
+            }
+        }
+    }
+
+    /// Appends a batch of edge ops as one write, assigning them the next
+    /// `ops.len()` sequence numbers. Returns the first assigned sequence
+    /// number. Write-ahead: call this *before* applying the ops.
+    pub fn append_ops(&mut self, ops: &[UpdateOp]) -> Result<u64, WalError> {
+        let first = self.next_seq;
+        let mut buf = Vec::with_capacity(ops.len() * (FRAME_HEADER + 18));
+        for (k, &op) in ops.iter().enumerate() {
+            encode_frame(&mut buf, &encode_op_payload(first + k as u64, op));
+        }
+        self.append_frames(&buf)?;
+        self.next_seq += ops.len() as u64;
+        self.appends += ops.len() as u64;
+        Ok(first)
+    }
+
+    /// Appends a node-append record; returns its sequence number.
+    pub fn append_add_node(&mut self) -> Result<u64, WalError> {
+        let seq = self.next_seq;
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, &encode_add_node_payload(seq));
+        self.append_frames(&buf)?;
+        self.next_seq += 1;
+        self.appends += 1;
+        Ok(seq)
+    }
+
+    /// Appends a checkpoint record and `fsync`s the log — the one point
+    /// where durability is forced down to the device.
+    pub fn append_checkpoint(&mut self, cp: &CheckpointRecord) -> Result<(), WalError> {
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, &encode_checkpoint_payload(cp));
+        self.append_frames(&buf)?;
+        self.file.sync_data()?;
+        self.checkpoints += 1;
+        Ok(())
+    }
+
+    /// Forces everything appended so far down to the device.
+    pub fn sync(&mut self) -> Result<(), WalError> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+// ---- rebuild ------------------------------------------------------------
+
+/// The checkpoint image for `sim`: a dense `INCSIM01` snapshot when the
+/// engine has the matrix capability, its `(config, graph)` otherwise
+/// (matrix-free engines rebuild from the graph under their pinned seed).
+pub fn checkpoint_image_for(sim: &mut SimRank) -> CheckpointImage {
+    let mut buf = Vec::new();
+    match sim.snapshot(&mut buf) {
+        Ok(()) => CheckpointImage::Dense(buf),
+        Err(_) => CheckpointImage::GraphOnly {
+            config: *sim.config(),
+            graph: sim.graph().clone(),
+        },
+    }
+}
+
+/// A rebuilt engine plus the replay accounting.
+pub struct Rebuilt {
+    /// The reconstructed service handle.
+    pub sim: SimRank,
+    /// Sequence number of the checkpoint it started from.
+    pub checkpoint_seq: u64,
+    /// Op/add-node records replayed on top of the checkpoint.
+    pub replayed_ops: u64,
+    /// The log's highest sequence number.
+    pub last_seq: u64,
+}
+
+fn owner(x: u32, block: u64, shard_count: u32) -> u32 {
+    if block == 0 || shard_count == 0 {
+        return 0;
+    }
+    ((x as u64 / block) as u32).min(shard_count - 1)
+}
+
+/// Reconstructs an engine from a recovered log: newest usable checkpoint
+/// for `shard` (see [`RecoveredLog::newest_checkpoint`]), then replay of
+/// the op suffix — filtered to the shard's owned ops when `shard` is
+/// `Some` and the logged partition has more than one shard.
+///
+/// `builder` supplies everything the log does not store: engine kind,
+/// apply policy, probe seed. Pass the same builder the crashed system was
+/// built with; the checkpoint's config overrides the builder's.
+///
+/// # Errors
+/// [`WalError::NoCheckpoint`] when the log holds no usable checkpoint;
+/// decode/build failures are forwarded.
+pub fn rebuild_engine(
+    builder: &SimRankBuilder,
+    log: &RecoveredLog,
+    shard: Option<u32>,
+) -> Result<Rebuilt, WalError> {
+    let cp = log.newest_checkpoint(shard).ok_or(WalError::NoCheckpoint)?;
+    let mut sim = match &cp.image {
+        CheckpointImage::Dense(bytes) => builder.clone().from_snapshot(&bytes[..])?,
+        CheckpointImage::GraphOnly { config, graph } => {
+            builder.clone().config(*config).from_graph(graph.clone())?
+        }
+    };
+    let filter_shard = match shard {
+        Some(s) if cp.shard_count > 1 => Some(s),
+        _ => None,
+    };
+    let mut replayed = 0u64;
+    for rec in log.ops_after(cp.seq) {
+        match rec {
+            WalRecord::Op { op, .. } => {
+                let (u, v) = op.endpoints();
+                if let Some(s) = filter_shard {
+                    let owned = owner(u, cp.block, cp.shard_count) == s
+                        || owner(v, cp.block, cp.shard_count) == s;
+                    if !owned {
+                        continue;
+                    }
+                }
+                sim.update(*op).map_err(BuildError::Engine)?;
+                replayed += 1;
+            }
+            WalRecord::AddNode { .. } => {
+                sim.add_node();
+                replayed += 1;
+            }
+            WalRecord::Checkpoint(_) => unreachable!("ops_after yields no checkpoints"),
+        }
+    }
+    sim.counters_mut().replayed_ops += replayed;
+    Ok(Rebuilt {
+        sim,
+        checkpoint_seq: cp.seq,
+        replayed_ops: replayed,
+        last_seq: log.last_seq(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{ApplyPolicy, EngineKind};
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("incsim_wal_test_{}_{name}", std::process::id()));
+        p
+    }
+
+    fn cfg() -> SimRankConfig {
+        SimRankConfig::new(0.6, 20).unwrap()
+    }
+
+    fn fixture() -> DiGraph {
+        DiGraph::from_edges(6, &[(0, 2), (1, 2), (2, 3), (3, 4), (4, 5)])
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn log_roundtrips_ops_and_checkpoints() {
+        let path = tmp("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let (mut wal, recovered) = Wal::open_or_create(&path).unwrap();
+        assert!(recovered.is_none());
+
+        let mut sim = SimRankBuilder::new()
+            .config(cfg())
+            .from_graph(fixture())
+            .unwrap();
+        wal.append_checkpoint(&CheckpointRecord {
+            shard: None,
+            shard_count: 1,
+            block: 6,
+            seq: 0,
+            image: checkpoint_image_for(&mut sim),
+        })
+        .unwrap();
+        let first = wal
+            .append_ops(&[UpdateOp::Insert(0, 4), UpdateOp::Delete(2, 3)])
+            .unwrap();
+        assert_eq!(first, 1);
+        wal.append_add_node().unwrap();
+        assert_eq!(wal.next_seq(), 4);
+        assert_eq!(wal.appends(), 3);
+        assert_eq!(wal.checkpoints(), 1);
+        drop(wal);
+
+        let log = read_log(&path).unwrap();
+        assert!(!log.torn);
+        assert_eq!(log.records.len(), 4);
+        assert_eq!(log.last_seq(), 3);
+        assert!(log.newest_checkpoint(Some(0)).is_some());
+        assert!(matches!(
+            log.records[1],
+            WalRecord::Op {
+                seq: 1,
+                op: UpdateOp::Insert(0, 4)
+            }
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_an_error() {
+        let path = tmp("torn");
+        let _ = std::fs::remove_file(&path);
+        let (mut wal, _) = Wal::open_or_create(&path).unwrap();
+        wal.append_ops(&[UpdateOp::Insert(0, 1), UpdateOp::Insert(1, 2)])
+            .unwrap();
+        drop(wal);
+
+        // Tear the final frame mid-payload.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let full = bytes.len();
+        bytes.truncate(full - 5);
+        std::fs::write(&path, &bytes).unwrap();
+
+        let log = read_log(&path).unwrap();
+        assert!(log.torn);
+        assert_eq!(log.records.len(), 1, "only the intact frame survives");
+
+        // Re-opening truncates the tail and continues the sequence.
+        let (mut wal, recovered) = Wal::open_or_create(&path).unwrap();
+        let recovered = recovered.unwrap();
+        assert!(recovered.torn);
+        assert_eq!(recovered.last_seq(), 1);
+        assert_eq!(wal.next_seq(), 2);
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            recovered.valid_bytes
+        );
+        wal.append_ops(&[UpdateOp::Insert(1, 2)]).unwrap();
+        drop(wal);
+        let log = read_log(&path).unwrap();
+        assert!(!log.torn);
+        assert_eq!(log.records.len(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn checksum_corruption_stops_the_parse_cleanly() {
+        let path = tmp("crc");
+        let _ = std::fs::remove_file(&path);
+        let (mut wal, _) = Wal::open_or_create(&path).unwrap();
+        wal.append_ops(&[
+            UpdateOp::Insert(0, 1),
+            UpdateOp::Insert(1, 2),
+            UpdateOp::Insert(2, 3),
+        ])
+        .unwrap();
+        drop(wal);
+
+        let mut bytes = std::fs::read(&path).unwrap();
+        let offs = frame_offsets(&bytes);
+        assert_eq!(offs.len(), 4, "3 frames + end sentinel");
+        // Flip a payload bit in the second frame: its CRC no longer holds.
+        bytes[offs[1] + FRAME_HEADER + 2] ^= 0x40;
+        let log = read_records(&bytes).unwrap();
+        assert!(log.torn);
+        assert_eq!(log.records.len(), 1);
+        assert_eq!(log.valid_bytes as usize, offs[1]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rebuild_reproduces_the_uncrashed_engine() {
+        let path = tmp("rebuild");
+        let _ = std::fs::remove_file(&path);
+        let builder = SimRankBuilder::new()
+            .algorithm(EngineKind::IncSr)
+            .mode(ApplyPolicy::Fused)
+            .config(cfg());
+
+        let (mut wal, _) = Wal::open_or_create(&path).unwrap();
+        let mut live = builder.clone().from_graph(fixture()).unwrap();
+        wal.append_checkpoint(&CheckpointRecord {
+            shard: None,
+            shard_count: 1,
+            block: 6,
+            seq: 0,
+            image: checkpoint_image_for(&mut live),
+        })
+        .unwrap();
+        let ops = [
+            UpdateOp::Insert(0, 4),
+            UpdateOp::Insert(5, 2),
+            UpdateOp::Delete(2, 3),
+        ];
+        for &op in &ops {
+            wal.append_ops(&[op]).unwrap();
+            live.update(op).unwrap();
+        }
+        drop(wal);
+
+        let log = read_log(&path).unwrap();
+        let rebuilt = rebuild_engine(&builder, &log, None).unwrap();
+        assert_eq!(rebuilt.replayed_ops, 3);
+        assert_eq!(rebuilt.checkpoint_seq, 0);
+        let mut sim = rebuilt.sim;
+        assert_eq!(sim.counters().replayed_ops, 3);
+        assert_eq!(sim.graph(), live.graph());
+        let (a, b) = (sim.scores().unwrap().clone(), live.scores().unwrap());
+        assert!(
+            a.max_abs_diff(b) == 0.0,
+            "fixed-policy replay must be bit-identical"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rebuild_without_checkpoint_is_a_typed_error() {
+        let log = RecoveredLog {
+            records: vec![WalRecord::Op {
+                seq: 1,
+                op: UpdateOp::Insert(0, 1),
+            }],
+            torn: false,
+            valid_bytes: 8,
+        };
+        assert!(matches!(
+            rebuild_engine(&SimRankBuilder::new(), &log, None),
+            Err(WalError::NoCheckpoint)
+        ));
+    }
+
+    #[test]
+    fn shard_rebuild_filters_by_ownership() {
+        // Partition: 2 shards over 6 nodes, block 3 — shard 0 owns 0..3.
+        let log = RecoveredLog {
+            records: vec![
+                WalRecord::Checkpoint(CheckpointRecord {
+                    shard: None,
+                    shard_count: 2,
+                    block: 3,
+                    seq: 0,
+                    image: CheckpointImage::GraphOnly {
+                        config: cfg(),
+                        graph: fixture(),
+                    },
+                }),
+                WalRecord::Op {
+                    seq: 1,
+                    op: UpdateOp::Insert(0, 1), // shard 0 only
+                },
+                WalRecord::Op {
+                    seq: 2,
+                    op: UpdateOp::Insert(4, 3), // both endpoints owned by shard 1
+                },
+                WalRecord::Op {
+                    seq: 3,
+                    op: UpdateOp::Insert(5, 4), // shard 1 only
+                },
+            ],
+            torn: false,
+            valid_bytes: 0,
+        };
+        // owner(3) = min(3/3, 1) = 1 — so op seq 2 belongs to shard 1 only.
+        let s0 = rebuild_engine(&SimRankBuilder::new().config(cfg()), &log, Some(0)).unwrap();
+        assert_eq!(s0.replayed_ops, 1);
+        assert!(s0.sim.graph().has_edge(0, 1));
+        assert!(!s0.sim.graph().has_edge(5, 4));
+        let s1 = rebuild_engine(&SimRankBuilder::new().config(cfg()), &log, Some(1)).unwrap();
+        assert_eq!(s1.replayed_ops, 2);
+        assert!(s1.sim.graph().has_edge(4, 3));
+        assert!(s1.sim.graph().has_edge(5, 4));
+        assert!(!s1.sim.graph().has_edge(0, 1));
+    }
+}

@@ -1,0 +1,461 @@
+//! Fault-injection suite for the durability layer (`incsim::wal`) and the
+//! serving layer's crash containment (`incsim::serve`).
+//!
+//! The central property is **crash-point recovery**: a durable router can
+//! be killed at *any* byte of its write-ahead log — every frame boundary
+//! and arbitrary intra-frame offsets — and `recover + resubmit the lost
+//! suffix` lands within 1e-12 of the uncrashed trajectory for every exact
+//! engine × apply policy, and bit-identically for the matrix-free probe
+//! engine under pinned seeds. Random byte-level faults (bit flips,
+//! checksum corruption, short reads) must degrade to the same shape:
+//! recovery yields a valid durable *prefix* or a typed error — never a
+//! panic, never silent corruption.
+
+use incsim::api::{ApplyPolicy, EngineKind, SimRankBuilder};
+use incsim::core::{batch_simrank, ProbeOptions, SimRankConfig};
+use incsim::datagen::er::erdos_renyi;
+use incsim::datagen::rmat::{rmat, RmatParams};
+use incsim::datagen::updates::random_mixed;
+use incsim::graph::{DiGraph, UpdateOp};
+use incsim::serve::{ReadStatus, ServeError, ShardedSimRank};
+use incsim::wal::faults::{apply_fault, ApplyFaults, Fault, FaultPlan};
+use incsim::wal::{self, WalError};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("incsim_faultinj_{}_{name}.wal", std::process::id()));
+    p
+}
+
+fn cfg() -> SimRankConfig {
+    SimRankConfig::new(0.6, 40).unwrap()
+}
+
+/// A durable single-shard run over `ops`, plus everything a crash sweep
+/// needs to judge a recovery: the final WAL image and the uncrashed
+/// trajectory's full pair matrix.
+struct SweepFixture {
+    ops: Vec<UpdateOp>,
+    bytes: Vec<u8>,
+    truth: Vec<f64>,
+    n: usize,
+}
+
+fn build_fixture(
+    kind: EngineKind,
+    policy: ApplyPolicy,
+    graph: DiGraph,
+    ops: Vec<UpdateOp>,
+    tag: &str,
+) -> SweepFixture {
+    let scores = batch_simrank(&graph, &cfg());
+    let base = SimRankBuilder::new()
+        .algorithm(kind)
+        .mode(policy)
+        .config(cfg());
+
+    // Uncrashed trajectory.
+    let mut truth = base
+        .clone()
+        .with_scores(graph.clone(), scores.clone())
+        .unwrap();
+    for &op in &ops {
+        truth.update(op).unwrap();
+    }
+    let n = graph.node_count();
+    let mut flat = vec![0.0; n * n];
+    for a in 0..n {
+        for b in 0..n {
+            flat[a * n + b] = truth.pair(a as u32, b as u32);
+        }
+    }
+
+    // The same stream through a durable router with a short checkpoint
+    // cadence, so mid-log checkpoints participate in the sweep.
+    let path = tmp(tag);
+    let _ = std::fs::remove_file(&path);
+    {
+        let mut durable = ShardedSimRank::with_scores(
+            base.clone().wal(&path).checkpoint_every(5),
+            graph.clone(),
+            scores,
+        )
+        .unwrap();
+        for &op in &ops {
+            durable.update(op).unwrap();
+        }
+        let counters = durable.counters();
+        assert_eq!(counters.wal_appends, ops.len() as u64);
+        // One base checkpoint plus a cadence checkpoint per 5 ops.
+        assert!(
+            counters.checkpoints > ops.len() as u64 / 5,
+            "cadence checkpoints missing: {counters:?}"
+        );
+    }
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    SweepFixture {
+        ops,
+        bytes,
+        truth: flat,
+        n,
+    }
+}
+
+fn er_stream(n: usize, edges: usize, count: usize, seed: u64) -> (DiGraph, Vec<UpdateOp>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let graph = erdos_renyi(n, edges, &mut rng);
+    let ops = random_mixed(&graph, count, 0.7, &mut rng);
+    (graph, ops)
+}
+
+/// Damages the fixture's log with `fault`, recovers, resubmits whatever
+/// suffix of the stream did not survive, and checks the result against
+/// the uncrashed trajectory. Returns the damaged image's durable op count
+/// for callers that want to assert sweep coverage.
+fn check_recovery(fx: &SweepFixture, builder: &SimRankBuilder, fault: Fault, tol: f64) -> u64 {
+    let damaged = apply_fault(&fx.bytes, fault);
+    let log = match wal::read_records(&damaged) {
+        Ok(log) => log,
+        Err(WalError::BadMagic) => {
+            // Only a fault inside the 8-byte magic can produce this.
+            return 0;
+        }
+        Err(e) => panic!("recovery must fail typed, got unexpected {e} for {fault:?}"),
+    };
+    let rebuilt = match wal::rebuild_engine(builder, &log, Some(0)) {
+        Ok(r) => r,
+        Err(WalError::NoCheckpoint) => {
+            // Legal only when the fault destroyed every checkpoint frame.
+            assert!(
+                log.newest_checkpoint(Some(0)).is_none(),
+                "NoCheckpoint despite a usable checkpoint, fault {fault:?}"
+            );
+            return 0;
+        }
+        Err(e) => panic!("recovery must not fail on a valid prefix: {e} for {fault:?}"),
+    };
+    let k = log.last_seq() as usize;
+    assert!(k <= fx.ops.len(), "log claims more ops than were written");
+    assert_eq!(rebuilt.last_seq, k as u64);
+
+    // The client resubmits the ops the crash swallowed.
+    let mut sim = rebuilt.sim;
+    assert_eq!(sim.counters().replayed_ops, rebuilt.replayed_ops);
+    for &op in &fx.ops[k..] {
+        sim.update(op).unwrap();
+    }
+    for a in 0..fx.n {
+        for b in 0..fx.n {
+            let got = sim.pair(a as u32, b as u32);
+            let want = fx.truth[a * fx.n + b];
+            assert!(
+                (got - want).abs() <= tol,
+                "s({a},{b}) diverged after {fault:?}: {got} vs {want} \
+                 (durable prefix {k} of {} ops)",
+                fx.ops.len()
+            );
+        }
+    }
+    k as u64
+}
+
+/// Cuts the log at every frame boundary (the canonical crash points: a
+/// crash between two atomic appends) and at a probe of intra-frame
+/// offsets, checking recovery at each.
+fn crash_sweep(kind: EngineKind, policy: ApplyPolicy, tag: &str) {
+    let (graph, ops) = er_stream(12, 30, 18, 0xD0C5);
+    let fx = build_fixture(kind, policy, graph, ops, tag);
+    let builder = SimRankBuilder::new()
+        .algorithm(kind)
+        .mode(policy)
+        .config(cfg());
+
+    let offsets = wal::frame_offsets(&fx.bytes);
+    // Base checkpoint + one frame per op + cadence checkpoints + sentinel.
+    assert!(offsets.len() > fx.ops.len() + 1, "sweep lost crash points");
+    let mut prefixes = Vec::new();
+    for &cut in &offsets {
+        prefixes.push(check_recovery(
+            &fx,
+            &builder,
+            Fault::TornWrite { cut },
+            1e-12,
+        ));
+    }
+    // The sweep visited every durable prefix length, not just a few.
+    for k in 0..=fx.ops.len() as u64 {
+        assert!(prefixes.contains(&k), "no crash point exposed prefix {k}");
+    }
+    // A handful of mid-frame cuts: same property, the torn frame is lost.
+    for &boundary in offsets.iter().take(6) {
+        check_recovery(&fx, &builder, Fault::TornWrite { cut: boundary + 3 }, 1e-12);
+    }
+}
+
+#[test]
+fn crash_points_recover_incsr_eager() {
+    crash_sweep(EngineKind::IncSr, ApplyPolicy::Eager, "incsr_eager");
+}
+
+#[test]
+fn crash_points_recover_incsr_lazy() {
+    crash_sweep(EngineKind::IncSr, ApplyPolicy::Lazy, "incsr_lazy");
+}
+
+#[test]
+fn crash_points_recover_incusr_fused() {
+    crash_sweep(EngineKind::IncUSr, ApplyPolicy::Fused, "incusr_fused");
+}
+
+#[test]
+fn crash_points_recover_naive_auto() {
+    crash_sweep(EngineKind::Naive, ApplyPolicy::Auto, "naive_auto");
+}
+
+/// The same sweep on an R-MAT stream — skewed degrees, so checkpoints and
+/// replays cross hub nodes rather than the ER near-uniform case.
+#[test]
+fn crash_points_recover_on_rmat() {
+    let mut rng = StdRng::seed_from_u64(0x12A7);
+    let graph = rmat(4, 40, &RmatParams::default(), &mut rng);
+    let ops = random_mixed(&graph, 14, 0.6, &mut rng);
+    let fx = build_fixture(EngineKind::IncSr, ApplyPolicy::Auto, graph, ops, "rmat");
+    let builder = SimRankBuilder::new()
+        .algorithm(EngineKind::IncSr)
+        .mode(ApplyPolicy::Auto)
+        .config(cfg());
+    for &cut in &wal::frame_offsets(&fx.bytes) {
+        check_recovery(&fx, &builder, Fault::TornWrite { cut }, 1e-12);
+    }
+}
+
+/// The probe engine keeps no matrix: its durable state *is* the graph,
+/// and checkpoints fall back to graph-only images. Recovery + resubmit
+/// must reproduce the uncrashed graph exactly, and with the seed pinned a
+/// fixed query sequence answers bit-identically.
+#[test]
+fn probe_recovery_is_seed_identical() {
+    let mut rng = StdRng::seed_from_u64(0x9B0B);
+    let graph = erdos_renyi(16, 48, &mut rng);
+    let ops = random_mixed(&graph, 12, 0.7, &mut rng);
+    let c = SimRankConfig::new(0.6, 10).unwrap();
+    let opts = ProbeOptions {
+        seed: 0xFEED_5EED,
+        ..Default::default()
+    };
+    let base = SimRankBuilder::new()
+        .algorithm(EngineKind::Probe)
+        .probe_options(opts)
+        .config(c);
+
+    let path = tmp("probe");
+    let _ = std::fs::remove_file(&path);
+    {
+        let mut durable = ShardedSimRank::with_scores(
+            base.clone().wal(&path).checkpoint_every(4),
+            graph.clone(),
+            batch_simrank(&graph, &c),
+        )
+        .unwrap();
+        for &op in &ops {
+            durable.update(op).unwrap();
+        }
+    }
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    // The uncrashed endpoint: the full stream applied to the start graph.
+    let mut final_graph = graph.clone();
+    for &op in &ops {
+        op.apply(&mut final_graph).unwrap();
+    }
+    let offsets = wal::frame_offsets(&bytes);
+    for &cut in [
+        offsets[1],
+        offsets[offsets.len() / 2],
+        *offsets.last().unwrap(),
+    ]
+    .iter()
+    {
+        // Fresh per cut: probe answers are a function of (graph, seed,
+        // query-call index), so both sides must start the same sequence.
+        let reference = base.clone().from_graph(final_graph.clone()).unwrap();
+        let log = wal::read_records(&apply_fault(&bytes, Fault::TornWrite { cut })).unwrap();
+        let rebuilt = wal::rebuild_engine(&base, &log, Some(0)).unwrap();
+        let k = log.last_seq() as usize;
+        let mut sim = rebuilt.sim;
+        for &op in &ops[k..] {
+            sim.update(op).unwrap();
+        }
+        assert_eq!(sim.graph().edge_count(), final_graph.edge_count());
+        for v in 0..final_graph.node_count() as u32 {
+            assert_eq!(sim.graph().in_degree(v), final_graph.in_degree(v));
+        }
+        // Identical query sequence, pinned seed: bit-identical answers.
+        for (a, b) in [(0u32, 1u32), (3, 7), (7, 3), (12, 5)] {
+            assert_eq!(
+                sim.pair(a, b).to_bits(),
+                reference.pair(a, b).to_bits(),
+                "probe answer for ({a},{b}) drifted at cut {cut}"
+            );
+        }
+    }
+}
+
+/// Mid-apply panic on one shard of a live router: the batch stays durable,
+/// the healthy shard keeps serving, reads on the quarantined shard degrade
+/// with a typed status, and a WAL rebuild restores exactness.
+#[test]
+fn quarantine_rebuild_matches_uncrashed_router() {
+    let n = 8usize;
+    let graph = DiGraph::from_edges(n, &[(0, 2), (1, 2), (2, 3), (4, 6), (5, 6), (6, 7)]);
+    let c = SimRankConfig::new(0.6, 60).unwrap();
+    let scores = batch_simrank(&graph, &c);
+    let path = tmp("quarantine");
+    let _ = std::fs::remove_file(&path);
+
+    let faults = ApplyFaults::panic_on_edge(4, 5);
+    let mut router = ShardedSimRank::with_scores(
+        SimRankBuilder::new()
+            .mode(ApplyPolicy::Eager)
+            .config(c)
+            .shards(2)
+            .wal(&path)
+            .fault_injection(faults.clone()),
+        graph.clone(),
+        scores.clone(),
+    )
+    .unwrap();
+
+    router.insert(0, 1).unwrap();
+    let err = router.insert(4, 5).unwrap_err();
+    assert!(matches!(err, ServeError::ShardPanicked { shard: 1, .. }));
+    assert!(faults.exhausted());
+    assert_eq!(router.quarantined_shards(), vec![1]);
+
+    // Healthy shard still writable; quarantined shard rejects with a
+    // retryable error and degrades checked reads.
+    router.insert(1, 3).unwrap();
+    assert!(matches!(
+        router.insert(6, 4),
+        Err(ServeError::Quarantined { shard: 1, .. })
+    ));
+    assert!(matches!(
+        router.checked_pair(4, 6),
+        Err(ServeError::Degraded { shard: 1, .. })
+    ));
+    router.checked_pair(0, 1).unwrap();
+
+    // Rebuild from checkpoint + replay, then compare the whole router
+    // against an uncrashed twin that saw the same committed stream.
+    router.rebuild_shard(1).unwrap();
+    assert!(router.quarantined_shards().is_empty());
+    assert!(router.counters().quarantines >= 1);
+    assert!(router.counters().replayed_ops >= 1);
+
+    let mut twin = ShardedSimRank::with_scores(
+        SimRankBuilder::new()
+            .mode(ApplyPolicy::Eager)
+            .config(c)
+            .shards(2),
+        graph,
+        scores,
+    )
+    .unwrap();
+    twin.insert(0, 1).unwrap();
+    twin.insert(4, 5).unwrap();
+    twin.insert(1, 3).unwrap();
+    for a in 0..n as u32 {
+        for b in 0..n as u32 {
+            assert!(
+                (router.pair(a, b) - twin.pair(a, b)).abs() < 1e-12,
+                "rebuilt router diverges at ({a},{b})"
+            );
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// Epoch readers hold typed degraded status — never a panic — when the
+/// shard under them is quarantined, including for ids born after the
+/// frozen epoch.
+#[test]
+fn degraded_epoch_reads_are_typed_and_total() {
+    let graph = DiGraph::from_edges(8, &[(0, 2), (1, 2), (2, 3), (4, 6), (5, 6), (6, 7)]);
+    let c = SimRankConfig::new(0.6, 20).unwrap();
+    let scores = batch_simrank(&graph, &c);
+    let faults = ApplyFaults::panic_on_edge(4, 5);
+    let mut serving = incsim::serve::ConcurrentSimRank::new(
+        ShardedSimRank::with_scores(
+            SimRankBuilder::new()
+                .mode(ApplyPolicy::Eager)
+                .config(c)
+                .shards(2)
+                .fault_injection(faults),
+            graph,
+            scores,
+        )
+        .unwrap(),
+    );
+    serving.insert(4, 5).unwrap_err();
+    serving.publish();
+    let reader = serving.reader();
+    let epoch = reader.epoch();
+    assert!(epoch.any_degraded());
+    let (_, status) = epoch.pair_with_status(4, 6);
+    assert!(matches!(status, ReadStatus::Degraded { shard: 1, .. }));
+    let (v, status) = epoch.pair_with_status(0, 1);
+    assert!(matches!(status, ReadStatus::Fresh));
+    assert!(v.is_finite());
+    // Fresh-side reads and ranked reads on the degraded side stay total.
+    let (ranked, _) = epoch.top_k_with_status(5, 3);
+    assert!(ranked.len() <= 3);
+}
+
+static PROP_FIXTURE: OnceLock<SweepFixture> = OnceLock::new();
+
+fn prop_fixture() -> &'static SweepFixture {
+    PROP_FIXTURE.get_or_init(|| {
+        let (graph, ops) = er_stream(12, 30, 18, 0xFA57);
+        build_fixture(EngineKind::IncSr, ApplyPolicy::Eager, graph, ops, "prop")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Crash at an arbitrary byte offset — frame boundaries, mid-frame,
+    /// inside the magic, past the end: recovery plus resubmission always
+    /// reaches the uncrashed trajectory (or fails typed when the base
+    /// checkpoint itself is gone).
+    #[test]
+    fn any_cut_offset_recovers(cut in 0usize..40_000) {
+        let fx = prop_fixture();
+        let builder = SimRankBuilder::new()
+            .algorithm(EngineKind::IncSr)
+            .mode(ApplyPolicy::Eager)
+            .config(cfg());
+        check_recovery(fx, &builder, Fault::TornWrite { cut }, 1e-12);
+    }
+
+    /// Seeded byte-level faults of every kind (torn writes, bit flips,
+    /// checksum corruption, short reads): recovery never panics and never
+    /// serves silent corruption — it lands on a valid durable prefix or a
+    /// typed error.
+    #[test]
+    fn random_faults_never_panic_or_corrupt(seed in 0u64..1_000_000) {
+        let fx = prop_fixture();
+        let builder = SimRankBuilder::new()
+            .algorithm(EngineKind::IncSr)
+            .mode(ApplyPolicy::Eager)
+            .config(cfg());
+        let fault = FaultPlan::seeded(seed).draw(&fx.bytes);
+        check_recovery(fx, &builder, fault, 1e-12);
+    }
+}
