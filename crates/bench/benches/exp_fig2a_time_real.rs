@@ -94,9 +94,10 @@ fn run_dataset(ds: &mut Dataset, k_iters: usize, svd_ok: bool) {
             format!("{}", target.edge_count()),
             fmt_duration(Duration::from_secs_f64(t_incsr)),
             fmt_duration(Duration::from_secs_f64(t_incusr)),
-            t_incsvd
-                .map(|t| fmt_duration(Duration::from_secs_f64(t)))
-                .unwrap_or_else(|| "— (mem)".into()),
+            t_incsvd.map_or_else(
+                || "— (mem)".into(),
+                |t| fmt_duration(Duration::from_secs_f64(t)),
+            ),
             fmt_duration(Duration::from_secs_f64(batch_secs)),
         ]);
         if let Some(t) = t_incsvd {

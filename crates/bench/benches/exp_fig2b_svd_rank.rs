@@ -58,7 +58,7 @@ fn main() {
     }
     table.print();
 
-    let min = fractions.iter().cloned().fold(f64::INFINITY, f64::min);
+    let min = fractions.iter().copied().fold(f64::INFINITY, f64::min);
     println!(
         "\nminimum lossless-rank fraction observed: {min:.1}% — never negligibly smaller than n,"
     );

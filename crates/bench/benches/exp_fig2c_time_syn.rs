@@ -60,7 +60,7 @@ fn main() {
     for op in &inserts {
         op.apply(&mut g_high).expect("insert stream valid");
     }
-    let deletes: Vec<UpdateOp> = inserts.iter().rev().map(|op| op.inverse()).collect();
+    let deletes: Vec<UpdateOp> = inserts.iter().rev().map(UpdateOp::inverse).collect();
     run_sweep("edge deletion (|E| shrinks)", &g_high, &deletes, step, &cfg);
 
     println!("[ok] Fig. 2c series regenerated.");

@@ -40,7 +40,7 @@ fn bench_kernels(c: &mut Criterion) {
         b.iter(|| {
             q.matvec(black_box(&x), &mut y);
             black_box(&y);
-        })
+        });
     });
 
     let eta: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).cos()).collect();
@@ -52,12 +52,12 @@ fn bench_kernels(c: &mut Criterion) {
                 black_box(s)
             },
             BatchSize::LargeInput,
-        )
+        );
     });
 
     c.bench_function("batch_iteration_600", |b| {
         let one_iter = SimRankConfig::new(0.6, 1).expect("valid config");
-        b.iter(|| black_box(batch_simrank(black_box(&g), &one_iter)))
+        b.iter(|| black_box(batch_simrank(black_box(&g), &one_iter)));
     });
 
     let mut m = DenseMatrix::zeros(n, n);
@@ -65,7 +65,7 @@ fn bench_kernels(c: &mut Criterion) {
         b.iter(|| {
             m.rank_one_update(1.0, black_box(&x), black_box(&eta));
             black_box(&m);
-        })
+        });
     });
 
     // One fused LowRankDelta sweep applying K+1 = 16 buffered rank-two
@@ -96,7 +96,7 @@ fn bench_kernels(c: &mut Criterion) {
                 black_box(s)
             },
             BatchSize::LargeInput,
-        )
+        );
     });
     c.bench_function("lowrank_eager_equiv_16x600", |b| {
         b.iter_batched(
@@ -108,7 +108,7 @@ fn bench_kernels(c: &mut Criterion) {
                 black_box(s)
             },
             BatchSize::LargeInput,
-        )
+        );
     });
 
     // Full unit update through each engine (K = 10).
@@ -120,7 +120,7 @@ fn bench_kernels(c: &mut Criterion) {
                 black_box(e.scores().get(0, 1))
             },
             BatchSize::LargeInput,
-        )
+        );
     });
     c.bench_function("incusr_unit_insert_600", |b| {
         b.iter_batched(
@@ -130,7 +130,7 @@ fn bench_kernels(c: &mut Criterion) {
                 black_box(e.scores().get(0, 1))
             },
             BatchSize::LargeInput,
-        )
+        );
     });
 }
 

@@ -387,7 +387,7 @@ pub fn measure_micro_kernels(n: usize, pairs: usize, reps: usize) -> MicroKernel
     }
     let fused_apply_secs = start.elapsed().as_secs_f64() / reps as f64;
 
-    let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     let start = Instant::now();
     for _ in 0..reps {
         fill(&mut delta);
@@ -843,7 +843,7 @@ pub fn measure_wal_overhead(n: usize, k_iters: usize, cap: usize) -> WalOverhead
     let (&warmup, measured) = stream.split_first().expect("cap >= 1");
     plain.update(warmup).expect("stream valid");
     durable.update(warmup).expect("stream valid");
-    let log_bytes_start = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    let log_bytes_start = std::fs::metadata(&path).map_or(0, |m| m.len());
 
     let mut plain_times: Vec<f64> = Vec::with_capacity(measured.len());
     let mut durable_times: Vec<f64> = Vec::with_capacity(measured.len());
@@ -868,7 +868,7 @@ pub fn measure_wal_overhead(n: usize, k_iters: usize, cap: usize) -> WalOverhead
         durable_times.push(d);
         diffs.push(d - p);
     }
-    let log_bytes_end = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    let log_bytes_end = std::fs::metadata(&path).map_or(0, |m| m.len());
     let _ = std::fs::remove_file(&path);
 
     let median = |v: &mut Vec<f64>| -> f64 {

@@ -11,7 +11,7 @@ impl Table {
     /// Creates a table with the given column headers.
     pub fn new(headers: &[&str]) -> Self {
         Table {
-            headers: headers.iter().map(|s| s.to_string()).collect(),
+            headers: headers.iter().map(ToString::to_string).collect(),
             rows: Vec::new(),
         }
     }
@@ -31,7 +31,7 @@ impl Table {
     /// Renders the table to a string.
     pub fn render(&self) -> String {
         let cols = self.headers.len();
-        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
         for row in &self.rows {
             for (c, cell) in row.iter().enumerate() {
                 widths[c] = widths[c].max(cell.len());

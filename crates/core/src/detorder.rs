@@ -1,0 +1,97 @@
+//! Deterministic drains for hash containers.
+//!
+//! `FxHashMap` iteration order is stable for one process but arbitrary
+//! across key sets: two logically-identical states built through
+//! different insertion histories can yield different orders. Anywhere a
+//! drain feeds a float accumulation, a serialized byte stream, or a
+//! user-visible ranking, that arbitrariness becomes nondeterminism. The
+//! helpers here are the sanctioned way out — drain into a key-sorted
+//! `Vec` first, then fold. The `incsim-lint` rule
+//! `nondeterministic-iteration` rejects raw hash-map iteration in the
+//! order-sensitive files (`probe.rs`, `batch.rs`, `grouped.rs`,
+//! `wal.rs`); routing the drain through this module satisfies it by
+//! construction.
+//!
+//! Cost: one `O(n)` copy plus an `O(n log n)` sort per drain. The
+//! call sites are per-query scratch maps (probe frontiers, walk
+//! tallies), where the sort is dwarfed by the graph expansions that
+//! built the map.
+
+use std::collections::HashMap;
+use std::hash::BuildHasher;
+
+/// Drains `map` by value into a `Vec` sorted by ascending key.
+///
+/// Borrowing flavour for maps that are reused after the drain (cleared
+/// scratch buffers, running tallies). Keys and values are copied.
+pub fn sorted_kv<K, V, S>(map: &HashMap<K, V, S>) -> Vec<(K, V)>
+where
+    K: Ord + Copy,
+    V: Copy,
+    S: BuildHasher,
+{
+    let mut out: Vec<(K, V)> = map.iter().map(|(&k, &v)| (k, v)).collect();
+    out.sort_unstable_by_key(|&(k, _)| k);
+    out
+}
+
+/// Consumes `map` into a `Vec` sorted by ascending key.
+///
+/// Use when the map is finished — avoids the copy `sorted_kv` pays.
+pub fn into_sorted_kv<K, V, S>(map: HashMap<K, V, S>) -> Vec<(K, V)>
+where
+    K: Ord,
+    S: BuildHasher,
+{
+    let mut out: Vec<(K, V)> = map.into_iter().collect();
+    out.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fxhash::FxHashMap;
+
+    #[test]
+    fn sorted_kv_orders_by_key_and_keeps_map() {
+        let mut m: FxHashMap<u32, f64> = FxHashMap::default();
+        for k in [7u32, 1, 4, 9, 2] {
+            m.insert(k, f64::from(k) * 0.5);
+        }
+        let kv = sorted_kv(&m);
+        assert_eq!(
+            kv.iter().map(|&(k, _)| k).collect::<Vec<_>>(),
+            vec![1, 2, 4, 7, 9]
+        );
+        assert_eq!(kv[2], (4, 2.0));
+        assert_eq!(m.len(), 5, "borrowing drain must not consume the map");
+    }
+
+    #[test]
+    fn into_sorted_kv_orders_tuple_keys_lexicographically() {
+        let mut m: FxHashMap<(u32, u32), u32> = FxHashMap::default();
+        for key in [(2u32, 1u32), (1, 9), (2, 0), (1, 3)] {
+            m.insert(key, key.0 + key.1);
+        }
+        let kv = into_sorted_kv(m);
+        assert_eq!(
+            kv.iter().map(|&(k, _)| k).collect::<Vec<_>>(),
+            vec![(1, 3), (1, 9), (2, 0), (2, 1)]
+        );
+    }
+
+    #[test]
+    fn drain_order_is_insertion_history_independent() {
+        let mut fwd: FxHashMap<u32, u32> = FxHashMap::default();
+        let mut rev: FxHashMap<u32, u32> = FxHashMap::default();
+        let keys: Vec<u32> = (0..64).map(|i| i * 37 % 101).collect();
+        for &k in &keys {
+            fwd.insert(k, k);
+        }
+        for &k in keys.iter().rev() {
+            rev.insert(k, k);
+        }
+        assert_eq!(sorted_kv(&fwd), sorted_kv(&rev));
+    }
+}

@@ -353,7 +353,7 @@ impl IncSr {
             // so any pending ΔS must be materialised first.
             self.flush();
             let rro = crate::grouped::row_rank_one(&self.graph, &self.scores, change, |x, y| {
-                crate::grouped::graph_q_matvec(&self.graph, x, y)
+                crate::grouped::graph_q_matvec(&self.graph, x, y);
             })?;
             self.eta.clear();
             for (b, &g) in rro.gamma.iter().enumerate() {
@@ -515,7 +515,7 @@ impl GraphSink for IncSr {
             self,
             ops,
             self.deferred.mode == ApplyMode::Fused,
-            |e, i, j, kind| e.apply_update(i, j, kind),
+            Self::apply_update,
             |e| {
                 e.flush();
             },

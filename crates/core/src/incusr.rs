@@ -160,7 +160,7 @@ impl IncUSr {
             // so any pending ΔS must be materialised first.
             self.flush();
             let rro = crate::grouped::row_rank_one(&self.graph, &self.scores, change, |x, y| {
-                self.q.matvec(x, y)
+                self.q.matvec(x, y);
             })?;
             self.eta.copy_from_slice(&rro.gamma);
             self.run_sylvester_iteration(change.j as usize, 1.0, &rro.v);
@@ -327,7 +327,7 @@ impl GraphSink for IncUSr {
             self,
             ops,
             self.deferred.mode == ApplyMode::Fused,
-            |e, i, j, kind| e.apply_update(i, j, kind),
+            Self::apply_update,
             |e| {
                 e.flush();
             },

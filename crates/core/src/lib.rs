@@ -65,6 +65,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod batch;
+pub mod detorder;
 mod fxhash;
 pub mod grouped;
 pub mod incsr;

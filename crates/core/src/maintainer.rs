@@ -364,7 +364,8 @@ pub trait MatrixAccess {
 
     /// Rank of the pending ΔS buffer (0 when fully materialised).
     fn pending_rank(&self) -> usize {
-        self.pending_delta().map_or(0, |d| d.pending_pairs())
+        self.pending_delta()
+            .map_or(0, incsim_linalg::LowRankDelta::pending_pairs)
     }
 
     /// The current [`ApplyMode`]. Engines without deferred-apply support

@@ -250,12 +250,16 @@ impl ProbeCore {
         let mut next: FxHashMap<u32, f64> = FxHashMap::default();
         let mut expansions = 0u64;
         let mut peak_entries = tally.len();
-        for (&(t, v), &cnt) in &tally {
+        // All three drains below go through `detorder`: the probe sums
+        // floats per target node, and float addition does not commute in
+        // the last bits — hash order would make identically-seeded runs
+        // disagree bit-for-bit.
+        for ((t, v), cnt) in crate::detorder::sorted_kv(&tally) {
             frontier.clear();
             frontier.insert(v, 1.0);
             for _level in 0..t {
                 next.clear();
-                for (&x, &wx) in &frontier {
+                for (x, wx) in crate::detorder::sorted_kv(&frontier) {
                     for &y in self.graph.out_neighbors(x) {
                         // in_deg(y) ≥ 1: the edge x→y exists.
                         *next.entry(y).or_insert(0.0) += wx / self.graph.in_degree(y) as f64;
@@ -272,7 +276,7 @@ impl ProbeCore {
                 }
             }
             let scale = (1.0 - c) * c.powi(t as i32) * cnt as f64 / r as f64;
-            for (&b, &w) in &frontier {
+            for (b, w) in crate::detorder::sorted_kv(&frontier) {
                 *scores.entry(b).or_insert(0.0) += scale * w;
             }
             peak_entries = peak_entries.max(scores.len());
@@ -281,13 +285,11 @@ impl ProbeCore {
             .fetch_add(expansions, Ordering::Relaxed);
         self.note_scratch(peak_entries);
 
-        let mut out: Vec<RankedNode> = scores
+        crate::detorder::into_sorted_kv(scores)
             .into_iter()
             .filter(|&(b, _)| b != a)
             .map(|(node, score)| RankedNode { node, score })
-            .collect();
-        out.sort_by_key(|rn| rn.node);
-        out
+            .collect()
     }
 
     fn top_k(&self, a: u32, k: usize) -> Vec<RankedNode> {

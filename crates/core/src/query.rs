@@ -260,7 +260,11 @@ impl ScoreSnapshot {
 
     /// Heap bytes held by the frozen state (base matrix + factor buffer).
     pub fn heap_bytes(&self) -> usize {
-        self.base.heap_bytes() + self.delta.as_ref().map_or(0, |d| d.heap_bytes())
+        self.base.heap_bytes()
+            + self
+                .delta
+                .as_ref()
+                .map_or(0, incsim_linalg::LowRankDelta::heap_bytes)
     }
 }
 

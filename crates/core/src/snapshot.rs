@@ -344,7 +344,7 @@ mod tests {
         for cut in 0..buf.len() {
             match load(&buf[..cut]) {
                 Err(SnapshotError::Corrupt { offset, .. }) => {
-                    assert!(offset <= cut as u64, "offset {offset} past cut {cut}")
+                    assert!(offset <= cut as u64, "offset {offset} past cut {cut}");
                 }
                 Err(SnapshotError::BadMagic) => assert!(cut < 8, "BadMagic at cut {cut}"),
                 Err(other) => panic!("prefix {cut}: unexpected error {other:?}"),

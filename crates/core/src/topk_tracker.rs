@@ -123,7 +123,9 @@ impl TopKTracker {
     /// regime prefer `engine.flush()` followed by [`Self::update`], and
     /// keep `update_view` for windows that are mostly queries.
     pub fn update_view(&mut self, view: &ScoreView<'_>, touched: &[u32]) {
-        let mut widened = view.delta().map_or_else(Vec::new, |d| d.support_rows());
+        let mut widened = view
+            .delta()
+            .map_or_else(Vec::new, incsim_linalg::LowRankDelta::support_rows);
         widened.extend_from_slice(touched);
         widened.sort_unstable();
         widened.dedup();

@@ -74,7 +74,7 @@ pub fn default_threads() -> usize {
         .ok()
         .and_then(|v| v.parse::<usize>().ok())
         .filter(|&t| t > 0)
-        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()))
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, std::num::NonZero::get))
 }
 
 /// One buffered symmetric rank-two term `ξ·ηᵀ + η·ξᵀ`.

@@ -115,7 +115,7 @@ impl CsrMatrix {
     /// Panics if any column index is out of range or a row is unsorted.
     pub fn from_rows(rows: usize, cols: usize, row_entries: &[Vec<(u32, f64)>]) -> Self {
         assert_eq!(row_entries.len(), rows, "from_rows: row count mismatch");
-        let nnz: usize = row_entries.iter().map(|r| r.len()).sum();
+        let nnz: usize = row_entries.iter().map(Vec::len).sum();
         let mut indptr = Vec::with_capacity(rows + 1);
         let mut indices = Vec::with_capacity(nnz);
         let mut values = Vec::with_capacity(nnz);

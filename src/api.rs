@@ -887,7 +887,9 @@ impl SimRank {
     /// the engine-agnostic frozen handle). Not counted as a query: epoch
     /// publication is maintenance traffic, not workload signal.
     pub fn snapshot_view(&self) -> Option<ScoreSnapshot> {
-        self.engine.matrix().map(|m| m.snapshot_view())
+        self.engine
+            .matrix()
+            .map(incsim_core::MatrixAccess::snapshot_view)
     }
 
     /// An engine-agnostic frozen query handle — the epoch material of the
@@ -927,7 +929,9 @@ impl SimRank {
     /// pending).
     pub fn flush(&mut self) -> usize {
         self.compressed_floor = 0;
-        self.engine.matrix_mut().map_or(0, |m| m.flush())
+        self.engine
+            .matrix_mut()
+            .map_or(0, incsim_core::MatrixAccess::flush)
     }
 
     /// Recompresses any pending deferred ΔS **in place** to its numerical
@@ -972,7 +976,9 @@ impl SimRank {
     /// Rank of the pending deferred-ΔS buffer (0 when materialised, and
     /// always 0 on matrix-free engines).
     pub fn pending_rank(&self) -> usize {
-        self.engine.matrix().map_or(0, |m| m.pending_rank())
+        self.engine
+            .matrix()
+            .map_or(0, incsim_core::MatrixAccess::pending_rank)
     }
 
     /// Heap bytes held by the pending deferred-ΔS buffer (0 when
@@ -983,7 +989,7 @@ impl SimRank {
         self.engine
             .matrix()
             .and_then(|m| m.pending_delta())
-            .map_or(0, |d| d.heap_bytes())
+            .map_or(0, incsim_linalg::LowRankDelta::heap_bytes)
     }
 
     /// Cumulative routing counters, including the total query count. For

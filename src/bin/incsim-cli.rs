@@ -288,10 +288,7 @@ fn cmd_update(flags: &Flags) -> Result<(), String> {
     let snap = open_state(flags)?;
     let ops_path = flags.req(&["--ops"])?;
     let out = flags.req(&["-o", "--output"])?;
-    let grouped = flags
-        .get(&["--grouped"])
-        .map(|v| v == "true")
-        .unwrap_or(false);
+    let grouped = flags.get(&["--grouped"]).is_some_and(|v| v == "true");
     let algorithm = parse_algorithm(flags.get(&["--algorithm"]))?;
     let policy = parse_mode(flags.get(&["--mode"]))?;
     if algorithm.is_matrix_free() {
@@ -646,7 +643,7 @@ mod tests {
     fn flag_parser_handles_pairs() {
         let args: Vec<String> = ["--model", "er", "-o", "out.txt"]
             .iter()
-            .map(|s| s.to_string())
+            .map(ToString::to_string)
             .collect();
         let f = Flags::parse(&args).unwrap();
         assert_eq!(f.get(&["--model"]), Some("er"));
@@ -657,9 +654,9 @@ mod tests {
 
     #[test]
     fn flag_parser_rejects_malformed() {
-        let args: Vec<String> = ["positional"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["positional"].iter().map(ToString::to_string).collect();
         assert!(Flags::parse(&args).is_err());
-        let args: Vec<String> = ["--dangling"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["--dangling"].iter().map(ToString::to_string).collect();
         assert!(Flags::parse(&args).is_err());
     }
 
@@ -948,7 +945,7 @@ mod tests {
 
     #[test]
     fn unknown_command_errors() {
-        let args: Vec<String> = ["frobnicate"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["frobnicate"].iter().map(ToString::to_string).collect();
         assert!(run(&args).is_err());
         assert!(run(&[]).is_err());
     }
@@ -1042,6 +1039,6 @@ mod tests {
     }
 
     fn to_args(parts: &[&str]) -> Vec<String> {
-        parts.iter().map(|s| s.to_string()).collect()
+        parts.iter().map(ToString::to_string).collect()
     }
 }

@@ -59,6 +59,10 @@
 //! | [`datagen`] | `incsim-datagen` | synthetic graphs, dataset presets, update streams |
 //! | [`metrics`] | `incsim-metrics` | NDCG@k, error norms, timing/memory accounting |
 
+// Every public item on the service surface must say what it does; CI's
+// `-D warnings` clippy gate turns an undocumented export into an error.
+#![warn(missing_docs)]
+
 pub mod api;
 pub mod serve;
 pub mod wal;

@@ -194,6 +194,11 @@ pub enum ServeError {
         /// Log sequence number at which it was quarantined.
         since_seq: u64,
     },
+    /// An internal router invariant failed. This reports a bug, not an
+    /// operational state — the router refuses the broken path with a
+    /// typed error instead of panicking mid-serve (every panic in this
+    /// module is a quarantine event, never a crash).
+    Internal(&'static str),
 }
 
 impl std::fmt::Display for ServeError {
@@ -221,6 +226,9 @@ impl std::fmt::Display for ServeError {
                 "shard {shard} is quarantined (since seq {since_seq}); \
                  no fresh answer — epoch readers serve the last published state"
             ),
+            ServeError::Internal(detail) => {
+                write!(f, "internal serving invariant violated: {detail}")
+            }
         }
     }
 }
@@ -322,6 +330,20 @@ impl SnapshotQuery for ZeroView {
 /// otherwise the host parallelism — same knob as the fused apply.
 pub fn serve_threads() -> usize {
     crate::linalg::lowrank::default_threads()
+}
+
+/// A substitute panic payload for every shard of a group whose *worker
+/// thread* died outside the per-shard `catch_unwind` (the one payload
+/// cannot be cloned per shard). Carries the original message when it was
+/// a string, so quarantine diagnostics stay useful.
+fn clone_panic(payload: &(dyn std::any::Any + Send)) -> Box<dyn std::any::Any + Send> {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        Box::new(*s)
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        Box::new(s.clone())
+    } else {
+        Box::new("group worker panicked outside the per-shard catch_unwind")
+    }
 }
 
 /// Raises a stop flag when dropped — **including on panic unwind**.
@@ -458,15 +480,13 @@ impl ShardedSimRank {
         // supplied graph (`serve --wal` reopens exactly where the crashed
         // process stopped); a fresh log records the supplied state as its
         // global base checkpoint.
-        let (wal, recovered) = match builder.wal_path() {
-            Some(path) => {
-                let (w, r) = Wal::open_or_create(path)?;
-                (Some(w), r)
+        let mut wal = None;
+        if let Some(path) = builder.wal_path() {
+            let (w, recovered) = Wal::open_or_create(path)?;
+            if let Some(log) = recovered.filter(|l| !l.records.is_empty()) {
+                return Self::recover_internal(builder, w, &log);
             }
-            None => (None, None),
-        };
-        if let Some(log) = recovered.filter(|l| !l.records.is_empty()) {
-            return Self::recover_internal(builder, wal.expect("recovered implies wal"), &log);
+            wal = Some(w);
         }
 
         let shard_count = builder.shard_count();
@@ -567,17 +587,16 @@ impl ShardedSimRank {
             }
         };
         for rec in log.ops_after(cp.seq) {
-            match rec {
-                wal::WalRecord::Op { op, .. } => {
+            match rec.op {
+                wal::ReplayOp::Edge(op) => {
                     op.apply(&mut graph).map_err(|_| WalError::Corrupt {
                         offset: 0,
                         detail: "logged op does not apply to the checkpoint graph",
-                    })?
+                    })?;
                 }
-                wal::WalRecord::AddNode { .. } => {
+                wal::ReplayOp::AddNode => {
                     graph.add_node();
                 }
-                wal::WalRecord::Checkpoint(_) => unreachable!("ops_after yields no checkpoints"),
             }
         }
         Ok(graph)
@@ -657,8 +676,10 @@ impl ShardedSimRank {
                 }
             }
         }
+        // Validated above, so this cannot fail short of a router bug —
+        // which surfaces as a typed error, never a panic mid-serve.
         op.apply(&mut self.graph)
-            .expect("validated against this graph");
+            .map_err(|e| ServeError::Update(UpdateError::Graph(e)))?;
         self.ops_since_checkpoint += 1;
         match first_failure {
             None => {
@@ -774,7 +795,8 @@ impl ShardedSimRank {
             std::thread::scope(|scope| {
                 let mut handles = Vec::new();
                 for group in busy.chunks_mut(group_len) {
-                    handles.push(scope.spawn(move || {
+                    let shard_ids: Vec<usize> = group.iter().map(|(s, ..)| *s).collect();
+                    let handle = scope.spawn(move || {
                         group
                             .iter_mut()
                             .map(|(s, shard, sub)| {
@@ -784,10 +806,23 @@ impl ShardedSimRank {
                                 )
                             })
                             .collect::<Vec<_>>()
-                    }));
+                    });
+                    handles.push((shard_ids, handle));
                 }
-                for h in handles {
-                    results.extend(h.join().expect("group worker itself cannot panic"));
+                for (shard_ids, h) in handles {
+                    match h.join() {
+                        Ok(outcomes) => results.extend(outcomes),
+                        // The worker wraps every engine call in
+                        // catch_unwind, so a panic *of the worker itself*
+                        // (allocation failure, …) left its whole group in
+                        // an unknown state: quarantine every shard of the
+                        // group rather than crash the router.
+                        Err(payload) => results.extend(
+                            shard_ids
+                                .into_iter()
+                                .map(|s| (s, Err(clone_panic(&payload)))),
+                        ),
+                    }
                 }
             });
         }
@@ -837,10 +872,21 @@ impl ShardedSimRank {
                 }
             }
         }
-        Ok(out
-            .into_iter()
-            .map(|s| s.expect("every op has a primary owner"))
-            .collect())
+        let mut flat = Vec::with_capacity(out.len());
+        for stats in out {
+            match stats {
+                Some(st) => flat.push(st),
+                // Unreachable short of a routing bug (every op has a
+                // primary owner, and no shard failed above) — reported
+                // typed rather than panicking in the write path.
+                None => {
+                    return Err(ServeError::Internal(
+                        "update_batch: an op's primary owner returned no stats",
+                    ))
+                }
+            }
+        }
+        Ok(flat)
     }
 
     /// Appends an isolated node to **every** shard (all engines span the
@@ -891,7 +937,7 @@ impl ShardedSimRank {
 
     /// Path of the attached write-ahead log, if the router is durable.
     pub fn wal_path(&self) -> Option<&std::path::Path> {
-        self.wal.as_ref().map(|w| w.path())
+        self.wal.as_ref().map(Wal::path)
     }
 
     fn check_writable(&self, owners: impl IntoIterator<Item = usize>) -> Result<(), ServeError> {
@@ -919,10 +965,12 @@ impl ShardedSimRank {
     /// Writes a per-shard checkpoint image for every healthy shard when
     /// the op cadence is due (durable routers only).
     fn maybe_checkpoint(&mut self) -> Result<(), ServeError> {
-        if self.wal.is_none() || self.ops_since_checkpoint < self.checkpoint_every {
+        if self.ops_since_checkpoint < self.checkpoint_every {
             return Ok(());
         }
-        let mut wal = self.wal.take().expect("checked above");
+        let Some(mut wal) = self.wal.take() else {
+            return Ok(());
+        };
         let result = (|| {
             for s in 0..self.shards.len() {
                 if !matches!(self.health[s], ShardHealth::Healthy) {
@@ -1123,7 +1171,7 @@ impl ShardedSimRank {
     /// Materialises pending deferred ΔS on every shard; returns the total
     /// rank-two terms applied.
     pub fn flush(&mut self) -> usize {
-        self.shards.iter_mut().map(|s| s.flush()).sum()
+        self.shards.iter_mut().map(SimRank::flush).sum()
     }
 
     /// Recompresses pending deferred ΔS on every shard **in place** (see
@@ -1134,7 +1182,7 @@ impl ShardedSimRank {
     pub fn compress_pending(&mut self) -> usize {
         self.shards
             .iter_mut()
-            .map(|s| s.compress())
+            .map(SimRank::compress)
             .max()
             .unwrap_or(0)
     }
@@ -1144,7 +1192,7 @@ impl ShardedSimRank {
     pub fn pending_rank(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.pending_rank())
+            .map(SimRank::pending_rank)
             .max()
             .unwrap_or(0)
     }
@@ -1153,7 +1201,7 @@ impl ShardedSimRank {
     /// — the router-level memory-pressure signal (see
     /// [`SimRank::pending_heap_bytes`]).
     pub fn pending_heap_bytes(&self) -> usize {
-        self.shards.iter().map(|s| s.pending_heap_bytes()).sum()
+        self.shards.iter().map(SimRank::pending_heap_bytes).sum()
     }
 
     /// Routing counters aggregated across every shard — per-shard
@@ -1178,7 +1226,7 @@ impl ShardedSimRank {
 
     /// Per-shard routing counters, indexed by shard.
     pub fn shard_counters(&self) -> Vec<ModeCounters> {
-        self.shards.iter().map(|s| s.counters()).collect()
+        self.shards.iter().map(SimRank::counters).collect()
     }
 
     /// Freezes every shard's current state into an [`Epoch`] with the
@@ -1712,6 +1760,7 @@ pub fn drive_load(
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let stop = AtomicBool::new(false);
     let queries = AtomicU64::new(0);
+    // lint:allow(wallclock-in-kernel): drive_load is the load harness — wall time bounds the measurement window and reports qps; it never reaches a score
     let started = std::time::Instant::now();
     let mut updates = 0usize;
     let writer_result = std::thread::scope(|scope| {

@@ -230,6 +230,27 @@ pub struct CheckpointRecord {
     pub image: CheckpointImage,
 }
 
+/// One replayable entry yielded by [`RecoveredLog::ops_after`]. The type
+/// carries no checkpoint variant at all, so replay loops cannot grow an
+/// "impossible" checkpoint arm — the shape the `panic-in-serving-path`
+/// lint exists to keep out of this module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayEntry {
+    /// The record's sequence number.
+    pub seq: u64,
+    /// What to replay.
+    pub op: ReplayOp,
+}
+
+/// The replayable operation kinds (checkpoints are state, not ops).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayOp {
+    /// An edge update.
+    Edge(UpdateOp),
+    /// A node append.
+    AddNode,
+}
+
 /// One decoded WAL record.
 #[derive(Debug, Clone)]
 pub enum WalRecord {
@@ -336,13 +357,15 @@ impl<'a> Cursor<'a> {
     }
 
     fn u32(&mut self) -> Option<u32> {
-        self.take(4)
-            .map(|s| u32::from_le_bytes(s.try_into().unwrap()))
+        let s = self.take(4)?;
+        let arr: [u8; 4] = s.try_into().ok()?;
+        Some(u32::from_le_bytes(arr))
     }
 
     fn u64(&mut self) -> Option<u64> {
-        self.take(8)
-            .map(|s| u64::from_le_bytes(s.try_into().unwrap()))
+        let s = self.take(8)?;
+        let arr: [u8; 8] = s.try_into().ok()?;
+        Some(u64::from_le_bytes(arr))
     }
 
     fn f64(&mut self) -> Option<f64> {
@@ -472,13 +495,30 @@ impl RecoveredLog {
         })
     }
 
-    /// Op and add-node records with sequence numbers after `seq`.
-    pub fn ops_after(&self, seq: u64) -> impl Iterator<Item = &WalRecord> {
-        self.records.iter().filter(move |r| match r {
-            WalRecord::Op { seq: s, .. } | WalRecord::AddNode { seq: s } => *s > seq,
-            WalRecord::Checkpoint(_) => false,
+    /// Op and add-node records with sequence numbers after `seq`, as
+    /// typed [`ReplayEntry`]s (checkpoints are filtered *and* absent from
+    /// the item type).
+    pub fn ops_after(&self, seq: u64) -> impl Iterator<Item = ReplayEntry> + '_ {
+        self.records.iter().filter_map(move |r| match r {
+            WalRecord::Op { seq: s, op } if *s > seq => Some(ReplayEntry {
+                seq: *s,
+                op: ReplayOp::Edge(*op),
+            }),
+            WalRecord::AddNode { seq: s } if *s > seq => Some(ReplayEntry {
+                seq: *s,
+                op: ReplayOp::AddNode,
+            }),
+            _ => None,
         })
     }
+}
+
+/// Little-endian `u32` at `bytes[off..off + 4]`; `None` when out of
+/// range. Bounds and width are checked in one place so frame parsing
+/// stays free of panicking conversions.
+fn le_u32_at(bytes: &[u8], off: usize) -> Option<u32> {
+    let arr: [u8; 4] = bytes.get(off..off.checked_add(4)?)?.try_into().ok()?;
+    Some(u32::from_le_bytes(arr))
 }
 
 /// Byte offsets (from the start of the buffer) of every well-formed frame
@@ -492,11 +532,10 @@ pub fn frame_offsets(bytes: &[u8]) -> Vec<usize> {
     let mut pos = MAGIC.len();
     loop {
         offs.push(pos);
-        let Some(header) = bytes.get(pos..pos + FRAME_HEADER) else {
+        let (Some(len), Some(crc)) = (le_u32_at(bytes, pos), le_u32_at(bytes, pos + 4)) else {
             break;
         };
-        let len = u32::from_le_bytes(header[..4].try_into().unwrap()) as usize;
-        let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        let len = len as usize;
         let Some(payload) = bytes.get(pos + FRAME_HEADER..pos + FRAME_HEADER + len) else {
             break;
         };
@@ -524,9 +563,8 @@ pub fn read_records(bytes: &[u8]) -> Result<RecoveredLog, WalError> {
     let mut torn = false;
     while pos < bytes.len() {
         let frame_ok = (|| {
-            let header = bytes.get(pos..pos + FRAME_HEADER)?;
-            let len = u32::from_le_bytes(header[..4].try_into().unwrap()) as usize;
-            let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+            let len = le_u32_at(bytes, pos)? as usize;
+            let crc = le_u32_at(bytes, pos + 4)?;
             let payload = bytes.get(pos + FRAME_HEADER..pos + FRAME_HEADER + len)?;
             if crc32(payload) != crc {
                 return None;
@@ -768,8 +806,8 @@ pub fn rebuild_engine(
     };
     let mut replayed = 0u64;
     for rec in log.ops_after(cp.seq) {
-        match rec {
-            WalRecord::Op { op, .. } => {
+        match rec.op {
+            ReplayOp::Edge(op) => {
                 let (u, v) = op.endpoints();
                 if let Some(s) = filter_shard {
                     let owned = owner(u, cp.block, cp.shard_count) == s
@@ -778,14 +816,13 @@ pub fn rebuild_engine(
                         continue;
                     }
                 }
-                sim.update(*op).map_err(BuildError::Engine)?;
+                sim.update(op).map_err(BuildError::Engine)?;
                 replayed += 1;
             }
-            WalRecord::AddNode { .. } => {
+            ReplayOp::AddNode => {
                 sim.add_node();
                 replayed += 1;
             }
-            WalRecord::Checkpoint(_) => unreachable!("ops_after yields no checkpoints"),
         }
     }
     sim.counters_mut().replayed_ops += replayed;

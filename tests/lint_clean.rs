@@ -1,0 +1,52 @@
+//! Tier-1 gate: the workspace must satisfy its own static analyzer.
+//!
+//! `incsim-lint` (see `tools/incsim-lint`) machine-checks the repo's
+//! standing invariants — no panics in serving paths, no hash-order
+//! reaching scores/snapshots/WAL bytes, no wall clock in kernels,
+//! poison-tolerant lock acquisition, and path/workspace-only
+//! dependencies. This test runs it as a library over the workspace root,
+//! so `cargo test` fails the moment a violation lands, with the same
+//! findings the CI `static-analysis` job and the CLI
+//! (`cargo run -p incsim-lint -- --workspace`) would print.
+
+use std::path::Path;
+
+/// Repo-wide cap on justified `lint:allow` suppressions. Raising it is a
+/// reviewed decision — the two injected-fault panics in `wal/faults.rs`
+/// and the load-harness wall clock in `serve.rs` account for all three.
+const MAX_SUPPRESSIONS: usize = 3;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = incsim_lint::lint_workspace(root).expect("lint walk failed");
+
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously small scan ({} files) — did the walk miss the tree?",
+        report.files_scanned
+    );
+    assert!(
+        report.is_clean(),
+        "incsim-lint found {} violation(s):\n{}",
+        report.findings.len(),
+        report
+            .findings
+            .iter()
+            .map(|f| format!("  {f}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        report.suppressed.len() <= MAX_SUPPRESSIONS,
+        "suppression budget exceeded: {} > {} — every lint:allow must be a reviewed exception\n{}",
+        report.suppressed.len(),
+        MAX_SUPPRESSIONS,
+        report
+            .suppressed
+            .iter()
+            .map(|s| format!("  {}:{} [{}] {}", s.file, s.line, s.rule.name(), s.reason))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

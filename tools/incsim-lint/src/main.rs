@@ -1,0 +1,139 @@
+//! CLI for the workspace static analyzer. See the library docs for the
+//! rules and the suppression protocol.
+//!
+//! ```text
+//! incsim-lint --workspace [--root DIR] [--format text|json] [--max-suppressions N]
+//! incsim-lint FILE.rs [FILE.rs ...]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` unsuppressed findings (or the suppression
+//! cap exceeded), `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    workspace: bool,
+    root: PathBuf,
+    json: bool,
+    max_suppressions: Option<usize>,
+    files: Vec<PathBuf>,
+}
+
+const USAGE: &str = "usage: incsim-lint (--workspace | FILE.rs ...) \
+                     [--root DIR] [--format text|json] [--max-suppressions N]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        workspace: false,
+        root: PathBuf::from("."),
+        json: false,
+        max_suppressions: None,
+        files: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workspace" => args.workspace = true,
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root needs a directory")?);
+            }
+            "--format" => match it.next().as_deref() {
+                Some("text") => args.json = false,
+                Some("json") => args.json = true,
+                other => return Err(format!("--format must be text or json, got {other:?}")),
+            },
+            "--max-suppressions" => {
+                let v = it.next().ok_or("--max-suppressions needs a number")?;
+                args.max_suppressions = Some(v.parse().map_err(|_| format!("bad number: {v}"))?);
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            other => args.files.push(PathBuf::from(other)),
+        }
+    }
+    if !args.workspace && args.files.is_empty() {
+        return Err("pass --workspace or at least one file".into());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("incsim-lint: {msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = if args.workspace {
+        match incsim_lint::lint_workspace(&args.root) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("incsim-lint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        let mut report = incsim_lint::Report::default();
+        for path in &args.files {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("incsim-lint: {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            let rel = path.to_string_lossy().replace('\\', "/");
+            let sub = incsim_lint::lint_source(&rel, &text);
+            report.findings.extend(sub.findings);
+            report.suppressed.extend(sub.suppressed);
+            report.files_scanned += 1;
+        }
+        report
+    };
+
+    let over_cap = args
+        .max_suppressions
+        .is_some_and(|cap| report.suppressed.len() > cap);
+
+    if args.json {
+        print!("{}", report.to_json());
+    } else {
+        for f in &report.findings {
+            println!("{f}");
+        }
+        for s in &report.suppressed {
+            println!(
+                "{}:{}: [{}] suppressed: {}",
+                s.file,
+                s.line,
+                s.rule.name(),
+                s.reason
+            );
+        }
+        println!(
+            "incsim-lint: {} file(s), {} finding(s), {} suppression(s)",
+            report.files_scanned,
+            report.findings.len(),
+            report.suppressed.len()
+        );
+    }
+    if over_cap {
+        eprintln!(
+            "incsim-lint: {} suppressions exceed the cap of {}",
+            report.suppressed.len(),
+            args.max_suppressions.unwrap_or(0)
+        );
+    }
+    if report.is_clean() && !over_cap {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

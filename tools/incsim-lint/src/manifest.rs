@@ -1,0 +1,195 @@
+//! The `registry-dep` rule: a line-oriented `Cargo.toml` scanner that
+//! rejects any dependency not resolved by `path` or `workspace = true`.
+//! The offline container cannot reach crates.io — a registry dep is not a
+//! style problem, it is a build outage (the PR 1 vendoring invariant).
+
+use crate::{Finding, Rule};
+
+/// Dependency-table section suffixes (covers `[dependencies]`,
+/// `[dev-dependencies]`, `[build-dependencies]`,
+/// `[workspace.dependencies]` and `[target.'…'.dependencies]` variants).
+fn dep_section(header: &str) -> bool {
+    header == "dependencies"
+        || header.ends_with(".dependencies")
+        || header == "dev-dependencies"
+        || header.ends_with(".dev-dependencies")
+        || header == "build-dependencies"
+        || header.ends_with(".build-dependencies")
+}
+
+/// State while scanning a `[dependencies.<name>]` table section.
+struct TableDep {
+    name: String,
+    line: usize,
+    resolved: bool,
+}
+
+/// Scans one manifest, appending `registry-dep` findings.
+pub fn scan_manifest(rel_path: &str, text: &str, out: &mut Vec<Finding>) {
+    let mut in_dep_section = false;
+    let mut table: Option<TableDep> = None;
+
+    let flush_table = |t: Option<TableDep>, out: &mut Vec<Finding>| {
+        if let Some(t) = t {
+            if !t.resolved {
+                out.push(Finding {
+                    file: rel_path.to_string(),
+                    line: t.line,
+                    rule: Rule::RegistryDep,
+                    snippet: format!(
+                        "[dependencies.{}] has no `path` or `workspace = true`",
+                        t.name
+                    ),
+                });
+            }
+        }
+    };
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_toml_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            flush_table(table.take(), out);
+            let header = line.trim_matches(|c| c == '[' || c == ']').to_string();
+            // `[dependencies.foo]` / `[workspace.dependencies.foo]`:
+            // a one-dep table section.
+            if let Some((section, name)) = split_table_dep(&header) {
+                if dep_section(&section) {
+                    table = Some(TableDep {
+                        name,
+                        line: line_no,
+                        resolved: false,
+                    });
+                    in_dep_section = false;
+                    continue;
+                }
+            }
+            in_dep_section = dep_section(&header);
+            continue;
+        }
+        if let Some(t) = table.as_mut() {
+            if line.starts_with("path") || is_workspace_true(&line) {
+                t.resolved = true;
+            }
+            continue;
+        }
+        if !in_dep_section {
+            continue;
+        }
+        // One `name = value` (or `name.workspace = true`) dependency line.
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        let key = key.trim();
+        let value = value.trim();
+        let dotted_workspace = key.ends_with(".workspace") && value.starts_with("true");
+        let inline_ok = value.starts_with('{')
+            && (value.contains("path") && value.contains('=')
+                || value.contains("workspace") && value.contains("true"));
+        if dotted_workspace || inline_ok {
+            continue;
+        }
+        out.push(Finding {
+            file: rel_path.to_string(),
+            line: line_no,
+            rule: Rule::RegistryDep,
+            snippet: raw.trim().to_string(),
+        });
+    }
+    flush_table(table.take(), out);
+}
+
+/// Splits `dependencies.foo` → (`dependencies`, `foo`), keeping dotted
+/// prefixes (`workspace.dependencies.foo` → (`workspace.dependencies`,
+/// `foo`)). `None` when there is no dot.
+fn split_table_dep(header: &str) -> Option<(String, String)> {
+    let (prefix, name) = header.rsplit_once('.')?;
+    Some((prefix.to_string(), name.trim_matches('"').to_string()))
+}
+
+fn is_workspace_true(line: &str) -> bool {
+    let Some((key, value)) = line.split_once('=') else {
+        return false;
+    };
+    key.trim() == "workspace" && value.trim().starts_with("true")
+}
+
+/// Strips a `#` comment, honouring basic `"…"` strings (a `#` inside a
+/// quoted value — e.g. a registry URL — is not a comment).
+fn strip_toml_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(text: &str) -> Vec<Finding> {
+        let mut out = Vec::new();
+        scan_manifest("Cargo.toml", text, &mut out);
+        out
+    }
+
+    #[test]
+    fn path_and_workspace_deps_pass() {
+        let text = "[dependencies]\nincsim-core = { path = \"crates/core\" }\nrand.workspace = true\nproptest = { workspace = true }\n";
+        assert!(scan(text).is_empty(), "{:?}", scan(text));
+    }
+
+    #[test]
+    fn version_string_dep_fails() {
+        let text = "[dependencies]\nserde = \"1.0\"\n";
+        let f = scan(text);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::RegistryDep);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn inline_version_only_table_fails() {
+        let text =
+            "[dev-dependencies]\ncriterion = { version = \"0.5\", default-features = false }\n";
+        assert_eq!(scan(text).len(), 1);
+    }
+
+    #[test]
+    fn dep_table_section_forms() {
+        let ok = "[dependencies.incsim-core]\npath = \"crates/core\"\n";
+        assert!(scan(ok).is_empty());
+        let bad = "[dependencies.serde]\nversion = \"1.0\"\nfeatures = [\"derive\"]\n";
+        let f = scan(bad);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn workspace_dependencies_checked_too() {
+        let bad = "[workspace.dependencies]\nrand = \"0.8\"\n";
+        assert_eq!(scan(bad).len(), 1);
+        let ok = "[workspace.dependencies]\nrand = { path = \"vendor/rand\" }\n";
+        assert!(scan(ok).is_empty());
+    }
+
+    #[test]
+    fn non_dep_sections_ignored() {
+        let text = "[package]\nname = \"x\"\nversion = \"0.1.0\"\n[features]\ndefault = []\n[workspace.package]\nversion = \"0.1.0\"\n";
+        assert!(scan(text).is_empty());
+    }
+
+    #[test]
+    fn comments_do_not_hide_deps() {
+        let text = "[dependencies]\nserde = \"1.0\" # temporarily\n";
+        assert_eq!(scan(text).len(), 1);
+    }
+}

@@ -1,0 +1,344 @@
+//! A lossy-but-honest Rust tokenizer: enough lexical structure for the
+//! rule engine (identifiers, punctuation, line numbers) while being
+//! *exactly right* about what is code and what is not — strings, char
+//! literals, raw strings, byte strings, line comments, and nested block
+//! comments never leak tokens, and comments are collected separately for
+//! the suppression scanner.
+
+/// Token kind. Literal bodies are swallowed (a string contributes one
+/// opaque `Literal` token), so `"unwrap()"` in a message never matches a
+/// rule pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (also numeric literals' alphabetic tails
+    /// never merge here — numbers become `Literal`).
+    Ident(String),
+    /// One punctuation character (`.`, `(`, `!`, `:`, …).
+    Punct(char),
+    /// A string/char/number literal, collapsed to one token.
+    Literal,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// What it is.
+    pub kind: TokKind,
+    /// 1-based line of its first character.
+    pub line: usize,
+}
+
+/// Tokenizer output: the code stream plus every comment's text by line
+/// (block comments are attributed to their first line).
+#[derive(Debug, Default)]
+pub struct TokenStream {
+    /// Code tokens in source order.
+    pub code: Vec<Tok>,
+    /// `(line, text)` of each comment, `//`/`/* */` markers stripped.
+    pub comments: Vec<(usize, String)>,
+}
+
+/// Tokenizes `source`. Never fails: unterminated literals/comments simply
+/// swallow the rest of the file (the compiler will have rejected such a
+/// file long before the linter sees it).
+pub fn tokenize(source: &str) -> TokenStream {
+    let mut out = TokenStream::default();
+    let b: Vec<char> = source.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let n = b.len();
+
+    macro_rules! bump {
+        () => {{
+            if b[i] == '\n' {
+                line += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < n {
+        let c = b[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            bump!();
+            continue;
+        }
+        // Line comment (doc comments included — they are still comments).
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let start_line = line;
+            let mut text = String::new();
+            while i < n && b[i] != '\n' {
+                text.push(b[i]);
+                i += 1;
+            }
+            let trimmed = text.trim_start_matches('/').trim().to_string();
+            out.comments.push((start_line, trimmed));
+            continue;
+        }
+        // Block comment, nested.
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let start_line = line;
+            let mut depth = 0usize;
+            let mut text = String::new();
+            while i < n {
+                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    bump!();
+                    bump!();
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    bump!();
+                    bump!();
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    text.push(b[i]);
+                    bump!();
+                }
+            }
+            out.comments.push((start_line, text.trim().to_string()));
+            continue;
+        }
+        // Raw (byte) strings: r"..."  r#"..."#  br#"..."#.
+        if c == 'r' || c == 'b' {
+            if let Some((consumed, lines)) = raw_string_len(&b[i..]) {
+                out.code.push(Tok {
+                    kind: TokKind::Literal,
+                    line,
+                });
+                i += consumed;
+                line += lines;
+                continue;
+            }
+        }
+        // Plain (byte) string.
+        if c == '"' || (c == 'b' && i + 1 < n && b[i + 1] == '"') {
+            let start_line = line;
+            if c == 'b' {
+                bump!();
+            }
+            bump!(); // opening quote
+            while i < n {
+                if b[i] == '\\' && i + 1 < n {
+                    bump!();
+                    bump!();
+                } else if b[i] == '"' {
+                    bump!();
+                    break;
+                } else {
+                    bump!();
+                }
+            }
+            out.code.push(Tok {
+                kind: TokKind::Literal,
+                line: start_line,
+            });
+            continue;
+        }
+        // `'`: lifetime or char literal. A lifetime is `'` + ident not
+        // closed by another `'` (so `'a'` is a char, `'a` a lifetime).
+        if c == '\'' {
+            let start_line = line;
+            if i + 1 < n && (b[i + 1].is_alphabetic() || b[i + 1] == '_') {
+                // Find where the ident run ends.
+                let mut j = i + 1;
+                while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                if j < n && b[j] == '\'' && j == i + 2 {
+                    // 'x' — a one-character char literal.
+                    i = j + 1;
+                    out.code.push(Tok {
+                        kind: TokKind::Literal,
+                        line: start_line,
+                    });
+                } else {
+                    // Lifetime: emit nothing (rules never match lifetimes).
+                    i = j;
+                }
+                continue;
+            }
+            // Escaped or punctuation char literal: '\n', '\'', '('…
+            bump!(); // opening quote
+            while i < n {
+                if b[i] == '\\' && i + 1 < n {
+                    bump!();
+                    bump!();
+                } else if b[i] == '\'' {
+                    bump!();
+                    break;
+                } else {
+                    bump!();
+                }
+            }
+            out.code.push(Tok {
+                kind: TokKind::Literal,
+                line: start_line,
+            });
+            continue;
+        }
+        // Identifier / keyword.
+        if c.is_alphabetic() || c == '_' {
+            let start_line = line;
+            let mut s = String::new();
+            while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                s.push(b[i]);
+                i += 1;
+            }
+            out.code.push(Tok {
+                kind: TokKind::Ident(s),
+                line: start_line,
+            });
+            continue;
+        }
+        // Number literal (consume alphanumeric tail: 0xFF, 1e-12, 3u64).
+        if c.is_ascii_digit() {
+            let start_line = line;
+            while i < n && (b[i].is_alphanumeric() || b[i] == '_' || b[i] == '.') {
+                // `1.` vs `1..3`: stop before a `..` range operator.
+                if b[i] == '.' && i + 1 < n && b[i + 1] == '.' {
+                    break;
+                }
+                i += 1;
+            }
+            // Exponent sign: 1e-12 / 2.5E+3.
+            if i < n
+                && (b[i] == '-' || b[i] == '+')
+                && i >= 1
+                && (b[i - 1] == 'e' || b[i - 1] == 'E')
+            {
+                i += 1;
+                while i < n && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            out.code.push(Tok {
+                kind: TokKind::Literal,
+                line: start_line,
+            });
+            continue;
+        }
+        // Punctuation, one char at a time (`::` is two `:` tokens).
+        out.code.push(Tok {
+            kind: TokKind::Punct(c),
+            line,
+        });
+        bump!();
+    }
+    out
+}
+
+/// Length in chars and newline count of a raw string starting at `s[0]`
+/// (`r`/`br` prefix), or `None` if `s` does not start one.
+fn raw_string_len(s: &[char]) -> Option<(usize, usize)> {
+    let mut i = 0;
+    if s[i] == 'b' {
+        i += 1;
+    }
+    if i >= s.len() || s[i] != 'r' {
+        return None;
+    }
+    i += 1;
+    let mut hashes = 0usize;
+    while i < s.len() && s[i] == '#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i >= s.len() || s[i] != '"' {
+        return None;
+    }
+    i += 1;
+    let mut lines = 0usize;
+    while i < s.len() {
+        if s[i] == '\n' {
+            lines += 1;
+        }
+        if s[i] == '"' {
+            let mut j = i + 1;
+            let mut h = 0usize;
+            while j < s.len() && s[j] == '#' && h < hashes {
+                h += 1;
+                j += 1;
+            }
+            if h == hashes {
+                return Some((j, lines));
+            }
+        }
+        i += 1;
+    }
+    Some((s.len(), lines))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        tokenize(src)
+            .code
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokKind::Ident(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_never_leak_tokens() {
+        let src = r##"
+            let x = "unwrap() inside a string";
+            // unwrap() in a line comment
+            /* panic! in /* a nested */ block comment */
+            let y = r#"Instant::now() in a raw string"#;
+            let c = '('; let lt: &'static str = "s";
+        "##;
+        let ids = idents(src);
+        assert!(!ids
+            .iter()
+            .any(|s| s == "unwrap" || s == "panic" || s == "Instant"));
+        // Lifetimes vanish entirely — `'static` must not produce an ident.
+        assert!(!ids.iter().any(|s| s == "static"), "{ids:?}");
+        assert!(ids.iter().any(|s| s == "str"), "{ids:?}");
+    }
+
+    #[test]
+    fn comments_collected_with_lines() {
+        let src = "let a = 1;\n// lint:allow(registry-dep): because\nlet b = 2;\n";
+        let toks = tokenize(src);
+        assert_eq!(toks.comments.len(), 1);
+        assert_eq!(toks.comments[0].0, 2);
+        assert!(toks.comments[0].1.starts_with("lint:allow"));
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let toks = tokenize("f::<'a>('x', 'b', b'\\n')");
+        let lits = toks
+            .code
+            .iter()
+            .filter(|t| matches!(t.kind, TokKind::Literal))
+            .count();
+        assert_eq!(lits, 3, "{:?}", toks.code);
+    }
+
+    #[test]
+    fn line_numbers_advance_through_literals() {
+        let src = "let s = \"a\nb\nc\";\nfoo();\n";
+        let toks = tokenize(src);
+        let foo = toks
+            .code
+            .iter()
+            .find(|t| matches!(&t.kind, TokKind::Ident(s) if s == "foo"))
+            .map(|t| t.line);
+        assert_eq!(foo, Some(4));
+    }
+
+    #[test]
+    fn numeric_exponent_does_not_eat_operators() {
+        let ids = idents("let x = 1e-12; let y = a - b;");
+        assert!(ids.contains(&"a".to_string()) && ids.contains(&"b".to_string()));
+    }
+}

@@ -1,0 +1,199 @@
+//! Fixture suite: the analyzer against a known-bad corpus that mirrors
+//! the real tree's *pre-fix* patterns (so reverting any PR 8 fix is
+//! demonstrably caught), a clean corpus of the post-fix shapes, the
+//! suppression protocol, `#[cfg(test)]` exemption, and the JSON schema.
+//!
+//! The corpus lives under `tests/fixtures/{bad,clean}/` with paths
+//! mirroring the workspace layout — `lint_source` scopes rules by the
+//! virtual path, exactly as `lint_workspace` does for real files.
+
+use incsim_lint::{lint_source, manifest, Report, Rule};
+
+/// Lints a fixture file under its virtual (workspace-relative) path.
+fn lint_fixture(virtual_path: &str, source: &str) -> Report {
+    lint_source(virtual_path, source)
+}
+
+/// The (rule, line) set of a report, order-insensitive.
+fn hits(report: &Report) -> Vec<(Rule, usize)> {
+    let mut v: Vec<(Rule, usize)> = report.findings.iter().map(|f| (f.rule, f.line)).collect();
+    v.sort_by_key(|&(r, l)| (r.name(), l));
+    v
+}
+
+// ---- known-bad corpus: every pre-fix pattern must fire ------------------
+
+#[test]
+fn bad_serve_fixture_catches_every_prefix_pattern() {
+    let report = lint_fixture("src/serve.rs", include_str!("fixtures/bad/src/serve.rs"));
+    let mut expected = vec![
+        (Rule::PanicInServingPath, 9),  // self.wal.take().expect(...)
+        (Rule::PanicInServingPath, 15), // .lock().unwrap()
+        (Rule::LockPoisonDiscipline, 15),
+        (Rule::PanicInServingPath, 23), // unreachable!(...)
+    ];
+    expected.sort_by_key(|&(r, l)| (r.name(), l));
+    assert_eq!(hits(&report), expected, "{report:?}");
+    assert!(!report.is_clean());
+}
+
+#[test]
+fn bad_wal_fixture_catches_every_prefix_pattern() {
+    let report = lint_fixture("src/wal.rs", include_str!("fixtures/bad/src/wal.rs"));
+    let mut expected = vec![
+        (Rule::PanicInServingPath, 7), // try_into().unwrap() in the frame reader
+        (Rule::PanicInServingPath, 15), // unreachable! replay arm
+        (Rule::NondeterministicIteration, 21), // index.keys()
+    ];
+    expected.sort_by_key(|&(r, l)| (r.name(), l));
+    assert_eq!(hits(&report), expected, "{report:?}");
+}
+
+#[test]
+fn bad_probe_fixture_catches_every_prefix_drain() {
+    let report = lint_fixture(
+        "crates/core/src/probe.rs",
+        include_str!("fixtures/bad/crates/core/src/probe.rs"),
+    );
+    let mut expected = vec![
+        (Rule::NondeterministicIteration, 9), // for (&(t, v), &cnt) in &tally
+        (Rule::NondeterministicIteration, 10), // for (&x, &wx) in &frontier
+        (Rule::WallclockInKernel, 14),        // Instant::now()
+        (Rule::NondeterministicIteration, 17), // scores.into_iter()
+    ];
+    expected.sort_by_key(|&(r, l)| (r.name(), l));
+    assert_eq!(hits(&report), expected, "{report:?}");
+}
+
+#[test]
+fn bad_manifest_catches_every_registry_dep() {
+    let mut findings = Vec::new();
+    manifest::scan_manifest(
+        "Cargo.toml",
+        include_str!("fixtures/bad/Cargo.toml"),
+        &mut findings,
+    );
+    let lines: Vec<usize> = findings.iter().map(|f| f.line).collect();
+    assert!(
+        findings.iter().all(|f| f.rule == Rule::RegistryDep),
+        "{findings:?}"
+    );
+    // serde = "1.0"; rand = { version = ... }; [dev-dependencies.criterion].
+    assert_eq!(lines, vec![10, 11, 13], "{findings:?}");
+}
+
+// ---- clean corpus: the post-fix shapes must stay silent -----------------
+
+#[test]
+fn clean_corpus_is_silent() {
+    let serve = lint_fixture("src/serve.rs", include_str!("fixtures/clean/src/serve.rs"));
+    assert!(serve.is_clean(), "{serve:?}");
+
+    let probe = lint_fixture(
+        "crates/core/src/probe.rs",
+        include_str!("fixtures/clean/crates/core/src/probe.rs"),
+    );
+    assert!(probe.is_clean(), "{probe:?}");
+
+    let mut findings = Vec::new();
+    manifest::scan_manifest(
+        "Cargo.toml",
+        include_str!("fixtures/clean/Cargo.toml"),
+        &mut findings,
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+// ---- #[cfg(test)] exemption ---------------------------------------------
+
+#[test]
+fn cfg_test_region_of_bad_fixture_is_exempt() {
+    // The bad serve fixture ends in a #[cfg(test)] module with an
+    // unwrap; none of the findings may point into it.
+    let report = lint_fixture("src/serve.rs", include_str!("fixtures/bad/src/serve.rs"));
+    assert!(
+        report.findings.iter().all(|f| f.line < 28),
+        "a finding leaked into the #[cfg(test)] region: {report:?}"
+    );
+}
+
+// ---- suppression protocol -----------------------------------------------
+
+#[test]
+fn suppression_with_reason_is_honored_and_counted() {
+    let src = "fn f(x: Option<u32>) -> u32 {\n    // lint:allow(panic-in-serving-path): fixture proves the allow path\n    x.unwrap()\n}\n";
+    let report = lint_source("src/serve.rs", src);
+    assert!(report.is_clean(), "{report:?}");
+    assert_eq!(report.suppressed.len(), 1);
+    assert_eq!(report.suppressed[0].rule, Rule::PanicInServingPath);
+    assert_eq!(report.suppressed[0].reason, "fixture proves the allow path");
+}
+
+#[test]
+fn suppression_without_reason_is_rejected_and_original_stands() {
+    for bad_allow in [
+        "// lint:allow(panic-in-serving-path)",     // no reason at all
+        "// lint:allow(panic-in-serving-path):",    // empty reason
+        "// lint:allow(panic-in-serving-path):   ", // whitespace reason
+        "// lint:allow(no-such-rule): some reason", // unknown rule
+        "// lint:allow panic-in-serving-path: why", // missing parens
+    ] {
+        let src = format!("fn f(x: Option<u32>) -> u32 {{\n    {bad_allow}\n    x.unwrap()\n}}\n");
+        let report = lint_source("src/serve.rs", &src);
+        let rules: Vec<Rule> = report.findings.iter().map(|f| f.rule).collect();
+        assert!(
+            rules.contains(&Rule::PanicInServingPath),
+            "{bad_allow}: original finding vanished: {report:?}"
+        );
+        assert!(
+            rules.contains(&Rule::BadSuppression),
+            "{bad_allow}: malformed allow not reported: {report:?}"
+        );
+        assert!(report.suppressed.is_empty(), "{bad_allow}: {report:?}");
+    }
+}
+
+#[test]
+fn suppression_must_name_the_matching_rule() {
+    // A justified allow for the *wrong* rule suppresses nothing.
+    let src = "fn f(x: Option<u32>) -> u32 {\n    // lint:allow(wallclock-in-kernel): wrong rule on purpose\n    x.unwrap()\n}\n";
+    let report = lint_source("src/serve.rs", src);
+    assert_eq!(report.findings.len(), 1, "{report:?}");
+    assert_eq!(report.findings[0].rule, Rule::PanicInServingPath);
+    assert!(report.suppressed.is_empty());
+}
+
+// ---- JSON output is schema-stable ---------------------------------------
+
+#[test]
+fn json_schema_is_stable() {
+    let report = lint_source(
+        "src/serve.rs",
+        "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    );
+    let expected = concat!(
+        "{\n",
+        "  \"version\": 1,\n",
+        "  \"findings\": [\n",
+        "    {\"file\": \"src/serve.rs\", \"line\": 1, \"rule\": \"panic-in-serving-path\", ",
+        "\"snippet\": \"fn f(x: Option<u32>) -> u32 { x.unwrap() }\"}\n",
+        "  ],\n",
+        "  \"suppressed\": [],\n",
+        "  \"files_scanned\": 1\n",
+        "}\n",
+    );
+    assert_eq!(report.to_json(), expected);
+}
+
+#[test]
+fn json_escapes_quotes_and_control_characters() {
+    let report = lint_source(
+        "src/serve.rs",
+        "fn f(x: Option<u32>) -> u32 { x.expect(\"tab\\there\") }\n",
+    );
+    let json = report.to_json();
+    assert!(json.contains("\\\"tab\\\\there\\\""), "{json}");
+    // Output stays parseable line-structured text: one finding object
+    // per line, no raw control characters.
+    assert!(!json.bytes().any(|b| b < 0x20 && b != b'\n'), "{json}");
+}

@@ -1,0 +1,20 @@
+//! Known-bad corpus: the exact pre-fix drains of
+//! `crates/core/src/probe.rs` — hash order feeding float accumulation.
+//! Never compiled — linted only.
+
+fn single_source_sampled(&self, a: u32) -> Vec<RankedNode> {
+    let mut tally: FxHashMap<(u32, u32), u32> = FxHashMap::default();
+    let mut scores: FxHashMap<u32, f64> = FxHashMap::default();
+    let mut frontier: FxHashMap<u32, f64> = FxHashMap::default();
+    for (&(t, v), &cnt) in &tally {
+        for (&x, &wx) in &frontier {
+            let _ = (t, v, cnt, x, wx);
+        }
+    }
+    let started = std::time::Instant::now();
+    let _ = started;
+    scores
+        .into_iter()
+        .map(|(node, score)| RankedNode { node, score })
+        .collect()
+}

@@ -1,0 +1,35 @@
+//! Known-bad corpus mirroring `src/serve.rs` *before* the PR 8 sweep.
+//! Each shape below was live in the real tree; deleting one of the real
+//! fixes recreates it, and the tier-1 `lint_clean` gate fails. This file
+//! is never compiled — it exists to be linted.
+
+impl Router {
+    /// The exact pre-fix checkpoint pattern (`self.wal.take().expect`).
+    pub fn maybe_checkpoint(&mut self) {
+        let mut wal = self.wal.take().expect("checked above");
+        wal.checkpoint();
+    }
+
+    /// Poisoned-lock cascade: the panic of a dead writer re-raised here.
+    pub fn publish(&self) {
+        let guard = self.slot.lock().unwrap();
+        drop(guard);
+    }
+
+    /// "Can't happen" encoded as a crash instead of a typed error.
+    pub fn dispatch(&self, owner: Option<usize>) -> usize {
+        match owner {
+            Some(s) => s,
+            None => unreachable!("every op has a primary owner"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_stays_legal_in_test_regions() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

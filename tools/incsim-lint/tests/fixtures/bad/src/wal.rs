@@ -1,0 +1,22 @@
+//! Known-bad corpus mirroring `src/wal.rs` *before* the PR 8 sweep.
+//! Never compiled — linted only.
+
+/// The pre-fix frame reader: a short buffer panics instead of yielding
+/// a truncated-tail result.
+fn le_u32(bytes: &[u8], pos: usize) -> u32 {
+    u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap())
+}
+
+/// The pre-fix replay arm: checkpoint records "filtered above", so the
+/// arm crashed instead of the filter being encoded in the type.
+fn replay(rec: WalRecord) -> UpdateOp {
+    match rec.kind {
+        RecordKind::Edge => rec.op,
+        RecordKind::Checkpoint => unreachable!("filtered above"),
+    }
+}
+
+/// Hash-order reaching a serialized artifact.
+fn index_order(index: &FxHashMap<u64, u32>) -> Vec<u64> {
+    index.keys().copied().collect()
+}

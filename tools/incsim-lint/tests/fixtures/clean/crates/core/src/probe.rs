@@ -1,0 +1,13 @@
+//! Clean corpus: the post-fix probe drains — every hash-map drain goes
+//! through the key-sorting helpers in `incsim_core::detorder`, point
+//! lookups stay direct. Linted only, never compiled.
+
+fn single_source_sampled() -> Vec<(u32, f64)> {
+    let mut scores: FxHashMap<u32, f64> = FxHashMap::default();
+    let mut frontier: FxHashMap<u32, f64> = FxHashMap::default();
+    frontier.insert(1, 0.5);
+    for (b, w) in crate::detorder::sorted_kv(&frontier) {
+        *scores.entry(b).or_insert(0.0) += w;
+    }
+    crate::detorder::into_sorted_kv(scores)
+}

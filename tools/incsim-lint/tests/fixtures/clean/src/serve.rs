@@ -1,0 +1,30 @@
+//! Clean corpus: the post-fix shapes of the serving layer — what the
+//! bad corpus's patterns were rewritten into. Linted only, never
+//! compiled; the suite asserts zero findings here.
+
+impl Router {
+    /// Absent WAL is a state, not a crash.
+    pub fn maybe_checkpoint(&mut self) -> Result<(), WalError> {
+        let Some(mut wal) = self.wal.take() else {
+            return Ok(());
+        };
+        wal.checkpoint()
+    }
+
+    /// A poisoned slot degrades into the last-published epoch.
+    pub fn publish(&self) {
+        let guard = self
+            .slot
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        drop(guard);
+    }
+
+    /// "Can't happen" as a typed error: the router refuses the broken
+    /// path instead of panicking mid-serve.
+    pub fn dispatch(&self, owner: Option<usize>) -> Result<usize, ServeError> {
+        owner.ok_or(ServeError::Internal(
+            "an op's primary owner returned no stats",
+        ))
+    }
+}
