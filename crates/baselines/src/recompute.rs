@@ -4,7 +4,8 @@
 //! the batch algorithm after every link update — exactly what the paper's
 //! experiments charge the `Batch` column for. This engine packages that
 //! strategy behind the common [`SimRankMaintainer`] interface so the
-//! service layer (`incsim::api`, [`EngineKind::Naive`]) and the
+//! service layer (`incsim::api`, where it is `EngineKind::Naive` — this
+//! crate sits below `incsim` and cannot link upward) and the
 //! conformance suite can drive it interchangeably with the incremental
 //! engines: it is exact by construction (its scores *are* the batch
 //! scores of the current graph), which makes it the ground-truth anchor
@@ -12,8 +13,6 @@
 //!
 //! Cost: `O(K·d·n²)` per update — the quantity the paper's Inc-uSR/Inc-SR
 //! speedups are relative to.
-//!
-//! [`EngineKind::Naive`]: https://docs.rs/incsim — see `incsim::api`.
 
 use incsim_core::rankone::UpdateKind;
 use incsim_core::{

@@ -1,9 +1,9 @@
 //! `bench-snapshot` — records the PR's hot-path perf numbers as JSON.
 //!
 //! ```text
-//! bench-snapshot [--out BENCH_PR6.json] [--n 2048] [--k 15] [--cap 20]
-//!                [--window 256] [--probe-n 12500]
-//!                [--compare BENCH_PR6.json --tolerance 200]
+//! bench-snapshot [--out BENCH_PR9.json] [--n 2048] [--k 15] [--cap 20]
+//!                [--window 256] [--probe-n 12500] [--retain 8]
+//!                [--compare BENCH_PR9.json --tolerance 200]
 //! ```
 //!
 //! Runs the fig2a-style unit-update workload under the eager / fused /
@@ -14,19 +14,22 @@
 //! `incsim::serve` layer under a saturated background writer), and the
 //! `probe_single_source` case (matrix-free single-source latency and
 //! peak heap at `--probe-n` and `4 × --probe-n` nodes — sizes no dense
-//! engine could touch), and writes a machine-readable snapshot (see
-//! `incsim_bench::snapshot`).
+//! engine could touch), the `epoch_ring` case (time-travel reads against
+//! the last `--retain` published epochs, checked against the trajectory
+//! recorded live at publish time), and writes a machine-readable
+//! snapshot (see `incsim_bench::snapshot`).
 //!
 //! `--compare FILE` additionally gates the run against a committed
 //! snapshot: the scale-robust kernel metrics (`fused_speedup`,
 //! `lazy_query_secs`, `overhead_pct`, `long_lazy_query_speedup`,
 //! `compressed_query_secs`, `query_secs_large`, `probe_heap_growth`,
-//! `wal_overhead_pct`)
+//! `wal_overhead_pct`, `epoch_retained_ratio`, `epoch_reconstruct_secs`)
 //! must not regress beyond
 //! `--tolerance` percent (default 200, i.e. 3×) past their noise floors —
 //! see `incsim_bench::compare`. Exactness gates fail hard at any scale,
-//! as does the probe engine's sub-quadratic heap-growth gate (asserted
-//! inside the measurement).
+//! as do the probe engine's sub-quadratic heap-growth gate and the epoch
+//! ring's trajectory + retained-heap gates (asserted inside the
+//! measurements).
 //!
 //! Measurement caps honour `INCSIM_BENCH_SCALE`; unlike the full
 //! experiment suite the snapshot defaults to a quick `0.2` pass when the
@@ -34,9 +37,9 @@
 
 use incsim_bench::compare::{compare, parse_metrics, SnapshotMetrics};
 use incsim_bench::snapshot::{
-    measure_apply_modes, measure_concurrent_throughput, measure_long_lazy_window,
-    measure_micro_kernels, measure_probe_single_source, measure_service_overhead,
-    measure_wal_overhead, snapshot_json,
+    measure_apply_modes, measure_concurrent_throughput, measure_epoch_ring,
+    measure_long_lazy_window, measure_micro_kernels, measure_probe_single_source,
+    measure_service_overhead, measure_wal_overhead, snapshot_json, SnapshotCases,
 };
 use incsim_bench::{bench_scale, scaled_cap};
 use incsim_metrics::timing::fmt_duration;
@@ -54,8 +57,8 @@ fn main() -> ExitCode {
             eprintln!("error: {msg}");
             eprintln!(
                 "usage: bench-snapshot [--out FILE] [--n N] [--k K] [--cap UPDATES] \
-                 [--window W] [--probe-n N] [--min-speedup X] [--max-overhead PCT] \
-                 [--compare FILE] [--tolerance PCT]"
+                 [--window W] [--probe-n N] [--retain E] [--min-speedup X] \
+                 [--max-overhead PCT] [--compare FILE] [--tolerance PCT]"
             );
             ExitCode::FAILURE
         }
@@ -69,6 +72,7 @@ const FLAGS: &[&str] = &[
     "--cap",
     "--window",
     "--probe-n",
+    "--retain",
     "--min-speedup",
     "--max-overhead",
     "--compare",
@@ -105,7 +109,7 @@ fn flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result
 
 fn run(args: &[String]) -> Result<(), String> {
     validate_args(args)?;
-    let out: String = flag(args, "--out", "BENCH_PR7.json".to_string())?;
+    let out: String = flag(args, "--out", "BENCH_PR9.json".to_string())?;
     let n: usize = flag(args, "--n", 2048usize)?;
     let k: usize = flag(args, "--k", 15usize)?;
     let base_cap: usize = flag(args, "--cap", 20usize)?;
@@ -114,6 +118,9 @@ fn run(args: &[String]) -> Result<(), String> {
     // order of magnitude past the dense cases: 12_500 -> 50_000 nodes at
     // full scale (scaled like every other cap on smoke runs).
     let base_probe_n: usize = flag(args, "--probe-n", 12_500usize)?;
+    // Ring capacity for the temporal epoch-store case; never scaled
+    // (the ring must fill and evict for the gates to mean anything).
+    let retain: usize = flag(args, "--retain", 8usize)?;
     // Timing gates for the full-size run; 0.0 (the defaults) only warn —
     // small smoke runs are too noisy to fail on wall-clock.
     let min_speedup: f64 = flag(args, "--min-speedup", 0.0f64)?;
@@ -256,17 +263,37 @@ fn run(args: &[String]) -> Result<(), String> {
         wal.wal_bytes_per_op,
     );
 
+    // Temporal epoch ring: time-travel reads against the last `retain`
+    // published epochs. The exactness gate (oldest-epoch trajectory to
+    // 1e-12) and the sub-quadratic retained-heap gate (8x under dense at
+    // n >= 1024) are asserted inside the measurement.
+    let epoch = measure_epoch_ring(n, k, retain.max(2), cap.max(retain));
+    println!(
+        "   epoch ring  : {} epochs x {} ops, publish {} each; oldest pair_at {} \
+         (head read {}); retained {} vs dense {} ({:.0}x compressed, drift {:.1e})",
+        epoch.publishes,
+        epoch.ops_per_epoch,
+        per(epoch.publish_secs),
+        per(epoch.reconstruct_pair_secs),
+        per(epoch.head_pair_secs),
+        incsim_metrics::timing::fmt_bytes(epoch.retained_heap_bytes),
+        incsim_metrics::timing::fmt_bytes(epoch.dense_equivalent_bytes),
+        epoch.retained_ratio,
+        epoch.oldest_epoch_drift,
+    );
+
     std::fs::write(
         &out,
-        snapshot_json(
-            &modes,
-            &micro,
-            &service,
-            &concurrent,
-            &long_lazy,
-            &probe,
-            &wal,
-        ),
+        snapshot_json(&SnapshotCases {
+            modes: &modes,
+            micro: &micro,
+            service: &service,
+            concurrent: &concurrent,
+            long_lazy: &long_lazy,
+            probe: &probe,
+            wal: &wal,
+            epoch: &epoch,
+        }),
     )
     .map_err(|e| format!("cannot write {out}: {e}"))?;
     println!("[ok] snapshot written to {out}");
@@ -379,6 +406,8 @@ fn run(args: &[String]) -> Result<(), String> {
             probe_query_secs: Some(probe.query_secs_large),
             probe_heap_growth: Some(probe.heap_growth),
             wal_overhead_pct: Some(wal.wal_overhead_pct),
+            epoch_retained_ratio: Some(epoch.retained_ratio),
+            epoch_reconstruct_secs: Some(epoch.reconstruct_pair_secs),
         };
         let regressions = compare(&current, &committed, tolerance_pct);
         if regressions.is_empty() {

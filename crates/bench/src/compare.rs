@@ -20,7 +20,13 @@
 //!   the large point (walk count is fixed, so smoke runs only shrink
 //!   the per-walk graph work);
 //! * `probe_heap_growth` — probe peak-heap ratio across a 4× node-count
-//!   step, dimensionless (≈4 linear, 16 quadratic).
+//!   step, dimensionless (≈4 linear, 16 quadratic);
+//! * `epoch_retained_ratio` — dense-equivalent bytes over the epoch
+//!   ring's factor-compressed footprint, dimensionless (grows with `n`
+//!   under the O(n·r) law, collapses to ≈1 if retention goes dense);
+//! * `epoch_reconstruct_secs` — one `pair_at` on the oldest retained
+//!   epoch, microsecond-to-millisecond scale (smoke runs carry shorter
+//!   delta chains, so they can only look faster).
 //!
 //! Each metric fails only on **regression** (improvement always passes),
 //! only beyond the configured tolerance factor, and only past a
@@ -51,6 +57,14 @@ pub struct SnapshotMetrics {
     /// `wal_overhead.wal_overhead_pct` (lower is better; the durability
     /// tax of logging every op on the serving write path).
     pub wal_overhead_pct: Option<f64>,
+    /// `epoch_ring.retained_ratio` (higher is better; dense-equivalent
+    /// bytes over the ring's factor-compressed footprint — the O(n·r)
+    /// law says it grows with `n`, quadratic storage pins it near 1).
+    pub epoch_retained_ratio: Option<f64>,
+    /// `epoch_ring.reconstruct_pair_secs` (lower is better; one pair
+    /// read on the oldest retained epoch, stacking the full delta
+    /// chain).
+    pub epoch_reconstruct_secs: Option<f64>,
 }
 
 /// Extracts the first `"key": <number>` occurrence from a JSON text.
@@ -77,6 +91,8 @@ pub fn parse_metrics(json: &str) -> SnapshotMetrics {
         probe_query_secs: scan_number(json, "query_secs_large"),
         probe_heap_growth: scan_number(json, "probe_heap_growth"),
         wal_overhead_pct: scan_number(json, "wal_overhead_pct"),
+        epoch_retained_ratio: scan_number(json, "retained_ratio"),
+        epoch_reconstruct_secs: scan_number(json, "reconstruct_pair_secs"),
     }
 }
 
@@ -114,6 +130,8 @@ const LONG_LAZY_SPEEDUP_FLOOR: f64 = 2.0; // the acceptance bar at full scale
 const PROBE_QUERY_FLOOR_SECS: f64 = 2e-3; // sub-2ms single-source reads are in-noise
 const PROBE_HEAP_GROWTH_FLOOR: f64 = 6.0; // < 6x for 4x nodes is comfortably sub-quadratic
 const WAL_OVERHEAD_FLOOR_PCT: f64 = 5.0; // the durability contract is < 5% at full scale
+const EPOCH_RATIO_FLOOR: f64 = 8.0; // >= 8x under dense is the sub-quadratic bar at n = 2048
+const EPOCH_RECONSTRUCT_FLOOR_SECS: f64 = 2e-3; // sub-2ms time-travel reads are in-noise
 
 /// Compares `current` against `committed` with a tolerance given in
 /// percent of allowed drift (e.g. `200` ⇒ up to 3× worse passes).
@@ -155,6 +173,12 @@ pub fn compare(
         current.long_lazy_query_speedup,
         committed.long_lazy_query_speedup,
         LONG_LAZY_SPEEDUP_FLOOR,
+    );
+    higher_better(
+        "epoch_retained_ratio",
+        current.epoch_retained_ratio,
+        committed.epoch_retained_ratio,
+        EPOCH_RATIO_FLOOR,
     );
     // Lower is better for the timing metrics.
     let mut lower_better =
@@ -206,6 +230,12 @@ pub fn compare(
         current.wal_overhead_pct,
         committed.wal_overhead_pct,
         WAL_OVERHEAD_FLOOR_PCT,
+    );
+    lower_better(
+        "epoch_reconstruct_secs",
+        current.epoch_reconstruct_secs,
+        committed.epoch_reconstruct_secs,
+        EPOCH_RECONSTRUCT_FLOOR_SECS,
     );
     out
 }
@@ -378,6 +408,40 @@ mod tests {
         let m = parse_metrics(json);
         assert_eq!(m.overhead_pct, Some(0.02));
         assert_eq!(m.wal_overhead_pct, Some(0.37));
+    }
+
+    #[test]
+    fn epoch_ring_metrics_gate_like_their_siblings() {
+        let committed = SnapshotMetrics {
+            epoch_retained_ratio: Some(120.0),
+            epoch_reconstruct_secs: Some(3e-4),
+            ..Default::default()
+        };
+        // A still-healthy compression factor and an in-noise read pass
+        // whatever the ratio to the committed full-scale run.
+        let healthy = SnapshotMetrics {
+            epoch_retained_ratio: Some(10.0),   // above the 8x floor
+            epoch_reconstruct_secs: Some(1e-3), // under the 2ms floor
+            ..Default::default()
+        };
+        assert!(compare(&healthy, &committed, 200.0).is_empty());
+        // A ring that went dense and a genuinely slow time-travel read fail.
+        let bad = SnapshotMetrics {
+            epoch_retained_ratio: Some(1.2),
+            epoch_reconstruct_secs: Some(5e-2),
+            ..Default::default()
+        };
+        let regs = compare(&bad, &committed, 200.0);
+        let names: Vec<&str> = regs.iter().map(|r| r.metric).collect();
+        assert!(names.contains(&"epoch_retained_ratio"), "{names:?}");
+        assert!(names.contains(&"epoch_reconstruct_secs"), "{names:?}");
+        // Parsing picks the epoch keys out of a v7 snapshot body.
+        let json = r#"{
+  "epoch_ring": { "reconstruct_pair_secs": 2.7e-4, "retained_ratio": 131.4 }
+}"#;
+        let m = parse_metrics(json);
+        assert_eq!(m.epoch_retained_ratio, Some(131.4));
+        assert!((m.epoch_reconstruct_secs.unwrap() - 2.7e-4).abs() < 1e-12);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //!
 //! Complexity per iteration is `O(nnz(Q)·n) = O(d·n²)`, the same class as
 //! Lizorkin's partial-sums method and Yu et al.'s fine-grained memoisation
-//! [6] (the paper's `Batch`). Two memoisation levers are implemented:
+//! \[6\] (the paper's `Batch`). Two memoisation levers are implemented:
 //!
 //! * rows of `Q·X` are computed once per *distinct in-neighbour set* —
 //!   nodes sharing their in-neighbourhood (common in real graphs: papers

@@ -86,7 +86,7 @@ pub use maintainer::{
     SimRankMaintainer, SingleSourceQuery, TopKQuery, UpdateError, UpdateStats, WalkStats,
 };
 pub use probe::{ProbeOptions, ProbeSim, ProbeSnapshot};
-pub use query::{RankedNode, ScoreSnapshot, ScoreView, SnapshotQuery};
+pub use query::{DeltaSnapshot, RankedNode, ScoreSnapshot, ScoreView, SnapshotQuery};
 pub use rankone::{
     gamma_vector, gamma_vector_from_cols, rank_one_decomposition, RankOneUpdate, UpdateKind,
 };

@@ -23,8 +23,8 @@ pub enum ApplyMode {
     /// factor buffer, and the matrix is only materialised on an explicit
     /// `flush()` (or when an operation needs the full matrix, e.g. the
     /// row-grouped path or `add_node`). Reads through
-    /// [`SimRankMaintainer::view`] compose `S_base + Δ` transparently;
-    /// [`SimRankMaintainer::scores`] materialises the pending Δ first, so
+    /// [`MatrixAccess::view`] compose `S_base + Δ` transparently;
+    /// [`MatrixAccess::scores`] materialises the pending Δ first, so
     /// a stale base matrix is never observable through the trait.
     Lazy,
 }

@@ -13,7 +13,7 @@
 //! `O(r)` factor dot-products and a per-node query one `O(r·n)` row
 //! reconstruction inside a lazy window, and plain contiguous reads when
 //! nothing is pending. Obtain one with
-//! [`SimRankMaintainer::view`](crate::SimRankMaintainer::view).
+//! [`MatrixAccess::view`](crate::MatrixAccess::view).
 //!
 //! The free functions ([`pair_score`], [`single_source`],
 //! [`top_k_for_node`], [`similar_above`]) serve raw matrices that are
@@ -310,6 +310,104 @@ pub trait SnapshotQuery: std::fmt::Debug + Send + Sync {
     }
 }
 
+/// An **epoch-addressed** snapshot handle: a successor epoch's frozen
+/// query surface plus a stacked factor delta rolling it *back* to an
+/// earlier epoch — the reconstruction material of the temporal epoch
+/// ring (`incsim::serve`).
+///
+/// The ring stores each retained epoch as factor pairs of
+/// `S_next − S_this` (`O(r·n)` instead of `n²`); reconstructing epoch
+/// `i` stacks the **negated** deltas from `i` up to the ring head onto
+/// the head's view. A pair query costs the head's pair read plus `O(r)`
+/// factor dot-products; row queries reconstruct through the head's
+/// dense rows when available and fall back to per-entry reads
+/// otherwise. `n` is pinned to the node count *at the reconstructed
+/// epoch*, so nodes added later are out of range here — exactly as they
+/// were live.
+#[derive(Debug)]
+pub struct DeltaSnapshot {
+    base: std::sync::Arc<dyn SnapshotQuery>,
+    delta: LowRankDelta,
+    n: usize,
+}
+
+impl DeltaSnapshot {
+    /// Wraps a successor view and a rollback delta into an
+    /// earlier-epoch handle with `n` nodes.
+    ///
+    /// # Panics
+    /// Panics if the delta's dimension differs from the base view's `n`
+    /// or `n` exceeds it.
+    pub fn new(base: std::sync::Arc<dyn SnapshotQuery>, delta: LowRankDelta, n: usize) -> Self {
+        assert_eq!(
+            delta.dim(),
+            base.n(),
+            "DeltaSnapshot: delta dim must match the base view"
+        );
+        assert!(n <= base.n(), "DeltaSnapshot: n exceeds the base view");
+        DeltaSnapshot { base, delta, n }
+    }
+
+    /// Effective row `a` at the reconstructed epoch (length `n`).
+    fn row(&self, a: u32) -> Vec<f64> {
+        assert!((a as usize) < self.n, "node {a} out of range");
+        let mut row = match self.base.score_snapshot() {
+            Some(ss) => ss.view().row(a),
+            // Matrix-free base: reconstruct per entry, O(n·r).
+            None => (0..self.base.n() as u32)
+                .map(|b| self.base.pair(a, b))
+                .collect(),
+        };
+        self.delta.add_row_delta(a as usize, &mut row);
+        row.truncate(self.n);
+        row
+    }
+}
+
+impl SnapshotQuery for DeltaSnapshot {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn pair(&self, a: u32, b: u32) -> f64 {
+        assert!(
+            (a as usize) < self.n && (b as usize) < self.n,
+            "pair ({a},{b}) out of range for epoch n={}",
+            self.n
+        );
+        self.base.pair(a, b) + self.delta.pair_delta(a as usize, b as usize)
+    }
+
+    fn single_source(&self, a: u32) -> Vec<RankedNode> {
+        self.row(a)
+            .into_iter()
+            .enumerate()
+            .filter(|&(v, _)| v != a as usize)
+            .map(|(v, score)| RankedNode {
+                node: v as u32,
+                score,
+            })
+            .collect()
+    }
+
+    fn top_k(&self, a: u32, k: usize) -> Vec<RankedNode> {
+        rank_and_truncate(self.single_source(a), k)
+    }
+
+    fn similar_above(&self, a: u32, threshold: f64) -> Vec<RankedNode> {
+        self.single_source(a)
+            .into_iter()
+            .filter(|r| r.score >= threshold)
+            .collect()
+    }
+
+    fn heap_bytes(&self) -> usize {
+        // The base view is shared with the live epoch; only the rollback
+        // factors are attributable to this handle.
+        self.delta.heap_bytes()
+    }
+}
+
 impl SnapshotQuery for ScoreSnapshot {
     fn n(&self) -> usize {
         ScoreSnapshot::n(self)
@@ -454,6 +552,68 @@ mod tests {
         assert_eq!(snap.single_source(2), live.single_source(2));
         assert_eq!(snap.similar_above(3, 0.4), live.similar_above(3, 0.4));
         assert!(snap.heap_bytes() > 0);
+    }
+
+    #[test]
+    fn delta_snapshot_rolls_a_view_back_to_an_earlier_epoch() {
+        // "Later" epoch has 5 nodes; "earlier" had 4.
+        let later = DenseMatrix::from_rows(&[
+            &[1.0, 0.4, 0.1, 0.7, 0.2],
+            &[0.4, 1.0, 0.3, 0.0, 0.0],
+            &[0.1, 0.3, 1.0, 0.1, 0.5],
+            &[0.7, 0.0, 0.1, 1.0, 0.0],
+            &[0.2, 0.0, 0.5, 0.0, 1.0],
+        ]);
+        let mut earlier = DenseMatrix::from_rows(&[
+            &[1.0, 0.5, 0.0, 0.7],
+            &[0.5, 1.0, 0.2, 0.0],
+            &[0.0, 0.2, 1.0, 0.1],
+            &[0.7, 0.0, 0.1, 1.0],
+        ]);
+        // Forward delta (later − earlier) as the ring stores it …
+        let (forward, dropped) = LowRankDelta::between(&earlier, &later, 0.0);
+        assert!(dropped < 1e-14);
+        // … stacked negated for reconstruction.
+        let mut back = LowRankDelta::new(5);
+        back.extend_negated(&forward);
+        let head: std::sync::Arc<dyn SnapshotQuery> =
+            std::sync::Arc::new(ScoreView::new(&later, None).to_snapshot());
+        let snap = DeltaSnapshot::new(head, back, 4);
+
+        assert_eq!(snap.n(), 4);
+        for a in 0..4u32 {
+            for b in 0..4u32 {
+                let want = earlier.get(a as usize, b as usize);
+                assert!((snap.pair(a, b) - want).abs() < 1e-12, "({a},{b})");
+            }
+            let got = snap.single_source(a);
+            let want = single_source(&earlier, a);
+            assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.node, w.node);
+                assert!((g.score - w.score).abs() < 1e-12);
+            }
+            let tk = snap.top_k(a, 2);
+            let wk = top_k_for_node(&earlier, a, 2);
+            assert_eq!(tk.len(), wk.len());
+            for (g, w) in tk.iter().zip(&wk) {
+                assert_eq!(g.node, w.node);
+            }
+        }
+        assert!(snap.heap_bytes() > 0);
+        // Mutating the "earlier" source cannot move the handle.
+        earlier.set(0, 1, 9.0);
+        assert!((snap.pair(0, 1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn delta_snapshot_rejects_nodes_born_after_the_epoch() {
+        let later = DenseMatrix::identity(3);
+        let head: std::sync::Arc<dyn SnapshotQuery> =
+            std::sync::Arc::new(ScoreView::new(&later, None).to_snapshot());
+        let snap = DeltaSnapshot::new(head, LowRankDelta::new(3), 2);
+        let _ = snap.pair(0, 2);
     }
 
     #[test]

@@ -49,7 +49,7 @@
 //! growing linearly in the window length.
 
 use crate::dense::DenseMatrix;
-use crate::qr::qr_thin;
+use crate::qr::{qr_thin, qrcp_range};
 use crate::svd::sym_eigen;
 use crate::vecops;
 
@@ -412,7 +412,7 @@ impl LowRankDelta {
     /// factors at 8 B per `f64` slot, sparse factors at 16 B per
     /// `(u32, f64)` slot — both by `Vec` **capacity** (reserve growth is
     /// real memory even before it is filled) — plus the pair container
-    /// itself (one [`FactorPair`] header per slot of `pairs`' capacity).
+    /// itself (one `FactorPair` header per slot of `pairs`' capacity).
     pub fn heap_bytes(&self) -> usize {
         let per_dense = std::mem::size_of::<f64>();
         let per_sparse = std::mem::size_of::<(u32, f64)>();
@@ -455,6 +455,20 @@ impl LowRankDelta {
     /// Returns the before/after pair counts and the total discarded
     /// spectral mass `Σ|λ_dropped|`, which bounds the max-abs entrywise
     /// change of Δ. With `tol = 0` only exact zeros are dropped.
+    ///
+    /// # Examples
+    /// ```
+    /// use incsim_linalg::LowRankDelta;
+    ///
+    /// let mut delta = LowRankDelta::new(4);
+    /// // Two pushes along the same direction: rank 2, not 4.
+    /// delta.push_dense(vec![1.0, 0.0, 2.0, 0.0], vec![0.0, 1.0, 0.0, 0.0]);
+    /// delta.push_dense(vec![1.0, 0.0, 2.0, 0.0], vec![0.0, 3.0, 0.0, 0.0]);
+    /// let before = delta.pair_delta(0, 1);
+    /// let stats = delta.recompress(0.0);
+    /// assert!(stats.pairs_after <= stats.pairs_before);
+    /// assert!((delta.pair_delta(0, 1) - before).abs() < 1e-12);
+    /// ```
     pub fn recompress(&mut self, tol: f64) -> Recompression {
         let pairs_before = self.pairs.len();
         let mut discarded = 0.0f64;
@@ -479,7 +493,168 @@ impl LowRankDelta {
             discarded_mass: discarded,
         }
     }
+
+    /// Factor-compresses the **difference** `Δ = to − from` between two
+    /// symmetric score matrices into a fresh buffer, without ever pushing
+    /// `n` raw column pairs: the support rows of the difference are found
+    /// with one `O(n²)` scan, the support-compacted `s × s` difference is
+    /// eigendecomposed (directly for small supports, through a
+    /// column-pivoted range basis — `O(s²·r)` — for large ones), the
+    /// spectrum is truncated at `tol` relative to `|λ|_max`, and the
+    /// survivors are re-emitted as ordinary factor pairs. The temporal
+    /// epoch ring uses this to store each retained epoch as `O(r·n)`
+    /// factors against its successor instead of an `n²` copy.
+    ///
+    /// `from` may be *smaller* than `to` (an epoch recorded before nodes
+    /// were added); it is implicitly zero-padded. The returned
+    /// `discarded` is the truncated spectral mass `Σ|λ_dropped|`, an
+    /// upper bound on `max |Δ_emitted − (to − from)|` entrywise (plus
+    /// range-finder roundoff at machine precision).
+    ///
+    /// # Panics
+    /// Panics if either matrix is non-square or `from` is larger than
+    /// `to`.
+    pub fn between(from: &DenseMatrix, to: &DenseMatrix, tol: f64) -> (Self, f64) {
+        assert_eq!(to.rows(), to.cols(), "between: `to` must be square");
+        assert_eq!(from.rows(), from.cols(), "between: `from` must be square");
+        let dim = to.rows();
+        let n0 = from.rows();
+        assert!(n0 <= dim, "between: `from` ({n0}) larger than `to` ({dim})");
+
+        // Support = rows where any entry of `to − from` is nonzero. The
+        // difference of symmetric matrices is symmetric, so row support
+        // equals column support.
+        let mut rows: Vec<u32> = Vec::new();
+        for a in 0..dim {
+            let ta = to.row(a);
+            let differs = if a < n0 {
+                let fa = from.row(a);
+                ta[..n0].iter().zip(fa).any(|(&t, &f)| t != f) || ta[n0..].iter().any(|&t| t != 0.0)
+            } else {
+                ta.iter().any(|&t| t != 0.0)
+            };
+            if differs {
+                rows.push(a as u32);
+            }
+        }
+        let mut delta = LowRankDelta::new(dim);
+        if rows.is_empty() {
+            return (delta, 0.0);
+        }
+
+        let s = rows.len();
+        let mut ds = DenseMatrix::zeros(s, s);
+        for (li, &ga) in rows.iter().enumerate() {
+            let ga = ga as usize;
+            for (lj, &gb) in rows.iter().enumerate() {
+                let gb = gb as usize;
+                let f = if ga < n0 && gb < n0 {
+                    from.get(ga, gb)
+                } else {
+                    0.0
+                };
+                ds.set(li, lj, to.get(ga, gb) - f);
+            }
+        }
+        // Symmetric by contract; symmetrise away any input roundoff so
+        // sym_eigen sees an exactly symmetric matrix.
+        for i in 0..s {
+            for j in (i + 1)..s {
+                let v = 0.5 * (ds.get(i, j) + ds.get(j, i));
+                ds.set(i, j, v);
+                ds.set(j, i, v);
+            }
+        }
+
+        let (dirs, dropped) = if s <= BETWEEN_DIRECT_SUPPORT {
+            let (lambda, v) = sym_eigen(&ds);
+            truncate_spectrum(
+                &lambda,
+                |t| {
+                    let mut vt = vec![0.0; s];
+                    v.col_into(t, &mut vt);
+                    vt
+                },
+                tol,
+            )
+        } else {
+            // Range-finder route: project the s×s difference onto its
+            // numerical column space (rank r ≪ s between epochs) and
+            // eigendecompose the r×r core. The QR truncation runs an
+            // order tighter than the spectral cut so it never dominates.
+            let q = qrcp_range(&ds, (tol * 1e-2).max(1e-15));
+            let r = q.cols();
+            if r == 0 {
+                (Vec::new(), 0.0)
+            } else {
+                let t = ds.matmul(&q);
+                let mut core = q.matmul_tn(&t);
+                for i in 0..r {
+                    for j in (i + 1)..r {
+                        let v = 0.5 * (core.get(i, j) + core.get(j, i));
+                        core.set(i, j, v);
+                        core.set(j, i, v);
+                    }
+                }
+                let (lambda, z) = sym_eigen(&core);
+                truncate_spectrum(
+                    &lambda,
+                    |t| {
+                        let mut zt = vec![0.0; r];
+                        let mut qz = vec![0.0; s];
+                        z.col_into(t, &mut zt);
+                        q.matvec(&zt, &mut qz);
+                        qz
+                    },
+                    tol,
+                )
+            }
+        };
+        delta.pairs = emit_eigen_pairs(dim, &rows, dirs);
+        (delta, dropped)
+    }
+
+    /// Appends every factor pair of `other` **negated**
+    /// (`Δ ← Δ − Δ_other`), zero-padding factors when `other` has a
+    /// smaller dimension — the stacking step of epoch reconstruction,
+    /// which walks successor deltas backwards from the ring head.
+    ///
+    /// # Panics
+    /// Panics if `other` has a larger dimension than `self`.
+    pub fn extend_negated(&mut self, other: &LowRankDelta) {
+        assert!(
+            other.dim <= self.dim,
+            "extend_negated: other dim {} exceeds {}",
+            other.dim,
+            self.dim
+        );
+        for pair in &other.pairs {
+            match pair {
+                FactorPair::Dense { xi, eta } => {
+                    // −(ξηᵀ + ηξᵀ) = (−ξ)ηᵀ + η(−ξ)ᵀ: negate ξ only.
+                    let mut nxi = vec![0.0; self.dim];
+                    for (o, &v) in nxi.iter_mut().zip(xi) {
+                        *o = -v;
+                    }
+                    let mut ne = vec![0.0; self.dim];
+                    ne[..eta.len()].copy_from_slice(eta);
+                    self.pairs.push(FactorPair::Dense { xi: nxi, eta: ne });
+                }
+                FactorPair::Sparse { xi, eta } => {
+                    self.pairs.push(FactorPair::Sparse {
+                        xi: xi.iter().map(|&(i, v)| (i, -v)).collect(),
+                        eta: eta.clone(),
+                    });
+                }
+            }
+        }
+    }
 }
+
+/// Support size at which [`LowRankDelta::between`] switches from a direct
+/// `O(s³)` Jacobi eigendecomposition to the column-pivoted range-finder
+/// route (`O(s²·r)` for numerical rank `r`).
+const BETWEEN_DIRECT_SUPPORT: usize = 128;
 
 /// Outcome of one [`LowRankDelta::recompress`] call.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -1171,6 +1346,158 @@ mod tests {
         let r = diag.recompress(1e-12);
         assert_eq!(r.pairs_after, 1);
         assert!((diag.pair_delta(3, 3) - 3.0).abs() < 1e-14);
+    }
+
+    /// Symmetric matrix with a deterministic pseudo-random upper triangle.
+    fn sym_matrix(n: usize, seed: u64) -> DenseMatrix {
+        let mut s = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                let h = (i as u64 * 31 + j as u64 * 7 + seed * 13) % 19;
+                let v = (h as f64) * 0.05 - 0.45;
+                s.set(i, j, v);
+                s.set(j, i, v);
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn between_reconstructs_the_exact_difference() {
+        let n = 17;
+        let from = sym_matrix(n, 1);
+        // Perturb a handful of rows symmetrically.
+        let mut to = from.clone();
+        for &(a, b, v) in &[(2usize, 5usize, 0.3), (5, 5, -0.2), (11, 2, 0.7)] {
+            to.add_to(a, b, v);
+            if a != b {
+                to.add_to(b, a, v);
+            }
+        }
+        let (delta, dropped) = LowRankDelta::between(&from, &to, 0.0);
+        assert!(dropped < 1e-14);
+        for a in 0..n {
+            for b in 0..n {
+                let want = to.get(a, b) - from.get(a, b);
+                assert!(
+                    (delta.pair_delta(a, b) - want).abs() < 1e-12,
+                    "({a},{b}): {} vs {want}",
+                    delta.pair_delta(a, b)
+                );
+            }
+        }
+        // Support is 3 rows of 17 ⇒ sparse emission, exact touched rows.
+        assert_eq!(delta.touched_rows().map(|r| r.len()), Some(3));
+    }
+
+    #[test]
+    fn between_zero_pads_a_smaller_from_matrix() {
+        let from = sym_matrix(6, 2);
+        let mut to = DenseMatrix::zeros(9, 9);
+        for i in 0..6 {
+            for j in 0..6 {
+                to.set(i, j, from.get(i, j));
+            }
+        }
+        // New nodes 6..9 gain similarities; old block shifts too.
+        to.set(7, 1, 0.4);
+        to.set(1, 7, 0.4);
+        to.set(8, 8, 1.0);
+        to.add_to(0, 0, -0.1);
+        let (delta, dropped) = LowRankDelta::between(&from, &to, 0.0);
+        assert!(dropped < 1e-14);
+        for a in 0..9 {
+            for b in 0..9 {
+                let f = if a < 6 && b < 6 { from.get(a, b) } else { 0.0 };
+                let want = to.get(a, b) - f;
+                assert!((delta.pair_delta(a, b) - want).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn between_identical_matrices_is_empty() {
+        let s = sym_matrix(8, 3);
+        let (delta, dropped) = LowRankDelta::between(&s, &s, 0.0);
+        assert!(delta.is_empty());
+        assert_eq!(dropped, 0.0);
+    }
+
+    #[test]
+    fn between_large_support_takes_the_range_finder_route() {
+        // Support > BETWEEN_DIRECT_SUPPORT but low rank: a rank-4 update
+        // touching every row.
+        let n = BETWEEN_DIRECT_SUPPORT + 29;
+        let from = sym_matrix(n, 4);
+        let mut to = from.clone();
+        for t in 0..2u64 {
+            let (xi, eta) = dense_pair(n, t + 40);
+            to.add_sym_outer(1.0, &xi, &eta);
+        }
+        let (delta, dropped) = LowRankDelta::between(&from, &to, 0.0);
+        assert!(dropped < 1e-10);
+        assert!(
+            delta.pending_pairs() <= 4,
+            "rank-4 difference, got {} pairs",
+            delta.pending_pairs()
+        );
+        for a in (0..n).step_by(13) {
+            for b in (0..n).step_by(7) {
+                let want = to.get(a, b) - from.get(a, b);
+                assert!((delta.pair_delta(a, b) - want).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn between_truncation_error_is_bounded_by_dropped_mass() {
+        let n = 12;
+        let from = sym_matrix(n, 5);
+        let mut to = from.clone();
+        // A dominant direction plus a tiny one.
+        let (xi, _) = dense_pair(n, 50);
+        to.add_sym_outer(1.0, &xi, &xi);
+        let (eta, _) = dense_pair(n, 51);
+        to.add_sym_outer(1e-8, &eta, &eta);
+        let (delta, dropped) = LowRankDelta::between(&from, &to, 1e-4);
+        assert!(dropped > 0.0, "the tiny direction must be truncated");
+        for a in 0..n {
+            for b in 0..n {
+                let want = to.get(a, b) - from.get(a, b);
+                assert!((delta.pair_delta(a, b) - want).abs() <= dropped + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn extend_negated_subtracts_and_pads() {
+        let n = 10;
+        let mut small = LowRankDelta::new(7);
+        small.push_dense(
+            vec![1.0, 0.0, -2.0, 0.0, 0.5, 0.0, 3.0],
+            (0..7).map(|i| i as f64 * 0.25).collect(),
+        );
+        small.push_sparse(vec![(2, 1.5)], vec![(6, -1.0)]);
+
+        let mut stack = LowRankDelta::new(n);
+        // Base pair ξ=0.5·1, η=1 contributes 0.5·1 + 1·0.5 = 1.0 at every
+        // (a, b); stacking −small on top must subtract its zero-padded Δ.
+        stack.push_dense(vec![0.5; n], vec![1.0; n]);
+        stack.extend_negated(&small);
+
+        for a in 0..n {
+            for b in 0..n {
+                let s = if a < 7 && b < 7 {
+                    small.pair_delta(a, b)
+                } else {
+                    0.0
+                };
+                assert!(
+                    (stack.pair_delta(a, b) - (1.0 - s)).abs() < 1e-12,
+                    "({a},{b})"
+                );
+            }
+        }
     }
 
     #[test]

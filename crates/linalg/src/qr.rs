@@ -201,6 +201,126 @@ pub fn rank_qrcp(a: &DenseMatrix, tol: f64) -> usize {
     rank
 }
 
+/// Orthonormal range basis via QR with column pivoting.
+///
+/// Returns `Q_r` of shape `m × r`, whose columns span the column space of
+/// `a` up to the truncation tolerance: the factorisation stops at the
+/// first pivot column whose remaining norm falls to
+/// `tol · |r_00|` (the same relative-to-largest-pivot convention as
+/// [`rank_qrcp`]), so `r` is the numerical rank and the cost is
+/// `O(m·n·r)` — early termination, never the full `O(m·n²)` unless the
+/// matrix genuinely has full rank at `tol`.
+///
+/// `‖A − Q_r·Q_rᵀ·A‖` is bounded by the trailing column norms at the
+/// stopping point, i.e. `≤ tol·|r_00|·√(n−r)`. A zero matrix yields an
+/// `m × 0` basis.
+pub fn qrcp_range(a: &DenseMatrix, tol: f64) -> DenseMatrix {
+    let m = a.rows();
+    let n = a.cols();
+    let mut work = a.clone();
+    let kmax = m.min(n);
+
+    let mut col_norms: Vec<f64> = (0..n)
+        .map(|j| (0..m).map(|i| work.get(i, j) * work.get(i, j)).sum())
+        .collect();
+    let mut betas = vec![0.0; kmax];
+    let mut first_pivot_mag = 0.0f64;
+    let mut rank = 0usize;
+
+    for k in 0..kmax {
+        let (pivot, &max_norm) = col_norms[k..]
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("column norms are finite"))
+            .map(|(off, v)| (k + off, v))
+            .expect("non-empty remaining columns");
+        if pivot != k {
+            for i in 0..m {
+                let t = work.get(i, k);
+                work.set(i, k, work.get(i, pivot));
+                work.set(i, pivot, t);
+            }
+            col_norms.swap(k, pivot);
+        }
+        if max_norm <= 0.0 {
+            break;
+        }
+
+        let mut norm_sq = 0.0;
+        for i in k..m {
+            let v = work.get(i, k);
+            norm_sq += v * v;
+        }
+        let norm = norm_sq.sqrt();
+        if k == 0 {
+            first_pivot_mag = norm;
+            if norm == 0.0 {
+                break;
+            }
+        }
+        if norm <= tol * first_pivot_mag {
+            break;
+        }
+
+        let akk = work.get(k, k);
+        let alpha = if akk >= 0.0 { -norm } else { norm };
+        let v0 = akk - alpha;
+        work.set(k, k, v0);
+        let mut vtv = 0.0;
+        for i in k..m {
+            let v = work.get(i, k);
+            vtv += v * v;
+        }
+        if vtv == 0.0 {
+            break;
+        }
+        let beta = 2.0 / vtv;
+        betas[k] = beta;
+        rank += 1;
+
+        for j in (k + 1)..n {
+            let mut dot = 0.0;
+            for i in k..m {
+                dot += work.get(i, k) * work.get(i, j);
+            }
+            let coeff = beta * dot;
+            for i in k..m {
+                let v = work.get(i, k);
+                work.add_to(i, j, -coeff * v);
+            }
+        }
+        for j in (k + 1)..n {
+            let r_kj = work.get(k, j);
+            col_norms[j] = (col_norms[j] - r_kj * r_kj).max(0.0);
+        }
+    }
+
+    // Accumulate Q_r by applying the reflectors, in reverse, to the
+    // leading r columns of the identity.
+    let mut q = DenseMatrix::zeros(m, rank);
+    for j in 0..rank {
+        q.set(j, j, 1.0);
+    }
+    for k in (0..rank).rev() {
+        let beta = betas[k];
+        if beta == 0.0 {
+            continue;
+        }
+        for j in 0..rank {
+            let mut dot = 0.0;
+            for i in k..m {
+                dot += work.get(i, k) * q.get(i, j);
+            }
+            let coeff = beta * dot;
+            for i in k..m {
+                let v = work.get(i, k);
+                q.add_to(i, j, -coeff * v);
+            }
+        }
+    }
+    q
+}
+
 /// Orthonormality defect `‖QᵀQ − I‖_max` (test/diagnostic helper).
 pub fn orthonormality_defect(q: &DenseMatrix) -> f64 {
     let n = q.cols();
@@ -278,6 +398,39 @@ mod tests {
     fn rank_of_zero_matrix_is_zero() {
         let a = DenseMatrix::zeros(3, 3);
         assert_eq!(rank_qrcp(&a, 1e-12), 0);
+    }
+
+    #[test]
+    fn qrcp_range_spans_a_low_rank_symmetric_matrix() {
+        // Rank-2 symmetric: x·xᵀ + y·yᵀ scaled differently.
+        let x = [1.0, -2.0, 0.5, 3.0, 0.0];
+        let y = [0.0, 1.0, 1.0, -1.0, 2.0];
+        let mut a = DenseMatrix::zeros(5, 5);
+        a.rank_one_update(2.0, &x, &x);
+        a.rank_one_update(-0.5, &y, &y);
+        let q = qrcp_range(&a, 1e-12);
+        assert_eq!(q.cols(), 2);
+        assert!(orthonormality_defect(&q) < 1e-12);
+        // A ≈ Q·Qᵀ·A: the basis captures the whole column space.
+        let proj = q.matmul(&q.matmul_tn(&a));
+        assert!(proj.max_abs_diff(&a) < 1e-12);
+    }
+
+    #[test]
+    fn qrcp_range_of_zero_matrix_is_empty() {
+        let a = DenseMatrix::zeros(4, 4);
+        let q = qrcp_range(&a, 1e-12);
+        assert_eq!(q.cols(), 0);
+        assert_eq!(q.rows(), 4);
+    }
+
+    #[test]
+    fn qrcp_range_full_rank_recovers_everything() {
+        let a = DenseMatrix::from_rows(&[&[2.0, 1.0, 0.0], &[1.0, 3.0, 1.0], &[0.0, 1.0, 4.0]]);
+        let q = qrcp_range(&a, 1e-14);
+        assert_eq!(q.cols(), 3);
+        let proj = q.matmul(&q.matmul_tn(&a));
+        assert!(proj.max_abs_diff(&a) < 1e-12);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! NDCG@k over top-k node pairs — the paper's Exp-4 exactness metric.
 //!
-//! The paper "adopt[s] the NDCG metrics to assess top-30 most similar
+//! The paper "adopt\[s\] the NDCG metrics to assess top-30 most similar
 //! node-pairs", using a 35-iteration batch run as the ideal ranking. Here:
 //! the *baseline* matrix defines both the ideal ordering and the relevance
 //! of every pair (its baseline score); a candidate matrix is scored by the

@@ -4,7 +4,7 @@
 //! *snapshot* — and nothing else. This module is that surface: a
 //! [`SimRank`] handle built with [`SimRankBuilder`], dispatching over any
 //! of the five engines behind the object-safe
-//! [`SimRankMaintainer`](incsim_core::SimRankMaintainer) capability
+//! [`SimRankMaintainer`] capability
 //! bundle. Callers never pick an engine struct, never choose between
 //! "plain" and "lazy" query functions, and never have to remember to
 //! `flush()`:
@@ -240,6 +240,24 @@ impl From<crate::wal::WalError> for BuildError {
 ///
 /// Defaults: [`EngineKind::IncSr`], [`ApplyPolicy::Auto`],
 /// [`SimRankConfig::paper_default`], 1 shard.
+///
+/// # Examples
+/// ```
+/// use incsim::api::{ApplyPolicy, EngineKind, SimRankBuilder};
+/// use incsim::core::SimRankConfig;
+/// use incsim::graph::DiGraph;
+///
+/// let g = DiGraph::from_edges(4, &[(0, 1), (2, 1), (1, 3)]);
+/// let mut sim = SimRankBuilder::new()
+///     .algorithm(EngineKind::IncSr)
+///     .mode(ApplyPolicy::Auto)
+///     .config(SimRankConfig::new(0.6, 8).unwrap())
+///     .from_graph(g)
+///     .unwrap();
+/// sim.insert(3, 0).unwrap();                 // maintain incrementally …
+/// let s = sim.pair(0, 2);                    // … and query any pair
+/// assert!(s.is_finite());
+/// ```
 #[derive(Debug, Clone)]
 pub struct SimRankBuilder {
     kind: EngineKind,
@@ -254,6 +272,8 @@ pub struct SimRankBuilder {
     wal_path: Option<PathBuf>,
     checkpoint_every: Option<u64>,
     faults: Option<Arc<ApplyFaults>>,
+    retain_epochs: Option<usize>,
+    epoch_delta_tol: Option<f64>,
 }
 
 impl Default for SimRankBuilder {
@@ -278,6 +298,8 @@ impl SimRankBuilder {
             wal_path: None,
             checkpoint_every: None,
             faults: None,
+            retain_epochs: None,
+            epoch_delta_tol: None,
         }
     }
 
@@ -398,6 +420,43 @@ impl SimRankBuilder {
     pub fn fault_injection(mut self, faults: Arc<ApplyFaults>) -> Self {
         self.faults = Some(faults);
         self
+    }
+
+    /// Number of epochs the concurrent serving handle keeps addressable
+    /// for time-travel queries: [`ConcurrentSimRank::publish`] retains
+    /// the last `e` published epochs in a bounded ring, each non-head
+    /// epoch stored as a factor-compressed delta against its successor
+    /// (`O(r·n)` instead of an `n²` copy — see
+    /// [`crate::serve`](crate::serve#temporal-epoch-ring)). Default 1:
+    /// only the live epoch, no retention overhead at all. Only the
+    /// [`Self::concurrent`] terminal reads this knob.
+    ///
+    /// [`ConcurrentSimRank::publish`]: crate::serve::ConcurrentSimRank::publish
+    pub fn retain_epochs(mut self, e: usize) -> Self {
+        self.retain_epochs = Some(e.max(1));
+        self
+    }
+
+    /// Relative spectral tolerance of the inter-epoch delta compression
+    /// (default [`crate::serve::DEFAULT_EPOCH_DELTA_TOL`]): retained
+    /// deltas drop eigendirections with `|λ| ≤ tol·|λ|_max`, the same
+    /// convention as [`Self::compress_tol`]. Tighter keeps reconstructed
+    /// epochs closer to the recorded trajectory; looser stores less. No
+    /// effect without [`Self::retain_epochs`] ≥ 2.
+    pub fn epoch_delta_tol(mut self, tol: f64) -> Self {
+        self.epoch_delta_tol = Some(tol.max(0.0));
+        self
+    }
+
+    /// The configured epoch-retention depth (default 1 = head only).
+    pub(crate) fn retained_epochs(&self) -> usize {
+        self.retain_epochs.unwrap_or(1)
+    }
+
+    /// The epoch-delta tolerance (default applied).
+    pub(crate) fn epoch_delta_tolerance(&self) -> f64 {
+        self.epoch_delta_tol
+            .unwrap_or(crate::serve::DEFAULT_EPOCH_DELTA_TOL)
     }
 
     /// The configured WAL path, if durable serving was requested.
@@ -555,6 +614,14 @@ pub struct ModeCounters {
     /// Reads served from a stale epoch view because the owning shard was
     /// quarantined (each one carried a typed `Degraded` status).
     pub degraded_reads: u64,
+    /// Epochs demoted into the temporal ring at publish (each stored as a
+    /// factor-compressed delta against its successor).
+    pub epochs_retained: u64,
+    /// Retained epochs evicted at the ring boundary.
+    pub epoch_evictions: u64,
+    /// On-demand reconstructions of a retained epoch into a pinned
+    /// queryable handle (`epoch_at` and the `*_at` conveniences).
+    pub epoch_reconstructions: u64,
 }
 
 impl ModeCounters {
@@ -575,6 +642,9 @@ impl ModeCounters {
         self.replayed_ops += other.replayed_ops;
         self.quarantines += other.quarantines;
         self.degraded_reads += other.degraded_reads;
+        self.epochs_retained += other.epochs_retained;
+        self.epoch_evictions += other.epoch_evictions;
+        self.epoch_reconstructions += other.epoch_reconstructions;
     }
 }
 

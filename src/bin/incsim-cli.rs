@@ -64,10 +64,18 @@ commands:
              --state STATE (-a A -b B | --node V [-k 5])
   serve      multi-threaded query benchmark over the concurrent serving layer
              --state STATE [--shards N] [--readers R] [--duration-ms D]
-             [--batch B] [--publish-every P]
+             [--batch B] [--publish-every P] [--retain-epochs E]
              [--wal FILE] [--checkpoint-every N]
              [--algorithm incsr|incusr|incsvd|naive|probe] [--mode auto|eager|fused|lazy]
              [--compress-at-rank R] [--compress-tol T]
+  epochs     drive an update stream and list the retained epoch ring
+             --state STATE --ops FILE [--retain-epochs E] [--publish-every P]
+             [--shards N] [--algorithm incsr|incusr|incsvd|naive|probe]
+             [--mode auto|eager|fused|lazy]
+  diff       top score movers between two retained epochs (time-travel diff)
+             --state STATE --ops FILE [--e1 SEQ] [--e2 SEQ] [-k 10]
+             [--retain-epochs E] [--publish-every P] [--shards N]
+             [--algorithm incsr|incusr|incsvd|naive] [--mode auto|eager|fused|lazy]
   recover    rebuild a state file from a write-ahead log (checkpoint + replay)
              --wal FILE -o STATE [--shard N]
              [--algorithm incsr|incusr|incsvd|naive] [--mode auto|eager|fused|lazy]
@@ -138,6 +146,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "topk" => cmd_topk(&flags),
         "query" => cmd_query(&flags),
         "serve" => cmd_serve(&flags),
+        "epochs" => cmd_epochs(&flags),
+        "diff" => cmd_diff(&flags),
         "recover" => cmd_recover(&flags),
         "wal-fault" => cmd_wal_fault(&flags),
         "info" => cmd_info(&flags),
@@ -445,11 +455,13 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         return Err("state has fewer than 2 nodes; nothing to serve".into());
     }
 
+    let retain: usize = flags.num(&["--retain-epochs"], 1usize)?;
     let mut builder = apply_compress_flags(
         SimRankBuilder::new()
             .algorithm(algorithm)
             .mode(policy)
             .shards(shards)
+            .retain_epochs(retain.max(1))
             .config(snap.config),
         flags,
     )?;
@@ -514,6 +526,125 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         report.updates_per_sec(),
         report.epochs_published
     );
+    if retain > 1 {
+        let listed = serving.epochs();
+        println!(
+            "epoch ring: {} of {} epoch(s) addressable, {} B retained beyond the head",
+            listed.len(),
+            retain,
+            serving.retained_heap_bytes()
+        );
+    }
+    Ok(())
+}
+
+/// Shared driver for the temporal commands: loads a state, applies the
+/// ops file in `--publish-every` sized published chunks against a
+/// retention-enabled serving handle, and returns it with the ring
+/// populated.
+fn drive_ring(flags: &Flags) -> Result<incsim::serve::ConcurrentSimRank, String> {
+    let snap = open_state(flags)?;
+    let ops_path = flags.req(&["--ops"])?;
+    let mut text = String::new();
+    File::open(ops_path)
+        .map_err(|e| format!("cannot open {ops_path}: {e}"))?
+        .read_to_string(&mut text)
+        .map_err(|e| e.to_string())?;
+    let ops = parse_ops(&text)?;
+    if ops.is_empty() {
+        return Err(format!("{ops_path} holds no ops; nothing to retain"));
+    }
+
+    let shards: usize = flags.num(&["--shards"], 1usize)?;
+    let retain: usize = flags.num(&["--retain-epochs"], 4usize)?.max(2);
+    // Default chunking spreads the stream across the whole ring.
+    let publish_every: usize = flags
+        .num(&["--publish-every"], ops.len().div_ceil(retain).max(1))?
+        .max(1);
+    let algorithm = parse_algorithm(flags.get(&["--algorithm"]))?;
+    let policy = parse_mode(flags.get(&["--mode"]))?;
+
+    let builder = apply_compress_flags(
+        SimRankBuilder::new()
+            .algorithm(algorithm)
+            .mode(policy)
+            .shards(shards)
+            .retain_epochs(retain)
+            .config(snap.config),
+        flags,
+    )?;
+    let sharded = incsim::serve::ShardedSimRank::with_scores(builder, snap.graph, snap.scores)
+        .map_err(|e| e.to_string())?;
+    let mut serving = incsim::serve::ConcurrentSimRank::new(sharded);
+    serving.publish();
+    for chunk in ops.chunks(publish_every) {
+        serving
+            .update_batch(chunk)
+            .map_err(|e| format!("update stream failed: {e}"))?;
+        serving.publish();
+    }
+    Ok(serving)
+}
+
+/// `epochs` — list the retained epoch ring after driving an update
+/// stream: each row is one addressable past (or head) epoch with its
+/// publish stamp, op watermark, frozen node count, and retained heap.
+fn cmd_epochs(flags: &Flags) -> Result<(), String> {
+    let serving = drive_ring(flags)?;
+    let listed = serving.epochs();
+    println!("epoch  at-op  nodes  retained");
+    for info in &listed {
+        let place = if info.seq == listed.last().map_or(0, |h| h.seq) {
+            "  (head)"
+        } else {
+            ""
+        };
+        println!(
+            "{:>5}  {:>5}  {:>5}  {:>7} B{place}",
+            info.seq, info.at_op, info.n, info.retained_bytes
+        );
+    }
+    println!(
+        "{} epoch(s) addressable; {} B retained beyond the head",
+        listed.len(),
+        serving.retained_heap_bytes()
+    );
+    Ok(())
+}
+
+/// `diff` — cross-epoch movement query: the top-k node pairs whose
+/// similarity moved the most between two retained epochs (defaults:
+/// oldest retained → head).
+fn cmd_diff(flags: &Flags) -> Result<(), String> {
+    let serving = drive_ring(flags)?;
+    let listed = serving.epochs();
+    let oldest = listed.first().map_or(0, |e| e.seq);
+    let head = listed.last().map_or(0, |e| e.seq);
+    let e1: u64 = flags.num(&["--e1"], oldest)?;
+    let e2: u64 = flags.num(&["--e2"], head)?;
+    let k: usize = flags.num(&["-k", "--top"], 10usize)?;
+
+    let movers = serving
+        .top_movers(e1, e2, k)
+        .map_err(|e| format!("diff failed: {e}"))?;
+    if movers.is_empty() {
+        println!("no pair moved between epoch {e1} and epoch {e2}");
+        return Ok(());
+    }
+    println!("top {} mover(s), epoch {e1} -> {e2}:", movers.len());
+    for m in &movers {
+        let was = serving
+            .pair_at(m.a, m.b, e1)
+            .map_err(|e| format!("reading epoch {e1}: {e}"))?;
+        println!(
+            "  ({:>4}, {:>4})  {:+.6e}   {:.6} -> {:.6}",
+            m.a,
+            m.b,
+            m.delta,
+            was,
+            was + m.delta
+        );
+    }
     Ok(())
 }
 
@@ -940,6 +1071,93 @@ mod tests {
             "0",
         ]))
         .is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn temporal_commands_list_and_diff_epochs() {
+        let dir = std::env::temp_dir().join(format!("incsim-cli-epochs-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let graph_path = dir.join("g.txt");
+        let state_path = dir.join("s.bin");
+        let ops_path = dir.join("ops.txt");
+        // A chain graph keeps the op stream trivially valid: every
+        // inserted edge below is absent from it.
+        std::fs::write(&graph_path, "0 1\n1 2\n2 3\n3 4\n4 5\n5 6\n6 7\n").unwrap();
+        run(&to_args(&[
+            "compute",
+            "--input",
+            graph_path.to_str().unwrap(),
+            "--iters",
+            "8",
+            "-o",
+            state_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        std::fs::write(&ops_path, "+ 0 2\n+ 1 3\n+ 2 4\n+ 0 5\n+ 3 6\n+ 4 7\n").unwrap();
+
+        // `epochs` lists the ring after driving the stream.
+        run(&to_args(&[
+            "epochs",
+            "--state",
+            state_path.to_str().unwrap(),
+            "--ops",
+            ops_path.to_str().unwrap(),
+            "--retain-epochs",
+            "4",
+            "--publish-every",
+            "2",
+        ]))
+        .unwrap();
+
+        // `diff` defaults to oldest retained -> head.
+        run(&to_args(&[
+            "diff",
+            "--state",
+            state_path.to_str().unwrap(),
+            "--ops",
+            ops_path.to_str().unwrap(),
+            "--retain-epochs",
+            "4",
+            "--publish-every",
+            "2",
+            "-k",
+            "5",
+        ]))
+        .unwrap();
+
+        // An evicted epoch is a loud, typed failure.
+        let err = run(&to_args(&[
+            "diff",
+            "--state",
+            state_path.to_str().unwrap(),
+            "--ops",
+            ops_path.to_str().unwrap(),
+            "--retain-epochs",
+            "2",
+            "--publish-every",
+            "1",
+            "--e1",
+            "1",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("not retained"), "unexpected error: {err}");
+
+        // The serve benchmark reports its ring when retention is on.
+        run(&to_args(&[
+            "serve",
+            "--state",
+            state_path.to_str().unwrap(),
+            "--readers",
+            "2",
+            "--duration-ms",
+            "50",
+            "--batch",
+            "4",
+            "--retain-epochs",
+            "4",
+        ]))
+        .unwrap();
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -7,7 +7,7 @@
 //!
 //! * [`ShardedSimRank`] — a **router** over `N` per-shard engines (each
 //!   its own `Box<dyn SimRankMaintainer + Send>` behind a
-//!   [`SimRank`](crate::api::SimRank) handle, built by the same
+//!   [`SimRank`] handle, built by the same
 //!   [`SimRankBuilder`]). The node set is block-partitioned; updates are
 //!   routed to the shard(s) owning their endpoints, queries to the shard
 //!   owning the query node. [`ApplyPolicy`](crate::api::ApplyPolicy)
@@ -131,11 +131,13 @@
 //! ```
 
 use crate::api::{BuildError, ModeCounters, SimRank, SimRankBuilder};
-use crate::core::query::RankedNode;
-use crate::core::{SimRankConfig, SnapshotQuery, UpdateError, UpdateStats};
+use crate::core::query::{RankedNode, ScoreSnapshot};
+use crate::core::{DeltaSnapshot, SimRankConfig, SnapshotQuery, UpdateError, UpdateStats};
 use crate::graph::{DiGraph, UpdateOp};
-use crate::linalg::DenseMatrix;
-use crate::wal::{self, CheckpointRecord, Wal, WalError};
+use crate::linalg::{DenseMatrix, LowRankDelta};
+use crate::wal::{self, CheckpointRecord, ReplayOp, Wal, WalError};
+use std::borrow::Cow;
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, PoisonError, RwLock};
@@ -151,6 +153,13 @@ pub const DEFAULT_CHECKPOINT_EVERY: u64 = 1024;
 /// one checkpoint decode + replay) before retrying or give up to a
 /// different replica.
 pub const QUARANTINE_RETRY_AFTER: Duration = Duration::from_millis(50);
+
+/// Default spectral tolerance for the factor-compressed per-epoch deltas the
+/// epoch ring retains: eigendirections of the epoch-to-epoch score difference
+/// whose |λ| falls below this fraction of the largest are dropped (override
+/// with [`SimRankBuilder::epoch_delta_tol`]). The default keeps retained
+/// epochs reconstructible to well within the 1e-12 trajectory gate.
+pub const DEFAULT_EPOCH_DELTA_TOL: f64 = 1e-14;
 
 /// Errors from the serving layer's write and checked-read paths.
 #[derive(Debug)]
@@ -194,6 +203,30 @@ pub enum ServeError {
         /// Log sequence number at which it was quarantined.
         since_seq: u64,
     },
+    /// The requested epoch is not the head and not in the retention ring —
+    /// either it was never published, or it aged out (the ring keeps the
+    /// last [`SimRankBuilder::retain_epochs`] epochs).
+    NoSuchEpoch {
+        /// The requested epoch sequence number.
+        seq: u64,
+    },
+    /// The query needs dense per-epoch score deltas, but at least one shard
+    /// in the requested range is matrix-free (retained by graph replay, not
+    /// factor deltas), so the cross-epoch scan cannot run.
+    MatrixFree {
+        /// The query that was refused.
+        query: &'static str,
+    },
+    /// The delta chain from the requested epoch to the head is broken for
+    /// one shard: a quarantine (or other non-delta retention) interrupted
+    /// the factor-compressed chain, so that epoch's shard view cannot be
+    /// reconstructed by stacking deltas.
+    EpochChainBroken {
+        /// The requested epoch sequence number.
+        seq: u64,
+        /// The shard whose chain is interrupted.
+        shard: usize,
+    },
     /// An internal router invariant failed. This reports a bug, not an
     /// operational state — the router refuses the broken path with a
     /// typed error instead of panicking mid-serve (every panic in this
@@ -225,6 +258,19 @@ impl std::fmt::Display for ServeError {
                 f,
                 "shard {shard} is quarantined (since seq {since_seq}); \
                  no fresh answer — epoch readers serve the last published state"
+            ),
+            ServeError::NoSuchEpoch { seq } => write!(
+                f,
+                "epoch {seq} is not retained (evicted from the ring or never published)"
+            ),
+            ServeError::MatrixFree { query } => write!(
+                f,
+                "{query} needs dense per-epoch deltas; a shard in range is matrix-free"
+            ),
+            ServeError::EpochChainBroken { seq, shard } => write!(
+                f,
+                "delta chain to epoch {seq} is broken at shard {shard} \
+                 (a quarantine interrupted factor-delta retention)"
             ),
             ServeError::Internal(detail) => {
                 write!(f, "internal serving invariant violated: {detail}")
@@ -1457,6 +1503,138 @@ impl Epoch {
     }
 }
 
+/// One entry of [`ConcurrentSimRank::epochs`]: an addressable epoch the
+/// temporal ring can still answer queries at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochInfo {
+    /// Publish sequence number — the address for [`ConcurrentSimRank::pair_at`].
+    pub seq: u64,
+    /// Caller-supplied stamp from [`ConcurrentSimRank::publish_stamped`]
+    /// (the op sequence number at publish time for plain `publish`).
+    pub stamp: u64,
+    /// Op sequence number the epoch was published at.
+    pub at_op: u64,
+    /// Node count frozen at this epoch.
+    pub n: usize,
+    /// Heap bytes the ring holds *for* this epoch (factor deltas + replay
+    /// ops; 0 for the head, which lives in the swap slot, not the ring).
+    pub retained_bytes: usize,
+}
+
+/// One node pair's score movement between two epochs, as returned by
+/// [`ConcurrentSimRank::top_movers`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mover {
+    /// Smaller node id of the pair.
+    pub a: u32,
+    /// Larger node id of the pair.
+    pub b: u32,
+    /// `S_{e2}[a,b] − S_{e1}[a,b]` in the caller's argument order.
+    pub delta: f64,
+}
+
+/// Heap key for the bounded top-k scan in [`ConcurrentSimRank::top_movers`]:
+/// ordered by |delta| (ties prefer the smaller `(a, b)` pair), with the
+/// signed delta carried along outside the comparison.
+struct MoverKey {
+    mag: f64,
+    a: u32,
+    b: u32,
+    delta: f64,
+}
+
+impl PartialEq for MoverKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for MoverKey {}
+
+impl Ord for MoverKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.mag
+            .total_cmp(&other.mag)
+            .then_with(|| other.a.cmp(&self.a))
+            .then_with(|| other.b.cmp(&self.b))
+    }
+}
+
+impl PartialOrd for MoverKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// How the ring retains one shard of one past epoch.
+#[derive(Debug)]
+enum ShardDelta {
+    /// Factor pairs of `S_next − S_this` (matrix shards): `O(n·r)` heap,
+    /// reconstructed by stacking negated deltas onto the head's view.
+    Dense(LowRankDelta),
+    /// Matrix-free shard: nothing stored here — the epoch's engine graph
+    /// is recovered by replaying the recorded op slices from the ring
+    /// tail's graph and rebuilding the (deterministic) engine.
+    Replay,
+    /// The view was carried over unchanged (quarantine, or an epoch whose
+    /// shard state is byte-identical to its successor): pin the `Arc`
+    /// itself — shared, so it costs no extra heap.
+    Pinned(Arc<dyn SnapshotQuery>),
+}
+
+/// One non-head epoch the ring retains, stored as material to rebuild it
+/// from its successor (never as an `n²` copy).
+#[derive(Debug)]
+struct RetainedEpoch {
+    seq: u64,
+    stamp: u64,
+    at_op: u64,
+    n: usize,
+    shards: Vec<ShardDelta>,
+    degraded: Vec<Option<DegradedInfo>>,
+    /// Ops committed between this epoch and its successor, in commit
+    /// order — the replay slice for matrix-free shards, and the material
+    /// [`ConcurrentSimRank`] uses to advance the tail graphs on eviction.
+    ops_to_next: Vec<ReplayOp>,
+}
+
+impl RetainedEpoch {
+    fn retained_bytes(&self) -> usize {
+        let factors: usize = self
+            .shards
+            .iter()
+            .map(|s| match s {
+                ShardDelta::Dense(d) => d.heap_bytes(),
+                // Pinned shares the successor's Arc; Replay is priced by
+                // the op slice below.
+                ShardDelta::Replay | ShardDelta::Pinned(_) => 0,
+            })
+            .sum();
+        factors + self.ops_to_next.capacity() * std::mem::size_of::<ReplayOp>()
+    }
+}
+
+/// Stamp metadata of the head epoch (the ring keeps it so the head can be
+/// listed by [`ConcurrentSimRank::epochs`] and stamped into the ring when
+/// the next publish displaces it).
+#[derive(Debug, Clone, Copy)]
+struct EpochMeta {
+    stamp: u64,
+    at_op: u64,
+}
+
+/// The effective dense score matrix behind a frozen matrix snapshot:
+/// borrows the base when no ΔS is pending, materialises `S_base + Δ`
+/// otherwise (the epoch-to-epoch diff needs true entries, not factors).
+fn effective_matrix(ss: &ScoreSnapshot) -> Cow<'_, DenseMatrix> {
+    let v = ss.view();
+    if v.is_deferred() {
+        Cow::Owned(v.materialise())
+    } else {
+        Cow::Borrowed(v.base())
+    }
+}
+
 /// The swap slot shared between the writer and every reader. `RwLock` is
 /// held only to clone or replace the `Arc` — queries run outside it.
 struct EpochSlot {
@@ -1485,10 +1663,43 @@ impl EpochSlot {
 /// Updates are **not** visible to readers until [`Self::publish`] runs —
 /// that is the point: the writer batches freely, readers always see one
 /// coherent state. See the [module docs](self) for the epoch semantics.
+///
+/// ## Temporal epoch ring
+///
+/// With [`SimRankBuilder::retain_epochs`]`(E)` set above 1, the last `E`
+/// published epochs stay addressable: [`Self::pair_at`] /
+/// [`Self::single_source_at`] / [`Self::top_k_at`] answer **as of** any
+/// retained epoch, [`Self::epochs`] lists them, and [`Self::top_movers`]
+/// diffs two of them. Only the head is kept dense; each older epoch is
+/// stored as a factor-compressed delta against its successor (`O(n·r)`
+/// heap per retained epoch — see [`Self::retained_heap_bytes`]) and
+/// reconstructed on demand. Matrix-free shards are retained by **graph
+/// replay** instead: the ring records the committed op slice between
+/// epochs and rebuilds the (deterministic) engine at the requested epoch,
+/// so a reconstructed probe answer is seed-identical to the answer the
+/// epoch gave live.
 pub struct ConcurrentSimRank {
     inner: ShardedSimRank,
     slot: Arc<EpochSlot>,
     seq: u64,
+    /// Ring capacity: total addressable epochs, head included (≥ 1).
+    retain: usize,
+    /// Spectral drop tolerance for the per-epoch factor deltas.
+    delta_tol: f64,
+    /// Retained non-head epochs, oldest first (≤ `retain − 1` entries).
+    ring: VecDeque<RetainedEpoch>,
+    /// Stamp metadata of the current head epoch.
+    head_meta: EpochMeta,
+    /// Ops committed since the head epoch was published — becomes the
+    /// displaced head's `ops_to_next` slice at the next publish.
+    pending_ops: Vec<ReplayOp>,
+    /// Per matrix-free shard: its engine-graph state at the ring's oldest
+    /// retained epoch (`None` for matrix shards, or after a replay
+    /// failure poisoned the tail). Advanced forward on eviction.
+    tail_graphs: Vec<Option<DiGraph>>,
+    epochs_retained: u64,
+    epoch_evictions: u64,
+    epoch_reconstructions: AtomicU64,
 }
 
 impl ConcurrentSimRank {
@@ -1497,10 +1708,34 @@ impl ConcurrentSimRank {
         let slot = Arc::new(EpochSlot {
             current: RwLock::new(Arc::new(inner.snapshot_epoch(0, None))),
         });
+        let retain = inner.builder.retained_epochs();
+        let delta_tol = inner.builder.epoch_delta_tolerance();
+        let tail_graphs = if retain > 1 {
+            inner
+                .shards
+                .iter()
+                .map(|s| s.is_matrix_free().then(|| s.graph().clone()))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let at_op = inner.last_seq();
         ConcurrentSimRank {
             inner,
             slot,
             seq: 0,
+            retain,
+            delta_tol,
+            ring: VecDeque::new(),
+            head_meta: EpochMeta {
+                stamp: at_op,
+                at_op,
+            },
+            pending_ops: Vec::new(),
+            tail_graphs,
+            epochs_retained: 0,
+            epoch_evictions: 0,
+            epoch_reconstructions: AtomicU64::new(0),
         }
     }
 
@@ -1517,15 +1752,151 @@ impl ConcurrentSimRank {
     /// materialised. Quarantined shards keep their last published view
     /// (readers keep being answered, marked [`ReadStatus::Degraded`]) —
     /// **a shard crash never takes reads down**.
+    ///
+    /// Stamps the epoch with the current op sequence number; use
+    /// [`Self::publish_stamped`] to attach an external stamp (e.g. a
+    /// wall-clock captured by the caller) instead.
+    ///
+    /// # Examples
+    /// ```
+    /// use incsim::api::SimRankBuilder;
+    /// use incsim::core::SimRankConfig;
+    /// use incsim::graph::DiGraph;
+    ///
+    /// let g = DiGraph::from_edges(5, &[(0, 2), (1, 2), (2, 3)]);
+    /// let mut srv = SimRankBuilder::new()
+    ///     .config(SimRankConfig::new(0.6, 8).unwrap())
+    ///     .concurrent(g)
+    ///     .unwrap();
+    /// let reader = srv.reader();
+    ///
+    /// let before = reader.pair(2, 3);
+    /// srv.insert(3, 4).unwrap();
+    /// // Readers never see unpublished writes.
+    /// assert_eq!(reader.pair(2, 3), before);
+    /// let seq = srv.publish();
+    /// assert_eq!(seq, 1);
+    /// ```
     pub fn publish(&mut self) -> u64 {
+        let stamp = self.inner.last_seq();
+        self.publish_stamped(stamp)
+    }
+
+    /// [`Self::publish`] with a caller-supplied stamp recorded against the
+    /// new epoch (surfaced by [`Self::epochs`]): the serving layer never
+    /// reads a clock itself, so "when was this epoch published" is
+    /// whatever notion of time the caller stamps in — a wall-clock, a
+    /// transaction id, an upstream watermark.
+    pub fn publish_stamped(&mut self, stamp: u64) -> u64 {
         self.seq += 1;
         // Build the epoch before touching the slot: readers keep serving
         // the old epoch during the (n²-copy) freeze and only ever wait on
         // the pointer swap itself.
         let prev = self.slot.load();
         let epoch = Arc::new(self.inner.snapshot_epoch(self.seq, Some(&prev)));
+        if self.retain > 1 {
+            self.retain_previous(&prev, &epoch);
+        } else {
+            self.pending_ops.clear();
+        }
+        self.head_meta = EpochMeta {
+            stamp,
+            at_op: self.inner.last_seq(),
+        };
         self.slot.store(epoch);
         self.seq
+    }
+
+    /// Compresses the displaced head epoch into the ring and evicts past
+    /// the retention horizon.
+    fn retain_previous(&mut self, prev: &Epoch, next: &Epoch) {
+        let ops = std::mem::take(&mut self.pending_ops);
+        let mut shards = Vec::with_capacity(prev.views.len());
+        for s in 0..prev.views.len() {
+            let pv = &prev.views[s];
+            let nv = &next.views[s];
+            // A carried-over (degraded) view, on either side, breaks the
+            // "delta against successor" construction — pin the Arc
+            // instead (shared with the epoch itself, so ~free).
+            let carried =
+                Arc::ptr_eq(pv, nv) || prev.degraded[s].is_some() || next.degraded[s].is_some();
+            if carried {
+                shards.push(ShardDelta::Pinned(Arc::clone(pv)));
+            } else if let (Some(ps), Some(ns)) = (pv.score_snapshot(), nv.score_snapshot()) {
+                let from = effective_matrix(ps);
+                let to = effective_matrix(ns);
+                let (delta, _dropped) = LowRankDelta::between(&from, &to, self.delta_tol);
+                shards.push(ShardDelta::Dense(delta));
+            } else {
+                shards.push(ShardDelta::Replay);
+            }
+        }
+        self.ring.push_back(RetainedEpoch {
+            seq: prev.seq(),
+            stamp: self.head_meta.stamp,
+            at_op: self.head_meta.at_op,
+            n: prev.n(),
+            shards,
+            degraded: prev.degraded.clone(),
+            ops_to_next: ops,
+        });
+        self.epochs_retained += 1;
+        while self.ring.len() > self.retain - 1 {
+            if let Some(evicted) = self.ring.pop_front() {
+                self.advance_tail(&evicted);
+                self.epoch_evictions += 1;
+            }
+        }
+    }
+
+    /// Rolls every matrix-free tail graph forward across an evicted
+    /// epoch's op slice, restoring the invariant that the tail graphs
+    /// mirror the oldest *retained* epoch.
+    fn advance_tail(&mut self, evicted: &RetainedEpoch) {
+        let partition = self.inner.partition;
+        for (s, slot) in self.tail_graphs.iter_mut().enumerate() {
+            let Some(g) = slot.as_mut() else { continue };
+            let mut poisoned = false;
+            for op in &evicted.ops_to_next {
+                match op {
+                    ReplayOp::AddNode => {
+                        g.add_node();
+                    }
+                    ReplayOp::Edge(e) => {
+                        let (i, j) = e.endpoints();
+                        // Mirror live routing: the shard engine only ever
+                        // saw ops it owned an endpoint of.
+                        if (partition.owner(i) == s || partition.owner(j) == s)
+                            && e.apply(g).is_err()
+                        {
+                            poisoned = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            if poisoned {
+                // A recorded op failing to replay is a bookkeeping bug
+                // (e.g. mutations through `sharded_mut` bypassing the
+                // recorder); poison the tail so reconstruction reports a
+                // typed Internal error instead of a wrong answer.
+                *slot = None;
+            }
+        }
+    }
+
+    /// Appends the just-committed edge ops to the pending replay slice
+    /// (`committed` many, from `ops`): called by every write wrapper with
+    /// the op count `last_seq` actually advanced by, so rejected writes
+    /// record nothing.
+    fn record_edges(&mut self, before: u64, ops: &[UpdateOp]) {
+        if self.retain <= 1 {
+            return;
+        }
+        let committed = (self.inner.last_seq() - before) as usize;
+        debug_assert!(committed <= ops.len(), "committed more ops than offered");
+        self.pending_ops
+            .extend(ops.iter().take(committed).map(|&op| ReplayOp::Edge(op)));
     }
 
     /// Sequence number of the most recently published epoch.
@@ -1536,22 +1907,35 @@ impl ConcurrentSimRank {
     /// Applies one update on the write path (readers unaffected until
     /// [`Self::publish`]).
     pub fn update(&mut self, op: UpdateOp) -> Result<Vec<UpdateStats>, ServeError> {
-        self.inner.update(op)
+        let before = self.inner.last_seq();
+        let r = self.inner.update(op);
+        self.record_edges(before, std::slice::from_ref(&op));
+        r
     }
 
     /// Inserts edge `(i, j)` on the write path.
     pub fn insert(&mut self, i: u32, j: u32) -> Result<Vec<UpdateStats>, ServeError> {
-        self.inner.insert(i, j)
+        self.update(UpdateOp::Insert(i, j))
     }
 
     /// Deletes edge `(i, j)` on the write path.
     pub fn remove(&mut self, i: u32, j: u32) -> Result<Vec<UpdateStats>, ServeError> {
-        self.inner.remove(i, j)
+        self.update(UpdateOp::Delete(i, j))
+    }
+
+    /// Appends an isolated node on the write path.
+    pub fn add_node(&mut self) -> Result<u32, ServeError> {
+        let before = self.inner.last_seq();
+        let r = self.inner.add_node();
+        if self.retain > 1 && self.inner.last_seq() > before {
+            self.pending_ops.push(ReplayOp::AddNode);
+        }
+        r
     }
 
     /// Applies a batch on the write path (atomic; parallel across shards).
     pub fn update_batch(&mut self, ops: &[UpdateOp]) -> Result<Vec<UpdateStats>, ServeError> {
-        self.inner.update_batch(ops)
+        self.update_batch_with_threads(ops, serve_threads())
     }
 
     /// [`ShardedSimRank::update_batch_with_threads`] on the write path.
@@ -1560,7 +1944,10 @@ impl ConcurrentSimRank {
         ops: &[UpdateOp],
         threads: usize,
     ) -> Result<Vec<UpdateStats>, ServeError> {
-        self.inner.update_batch_with_threads(ops, threads)
+        let before = self.inner.last_seq();
+        let r = self.inner.update_batch_with_threads(ops, threads);
+        self.record_edges(before, ops);
+        r
     }
 
     /// [`ShardedSimRank::rebuild_shard`] on the write path, followed by a
@@ -1588,6 +1975,315 @@ impl ConcurrentSimRank {
         self.inner.compress_pending()
     }
 
+    // ---- temporal (epoch-addressed) reads ------------------------------
+
+    /// Every epoch the ring can still answer at, oldest first — the
+    /// retained tail plus the head. Empty only before the first publish
+    /// when retention is off (retention on always lists at least the
+    /// head).
+    pub fn epochs(&self) -> Vec<EpochInfo> {
+        let mut out: Vec<EpochInfo> = self
+            .ring
+            .iter()
+            .map(|e| EpochInfo {
+                seq: e.seq,
+                stamp: e.stamp,
+                at_op: e.at_op,
+                n: e.n,
+                retained_bytes: e.retained_bytes(),
+            })
+            .collect();
+        let head = self.slot.load();
+        out.push(EpochInfo {
+            seq: head.seq(),
+            stamp: self.head_meta.stamp,
+            at_op: self.head_meta.at_op,
+            n: head.n(),
+            retained_bytes: 0,
+        });
+        out
+    }
+
+    /// Heap bytes the temporal ring holds beyond the head epoch: factor
+    /// deltas, replay op slices, and the matrix-free tail graphs. This is
+    /// the quantity [`SimRankBuilder::retain_epochs`] trades for
+    /// time-travel — `O(E·n·r)`, not `O(E·n²)`.
+    pub fn retained_heap_bytes(&self) -> usize {
+        let ring: usize = self.ring.iter().map(RetainedEpoch::retained_bytes).sum();
+        let tails: usize = self
+            .tail_graphs
+            .iter()
+            .flatten()
+            .map(DiGraph::heap_bytes)
+            .sum();
+        ring + tails
+    }
+
+    /// Pins epoch `seq` as a queryable [`Epoch`], reconstructing retained
+    /// shards on demand: the head is returned as-is (zero cost), a ring
+    /// epoch stacks its negated factor deltas onto the head's views (or
+    /// replays its graph slice, for matrix-free shards). Hold the result
+    /// across a batch of queries — reconstruction is per-call, not
+    /// cached.
+    pub fn epoch_at(&self, seq: u64) -> Result<Arc<Epoch>, ServeError> {
+        let head = self.slot.load();
+        if seq == head.seq() {
+            return Ok(head);
+        }
+        let Some(idx) = self.ring.iter().position(|e| e.seq == seq) else {
+            return Err(ServeError::NoSuchEpoch { seq });
+        };
+        let entry = &self.ring[idx];
+        let mut views: Vec<Arc<dyn SnapshotQuery>> = Vec::with_capacity(entry.shards.len());
+        for s in 0..entry.shards.len() {
+            views.push(self.reconstruct_shard(s, idx, &head)?);
+        }
+        self.epoch_reconstructions.fetch_add(1, Ordering::Relaxed);
+        Ok(Arc::new(Epoch {
+            seq,
+            partition: self.inner.partition,
+            n: entry.n,
+            views,
+            degraded: entry.degraded.clone(),
+            degraded_reads: Arc::clone(&self.inner.degraded_reads),
+        }))
+    }
+
+    /// One shard's view at ring index `idx`, rebuilt from the head.
+    fn reconstruct_shard(
+        &self,
+        s: usize,
+        idx: usize,
+        head: &Epoch,
+    ) -> Result<Arc<dyn SnapshotQuery>, ServeError> {
+        let entry = &self.ring[idx];
+        match &entry.shards[s] {
+            ShardDelta::Pinned(v) => Ok(Arc::clone(v)),
+            ShardDelta::Dense(_) => {
+                // S_epoch = S_head − Σ (per-epoch deltas from here to the
+                // head); each ring entry stores S_next − S_this, so the
+                // negated stack of entries idx..end rolls the head back.
+                let mut stack = LowRankDelta::new(head.views[s].n());
+                for e in self.ring.iter().skip(idx) {
+                    match &e.shards[s] {
+                        ShardDelta::Dense(d) => stack.extend_negated(d),
+                        _ => {
+                            return Err(ServeError::EpochChainBroken {
+                                seq: entry.seq,
+                                shard: s,
+                            })
+                        }
+                    }
+                }
+                Ok(Arc::new(DeltaSnapshot::new(
+                    Arc::clone(&head.views[s]),
+                    stack,
+                    entry.n,
+                )))
+            }
+            ShardDelta::Replay => {
+                let Some(tail) = self.tail_graphs.get(s).and_then(Option::as_ref) else {
+                    return Err(ServeError::Internal(
+                        "replay tail graph missing or poisoned",
+                    ));
+                };
+                // Roll the tail graph forward to this epoch, then rebuild
+                // the engine: matrix-free snapshots are pure functions of
+                // (graph, config), so this is seed-identical to the view
+                // the epoch published live.
+                let mut g = tail.clone();
+                let partition = self.inner.partition;
+                for e in self.ring.iter().take(idx) {
+                    for op in &e.ops_to_next {
+                        match op {
+                            ReplayOp::AddNode => {
+                                g.add_node();
+                            }
+                            ReplayOp::Edge(eop) => {
+                                let (i, j) = eop.endpoints();
+                                if (partition.owner(i) == s || partition.owner(j) == s)
+                                    && eop.apply(&mut g).is_err()
+                                {
+                                    return Err(ServeError::Internal(
+                                        "recorded op failed to replay",
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                }
+                let engine = self.inner.builder.clone().from_graph(g)?;
+                Ok(engine.snapshot_query())
+            }
+        }
+    }
+
+    /// Similarity of one node pair **as of** retained epoch `seq` — the
+    /// time-travel read. On the head epoch this is byte-identical to
+    /// [`EpochReader::pair`].
+    ///
+    /// # Errors
+    /// [`ServeError::NoSuchEpoch`] if `seq` is not retained.
+    ///
+    /// # Panics
+    /// Panics if either node is out of range *at that epoch* (nodes born
+    /// later are out of range in the past, exactly as they were live).
+    ///
+    /// # Examples
+    /// ```
+    /// use incsim::api::SimRankBuilder;
+    /// use incsim::core::SimRankConfig;
+    /// use incsim::graph::DiGraph;
+    ///
+    /// let g = DiGraph::from_edges(4, &[(0, 2), (1, 2)]);
+    /// let mut srv = SimRankBuilder::new()
+    ///     .config(SimRankConfig::new(0.6, 8).unwrap())
+    ///     .retain_epochs(4)
+    ///     .concurrent(g)
+    ///     .unwrap();
+    /// let e0 = srv.publish();
+    /// let before = srv.reader().pair(0, 1);
+    ///
+    /// srv.insert(2, 3).unwrap();
+    /// srv.publish();
+    ///
+    /// // The past stays addressable after the write is published.
+    /// assert_eq!(srv.pair_at(0, 1, e0).unwrap(), before);
+    /// ```
+    pub fn pair_at(&self, a: u32, b: u32, seq: u64) -> Result<f64, ServeError> {
+        Ok(self.epoch_at(seq)?.pair(a, b))
+    }
+
+    /// All similarities of node `a` as of retained epoch `seq` (see
+    /// [`Self::pair_at`] for addressing and panics).
+    pub fn single_source_at(&self, a: u32, seq: u64) -> Result<Vec<RankedNode>, ServeError> {
+        Ok(self.epoch_at(seq)?.single_source(a))
+    }
+
+    /// The `k` most similar nodes to `a` as of retained epoch `seq` (see
+    /// [`Self::pair_at`] for addressing and panics).
+    pub fn top_k_at(&self, a: u32, k: usize, seq: u64) -> Result<Vec<RankedNode>, ServeError> {
+        Ok(self.epoch_at(seq)?.top_k(a, k))
+    }
+
+    /// The `k` node pairs whose similarity moved the most between two
+    /// retained epochs, by |Δ|, descending (ties prefer smaller ids);
+    /// each [`Mover::delta`] is signed `S_{e2} − S_{e1}` in the caller's
+    /// argument order. Only off-diagonal pairs over the earlier epoch's
+    /// node range are scanned. `O(n²)` time via the stacked factor
+    /// deltas, `O(k)` extra space — no past matrix is materialised.
+    ///
+    /// # Errors
+    /// [`ServeError::NoSuchEpoch`] if either epoch is not retained;
+    /// [`ServeError::MatrixFree`] if a shard in range is retained by
+    /// replay (probe shards have no dense deltas to scan);
+    /// [`ServeError::EpochChainBroken`] if a quarantine interrupted the
+    /// delta chain between the two epochs.
+    pub fn top_movers(&self, e1: u64, e2: u64, k: usize) -> Result<Vec<Mover>, ServeError> {
+        let head = self.slot.load();
+        let (lo, hi) = (e1.min(e2), e1.max(e2));
+        let resolve = |seq: u64| -> Result<usize, ServeError> {
+            if seq == head.seq() {
+                return Ok(self.ring.len());
+            }
+            self.ring
+                .iter()
+                .position(|e| e.seq == seq)
+                .ok_or(ServeError::NoSuchEpoch { seq })
+        };
+        let idx_lo = resolve(lo)?;
+        let idx_hi = resolve(hi)?;
+        if lo == hi || k == 0 {
+            return Ok(Vec::new());
+        }
+        let n_lo = if idx_lo == self.ring.len() {
+            head.n()
+        } else {
+            self.ring[idx_lo].n
+        };
+        let n_hi = if idx_hi == self.ring.len() {
+            head.n()
+        } else {
+            self.ring[idx_hi].n
+        };
+
+        // Per shard, stack the negated deltas spanning [lo, hi): the
+        // stack reads as S_lo − S_hi.
+        let shard_count = self.inner.shards.len();
+        let mut stacks: Vec<LowRankDelta> = Vec::with_capacity(shard_count);
+        for s in 0..shard_count {
+            let mut stack = LowRankDelta::new(n_hi);
+            for e in self.ring.iter().take(idx_hi).skip(idx_lo) {
+                match &e.shards[s] {
+                    ShardDelta::Dense(d) => stack.extend_negated(d),
+                    ShardDelta::Replay => {
+                        return Err(ServeError::MatrixFree {
+                            query: "top_movers",
+                        })
+                    }
+                    ShardDelta::Pinned(_) => {
+                        return Err(ServeError::EpochChainBroken { seq: lo, shard: s })
+                    }
+                }
+            }
+            stacks.push(stack);
+        }
+
+        // Caller-order sign: stack = S_lo − S_hi, the answer wants
+        // S_e2 − S_e1.
+        let dir = if e2 >= e1 { -1.0 } else { 1.0 };
+        let partition = self.inner.partition;
+        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<MoverKey>> =
+            std::collections::BinaryHeap::with_capacity(k + 1);
+        let mut row = vec![0.0_f64; n_hi];
+        for a in 0..n_lo as u32 {
+            // Pair (a, b) with a < b routes to a's owner, as live.
+            let s = partition.owner(a);
+            row.iter_mut().for_each(|x| *x = 0.0);
+            stacks[s].add_row_delta(a as usize, &mut row);
+            for b in (a + 1)..n_lo as u32 {
+                let delta = dir * row[b as usize];
+                if delta == 0.0 {
+                    continue;
+                }
+                let key = MoverKey {
+                    mag: delta.abs(),
+                    a,
+                    b,
+                    delta,
+                };
+                if heap.len() < k {
+                    heap.push(std::cmp::Reverse(key));
+                } else if let Some(min) = heap.peek() {
+                    if key > min.0 {
+                        heap.pop();
+                        heap.push(std::cmp::Reverse(key));
+                    }
+                }
+            }
+        }
+        let mut keys: Vec<MoverKey> = heap.into_iter().map(|r| r.0).collect();
+        keys.sort_by(|x, y| y.cmp(x));
+        Ok(keys
+            .into_iter()
+            .map(|kk| Mover {
+                a: kk.a,
+                b: kk.b,
+                delta: kk.delta,
+            })
+            .collect())
+    }
+
+    /// Router counters plus the temporal ring's own: epochs retained,
+    /// evictions past the horizon, and on-demand reconstructions.
+    pub fn counters(&self) -> ModeCounters {
+        let mut c = self.inner.counters();
+        c.epochs_retained = self.epochs_retained;
+        c.epoch_evictions = self.epoch_evictions;
+        c.epoch_reconstructions = self.epoch_reconstructions.load(Ordering::Relaxed);
+        c
+    }
+
     /// The wrapped router — fresh (unpublished) state, for the writer's
     /// own reads and introspection.
     pub fn sharded(&self) -> &ShardedSimRank {
@@ -1595,7 +2291,10 @@ impl ConcurrentSimRank {
     }
 
     /// Mutable access to the wrapped router (escape hatch; remember that
-    /// readers only see published epochs).
+    /// readers only see published epochs, and that mutations through this
+    /// handle bypass the temporal ring's op recorder — matrix shards
+    /// still diff correctly at the next publish, but matrix-free replay
+    /// reconstruction will no longer match and reports a typed error).
     pub fn sharded_mut(&mut self) -> &mut ShardedSimRank {
         &mut self.inner
     }
@@ -1606,6 +2305,8 @@ impl std::fmt::Debug for ConcurrentSimRank {
         f.debug_struct("ConcurrentSimRank")
             .field("inner", &self.inner)
             .field("epoch_seq", &self.seq)
+            .field("retain", &self.retain)
+            .field("ring", &self.ring.len())
             .finish()
     }
 }

@@ -785,6 +785,41 @@ fn owner(x: u32, block: u64, shard_count: u32) -> u32 {
 /// apply policy, probe seed. Pass the same builder the crashed system was
 /// built with; the checkpoint's config overrides the builder's.
 ///
+/// # Examples
+///
+/// A durable router writes a base checkpoint at build time and appends
+/// every committed op, so after a crash the log alone reproduces it:
+///
+/// ```
+/// use incsim::api::{ApplyPolicy, EngineKind, SimRankBuilder};
+/// use incsim::core::{batch_simrank, SimRankConfig};
+/// use incsim::graph::{DiGraph, UpdateOp};
+/// use incsim::serve::ShardedSimRank;
+/// use incsim::wal::{read_log, rebuild_engine};
+///
+/// let path = std::env::temp_dir()
+///     .join(format!("incsim_doc_rebuild_{}.wal", std::process::id()));
+/// # let _ = std::fs::remove_file(&path);
+/// let g = DiGraph::from_edges(5, &[(0, 2), (1, 2), (2, 3), (3, 4)]);
+/// let cfg = SimRankConfig::new(0.6, 8).unwrap();
+/// let scores = batch_simrank(&g, &cfg);
+/// let builder = SimRankBuilder::new()
+///     .algorithm(EngineKind::IncSr)
+///     .mode(ApplyPolicy::Fused)
+///     .config(cfg);
+/// let mut srv =
+///     ShardedSimRank::with_scores(builder.clone().wal(&path), g, scores).unwrap();
+/// srv.update(UpdateOp::Insert(0, 3)).unwrap();
+/// let live = srv.pair(0, 1);
+/// drop(srv); // crash: only the log survives
+///
+/// let rebuilt = rebuild_engine(&builder, &read_log(&path).unwrap(), None).unwrap();
+/// assert_eq!(rebuilt.replayed_ops, 1);
+/// let mut sim = rebuilt.sim;
+/// assert_eq!(sim.pair(0, 1).to_bits(), live.to_bits());
+/// # let _ = std::fs::remove_file(&path);
+/// ```
+///
 /// # Errors
 /// [`WalError::NoCheckpoint`] when the log holds no usable checkpoint;
 /// decode/build failures are forwarded.

@@ -1,0 +1,276 @@
+//! `stale-doc-path`: repo paths referenced in markdown must exist.
+//!
+//! Documentation rots silently — a file gets renamed, the README keeps
+//! pointing at the old name, and nothing fails until a reader follows the
+//! reference. This scanner makes the reference itself the contract. Two
+//! extraction passes run over every line of every tracked `*.md` file:
+//!
+//! - **link targets** — `[text](target)` — resolved relative to the
+//!   markdown file's own directory (external schemes and pure-fragment
+//!   anchors are skipped, `#fragment` suffixes stripped);
+//! - **bare path tokens** — any token anchored at a known top-level
+//!   workspace directory (`src/`, `crates/`, …), wherever it appears:
+//!   prose, inline code, tables, or fenced diagram blocks. Resolved
+//!   relative to the workspace root.
+//!
+//! Tokens without such an anchor (`BENCH_PR9.json`, `updates.wal`,
+//! `incsim_core::detorder`, URLs) are out of scope by construction — the
+//! rule only polices strings that *claim* to be tree paths. A trailing
+//! `:<line>` ref is stripped before the existence check, and a resolved
+//! path that escapes the root (`../..`) is always a finding.
+//!
+//! Markdown has no comment syntax the tokenizer understands, so the
+//! `lint:allow` protocol does not apply here: a stale path is fixed, not
+//! suppressed.
+
+use crate::{Finding, Rule};
+
+/// Top-level directories that anchor a checkable repo path. A token must
+/// start with one of these to be treated as a claim about the tree.
+const TOP_DIRS: &[&str] = &[
+    "src/",
+    "crates/",
+    "tools/",
+    "tests/",
+    "examples/",
+    "docs/",
+    "benches/",
+    "vendor/",
+    ".github/",
+    ".cargo/",
+];
+
+/// Characters that delimit a bare token in markdown prose. Splitting on
+/// glob/placeholder characters too means `crates/*/src` degrades to its
+/// checkable anchor rather than producing a bogus candidate.
+const DELIMS: &[char] = &[
+    ' ', '\t', '`', '(', ')', '[', ']', '{', '}', '<', '>', '"', '\'', ',', ';', '|', '*',
+];
+
+/// Scans one markdown file. `rel_path` is the root-relative path of the
+/// file (used both for findings and to resolve relative link targets);
+/// `exists` answers whether a root-relative candidate names a real entry.
+/// Missing paths are appended to `out` as [`Rule::StaleDocPath`] findings.
+pub fn scan_markdown(
+    rel_path: &str,
+    text: &str,
+    exists: &dyn Fn(&str) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    for (idx, line) in text.lines().enumerate() {
+        let mut candidates: Vec<String> = Vec::new();
+        for target in link_targets(line) {
+            if let Some(cand) = resolve_link(rel_path, target) {
+                candidates.push(cand);
+            }
+        }
+        for token in line.split(DELIMS) {
+            if let Some(cand) = normalize_token(token) {
+                candidates.push(cand);
+            }
+        }
+        candidates.sort();
+        candidates.dedup();
+        for cand in candidates {
+            // A candidate that still contains `..` escaped the workspace
+            // root during resolution — never checkable, always stale.
+            let escaped = cand.split('/').any(|seg| seg == "..");
+            if escaped || !exists(&cand) {
+                out.push(Finding {
+                    file: rel_path.to_string(),
+                    line: idx + 1,
+                    rule: Rule::StaleDocPath,
+                    snippet: format!("{cand} (in: {})", line.trim()),
+                });
+            }
+        }
+    }
+}
+
+/// Extracts every `[text](target)` link target on a line.
+fn link_targets(line: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut rest = line;
+    while let Some(p) = rest.find("](") {
+        let tail = &rest[p + 2..];
+        match tail.find(')') {
+            Some(q) => {
+                out.push(&tail[..q]);
+                rest = &tail[q + 1..];
+            }
+            None => break,
+        }
+    }
+    out
+}
+
+/// Resolves a link target against the markdown file's directory into a
+/// root-relative candidate. `None` for external schemes, pure-fragment
+/// anchors, and empty targets. `..` segments are folded; any that escape
+/// the root survive (and the caller reports them).
+fn resolve_link(rel_path: &str, target: &str) -> Option<String> {
+    let bare = target.split(['#', '?']).next().unwrap_or("");
+    if bare.is_empty() || bare.contains("://") || bare.contains(':') {
+        return None;
+    }
+    let dir = rel_path.rsplit_once('/').map_or("", |(d, _)| d);
+    let joined = if dir.is_empty() {
+        bare.to_string()
+    } else {
+        format!("{dir}/{bare}")
+    };
+    let mut parts: Vec<&str> = Vec::new();
+    let mut escaped = false;
+    for seg in joined.split('/') {
+        match seg {
+            "" | "." => {}
+            ".." => {
+                if parts.pop().is_none() {
+                    escaped = true;
+                }
+            }
+            seg => parts.push(seg),
+        }
+    }
+    if escaped {
+        // Keep a `..` so the caller sees the escape.
+        return Some(format!("../{}", parts.join("/")));
+    }
+    Some(parts.join("/"))
+}
+
+/// Normalizes a bare token into a root-relative candidate: trims trailing
+/// sentence punctuation, strips `#fragment` and `:<line>` suffixes, and
+/// keeps only tokens anchored at a [`TOP_DIRS`] entry.
+fn normalize_token(token: &str) -> Option<String> {
+    let mut t = token.trim_end_matches(['.', ',', ';', ':', '!', '?']);
+    if let Some(i) = t.find('#') {
+        t = &t[..i];
+    }
+    // `src/serve.rs:1119`-style line (and `:line:col`) references.
+    while let Some((head, tail)) = t.rsplit_once(':') {
+        if tail.is_empty() || !tail.bytes().all(|b| b.is_ascii_digit()) {
+            break;
+        }
+        t = head;
+    }
+    if t.contains(':') || !TOP_DIRS.iter().any(|d| t.starts_with(d)) {
+        return None;
+    }
+    Some(t.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_md(rel_path: &str, text: &str, present: &[&str]) -> Vec<Finding> {
+        let mut out = Vec::new();
+        scan_markdown(rel_path, text, &|c| present.contains(&c), &mut out);
+        out
+    }
+
+    fn stale(findings: &[Finding]) -> Vec<(usize, String)> {
+        findings
+            .iter()
+            .map(|f| {
+                assert_eq!(f.rule, Rule::StaleDocPath);
+                let cand = f.snippet.split(" (in: ").next().unwrap().to_string();
+                (f.line, cand)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn missing_token_fires_and_present_token_does_not() {
+        let findings = lint_md(
+            "README.md",
+            "See `src/serve.rs` and `src/gone.rs` for details.\n",
+            &["src/serve.rs"],
+        );
+        assert_eq!(stale(&findings), vec![(1, "src/gone.rs".to_string())]);
+    }
+
+    #[test]
+    fn tokens_fire_inside_fenced_blocks_and_tables() {
+        let text = "\
+| layer | file |\n\
+|-------|------|\n\
+| serve | `src/nope.rs` |\n\
+\n\
+```text\n\
+crates/missing — the absent crate\n\
+```\n";
+        let findings = lint_md("docs/ARCHITECTURE.md", text, &[]);
+        assert_eq!(
+            stale(&findings),
+            vec![
+                (3, "src/nope.rs".to_string()),
+                (6, "crates/missing".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn link_targets_resolve_relative_to_the_file() {
+        // `docs/X.md` linking `../README.md` must check `README.md`.
+        let clean = lint_md("docs/X.md", "[up](../README.md)\n", &["README.md"]);
+        assert!(clean.is_empty(), "{clean:?}");
+        let bad = lint_md("docs/X.md", "[up](../MISSING.md)\n", &["README.md"]);
+        assert_eq!(stale(&bad), vec![(1, "MISSING.md".to_string())]);
+    }
+
+    #[test]
+    fn fragments_and_line_refs_are_stripped() {
+        let findings = lint_md(
+            "README.md",
+            "[ring](docs/A.md#the-ring) and `src/serve.rs:1119`, `src/wal.rs:12:5`.\n",
+            &["docs/A.md", "src/serve.rs", "src/wal.rs"],
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn unanchored_tokens_and_external_links_are_out_of_scope() {
+        let text = "Run `cargo test`; see BENCH_PR9.json, `updates.wal`, \
+                    `incsim_core::detorder`, [site](https://example.com/src/x.rs), \
+                    [mail](mailto:a@b.c), [anchor](#local), and a/b/c.\n";
+        let findings = lint_md("README.md", text, &[]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn directory_references_with_trailing_slash_are_checked() {
+        let findings = lint_md(
+            "README.md",
+            "`src/wal/` holds the sidecars; `src/ghost/` does not exist.\n",
+            &["src/wal/"],
+        );
+        assert_eq!(stale(&findings), vec![(1, "src/ghost/".to_string())]);
+    }
+
+    #[test]
+    fn links_escaping_the_root_always_fire() {
+        let findings = lint_md("docs/X.md", "[out](../../etc/passwd)\n", &[]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].snippet.starts_with("../"), "{findings:?}");
+    }
+
+    #[test]
+    fn duplicate_candidates_on_one_line_report_once() {
+        let findings = lint_md(
+            "README.md",
+            "`src/gone.rs` again `src/gone.rs` and [also](src/gone.rs)\n",
+            &[],
+        );
+        assert_eq!(stale(&findings), vec![(1, "src/gone.rs".to_string())]);
+    }
+
+    #[test]
+    fn glob_and_placeholder_tokens_degrade_to_their_anchor() {
+        // `crates/*/src` splits at the `*`; the surviving `crates/` anchor
+        // is checked (and exists), never a literal glob path.
+        let findings = lint_md("README.md", "expand `crates/*/src` here\n", &["crates/"]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+}

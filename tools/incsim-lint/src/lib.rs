@@ -19,6 +19,7 @@
 //! | `wallclock-in-kernel` | no `Instant::now`/`SystemTime::now` outside bench/metrics/CLI/example code — kernel results must be a function of (input, seed), never of the clock |
 //! | `lock-poison-discipline` | guard acquisition is `.lock()/.read()/.write()` + `unwrap_or_else(PoisonError::into_inner)`, never `.unwrap()`/`.expect()` — a poisoned lock must degrade, not cascade the panic |
 //! | `registry-dep` | every dependency in every workspace manifest is `path`- or `workspace`-resolved — the offline container cannot fetch crates.io, so a registry dep is a build outage |
+//! | `stale-doc-path` | every repo path referenced in a tracked markdown file (link targets and `src/`-, `crates/`-, … anchored tokens) names an entry that exists — docs must not rot as the tree moves |
 //! | `bad-suppression` | a `lint:allow` comment without a rule name or a reason suppresses nothing and is itself a finding |
 //!
 //! ## Suppression protocol
@@ -35,6 +36,7 @@
 use std::fmt;
 use std::path::{Path, PathBuf};
 
+pub mod docpath;
 pub mod manifest;
 pub mod rules;
 pub mod tokenize;
@@ -88,7 +90,7 @@ pub struct Report {
     pub findings: Vec<Finding>,
     /// Findings silenced by a justified `lint:allow`.
     pub suppressed: Vec<Suppression>,
-    /// Number of Rust sources + manifests inspected.
+    /// Number of Rust sources, manifests, and markdown files inspected.
     pub files_scanned: usize,
 }
 
@@ -226,9 +228,10 @@ pub fn lint_source(rel_path: &str, source: &str) -> Report {
 }
 
 /// Lints a whole tree rooted at `root`: every `.rs` source outside
-/// `target/`, `vendor/` code, tests/benches/examples/fixtures, plus every
+/// `target/`, `vendor/` code, tests/benches/examples/fixtures, every
 /// workspace `Cargo.toml` (vendor manifests included — the vendored shims
-/// must themselves stay registry-free).
+/// must themselves stay registry-free), and every tracked markdown file
+/// for the `stale-doc-path` rule.
 ///
 /// # Errors
 /// Only on I/O failure; violations are findings, not errors.
@@ -236,9 +239,11 @@ pub fn lint_workspace(root: &Path) -> Result<Report, LintIoError> {
     let mut report = Report::default();
     let mut sources: Vec<PathBuf> = Vec::new();
     let mut manifests: Vec<PathBuf> = Vec::new();
-    walk(root, root, &mut sources, &mut manifests)?;
+    let mut docs: Vec<PathBuf> = Vec::new();
+    walk(root, root, &mut sources, &mut manifests, &mut docs)?;
     sources.sort();
     manifests.sort();
+    docs.sort();
 
     for path in &sources {
         let text = std::fs::read_to_string(path).map_err(|e| LintIoError {
@@ -258,6 +263,20 @@ pub fn lint_workspace(root: &Path) -> Result<Report, LintIoError> {
         })?;
         let rel = rel_name(root, path);
         manifest::scan_manifest(&rel, &text, &mut report.findings);
+        report.files_scanned += 1;
+    }
+    for path in &docs {
+        let text = std::fs::read_to_string(path).map_err(|e| LintIoError {
+            path: path.clone(),
+            source: e,
+        })?;
+        let rel = rel_name(root, path);
+        docpath::scan_markdown(
+            &rel,
+            &text,
+            &|cand| root.join(cand).exists(),
+            &mut report.findings,
+        );
         report.files_scanned += 1;
     }
     report.sort();
@@ -280,11 +299,18 @@ const SKIP_DIRS: &[&str] = &[
     "target", ".git", "tests", "benches", "examples", "fixtures", ".claude",
 ];
 
+/// Root-level documents that digest *external* material — the source
+/// paper, related-work notes, exemplar snippets from other repositories,
+/// and the per-PR issue brief (which names files that do not exist *yet*).
+/// Their paths describe other trees, so `stale-doc-path` skips them.
+const EXTERNAL_DOCS: &[&str] = &["ISSUE.md", "PAPER.md", "PAPERS.md", "SNIPPETS.md"];
+
 fn walk(
     root: &Path,
     dir: &Path,
     sources: &mut Vec<PathBuf>,
     manifests: &mut Vec<PathBuf>,
+    docs: &mut Vec<PathBuf>,
 ) -> Result<(), LintIoError> {
     let entries = std::fs::read_dir(dir).map_err(|e| LintIoError {
         path: dir.to_path_buf(),
@@ -307,11 +333,15 @@ fn walk(
                 collect_vendor_manifests(&path, manifests)?;
                 continue;
             }
-            walk(root, &path, sources, manifests)?;
+            walk(root, &path, sources, manifests, docs)?;
         } else if name == "Cargo.toml" {
             manifests.push(path);
         } else if name.ends_with(".rs") {
             sources.push(path);
+        } else if name.ends_with(".md")
+            && !(path.parent() == Some(root) && EXTERNAL_DOCS.contains(&name.as_str()))
+        {
+            docs.push(path);
         }
     }
     Ok(())

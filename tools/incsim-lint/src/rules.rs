@@ -19,6 +19,8 @@ pub enum Rule {
     LockPoisonDiscipline,
     /// A non-path, non-workspace dependency in a workspace manifest.
     RegistryDep,
+    /// A repo path referenced in a markdown file that does not exist.
+    StaleDocPath,
     /// A `lint:allow` comment missing its rule or mandatory reason.
     BadSuppression,
 }
@@ -32,6 +34,7 @@ impl Rule {
             Rule::WallclockInKernel => "wallclock-in-kernel",
             Rule::LockPoisonDiscipline => "lock-poison-discipline",
             Rule::RegistryDep => "registry-dep",
+            Rule::StaleDocPath => "stale-doc-path",
             Rule::BadSuppression => "bad-suppression",
         }
     }
@@ -45,6 +48,7 @@ impl Rule {
             "wallclock-in-kernel" => Rule::WallclockInKernel,
             "lock-poison-discipline" => Rule::LockPoisonDiscipline,
             "registry-dep" => Rule::RegistryDep,
+            "stale-doc-path" => Rule::StaleDocPath,
             "bad-suppression" => Rule::BadSuppression,
             _ => return None,
         })

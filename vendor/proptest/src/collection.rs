@@ -3,7 +3,7 @@
 use crate::strategy::Strategy;
 use crate::TestRng;
 
-/// Number-of-elements specification accepted by [`vec`].
+/// Number-of-elements specification accepted by [`vec()`].
 #[derive(Debug, Clone, Copy)]
 pub struct SizeRange {
     min: usize,
@@ -46,7 +46,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,
