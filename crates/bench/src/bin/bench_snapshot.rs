@@ -1,9 +1,9 @@
 //! `bench-snapshot` — records the PR's hot-path perf numbers as JSON.
 //!
 //! ```text
-//! bench-snapshot [--out BENCH_PR9.json] [--n 2048] [--k 15] [--cap 20]
+//! bench-snapshot [--out BENCH_PR10.json] [--n 2048] [--k 15] [--cap 20]
 //!                [--window 256] [--probe-n 12500] [--retain 8]
-//!                [--compare BENCH_PR9.json --tolerance 200]
+//!                [--compare BENCH_PR10.json --tolerance 200]
 //! ```
 //!
 //! Runs the fig2a-style unit-update workload under the eager / fused /
@@ -16,15 +16,18 @@
 //! peak heap at `--probe-n` and `4 × --probe-n` nodes — sizes no dense
 //! engine could touch), the `epoch_ring` case (time-travel reads against
 //! the last `--retain` published epochs, checked against the trajectory
-//! recorded live at publish time), and writes a machine-readable
-//! snapshot (see `incsim_bench::snapshot`).
+//! recorded live at publish time), the `epoch_recovery` case (the v2
+//! checkpoint round's on-disk growth over a head-only image and the
+//! epoch ring's attributable share of a crash recovery, with every
+//! restored epoch checked against its publish-time recording), and
+//! writes a machine-readable snapshot (see `incsim_bench::snapshot`).
 //!
 //! `--compare FILE` additionally gates the run against a committed
 //! snapshot: the scale-robust kernel metrics (`fused_speedup`,
 //! `lazy_query_secs`, `overhead_pct`, `long_lazy_query_speedup`,
 //! `compressed_query_secs`, `query_secs_large`, `probe_heap_growth`,
-//! `wal_overhead_pct`, `epoch_retained_ratio`, `epoch_reconstruct_secs`)
-//! must not regress beyond
+//! `wal_overhead_pct`, `epoch_retained_ratio`, `epoch_reconstruct_secs`,
+//! `checkpoint_growth`, `ring_rehydrate_secs`) must not regress beyond
 //! `--tolerance` percent (default 200, i.e. 3×) past their noise floors —
 //! see `incsim_bench::compare`. Exactness gates fail hard at any scale,
 //! as do the probe engine's sub-quadratic heap-growth gate and the epoch
@@ -37,7 +40,7 @@
 
 use incsim_bench::compare::{compare, parse_metrics, SnapshotMetrics};
 use incsim_bench::snapshot::{
-    measure_apply_modes, measure_concurrent_throughput, measure_epoch_ring,
+    measure_apply_modes, measure_concurrent_throughput, measure_epoch_recovery, measure_epoch_ring,
     measure_long_lazy_window, measure_micro_kernels, measure_probe_single_source,
     measure_service_overhead, measure_wal_overhead, snapshot_json, SnapshotCases,
 };
@@ -109,7 +112,7 @@ fn flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result
 
 fn run(args: &[String]) -> Result<(), String> {
     validate_args(args)?;
-    let out: String = flag(args, "--out", "BENCH_PR9.json".to_string())?;
+    let out: String = flag(args, "--out", "BENCH_PR10.json".to_string())?;
     let n: usize = flag(args, "--n", 2048usize)?;
     let k: usize = flag(args, "--k", 15usize)?;
     let base_cap: usize = flag(args, "--cap", 20usize)?;
@@ -282,6 +285,26 @@ fn run(args: &[String]) -> Result<(), String> {
         epoch.oldest_epoch_drift,
     );
 
+    // Persistent epoch ring: the v2 checkpoint round's on-disk growth
+    // over a head-only image and the ring's share of a crash recovery.
+    // The < 2x growth contract (n >= 1024) and the restored-trajectory
+    // exactness gate are asserted inside the measurement.
+    let recovery = measure_epoch_recovery(n, k, retain.max(2), cap.max(retain));
+    println!(
+        "   epoch recov : v2 round {} = head {} + ring {} ({:.2}x growth); \
+         reopen {} head-only vs {} retained (+{} rehydrate, {} epochs restored, \
+         drift {:.1e})",
+        incsim_metrics::timing::fmt_bytes(recovery.checkpoint_bytes),
+        incsim_metrics::timing::fmt_bytes(recovery.head_image_bytes),
+        incsim_metrics::timing::fmt_bytes(recovery.ring_round_bytes),
+        recovery.checkpoint_growth,
+        per(recovery.head_recover_secs),
+        per(recovery.ring_recover_secs),
+        per(recovery.ring_rehydrate_secs),
+        recovery.restored_epochs,
+        recovery.recovered_drift,
+    );
+
     std::fs::write(
         &out,
         snapshot_json(&SnapshotCases {
@@ -293,6 +316,7 @@ fn run(args: &[String]) -> Result<(), String> {
             probe: &probe,
             wal: &wal,
             epoch: &epoch,
+            recovery: &recovery,
         }),
     )
     .map_err(|e| format!("cannot write {out}: {e}"))?;
@@ -408,6 +432,8 @@ fn run(args: &[String]) -> Result<(), String> {
             wal_overhead_pct: Some(wal.wal_overhead_pct),
             epoch_retained_ratio: Some(epoch.retained_ratio),
             epoch_reconstruct_secs: Some(epoch.reconstruct_pair_secs),
+            checkpoint_growth: Some(recovery.checkpoint_growth),
+            ring_rehydrate_secs: Some(recovery.ring_rehydrate_secs),
         };
         let regressions = compare(&current, &committed, tolerance_pct);
         if regressions.is_empty() {

@@ -26,7 +26,16 @@
 //!   under the O(n·r) law, collapses to ≈1 if retention goes dense);
 //! * `epoch_reconstruct_secs` — one `pair_at` on the oldest retained
 //!   epoch, microsecond-to-millisecond scale (smoke runs carry shorter
-//!   delta chains, so they can only look faster).
+//!   delta chains, so they can only look faster);
+//! * `checkpoint_growth` — the v2 checkpoint round (head image + epoch
+//!   ring) over the head-only image, dimensionless (the durability
+//!   contract is < 2× at full scale; ≈1 when the ring stays factored);
+//! * `ring_rehydrate_secs` — what rehydrating the persisted epoch ring
+//!   adds to a crash recovery over a head-only reopen of the same log.
+//!   The value is a *difference* of two whole-reopen timings, so its
+//!   noise band is hundreds of milliseconds (and it can legitimately
+//!   measure ~0 when the two reopens land within noise of each other) —
+//!   hence a floor far above the other latency metrics.
 //!
 //! Each metric fails only on **regression** (improvement always passes),
 //! only beyond the configured tolerance factor, and only past a
@@ -65,6 +74,14 @@ pub struct SnapshotMetrics {
     /// read on the oldest retained epoch, stacking the full delta
     /// chain).
     pub epoch_reconstruct_secs: Option<f64>,
+    /// `epoch_recovery.checkpoint_growth` (lower is better; the v2
+    /// round's bytes over the head-only image — the durability contract
+    /// is < 2× at full scale, and a ring gone dense blows well past it).
+    pub checkpoint_growth: Option<f64>,
+    /// `epoch_recovery.ring_rehydrate_secs` (lower is better; the epoch
+    /// ring's attributable share of a crash recovery, over the head-only
+    /// reopen baseline).
+    pub ring_rehydrate_secs: Option<f64>,
 }
 
 /// Extracts the first `"key": <number>` occurrence from a JSON text.
@@ -93,6 +110,8 @@ pub fn parse_metrics(json: &str) -> SnapshotMetrics {
         wal_overhead_pct: scan_number(json, "wal_overhead_pct"),
         epoch_retained_ratio: scan_number(json, "retained_ratio"),
         epoch_reconstruct_secs: scan_number(json, "reconstruct_pair_secs"),
+        checkpoint_growth: scan_number(json, "checkpoint_growth"),
+        ring_rehydrate_secs: scan_number(json, "ring_rehydrate_secs"),
     }
 }
 
@@ -132,6 +151,8 @@ const PROBE_HEAP_GROWTH_FLOOR: f64 = 6.0; // < 6x for 4x nodes is comfortably su
 const WAL_OVERHEAD_FLOOR_PCT: f64 = 5.0; // the durability contract is < 5% at full scale
 const EPOCH_RATIO_FLOOR: f64 = 8.0; // >= 8x under dense is the sub-quadratic bar at n = 2048
 const EPOCH_RECONSTRUCT_FLOOR_SECS: f64 = 2e-3; // sub-2ms time-travel reads are in-noise
+const CHECKPOINT_GROWTH_FLOOR: f64 = 1.9; // the durability contract is < 2x at full scale
+const RING_REHYDRATE_FLOOR_SECS: f64 = 5e-1; // a reopen-minus-reopen diff: sub-500ms is in-noise
 
 /// Compares `current` against `committed` with a tolerance given in
 /// percent of allowed drift (e.g. `200` ⇒ up to 3× worse passes).
@@ -236,6 +257,18 @@ pub fn compare(
         current.epoch_reconstruct_secs,
         committed.epoch_reconstruct_secs,
         EPOCH_RECONSTRUCT_FLOOR_SECS,
+    );
+    lower_better(
+        "checkpoint_growth",
+        current.checkpoint_growth,
+        committed.checkpoint_growth,
+        CHECKPOINT_GROWTH_FLOOR,
+    );
+    lower_better(
+        "ring_rehydrate_secs",
+        current.ring_rehydrate_secs,
+        committed.ring_rehydrate_secs,
+        RING_REHYDRATE_FLOOR_SECS,
     );
     out
 }
@@ -442,6 +475,42 @@ mod tests {
         let m = parse_metrics(json);
         assert_eq!(m.epoch_retained_ratio, Some(131.4));
         assert!((m.epoch_reconstruct_secs.unwrap() - 2.7e-4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn epoch_recovery_metrics_gate_like_their_siblings() {
+        let committed = SnapshotMetrics {
+            checkpoint_growth: Some(1.03),
+            ring_rehydrate_secs: Some(2e-2),
+            ..Default::default()
+        };
+        // Growth still inside the < 2x durability contract and an
+        // in-noise rehydrate pass whatever the ratio to the committed
+        // full-scale run.
+        let healthy = SnapshotMetrics {
+            checkpoint_growth: Some(1.8),    // under the 1.9x floor
+            ring_rehydrate_secs: Some(4e-1), // under the 500ms floor
+            ..Default::default()
+        };
+        assert!(compare(&healthy, &committed, 200.0).is_empty());
+        // A round whose ring went dense and a genuinely slow rehydrate
+        // both fail.
+        let bad = SnapshotMetrics {
+            checkpoint_growth: Some(4.5),
+            ring_rehydrate_secs: Some(2.0),
+            ..Default::default()
+        };
+        let regs = compare(&bad, &committed, 200.0);
+        let names: Vec<&str> = regs.iter().map(|r| r.metric).collect();
+        assert!(names.contains(&"checkpoint_growth"), "{names:?}");
+        assert!(names.contains(&"ring_rehydrate_secs"), "{names:?}");
+        // Parsing picks the recovery keys out of a v8 snapshot body.
+        let json = r#"{
+  "epoch_recovery": { "checkpoint_growth": 1.0412, "ring_rehydrate_secs": 1.8e-2 }
+}"#;
+        let m = parse_metrics(json);
+        assert_eq!(m.checkpoint_growth, Some(1.0412));
+        assert!((m.ring_rehydrate_secs.unwrap() - 1.8e-2).abs() < 1e-12);
     }
 
     #[test]

@@ -8,7 +8,8 @@
 
 use crate::harness::{bench_scale, measure_per_update};
 use incsim::api::{ApplyPolicy, EngineKind, SimRank, SimRankBuilder};
-use incsim::serve::{drive_load, ConcurrentSimRank, LoadOptions, ShardedSimRank};
+use incsim::serve::{drive_load, ConcurrentSimRank, HistoryStatus, LoadOptions, ShardedSimRank};
+use incsim::wal::{frame_kinds, FrameKind, FRAME_HEADER};
 use incsim_core::{
     batch_simrank, ApplyMode, GraphSink, IncUSr, MatrixAccess, ProbeOptions, SimRankConfig,
 };
@@ -1049,6 +1050,229 @@ pub fn measure_epoch_ring(
     }
 }
 
+/// Durability cost of the *persistent* epoch ring: what the v2
+/// checkpoint round (head image + epoch-ring frames on the same log)
+/// costs on disk, and what rehydrating the ring adds to crash recovery.
+#[derive(Debug, Clone)]
+pub struct EpochRecoverySnapshot {
+    /// Node count of the workload graph.
+    pub n: usize,
+    /// Iterations `K`.
+    pub k_iters: usize,
+    /// Ring capacity (`SimRankBuilder::retain_epochs`).
+    pub retain: usize,
+    /// Epochs published over the run.
+    pub publishes: usize,
+    /// Unit updates applied between consecutive publishes.
+    pub ops_per_epoch: usize,
+    /// Pre-crash epochs addressable again after the reopen
+    /// ([`HistoryStatus::Recovered`]'s count: ring entries plus the
+    /// persisted head).
+    pub restored_epochs: usize,
+    /// Bytes of the checkpoint frames in the final round — the head-only
+    /// image a v1 log would have written.
+    pub head_image_bytes: usize,
+    /// Bytes of the epoch-delta + meta frames riding that round — the
+    /// price of making history durable.
+    pub ring_round_bytes: usize,
+    /// `head_image_bytes + ring_round_bytes`: the full v2 round.
+    pub checkpoint_bytes: usize,
+    /// `checkpoint_bytes / head_image_bytes`. The head image is a dense
+    /// `n²` snapshot while the ring holds factor deltas, so the contract
+    /// is < 2× at full scale (asserted at `n ≥ 1024` inside the
+    /// measurement).
+    pub checkpoint_growth: f64,
+    /// Seconds for a head-only reopen of the same log
+    /// (`retain_epochs(1)`) — the recovery baseline.
+    pub head_recover_secs: f64,
+    /// Seconds for the retained reopen (`retain_epochs(retain)`), ring
+    /// rehydration included.
+    pub ring_recover_secs: f64,
+    /// `ring_recover_secs − head_recover_secs`, clamped at 0: the ring's
+    /// attributable share of recovery (scan + anchor decode + splice).
+    pub ring_rehydrate_secs: f64,
+    /// Max |`pair_at` on a restored epoch − value recorded live at
+    /// publish time| across all restored epochs. Exactness: must be
+    /// ≤ 1e-12 at any scale (asserted inside the measurement).
+    pub recovered_drift: f64,
+}
+
+/// Drives a durable retain-`retain` run whose checkpoint cadence fires
+/// once, late in the stream (so exactly one full v2 round — head image
+/// plus a *full* ring — lands at the log tail), then accounts the round
+/// byte-by-byte from the frame classes and times a paired reopen:
+/// head-only (`retain_epochs(1)`) vs retained, the difference being the
+/// ring-rehydrate cost. Every restored epoch is replayed through
+/// `pair_at` and checked against the trajectory recorded at publish
+/// time; drift beyond 1e-12 fails the measurement at any scale, and the
+/// < 2× growth contract over the head-only image is asserted once
+/// `n ≥ 1024` (at toy sizes the dense head image is small enough that
+/// the ring's fixed framing overhead distorts the ratio).
+pub fn measure_epoch_recovery(
+    n: usize,
+    k_iters: usize,
+    retain: usize,
+    cap: usize,
+) -> EpochRecoverySnapshot {
+    assert!(retain >= 2, "a ring of one epoch persists no history");
+    let g = snapshot_graph(n);
+    let cfg = SimRankConfig::new(0.6, k_iters).expect("valid config");
+    let s0 = batch_simrank(&g, &cfg);
+    let publishes = retain + 2;
+    let ops_per_epoch = cap.div_ceil(publishes).max(1);
+    let total = publishes * ops_per_epoch;
+    let mut rng = StdRng::seed_from_u64(0xD05E);
+    let stream = random_insertions(&g, total, &mut rng);
+
+    let path = std::env::temp_dir().join(format!("incsim_bench_ring_{}.wal", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    // One cadence checkpoint, after the ring has filled: `total - 1` ops
+    // in means the v2 round at the tail carries `retain - 1` deltas, not
+    // an early part-full ring.
+    let durable = |retain_epochs: usize| {
+        SimRankBuilder::new()
+            .algorithm(EngineKind::IncUSr)
+            .mode(ApplyPolicy::Fused)
+            .config(cfg)
+            .retain_epochs(retain_epochs)
+            .checkpoint_every((total as u64).saturating_sub(1).max(1))
+            .wal(&path)
+    };
+
+    let sharded = ShardedSimRank::with_scores(durable(retain), g.clone(), s0.clone())
+        .expect("durable router builds");
+    let mut srv = ConcurrentSimRank::new(sharded);
+
+    let samples = 64usize;
+    let pairs: Vec<(u32, u32)> = (0..samples)
+        .map(|t| (((t * 131) % n) as u32, ((t * 197 + 13) % n) as u32))
+        .collect();
+    let mut recorded: Vec<(u64, Vec<f64>)> = Vec::with_capacity(publishes);
+    for chunk in stream.chunks(ops_per_epoch) {
+        srv.update_batch(chunk).expect("stream valid");
+        let seq = srv.publish();
+        let reader = srv.reader();
+        let live: Vec<f64> = pairs.iter().map(|&(a, b)| reader.pair(a, b)).collect();
+        recorded.push((seq, live));
+    }
+    drop(srv);
+
+    // Byte accounting of the final v2 round, walked backwards from the
+    // newest meta trailer: [checkpoint…][epoch-delta…][epoch-meta] are
+    // appended contiguously by the cadence write.
+    let bytes = std::fs::read(&path).expect("log readable after the run");
+    let kinds = frame_kinds(&bytes);
+    let frame_len = |off: usize| {
+        let len = u32::from_le_bytes(bytes[off..off + 4].try_into().expect("frame header"));
+        FRAME_HEADER + len as usize
+    };
+    let last_meta = kinds
+        .iter()
+        .rposition(|&(_, k)| k == FrameKind::EpochMeta)
+        .expect("a durable retained run persists an epoch-ring round");
+    let mut ring_round_bytes = frame_len(kinds[last_meta].0);
+    let mut i = last_meta;
+    while i > 0 && kinds[i - 1].1 == FrameKind::EpochDelta {
+        i -= 1;
+        ring_round_bytes += frame_len(kinds[i].0);
+    }
+    let mut head_image_bytes = 0usize;
+    while i > 0 && kinds[i - 1].1 == FrameKind::Checkpoint {
+        i -= 1;
+        head_image_bytes += frame_len(kinds[i].0);
+    }
+    assert!(
+        head_image_bytes > 0,
+        "the epoch-ring round must ride a checkpoint round"
+    );
+    let checkpoint_bytes = head_image_bytes + ring_round_bytes;
+    let checkpoint_growth = checkpoint_bytes as f64 / head_image_bytes as f64;
+    if n >= 1024 {
+        assert!(
+            checkpoint_growth < 2.0,
+            "v2 checkpoint round ({checkpoint_bytes} B) must stay under 2x the head-only \
+             image ({head_image_bytes} B) at n = {n}"
+        );
+    }
+
+    // Paired reopen: same log, same recovery replay — the only delta is
+    // the ring scan + anchor decode + splice the retained side performs.
+    // The first reopen after a run pays one-time costs (allocator growth
+    // for the n² images, cold code paths) that can exceed the ring work
+    // itself, so warm up with an untimed reopen before the timed pair.
+    drop(ConcurrentSimRank::new(
+        ShardedSimRank::with_scores(durable(1), g.clone(), s0.clone())
+            .expect("warm-up recovery succeeds"),
+    ));
+    let t = Instant::now();
+    let head_only = ConcurrentSimRank::new(
+        ShardedSimRank::with_scores(durable(1), g.clone(), s0.clone())
+            .expect("head-only recovery succeeds"),
+    );
+    let head_recover_secs = t.elapsed().as_secs_f64();
+    drop(head_only);
+    let t = Instant::now();
+    let revived = ConcurrentSimRank::new(
+        ShardedSimRank::with_scores(durable(retain), g, s0).expect("ring recovery succeeds"),
+    );
+    let ring_recover_secs = t.elapsed().as_secs_f64();
+    let restored_epochs = match revived.history_status() {
+        HistoryStatus::Recovered { epochs } => epochs,
+        other => panic!("durable retained log must rehydrate its ring, got {other:?}"),
+    };
+
+    // Every restored epoch must answer exactly as it did live. The new
+    // incarnation's head is numbered past the ring and holds the full
+    // durable op prefix — not any pre-crash publish — so it is excluded.
+    let head_seq = revived.epoch_seq();
+    let mut drift = 0.0f64;
+    let mut checked = 0usize;
+    for info in revived.epochs() {
+        if info.seq == head_seq {
+            continue;
+        }
+        let (_, live) = recorded
+            .iter()
+            .find(|(seq, _)| *seq == info.seq)
+            .expect("every restored epoch was recorded at publish time");
+        for (idx, &(a, b)) in pairs.iter().enumerate() {
+            let then = revived.pair_at(a, b, info.seq).expect("epoch restored");
+            drift = drift.max((then - live[idx]).abs());
+        }
+        checked += 1;
+    }
+    // The rehydrated entries sit behind the *new* head, so the ring's
+    // `retain - 1` capacity can evict the oldest restored epoch on the
+    // spot — everything else must be addressable.
+    assert_eq!(
+        checked,
+        restored_epochs.min(retain - 1),
+        "rehydrated ring entries inside capacity must be addressable"
+    );
+    assert!(
+        drift <= 1e-12,
+        "restored epochs drifted {drift:.2e} from the pre-crash trajectory (tolerance 1e-12)"
+    );
+    let _ = std::fs::remove_file(&path);
+
+    EpochRecoverySnapshot {
+        n,
+        k_iters,
+        retain,
+        publishes,
+        ops_per_epoch,
+        restored_epochs,
+        head_image_bytes,
+        ring_round_bytes,
+        checkpoint_bytes,
+        checkpoint_growth,
+        head_recover_secs,
+        ring_recover_secs,
+        ring_rehydrate_secs: (ring_recover_secs - head_recover_secs).max(0.0),
+        recovered_drift: drift,
+    }
+}
+
 /// One measurement of every case, borrowed together for [`snapshot_json`].
 pub struct SnapshotCases<'a> {
     /// The `apply_modes` case.
@@ -1067,6 +1291,8 @@ pub struct SnapshotCases<'a> {
     pub wal: &'a WalOverheadSnapshot,
     /// The `epoch_ring` case.
     pub epoch: &'a EpochRingSnapshot,
+    /// The `epoch_recovery` case.
+    pub recovery: &'a EpochRecoverySnapshot,
 }
 
 /// Renders the full snapshot as pretty-printed JSON.
@@ -1080,10 +1306,11 @@ pub fn snapshot_json(cases: &SnapshotCases<'_>) -> String {
         probe,
         wal,
         epoch,
+        recovery,
     } = cases;
     format!(
         r#"{{
-  "schema": "incsim-bench-snapshot-v7",
+  "schema": "incsim-bench-snapshot-v8",
   "bench_scale": {scale},
   "apply_modes": {{
     "n": {n},
@@ -1183,6 +1410,22 @@ pub fn snapshot_json(cases: &SnapshotCases<'_>) -> String {
     "dense_equivalent_bytes": {edb},
     "retained_ratio": {ert:.3},
     "oldest_epoch_drift": {eod:.3e}
+  }},
+  "epoch_recovery": {{
+    "n": {vn},
+    "k_iters": {vk},
+    "retain": {vr},
+    "publishes": {vp},
+    "ops_per_epoch": {vo},
+    "restored_epochs": {vre},
+    "head_image_bytes": {vhb},
+    "ring_round_bytes": {vrb},
+    "checkpoint_bytes": {vcb},
+    "checkpoint_growth": {vcg:.4},
+    "head_recover_secs": {vhs:.6e},
+    "ring_recover_secs": {vrs:.6e},
+    "ring_rehydrate_secs": {vrh:.6e},
+    "recovered_drift": {vrd:.3e}
   }}
 }}
 "#,
@@ -1270,6 +1513,20 @@ pub fn snapshot_json(cases: &SnapshotCases<'_>) -> String {
         edb = epoch.dense_equivalent_bytes,
         ert = epoch.retained_ratio,
         eod = epoch.oldest_epoch_drift,
+        vn = recovery.n,
+        vk = recovery.k_iters,
+        vr = recovery.retain,
+        vp = recovery.publishes,
+        vo = recovery.ops_per_epoch,
+        vre = recovery.restored_epochs,
+        vhb = recovery.head_image_bytes,
+        vrb = recovery.ring_round_bytes,
+        vcb = recovery.checkpoint_bytes,
+        vcg = recovery.checkpoint_growth,
+        vhs = recovery.head_recover_secs,
+        vrs = recovery.ring_recover_secs,
+        vrh = recovery.ring_rehydrate_secs,
+        vrd = recovery.recovered_drift,
     )
 }
 
@@ -1349,6 +1606,25 @@ mod tests {
             epoch.dense_equivalent_bytes
         );
         assert!(epoch.publish_secs > 0.0 && epoch.reconstruct_pair_secs > 0.0);
+        // The trajectory gate (restored epochs match their publish-time
+        // recordings to 1e-12) is asserted inside the measure; the < 2x
+        // growth gate arms at n >= 1024. Here: the reopen must actually
+        // rehydrate history, and the round must carry real ring bytes.
+        let recovery = measure_epoch_recovery(96, 4, 4, 8);
+        assert_eq!(recovery.retain, 4);
+        assert!(
+            recovery.restored_epochs >= 2,
+            "retained reopen restored only {} epoch(s)",
+            recovery.restored_epochs
+        );
+        assert!(recovery.head_image_bytes > 0 && recovery.ring_round_bytes > 0);
+        assert_eq!(
+            recovery.checkpoint_bytes,
+            recovery.head_image_bytes + recovery.ring_round_bytes
+        );
+        assert!(recovery.checkpoint_growth >= 1.0);
+        assert!(recovery.recovered_drift <= 1e-12);
+        assert!(recovery.ring_rehydrate_secs >= 0.0);
         let json = snapshot_json(&SnapshotCases {
             modes: &modes,
             micro: &micro,
@@ -1358,8 +1634,9 @@ mod tests {
             probe: &probe,
             wal: &wal,
             epoch: &epoch,
+            recovery: &recovery,
         });
-        assert!(json.contains("\"schema\": \"incsim-bench-snapshot-v7\""));
+        assert!(json.contains("\"schema\": \"incsim-bench-snapshot-v8\""));
         assert!(json.contains("fused_speedup"));
         assert!(json.contains("service_overhead"));
         assert!(json.contains("concurrent_throughput"));
@@ -1372,6 +1649,9 @@ mod tests {
         assert!(json.contains("wal_overhead_pct"));
         assert!(json.contains("epoch_ring"));
         assert!(json.contains("retained_ratio"));
+        assert!(json.contains("epoch_recovery"));
+        assert!(json.contains("checkpoint_growth"));
+        assert!(json.contains("ring_rehydrate_secs"));
         // Balanced braces — cheap structural sanity for the hand-rolled JSON.
         assert_eq!(
             json.matches('{').count(),

@@ -7,6 +7,7 @@
 //! `INCSIM01`), written with `std::io` only.
 
 use crate::{ConfigError, SimRankConfig, SimRankMaintainer};
+use incsim_codec::{write_f64, write_u64, CountingReader, StreamError};
 use incsim_graph::DiGraph;
 use incsim_linalg::DenseMatrix;
 use std::io::{self, Read, Write};
@@ -73,59 +74,28 @@ pub struct Snapshot {
     pub config: SimRankConfig,
 }
 
-fn write_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
-    w.write_all(&v.to_le_bytes())
+/// Maps a codec stream failure onto the snapshot error vocabulary.
+/// Truncation is reported as `Corrupt`, not `Io`: a short file is a
+/// structural defect of the snapshot, not a transport failure of the
+/// reader (the [`CountingReader`] pins the byte offset for us).
+fn stream_err(e: StreamError) -> SnapshotError {
+    match e {
+        StreamError::Io(e) => SnapshotError::Io(e),
+        StreamError::Truncated { offset } => SnapshotError::Corrupt {
+            offset,
+            detail: "unexpected end of snapshot",
+        },
+    }
 }
 
-fn write_f64<W: Write>(w: &mut W, v: f64) -> io::Result<()> {
-    w.write_all(&v.to_le_bytes())
-}
-
-/// A reader that tracks its byte offset, so every decode failure can be
-/// pinned to the position it happened at ([`SnapshotError::Corrupt`]).
-/// Truncation (`UnexpectedEof`) is reported as `Corrupt`, not `Io`: a
-/// short file is a structural defect of the snapshot, not a transport
-/// failure of the reader.
-struct CountingReader<R> {
-    inner: R,
-    offset: u64,
-}
-
-impl<R: Read> CountingReader<R> {
-    fn new(inner: R) -> Self {
-        CountingReader { inner, offset: 0 }
-    }
-
-    fn corrupt(&self, detail: &'static str) -> SnapshotError {
-        SnapshotError::Corrupt {
-            offset: self.offset,
-            detail,
-        }
-    }
-
-    fn fill(&mut self, buf: &mut [u8]) -> Result<(), SnapshotError> {
-        match self.inner.read_exact(buf) {
-            Ok(()) => {
-                self.offset += buf.len() as u64;
-                Ok(())
-            }
-            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
-                Err(self.corrupt("unexpected end of snapshot"))
-            }
-            Err(e) => Err(SnapshotError::Io(e)),
-        }
-    }
-
-    fn read_u64(&mut self) -> Result<u64, SnapshotError> {
-        let mut buf = [0u8; 8];
-        self.fill(&mut buf)?;
-        Ok(u64::from_le_bytes(buf))
-    }
-
-    fn read_f64(&mut self) -> Result<f64, SnapshotError> {
-        let mut buf = [0u8; 8];
-        self.fill(&mut buf)?;
-        Ok(f64::from_le_bytes(buf))
+/// A [`SnapshotError::Corrupt`] at the reader's current offset.
+fn corrupt<R>(r: &CountingReader<R>, detail: &'static str) -> SnapshotError
+where
+    R: Read,
+{
+    SnapshotError::Corrupt {
+        offset: r.offset(),
+        detail,
     }
 }
 
@@ -171,42 +141,42 @@ pub fn save<W: Write>(
 pub fn load<R: Read>(r: R) -> Result<Snapshot, SnapshotError> {
     let mut r = CountingReader::new(r);
     let mut magic = [0u8; 8];
-    r.fill(&mut magic)?;
+    r.fill(&mut magic).map_err(stream_err)?;
     if &magic != MAGIC {
         return Err(SnapshotError::BadMagic);
     }
-    let c = r.read_f64()?;
-    let iterations = r.read_u64()? as usize;
-    let zero_tol = r.read_f64()?;
+    let c = r.read_f64().map_err(stream_err)?;
+    let iterations = r.read_u64().map_err(stream_err)? as usize;
+    let zero_tol = r.read_f64().map_err(stream_err)?;
     let config = SimRankConfig::new(c, iterations)
         .map_err(SnapshotError::BadConfig)?
         .with_zero_tol(zero_tol);
 
-    let n64 = r.read_u64()?;
+    let n64 = r.read_u64().map_err(stream_err)?;
     if n64 > u32::MAX as u64 {
-        return Err(r.corrupt("node count exceeds u32"));
+        return Err(corrupt(&r, "node count exceeds u32"));
     }
     let n = n64 as usize;
     let cells = n
         .checked_mul(n)
-        .ok_or_else(|| r.corrupt("node count overflows score matrix size"))?;
-    let m64 = r.read_u64()?;
+        .ok_or_else(|| corrupt(&r, "node count overflows score matrix size"))?;
+    let m64 = r.read_u64().map_err(stream_err)?;
     // A simple digraph without self-loops holds at most n·(n-1) edges;
     // bounding by n² is enough to reject declared counts that could
     // only come from corruption (and would drive a huge read loop).
     if m64 > cells as u64 {
-        return Err(r.corrupt("edge count exceeds n^2"));
+        return Err(corrupt(&r, "edge count exceeds n^2"));
     }
     let m = m64 as usize;
     let mut graph = DiGraph::new(n);
     for _ in 0..m {
-        let packed = r.read_u64()?;
+        let packed = r.read_u64().map_err(stream_err)?;
         let (u, v) = ((packed >> 32) as u32, (packed & 0xFFFF_FFFF) as u32);
         graph
             .insert_edge(u, v)
             .map_err(|_| SnapshotError::Corrupt {
                 // The offending record is the 8 bytes just consumed.
-                offset: r.offset - 8,
+                offset: r.offset() - 8,
                 detail: "invalid or duplicate edge",
             })?;
     }
@@ -218,11 +188,11 @@ pub fn load<R: Read>(r: R) -> Result<Snapshot, SnapshotError> {
     while data.len() < cells {
         let want = CHUNK.min(cells - data.len());
         data.try_reserve(want).map_err(|_| SnapshotError::Corrupt {
-            offset: r.offset,
+            offset: r.offset(),
             detail: "score matrix too large to allocate",
         })?;
         for _ in 0..want {
-            data.push(r.read_f64()?);
+            data.push(r.read_f64().map_err(stream_err)?);
         }
     }
     Ok(Snapshot {

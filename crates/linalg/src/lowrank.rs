@@ -52,6 +52,7 @@ use crate::dense::DenseMatrix;
 use crate::qr::{qr_thin, qrcp_range};
 use crate::svd::sym_eigen;
 use crate::vecops;
+use incsim_codec as codec;
 
 /// Rows per cache tile of the fused apply: factor columns are re-read once
 /// per tile instead of once per row, while a tile of `S` rows streams
@@ -614,6 +615,40 @@ impl LowRankDelta {
         (delta, dropped)
     }
 
+    /// Appends every factor pair of `other` **as-is** (`Δ ← Δ + Δ_other`),
+    /// zero-padding factors when `other` has a smaller dimension — the
+    /// composition step of crash recovery, which splices a persisted
+    /// head→checkpoint delta together with the checkpoint→live replay
+    /// suffix into one head→live delta.
+    ///
+    /// # Panics
+    /// Panics if `other` has a larger dimension than `self`.
+    pub fn extend(&mut self, other: &LowRankDelta) {
+        assert!(
+            other.dim <= self.dim,
+            "extend: other dim {} exceeds {}",
+            other.dim,
+            self.dim
+        );
+        for pair in &other.pairs {
+            match pair {
+                FactorPair::Dense { xi, eta } => {
+                    let mut nx = vec![0.0; self.dim];
+                    nx[..xi.len()].copy_from_slice(xi);
+                    let mut ne = vec![0.0; self.dim];
+                    ne[..eta.len()].copy_from_slice(eta);
+                    self.pairs.push(FactorPair::Dense { xi: nx, eta: ne });
+                }
+                FactorPair::Sparse { xi, eta } => {
+                    self.pairs.push(FactorPair::Sparse {
+                        xi: xi.clone(),
+                        eta: eta.clone(),
+                    });
+                }
+            }
+        }
+    }
+
     /// Appends every factor pair of `other` **negated**
     /// (`Δ ← Δ − Δ_other`), zero-padding factors when `other` has a
     /// smaller dimension — the stacking step of epoch reconstruction,
@@ -648,6 +683,141 @@ impl LowRankDelta {
                 }
             }
         }
+    }
+
+    // -- serialization ------------------------------------------------
+
+    /// Wire version written by [`LowRankDelta::encode_into`] and accepted
+    /// by [`LowRankDelta::decode`].
+    pub const WIRE_VERSION: u8 = 1;
+
+    /// Appends the buffer's wire form to `out`:
+    ///
+    /// ```text
+    /// [version u8 = 1][dim uvarint][pair_count uvarint]
+    /// per pair: [kind u8]           0 = dense, 1 = sparse
+    ///   dense:  ξ f64×dim LE, η f64×dim LE
+    ///   sparse: per factor column: [nnz uvarint] then nnz × ([index uvarint][value f64 LE])
+    /// ```
+    ///
+    /// Encoding is a pure function of the stored factors — no
+    /// timestamps, no map iteration, no re-normalisation — so
+    /// `encode ∘ decode ∘ encode` is byte-identical. That determinism is
+    /// what lets checkpointed epoch deltas be compared and deduplicated
+    /// by hash across replicas.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        codec::put_u8(out, Self::WIRE_VERSION);
+        codec::put_uvarint(out, self.dim as u64);
+        codec::put_uvarint(out, self.pairs.len() as u64);
+        for pair in &self.pairs {
+            match pair {
+                FactorPair::Dense { xi, eta } => {
+                    codec::put_u8(out, 0);
+                    for &v in xi {
+                        codec::put_f64(out, v);
+                    }
+                    for &v in eta {
+                        codec::put_f64(out, v);
+                    }
+                }
+                FactorPair::Sparse { xi, eta } => {
+                    codec::put_u8(out, 1);
+                    for col in [xi, eta] {
+                        codec::put_uvarint(out, col.len() as u64);
+                        for &(i, v) in col {
+                            codec::put_uvarint(out, u64::from(i));
+                            codec::put_f64(out, v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// [`LowRankDelta::encode_into`] into a fresh buffer.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Decodes exactly one buffer from `c`, leaving the cursor on the
+    /// byte after it (so several deltas can ride one record). `None` on
+    /// any structural defect: unknown version or pair kind, truncation,
+    /// an out-of-range or non-ascending sparse index. The reconstructed
+    /// pairs are byte-for-byte what was encoded — dense stays dense,
+    /// sparse keeps its exact support, values keep their IEEE-754 bits.
+    pub fn decode_from(c: &mut codec::Cursor<'_>) -> Option<Self> {
+        if c.u8()? != Self::WIRE_VERSION {
+            return None;
+        }
+        let dim = usize::try_from(c.uvarint()?).ok()?;
+        if u32::try_from(dim).is_err() {
+            return None;
+        }
+        let count = c.uvarint()?;
+        // Every pair costs at least one kind byte: a count larger than
+        // the remaining payload cannot be honest, so reject it before
+        // reserving anything.
+        if count > c.remaining() as u64 {
+            return None;
+        }
+        let mut pairs = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            match c.u8()? {
+                0 => {
+                    // 2·dim f64s must still be present before the dense
+                    // buffers are allocated.
+                    if c.remaining() < dim.checked_mul(16)? {
+                        return None;
+                    }
+                    let mut xi = vec![0.0; dim];
+                    for v in &mut xi {
+                        *v = c.f64()?;
+                    }
+                    let mut eta = vec![0.0; dim];
+                    for v in &mut eta {
+                        *v = c.f64()?;
+                    }
+                    pairs.push(FactorPair::Dense { xi, eta });
+                }
+                1 => {
+                    let mut cols = [Vec::new(), Vec::new()];
+                    for col in &mut cols {
+                        let nnz = usize::try_from(c.uvarint()?).ok()?;
+                        // Each entry is ≥ 9 bytes (index varint + value).
+                        if nnz > dim || nnz > c.remaining() / 9 {
+                            return None;
+                        }
+                        let mut entries = Vec::with_capacity(nnz);
+                        let mut prev: Option<u32> = None;
+                        for _ in 0..nnz {
+                            let idx = u32::try_from(c.uvarint()?).ok()?;
+                            if idx as usize >= dim || prev.is_some_and(|p| idx <= p) {
+                                return None;
+                            }
+                            prev = Some(idx);
+                            entries.push((idx, c.f64()?));
+                        }
+                        *col = entries;
+                    }
+                    let [xi, eta] = cols;
+                    pairs.push(FactorPair::Sparse { xi, eta });
+                }
+                _ => return None,
+            }
+        }
+        Some(LowRankDelta { dim, pairs })
+    }
+
+    /// Decodes a buffer that must span `bytes` exactly (trailing bytes
+    /// are a defect, same policy as the WAL payload decoders).
+    #[must_use]
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        let mut c = codec::Cursor::new(bytes);
+        let delta = Self::decode_from(&mut c)?;
+        c.at_end().then_some(delta)
     }
 }
 
@@ -1561,5 +1731,93 @@ mod tests {
     fn push_sparse_rejects_out_of_range() {
         let mut delta = LowRankDelta::new(4);
         delta.push_sparse(vec![(4, 1.0)], vec![]);
+    }
+
+    /// Lazy reads of a decoded buffer must match the original exactly on
+    /// every entry — the wire form preserves IEEE-754 bits.
+    fn assert_bit_identical(a: &LowRankDelta, b: &LowRankDelta) {
+        assert_eq!(a.dim(), b.dim());
+        assert_eq!(a.pending_pairs(), b.pending_pairs());
+        for r in 0..a.dim() {
+            for c in 0..a.dim() {
+                assert_eq!(
+                    a.pair_delta(r, c).to_bits(),
+                    b.pair_delta(r, c).to_bits(),
+                    "entry ({r},{c})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn encode_round_trips_mixed_pairs() {
+        let mut delta = LowRankDelta::new(5);
+        let (xi, eta) = dense_pair(5, 11);
+        delta.push_dense(xi, eta);
+        delta.push_sparse(vec![(0, 0.25), (3, -1.5)], vec![(2, 4.0)]);
+        delta.push_sparse(vec![], vec![(4, -0.0)]); // empty + signed-zero columns
+        let bytes = delta.encode();
+        let back = LowRankDelta::decode(&bytes).expect("round trip");
+        assert_bit_identical(&delta, &back);
+        // Determinism: a second encode of the decoded buffer is
+        // byte-identical to the first.
+        assert_eq!(back.encode(), bytes);
+    }
+
+    #[test]
+    fn encode_round_trips_empty_and_post_recompress() {
+        let empty = LowRankDelta::new(7);
+        let bytes = empty.encode();
+        let back = LowRankDelta::decode(&bytes).expect("empty round trip");
+        assert!(back.is_empty());
+        assert_eq!(back.dim(), 7);
+        assert_eq!(back.encode(), bytes);
+
+        let mut delta = low_rank_stream(12, 9, 3);
+        delta.recompress(1e-12);
+        let bytes = delta.encode();
+        let back = LowRankDelta::decode(&bytes).expect("recompressed round trip");
+        assert_bit_identical(&delta, &back);
+        assert_eq!(back.encode(), bytes);
+    }
+
+    #[test]
+    fn decode_from_leaves_cursor_after_one_buffer() {
+        let mut delta = LowRankDelta::new(3);
+        delta.push_sparse(vec![(1, 2.0)], vec![(0, 1.0), (2, 3.0)]);
+        let mut bytes = delta.encode();
+        bytes.extend_from_slice(b"tail");
+        let mut c = incsim_codec::Cursor::new(&bytes);
+        let back = LowRankDelta::decode_from(&mut c).expect("embedded decode");
+        assert_bit_identical(&delta, &back);
+        assert_eq!(c.remaining(), 4);
+        // The strict decoder rejects the same trailing bytes.
+        assert!(LowRankDelta::decode(&bytes).is_none());
+    }
+
+    #[test]
+    fn decode_rejects_structural_defects() {
+        let mut delta = LowRankDelta::new(4);
+        delta.push_sparse(vec![(1, 1.0), (3, 2.0)], vec![(0, -1.0)]);
+        let good = delta.encode();
+        // Truncation at every prefix length fails cleanly.
+        for cut in 0..good.len() {
+            assert!(LowRankDelta::decode(&good[..cut]).is_none(), "cut {cut}");
+        }
+        // Unknown wire version.
+        let mut bad = good.clone();
+        bad[0] = 9;
+        assert!(LowRankDelta::decode(&bad).is_none());
+        // Unknown pair kind (byte after version + dim + count varints).
+        let mut bad = good.clone();
+        bad[3] = 7;
+        assert!(LowRankDelta::decode(&bad).is_none());
+        // A dense pair whose promised dim outruns the payload.
+        let mut hostile = Vec::new();
+        incsim_codec::put_u8(&mut hostile, LowRankDelta::WIRE_VERSION);
+        incsim_codec::put_uvarint(&mut hostile, u64::from(u32::MAX));
+        incsim_codec::put_uvarint(&mut hostile, 1);
+        incsim_codec::put_u8(&mut hostile, 0);
+        assert!(LowRankDelta::decode(&hostile).is_none());
     }
 }

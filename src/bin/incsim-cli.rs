@@ -24,7 +24,7 @@ use incsim::datagen::er::erdos_renyi;
 use incsim::datagen::linkage::{linkage_model, LinkageParams};
 use incsim::datagen::rmat::{rmat, RmatParams};
 use incsim::graph::io::{parse_edge_list, write_edge_list};
-use incsim::graph::UpdateOp;
+use incsim::graph::{DiGraph, UpdateOp};
 use incsim::metrics::top_k_pairs;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -68,20 +68,25 @@ commands:
              [--wal FILE] [--checkpoint-every N]
              [--algorithm incsr|incusr|incsvd|naive|probe] [--mode auto|eager|fused|lazy]
              [--compress-at-rank R] [--compress-tol T]
-  epochs     drive an update stream and list the retained epoch ring
-             --state STATE --ops FILE [--retain-epochs E] [--publish-every P]
-             [--shards N] [--algorithm incsr|incusr|incsvd|naive|probe]
+             (--wal with --retain-epochs > 1 restores the epoch ring on restart)
+  epochs     list the retained epoch ring (driven or recovered)
+             (--state STATE --ops FILE | --wal FILE) [--retain-epochs E]
+             [--publish-every P] [--shards N]
+             [--algorithm incsr|incusr|incsvd|naive|probe]
              [--mode auto|eager|fused|lazy]
   diff       top score movers between two retained epochs (time-travel diff)
-             --state STATE --ops FILE [--e1 SEQ] [--e2 SEQ] [-k 10]
-             [--retain-epochs E] [--publish-every P] [--shards N]
+             (--state STATE --ops FILE | --wal FILE) [--e1 SEQ] [--e2 SEQ]
+             [-k 10] [--retain-epochs E] [--publish-every P] [--shards N]
              [--algorithm incsr|incusr|incsvd|naive] [--mode auto|eager|fused|lazy]
   recover    rebuild a state file from a write-ahead log (checkpoint + replay)
-             --wal FILE -o STATE [--shard N]
+             --wal FILE -o STATE [--shard N] [--retain-epochs E]
              [--algorithm incsr|incusr|incsvd|naive] [--mode auto|eager|fused|lazy]
+             (--retain-epochs > 1 additionally reports the persisted epoch ring)
   wal-fault  damage a copy of a write-ahead log (fault-injection harness)
              --wal FILE -o FILE --fault torn|flip|crc|short|random
+             [--kind op|checkpoint|epoch|epoch-delta|epoch-meta [--index N]]
              [--at BYTE] [--bit B] [--frame N] [--len N] [--seed S]
+             (--kind aims the fault at the Nth frame of that record class)
   info       describe a state file
              --state STATE";
 
@@ -487,6 +492,9 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         );
     }
     let mut serving = incsim::serve::ConcurrentSimRank::new(sharded);
+    if wal_path.is_some() && retain > 1 {
+        println!("epoch history: {}", history_line(serving.history_status()));
+    }
     println!(
         "serving n = {n} via {} across {} shard(s); {readers} reader thread(s), \
          writer batches of {batch}, publish every {publish_every} batch(es)",
@@ -538,11 +546,57 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-/// Shared driver for the temporal commands: loads a state, applies the
-/// ops file in `--publish-every` sized published chunks against a
-/// retention-enabled serving handle, and returns it with the ring
-/// populated.
+/// One human-readable line for a recovered handle's history status.
+fn history_line(status: incsim::serve::HistoryStatus) -> String {
+    use incsim::serve::HistoryStatus;
+    match status {
+        HistoryStatus::Live => "live (no prior incarnation)".into(),
+        HistoryStatus::Recovered { epochs } => {
+            format!("restored {epochs} pre-crash epoch(s) from the log")
+        }
+        HistoryStatus::Unavailable { reason } => format!("head-only ({reason})"),
+    }
+}
+
+/// Shared driver for the temporal commands. With `--wal` the ring comes
+/// out of the log: the handle recovers the durable trajectory *and* its
+/// persisted epoch ring, no state or ops file needed. Otherwise loads a
+/// state and applies the ops file in `--publish-every` sized published
+/// chunks against a retention-enabled serving handle.
 fn drive_ring(flags: &Flags) -> Result<incsim::serve::ConcurrentSimRank, String> {
+    let shards_flag: usize = flags.num(&["--shards"], 1usize)?;
+    if let Some(wal_path) = flags.get(&["--wal"]) {
+        let retain: usize = flags.num(&["--retain-epochs"], 4usize)?.max(2);
+        // Validate before attaching: attaching truncates torn tails, so
+        // refuse outright rather than initialise an empty or missing log.
+        let log = incsim::wal::read_log(std::path::Path::new(wal_path))
+            .map_err(|e| format!("cannot read log {wal_path}: {e}"))?;
+        if log.records.is_empty() {
+            return Err(format!("{wal_path} holds no records; nothing to recover"));
+        }
+        let algorithm = parse_algorithm(flags.get(&["--algorithm"]))?;
+        let policy = parse_mode(flags.get(&["--mode"]))?;
+        let builder = apply_compress_flags(
+            SimRankBuilder::new()
+                .algorithm(algorithm)
+                .mode(policy)
+                .shards(shards_flag)
+                .retain_epochs(retain)
+                .wal(wal_path),
+            flags,
+        )?;
+        // The log overrides the placeholder graph: geometry, config and
+        // scores all come from the recovered trajectory.
+        let serving = builder
+            .concurrent(DiGraph::new(0))
+            .map_err(|e| format!("cannot recover {wal_path}: {e}"))?;
+        println!(
+            "recovered {wal_path} to seq {}; history: {}",
+            serving.sharded().last_seq(),
+            history_line(serving.history_status())
+        );
+        return Ok(serving);
+    }
     let snap = open_state(flags)?;
     let ops_path = flags.req(&["--ops"])?;
     let mut text = String::new();
@@ -686,6 +740,30 @@ fn cmd_recover(flags: &Flags) -> Result<(), String> {
         SimRankBuilder::new().algorithm(algorithm).mode(policy),
         flags,
     )?;
+    // `--retain-epochs` reports what a retention-enabled restart would
+    // restore, straight off the read-only parse (this command never
+    // attaches to the log, so the report mutates nothing).
+    let retain: usize = flags.num(&["--retain-epochs"], 1usize)?;
+    if retain > 1 {
+        match log.newest_epoch_ring() {
+            Some((meta, deltas)) => {
+                let oldest = deltas.first().map_or(meta.head_seq, |d| d.seq);
+                println!(
+                    "epoch ring: {} retained epoch(s) (seq {oldest}..={}) persisted at \
+                     op {}; a `serve --wal --retain-epochs` restart restores them",
+                    deltas.len() + 1,
+                    meta.head_seq,
+                    meta.cp_seq
+                );
+            }
+            None if log.has_epoch_frames() => println!(
+                "epoch ring: the persisted round is torn or corrupt; history recovers head-only"
+            ),
+            None => println!(
+                "epoch ring: the log predates epoch-ring checkpoints; history recovers head-only"
+            ),
+        }
+    }
     let rebuilt = incsim::wal::rebuild_engine(&builder, &log, shard).map_err(|e| e.to_string())?;
     println!(
         "recovered to seq {} via {}: checkpoint at seq {}, {} op(s) replayed{}",
@@ -712,24 +790,46 @@ fn cmd_recover(flags: &Flags) -> Result<(), String> {
 /// plan draw one (`random --seed S`), then point `recover` at the output
 /// to watch the torn-tail truncation and checkpoint replay do their job.
 fn cmd_wal_fault(flags: &Flags) -> Result<(), String> {
-    use incsim::wal::faults::{apply_fault, Fault, FaultPlan};
+    use incsim::wal::faults::{apply_fault, nth_frame_of_kind, Fault, FaultPlan, FaultTarget};
+    use incsim::wal::FRAME_HEADER;
 
     let wal_path = flags.req(&["--wal"])?;
     let out = flags.req(&["-o", "--output"])?;
     let bytes = std::fs::read(wal_path).map_err(|e| format!("cannot read {wal_path}: {e}"))?;
+    // `--kind` retargets the fault at the Nth frame of a record class:
+    // explicit `--at`/`--frame`/`--len` still win, but the defaults move
+    // from "middle of the image" to "that frame".
+    let target = match flags.get(&["--kind"]) {
+        None => None,
+        Some(spec) => {
+            let kind = FaultTarget::parse(spec).ok_or_else(|| {
+                format!("unknown kind {spec:?} (op|checkpoint|epoch|epoch-delta|epoch-meta)")
+            })?;
+            let index: usize = flags.num(&["--index"], 0usize)?;
+            Some(
+                nth_frame_of_kind(&bytes, kind, index)
+                    .ok_or_else(|| format!("{wal_path} holds no {spec} frame at index {index}"))?,
+            )
+        }
+    };
     let fault = match flags.req(&["--fault"])? {
         "torn" => Fault::TornWrite {
-            cut: flags.num(&["--at"], bytes.len() / 2)?,
+            cut: flags.num(&["--at"], target.map_or(bytes.len() / 2, |(_, off)| off))?,
         },
         "flip" => Fault::BitFlip {
-            offset: flags.num(&["--at"], bytes.len() / 2)?,
+            // Default to the first payload byte of the targeted frame
+            // (the record tag), which breaks its checksum in place.
+            offset: flags.num(
+                &["--at"],
+                target.map_or(bytes.len() / 2, |(_, off)| off + FRAME_HEADER),
+            )?,
             bit: flags.num(&["--bit"], 0u8)?,
         },
         "crc" => Fault::CorruptChecksum {
-            frame: flags.num(&["--frame"], 0usize)?,
+            frame: flags.num(&["--frame"], target.map_or(0, |(frame, _)| frame))?,
         },
         "short" => Fault::ShortRead {
-            len: flags.num(&["--len"], bytes.len() / 2)?,
+            len: flags.num(&["--len"], target.map_or(bytes.len() / 2, |(_, off)| off))?,
         },
         "random" => {
             let seed: u64 = flags.num(&["--seed", "-s"], 42u64)?;
@@ -743,11 +843,18 @@ fn cmd_wal_fault(flags: &Flags) -> Result<(), String> {
     };
     let damaged = apply_fault(&bytes, fault);
     std::fs::write(out, &damaged).map_err(|e| format!("cannot write {out}: {e}"))?;
-    println!(
-        "applied {fault:?}: {} -> {} bytes, written to {out}",
-        bytes.len(),
-        damaged.len()
-    );
+    match target {
+        Some((frame, offset)) => println!(
+            "applied {fault:?} (targeting frame {frame} at byte {offset}): {} -> {} bytes, written to {out}",
+            bytes.len(),
+            damaged.len()
+        ),
+        None => println!(
+            "applied {fault:?}: {} -> {} bytes, written to {out}",
+            bytes.len(),
+            damaged.len()
+        ),
+    }
     Ok(())
 }
 

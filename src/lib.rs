@@ -52,6 +52,7 @@
 //! | [`api`] | `incsim` (this crate) | the service layer: builder, handle, apply policies |
 //! | [`serve`] | `incsim` (this crate) | the serving layer: sharded router, concurrent epoch reads |
 //! | [`wal`] | `incsim` (this crate) | durability: write-ahead log, crash recovery, fault injection |
+//! | [`codec`] | `incsim-codec` | shared binary codec: CRC32 framing, LE/varint primitives, record envelopes |
 //! | [`linalg`] | `incsim-linalg` | dense/sparse matrices, QR, SVD, LU, Stein solver |
 //! | [`graph`] | `incsim-graph` | dynamic digraph, evolving timeline, I/O |
 //! | [`core`] | `incsim-core` | matrix-form SimRank, **Inc-uSR**, **Inc-SR** |
@@ -68,6 +69,7 @@ pub mod serve;
 pub mod wal;
 
 pub use incsim_baselines as baselines;
+pub use incsim_codec as codec;
 pub use incsim_core as core;
 pub use incsim_datagen as datagen;
 pub use incsim_graph as graph;

@@ -24,17 +24,36 @@
 //! |-----|--------|----------------------|
 //! | 1 | edge op | `kind u8` (0 insert, 1 delete), `u u32`, `v u32`, `seq u64` |
 //! | 2 | add node | `seq u64` |
-//! | 3 | checkpoint | `shard u32` (`u32::MAX` = global base), `shard_count u32`, `block u64`, `seq u64`, `image_kind u8`, `image_len u64`, image bytes |
+//! | 3 | checkpoint (v1) | `shard u32` (`u32::MAX` = global base), `shard_count u32`, `block u64`, `seq u64`, `image_kind u8`, `image_len u64`, image bytes |
+//! | 4 | checkpoint (v2) | `version u8` (= 1), then the v1 layout |
+//! | 5 | epoch-ring meta | `version u8` (= 1), `cp_seq u64`, head descriptor, `retain`/`entries` varints, per-shard anchors, pending ops, per-shard tail graphs |
+//! | 6 | epoch delta | `version u8` (= 1), `cp_seq u64`, `seq u64`, `stamp u64`, `at_op u64`, `n` varint, per-shard delta images, op slice |
 //!
-//! All integers are little-endian. Checkpoint images come in two kinds:
-//! `0` = *graph-only* (config + edge list — enough for engines whose
-//! whole state is the graph, e.g. the matrix-free probe engine, or for
+//! All integers are little-endian; variable-length fields use the shared
+//! [`incsim_codec`] varint. Checkpoint images come in two kinds: `0` =
+//! *graph-only* (config + edge list — enough for engines whose whole
+//! state is the graph, e.g. the matrix-free probe engine, or for
 //! rebuild-by-recompute), `1` = a full `INCSIM01` dense snapshot as
 //! written by [`crate::core::snapshot::save_engine`].
 //!
+//! Tags 4–6 form a **v2 checkpoint round**: the head image(s) followed by
+//! one epoch-delta frame per retained epoch and a meta trailer, appended
+//! contiguously by [`Wal::append_epoch_ring`] and `fsync`ed as one round.
+//! A round is usable only when the trailer's `entries` count matches the
+//! delta frames that precede it ([`RecoveredLog::newest_epoch_ring`]) —
+//! a crash mid-round leaves the *previous* round authoritative. Epoch
+//! frames whose CRC holds but whose record version is unknown decode to
+//! [`WalRecord::EpochUnusable`]: the op stream survives and recovery
+//! degrades to head-only instead of tearing the log. Shard delta images
+//! are [`LowRankDelta`] factor pairs for matrix engines and recorded op
+//! slices (`Replay`) for matrix-free shards, which replay seed-identical.
+//!
 //! Sequence numbers are assigned by the writer, strictly monotonic across
 //! op and add-node records; a checkpoint's `seq` names the last op it
-//! covers, so replay resumes at `seq + 1`.
+//! covers, so replay resumes at `seq + 1`. Epoch sequence numbers live in
+//! a separate space: a recovered incarnation republishes its head *past*
+//! the newest meta trailer's `head_seq`, so restored history never
+//! collides with new epochs.
 //!
 //! ## Durability contract
 //!
@@ -64,6 +83,14 @@
 //! partition geometry (`shard_count`, `block`) stored in the checkpoint
 //! record — see [`crate::serve::ShardedSimRank::rebuild_shard`].
 //!
+//! A log carrying a usable v2 round additionally rehydrates the epoch
+//! ring: `ConcurrentSimRank::new` splices the persisted retained epochs
+//! back in, so `pair_at`/`single_source_at`/`top_k_at`/`top_movers`
+//! answer across the restart (see
+//! [`crate::serve::ConcurrentSimRank::history_status`]). A v1 log — or a
+//! v2 log whose newest round is torn or corrupt — recovers head-only
+//! with a typed `HistoryUnavailable` on temporal reads, never a panic.
+//!
 //! ## Fault injection
 //!
 //! The [`faults`] submodule is the deterministic harness: byte-level log
@@ -77,6 +104,8 @@ use crate::api::{BuildError, SimRank, SimRankBuilder};
 use crate::core::snapshot::SnapshotError;
 use crate::core::SimRankConfig;
 use crate::graph::{DiGraph, UpdateOp};
+use incsim_codec::{self as codec, put_u32, put_u64, put_u8, put_uvarint};
+use incsim_linalg::LowRankDelta;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
@@ -87,11 +116,18 @@ pub mod faults;
 pub const MAGIC: &[u8; 8] = b"INCSWAL1";
 
 /// Frame header size: `len: u32` + `crc: u32`.
-pub const FRAME_HEADER: usize = 8;
+pub const FRAME_HEADER: usize = codec::FRAME_HEADER;
 
 const TAG_OP: u8 = 1;
 const TAG_ADD_NODE: u8 = 2;
 const TAG_CHECKPOINT: u8 = 3;
+const TAG_CHECKPOINT2: u8 = 4;
+const TAG_EPOCH_META: u8 = 5;
+const TAG_EPOCH_DELTA: u8 = 6;
+
+/// Envelope version this build writes (and the newest it decodes) for
+/// the versioned v2 records: checkpoint v2, epoch meta, epoch delta.
+const RECORD_VERSION: u8 = 1;
 
 const IMAGE_GRAPH_ONLY: u8 = 0;
 const IMAGE_DENSE: u8 = 1;
@@ -99,38 +135,9 @@ const IMAGE_DENSE: u8 = 1;
 /// Shard tag of a global (base) checkpoint.
 const SHARD_GLOBAL: u32 = u32::MAX;
 
-// ---- CRC32 (IEEE, reflected) — no external crates ----------------------
-
-const fn crc32_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut c = i as u32;
-        let mut k = 0;
-        while k < 8 {
-            c = if c & 1 != 0 {
-                0xEDB8_8320 ^ (c >> 1)
-            } else {
-                c >> 1
-            };
-            k += 1;
-        }
-        table[i] = c;
-        i += 1;
-    }
-    table
-}
-
-static CRC_TABLE: [u32; 256] = crc32_table();
-
-/// IEEE CRC-32 of `bytes` (the `cksum`/zlib polynomial, reflected).
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut c = 0xFFFF_FFFFu32;
-    for &b in bytes {
-        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
-    }
-    c ^ 0xFFFF_FFFF
-}
+/// IEEE CRC-32 of `bytes` (the `cksum`/zlib polynomial, reflected) —
+/// re-exported from the shared codec, which owns the implementation.
+pub use incsim_codec::crc32;
 
 // ---- errors -------------------------------------------------------------
 
@@ -251,6 +258,73 @@ pub enum ReplayOp {
     AddNode,
 }
 
+/// How one shard's retained-epoch delta is persisted inside an epoch
+/// frame. The WAL stays independent of the serving layer's in-memory
+/// types: this is the wire-level vocabulary both sides translate to.
+#[derive(Debug, Clone)]
+pub enum ShardDeltaImage {
+    /// Low-rank ΔS factors for a matrix-backed shard (`S_next − S_this`).
+    Dense(LowRankDelta),
+    /// Matrix-free shard: reconstruct by replaying the recorded op
+    /// slices from the tail graph (seed-identical by construction).
+    Replay,
+    /// The delta could not be persisted (the shard was quarantined or
+    /// its epoch view was pinned). Reconstruction *through* this entry
+    /// reports a broken chain; entries on the head side of it still work.
+    Broken,
+}
+
+/// One retained epoch, persisted alongside a v2 checkpoint.
+#[derive(Debug, Clone)]
+pub struct EpochDeltaRecord {
+    /// Sequence number of the checkpoint round this frame belongs to.
+    pub cp_seq: u64,
+    /// The epoch's publish sequence number (what `pair_at` addresses).
+    pub seq: u64,
+    /// The epoch's stamp (op sequence at publish time).
+    pub stamp: u64,
+    /// Committed op count when the epoch was published.
+    pub at_op: u64,
+    /// Node universe size at this epoch.
+    pub n: usize,
+    /// Per-shard delta to the *next* epoch, in shard order.
+    pub shards: Vec<ShardDeltaImage>,
+    /// The ops applied between this epoch and the next (the replay
+    /// slice matrix-free shards roll forward through).
+    pub ops: Vec<ReplayOp>,
+}
+
+/// The epoch-ring trailer of a v2 checkpoint round: head metadata plus
+/// everything recovery needs to splice the pre-crash head into the ring.
+#[derive(Debug, Clone)]
+pub struct EpochMetaRecord {
+    /// Sequence number of the checkpoint round this trailer belongs to.
+    pub cp_seq: u64,
+    /// Publish sequence of the head epoch at persist time.
+    pub head_seq: u64,
+    /// Stamp of the head epoch.
+    pub head_stamp: u64,
+    /// Committed op count at head publish.
+    pub head_at_op: u64,
+    /// Node universe size at the head epoch.
+    pub head_n: usize,
+    /// The retention window (`retained_epochs`) the ring was built with.
+    pub retain: usize,
+    /// Number of [`EpochDeltaRecord`] frames written for this round;
+    /// recovery refuses a ring whose frame count disagrees.
+    pub entries: usize,
+    /// Per-shard delta from the head epoch's scores to the live scores
+    /// at `cp_seq` (the checkpoint image). Recovery composes this with
+    /// the post-checkpoint replay suffix to turn the old head into a
+    /// ring entry.
+    pub anchors: Vec<ShardDeltaImage>,
+    /// Ops committed after the head epoch was published, up to `cp_seq`.
+    pub pending: Vec<ReplayOp>,
+    /// Per-shard tail graphs (the graph at the *oldest* retained epoch)
+    /// for matrix-free shards; `None` for matrix-backed shards.
+    pub tails: Vec<Option<DiGraph>>,
+}
+
 /// One decoded WAL record.
 #[derive(Debug, Clone)]
 pub enum WalRecord {
@@ -268,22 +342,22 @@ pub enum WalRecord {
     },
     /// A checkpoint.
     Checkpoint(CheckpointRecord),
+    /// A retained epoch persisted with a v2 checkpoint round.
+    EpochDelta(EpochDeltaRecord),
+    /// The epoch-ring trailer of a v2 checkpoint round.
+    EpochMeta(EpochMetaRecord),
+    /// A CRC-intact epoch frame whose payload this build cannot decode
+    /// (a future envelope version, or damage the checksum happens to
+    /// miss). History degrades to head-only; the op stream after the
+    /// frame still replays — epoch frames are auxiliary, never
+    /// load-bearing for the head image.
+    EpochUnusable,
 }
 
 // ---- encode -------------------------------------------------------------
 
-fn put_u32(buf: &mut Vec<u8>, v: u32) {
-    buf.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_u64(buf: &mut Vec<u8>, v: u64) {
-    buf.extend_from_slice(&v.to_le_bytes());
-}
-
 fn encode_frame(out: &mut Vec<u8>, payload: &[u8]) {
-    put_u32(out, payload.len() as u32);
-    put_u32(out, crc32(payload));
-    out.extend_from_slice(payload);
+    codec::put_frame(out, payload);
 }
 
 fn encode_op_payload(seq: u64, op: UpdateOp) -> Vec<u8> {
@@ -326,8 +400,12 @@ fn encode_checkpoint_payload(cp: &CheckpointRecord) -> Vec<u8> {
             IMAGE_DENSE
         }
     };
-    let mut p = Vec::with_capacity(29 + image.len());
-    p.push(TAG_CHECKPOINT);
+    // Always written as v2: the tag is followed by a record-envelope
+    // version byte, then the same body v1 carried. v1 frames (tag 3, no
+    // version byte) stay decodable forever.
+    let mut p = Vec::with_capacity(30 + image.len());
+    p.push(TAG_CHECKPOINT2);
+    p.push(RECORD_VERSION);
     put_u32(&mut p, cp.shard.unwrap_or(SHARD_GLOBAL));
     put_u32(&mut p, cp.shard_count);
     put_u64(&mut p, cp.block);
@@ -338,46 +416,280 @@ fn encode_checkpoint_payload(cp: &CheckpointRecord) -> Vec<u8> {
     p
 }
 
-// ---- decode -------------------------------------------------------------
-
-struct Cursor<'a> {
-    bytes: &'a [u8],
-    pos: usize,
+fn encode_replay_ops(p: &mut Vec<u8>, ops: &[ReplayOp]) {
+    put_uvarint(p, ops.len() as u64);
+    for op in ops {
+        match op {
+            ReplayOp::Edge(UpdateOp::Insert(u, v)) => {
+                put_u8(p, 0);
+                put_uvarint(p, u64::from(*u));
+                put_uvarint(p, u64::from(*v));
+            }
+            ReplayOp::Edge(UpdateOp::Delete(u, v)) => {
+                put_u8(p, 1);
+                put_uvarint(p, u64::from(*u));
+                put_uvarint(p, u64::from(*v));
+            }
+            ReplayOp::AddNode => put_u8(p, 2),
+        }
+    }
 }
 
-impl<'a> Cursor<'a> {
-    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
-        let s = self.bytes.get(self.pos..self.pos + n)?;
-        self.pos += n;
-        Some(s)
+fn encode_shard_delta(p: &mut Vec<u8>, img: &ShardDeltaImage) {
+    match img {
+        ShardDeltaImage::Dense(delta) => {
+            put_u8(p, 0);
+            delta.encode_into(p);
+        }
+        ShardDeltaImage::Replay => put_u8(p, 1),
+        ShardDeltaImage::Broken => put_u8(p, 2),
     }
+}
 
-    fn u8(&mut self) -> Option<u8> {
-        self.take(1).map(|s| s[0])
+fn encode_graph(p: &mut Vec<u8>, graph: &DiGraph) {
+    put_uvarint(p, graph.node_count() as u64);
+    put_uvarint(p, graph.edge_count() as u64);
+    for (u, v) in graph.edges() {
+        put_uvarint(p, u64::from(u));
+        put_uvarint(p, u64::from(v));
     }
+}
 
-    fn u32(&mut self) -> Option<u32> {
-        let s = self.take(4)?;
-        let arr: [u8; 4] = s.try_into().ok()?;
-        Some(u32::from_le_bytes(arr))
+fn encode_epoch_delta_payload(rec: &EpochDeltaRecord) -> Vec<u8> {
+    let mut p = Vec::new();
+    p.push(TAG_EPOCH_DELTA);
+    p.push(RECORD_VERSION);
+    put_u64(&mut p, rec.cp_seq);
+    put_u64(&mut p, rec.seq);
+    put_u64(&mut p, rec.stamp);
+    put_u64(&mut p, rec.at_op);
+    put_uvarint(&mut p, rec.n as u64);
+    put_uvarint(&mut p, rec.shards.len() as u64);
+    for img in &rec.shards {
+        encode_shard_delta(&mut p, img);
     }
+    encode_replay_ops(&mut p, &rec.ops);
+    p
+}
 
-    fn u64(&mut self) -> Option<u64> {
-        let s = self.take(8)?;
-        let arr: [u8; 8] = s.try_into().ok()?;
-        Some(u64::from_le_bytes(arr))
+fn encode_epoch_meta_payload(rec: &EpochMetaRecord) -> Vec<u8> {
+    let mut p = Vec::new();
+    p.push(TAG_EPOCH_META);
+    p.push(RECORD_VERSION);
+    put_u64(&mut p, rec.cp_seq);
+    put_u64(&mut p, rec.head_seq);
+    put_u64(&mut p, rec.head_stamp);
+    put_u64(&mut p, rec.head_at_op);
+    put_uvarint(&mut p, rec.head_n as u64);
+    put_uvarint(&mut p, rec.retain as u64);
+    put_uvarint(&mut p, rec.entries as u64);
+    put_uvarint(&mut p, rec.anchors.len() as u64);
+    for img in &rec.anchors {
+        encode_shard_delta(&mut p, img);
     }
+    encode_replay_ops(&mut p, &rec.pending);
+    put_uvarint(&mut p, rec.tails.len() as u64);
+    for tail in &rec.tails {
+        match tail {
+            Some(g) => {
+                put_u8(&mut p, 1);
+                encode_graph(&mut p, g);
+            }
+            None => put_u8(&mut p, 0),
+        }
+    }
+    p
+}
 
-    fn f64(&mut self) -> Option<f64> {
-        self.u64().map(f64::from_bits)
+// ---- decode -------------------------------------------------------------
+
+use codec::Cursor;
+
+/// Decodes the checkpoint body shared by the v1 (tag 3) and v2 (tag 4)
+/// frames — everything after the tag (and, for v2, the version byte).
+fn decode_checkpoint_body(c: &mut Cursor<'_>) -> Option<CheckpointRecord> {
+    let shard = c.u32()?;
+    let shard_count = c.u32()?;
+    let block = c.u64()?;
+    let seq = c.u64()?;
+    let image_kind = c.u8()?;
+    let image_len = usize::try_from(c.u64()?).ok()?;
+    let image_bytes = c.take(image_len)?;
+    let image = match image_kind {
+        IMAGE_GRAPH_ONLY => {
+            let mut ic = Cursor::new(image_bytes);
+            let cc = ic.f64()?;
+            let iterations = usize::try_from(ic.u64()?).ok()?;
+            let zero_tol = ic.f64()?;
+            let config = SimRankConfig::new(cc, iterations)
+                .ok()?
+                .with_zero_tol(zero_tol);
+            let n = usize::try_from(ic.u64()?).ok()?;
+            let m = usize::try_from(ic.u64()?).ok()?;
+            if n > u32::MAX as usize || m > n.checked_mul(n)? {
+                return None;
+            }
+            let mut graph = DiGraph::new(n);
+            for _ in 0..m {
+                let packed = ic.u64()?;
+                let (u, v) = ((packed >> 32) as u32, (packed & 0xFFFF_FFFF) as u32);
+                graph.insert_edge(u, v).ok()?;
+            }
+            CheckpointImage::GraphOnly { config, graph }
+        }
+        IMAGE_DENSE => CheckpointImage::Dense(image_bytes.to_vec()),
+        _ => return None,
+    };
+    Some(CheckpointRecord {
+        shard: if shard == SHARD_GLOBAL {
+            None
+        } else {
+            Some(shard)
+        },
+        shard_count,
+        block,
+        seq,
+        image,
+    })
+}
+
+fn decode_replay_ops(c: &mut Cursor<'_>) -> Option<Vec<ReplayOp>> {
+    let count = usize::try_from(c.uvarint()?).ok()?;
+    // Each op costs at least one kind byte.
+    if count > c.remaining() {
+        return None;
     }
+    let mut ops = Vec::with_capacity(count);
+    for _ in 0..count {
+        let op = match c.u8()? {
+            0 => {
+                let u = u32::try_from(c.uvarint()?).ok()?;
+                let v = u32::try_from(c.uvarint()?).ok()?;
+                ReplayOp::Edge(UpdateOp::Insert(u, v))
+            }
+            1 => {
+                let u = u32::try_from(c.uvarint()?).ok()?;
+                let v = u32::try_from(c.uvarint()?).ok()?;
+                ReplayOp::Edge(UpdateOp::Delete(u, v))
+            }
+            2 => ReplayOp::AddNode,
+            _ => return None,
+        };
+        ops.push(op);
+    }
+    Some(ops)
+}
+
+fn decode_shard_delta(c: &mut Cursor<'_>) -> Option<ShardDeltaImage> {
+    match c.u8()? {
+        0 => Some(ShardDeltaImage::Dense(LowRankDelta::decode_from(c)?)),
+        1 => Some(ShardDeltaImage::Replay),
+        2 => Some(ShardDeltaImage::Broken),
+        _ => None,
+    }
+}
+
+fn decode_shard_deltas(c: &mut Cursor<'_>) -> Option<Vec<ShardDeltaImage>> {
+    let count = usize::try_from(c.uvarint()?).ok()?;
+    if count > c.remaining() {
+        return None;
+    }
+    let mut shards = Vec::with_capacity(count);
+    for _ in 0..count {
+        shards.push(decode_shard_delta(c)?);
+    }
+    Some(shards)
+}
+
+fn decode_graph(c: &mut Cursor<'_>) -> Option<DiGraph> {
+    let n = usize::try_from(c.uvarint()?).ok()?;
+    let m = usize::try_from(c.uvarint()?).ok()?;
+    if n > u32::MAX as usize || m > n.checked_mul(n)? || m > c.remaining() / 2 {
+        return None;
+    }
+    let mut graph = DiGraph::new(n);
+    for _ in 0..m {
+        let u = u32::try_from(c.uvarint()?).ok()?;
+        let v = u32::try_from(c.uvarint()?).ok()?;
+        graph.insert_edge(u, v).ok()?;
+    }
+    Some(graph)
+}
+
+fn decode_epoch_delta_body(c: &mut Cursor<'_>) -> Option<EpochDeltaRecord> {
+    let cp_seq = c.u64()?;
+    let seq = c.u64()?;
+    let stamp = c.u64()?;
+    let at_op = c.u64()?;
+    let n = usize::try_from(c.uvarint()?).ok()?;
+    let shards = decode_shard_deltas(c)?;
+    let ops = decode_replay_ops(c)?;
+    Some(EpochDeltaRecord {
+        cp_seq,
+        seq,
+        stamp,
+        at_op,
+        n,
+        shards,
+        ops,
+    })
+}
+
+fn decode_epoch_meta_body(c: &mut Cursor<'_>) -> Option<EpochMetaRecord> {
+    let cp_seq = c.u64()?;
+    let head_seq = c.u64()?;
+    let head_stamp = c.u64()?;
+    let head_at_op = c.u64()?;
+    let head_n = usize::try_from(c.uvarint()?).ok()?;
+    let retain = usize::try_from(c.uvarint()?).ok()?;
+    let entries = usize::try_from(c.uvarint()?).ok()?;
+    let anchors = decode_shard_deltas(c)?;
+    let pending = decode_replay_ops(c)?;
+    let tail_count = usize::try_from(c.uvarint()?).ok()?;
+    if tail_count > c.remaining() {
+        return None;
+    }
+    let mut tails = Vec::with_capacity(tail_count);
+    for _ in 0..tail_count {
+        tails.push(match c.u8()? {
+            0 => None,
+            1 => Some(decode_graph(c)?),
+            _ => return None,
+        });
+    }
+    Some(EpochMetaRecord {
+        cp_seq,
+        head_seq,
+        head_stamp,
+        head_at_op,
+        head_n,
+        retain,
+        entries,
+        anchors,
+        pending,
+        tails,
+    })
+}
+
+/// Decodes an epoch frame leniently: any defect — an envelope version
+/// from the future, a malformed body, trailing bytes — yields
+/// [`WalRecord::EpochUnusable`] instead of `None`, so one bad *history*
+/// frame never truncates the op stream behind it the way a bad core
+/// frame does.
+fn decode_epoch_payload(tag: u8, c: &mut Cursor<'_>) -> WalRecord {
+    let usable = c
+        .u8()
+        .filter(|&v| v == RECORD_VERSION)
+        .and_then(|_| match tag {
+            TAG_EPOCH_DELTA => decode_epoch_delta_body(c).map(WalRecord::EpochDelta),
+            _ => decode_epoch_meta_body(c).map(WalRecord::EpochMeta),
+        })
+        .filter(|_| c.at_end());
+    usable.unwrap_or(WalRecord::EpochUnusable)
 }
 
 fn decode_payload(payload: &[u8]) -> Option<WalRecord> {
-    let mut c = Cursor {
-        bytes: payload,
-        pos: 0,
-    };
+    let mut c = Cursor::new(payload);
     let rec = match c.u8()? {
         TAG_OP => {
             let kind = c.u8()?;
@@ -391,59 +703,21 @@ fn decode_payload(payload: &[u8]) -> Option<WalRecord> {
             WalRecord::Op { seq, op }
         }
         TAG_ADD_NODE => WalRecord::AddNode { seq: c.u64()? },
-        TAG_CHECKPOINT => {
-            let shard = c.u32()?;
-            let shard_count = c.u32()?;
-            let block = c.u64()?;
-            let seq = c.u64()?;
-            let image_kind = c.u8()?;
-            let image_len = c.u64()? as usize;
-            let image_bytes = c.take(image_len)?;
-            let image = match image_kind {
-                IMAGE_GRAPH_ONLY => {
-                    let mut ic = Cursor {
-                        bytes: image_bytes,
-                        pos: 0,
-                    };
-                    let cc = ic.f64()?;
-                    let iterations = ic.u64()? as usize;
-                    let zero_tol = ic.f64()?;
-                    let config = SimRankConfig::new(cc, iterations)
-                        .ok()?
-                        .with_zero_tol(zero_tol);
-                    let n = ic.u64()? as usize;
-                    let m = ic.u64()? as usize;
-                    if n > u32::MAX as usize || m > n.checked_mul(n)? {
-                        return None;
-                    }
-                    let mut graph = DiGraph::new(n);
-                    for _ in 0..m {
-                        let packed = ic.u64()?;
-                        let (u, v) = ((packed >> 32) as u32, (packed & 0xFFFF_FFFF) as u32);
-                        graph.insert_edge(u, v).ok()?;
-                    }
-                    CheckpointImage::GraphOnly { config, graph }
-                }
-                IMAGE_DENSE => CheckpointImage::Dense(image_bytes.to_vec()),
-                _ => return None,
-            };
-            WalRecord::Checkpoint(CheckpointRecord {
-                shard: if shard == SHARD_GLOBAL {
-                    None
-                } else {
-                    Some(shard)
-                },
-                shard_count,
-                block,
-                seq,
-                image,
-            })
+        TAG_CHECKPOINT => WalRecord::Checkpoint(decode_checkpoint_body(&mut c)?),
+        TAG_CHECKPOINT2 => {
+            if c.u8()? != RECORD_VERSION {
+                return None;
+            }
+            WalRecord::Checkpoint(decode_checkpoint_body(&mut c)?)
+        }
+        tag @ (TAG_EPOCH_META | TAG_EPOCH_DELTA) => {
+            return Some(decode_epoch_payload(tag, &mut c));
         }
         _ => return None,
     };
     // Trailing bytes after a well-formed record mean the writer and
     // reader disagree on the format — refuse rather than guess.
-    if c.pos == payload.len() {
+    if c.at_end() {
         Some(rec)
     } else {
         None
@@ -471,6 +745,9 @@ impl RecoveredLog {
             .map(|r| match r {
                 WalRecord::Op { seq, .. } | WalRecord::AddNode { seq } => *seq,
                 WalRecord::Checkpoint(cp) => cp.seq,
+                WalRecord::EpochDelta(d) => d.cp_seq,
+                WalRecord::EpochMeta(m) => m.cp_seq,
+                WalRecord::EpochUnusable => 0,
             })
             .max()
             .unwrap_or(0)
@@ -480,7 +757,7 @@ impl RecoveredLog {
     pub fn op_count(&self) -> usize {
         self.records
             .iter()
-            .filter(|r| !matches!(r, WalRecord::Checkpoint(_)))
+            .filter(|r| matches!(r, WalRecord::Op { .. } | WalRecord::AddNode { .. }))
             .count()
     }
 
@@ -511,40 +788,100 @@ impl RecoveredLog {
             _ => None,
         })
     }
-}
 
-/// Little-endian `u32` at `bytes[off..off + 4]`; `None` when out of
-/// range. Bounds and width are checked in one place so frame parsing
-/// stays free of panicking conversions.
-fn le_u32_at(bytes: &[u8], off: usize) -> Option<u32> {
-    let arr: [u8; 4] = bytes.get(off..off.checked_add(4)?)?.try_into().ok()?;
-    Some(u32::from_le_bytes(arr))
+    /// The newest complete epoch ring in the log: the last
+    /// [`EpochMetaRecord`] together with its [`EpochDeltaRecord`]s
+    /// (matched by `cp_seq`, oldest first). `None` when the log holds no
+    /// meta frame (a v1 log, or history was never retained) **or** when
+    /// the round is incomplete — a delta frame torn away, replaced by
+    /// [`WalRecord::EpochUnusable`], or miscounted — in which case the
+    /// caller degrades to head-only recovery.
+    pub fn newest_epoch_ring(&self) -> Option<(&EpochMetaRecord, Vec<&EpochDeltaRecord>)> {
+        let meta = self.records.iter().rev().find_map(|r| match r {
+            WalRecord::EpochMeta(m) => Some(m),
+            _ => None,
+        })?;
+        let deltas: Vec<&EpochDeltaRecord> = self
+            .records
+            .iter()
+            .filter_map(|r| match r {
+                WalRecord::EpochDelta(d) if d.cp_seq == meta.cp_seq => Some(d),
+                _ => None,
+            })
+            .collect();
+        if deltas.len() != meta.entries {
+            return None;
+        }
+        if deltas.windows(2).any(|w| w[0].seq >= w[1].seq) {
+            return None;
+        }
+        Some((meta, deltas))
+    }
+
+    /// `true` when the log holds at least one epoch frame (usable or
+    /// not) — i.e. it was written by a ring-persisting build.
+    pub fn has_epoch_frames(&self) -> bool {
+        self.records.iter().any(|r| {
+            matches!(
+                r,
+                WalRecord::EpochMeta(_) | WalRecord::EpochDelta(_) | WalRecord::EpochUnusable
+            )
+        })
+    }
 }
 
 /// Byte offsets (from the start of the buffer) of every well-formed frame
 /// — the crash points the fault sweep cuts at. Offset 8 is the first
 /// frame; the final entry is the end of the valid log.
 pub fn frame_offsets(bytes: &[u8]) -> Vec<usize> {
-    let mut offs = Vec::new();
     if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
-        return offs;
+        return Vec::new();
     }
+    codec::frame_offsets(bytes, MAGIC.len())
+}
+
+/// What kind of record a frame carries — the targeting vocabulary of
+/// `wal-fault --kind`, so a sweep can corrupt history frames without
+/// touching the head image (or vice versa).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// An edge-op frame (tag 1).
+    Op,
+    /// A node-append frame (tag 2).
+    AddNode,
+    /// A checkpoint frame, v1 or v2 (tags 3 and 4).
+    Checkpoint,
+    /// An epoch-ring trailer frame (tag 5).
+    EpochMeta,
+    /// A retained-epoch delta frame (tag 6).
+    EpochDelta,
+    /// An unrecognised tag (a frame from the future, or garbage that
+    /// happens to checksum).
+    Unknown,
+}
+
+/// `(offset, kind)` for every well-formed frame, classified by payload
+/// tag. Unlike [`frame_offsets`] there is no end sentinel: every entry
+/// is a real frame.
+pub fn frame_kinds(bytes: &[u8]) -> Vec<(usize, FrameKind)> {
+    if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+        return Vec::new();
+    }
+    let mut kinds = Vec::new();
     let mut pos = MAGIC.len();
-    loop {
-        offs.push(pos);
-        let (Some(len), Some(crc)) = (le_u32_at(bytes, pos), le_u32_at(bytes, pos + 4)) else {
-            break;
+    while let Some((payload, next)) = codec::frame_at(bytes, pos) {
+        let kind = match payload.first() {
+            Some(&TAG_OP) => FrameKind::Op,
+            Some(&TAG_ADD_NODE) => FrameKind::AddNode,
+            Some(&(TAG_CHECKPOINT | TAG_CHECKPOINT2)) => FrameKind::Checkpoint,
+            Some(&TAG_EPOCH_META) => FrameKind::EpochMeta,
+            Some(&TAG_EPOCH_DELTA) => FrameKind::EpochDelta,
+            _ => FrameKind::Unknown,
         };
-        let len = len as usize;
-        let Some(payload) = bytes.get(pos + FRAME_HEADER..pos + FRAME_HEADER + len) else {
-            break;
-        };
-        if crc32(payload) != crc {
-            break;
-        }
-        pos += FRAME_HEADER + len;
+        kinds.push((pos, kind));
+        pos = next;
     }
-    offs
+    kinds
 }
 
 /// Parses a log image. Stops cleanly — `torn`, not an error — at the
@@ -562,19 +899,12 @@ pub fn read_records(bytes: &[u8]) -> Result<RecoveredLog, WalError> {
     let mut pos = MAGIC.len();
     let mut torn = false;
     while pos < bytes.len() {
-        let frame_ok = (|| {
-            let len = le_u32_at(bytes, pos)? as usize;
-            let crc = le_u32_at(bytes, pos + 4)?;
-            let payload = bytes.get(pos + FRAME_HEADER..pos + FRAME_HEADER + len)?;
-            if crc32(payload) != crc {
-                return None;
-            }
-            decode_payload(payload).map(|rec| (rec, FRAME_HEADER + len))
-        })();
+        let frame_ok = codec::frame_at(bytes, pos)
+            .and_then(|(payload, next)| decode_payload(payload).map(|rec| (rec, next)));
         match frame_ok {
-            Some((rec, advance)) => {
+            Some((rec, next)) => {
                 records.push(rec);
-                pos += advance;
+                pos = next;
             }
             None => {
                 torn = true;
@@ -731,6 +1061,27 @@ impl Wal {
         self.append_frames(&buf)?;
         self.file.sync_data()?;
         self.checkpoints += 1;
+        Ok(())
+    }
+
+    /// Appends one epoch-ring round — every retained epoch's delta
+    /// frame, then the meta trailer — and `fsync`s. The order is the
+    /// integrity contract: a crash mid-round leaves delta frames without
+    /// a trailer (or a trailer whose `entries` count disagrees), which
+    /// [`RecoveredLog::newest_epoch_ring`] rejects as a unit, so
+    /// recovery never sees half a ring.
+    pub fn append_epoch_ring(
+        &mut self,
+        deltas: &[EpochDeltaRecord],
+        meta: &EpochMetaRecord,
+    ) -> Result<(), WalError> {
+        let mut buf = Vec::new();
+        for d in deltas {
+            encode_frame(&mut buf, &encode_epoch_delta_payload(d));
+        }
+        encode_frame(&mut buf, &encode_epoch_meta_payload(meta));
+        self.append_frames(&buf)?;
+        self.file.sync_data()?;
         Ok(())
     }
 
@@ -1103,5 +1454,195 @@ mod tests {
         assert!(s1.sim.graph().has_edge(4, 3));
         assert!(s1.sim.graph().has_edge(5, 4));
         assert!(!s1.sim.graph().has_edge(0, 1));
+    }
+
+    fn sample_delta(n: usize) -> LowRankDelta {
+        let mut d = LowRankDelta::new(n);
+        d.push_sparse(vec![(0, 0.5), (2, -1.25)], vec![(1, 2.0)]);
+        d
+    }
+
+    fn sample_ring(cp_seq: u64) -> (Vec<EpochDeltaRecord>, EpochMetaRecord) {
+        let deltas = vec![
+            EpochDeltaRecord {
+                cp_seq,
+                seq: 0,
+                stamp: 0,
+                at_op: 0,
+                n: 4,
+                shards: vec![
+                    ShardDeltaImage::Dense(sample_delta(4)),
+                    ShardDeltaImage::Replay,
+                ],
+                ops: vec![ReplayOp::Edge(UpdateOp::Insert(0, 1)), ReplayOp::AddNode],
+            },
+            EpochDeltaRecord {
+                cp_seq,
+                seq: 1,
+                stamp: 3,
+                at_op: 3,
+                n: 5,
+                shards: vec![ShardDeltaImage::Broken, ShardDeltaImage::Replay],
+                ops: vec![ReplayOp::Edge(UpdateOp::Delete(1, 2))],
+            },
+        ];
+        let meta = EpochMetaRecord {
+            cp_seq,
+            head_seq: 2,
+            head_stamp: 4,
+            head_at_op: 4,
+            head_n: 5,
+            retain: 3,
+            entries: deltas.len(),
+            anchors: vec![
+                ShardDeltaImage::Dense(sample_delta(5)),
+                ShardDeltaImage::Replay,
+            ],
+            pending: vec![ReplayOp::Edge(UpdateOp::Insert(3, 4))],
+            tails: vec![None, Some(DiGraph::from_edges(4, &[(0, 1), (2, 3)]))],
+        };
+        (deltas, meta)
+    }
+
+    #[test]
+    fn epoch_ring_round_trips_through_the_log() {
+        let path = tmp("epoch_ring");
+        let _ = std::fs::remove_file(&path);
+        let (mut wal, _) = Wal::open_or_create(&path).unwrap();
+        wal.append_ops(&[UpdateOp::Insert(0, 1)]).unwrap();
+        let (deltas, meta) = sample_ring(1);
+        wal.append_epoch_ring(&deltas, &meta).unwrap();
+        wal.append_ops(&[UpdateOp::Insert(1, 2)]).unwrap();
+        drop(wal);
+
+        let log = read_log(&path).unwrap();
+        assert!(!log.torn);
+        assert_eq!(log.op_count(), 2);
+        assert_eq!(log.last_seq(), 2);
+        let (m, ds) = log.newest_epoch_ring().expect("complete ring");
+        assert_eq!(m.cp_seq, 1);
+        assert_eq!(m.head_seq, 2);
+        assert_eq!(m.retain, 3);
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds[0].ops.len(), 2);
+        assert_eq!(ds[1].n, 5);
+        assert!(matches!(ds[1].shards[0], ShardDeltaImage::Broken));
+        assert!(matches!(
+            m.pending[..],
+            [ReplayOp::Edge(UpdateOp::Insert(3, 4))]
+        ));
+        assert_eq!(m.tails[1].as_ref().unwrap().edge_count(), 2);
+        match &ds[0].shards[0] {
+            ShardDeltaImage::Dense(d) => {
+                assert_eq!(d.encode(), sample_delta(4).encode());
+            }
+            other => panic!("expected dense delta, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_epoch_frame_degrades_without_truncating_ops() {
+        let path = tmp("epoch_lenient");
+        let _ = std::fs::remove_file(&path);
+        let (mut wal, _) = Wal::open_or_create(&path).unwrap();
+        wal.append_ops(&[UpdateOp::Insert(0, 1)]).unwrap();
+        let (deltas, meta) = sample_ring(1);
+        wal.append_epoch_ring(&deltas, &meta).unwrap();
+        wal.append_ops(&[UpdateOp::Insert(1, 2)]).unwrap();
+        drop(wal);
+
+        // Damage the first epoch-delta frame's *body* and re-stamp its
+        // CRC: the frame is intact at the framing layer but its payload
+        // no longer decodes (version byte from the future).
+        let mut bytes = std::fs::read(&path).unwrap();
+        let kinds = frame_kinds(&bytes);
+        let (off, _) = kinds
+            .iter()
+            .find(|(_, k)| *k == FrameKind::EpochDelta)
+            .copied()
+            .unwrap();
+        let len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+        bytes[off + FRAME_HEADER + 1] = 99; // envelope version byte
+        let crc = crc32(&bytes[off + FRAME_HEADER..off + FRAME_HEADER + len]);
+        bytes[off + 4..off + 8].copy_from_slice(&crc.to_le_bytes());
+
+        let log = read_records(&bytes).unwrap();
+        assert!(!log.torn, "epoch damage must not tear the log");
+        // The op *after* the damaged frame still replays…
+        assert_eq!(log.op_count(), 2);
+        assert_eq!(log.last_seq(), 2);
+        // …but the ring is rejected as a unit (entry count disagrees).
+        assert!(log.newest_epoch_ring().is_none());
+        assert!(log.has_epoch_frames());
+        assert!(log
+            .records
+            .iter()
+            .any(|r| matches!(r, WalRecord::EpochUnusable)));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn incomplete_epoch_round_is_rejected_as_a_unit() {
+        // Deltas written, meta torn away by the crash: no ring.
+        let (deltas, meta) = sample_ring(5);
+        let mut bytes = MAGIC.to_vec();
+        for d in &deltas {
+            encode_frame(&mut bytes, &encode_epoch_delta_payload(d));
+        }
+        let log = read_records(&bytes).unwrap();
+        assert!(log.newest_epoch_ring().is_none());
+        assert!(log.has_epoch_frames());
+
+        // Meta present but one delta frame short: rejected too.
+        let mut bytes = MAGIC.to_vec();
+        encode_frame(&mut bytes, &encode_epoch_delta_payload(&deltas[0]));
+        encode_frame(&mut bytes, &encode_epoch_meta_payload(&meta));
+        let log = read_records(&bytes).unwrap();
+        assert!(log.newest_epoch_ring().is_none());
+
+        // The full round is accepted.
+        let mut bytes = MAGIC.to_vec();
+        for d in &deltas {
+            encode_frame(&mut bytes, &encode_epoch_delta_payload(d));
+        }
+        encode_frame(&mut bytes, &encode_epoch_meta_payload(&meta));
+        let log = read_records(&bytes).unwrap();
+        assert!(log.newest_epoch_ring().is_some());
+    }
+
+    #[test]
+    fn v1_checkpoint_frames_stay_readable() {
+        // Re-encode a checkpoint the way the v1 writer did (tag 3, no
+        // version byte) and read it back through the current decoder.
+        let mut sim = SimRankBuilder::new()
+            .config(cfg())
+            .from_graph(fixture())
+            .unwrap();
+        let cp = CheckpointRecord {
+            shard: None,
+            shard_count: 1,
+            block: 6,
+            seq: 0,
+            image: checkpoint_image_for(&mut sim),
+        };
+        let v2 = encode_checkpoint_payload(&cp);
+        assert_eq!(v2[0], TAG_CHECKPOINT2);
+        assert_eq!(v2[1], RECORD_VERSION);
+        // A v1 payload is the v2 payload with tag 3 and no version byte.
+        let mut v1 = vec![TAG_CHECKPOINT];
+        v1.extend_from_slice(&v2[2..]);
+
+        let mut bytes = MAGIC.to_vec();
+        encode_frame(&mut bytes, &v1);
+        let log = read_records(&bytes).unwrap();
+        assert!(!log.torn);
+        let got = log.newest_checkpoint(None).expect("v1 checkpoint decodes");
+        assert_eq!(got.seq, 0);
+        assert_eq!(got.shard_count, 1);
+        assert!(matches!(got.image, CheckpointImage::Dense(_)));
+        // And a v1 log has no epoch frames: history is simply absent.
+        assert!(!log.has_epoch_frames());
+        assert!(log.newest_epoch_ring().is_none());
     }
 }

@@ -84,6 +84,68 @@ pub fn apply_fault(bytes: &[u8], fault: Fault) -> Vec<u8> {
     out
 }
 
+/// The frame classes `wal-fault --kind` can aim at — a coarser
+/// vocabulary than [`FrameKind`](super::FrameKind), because a harness
+/// cares about *what breaks* (the op stream, the head image, the epoch
+/// ring), not which tag byte a frame happens to carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultTarget {
+    /// Op-stream frames: edge ops and node appends.
+    Op,
+    /// Checkpoint image frames, v1 or v2.
+    Checkpoint,
+    /// Any epoch-ring frame: retained-epoch deltas or the meta trailer.
+    Epoch,
+    /// Retained-epoch delta frames only.
+    EpochDelta,
+    /// Epoch-ring meta trailers only.
+    EpochMeta,
+}
+
+impl FaultTarget {
+    /// Parses the CLI spelling (`op`, `checkpoint`, `epoch`,
+    /// `epoch-delta`, `epoch-meta`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "op" => Some(FaultTarget::Op),
+            "checkpoint" => Some(FaultTarget::Checkpoint),
+            "epoch" => Some(FaultTarget::Epoch),
+            "epoch-delta" => Some(FaultTarget::EpochDelta),
+            "epoch-meta" => Some(FaultTarget::EpochMeta),
+            _ => None,
+        }
+    }
+
+    fn matches(self, kind: super::FrameKind) -> bool {
+        use super::FrameKind as K;
+        match self {
+            FaultTarget::Op => matches!(kind, K::Op | K::AddNode),
+            FaultTarget::Checkpoint => matches!(kind, K::Checkpoint),
+            FaultTarget::Epoch => matches!(kind, K::EpochDelta | K::EpochMeta),
+            FaultTarget::EpochDelta => matches!(kind, K::EpochDelta),
+            FaultTarget::EpochMeta => matches!(kind, K::EpochMeta),
+        }
+    }
+}
+
+/// `(frame_index, byte_offset)` of the `index`-th frame (0-based) of the
+/// targeted class, or `None` when the image holds fewer such frames.
+/// The frame index is in the whole-log numbering that
+/// [`Fault::CorruptChecksum`] uses; the byte offset is where
+/// [`Fault::TornWrite`] cuts to drop the frame and its suffix.
+pub fn nth_frame_of_kind(
+    bytes: &[u8],
+    target: FaultTarget,
+    index: usize,
+) -> Option<(usize, usize)> {
+    super::frame_kinds(bytes)
+        .iter()
+        .enumerate()
+        .filter(|&(_, &(_, kind))| target.matches(kind))
+        .map(|(frame, &(offset, _))| (frame, offset))
+        .nth(index)
+}
+
 /// A seeded generator of [`Fault`]s — the same seed draws the same fault
 /// sequence against the same image, so any failing case replays exactly.
 #[derive(Debug)]
@@ -315,6 +377,82 @@ mod tests {
                 "{fault:?} must cost at least the damaged frame"
             );
         }
+    }
+
+    #[test]
+    fn kind_targeting_resolves_frames_in_class_order() {
+        use crate::wal::{
+            CheckpointImage, CheckpointRecord, EpochDeltaRecord, EpochMetaRecord, ShardDeltaImage,
+        };
+        let path = {
+            let mut p = std::env::temp_dir();
+            p.push(format!("incsim_faults_kinds_{}", std::process::id()));
+            p
+        };
+        let _ = std::fs::remove_file(&path);
+        let (mut wal, _) = Wal::open_or_create(&path).unwrap();
+        wal.append_ops(&[UpdateOp::Insert(0, 1), UpdateOp::Insert(1, 2)])
+            .unwrap();
+        wal.append_checkpoint(&CheckpointRecord {
+            shard: None,
+            shard_count: 1,
+            block: 4,
+            seq: 2,
+            image: CheckpointImage::GraphOnly {
+                config: SimRankConfig::new(0.6, 10).unwrap(),
+                graph: DiGraph::new(3),
+            },
+        })
+        .unwrap();
+        wal.append_epoch_ring(
+            &[EpochDeltaRecord {
+                cp_seq: 2,
+                seq: 0,
+                stamp: 0,
+                at_op: 0,
+                n: 3,
+                shards: vec![ShardDeltaImage::Replay],
+                ops: Vec::new(),
+            }],
+            &EpochMetaRecord {
+                cp_seq: 2,
+                head_seq: 1,
+                head_stamp: 2,
+                head_at_op: 2,
+                head_n: 3,
+                retain: 2,
+                entries: 1,
+                anchors: vec![ShardDeltaImage::Replay],
+                pending: Vec::new(),
+                tails: vec![None],
+            },
+        )
+        .unwrap();
+        drop(wal);
+        let bytes = std::fs::read(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+
+        // Frame layout: op, op, checkpoint, epoch-delta, epoch-meta.
+        let frame_of = |t, i| nth_frame_of_kind(&bytes, t, i).map(|(frame, _)| frame);
+        assert_eq!(frame_of(FaultTarget::Op, 1), Some(1));
+        assert_eq!(frame_of(FaultTarget::Checkpoint, 0), Some(2));
+        assert_eq!(frame_of(FaultTarget::EpochDelta, 0), Some(3));
+        assert_eq!(frame_of(FaultTarget::EpochMeta, 0), Some(4));
+        assert_eq!(frame_of(FaultTarget::Epoch, 1), Some(4));
+        assert_eq!(frame_of(FaultTarget::Checkpoint, 1), None);
+        assert!(FaultTarget::parse("nonsense").is_none());
+        assert_eq!(
+            FaultTarget::parse("epoch-delta"),
+            Some(FaultTarget::EpochDelta)
+        );
+
+        // Corrupting the first epoch frame costs the ring but not the op
+        // stream that precedes it.
+        let (frame, _) = nth_frame_of_kind(&bytes, FaultTarget::EpochDelta, 0).unwrap();
+        let damaged = apply_fault(&bytes, Fault::CorruptChecksum { frame });
+        let log = read_records(&damaged).unwrap();
+        assert!(log.torn);
+        assert_eq!(log.records.len(), 3, "ops and checkpoint must survive");
     }
 
     #[test]

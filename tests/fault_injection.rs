@@ -308,6 +308,252 @@ fn probe_recovery_is_seed_identical() {
     }
 }
 
+// ---- v2 epoch-ring crash sweep ------------------------------------------
+
+/// Everything the ring sweep needs to judge a recovered incarnation: the
+/// pre-crash log image, the probe values of every epoch recorded *at
+/// publish time* (an epoch's scores are fixed once published, so these
+/// stay ground truth for any durable prefix), and the top-movers between
+/// consecutive publishes.
+struct RingFixture {
+    graph: DiGraph,
+    bytes: Vec<u8>,
+    probes: std::collections::BTreeMap<u64, Vec<f64>>,
+    movers: Vec<(u64, u64, Vec<incsim::serve::Mover>)>,
+}
+
+const RING_PROBES: [(u32, u32); 4] = [(0, 1), (4, 5), (1, 3), (2, 6)];
+
+fn build_ring_fixture(builder: &SimRankBuilder, tag: &str) -> RingFixture {
+    let (graph, ops) = er_stream(12, 30, 18, 0x21C5);
+    let path = tmp(tag);
+    let _ = std::fs::remove_file(&path);
+    let mut live = builder
+        .clone()
+        .wal(&path)
+        .concurrent(graph.clone())
+        .unwrap();
+
+    let probe = |srv: &incsim::serve::ConcurrentSimRank, e: u64| -> Vec<f64> {
+        RING_PROBES
+            .iter()
+            .map(|&(a, b)| srv.pair_at(a, b, e).unwrap())
+            .collect()
+    };
+    let mut probes = std::collections::BTreeMap::new();
+    let mut movers = Vec::new();
+    probes.insert(0, probe(&live, 0));
+    let mut prev = 0u64;
+    for (i, &op) in ops.iter().enumerate() {
+        live.update(op).unwrap();
+        if i % 3 == 2 {
+            let e = live.publish();
+            probes.insert(e, probe(&live, e));
+            // Matrix-free engines type-reject mover scans; pair probes
+            // are the trajectory there.
+            if let Ok(m) = live.top_movers(prev, e, 5) {
+                movers.push((prev, e, m));
+            }
+            prev = e;
+        }
+    }
+    drop(live);
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    RingFixture {
+        graph,
+        bytes,
+        probes,
+        movers,
+    }
+}
+
+/// Recovers `image` into a fresh serving layer and checks every restored
+/// pre-crash epoch (the renumbered head aside — its content is the
+/// durable op prefix, not any published epoch) against the publish-time
+/// trajectory. `tol == 0.0` demands bit-identical answers.
+fn check_ring_recovery(
+    fx: &RingFixture,
+    builder: &SimRankBuilder,
+    image: &[u8],
+    tag: &str,
+    tol: f64,
+) {
+    use incsim::serve::HistoryStatus;
+    let path = tmp(tag);
+    std::fs::write(&path, image).unwrap();
+    let recovered = builder
+        .clone()
+        .wal(&path)
+        .concurrent(fx.graph.clone())
+        .unwrap();
+    match recovered.history_status() {
+        HistoryStatus::Live
+        | HistoryStatus::Recovered { .. }
+        | HistoryStatus::Unavailable { .. } => {}
+    }
+    let head = recovered.epoch_seq();
+    // The head always answers, whatever happened to history.
+    for &(a, b) in &RING_PROBES {
+        recovered.pair_at(a, b, head).unwrap();
+    }
+    let restored: Vec<u64> = recovered
+        .epochs()
+        .iter()
+        .map(|e| e.seq)
+        .filter(|&s| s != head)
+        .collect();
+    for &seq in &restored {
+        let Some(want) = fx.probes.get(&seq) else {
+            // Seq 0 of the attach round is the initial state; every other
+            // restored seq must have been published pre-crash.
+            panic!("restored epoch {seq} was never published pre-crash");
+        };
+        for (&(a, b), &w) in RING_PROBES.iter().zip(want) {
+            let got = recovered.pair_at(a, b, seq).unwrap();
+            if tol == 0.0 {
+                assert_eq!(
+                    got.to_bits(),
+                    w.to_bits(),
+                    "epoch {seq} pair ({a},{b}) not bit-identical after recovery"
+                );
+            } else {
+                assert!(
+                    (got - w).abs() <= tol,
+                    "epoch {seq} pair ({a},{b}) drifted after recovery: {got} vs {w}"
+                );
+            }
+        }
+    }
+    for (lo, hi, want) in &fx.movers {
+        if !(restored.contains(lo) && restored.contains(hi)) {
+            continue;
+        }
+        let got = recovered.top_movers(*lo, *hi, 5).unwrap();
+        assert_eq!(want.len(), got.len(), "mover count drifted for {lo}->{hi}");
+        for (w, g) in want.iter().zip(&got) {
+            assert_eq!((w.a, w.b), (g.a, g.b), "mover pair drifted for {lo}->{hi}");
+            assert!(
+                (w.delta - g.delta).abs() <= tol.max(1e-12),
+                "mover delta drifted for {lo}->{hi}"
+            );
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// Kill a retained durable server at every frame boundary of its v2 log:
+/// the recovered ring's `pair_at` and `top_movers` reproduce the
+/// pre-crash trajectory within 1e-12 on every epoch that survives.
+#[test]
+fn ring_crash_points_recover_matrix_engines() {
+    let builder = SimRankBuilder::new()
+        .config(cfg())
+        .algorithm(EngineKind::IncSr)
+        .mode(ApplyPolicy::Eager)
+        .shards(2)
+        .retain_epochs(4)
+        .checkpoint_every(5);
+    let fx = build_ring_fixture(&builder, "ring_incsr");
+    let offsets = wal::frame_offsets(&fx.bytes);
+    assert!(offsets.len() > 20, "ring sweep lost crash points");
+    for &cut in &offsets {
+        let damaged = apply_fault(&fx.bytes, Fault::TornWrite { cut });
+        check_ring_recovery(&fx, &builder, &damaged, "ring_incsr_cut", 1e-12);
+    }
+}
+
+/// The same sweep for the matrix-free probe engine, whose ring entries
+/// replay recorded op slices under the pinned seed: recovered epochs
+/// answer bit-identically, at every crash point.
+#[test]
+fn ring_crash_points_recover_probe_seed_identical() {
+    let builder = SimRankBuilder::new()
+        .config(SimRankConfig::new(0.6, 10).unwrap())
+        .algorithm(EngineKind::Probe)
+        .probe_options(ProbeOptions {
+            seed: 0xFEED_5EED,
+            ..Default::default()
+        })
+        .shards(2)
+        .retain_epochs(4)
+        .checkpoint_every(5);
+    let fx = build_ring_fixture(&builder, "ring_probe");
+    for &cut in &wal::frame_offsets(&fx.bytes) {
+        let damaged = apply_fault(&fx.bytes, Fault::TornWrite { cut });
+        check_ring_recovery(&fx, &builder, &damaged, "ring_probe_cut", 0.0);
+    }
+}
+
+/// Corrupt epoch frames — version bytes damaged in place with the CRC
+/// re-stamped, so the frame checksums but does not decode — cost the
+/// ring, never the op stream: recovery still serves the full durable
+/// head, reports a typed history status, and answers queries on lost
+/// epochs with typed errors rather than panicking.
+#[test]
+fn corrupt_epoch_frames_degrade_to_head_only() {
+    use incsim::codec::crc32;
+    use incsim::serve::HistoryStatus;
+    use incsim::wal::faults::{nth_frame_of_kind, FaultTarget};
+    use incsim::wal::FRAME_HEADER;
+
+    let builder = SimRankBuilder::new()
+        .config(cfg())
+        .algorithm(EngineKind::IncSr)
+        .mode(ApplyPolicy::Eager)
+        .shards(2)
+        .retain_epochs(4)
+        .checkpoint_every(5);
+    let fx = build_ring_fixture(&builder, "ring_corrupt");
+
+    // Damage every epoch frame's record-version byte and re-stamp its
+    // checksum: the lenient decode path must keep the op stream intact.
+    let mut damaged = fx.bytes.clone();
+    for target in [FaultTarget::EpochDelta, FaultTarget::EpochMeta] {
+        let mut i = 0;
+        while let Some((_, off)) = nth_frame_of_kind(&fx.bytes, target, i) {
+            let len = u32::from_le_bytes(damaged[off..off + 4].try_into().unwrap()) as usize;
+            damaged[off + FRAME_HEADER + 1] = 99;
+            let crc = crc32(&damaged[off + FRAME_HEADER..off + FRAME_HEADER + len]);
+            damaged[off + 4..off + 8].copy_from_slice(&crc.to_le_bytes());
+            i += 1;
+        }
+        assert!(i > 0, "fixture must hold {target:?} frames");
+    }
+
+    let log = wal::read_records(&damaged).unwrap();
+    assert!(!log.torn, "version damage must not tear the op stream");
+    assert_eq!(log.last_seq(), 18, "every op must survive");
+    assert!(log.newest_epoch_ring().is_none());
+    assert!(log.has_epoch_frames());
+
+    let path = tmp("ring_corrupt_img");
+    std::fs::write(&path, &damaged).unwrap();
+    let recovered = builder
+        .clone()
+        .wal(&path)
+        .concurrent(fx.graph.clone())
+        .unwrap();
+    let HistoryStatus::Unavailable { .. } = recovered.history_status() else {
+        panic!(
+            "corrupt ring must recover head-only, got {:?}",
+            recovered.history_status()
+        );
+    };
+    let head = recovered.epoch_seq();
+    for &(a, b) in &RING_PROBES {
+        recovered.pair_at(a, b, head).unwrap();
+    }
+    // Pre-crash epochs are gone; asking for them is a typed miss, and
+    // seqs below the (unreadable) floor report the history loss.
+    assert!(matches!(
+        recovered.pair_at(0, 1, 0),
+        Err(ServeError::HistoryUnavailable { .. })
+    ));
+    assert!(recovered.pair_at(0, 1, head + 40).is_err());
+    std::fs::remove_file(&path).ok();
+}
+
 /// Mid-apply panic on one shard of a live router: the batch stays durable,
 /// the healthy shard keeps serving, reads on the quarantined shard degrade
 /// with a typed status, and a WAL rebuild restores exactness.
